@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper at a scaled-down (but
+structurally identical) setting, prints the reproduced rows, persists them under
+``results/``, and records a single wall-clock timing via pytest-benchmark (one round —
+these are end-to-end experiments, not micro-benchmarks).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed tables are also written to ``results/<figure>.txt`` so EXPERIMENTS.md can
+quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reporting import FigureTable
+from repro.analysis.settings import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def fast_settings() -> ExperimentSettings:
+    """The scaled-down experiment settings used by all benchmark harnesses."""
+    return ExperimentSettings.fast()
+
+
+@pytest.fixture
+def record_figure(benchmark):
+    """Run a figure driver once under the benchmark timer and persist its table."""
+
+    def runner(func, filename: str, *args, **kwargs) -> FigureTable:
+        table = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        if not isinstance(table, FigureTable):
+            raise TypeError("figure drivers must return a FigureTable")
+        path = table.save(RESULTS_DIR / filename)
+        text = table.format()
+        print(f"\n{text}\n[saved to {path}]")
+        return table
+
+    return runner

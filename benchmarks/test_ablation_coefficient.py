@@ -1,0 +1,17 @@
+"""Ablation: the heterogeneity coefficient C_j (Definition 1) on vs. off."""
+
+from repro.analysis.ablations import ablation_heterogeneity_coefficient
+
+
+def test_ablation_coefficient(record_figure, fast_settings):
+    settings = fast_settings.scaled(num_queries=350, capacity_iterations=4)
+    table = record_figure(
+        ablation_heterogeneity_coefficient, "ablation_coefficient.txt", settings,
+        model_name="RM2",
+    )
+    values = {row[0]: row[1] for row in table.rows}
+    with_c = values["with heterogeneity coefficient"]
+    without_c = values["without (all C_j = 1)"]
+    assert with_c > 0 and without_c > 0
+    # weighting instance time by its value never hurts materially
+    assert with_c >= 0.9 * without_c

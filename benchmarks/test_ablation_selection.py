@@ -1,0 +1,16 @@
+"""Ablation: similarity-based configuration selection vs. trusting the top-1 upper bound."""
+
+from repro.analysis.ablations import ablation_selection_rule
+
+
+def test_ablation_selection(record_figure, fast_settings):
+    settings = fast_settings.scaled(num_queries=350, capacity_iterations=4)
+    table = record_figure(
+        ablation_selection_rule, "ablation_selection.txt", settings,
+        model_name="RM2", top_k=6,
+    )
+    values = {row[0]: row[2] for row in table.rows}
+    best = values["best of top-6 (oracle pick)"]
+    selected = values["similarity-based selection"]
+    # the similarity-based pick stays close to the best configuration in the top group
+    assert selected >= 0.7 * best

@@ -1,0 +1,28 @@
+"""Ablation: assignment-solver runtime and optimality on Kairos-sized matchings.
+
+The paper reports that a 20-query x 20-instance matching is solved well within 0.05 ms
+with the Jonker-Volgenant algorithm (plus network overhead).  This benchmark times the
+from-scratch solvers on that exact size and checks they agree with SciPy's reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solvers.assignment import solve_assignment
+
+
+@pytest.fixture(scope="module")
+def matching_cost():
+    rng = np.random.default_rng(0)
+    return rng.uniform(1.0, 400.0, size=(20, 20))
+
+
+@pytest.mark.parametrize("method", ["jv", "hungarian", "greedy", "scipy"])
+def test_ablation_solvers(benchmark, matching_cost, method):
+    result = benchmark(solve_assignment, matching_cost, method)
+    optimal = solve_assignment(matching_cost, "scipy").total_cost
+    if method == "greedy":
+        assert result.total_cost >= optimal - 1e-9
+        assert result.total_cost <= 3.0 * optimal
+    else:
+        assert result.total_cost == pytest.approx(optimal)

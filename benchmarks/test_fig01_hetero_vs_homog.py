@@ -1,0 +1,15 @@
+"""Fig. 1: heterogeneous configurations vs. the best homogeneous one (RM2, Ribbon FCFS)."""
+
+from repro.analysis.motivation import fig1_hetero_vs_homogeneous
+
+
+def test_fig01_hetero_vs_homog(record_figure, fast_settings):
+    table = record_figure(
+        fig1_hetero_vs_homogeneous, "fig01_hetero_vs_homog.txt", fast_settings
+    )
+    throughput = table.row_map("config", "throughput_qps")
+    homog = throughput["(4, 0, 0, 0)"]
+    # The paper's message: at least one heterogeneous configuration clearly beats the
+    # homogeneous baseline, and at least one is clearly worse.
+    assert any(q > 1.1 * homog for cfg, q in throughput.items() if cfg != "(4, 0, 0, 0)")
+    assert any(q < 0.9 * homog for cfg, q in throughput.items() if cfg != "(4, 0, 0, 0)")

@@ -1,0 +1,16 @@
+"""Fig. 2: most configurations explored online by simulated annealing are worse than homogeneous."""
+
+from repro.analysis.motivation import fig2_annealing_exploration
+
+
+def test_fig02_sa_exploration(record_figure, fast_settings):
+    table = record_figure(
+        fig2_annealing_exploration,
+        "fig02_sa_exploration.txt",
+        fast_settings,
+        max_evaluations=15,
+    )
+    # A large share of the explored configurations falls below the homogeneous baseline
+    # (the paper reports roughly 70%); require at least a third at this reduced scale.
+    assert table.extras["fraction_worse"] >= 0.3
+    assert len(table.rows) >= 5

@@ -1,0 +1,17 @@
+"""Fig. 3: the same configurations under different query-distribution schemes."""
+
+from repro.analysis.motivation import fig3_distribution_schemes
+
+
+def test_fig03_distribution_schemes(record_figure, fast_settings):
+    table = record_figure(
+        fig3_distribution_schemes, "fig03_distribution_schemes.txt", fast_settings
+    )
+    for row in table.rows:
+        config, ribbon, drs, clkwrk, orcl = row
+        # every practical scheme stays at or below the clairvoyant Oracle
+        assert max(ribbon, drs, clkwrk) <= orcl * 1.05
+    # the heterogeneous configurations leave a visible gap to the Oracle (the
+    # opportunity Kairos's distribution mechanism closes)
+    hetero_rows = [r for r in table.rows if r[0] != "(4, 0, 0, 0)"]
+    assert any(max(r[1], r[2], r[3]) < 0.95 * r[4] for r in hetero_rows)

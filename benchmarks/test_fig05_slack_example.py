@@ -1,0 +1,10 @@
+"""Fig. 5: the two-instance slack-creation example (Kairos 4/4 vs. naive FCFS 3/4)."""
+
+from repro.analysis.motivation import fig5_slack_example
+
+
+def test_fig05_slack_example(record_figure):
+    table = record_figure(fig5_slack_example, "fig05_slack_example.txt")
+    served = table.row_map("scheme", "served_within_qos")
+    assert served["KAIROS"] == 4
+    assert served["naive FCFS"] == 3

@@ -1,0 +1,12 @@
+"""Fig. 7: the worked upper-bound examples (225 and 233 QPS)."""
+
+import pytest
+
+from repro.analysis.motivation import fig7_upper_bound_scenarios
+
+
+def test_fig07_upper_bound_scenarios(record_figure):
+    table = record_figure(fig7_upper_bound_scenarios, "fig07_upper_bound_scenarios.txt")
+    computed = table.column("computed_QPS_max")
+    assert computed[0] == pytest.approx(225.0)
+    assert computed[1] == pytest.approx(233.333, rel=1e-3)

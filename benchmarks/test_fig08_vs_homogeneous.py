@@ -1,0 +1,20 @@
+"""Fig. 8: Kairos vs. the optimal homogeneous configuration for all five models."""
+
+from repro.analysis.headline import fig8_vs_homogeneous
+
+#: Paper Fig. 8 normalized throughputs, used to check the reproduced *shape*.
+PAPER_VALUES = {"NCF": 1.68, "RM2": 2.03, "MT-WND": 1.25, "WND": 1.34, "DIEN": 1.43}
+
+
+def test_fig08_vs_homogeneous(record_figure, fast_settings):
+    table = record_figure(fig8_vs_homogeneous, "fig08_vs_homogeneous.txt", fast_settings)
+    normalized = table.row_map("model", "normalized")
+    assert set(normalized) == set(PAPER_VALUES)
+    # Shape checks: Kairos clearly beats homogeneous for every model, the
+    # embedding-dominated models (RM2, NCF) show the largest gains (close to 2x), and
+    # the DNN-heavy MT-WND shows the smallest, as in the paper.
+    assert all(value > 1.1 for value in normalized.values())
+    top_two = sorted(normalized, key=normalized.get, reverse=True)[:2]
+    assert "RM2" in top_two
+    assert normalized["RM2"] > 1.6
+    assert min(normalized, key=normalized.get) == "MT-WND"

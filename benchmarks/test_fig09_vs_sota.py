@@ -1,0 +1,18 @@
+"""Fig. 9: Kairos and Kairos+ vs. Ribbon, DRS, CLKWRK and the Oracle."""
+
+from repro.analysis.headline import fig9_vs_sota
+
+
+def test_fig09_vs_sota(record_figure, fast_settings):
+    settings = fast_settings.scaled(monitor_samples=2500)
+    table = record_figure(fig9_vs_sota, "fig09_vs_sota.txt", settings)
+    for row in table.rows:
+        model, config, ribbon, drs, clkwrk, kairos, kairos_plus, orcl = row
+        assert ribbon == 1.0  # the normalization reference
+        # Kairos at least matches the best competing scheme (up to capacity-search noise)
+        assert kairos >= 0.95 * max(ribbon, drs, clkwrk)
+        # Kairos+ never falls below Kairos, and the Oracle stays on top
+        assert kairos_plus >= 0.99 * kairos
+        assert orcl >= 0.95 * max(kairos, kairos_plus)
+    # on at least one model Kairos shows a clear (>20%) advantage over Ribbon
+    assert any(row[5] > 1.2 for row in table.rows)

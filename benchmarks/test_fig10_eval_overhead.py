@@ -1,0 +1,23 @@
+"""Fig. 10: online evaluations needed to find the optimal configuration (% of space)."""
+
+from repro.analysis.headline import fig10_evaluation_overhead
+
+
+def test_fig10_eval_overhead(record_figure, fast_settings):
+    settings = fast_settings.scaled(num_queries=350, capacity_iterations=4)
+    table = record_figure(
+        fig10_evaluation_overhead,
+        "fig10_eval_overhead.txt",
+        settings,
+        models=["RM2"],
+        schemes=("RIBBON", "CLKWRK", "KAIROS"),
+        max_evaluations=25,
+    )
+    row = table.rows[0]
+    headers = list(table.headers)
+    kairos_pct = row[headers.index("KAIROS_evals_pct")]
+    ribbon_pct = row[headers.index("RIBBON_evals_pct")]
+    # Kairos+ needs a very small share of the space (paper: < 1%); the weaker
+    # distribution schemes prune less and therefore evaluate more.
+    assert kairos_pct < 2.0
+    assert ribbon_pct >= kairos_pct

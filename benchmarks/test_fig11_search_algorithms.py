@@ -1,0 +1,16 @@
+"""Fig. 11: Kairos+ vs. random search, genetic algorithm and Bayesian optimization."""
+
+from repro.analysis.headline import fig11_search_algorithms
+
+
+def test_fig11_search_algorithms(record_figure, fast_settings):
+    table = record_figure(
+        fig11_search_algorithms, "fig11_search_algorithms.txt", fast_settings,
+        model_name="RM2", max_evaluations=60, backend="oracle",
+    )
+    pct = table.row_map("algorithm", "evals_until_best_pct")
+    # Kairos+ reaches its best configuration with (far) fewer evaluations than every
+    # competing search algorithm, despite all of them being granted pruning.
+    assert pct["KAIROS+"] < 1.5
+    for name in ("RAND", "GENE", "RIBBON"):
+        assert pct[name] >= pct["KAIROS+"]

@@ -1,0 +1,18 @@
+"""Fig. 13: actual throughput of the top upper-bound configurations; Kairos's pick."""
+
+from repro.analysis.robustness import fig13_top_upper_bound_configs
+
+
+def test_fig13_top_ub_configs(record_figure, fast_settings):
+    settings = fast_settings.scaled(num_queries=350, capacity_iterations=4)
+    table = record_figure(
+        fig13_top_upper_bound_configs, "fig13_top_ub_configs.txt", settings,
+        models=["RM2"], top_k=8,
+    )
+    config_rows = [r for r in table.rows if isinstance(r[1], int)]
+    assert len(config_rows) == 8
+    # exactly one configuration is marked as Kairos's selection, and its actual
+    # throughput is within 25% of the best of the top-8 (near-optimal selection)
+    selected = [r for r in config_rows if r[6]]
+    assert len(selected) == 1
+    assert selected[0][5] >= 75.0  # pct_of_best

@@ -1,0 +1,18 @@
+"""Fig. 16: robustness to Gaussian batch sizes and to 5% latency-prediction noise."""
+
+from repro.analysis.robustness import fig16_gaussian_and_noise
+
+
+def test_fig16_gaussian_noise(record_figure, fast_settings):
+    settings = fast_settings.scaled(num_queries=350, capacity_iterations=4)
+    table = record_figure(
+        fig16_gaussian_and_noise, "fig16_gaussian_noise.txt", settings,
+        models=["RM2", "WND"],
+    )
+    scenarios = {}
+    for row in table.rows:
+        scenarios.setdefault(row[0], []).append(row[5])
+    assert set(scenarios) == {"gaussian batches", "latency noise"}
+    # Kairos keeps an advantage over homogeneous under both perturbations
+    for scenario, values in scenarios.items():
+        assert all(v > 1.0 for v in values), (scenario, values)

@@ -1,0 +1,23 @@
+"""Table 3: models and QoS targets."""
+
+from repro.analysis.reporting import FigureTable
+from repro.cloud.models import DEFAULT_MODEL_REGISTRY
+
+
+def table3() -> FigureTable:
+    rows = [
+        [m["model"], m["description"], m["application"], m["qos_ms"]]
+        for m in DEFAULT_MODEL_REGISTRY.describe()
+    ]
+    return FigureTable(
+        figure_id="table3",
+        title="Models and QoS targets",
+        headers=["model", "description", "application", "qos_ms"],
+        rows=rows,
+    )
+
+
+def test_table3_models(record_figure):
+    table = record_figure(table3, "table3_models.txt")
+    qos = table.row_map("model", "qos_ms")
+    assert qos == {"NCF": 5.0, "RM2": 350.0, "WND": 25.0, "MT-WND": 25.0, "DIEN": 35.0}

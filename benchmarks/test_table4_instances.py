@@ -1,0 +1,29 @@
+"""Table 4: instance types and prices of the heterogeneous pool."""
+
+import pytest
+
+from repro.analysis.reporting import FigureTable
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+
+
+def table4() -> FigureTable:
+    rows = [
+        [r["instance_type"], r["instance_class"], r["price_per_hour"], r["is_base"]]
+        for r in DEFAULT_INSTANCE_CATALOG.describe()
+    ]
+    return FigureTable(
+        figure_id="table4",
+        title="Instance types of the heterogeneous pool",
+        headers=["instance_type", "instance_class", "price_per_hour", "is_base"],
+        rows=rows,
+    )
+
+
+def test_table4_instances(record_figure):
+    table = record_figure(table4, "table4_instances.txt")
+    prices = table.row_map("instance_type", "price_per_hour")
+    assert prices["g4dn.xlarge"] == pytest.approx(0.526)
+    assert prices["c5n.2xlarge"] == pytest.approx(0.432)
+    assert prices["r5n.large"] == pytest.approx(0.149)
+    assert prices["t3.xlarge"] == pytest.approx(0.1664)
+    assert table.row_map("instance_type", "is_base")["g4dn.xlarge"] is True

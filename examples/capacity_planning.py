@@ -1,0 +1,77 @@
+"""Capacity planning across budgets: how the Kairos configuration evolves with money.
+
+Run with::
+
+    python examples/capacity_planning.py [MODEL]
+
+For a sweep of hourly budgets the script plans the Kairos configuration, reports its
+upper bound, its composition, and the upper bound of the best homogeneous alternative —
+the planning workflow an operator would run before provisioning (no simulation, so it
+finishes in seconds even for the largest budgets).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.profiles import default_profile_registry
+from repro.core.kairos import KairosPlanner
+from repro.core.upper_bound import ThroughputUpperBoundEstimator
+from repro.utils.tables import format_table
+from repro.workload.batch_sizes import production_batch_distribution
+
+
+def main() -> int:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "RM2"
+    budgets = [1.0, 2.5, 5.0, 10.0]
+
+    profiles = default_profile_registry()
+    model = profiles.models[model_name]
+    billing = BillingModel(profiles.catalog)
+    monitor = production_batch_distribution().sample(8000, 0)
+    estimator = ThroughputUpperBoundEstimator(profiles, model, monitor)
+
+    rows = []
+    for budget in budgets:
+        planner = KairosPlanner(model, budget, profiles=profiles, batch_samples=monitor)
+        plan = planner.plan()
+        homog = billing.best_homogeneous_config("g4dn.xlarge", budget)
+        homog_scale = billing.homogeneous_budget_scaling("g4dn.xlarge", budget)
+        homog_bound = estimator.upper_bound(homog) * homog_scale if not homog.is_empty() else 0.0
+        rows.append(
+            [
+                budget,
+                plan.search_space_size,
+                str(plan.selected_config),
+                plan.selected_config.cost_per_hour(),
+                plan.selected_upper_bound,
+                str(homog),
+                homog_bound,
+                plan.selected_upper_bound / homog_bound if homog_bound else float("inf"),
+                round(plan.planning_seconds * 1000, 1),
+            ]
+        )
+
+    print(f"Kairos capacity planning for {model_name} (QoS {model.qos_ms:.0f} ms)\n")
+    print(format_table(
+        [
+            "budget_$hr",
+            "configs",
+            "kairos_config",
+            "cost_$hr",
+            "kairos_UB_qps",
+            "homog_config",
+            "homog_UB_qps",
+            "UB_ratio",
+            "plan_ms",
+        ],
+        rows,
+    ))
+    print("\nThe upper bounds are the planner's closed-form estimates (Eq. 15); run "
+          "examples/quickstart.py to measure a configuration on the simulated cluster.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

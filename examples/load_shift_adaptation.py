@@ -1,0 +1,78 @@
+"""React to a query-size distribution change without online exploration (Fig. 12's story).
+
+Run with::
+
+    python examples/load_shift_adaptation.py
+
+The workload starts with the production-like log-normal batch-size mix and abruptly
+switches to a Gaussian mix centred on much larger batches.  The script shows how the
+Kairos planner's choice changes when its query monitor observes the new mix, and
+compares the one-shot re-planned configuration against keeping the stale configuration.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cloud.profiles import default_profile_registry
+from repro.core.kairos import KairosPlanner
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.sim.capacity import measure_allowable_throughput
+from repro.utils.tables import format_table
+from repro.workload.batch_sizes import GaussianBatchSizes, production_batch_distribution
+from repro.workload.generator import WorkloadSpec
+
+
+def allowable(config, model, profiles, distribution, *, seed):
+    return measure_allowable_throughput(
+        config, model, profiles, KairosPolicy,
+        workload_spec=WorkloadSpec(batch_sizes=distribution, num_queries=500),
+        rng=seed, max_iterations=5,
+    ).qps
+
+
+def main() -> int:
+    model_name = "RM2"
+    budget = 2.5
+    profiles = default_profile_registry()
+    model = profiles.models[model_name]
+
+    before = production_batch_distribution()
+    after = GaussianBatchSizes(mean=250.0, std=120.0)
+
+    planner = KairosPlanner(
+        model, budget, profiles=profiles, batch_samples=before.sample(8000, 0)
+    )
+    plan_before = planner.plan()
+
+    # the query monitor now observes the new mix: re-plan in one shot
+    planner.update_batch_samples(after.sample(8000, 1))
+    plan_after = planner.plan()
+
+    print(f"{model_name}: query-size distribution changes from log-normal to Gaussian\n")
+    print(f"  configuration planned for the old mix : {plan_before.selected_config}")
+    print(f"  configuration planned for the new mix : {plan_after.selected_config}")
+    print(f"  re-planning time                      : {plan_after.planning_seconds * 1000:.1f} ms "
+          "(no configuration was evaluated online)\n")
+
+    print("Measuring both configurations under the *new* query mix...")
+    stale_qps = allowable(plan_before.selected_config, model, profiles, after, seed=11)
+    fresh_qps = allowable(plan_after.selected_config, model, profiles, after, seed=11)
+
+    print()
+    print(format_table(
+        ["configuration", "planned for", "allowable_qps under new mix"],
+        [
+            [str(plan_before.selected_config), "old (log-normal) mix", stale_qps],
+            [str(plan_after.selected_config), "new (Gaussian) mix", fresh_qps],
+        ],
+    ))
+    if fresh_qps > 0:
+        print(f"\nOne-shot re-planning recovers "
+              f"{100.0 * (fresh_qps - stale_qps) / max(stale_qps, 1e-9):.0f}% throughput "
+              "without a single online trial — the behaviour behind Fig. 12.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Serve a concrete query stream and compare query-distribution mechanisms.
+
+Run with::
+
+    python examples/serving_simulation.py [MODEL] [RATE_QPS]
+
+The script generates a production-like query stream, serves it on a fixed heterogeneous
+configuration under Ribbon's FCFS, the DRS threshold scheme, the Clockwork-style
+controller, and Kairos, and prints the per-scheme tail latency, QoS violation rate, and
+how each scheme splits queries across instance types — the behaviour behind Fig. 3.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cloud.config import parse_config
+from repro.cloud.profiles import default_profile_registry
+from repro.schedulers.clockwork import ClockworkPolicy
+from repro.schedulers.fcfs import RibbonFCFSPolicy
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.schedulers.threshold import DRSThresholdPolicy
+from repro.sim.simulation import simulate_serving
+from repro.utils.tables import format_table
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+def main() -> int:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "RM2"
+    rate_qps = float(sys.argv[2]) if len(sys.argv) > 2 else 60.0
+
+    profiles = default_profile_registry()
+    model = profiles.models[model_name]
+    config = parse_config("(2, 0, 8, 1)")
+    queries = WorkloadGenerator(WorkloadSpec(num_queries=1500)).generate(rate_qps, rng=3)
+
+    print(f"Serving {len(queries)} {model_name} queries at {rate_qps:.0f} QPS "
+          f"on configuration {config} (QoS {model.qos_ms:.0f} ms)\n")
+
+    rows = []
+    per_type_rows = []
+    for name, policy in (
+        ("RIBBON", RibbonFCFSPolicy()),
+        ("DRS", DRSThresholdPolicy()),
+        ("CLKWRK", ClockworkPolicy()),
+        ("KAIROS", KairosPolicy()),
+    ):
+        report = simulate_serving(config, model, profiles, policy, queries, rng=1)
+        metrics = report.metrics
+        rows.append(
+            [
+                name,
+                metrics.tail_latency_ms(),
+                metrics.mean_latency_ms(),
+                100.0 * metrics.qos_violation_rate(),
+                metrics.goodput_qps(),
+            ]
+        )
+        for type_name, count in sorted(metrics.queries_by_type().items()):
+            mean_batch = metrics.mean_batch_by_type()[type_name]
+            per_type_rows.append([name, type_name, count, mean_batch])
+
+    print(format_table(
+        ["scheme", "p99_latency_ms", "mean_latency_ms", "violations_pct", "goodput_qps"],
+        rows,
+        title="End-to-end serving metrics",
+    ))
+    print()
+    print(format_table(
+        ["scheme", "instance_type", "queries_served", "mean_batch_size"],
+        per_type_rows,
+        title="How each scheme splits the queries across instance types",
+        float_fmt=".1f",
+    ))
+    print("\nKairos keeps large queries on the base (GPU) instances and packs small "
+          "queries onto the cheap auxiliary instances, which is what preserves the QoS "
+          "tail at higher load.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that editable
+installs (``pip install -e .``) work on environments whose setuptools predates full
+PEP 660 support (and without network access to fetch a newer build backend).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro: a reproduction of Kairos (HPDC 2023).
+
+Kairos maximizes ML inference throughput under a QoS target and a cost budget on a
+heterogeneous pool of cloud instances, by (1) distributing queries with a min-cost
+bipartite matching and (2) choosing the heterogeneous configuration with a closed-form
+throughput upper bound instead of online exploration.
+
+Quick start::
+
+    from repro import KairosServingSystem
+
+    system = KairosServingSystem("RM2", budget_per_hour=2.5)
+    plan = system.plan()
+    print(plan.selected_config, plan.selected_upper_bound)
+    result = system.measure_throughput(num_queries=800)
+    print(result.qps)
+
+Sub-packages
+------------
+``repro.cloud``     instance catalog, models, latency profiles, configurations
+``repro.workload``  queries, batch-size distributions, arrival processes, traces
+``repro.sim``       discrete-event serving simulator and capacity measurement
+``repro.solvers``   linear-sum-assignment solvers (Jonker-Volgenant, Hungarian, greedy)
+``repro.core``      the Kairos planner, distributor, upper bound, Kairos+ search
+``repro.schedulers``query-distribution policies (Kairos, Ribbon, DRS, CLKWRK, Oracle)
+``repro.search``    online configuration-search baselines (random, SA, GA, BO)
+``repro.analysis``  experiment drivers reproducing every table and figure
+"""
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceType, get_instance_type
+from repro.cloud.models import DEFAULT_MODEL_REGISTRY, MLModel, get_model
+from repro.cloud.profiles import default_profile_registry
+from repro.core.controller import KairosServingSystem
+from repro.core.kairos import KairosPlan, KairosPlanner
+from repro.core.kairos_plus import KairosPlusSearch
+from repro.sim.capacity import measure_allowable_throughput
+from repro.sim.simulation import simulate_serving
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HeterogeneousConfig",
+    "InstanceType",
+    "get_instance_type",
+    "DEFAULT_INSTANCE_CATALOG",
+    "MLModel",
+    "get_model",
+    "DEFAULT_MODEL_REGISTRY",
+    "default_profile_registry",
+    "KairosServingSystem",
+    "KairosPlanner",
+    "KairosPlan",
+    "KairosPlusSearch",
+    "measure_allowable_throughput",
+    "simulate_serving",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

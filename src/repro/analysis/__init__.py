@@ -1,0 +1,65 @@
+"""Experiment drivers: one entry point per table/figure of the paper's evaluation.
+
+The drivers are deliberately parameterized by :class:`~repro.analysis.settings.ExperimentSettings`
+so that the benchmark harnesses can run scaled-down (but structurally identical)
+versions of every experiment, while the examples and EXPERIMENTS.md runs can use larger
+workloads for tighter numbers.
+"""
+
+from repro.analysis.settings import ExperimentSettings
+from repro.analysis.schemes import SchemeRunner
+from repro.analysis.comparison import normalized_throughput, relative_gain
+from repro.analysis.motivation import (
+    fig1_hetero_vs_homogeneous,
+    fig2_annealing_exploration,
+    fig3_distribution_schemes,
+    fig5_slack_example,
+    fig7_upper_bound_scenarios,
+)
+from repro.analysis.headline import (
+    fig8_vs_homogeneous,
+    fig9_vs_sota,
+    fig10_evaluation_overhead,
+    fig11_search_algorithms,
+)
+from repro.analysis.robustness import (
+    fig12_load_change,
+    fig13_top_upper_bound_configs,
+    fig14_codesign,
+    fig15_budget_and_qos,
+    fig16_gaussian_and_noise,
+)
+from repro.analysis.calibration import calibration_report, check_profile_assumptions
+from repro.analysis.ablations import (
+    ablation_heterogeneity_coefficient,
+    ablation_matching_solver,
+    ablation_selection_rule,
+)
+from repro.analysis.reporting import FigureTable
+
+__all__ = [
+    "FigureTable",
+    "ablation_heterogeneity_coefficient",
+    "ablation_matching_solver",
+    "ablation_selection_rule",
+    "ExperimentSettings",
+    "SchemeRunner",
+    "normalized_throughput",
+    "relative_gain",
+    "fig1_hetero_vs_homogeneous",
+    "fig2_annealing_exploration",
+    "fig3_distribution_schemes",
+    "fig5_slack_example",
+    "fig7_upper_bound_scenarios",
+    "fig8_vs_homogeneous",
+    "fig9_vs_sota",
+    "fig10_evaluation_overhead",
+    "fig11_search_algorithms",
+    "fig12_load_change",
+    "fig13_top_upper_bound_configs",
+    "fig14_codesign",
+    "fig15_budget_and_qos",
+    "fig16_gaussian_and_noise",
+    "calibration_report",
+    "check_profile_assumptions",
+]

@@ -1,0 +1,154 @@
+"""Ablation experiments beyond the paper's figures.
+
+These isolate the design choices DESIGN.md calls out:
+
+* the heterogeneity coefficient ``C_j`` (weighting instance time by value) vs. treating
+  all instance time as equal;
+* the similarity-based configuration selection vs. naively taking the top-1 upper bound;
+* the exact min-cost matching (Jonker-Volgenant) vs. a greedy matcher.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import FigureTable
+from repro.analysis.schemes import SchemeRunner
+from repro.analysis.settings import ExperimentSettings
+from repro.core.kairos import KairosPlanner
+from repro.core.latency_model import OnlineLatencyEstimator
+from repro.core.selection import select_configuration
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.sim.capacity import measure_allowable_throughput
+
+
+class _UnweightedKairosPolicy(KairosPolicy):
+    """Kairos with the heterogeneity coefficient disabled (every C_j forced to 1)."""
+
+    name = "KAIROS-noC"
+
+    def _rebuild_distributor(self) -> None:  # noqa: D401 - see class docstring
+        super()._rebuild_distributor()
+        assert self._distributor is not None
+        self._distributor.coefficients = {
+            key: 1.0 for key in self._distributor.coefficients
+        }
+
+
+def ablation_heterogeneity_coefficient(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    model_name: str = "RM2",
+) -> FigureTable:
+    """Throughput of the selected configuration with and without the C_j weighting."""
+    settings = settings or ExperimentSettings()
+    runner = SchemeRunner(settings, model_name)
+    plan = KairosPlanner(
+        settings.model(model_name),
+        settings.budget_per_hour,
+        profiles=settings.registry(),
+        batch_samples=settings.monitored_batches(),
+    ).plan()
+
+    def measure(policy_factory) -> float:
+        return measure_allowable_throughput(
+            plan.selected_config,
+            settings.model(model_name),
+            settings.registry(),
+            policy_factory,
+            workload_spec=settings.workload_spec(),
+            rng=settings.rng(31),
+            max_iterations=settings.capacity_iterations,
+        ).qps
+
+    with_c = measure(KairosPolicy)
+    without_c = measure(_UnweightedKairosPolicy)
+    rows = [
+        ["with heterogeneity coefficient", with_c],
+        ["without (all C_j = 1)", without_c],
+    ]
+    return FigureTable(
+        figure_id="ablation-coefficient",
+        title=f"Heterogeneity-coefficient ablation ({model_name}, config {plan.selected_config})",
+        headers=["variant", "throughput_qps"],
+        rows=rows,
+    )
+
+
+def ablation_selection_rule(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    model_name: str = "RM2",
+    top_k: int = 10,
+) -> FigureTable:
+    """Similarity-based selection vs. naively trusting the highest upper bound."""
+    settings = settings or ExperimentSettings()
+    runner = SchemeRunner(settings, model_name)
+    plan = KairosPlanner(
+        settings.model(model_name),
+        settings.budget_per_hour,
+        profiles=settings.registry(),
+        batch_samples=settings.monitored_batches(),
+    ).plan()
+    top1_config = plan.ranked[0][0]
+    selected_config = plan.selected_config
+    rows: List[Sequence] = [
+        [
+            "top-1 upper bound",
+            str(top1_config),
+            runner.measure(top1_config, "KAIROS"),
+        ],
+        [
+            "similarity-based selection",
+            str(selected_config),
+            runner.measure(selected_config, "KAIROS"),
+        ],
+    ]
+    best_qps = 0.0
+    best_config = None
+    for config, _ in plan.top(top_k):
+        qps = runner.measure(config, "KAIROS")
+        if qps > best_qps:
+            best_qps, best_config = qps, config
+    rows.append([f"best of top-{top_k} (oracle pick)", str(best_config), best_qps])
+    return FigureTable(
+        figure_id="ablation-selection",
+        title=f"Configuration-selection ablation ({model_name})",
+        headers=["variant", "config", "throughput_qps"],
+        rows=rows,
+    )
+
+
+def ablation_matching_solver(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    model_name: str = "RM2",
+    solvers: Sequence[str] = ("jv", "hungarian", "greedy", "scipy"),
+) -> FigureTable:
+    """Throughput of the selected configuration under different assignment solvers."""
+    settings = settings or ExperimentSettings()
+    plan = KairosPlanner(
+        settings.model(model_name),
+        settings.budget_per_hour,
+        profiles=settings.registry(),
+        batch_samples=settings.monitored_batches(),
+    ).plan()
+    rows: List[Sequence] = []
+    for solver in solvers:
+        qps = measure_allowable_throughput(
+            plan.selected_config,
+            settings.model(model_name),
+            settings.registry(),
+            lambda: KairosPolicy(solver_method=solver),
+            workload_spec=settings.workload_spec(),
+            rng=settings.rng(33),
+            max_iterations=settings.capacity_iterations,
+        ).qps
+        rows.append([solver, qps])
+    return FigureTable(
+        figure_id="ablation-solver",
+        title=f"Assignment-solver ablation ({model_name}, config {plan.selected_config})",
+        headers=["solver", "throughput_qps"],
+        rows=rows,
+        notes=["jv / hungarian / scipy are exact and should tie; greedy is the approximate baseline."],
+    )

@@ -1,0 +1,111 @@
+"""Calibration checks for the synthetic latency profiles.
+
+The reproduction replaces measured latency profiles with a calibrated synthetic table
+(:mod:`repro.cloud.profile_data`).  The checks here assert the structural properties the
+paper's evaluation relies on, so that any future re-calibration keeps them intact:
+
+* the base type (``g4dn.xlarge``) — and only the base type — meets QoS at the maximum
+  batch size, for every model;
+* every auxiliary type can serve at least a batch-1 query within QoS (so it is usable as
+  an auxiliary instance);
+* latency is (near-)perfectly linearly correlated with batch size (paper: Pearson > 0.99).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import FigureTable
+from repro.cloud.profiles import ProfileRegistry, default_profile_registry
+
+
+@dataclass(frozen=True)
+class ProfileAssumptionReport:
+    """Outcome of :func:`check_profile_assumptions` for one model."""
+
+    model: str
+    base_feasible: bool
+    aux_all_infeasible_at_max: bool
+    aux_all_feasible_at_one: bool
+    min_pearson: float
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.base_feasible
+            and self.aux_all_infeasible_at_max
+            and self.aux_all_feasible_at_one
+            and self.min_pearson > 0.99
+        )
+
+
+def check_profile_assumptions(
+    profiles: Optional[ProfileRegistry] = None,
+) -> List[ProfileAssumptionReport]:
+    """Verify the structural assumptions for every model in the registry."""
+    registry = profiles if profiles is not None else default_profile_registry()
+    base = registry.catalog.base_type.name
+    batches = np.unique(np.geomspace(1, 1000, 50).astype(int))
+    reports: List[ProfileAssumptionReport] = []
+    for model in registry.models:
+        base_ok = registry.is_base_feasible(model, base)
+        aux_types = [t.name for t in registry.catalog.types if t.name != base]
+        aux_infeasible = all(
+            not registry.is_base_feasible(model, t) for t in aux_types
+        )
+        aux_feasible_at_one = all(
+            registry.qos_cutoff_batch(model, t) >= 1 for t in aux_types
+        )
+        pearsons = [
+            registry.pearson_batch_latency(model, t.name, batches)
+            for t in registry.catalog.types
+        ]
+        reports.append(
+            ProfileAssumptionReport(
+                model=model.name,
+                base_feasible=base_ok,
+                aux_all_infeasible_at_max=aux_infeasible,
+                aux_all_feasible_at_one=aux_feasible_at_one,
+                min_pearson=float(min(pearsons)),
+            )
+        )
+    return reports
+
+
+def calibration_report(profiles: Optional[ProfileRegistry] = None) -> FigureTable:
+    """A table of per-(model, type) profile characteristics (cutoffs, QPS at mean batch)."""
+    registry = profiles if profiles is not None else default_profile_registry()
+    rows = []
+    for model in registry.models:
+        for itype in registry.catalog.types:
+            cutoff = registry.qos_cutoff_batch(model, itype.name)
+            lat_100 = float(registry.latency_ms(model, itype.name, 100))
+            rows.append(
+                [
+                    model.name,
+                    itype.name,
+                    model.qos_ms,
+                    cutoff,
+                    lat_100,
+                    1000.0 / lat_100,
+                    itype.price_per_hour,
+                ]
+            )
+    return FigureTable(
+        figure_id="calibration",
+        title="Synthetic latency-profile characteristics",
+        headers=[
+            "model",
+            "instance_type",
+            "qos_ms",
+            "qos_cutoff_batch",
+            "latency_ms@b=100",
+            "qps@b=100",
+            "price_per_hr",
+        ],
+        rows=rows,
+        notes=["Profiles are synthetic; see DESIGN.md 'Substitutions' for the calibration rules."],
+    )

@@ -1,0 +1,38 @@
+"""Small helpers for normalized-throughput comparisons used across figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+
+def normalized_throughput(values: Mapping[str, float], reference: str) -> Dict[str, float]:
+    """Normalize each entry of ``values`` by the entry named ``reference``.
+
+    The paper normalizes Fig. 8/15/16 by the homogeneous baseline and Fig. 9 by a chosen
+    scheme; a zero or missing reference raises immediately rather than producing NaNs.
+    """
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not among {sorted(values)}")
+    ref = float(values[reference])
+    if ref <= 0:
+        raise ValueError(f"reference value for {reference!r} must be positive, got {ref}")
+    return {name: float(v) / ref for name, v in values.items()}
+
+
+def relative_gain(value: float, baseline: float) -> float:
+    """Percentage gain of ``value`` over ``baseline`` (Fig. 2's y-axis)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (value - baseline) / baseline
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used in summary reporting)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

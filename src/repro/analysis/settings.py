@@ -1,0 +1,89 @@
+"""Shared experiment settings.
+
+Every figure driver takes an :class:`ExperimentSettings` instance describing the cloud
+substrate (profiles, catalog), the workload (batch-size distribution, queries per
+capacity probe), the budget, and the fidelity knobs (bisection iterations, monitor
+sample count, random seed).  ``ExperimentSettings.fast()`` returns the scaled-down
+preset the benchmark harnesses use so that regenerating every figure stays in the
+minutes range on a laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry, default_profile_registry
+from repro.utils.rng import ensure_rng
+from repro.workload.batch_sizes import BatchSizeDistribution, production_batch_distribution
+from repro.workload.generator import WorkloadSpec
+
+#: The models of Table 3 in the paper's presentation order.
+DEFAULT_MODELS: Tuple[str, ...] = ("NCF", "RM2", "MT-WND", "WND", "DIEN")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment driver."""
+
+    budget_per_hour: float = 2.5
+    base_type: str = "g4dn.xlarge"
+    models: Tuple[str, ...] = DEFAULT_MODELS
+    num_queries: int = 800
+    capacity_iterations: int = 7
+    monitor_samples: int = 8000
+    seed: int = 7
+    batch_distribution: Optional[BatchSizeDistribution] = None
+    profiles: Optional[ProfileRegistry] = None
+
+    # -- derived helpers -------------------------------------------------------------
+    def registry(self) -> ProfileRegistry:
+        return self.profiles if self.profiles is not None else default_profile_registry()
+
+    def catalog(self) -> InstanceCatalog:
+        return self.registry().catalog
+
+    def billing(self) -> BillingModel:
+        return BillingModel(self.catalog())
+
+    def model(self, name: str) -> MLModel:
+        return self.registry().models[name]
+
+    def distribution(self) -> BatchSizeDistribution:
+        return (
+            self.batch_distribution
+            if self.batch_distribution is not None
+            else production_batch_distribution()
+        )
+
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(batch_sizes=self.distribution(), num_queries=self.num_queries)
+
+    def rng(self, offset: int = 0) -> np.random.Generator:
+        return ensure_rng(self.seed + offset)
+
+    def monitored_batches(self, offset: int = 0) -> np.ndarray:
+        """The query monitor's batch-size window used for UB estimation and oracle packing."""
+        return self.distribution().sample(self.monitor_samples, self.rng(1000 + offset))
+
+    # -- presets -----------------------------------------------------------------------
+    def scaled(self, **overrides) -> "ExperimentSettings":
+        return replace(self, **overrides)
+
+    @classmethod
+    def default(cls) -> "ExperimentSettings":
+        return cls()
+
+    @classmethod
+    def fast(cls) -> "ExperimentSettings":
+        """Scaled-down preset used by the benchmark harnesses."""
+        return cls(
+            num_queries=450,
+            capacity_iterations=5,
+            monitor_samples=4000,
+        )

@@ -1,0 +1,41 @@
+"""Cloud substrate: instance catalog, ML model registry, latency profiles, configurations.
+
+This package replaces the paper's AWS EC2 testbed.  It exposes exactly the quantities
+Kairos consumes: instance types with on-demand prices (Table 4), models with QoS targets
+(Table 3), per-(model, instance-type) latency-vs-batch-size profiles, and heterogeneous
+configuration objects with cost accounting.
+"""
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import (
+    DEFAULT_INSTANCE_CATALOG,
+    InstanceCatalog,
+    InstanceType,
+    get_instance_type,
+)
+from repro.cloud.models import DEFAULT_MODEL_REGISTRY, MLModel, ModelRegistry, get_model
+from repro.cloud.profiles import (
+    LatencyProfile,
+    LinearLatencyProfile,
+    ProfileRegistry,
+    default_profile_registry,
+)
+from repro.cloud.billing import BillingModel, CostReport
+
+__all__ = [
+    "InstanceType",
+    "InstanceCatalog",
+    "DEFAULT_INSTANCE_CATALOG",
+    "get_instance_type",
+    "MLModel",
+    "ModelRegistry",
+    "DEFAULT_MODEL_REGISTRY",
+    "get_model",
+    "LatencyProfile",
+    "LinearLatencyProfile",
+    "ProfileRegistry",
+    "default_profile_registry",
+    "HeterogeneousConfig",
+    "BillingModel",
+    "CostReport",
+]

@@ -1,0 +1,135 @@
+"""Cost accounting for instance allocations.
+
+The paper's budget constraint is expressed in $/hr of on-demand rental.  This module
+provides the small amount of billing math the experiments need: budget feasibility,
+the best homogeneous allocation under a budget, the paper's proportional-scaling
+compensation for unused homogeneous budget (Sec. 8.1), and per-experiment cost reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog, InstanceType
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost summary of running one configuration for a time window."""
+
+    config: HeterogeneousConfig
+    duration_hours: float
+    cost_per_hour: float
+    total_cost: float
+    budget_per_hour: Optional[float] = None
+
+    @property
+    def within_budget(self) -> bool:
+        if self.budget_per_hour is None:
+            return True
+        return self.cost_per_hour <= self.budget_per_hour + 1e-9
+
+    @property
+    def budget_utilization(self) -> Optional[float]:
+        """Fraction of the hourly budget actually spent (``None`` without a budget)."""
+        if self.budget_per_hour is None:
+            return None
+        return self.cost_per_hour / self.budget_per_hour
+
+
+class BillingModel:
+    """Hourly on-demand billing over an instance catalog."""
+
+    def __init__(self, catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG):
+        self.catalog = catalog
+
+    def cost_per_hour(self, config: HeterogeneousConfig) -> float:
+        """Hourly price of a configuration."""
+        return config.cost_per_hour()
+
+    def report(
+        self,
+        config: HeterogeneousConfig,
+        duration_hours: float = 1.0,
+        budget_per_hour: Optional[float] = None,
+    ) -> CostReport:
+        """Full cost report for running ``config`` for ``duration_hours``."""
+        check_positive(duration_hours, "duration_hours")
+        if budget_per_hour is not None:
+            check_positive(budget_per_hour, "budget_per_hour")
+        hourly = self.cost_per_hour(config)
+        return CostReport(
+            config=config,
+            duration_hours=float(duration_hours),
+            cost_per_hour=hourly,
+            total_cost=hourly * duration_hours,
+            budget_per_hour=budget_per_hour,
+        )
+
+    # -- homogeneous baseline helpers -------------------------------------------------
+    def max_homogeneous_count(
+        self, instance_type: Union[str, InstanceType], budget_per_hour: float
+    ) -> int:
+        """Largest number of instances of one type affordable under the budget."""
+        check_positive(budget_per_hour, "budget_per_hour")
+        itype = (
+            self.catalog[instance_type] if isinstance(instance_type, str) else instance_type
+        )
+        return int(math.floor(budget_per_hour / itype.price_per_hour + 1e-9))
+
+    def best_homogeneous_config(
+        self, instance_type: Union[str, InstanceType], budget_per_hour: float
+    ) -> HeterogeneousConfig:
+        """The optimal homogeneous configuration: as many base instances as fit the budget."""
+        count = self.max_homogeneous_count(instance_type, budget_per_hour)
+        name = instance_type if isinstance(instance_type, str) else instance_type.name
+        return HeterogeneousConfig.homogeneous(name, count, self.catalog)
+
+    def homogeneous_budget_scaling(
+        self, instance_type: Union[str, InstanceType], budget_per_hour: float
+    ) -> float:
+        """The paper's compensation factor for unused homogeneous budget (Sec. 8.1).
+
+        The budget is generally not an integer multiple of the base-type price, so the
+        homogeneous baseline's throughput is scaled *up* proportionally to the full
+        budget — a conservative comparison that advantages the baseline.  Returns 1.0
+        when not even one instance fits.
+        """
+        count = self.max_homogeneous_count(instance_type, budget_per_hour)
+        if count == 0:
+            return 1.0
+        itype = (
+            self.catalog[instance_type] if isinstance(instance_type, str) else instance_type
+        )
+        spent = count * itype.price_per_hour
+        return budget_per_hour / spent
+
+    # -- budget slack ------------------------------------------------------------------
+    def budget_slack(self, config: HeterogeneousConfig, budget_per_hour: float) -> float:
+        """Unspent portion of the hourly budget (negative when over budget)."""
+        check_non_negative(budget_per_hour, "budget_per_hour")
+        return budget_per_hour - self.cost_per_hour(config)
+
+    def affordable_additions(
+        self, config: HeterogeneousConfig, budget_per_hour: float
+    ) -> Dict[str, int]:
+        """How many more instances of each type still fit in the remaining budget."""
+        slack = self.budget_slack(config, budget_per_hour)
+        result: Dict[str, int] = {}
+        for itype in self.catalog.types:
+            result[itype.name] = (
+                int(math.floor(slack / itype.price_per_hour + 1e-9)) if slack > 0 else 0
+            )
+        return result
+
+    def cheapest_type(self) -> InstanceType:
+        """The lowest-priced type in the catalog."""
+        return min(self.catalog.types, key=lambda t: t.price_per_hour)
+
+    def describe_catalog(self) -> List[Dict[str, object]]:
+        """Table-4 style rows (used by the table benchmarks)."""
+        return self.catalog.describe()

@@ -1,0 +1,202 @@
+"""Heterogeneous configurations: how many instances of each catalog type are allocated.
+
+A configuration is the unit the throughput-upper-bound estimator ranks, the search
+algorithms explore, and the simulator instantiates.  It is represented as an immutable
+count vector over the instance catalog order (base type first), so the paper's
+``(3, 1, 3)``-style notation maps directly onto ``HeterogeneousConfig.counts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog, InstanceType
+
+
+@dataclass(frozen=True)
+class HeterogeneousConfig:
+    """An allocation of cloud instances, e.g. ``(3, 1, 3, 0)`` over the default catalog.
+
+    Attributes
+    ----------
+    counts:
+        Number of instances of each catalog type, in catalog order.
+    catalog:
+        The instance catalog the counts refer to.
+    """
+
+    counts: Tuple[int, ...]
+    catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(self.catalog):
+            raise ValueError(
+                f"configuration has {len(self.counts)} counts but the catalog has "
+                f"{len(self.catalog)} types"
+            )
+        clean = []
+        for c in self.counts:
+            if isinstance(c, bool) or int(c) != c:
+                raise ValueError(f"instance counts must be integers, got {c!r}")
+            if c < 0:
+                raise ValueError(f"instance counts must be non-negative, got {c}")
+            clean.append(int(c))
+        object.__setattr__(self, "counts", tuple(clean))
+
+    # -- constructors ---------------------------------------------------------------
+    @classmethod
+    def from_mapping(
+        cls,
+        counts: Mapping[str, int],
+        catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG,
+    ) -> "HeterogeneousConfig":
+        """Build a configuration from a ``{type name: count}`` mapping (missing = 0)."""
+        unknown = [name for name in counts if name not in catalog]
+        if unknown:
+            raise KeyError(f"unknown instance types in configuration: {unknown}")
+        vector = tuple(int(counts.get(name, 0)) for name in catalog.names)
+        return cls(vector, catalog)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        instance_type: Union[str, InstanceType],
+        count: int,
+        catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG,
+    ) -> "HeterogeneousConfig":
+        """A configuration with ``count`` instances of a single type."""
+        name = instance_type if isinstance(instance_type, str) else instance_type.name
+        return cls.from_mapping({name: count}, catalog)
+
+    @classmethod
+    def empty(cls, catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG) -> "HeterogeneousConfig":
+        return cls(tuple(0 for _ in catalog.names), catalog)
+
+    # -- basic accessors ------------------------------------------------------------
+    def count_of(self, instance_type: Union[str, InstanceType]) -> int:
+        name = instance_type if isinstance(instance_type, str) else instance_type.name
+        return self.counts[self.catalog.index_of(name)]
+
+    @property
+    def total_instances(self) -> int:
+        return int(sum(self.counts))
+
+    @property
+    def base_count(self) -> int:
+        """Number of base-type instances."""
+        return self.count_of(self.catalog.base_type)
+
+    @property
+    def auxiliary_counts(self) -> Dict[str, int]:
+        """Counts of the non-base types, keyed by type name."""
+        base = self.catalog.base_type.name
+        return {name: self.count_of(name) for name in self.catalog.names if name != base}
+
+    def as_mapping(self) -> Dict[str, int]:
+        return {name: c for name, c in zip(self.catalog.names, self.counts)}
+
+    def as_vector(self) -> np.ndarray:
+        return np.asarray(self.counts, dtype=int)
+
+    def is_empty(self) -> bool:
+        return self.total_instances == 0
+
+    def is_homogeneous(self) -> bool:
+        """True when at most one type has a non-zero count."""
+        return sum(1 for c in self.counts if c > 0) <= 1
+
+    # -- cost -----------------------------------------------------------------------
+    def cost_per_hour(self) -> float:
+        """Total on-demand price of the allocation in $/hr."""
+        prices = np.asarray(self.catalog.price_vector())
+        return float(np.dot(prices, self.as_vector()))
+
+    def fits_budget(self, budget_per_hour: float) -> bool:
+        """Budget feasibility with a small tolerance for float round-off."""
+        return self.cost_per_hour() <= budget_per_hour + 1e-9
+
+    # -- expansion into concrete instances -------------------------------------------
+    def expand_instance_types(self) -> List[InstanceType]:
+        """One entry per allocated instance, grouped by type in catalog order."""
+        result: List[InstanceType] = []
+        for name, count in zip(self.catalog.names, self.counts):
+            result.extend([self.catalog[name]] * count)
+        return result
+
+    # -- structural relations used by Kairos+ pruning --------------------------------
+    def is_sub_config_of(self, other: "HeterogeneousConfig") -> bool:
+        """True when ``other`` can be obtained from this config by *adding* instances.
+
+        This is the sub-configuration relation of Algorithm 1: a sub-configuration can
+        never outperform its super-configuration, so once the super-configuration has
+        been evaluated the sub-configuration can be pruned.
+        """
+        self._check_same_catalog(other)
+        return all(a <= b for a, b in zip(self.counts, other.counts)) and self != other
+
+    def is_super_config_of(self, other: "HeterogeneousConfig") -> bool:
+        return other.is_sub_config_of(self)
+
+    def add(self, instance_type: Union[str, InstanceType], count: int = 1) -> "HeterogeneousConfig":
+        """Return a new configuration with ``count`` more instances of the given type."""
+        name = instance_type if isinstance(instance_type, str) else instance_type.name
+        idx = self.catalog.index_of(name)
+        new_counts = list(self.counts)
+        new_counts[idx] += count
+        if new_counts[idx] < 0:
+            raise ValueError("resulting instance count would be negative")
+        return HeterogeneousConfig(tuple(new_counts), self.catalog)
+
+    def distance_squared(self, other: "HeterogeneousConfig") -> float:
+        """Squared Euclidean distance between count vectors (Kairos's similarity metric)."""
+        self._check_same_catalog(other)
+        diff = self.as_vector() - other.as_vector()
+        return float(np.dot(diff, diff))
+
+    def _check_same_catalog(self, other: "HeterogeneousConfig") -> None:
+        if self.catalog.names != other.catalog.names:
+            raise ValueError("configurations refer to different instance catalogs")
+
+    # -- dunder ----------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(zip(self.catalog.names, self.counts))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(c) for c in self.counts)
+        return f"({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{name}={c}" for name, c in self)
+        return f"HeterogeneousConfig({pairs})"
+
+
+def parse_config(
+    spec: Union[str, Sequence[int], Mapping[str, int], HeterogeneousConfig],
+    catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG,
+) -> HeterogeneousConfig:
+    """Coerce user-facing configuration specs into :class:`HeterogeneousConfig`.
+
+    Accepts the paper's tuple notation (``"(3, 1, 3)"`` or ``[3, 1, 3]``, padded with
+    zeros to the catalog length), mappings, or an existing configuration.
+    """
+    if isinstance(spec, HeterogeneousConfig):
+        return spec
+    if isinstance(spec, Mapping):
+        return HeterogeneousConfig.from_mapping(spec, catalog)
+    if isinstance(spec, str):
+        cleaned = spec.strip().strip("()[]")
+        if not cleaned:
+            return HeterogeneousConfig.empty(catalog)
+        parts = [int(p.strip()) for p in cleaned.split(",") if p.strip()]
+        spec = parts
+    counts = list(int(c) for c in spec)
+    if len(counts) > len(catalog):
+        raise ValueError(
+            f"configuration has {len(counts)} entries but the catalog only has "
+            f"{len(catalog)} types"
+        )
+    counts.extend([0] * (len(catalog) - len(counts)))
+    return HeterogeneousConfig(tuple(counts), catalog)

@@ -1,0 +1,214 @@
+"""Cloud compute instance types and the heterogeneous-pool catalog (paper Table 4).
+
+The paper builds its heterogeneous pool from four AWS EC2 on-demand instance types, one
+per compute class, all sized to 16 GB of memory so every type can host the model:
+
+=================  ===========================  ===========
+Instance type      Instance class               Price ($/hr)
+=================  ===========================  ===========
+``g4dn.xlarge``    GPU accelerated computing    0.526
+``c5n.2xlarge``    Compute optimized CPU        0.432
+``r5n.large``      Memory optimized CPU         0.149
+``t3.xlarge``      General purpose CPU          0.1664
+=================  ===========================  ===========
+
+``g4dn.xlarge`` is the *base* type: the only type that meets QoS for every batch size up
+to the 1000-request cap, and therefore the type used for the optimal homogeneous
+configuration.  The CPU types are *auxiliary* types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.utils.validation import check_positive
+
+
+class InstanceClass:
+    """Compute-class labels used by the catalog (mirrors the EC2 families in Table 4)."""
+
+    GPU_ACCELERATED = "gpu-accelerated"
+    COMPUTE_OPTIMIZED = "compute-optimized"
+    MEMORY_OPTIMIZED = "memory-optimized"
+    GENERAL_PURPOSE = "general-purpose"
+
+    ALL = (GPU_ACCELERATED, COMPUTE_OPTIMIZED, MEMORY_OPTIMIZED, GENERAL_PURPOSE)
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A rentable cloud VM type.
+
+    Attributes
+    ----------
+    name:
+        Cloud-provider SKU, e.g. ``"g4dn.xlarge"``.
+    instance_class:
+        One of :class:`InstanceClass`; informational only.
+    price_per_hour:
+        On-demand price in $/hr — the quantity the budget constraint is written against.
+    memory_gb:
+        Memory allocation; the paper sizes all types to 16 GB so each can host the model.
+    is_accelerated:
+        Whether the type carries a GPU.  The base type in all paper experiments is the
+        accelerated one, but nothing in the library requires that.
+    """
+
+    name: str
+    instance_class: str
+    price_per_hour: float
+    memory_gb: float = 16.0
+    is_accelerated: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("instance type name must be non-empty")
+        if self.instance_class not in InstanceClass.ALL:
+            raise ValueError(
+                f"unknown instance class {self.instance_class!r}; "
+                f"expected one of {InstanceClass.ALL}"
+            )
+        check_positive(self.price_per_hour, "price_per_hour")
+        check_positive(self.memory_gb, "memory_gb")
+
+    @property
+    def price_per_ms(self) -> float:
+        """Price of one millisecond of rental, used for cost-normalized metrics."""
+        return self.price_per_hour / 3_600_000.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The four instance types of paper Table 4, with their on-demand prices.
+G4DN_XLARGE = InstanceType(
+    name="g4dn.xlarge",
+    instance_class=InstanceClass.GPU_ACCELERATED,
+    price_per_hour=0.526,
+    is_accelerated=True,
+    description="NVIDIA T4 GPU instance (base type, 'G1' in the paper's motivation)",
+)
+C5N_2XLARGE = InstanceType(
+    name="c5n.2xlarge",
+    instance_class=InstanceClass.COMPUTE_OPTIMIZED,
+    price_per_hour=0.432,
+    description="Compute-optimized CPU instance ('C1' in the paper's motivation)",
+)
+R5N_LARGE = InstanceType(
+    name="r5n.large",
+    instance_class=InstanceClass.MEMORY_OPTIMIZED,
+    price_per_hour=0.149,
+    description="Memory-optimized CPU instance ('C2' in the paper's motivation)",
+)
+T3_XLARGE = InstanceType(
+    name="t3.xlarge",
+    instance_class=InstanceClass.GENERAL_PURPOSE,
+    price_per_hour=0.1664,
+    description="General-purpose CPU instance",
+)
+
+
+class InstanceCatalog:
+    """An ordered collection of instance types forming the heterogeneous pool.
+
+    The order of types is significant: configuration vectors (see
+    :class:`repro.cloud.config.HeterogeneousConfig`) follow the catalog order, with the
+    *base* type first by convention.
+    """
+
+    def __init__(self, types: Sequence[InstanceType], base_type: Optional[str] = None):
+        if not types:
+            raise ValueError("catalog needs at least one instance type")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate instance type names in catalog: {names}")
+        self._types: Dict[str, InstanceType] = {t.name: t for t in types}
+        self._order: List[str] = names
+        self._base_name = base_type if base_type is not None else names[0]
+        if self._base_name not in self._types:
+            raise KeyError(f"base type {self._base_name!r} is not in the catalog")
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[InstanceType]:
+        return (self._types[name] for name in self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __getitem__(self, name: str) -> InstanceType:
+        return self._types[name]
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        """Type names in catalog order (base type first)."""
+        return list(self._order)
+
+    @property
+    def types(self) -> List[InstanceType]:
+        """Instance types in catalog order."""
+        return [self._types[name] for name in self._order]
+
+    @property
+    def base_type(self) -> InstanceType:
+        """The base instance type (the one used for homogeneous serving)."""
+        return self._types[self._base_name]
+
+    @property
+    def auxiliary_types(self) -> List[InstanceType]:
+        """All non-base types, in catalog order."""
+        return [self._types[name] for name in self._order if name != self._base_name]
+
+    def price_vector(self) -> List[float]:
+        """Per-type $/hr prices in catalog order."""
+        return [self._types[name].price_per_hour for name in self._order]
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in the catalog order."""
+        return self._order.index(name)
+
+    def with_base(self, base_type: str) -> "InstanceCatalog":
+        """Return a copy of the catalog with a different base type."""
+        return InstanceCatalog(self.types, base_type=base_type)
+
+    def subset(self, names: Sequence[str]) -> "InstanceCatalog":
+        """Return a catalog restricted to ``names`` (order preserved from the argument)."""
+        missing = [n for n in names if n not in self._types]
+        if missing:
+            raise KeyError(f"unknown instance types: {missing}")
+        base = self._base_name if self._base_name in names else names[0]
+        return InstanceCatalog([self._types[n] for n in names], base_type=base)
+
+    def describe(self) -> List[Mapping[str, object]]:
+        """Rows for Table 4-style reporting."""
+        return [
+            {
+                "instance_type": t.name,
+                "instance_class": t.instance_class,
+                "price_per_hour": t.price_per_hour,
+                "is_base": t.name == self._base_name,
+            }
+            for t in self.types
+        ]
+
+
+#: Default heterogeneous pool used throughout the evaluation (paper Table 4).
+DEFAULT_INSTANCE_CATALOG = InstanceCatalog(
+    [G4DN_XLARGE, C5N_2XLARGE, R5N_LARGE, T3_XLARGE],
+    base_type="g4dn.xlarge",
+)
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up one of the default catalog's instance types by name."""
+    try:
+        return DEFAULT_INSTANCE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown instance type {name!r}; known types: {DEFAULT_INSTANCE_CATALOG.names}"
+        ) from None

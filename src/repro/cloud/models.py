@@ -1,0 +1,156 @@
+"""ML inference service models and their QoS targets (paper Table 3).
+
+The paper drives its evaluation with five industry-grade recommendation models.  Only
+two properties of a model matter to Kairos: its tail-latency QoS target and the maximum
+query batch size the service accepts (1000 in the paper, limited by QoS).  Everything
+else (embedding-table sizes, DNN widths) is captured indirectly through the latency
+profiles in :mod:`repro.cloud.profiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.utils.validation import check_positive, check_positive_int
+
+#: Maximum query batch size accepted by the serving system (paper Sec. 5.1).
+MAX_BATCH_SIZE = 1000
+
+
+@dataclass(frozen=True)
+class MLModel:
+    """An inference-service model with its QoS contract.
+
+    Attributes
+    ----------
+    name:
+        Short model identifier (``"RM2"``, ``"NCF"``, ...).
+    qos_ms:
+        99th-percentile latency target in milliseconds.
+    max_batch_size:
+        Largest query (request batch) the service accepts.
+    description / application:
+        Informational fields mirroring Table 3.
+    """
+
+    name: str
+    qos_ms: float
+    max_batch_size: int = MAX_BATCH_SIZE
+    description: str = ""
+    application: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("model name must be non-empty")
+        check_positive(self.qos_ms, "qos_ms")
+        check_positive_int(self.max_batch_size, "max_batch_size")
+
+    def with_qos(self, qos_ms: float) -> "MLModel":
+        """Return a copy of the model with a different QoS target (used by Fig. 15b)."""
+        return MLModel(
+            name=self.name,
+            qos_ms=float(qos_ms),
+            max_batch_size=self.max_batch_size,
+            description=self.description,
+            application=self.application,
+        )
+
+    def scaled_qos(self, factor: float) -> "MLModel":
+        """Return a copy with the QoS target multiplied by ``factor``."""
+        check_positive(factor, "factor")
+        return self.with_qos(self.qos_ms * factor)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Table 3 of the paper.
+NCF = MLModel(
+    name="NCF",
+    qos_ms=5.0,
+    description="Neural Collaborative Filtering",
+    application="Movie recommendation",
+)
+RM2 = MLModel(
+    name="RM2",
+    qos_ms=350.0,
+    description="Meta recommendation model class 2 (embedding-table dominated)",
+    application="High-accuracy social media post ranking",
+)
+WND = MLModel(
+    name="WND",
+    qos_ms=25.0,
+    description="Google Wide & Deep recommender",
+    application="Google App Store",
+)
+MT_WND = MLModel(
+    name="MT-WND",
+    qos_ms=25.0,
+    description="Multi-Task Wide & Deep (parallel DNN predictors)",
+    application="YouTube video recommendation",
+)
+DIEN = MLModel(
+    name="DIEN",
+    qos_ms=35.0,
+    description="Alibaba Deep Interest Evolution Network",
+    application="E-commerce click-through-rate prediction",
+)
+
+
+class ModelRegistry:
+    """Ordered collection of the models used in the evaluation."""
+
+    def __init__(self, models: Sequence[MLModel]):
+        if not models:
+            raise ValueError("registry needs at least one model")
+        names = [m.name for m in models]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate model names: {names}")
+        self._models: Dict[str, MLModel] = {m.name: m for m in models}
+        self._order: List[str] = names
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[MLModel]:
+        return (self._models[name] for name in self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __getitem__(self, name: str) -> MLModel:
+        return self._models[name]
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    def get(self, name: str, default: Optional[MLModel] = None) -> Optional[MLModel]:
+        return self._models.get(name, default)
+
+    def describe(self) -> List[Mapping[str, object]]:
+        """Rows for Table 3-style reporting."""
+        return [
+            {
+                "model": m.name,
+                "description": m.description,
+                "application": m.application,
+                "qos_ms": m.qos_ms,
+            }
+            for m in self
+        ]
+
+
+#: The five models of paper Table 3, in the paper's presentation order.
+DEFAULT_MODEL_REGISTRY = ModelRegistry([NCF, RM2, WND, MT_WND, DIEN])
+
+
+def get_model(name: str) -> MLModel:
+    """Look up one of the default evaluation models by name."""
+    try:
+        return DEFAULT_MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known models: {DEFAULT_MODEL_REGISTRY.names}"
+        ) from None

@@ -1,0 +1,86 @@
+"""Calibrated synthetic latency-profile coefficients for the five evaluation models.
+
+The paper measures each model on each EC2 instance type; we cannot, so this table holds
+linear-profile coefficients ``(intercept_ms, per_item_ms)`` per (model, instance type)
+that were *calibrated to the paper's qualitative characterization* (see DESIGN.md,
+"Substitutions"):
+
+* the GPU type (``g4dn.xlarge``) is the only type meeting QoS at the maximum batch size
+  (1000), making it the base type, exactly as in the paper;
+* every CPU type meets QoS for small batches, so each has a non-trivial QoS cutoff ``s``
+  and can act as an auxiliary type;
+* the *relative* CPU-vs-GPU efficiency differs per model following the paper's
+  description of the model internals: RM2 is dominated by large embedding tables
+  (memory-bound → the memory-optimized ``r5n.large`` is unusually cost-effective, which
+  is what lets Kairos reach ~2x over homogeneous for RM2), MT-WND has large parallel DNN
+  predictors (compute-bound → CPUs are comparatively weak → smallest gain), with NCF,
+  WND, and DIEN in between;
+* latency is a linear function of batch size (the paper reports Pearson > 0.99).
+
+Nothing downstream depends on the absolute milliseconds — only on the ratios between
+types and on where each type's QoS cutoff falls relative to the batch-size distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cloud.profiles import LatencyProfile, LinearLatencyProfile
+
+#: (model name, instance type name) -> (intercept_ms, per_item_ms)
+#:
+#: Construction rules (see DESIGN.md):
+#: * GPU: intercept ~0.12 x QoS (fixed per-query overhead: input handling, PCIe copy,
+#:   kernel launch), latency at the 1000-request cap ~0.6 x QoS (meets QoS with slack);
+#: * CPUs: smaller intercepts (no accelerator launch overhead) but much steeper slopes,
+#:   so each type's QoS cutoff lands at a model-dependent fraction of the max batch —
+#:   largest for the memory-bound RM2, smallest for the DNN-heavy MT-WND.
+PROFILE_COEFFICIENTS: Dict[Tuple[str, str], Tuple[float, float]] = {
+    # ------------------------------------------------------------------ NCF (QoS 5 ms)
+    # Tiny collaborative-filtering model: sub-millisecond fixed overheads, CPUs serve a
+    # few hundred requests per query within QoS.
+    ("NCF", "g4dn.xlarge"): (0.50, 0.00160),
+    ("NCF", "c5n.2xlarge"): (0.40, 0.00470),
+    ("NCF", "r5n.large"): (0.45, 0.00560),
+    ("NCF", "t3.xlarge"): (0.50, 0.00820),
+    # ------------------------------------------------------------------ RM2 (QoS 350 ms)
+    # Embedding-table dominated: the GPU's compute advantage is muted (lookups are
+    # memory-bound), so the CPU types keep the largest QoS-feasible batch fraction of
+    # all five models — heterogeneity has the most to offer here.
+    ("RM2", "g4dn.xlarge"): (42.0, 0.1680),
+    ("RM2", "c5n.2xlarge"): (28.0, 0.340),
+    ("RM2", "r5n.large"): (31.5, 0.400),
+    ("RM2", "t3.xlarge"): (35.0, 0.600),
+    # ------------------------------------------------------------------ WND (QoS 25 ms)
+    # Wide & Deep: moderate DNN component, CPUs handle small and medium queries.
+    ("WND", "g4dn.xlarge"): (3.00, 0.01200),
+    ("WND", "c5n.2xlarge"): (2.00, 0.04200),
+    ("WND", "r5n.large"): (2.25, 0.05200),
+    ("WND", "t3.xlarge"): (2.50, 0.07600),
+    # ------------------------------------------------------------------ MT-WND (QoS 25 ms)
+    # Multi-task Wide & Deep: large parallel DNN predictors, strongly GPU-friendly; the
+    # CPU cutoffs are the smallest fraction of the max batch among the five models.
+    ("MT-WND", "g4dn.xlarge"): (3.00, 0.01200),
+    ("MT-WND", "c5n.2xlarge"): (2.00, 0.04350),
+    ("MT-WND", "r5n.large"): (2.25, 0.05800),
+    ("MT-WND", "t3.xlarge"): (2.50, 0.08000),
+    # ------------------------------------------------------------------ DIEN (QoS 35 ms)
+    # GRU-based sequence model: between WND and MT-WND in CPU friendliness.
+    ("DIEN", "g4dn.xlarge"): (4.20, 0.01680),
+    ("DIEN", "c5n.2xlarge"): (2.80, 0.05300),
+    ("DIEN", "r5n.large"): (3.15, 0.06800),
+    ("DIEN", "t3.xlarge"): (3.50, 0.09600),
+}
+
+
+def build_default_profiles() -> Dict[Tuple[str, str], LatencyProfile]:
+    """Instantiate :class:`LinearLatencyProfile` objects from the coefficient table."""
+    return {
+        key: LinearLatencyProfile(intercept_ms=intercept, per_item_ms=slope)
+        for key, (intercept, slope) in PROFILE_COEFFICIENTS.items()
+    }
+
+
+def coefficient_table() -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """A copy of the raw coefficient table (for reporting and calibration tests)."""
+    return dict(PROFILE_COEFFICIENTS)

@@ -1,0 +1,311 @@
+"""Per-(model, instance-type) inference latency profiles.
+
+Kairos's entire formulation consumes inference latency only through the function
+``latency(model, instance_type, batch_size)``.  The paper observes (Sec. 5.1, "Remarks")
+that this latency is essentially deterministic and linearly correlated with the batch
+size (Pearson > 0.99 for every model/instance pair), because a single query is served by
+a single model copy with no co-located contention.
+
+This module provides:
+
+* :class:`LinearLatencyProfile` — ``latency(b) = intercept + slope * b``, the profile
+  family used everywhere in the reproduction (and the one the paper's own observations
+  justify);
+* :class:`TabulatedLatencyProfile` — an interpolating profile for measured data;
+* :class:`ProfileRegistry` — the lookup structure mapping (model, instance type) pairs to
+  profiles, plus derived quantities the Kairos math needs: the QoS-feasible batch-size
+  cutoff of a type and per-type standalone throughputs for a query mix.
+
+The default registry is synthesized from :mod:`repro.cloud.profile_data`; see that module
+and DESIGN.md for the calibration rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog, InstanceType
+from repro.cloud.models import DEFAULT_MODEL_REGISTRY, MLModel, ModelRegistry
+from repro.utils.validation import check_non_negative, check_positive
+
+ArrayLike = Union[float, int, Sequence[float], np.ndarray]
+
+
+class LatencyProfile:
+    """Base class: maps batch sizes to service latency in milliseconds."""
+
+    def latency_ms(self, batch_size: ArrayLike):
+        """Latency in ms for the given batch size(s); vectorized over arrays."""
+        raise NotImplementedError
+
+    def max_feasible_batch(self, qos_ms: float, max_batch: int) -> int:
+        """Largest batch size in [0, max_batch] whose latency is within ``qos_ms``.
+
+        Returns 0 when not even a single-request query meets the QoS target.
+        """
+        check_positive(qos_ms, "qos_ms")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        batches = np.arange(1, max_batch + 1)
+        lat = np.asarray(self.latency_ms(batches))
+        feasible = np.nonzero(lat <= qos_ms)[0]
+        if feasible.size == 0:
+            return 0
+        # Profiles are monotone in practice, but guard against non-monotone tabulated
+        # profiles by taking the largest contiguous feasible prefix.
+        last = feasible[-1]
+        if feasible.size == last + 1:
+            return int(last + 1)
+        first_violation = np.nonzero(lat > qos_ms)[0][0]
+        return int(first_violation)
+
+
+@dataclass(frozen=True)
+class LinearLatencyProfile(LatencyProfile):
+    """``latency(b) = intercept_ms + per_item_ms * b``.
+
+    ``per_item_ms`` is the marginal cost of one more request in the batch; the intercept
+    captures fixed per-query overhead (input handling, kernel launch, RPC deserialize).
+    """
+
+    intercept_ms: float
+    per_item_ms: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.intercept_ms, "intercept_ms")
+        check_positive(self.per_item_ms, "per_item_ms")
+
+    def latency_ms(self, batch_size: ArrayLike):
+        batch = np.asarray(batch_size, dtype=float)
+        if np.any(batch < 0):
+            raise ValueError("batch sizes must be non-negative")
+        result = self.intercept_ms + self.per_item_ms * batch
+        if np.isscalar(batch_size) or np.ndim(batch_size) == 0:
+            return float(result)
+        return result
+
+    def max_feasible_batch(self, qos_ms: float, max_batch: int) -> int:
+        """Closed form for the linear profile (overrides the generic scan)."""
+        check_positive(qos_ms, "qos_ms")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if self.intercept_ms + self.per_item_ms > qos_ms:
+            return 0
+        cutoff = int(np.floor((qos_ms - self.intercept_ms) / self.per_item_ms))
+        return int(min(max(cutoff, 0), max_batch))
+
+
+@dataclass(frozen=True)
+class TabulatedLatencyProfile(LatencyProfile):
+    """Piecewise-linear interpolation over measured (batch, latency) points.
+
+    Used when profiles come from a real measurement campaign instead of the synthetic
+    tables; extrapolates linearly beyond the last point using the final segment slope.
+    """
+
+    batch_points: Tuple[float, ...]
+    latency_points_ms: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.batch_points) != len(self.latency_points_ms):
+            raise ValueError("batch_points and latency_points_ms must have equal length")
+        if len(self.batch_points) < 2:
+            raise ValueError("need at least two profile points")
+        b = np.asarray(self.batch_points, dtype=float)
+        if np.any(np.diff(b) <= 0):
+            raise ValueError("batch_points must be strictly increasing")
+        lat = np.asarray(self.latency_points_ms, dtype=float)
+        if np.any(lat <= 0):
+            raise ValueError("latency points must be positive")
+
+    def latency_ms(self, batch_size: ArrayLike):
+        batch = np.asarray(batch_size, dtype=float)
+        b = np.asarray(self.batch_points, dtype=float)
+        lat = np.asarray(self.latency_points_ms, dtype=float)
+        result = np.interp(batch, b, lat)
+        # linear extrapolation beyond the last measured batch size
+        beyond = batch > b[-1]
+        if np.any(beyond):
+            slope = (lat[-1] - lat[-2]) / (b[-1] - b[-2])
+            result = np.where(beyond, lat[-1] + slope * (batch - b[-1]), result)
+        if np.isscalar(batch_size) or np.ndim(batch_size) == 0:
+            return float(result)
+        return result
+
+    @classmethod
+    def from_linear(
+        cls, profile: LinearLatencyProfile, batches: Iterable[int]
+    ) -> "TabulatedLatencyProfile":
+        """Sample a linear profile at the given batch sizes (testing helper)."""
+        pts = sorted(set(int(b) for b in batches))
+        return cls(
+            batch_points=tuple(float(b) for b in pts),
+            latency_points_ms=tuple(float(profile.latency_ms(b)) for b in pts),
+        )
+
+
+class ProfileRegistry:
+    """Lookup of latency profiles keyed by (model name, instance type name).
+
+    The registry also carries the instance catalog and the model registry so that the
+    Kairos planner and the simulator can derive QoS cutoffs, base-type identification and
+    standalone throughputs without re-plumbing those objects separately.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[Tuple[str, str], LatencyProfile],
+        catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG,
+        models: ModelRegistry = DEFAULT_MODEL_REGISTRY,
+    ):
+        self._catalog = catalog
+        self._models = models
+        self._profiles: Dict[Tuple[str, str], LatencyProfile] = dict(profiles)
+        for (model_name, type_name) in self._profiles:
+            if model_name not in models:
+                raise KeyError(f"profile references unknown model {model_name!r}")
+            if type_name not in catalog:
+                raise KeyError(f"profile references unknown instance type {type_name!r}")
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def catalog(self) -> InstanceCatalog:
+        return self._catalog
+
+    @property
+    def models(self) -> ModelRegistry:
+        return self._models
+
+    def has_profile(self, model: Union[str, MLModel], instance_type: Union[str, InstanceType]) -> bool:
+        return (_name(model), _name(instance_type)) in self._profiles
+
+    def profile(
+        self, model: Union[str, MLModel], instance_type: Union[str, InstanceType]
+    ) -> LatencyProfile:
+        key = (_name(model), _name(instance_type))
+        try:
+            return self._profiles[key]
+        except KeyError:
+            raise KeyError(f"no latency profile for model={key[0]!r} on type={key[1]!r}") from None
+
+    def latency_ms(
+        self,
+        model: Union[str, MLModel],
+        instance_type: Union[str, InstanceType],
+        batch_size: ArrayLike,
+    ):
+        """Latency of a query of ``batch_size`` on ``instance_type`` for ``model``."""
+        return self.profile(model, instance_type).latency_ms(batch_size)
+
+    def items(self):
+        return self._profiles.items()
+
+    # -- derived quantities used by the Kairos math ---------------------------------
+    def qos_cutoff_batch(
+        self, model: Union[str, MLModel], instance_type: Union[str, InstanceType]
+    ) -> int:
+        """Largest batch size the type can serve within the model's QoS (``s`` in Sec. 5.2)."""
+        mdl = self._resolve_model(model)
+        return self.profile(mdl, instance_type).max_feasible_batch(mdl.qos_ms, mdl.max_batch_size)
+
+    def is_base_feasible(self, model: Union[str, MLModel], instance_type: Union[str, InstanceType]) -> bool:
+        """True when the type meets QoS for every batch size up to the model maximum."""
+        mdl = self._resolve_model(model)
+        return self.qos_cutoff_batch(mdl, instance_type) >= mdl.max_batch_size
+
+    def feasible_base_types(self, model: Union[str, MLModel]) -> List[InstanceType]:
+        """All catalog types able to serve the model's largest query within QoS."""
+        return [t for t in self._catalog.types if self.is_base_feasible(model, t)]
+
+    def standalone_qps(
+        self,
+        model: Union[str, MLModel],
+        instance_type: Union[str, InstanceType],
+        batch_sizes: Sequence[int],
+        *,
+        respect_qos: bool = True,
+    ) -> float:
+        """Average queries/second one instance sustains back-to-back on the given mix.
+
+        ``respect_qos=True`` (the default and what the paper's ``Q_a`` uses) restricts the
+        mix to the batch sizes the type can serve within QoS; if none are feasible the
+        standalone throughput is 0, matching the paper's observation that an auxiliary
+        type "cannot serve standalone".
+        """
+        mdl = self._resolve_model(model)
+        batches = np.asarray(batch_sizes, dtype=float)
+        if batches.size == 0:
+            return 0.0
+        if respect_qos:
+            cutoff = self.qos_cutoff_batch(mdl, instance_type)
+            batches = batches[batches <= cutoff]
+            if batches.size == 0:
+                return 0.0
+        lat = np.asarray(self.profile(mdl, instance_type).latency_ms(batches), dtype=float)
+        mean_latency_ms = float(np.mean(lat))
+        if mean_latency_ms <= 0:
+            raise ValueError("profile produced non-positive latency")
+        return 1000.0 / mean_latency_ms
+
+    def pearson_batch_latency(
+        self,
+        model: Union[str, MLModel],
+        instance_type: Union[str, InstanceType],
+        batch_sizes: Sequence[int],
+    ) -> float:
+        """Pearson correlation between batch size and latency over ``batch_sizes``.
+
+        The paper reports > 0.99 for every pair; this is the check the calibration tests
+        apply to the synthetic profiles.
+        """
+        batches = np.asarray(batch_sizes, dtype=float)
+        if batches.size < 2 or np.all(batches == batches[0]):
+            raise ValueError("need at least two distinct batch sizes")
+        lat = np.asarray(self.profile(model, instance_type).latency_ms(batches), dtype=float)
+        return float(np.corrcoef(batches, lat)[0, 1])
+
+    # -- mutation helpers ------------------------------------------------------------
+    def with_profile(
+        self,
+        model: Union[str, MLModel],
+        instance_type: Union[str, InstanceType],
+        profile: LatencyProfile,
+    ) -> "ProfileRegistry":
+        """Return a copy of the registry with one profile replaced."""
+        profiles = dict(self._profiles)
+        profiles[(_name(model), _name(instance_type))] = profile
+        return ProfileRegistry(profiles, catalog=self._catalog, models=self._models)
+
+    def restrict_to_model(self, model: Union[str, MLModel]) -> "ProfileRegistry":
+        """Return a registry holding only the profiles of ``model``."""
+        name = _name(model)
+        profiles = {k: v for k, v in self._profiles.items() if k[0] == name}
+        if not profiles:
+            raise KeyError(f"no profiles registered for model {name!r}")
+        return ProfileRegistry(profiles, catalog=self._catalog, models=self._models)
+
+    def _resolve_model(self, model: Union[str, MLModel]) -> MLModel:
+        if isinstance(model, MLModel):
+            return model
+        return self._models[model]
+
+
+def _name(obj: Union[str, MLModel, InstanceType]) -> str:
+    return obj if isinstance(obj, str) else obj.name
+
+
+def default_profile_registry(
+    catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG,
+    models: ModelRegistry = DEFAULT_MODEL_REGISTRY,
+) -> ProfileRegistry:
+    """The calibrated synthetic profile registry used by all experiments.
+
+    Defined here (rather than in ``profile_data``) so that callers only ever need this
+    module; the coefficient table itself lives in :mod:`repro.cloud.profile_data`.
+    """
+    from repro.cloud.profile_data import build_default_profiles
+
+    return ProfileRegistry(build_default_profiles(), catalog=catalog, models=models)

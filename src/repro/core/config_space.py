@@ -1,0 +1,110 @@
+"""Budget-constrained configuration-space enumeration.
+
+The search space Kairos ranks (and the baselines explore online) is every combination of
+per-type instance counts whose hourly price fits the budget.  With the default catalog
+and the paper's $2.5/hr budget this is on the order of a thousand configurations; at the
+4x budget of Fig. 15a it grows into the tens of thousands, which is exactly why the
+paper's closed-form ranking (2 seconds for ~1000 configurations) matters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog
+from repro.utils.validation import check_positive
+
+
+def enumerate_configs(
+    budget_per_hour: float,
+    catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG,
+    *,
+    min_base_count: int = 0,
+    min_total_instances: int = 1,
+    max_per_type: Optional[int] = None,
+) -> List[HeterogeneousConfig]:
+    """All configurations whose cost fits ``budget_per_hour``.
+
+    Parameters
+    ----------
+    min_base_count:
+        Require at least this many base-type instances (the paper's serving system needs
+        at least one instance able to serve the largest queries, but the search space it
+        ranks includes base-free points too — they simply score an upper bound of 0).
+    min_total_instances:
+        Exclude configurations smaller than this (default excludes the empty config).
+    max_per_type:
+        Optional cap on the per-type count, mainly to keep unit-test spaces tiny.
+    """
+    check_positive(budget_per_hour, "budget_per_hour")
+    if min_base_count < 0:
+        raise ValueError("min_base_count must be non-negative")
+    if min_total_instances < 0:
+        raise ValueError("min_total_instances must be non-negative")
+
+    prices = catalog.price_vector()
+    names = catalog.names
+    base_index = catalog.index_of(catalog.base_type.name)
+    n_types = len(names)
+    configs: List[HeterogeneousConfig] = []
+
+    def max_count(price: float, remaining: float) -> int:
+        cap = int(math.floor(remaining / price + 1e-9))
+        if max_per_type is not None:
+            cap = min(cap, max_per_type)
+        return max(cap, 0)
+
+    counts = [0] * n_types
+
+    def recurse(type_idx: int, remaining_budget: float) -> None:
+        if type_idx == n_types:
+            total = sum(counts)
+            if total < min_total_instances:
+                return
+            if counts[base_index] < min_base_count:
+                return
+            configs.append(HeterogeneousConfig(tuple(counts), catalog))
+            return
+        price = prices[type_idx]
+        for c in range(max_count(price, remaining_budget) + 1):
+            counts[type_idx] = c
+            recurse(type_idx + 1, remaining_budget - c * price)
+        counts[type_idx] = 0
+
+    recurse(0, budget_per_hour)
+    return configs
+
+
+def search_space_size(
+    budget_per_hour: float,
+    catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG,
+    *,
+    min_base_count: int = 0,
+    min_total_instances: int = 1,
+    max_per_type: Optional[int] = None,
+) -> int:
+    """Number of configurations :func:`enumerate_configs` would return."""
+    return len(
+        enumerate_configs(
+            budget_per_hour,
+            catalog,
+            min_base_count=min_base_count,
+            min_total_instances=min_total_instances,
+            max_per_type=max_per_type,
+        )
+    )
+
+
+def homogeneous_configs(
+    budget_per_hour: float, catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG
+) -> List[HeterogeneousConfig]:
+    """The largest affordable single-type configuration for every catalog type."""
+    check_positive(budget_per_hour, "budget_per_hour")
+    result = []
+    for itype in catalog.types:
+        count = int(math.floor(budget_per_hour / itype.price_per_hour + 1e-9))
+        if count >= 1:
+            result.append(HeterogeneousConfig.homogeneous(itype.name, count, catalog))
+    return result

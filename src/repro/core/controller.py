@@ -1,0 +1,180 @@
+"""The end-to-end Kairos serving system (paper Fig. 4 / Sec. 6).
+
+:class:`KairosServingSystem` ties the two design components together the way the
+implementation section describes: the *resource allocator* (the one-shot planner, plus
+optionally the Kairos+ online refinement) chooses the heterogeneous configuration under
+the budget, and the *central controller* (the query-distribution policy) maps arriving
+queries to the allocated instances.  The facade exposes exactly the operations the
+examples and experiments need: ``plan``, ``build_policy``, ``simulate``, and
+``measure_throughput``.
+
+The schedulers package is imported lazily inside the methods so that ``repro.core``
+does not depend on ``repro.schedulers`` at import time (the scheduler baselines import
+core components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import InstanceCatalog
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry, default_profile_registry
+from repro.core.kairos import KairosPlan, KairosPlanner
+from repro.core.kairos_plus import KairosPlusResult, KairosPlusSearch
+from repro.sim.capacity import AllowableThroughputResult, measure_allowable_throughput
+from repro.sim.simulation import SimulationReport, simulate_serving
+from repro.utils.rng import RngLike, ensure_rng
+from repro.workload.batch_sizes import BatchSizeDistribution, production_batch_distribution
+from repro.workload.generator import WorkloadSpec
+from repro.workload.query import Query
+
+
+class KairosServingSystem:
+    """High-level facade: plan a configuration and serve queries with Kairos.
+
+    Parameters
+    ----------
+    model:
+        The inference-service model (name or :class:`~repro.cloud.models.MLModel`).
+    budget_per_hour:
+        Cost budget in $/hr (the paper's default evaluation budget is 2.5).
+    profiles / catalog:
+        Cloud substrate; defaults to the calibrated synthetic registry and the
+        Table 4 catalog.
+    batch_distribution:
+        Query-size mix the planner monitors; defaults to the production-like
+        distribution.
+    use_online_latency_learning:
+        When True (default) the serving policy learns latencies online, matching the
+        paper's "all results include this overhead"; when False it reads the true
+        profiles.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, MLModel],
+        budget_per_hour: float = 2.5,
+        *,
+        profiles: Optional[ProfileRegistry] = None,
+        catalog: Optional[InstanceCatalog] = None,
+        batch_distribution: Optional[BatchSizeDistribution] = None,
+        num_monitor_samples: int = 10_000,
+        use_online_latency_learning: bool = True,
+        solver_method: str = "jv",
+        rng: RngLike = None,
+    ):
+        self.profiles = profiles if profiles is not None else default_profile_registry()
+        self.catalog = catalog if catalog is not None else self.profiles.catalog
+        self.model = model if isinstance(model, MLModel) else self.profiles.models[model]
+        self.budget_per_hour = float(budget_per_hour)
+        self.batch_distribution = (
+            batch_distribution
+            if batch_distribution is not None
+            else production_batch_distribution(self.model.max_batch_size)
+        )
+        self.use_online_latency_learning = bool(use_online_latency_learning)
+        self.solver_method = solver_method
+        self._rng = ensure_rng(rng)
+        self._plan: Optional[KairosPlan] = None
+
+    # -- planning --------------------------------------------------------------------------
+    def plan(self, *, force: bool = False) -> KairosPlan:
+        """Run (or return the cached) one-shot configuration plan."""
+        if self._plan is None or force:
+            planner = KairosPlanner(
+                self.model,
+                self.budget_per_hour,
+                profiles=self.profiles,
+                catalog=self.catalog,
+                batch_distribution=self.batch_distribution,
+                rng=self._rng,
+            )
+            self._plan = planner.plan()
+        return self._plan
+
+    @property
+    def selected_config(self) -> HeterogeneousConfig:
+        """The configuration Kairos selects without online evaluation."""
+        return self.plan().selected_config
+
+    def refine_with_kairos_plus(
+        self,
+        evaluator: Optional[Callable[[HeterogeneousConfig], float]] = None,
+        *,
+        max_evaluations: Optional[int] = None,
+        workload_spec: Optional[WorkloadSpec] = None,
+    ) -> KairosPlusResult:
+        """Run the Kairos+ online search seeded by the plan's upper-bound ranking.
+
+        ``evaluator`` defaults to a capacity measurement of each candidate configuration
+        under the Kairos policy (one "online evaluation" per call).
+        """
+        plan = self.plan()
+        if evaluator is None:
+            spec = workload_spec if workload_spec is not None else WorkloadSpec(
+                batch_sizes=self.batch_distribution, num_queries=600
+            )
+
+            def evaluator(config: HeterogeneousConfig) -> float:
+                return self.measure_throughput(config=config, workload_spec=spec).qps
+
+        search = KairosPlusSearch(plan.ranked, evaluator, max_evaluations=max_evaluations)
+        return search.run()
+
+    # -- serving ---------------------------------------------------------------------------
+    def build_policy(self):
+        """A fresh Kairos query-distribution policy (one per serving run)."""
+        from repro.schedulers.kairos_policy import KairosPolicy
+
+        return KairosPolicy(
+            use_perfect_estimator=not self.use_online_latency_learning,
+            solver_method=self.solver_method,
+        )
+
+    def simulate(
+        self,
+        queries: Sequence[Query],
+        *,
+        config: Optional[HeterogeneousConfig] = None,
+        dispatch_overhead_ms: float = 0.0,
+        rng: RngLike = None,
+    ) -> SimulationReport:
+        """Serve a concrete query stream on the planned (or a given) configuration."""
+        chosen = config if config is not None else self.selected_config
+        return simulate_serving(
+            chosen,
+            self.model,
+            self.profiles,
+            self.build_policy(),
+            queries,
+            dispatch_overhead_ms=dispatch_overhead_ms,
+            rng=rng if rng is not None else self._rng,
+        )
+
+    def measure_throughput(
+        self,
+        *,
+        config: Optional[HeterogeneousConfig] = None,
+        workload_spec: Optional[WorkloadSpec] = None,
+        num_queries: Optional[int] = None,
+        rng: RngLike = None,
+        **capacity_kwargs,
+    ) -> AllowableThroughputResult:
+        """Measure the allowable throughput of the planned (or a given) configuration."""
+        chosen = config if config is not None else self.selected_config
+        spec = workload_spec if workload_spec is not None else WorkloadSpec(
+            batch_sizes=self.batch_distribution
+        )
+        return measure_allowable_throughput(
+            chosen,
+            self.model,
+            self.profiles,
+            self.build_policy,
+            workload_spec=spec,
+            num_queries=num_queries,
+            rng=rng if rng is not None else self._rng,
+            **capacity_kwargs,
+        )

@@ -1,0 +1,151 @@
+"""The ``L`` matrix of the query-distribution optimization (paper Table 2, Eqs. 2-8).
+
+``L[i, j]`` is the time instance ``j`` is occupied if it serves query ``i`` from the
+current scheduling instant ``t0``: the predicted service latency of the query's batch
+size on the instance's type, plus the instance's remaining busy time (a query currently
+being served must finish first), plus the dispatch overhead.
+
+Two transformations turn the QoS-constrained matching into a plain assignment problem:
+
+* the QoS constraint ``(L_ij + W_i) <= T_qos`` (Eq. 3, with the paper's noise headroom
+  ``xi = 0.98``) is folded into the matrix by replacing violating entries with a large
+  penalty ``10 * T_qos`` (Eq. 8);
+* every entry is weighted by the instance's heterogeneity coefficient ``C_j``
+  (Definition 1), producing the objective ``sum C_j * L_ij * P_ij`` of Eq. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.latency_model import LatencyEstimator
+from repro.sim.server import ServerInstance
+from repro.utils.validation import check_positive
+from repro.workload.query import Query
+
+#: Paper Sec. 5.1 "Remarks": completion times predicted within 2% of the QoS target are
+#: already treated as violations, as a safeguard against prediction noise.
+DEFAULT_QOS_HEADROOM = 0.98
+
+#: Paper Eq. 8: QoS-violating pairs are penalized with 10x the QoS target.
+DEFAULT_PENALTY_FACTOR = 10.0
+
+
+@dataclass(frozen=True)
+class CostMatrix:
+    """The assembled matrices for one scheduling round.
+
+    Attributes
+    ----------
+    usage_ms:
+        Raw ``L`` matrix (occupation time of each instance by each query), before the
+        QoS penalty.
+    penalized_ms:
+        ``L`` after applying Eq. 8 (QoS-violating entries replaced by the penalty).
+    weighted:
+        ``C_j * penalized_ms`` — the matrix handed to the assignment solver.
+    qos_feasible:
+        Boolean mask: True where serving the query on the instance is predicted to meet
+        QoS including the query's waiting time so far.
+    """
+
+    usage_ms: np.ndarray
+    penalized_ms: np.ndarray
+    weighted: np.ndarray
+    qos_feasible: np.ndarray
+    query_ids: Tuple[int, ...]
+    server_ids: Tuple[int, ...]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.weighted.shape
+
+    def feasible_fraction(self) -> float:
+        """Fraction of (query, instance) pairs predicted to meet QoS."""
+        if self.qos_feasible.size == 0:
+            return 0.0
+        return float(np.mean(self.qos_feasible))
+
+
+def build_cost_matrix(
+    queries: Sequence[Query],
+    servers: Sequence[ServerInstance],
+    estimator: LatencyEstimator,
+    now_ms: float,
+    qos_ms: float,
+    coefficients: Mapping[str, float],
+    *,
+    qos_headroom: float = DEFAULT_QOS_HEADROOM,
+    penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+) -> CostMatrix:
+    """Assemble the cost matrix for one scheduling round.
+
+    Parameters
+    ----------
+    queries / servers:
+        The pending queries (rows) and the candidate instances (columns).
+    estimator:
+        Latency predictor used for the service-latency component of ``L``.
+    now_ms:
+        The scheduling instant ``t0``.
+    qos_ms:
+        The model's QoS target ``T_qos``.
+    coefficients:
+        Heterogeneity coefficients ``C_j`` keyed by instance-type name.
+    qos_headroom:
+        The paper's ``xi`` safeguard; a pair is flagged infeasible when the predicted
+        completion time exceeds ``xi * T_qos``.
+    penalty_factor:
+        Eq. 8 penalty multiplier applied to infeasible entries.
+    """
+    check_positive(qos_ms, "qos_ms")
+    check_positive(qos_headroom, "qos_headroom")
+    check_positive(penalty_factor, "penalty_factor")
+    if not queries or not servers:
+        empty = np.zeros((len(queries), len(servers)))
+        return CostMatrix(
+            usage_ms=empty,
+            penalized_ms=empty.copy(),
+            weighted=empty.copy(),
+            qos_feasible=empty.astype(bool),
+            query_ids=tuple(q.query_id for q in queries),
+            server_ids=tuple(s.server_id for s in servers),
+        )
+
+    m = len(queries)
+    n = len(servers)
+    batches = np.asarray([q.batch_size for q in queries], dtype=int)
+    waits = np.asarray([q.waiting_time_ms(now_ms) for q in queries], dtype=float)
+
+    usage = np.empty((m, n), dtype=float)
+    weights = np.empty(n, dtype=float)
+    for j, server in enumerate(servers):
+        type_name = server.type_name
+        if type_name not in coefficients:
+            raise KeyError(f"no heterogeneity coefficient for instance type {type_name!r}")
+        predicted = estimator.predict_many_ms(type_name, batches)
+        usage[:, j] = (
+            server.remaining_busy_ms(now_ms) + server.dispatch_overhead_ms + predicted
+        )
+        weights[j] = coefficients[type_name]
+
+    if np.any(weights <= 0):
+        raise ValueError("heterogeneity coefficients must be positive")
+
+    # Eq. 3 with the xi headroom: completion time (usage) plus prior waiting time must
+    # stay within xi * T_qos, otherwise the pair is penalized per Eq. 8.
+    feasible = (usage + waits[:, None]) <= qos_headroom * qos_ms + 1e-9
+    penalized = np.where(feasible, usage, penalty_factor * qos_ms)
+    weighted = penalized * weights[None, :]
+
+    return CostMatrix(
+        usage_ms=usage,
+        penalized_ms=penalized,
+        weighted=weighted,
+        qos_feasible=feasible,
+        query_ids=tuple(q.query_id for q in queries),
+        server_ids=tuple(s.server_id for s in servers),
+    )

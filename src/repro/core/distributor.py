@@ -1,0 +1,149 @@
+"""Kairos's query-distribution mechanism (paper Sec. 5.1).
+
+At every scheduling point the distributor builds the heterogeneity-weighted,
+QoS-penalized cost matrix over (pending queries) x (instances) and solves the resulting
+rectangular min-cost bipartite matching with the Jonker-Volgenant algorithm.  The
+matching maximizes the future availability of all instances combined (Eq. 2), which is
+what lets Kairos keep larger, higher-speedup queries on powerful instances and pack
+smaller queries onto the cheaper auxiliary instances without violating QoS (Fig. 5).
+
+Per Eq. 6 at most one query is assigned to each instance per round; unassigned queries
+remain in the central queue and their accumulated waiting time ``W_i`` tightens their
+QoS constraint in later rounds, which prevents starvation (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_matrix import (
+    DEFAULT_PENALTY_FACTOR,
+    DEFAULT_QOS_HEADROOM,
+    CostMatrix,
+    build_cost_matrix,
+)
+from repro.core.latency_model import LatencyEstimator
+from repro.sim.server import ServerInstance
+from repro.solvers.assignment import solve_assignment
+from repro.utils.validation import check_positive_int
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One query-to-instance decision produced by a distribution round."""
+
+    query: Query
+    server_index: int
+    predicted_usage_ms: float
+    predicted_feasible: bool
+
+
+@dataclass(frozen=True)
+class DistributionRound:
+    """Full outcome of one distribution round (assignments + the matrices behind them)."""
+
+    assignments: Tuple[Assignment, ...]
+    cost_matrix: CostMatrix
+    objective_value: float
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+class QueryDistributor:
+    """Solves the per-round query-to-instance matching.
+
+    Parameters
+    ----------
+    estimator:
+        Latency predictor used to build the ``L`` matrix.
+    coefficients:
+        Heterogeneity coefficients ``C_j`` keyed by instance-type name.
+    qos_ms:
+        The model's QoS target.
+    solver_method:
+        Assignment solver passed to :func:`repro.solvers.assignment.solve_assignment`
+        (default: the from-scratch Jonker-Volgenant implementation).
+    max_queries_per_round:
+        Upper bound on how many pending queries enter one matching (earliest arrivals
+        first).  The paper's controller solves 20x20 matchings in well under a
+        millisecond; bounding the round size keeps the distributor's cost independent of
+        transient queue build-up.
+    """
+
+    def __init__(
+        self,
+        estimator: LatencyEstimator,
+        coefficients: Mapping[str, float],
+        qos_ms: float,
+        *,
+        solver_method: str = "jv",
+        qos_headroom: float = DEFAULT_QOS_HEADROOM,
+        penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+        max_queries_per_round: Optional[int] = 64,
+    ):
+        if qos_ms <= 0:
+            raise ValueError("qos_ms must be positive")
+        self.estimator = estimator
+        self.coefficients = dict(coefficients)
+        self.qos_ms = float(qos_ms)
+        self.solver_method = solver_method
+        self.qos_headroom = float(qos_headroom)
+        self.penalty_factor = float(penalty_factor)
+        if max_queries_per_round is not None:
+            check_positive_int(max_queries_per_round, "max_queries_per_round")
+        self.max_queries_per_round = max_queries_per_round
+
+    def distribute(
+        self,
+        now_ms: float,
+        pending: Sequence[Query],
+        servers: Sequence[ServerInstance],
+    ) -> DistributionRound:
+        """Match pending queries to instances at time ``now_ms``.
+
+        Queries beyond ``max_queries_per_round`` (in arrival order) are deferred to the
+        next round.  Exactly ``min(#considered queries, #servers)`` assignments are
+        produced (Eq. 7).
+        """
+        if not pending or not servers:
+            empty_matrix = build_cost_matrix(
+                [], [], self.estimator, now_ms, self.qos_ms, self.coefficients
+            )
+            return DistributionRound(assignments=(), cost_matrix=empty_matrix, objective_value=0.0)
+
+        considered = list(pending)
+        if self.max_queries_per_round is not None and len(considered) > self.max_queries_per_round:
+            considered = considered[: self.max_queries_per_round]
+
+        matrix = build_cost_matrix(
+            considered,
+            servers,
+            self.estimator,
+            now_ms,
+            self.qos_ms,
+            self.coefficients,
+            qos_headroom=self.qos_headroom,
+            penalty_factor=self.penalty_factor,
+        )
+        result = solve_assignment(matrix.weighted, method=self.solver_method)
+
+        assignments: List[Assignment] = []
+        for row, col in zip(result.row_indices, result.col_indices):
+            assignments.append(
+                Assignment(
+                    query=considered[int(row)],
+                    server_index=int(col),
+                    predicted_usage_ms=float(matrix.usage_ms[row, col]),
+                    predicted_feasible=bool(matrix.qos_feasible[row, col]),
+                )
+            )
+        return DistributionRound(
+            assignments=tuple(assignments),
+            cost_matrix=matrix,
+            objective_value=float(result.total_cost),
+        )

@@ -1,0 +1,77 @@
+"""Heterogeneity coefficients (paper Definition 1).
+
+One second of GPU time is not worth one second of CPU time.  Kairos weights instance
+usage with a per-type coefficient ``C_j in (0, 1]``: the base type gets 1 and every
+other type gets the ratio of the *largest* query's latency on the base type to its
+latency on that type (larger queries best expose the relative capability of the
+hardware).  The paper's example: largest-query latencies of 100 / 200 / 500 ms give
+coefficients 1 / 0.5 / 0.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry
+from repro.core.latency_model import LatencyEstimator, PerfectLatencyEstimator
+from repro.utils.validation import check_positive_int
+
+
+def heterogeneity_coefficients(
+    estimator: LatencyEstimator,
+    type_names: Sequence[str],
+    base_type: str,
+    *,
+    reference_batch_size: int = 1000,
+) -> Dict[str, float]:
+    """Compute ``C_j`` for each type in ``type_names``.
+
+    Parameters
+    ----------
+    estimator:
+        Latency source (true profiles or the online learner).
+    base_type:
+        The normalization point; its coefficient is exactly 1.
+    reference_batch_size:
+        The "largest query the system can serve" — the paper uses the 1000-request cap.
+
+    Returns
+    -------
+    Mapping of type name to coefficient, clipped into ``(0, 1]``.
+    """
+    check_positive_int(reference_batch_size, "reference_batch_size")
+    if base_type not in type_names:
+        raise ValueError(f"base type {base_type!r} is not among {list(type_names)}")
+    base_latency = float(estimator.predict_ms(base_type, reference_batch_size))
+    if base_latency <= 0:
+        raise ValueError("base-type latency for the reference batch must be positive")
+    coefficients: Dict[str, float] = {}
+    for name in type_names:
+        if name == base_type:
+            coefficients[name] = 1.0
+            continue
+        latency = float(estimator.predict_ms(name, reference_batch_size))
+        if latency <= 0:
+            raise ValueError(f"latency for type {name!r} must be positive")
+        # Definition 1 restricts C_j to (0, 1]; if a type were somehow faster than the
+        # base on the largest query it is simply treated as equally important.
+        coefficients[name] = min(1.0, base_latency / latency)
+    return coefficients
+
+
+def coefficients_from_profiles(
+    profiles: ProfileRegistry,
+    model: Union[str, MLModel],
+    type_names: Optional[Iterable[str]] = None,
+    *,
+    base_type: Optional[str] = None,
+    reference_batch_size: Optional[int] = None,
+) -> Dict[str, float]:
+    """Convenience wrapper computing coefficients straight from true profiles."""
+    mdl = model if isinstance(model, MLModel) else profiles.models[model]
+    names = list(type_names) if type_names is not None else profiles.catalog.names
+    base = base_type if base_type is not None else profiles.catalog.base_type.name
+    ref = reference_batch_size if reference_batch_size is not None else mdl.max_batch_size
+    estimator = PerfectLatencyEstimator(profiles, mdl)
+    return heterogeneity_coefficients(estimator, names, base, reference_batch_size=ref)

@@ -1,0 +1,151 @@
+"""The Kairos one-shot configuration planner (paper Sec. 5.2).
+
+Given a model, a cost budget, the latency profiles, and the observed query-size mix, the
+planner enumerates every configuration under the budget, computes the closed-form
+throughput upper bound of each, and applies the similarity-based selection rule — all
+without a single online evaluation.  This is the component that lets Kairos react to
+load changes "in one shot" (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry, default_profile_registry
+from repro.core.config_space import enumerate_configs
+from repro.core.selection import SelectionResult, select_configuration
+from repro.core.upper_bound import ThroughputUpperBoundEstimator
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+from repro.workload.batch_sizes import BatchSizeDistribution, production_batch_distribution
+
+
+@dataclass(frozen=True)
+class KairosPlan:
+    """Result of one planning pass."""
+
+    model_name: str
+    budget_per_hour: float
+    selected_config: HeterogeneousConfig
+    selection: SelectionResult
+    ranked: Tuple[Tuple[HeterogeneousConfig, float], ...]
+    search_space_size: int
+    planning_seconds: float
+
+    @property
+    def selected_upper_bound(self) -> float:
+        for config, bound in self.ranked:
+            if config == self.selected_config:
+                return bound
+        raise LookupError("selected configuration missing from the ranked list")
+
+    def top(self, k: int) -> List[Tuple[HeterogeneousConfig, float]]:
+        """The ``k`` highest-upper-bound configurations."""
+        return list(self.ranked[:k])
+
+
+class KairosPlanner:
+    """Enumerate, rank by upper bound, and select a configuration without evaluation.
+
+    Parameters
+    ----------
+    profiles / model / catalog:
+        The cloud substrate.
+    budget_per_hour:
+        The cost budget the configuration must fit.
+    batch_samples:
+        Observed query batch sizes (the query monitor's window).  Alternatively pass a
+        ``batch_distribution`` and the planner draws ``num_monitor_samples`` from it,
+        emulating the monitoring window.
+    min_base_count / max_per_type:
+        Forwarded to the configuration enumeration.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, MLModel],
+        budget_per_hour: float,
+        *,
+        profiles: Optional[ProfileRegistry] = None,
+        catalog: Optional[InstanceCatalog] = None,
+        batch_samples: Optional[Sequence[int]] = None,
+        batch_distribution: Optional[BatchSizeDistribution] = None,
+        num_monitor_samples: int = 10_000,
+        rng: RngLike = None,
+        min_base_count: int = 0,
+        max_per_type: Optional[int] = None,
+        top_k_base_check: int = 3,
+        top_k_similarity: int = 10,
+    ):
+        check_positive(budget_per_hour, "budget_per_hour")
+        self.profiles = profiles if profiles is not None else default_profile_registry()
+        self.catalog = catalog if catalog is not None else self.profiles.catalog
+        self.model = model if isinstance(model, MLModel) else self.profiles.models[model]
+        self.budget_per_hour = float(budget_per_hour)
+        self.min_base_count = min_base_count
+        self.max_per_type = max_per_type
+        self.top_k_base_check = top_k_base_check
+        self.top_k_similarity = top_k_similarity
+
+        if batch_samples is None:
+            dist = (
+                batch_distribution
+                if batch_distribution is not None
+                else production_batch_distribution(self.model.max_batch_size)
+            )
+            batch_samples = dist.sample(num_monitor_samples, ensure_rng(rng))
+        self.batch_samples = np.asarray(batch_samples, dtype=int)
+        self.estimator = ThroughputUpperBoundEstimator(
+            self.profiles, self.model, self.batch_samples, catalog=self.catalog
+        )
+
+    def enumerate(self) -> List[HeterogeneousConfig]:
+        """The configuration search space under the budget."""
+        return enumerate_configs(
+            self.budget_per_hour,
+            self.catalog,
+            min_base_count=self.min_base_count,
+            max_per_type=self.max_per_type,
+        )
+
+    def plan(self, configs: Optional[Sequence[HeterogeneousConfig]] = None) -> KairosPlan:
+        """Run the full planning pass; returns the selected configuration and diagnostics."""
+        start = time.perf_counter()
+        space = list(configs) if configs is not None else self.enumerate()
+        if not space:
+            raise ValueError(
+                f"no configuration fits the budget of {self.budget_per_hour}$/hr"
+            )
+        ranked = self.estimator.rank_configs(space)
+        selection = select_configuration(
+            ranked,
+            top_k_base_check=self.top_k_base_check,
+            top_k_similarity=self.top_k_similarity,
+        )
+        elapsed = time.perf_counter() - start
+        return KairosPlan(
+            model_name=self.model.name,
+            budget_per_hour=self.budget_per_hour,
+            selected_config=selection.selected,
+            selection=selection,
+            ranked=tuple(ranked),
+            search_space_size=len(space),
+            planning_seconds=elapsed,
+        )
+
+    def update_batch_samples(self, batch_samples: Sequence[int]) -> None:
+        """Replace the monitored query-size window (load-change adaptation, Fig. 12)."""
+        samples = np.asarray(batch_samples, dtype=int)
+        if samples.size == 0:
+            raise ValueError("batch_samples must be non-empty")
+        self.batch_samples = samples
+        self.estimator = ThroughputUpperBoundEstimator(
+            self.profiles, self.model, samples, catalog=self.catalog
+        )

@@ -1,0 +1,138 @@
+"""Kairos+: the upper-bound-assisted online search (paper Algorithm 1).
+
+Kairos+ spends a *small* number of online evaluations to find the true optimum instead
+of trusting the one-shot selection.  It walks the configurations in decreasing order of
+their upper bound and, after every evaluation, prunes
+
+* every configuration whose upper bound does not exceed the best throughput observed so
+  far (such configurations cannot win), and
+* every sub-configuration of the evaluated configuration (removing instances can never
+  increase throughput).
+
+Tight upper bounds therefore translate directly into fewer evaluations, which is what
+Figs. 10 and 11 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+
+#: Evaluation function: configuration -> measured allowable throughput (QPS).
+ConfigEvaluator = Callable[[HeterogeneousConfig], float]
+
+
+@dataclass(frozen=True)
+class KairosPlusResult:
+    """Outcome of one Kairos+ search."""
+
+    best_config: Optional[HeterogeneousConfig]
+    best_throughput: float
+    evaluations: Tuple[Tuple[HeterogeneousConfig, float], ...]
+    search_space_size: int
+    pruned_by_bound: int
+    pruned_by_subconfig: int
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def evaluated_fraction(self) -> float:
+        """Fraction of the search space that was actually evaluated online (Fig. 10)."""
+        if self.search_space_size == 0:
+            return 0.0
+        return self.num_evaluations / self.search_space_size
+
+
+class KairosPlusSearch:
+    """Algorithm 1 of the paper.
+
+    Parameters
+    ----------
+    ranked:
+        ``(config, upper_bound)`` pairs sorted by decreasing upper bound — typically
+        ``KairosPlanner.plan().ranked``.
+    evaluator:
+        Performs one online evaluation (one allowable-throughput measurement) and
+        returns the measured QPS.
+    max_evaluations:
+        Optional safety cap; the paper's algorithm runs until every configuration has
+        been evaluated or pruned.
+    """
+
+    def __init__(
+        self,
+        ranked: Sequence[Tuple[HeterogeneousConfig, float]],
+        evaluator: ConfigEvaluator,
+        *,
+        max_evaluations: Optional[int] = None,
+    ):
+        if not ranked:
+            raise ValueError("ranked configuration list must be non-empty")
+        bounds = [b for _, b in ranked]
+        if any(b2 > b1 + 1e-9 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("ranked configurations must be sorted by decreasing upper bound")
+        self.ranked = list(ranked)
+        self.evaluator = evaluator
+        self.max_evaluations = max_evaluations
+
+    def run(self) -> KairosPlusResult:
+        """Execute the pruning-based search to completion."""
+        candidates: Dict[Tuple[int, ...], HeterogeneousConfig] = {
+            tuple(config.counts): config for config, _ in self.ranked
+        }
+        bound_of: Dict[Tuple[int, ...], float] = {
+            tuple(config.counts): bound for config, bound in self.ranked
+        }
+        best_config: Optional[HeterogeneousConfig] = None
+        best_throughput = 0.0
+        evaluations: List[Tuple[HeterogeneousConfig, float]] = []
+        pruned_by_bound = 0
+        pruned_by_subconfig = 0
+
+        for config, bound in self.ranked:
+            key = tuple(config.counts)
+            if key not in candidates:
+                continue  # already pruned
+            if self.max_evaluations is not None and len(evaluations) >= self.max_evaluations:
+                break
+
+            throughput = float(self.evaluator(config))
+            evaluations.append((config, throughput))
+            candidates.pop(key, None)
+
+            if throughput > best_throughput:
+                best_throughput = throughput
+                best_config = config
+                # Filter every candidate whose upper bound cannot beat the new best.
+                to_drop = [
+                    k for k in candidates if bound_of[k] <= best_throughput + 1e-12
+                ]
+                for k in to_drop:
+                    candidates.pop(k, None)
+                pruned_by_bound += len(to_drop)
+
+            # Prune all sub-configurations of the evaluated configuration.
+            sub_keys = [
+                k for k, cand in candidates.items() if cand.is_sub_config_of(config)
+            ]
+            for k in sub_keys:
+                candidates.pop(k, None)
+            pruned_by_subconfig += len(sub_keys)
+
+            if not candidates:
+                break
+
+        return KairosPlusResult(
+            best_config=best_config,
+            best_throughput=best_throughput,
+            evaluations=tuple(evaluations),
+            search_space_size=len(self.ranked),
+            pruned_by_bound=pruned_by_bound,
+            pruned_by_subconfig=pruned_by_subconfig,
+        )

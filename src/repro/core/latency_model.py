@@ -1,0 +1,178 @@
+"""Query-latency prediction for the Kairos controller.
+
+The paper's controller must predict the latency of any batch size on any instance type
+to build the ``L`` matrix.  It observes (Sec. 5.1, "Remarks") that inference latency is
+deterministic and almost perfectly linear in the batch size, so Kairos "starts with a
+linear model ... and quickly transitions into a lookup table after processing more
+queries", learning *completely online* from the queries it serves, with no prior
+profiling.
+
+Three estimators are provided:
+
+* :class:`PerfectLatencyEstimator` — reads the true profiles (used for the baselines,
+  which the paper deliberately advantages with accurate latency knowledge);
+* :class:`OnlineLatencyEstimator` — the Kairos learner: per-type lookup table of
+  observed (batch, latency) pairs backed by an online least-squares linear fit for
+  batches not yet seen;
+* :class:`NoisyLatencyEstimator` — wraps another estimator and adds Gaussian white
+  noise to predictions (Fig. 16b's robustness experiment).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class LatencyEstimator:
+    """Interface: predict and learn per-(instance type, batch size) query latency."""
+
+    def predict_ms(self, instance_type: str, batch_size: int) -> float:
+        """Predicted service latency in milliseconds."""
+        raise NotImplementedError
+
+    def observe(self, instance_type: str, batch_size: int, latency_ms: float) -> None:
+        """Feed back one observed (batch, latency) pair; default is stateless."""
+
+    def predict_many_ms(self, instance_type: str, batch_sizes) -> np.ndarray:
+        """Vectorized prediction (default: loop over :meth:`predict_ms`)."""
+        return np.asarray(
+            [self.predict_ms(instance_type, int(b)) for b in np.atleast_1d(batch_sizes)],
+            dtype=float,
+        )
+
+
+class PerfectLatencyEstimator(LatencyEstimator):
+    """Oracle estimator backed by the true latency profiles."""
+
+    def __init__(self, profiles: ProfileRegistry, model: Union[str, MLModel]):
+        self._profiles = profiles
+        self._model = model if isinstance(model, str) else model.name
+
+    def predict_ms(self, instance_type: str, batch_size: int) -> float:
+        return float(self._profiles.latency_ms(self._model, instance_type, batch_size))
+
+    def predict_many_ms(self, instance_type: str, batch_sizes) -> np.ndarray:
+        return np.asarray(
+            self._profiles.latency_ms(self._model, instance_type, np.atleast_1d(batch_sizes)),
+            dtype=float,
+        )
+
+
+@dataclass
+class _TypeState:
+    """Per-instance-type learning state of the online estimator."""
+
+    table: Dict[int, Tuple[float, int]]  # batch -> (mean latency, observation count)
+    sum_b: float = 0.0
+    sum_l: float = 0.0
+    sum_bb: float = 0.0
+    sum_bl: float = 0.0
+    count: int = 0
+
+    def distinct_batches(self) -> int:
+        return len(self.table)
+
+
+class OnlineLatencyEstimator(LatencyEstimator):
+    """Kairos's online latency learner (lookup table + linear model fallback).
+
+    Prediction rules, in order:
+
+    1. exact batch size already observed → mean of its observations (lookup table);
+    2. at least two distinct batch sizes observed → online least-squares linear fit
+       ``intercept + slope * batch`` (slope clamped non-negative);
+    3. exactly one distinct batch observed → proportional scaling through the origin;
+    4. nothing observed yet → an optimistic prior (``cold_start_prior_ms``), which makes
+       the distributor willing to try the instance and thereby gather the observation.
+    """
+
+    def __init__(self, cold_start_prior_ms: float = 1.0):
+        check_positive(cold_start_prior_ms, "cold_start_prior_ms")
+        self.cold_start_prior_ms = float(cold_start_prior_ms)
+        self._state: Dict[str, _TypeState] = {}
+
+    # -- learning ---------------------------------------------------------------------
+    def observe(self, instance_type: str, batch_size: int, latency_ms: float) -> None:
+        check_positive(latency_ms, "latency_ms")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        state = self._state.setdefault(instance_type, _TypeState(table={}))
+        mean, count = state.table.get(int(batch_size), (0.0, 0))
+        count += 1
+        mean += (latency_ms - mean) / count
+        state.table[int(batch_size)] = (mean, count)
+        state.sum_b += batch_size
+        state.sum_l += latency_ms
+        state.sum_bb += batch_size * batch_size
+        state.sum_bl += batch_size * latency_ms
+        state.count += 1
+
+    def observations(self, instance_type: str) -> int:
+        """Number of observations folded in for ``instance_type``."""
+        state = self._state.get(instance_type)
+        return state.count if state else 0
+
+    # -- prediction -------------------------------------------------------------------
+    def predict_ms(self, instance_type: str, batch_size: int) -> float:
+        state = self._state.get(instance_type)
+        if state is None or state.count == 0:
+            return self.cold_start_prior_ms
+        exact = state.table.get(int(batch_size))
+        if exact is not None:
+            return exact[0]
+        if state.distinct_batches() >= 2:
+            intercept, slope = self._linear_fit(state)
+            return max(1e-6, intercept + slope * batch_size)
+        # single distinct batch: proportional scaling through the origin
+        only_batch, (only_mean, _) = next(iter(state.table.items()))
+        return max(1e-6, only_mean * batch_size / only_batch)
+
+    def linear_coefficients(self, instance_type: str) -> Optional[Tuple[float, float]]:
+        """The current (intercept, slope) fit, or ``None`` with <2 distinct batches."""
+        state = self._state.get(instance_type)
+        if state is None or state.distinct_batches() < 2:
+            return None
+        return self._linear_fit(state)
+
+    @staticmethod
+    def _linear_fit(state: _TypeState) -> Tuple[float, float]:
+        n = state.count
+        denom = n * state.sum_bb - state.sum_b * state.sum_b
+        if abs(denom) < 1e-12:
+            mean_lat = state.sum_l / n
+            return mean_lat, 0.0
+        slope = (n * state.sum_bl - state.sum_b * state.sum_l) / denom
+        slope = max(slope, 0.0)
+        intercept = (state.sum_l - slope * state.sum_b) / n
+        return intercept, slope
+
+
+class NoisyLatencyEstimator(LatencyEstimator):
+    """Adds multiplicative Gaussian white noise to another estimator's predictions.
+
+    Used by the Fig. 16b robustness experiment (5% noise) to emulate cloud performance
+    variability in the *prediction* path while the true service times stay unchanged.
+    """
+
+    def __init__(self, inner: LatencyEstimator, relative_std: float, rng: RngLike = None):
+        check_non_negative(relative_std, "relative_std")
+        self.inner = inner
+        self.relative_std = float(relative_std)
+        self._rng = ensure_rng(rng)
+
+    def predict_ms(self, instance_type: str, batch_size: int) -> float:
+        base = self.inner.predict_ms(instance_type, batch_size)
+        factor = 1.0 + self.relative_std * float(self._rng.standard_normal())
+        return max(1e-6, base * factor)
+
+    def observe(self, instance_type: str, batch_size: int, latency_ms: float) -> None:
+        self.inner.observe(instance_type, batch_size, latency_ms)

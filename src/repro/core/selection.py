@@ -1,0 +1,80 @@
+"""Kairos's similarity-based configuration selection (paper Sec. 5.2, final step).
+
+A higher upper bound does not guarantee a higher actual throughput, so Kairos does not
+blindly take the top-ranked configuration.  Instead:
+
+1. if the top-3 upper-bound configurations all have the same number of base instances,
+   the top-1 is trusted and selected;
+2. otherwise, among the top-10 configurations the one with the smallest sum of squared
+   Euclidean distances to the other nine is selected — i.e. the configuration closest to
+   the centroid of the high-upper-bound cluster, on the intuition that the truly good
+   configurations form a contiguous region of the space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of the similarity-based selection."""
+
+    selected: HeterogeneousConfig
+    selected_rank: int
+    rule: str  # "top1-same-base" or "min-sse-centroid"
+    candidates: Tuple[Tuple[HeterogeneousConfig, float], ...]
+    distance_sums: Tuple[float, ...]
+
+
+def select_configuration(
+    ranked: Sequence[Tuple[HeterogeneousConfig, float]],
+    *,
+    top_k_base_check: int = 3,
+    top_k_similarity: int = 10,
+) -> SelectionResult:
+    """Apply the selection rule to ``ranked`` (configs sorted by decreasing upper bound).
+
+    Parameters
+    ----------
+    ranked:
+        ``(config, upper_bound)`` pairs sorted with the highest bound first, e.g. the
+        output of :meth:`ThroughputUpperBoundEstimator.rank_configs`.
+    top_k_base_check / top_k_similarity:
+        The paper's 3 and 10.
+    """
+    if not ranked:
+        raise ValueError("ranked configuration list must be non-empty")
+    if top_k_base_check < 1 or top_k_similarity < 1:
+        raise ValueError("top-k parameters must be >= 1")
+
+    head = list(ranked[: max(top_k_base_check, 1)])
+    base_counts = {config.base_count for config, _ in head}
+    if len(head) >= top_k_base_check and len(base_counts) == 1:
+        return SelectionResult(
+            selected=ranked[0][0],
+            selected_rank=0,
+            rule="top1-same-base",
+            candidates=tuple(ranked[:top_k_similarity]),
+            distance_sums=(),
+        )
+
+    candidates = list(ranked[:top_k_similarity])
+    vectors = np.asarray([config.as_vector() for config, _ in candidates], dtype=float)
+    # pairwise squared Euclidean distances
+    diff = vectors[:, None, :] - vectors[None, :, :]
+    sq_dist = np.sum(diff * diff, axis=2)
+    distance_sums = sq_dist.sum(axis=1)
+    best_idx = int(np.argmin(distance_sums))
+    return SelectionResult(
+        selected=candidates[best_idx][0],
+        selected_rank=best_idx,
+        rule="min-sse-centroid",
+        candidates=tuple(candidates),
+        distance_sums=tuple(float(d) for d in distance_sums),
+    )

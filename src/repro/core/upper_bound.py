@@ -1,0 +1,262 @@
+"""Throughput upper-bound estimation (paper Sec. 5.2, Eqs. 9-15).
+
+Evaluating the real allowable throughput of a configuration is expensive (it requires
+allocating instances and driving load).  Kairos instead computes, in closed form, an
+*upper bound* on the throughput any query-distribution policy could achieve on that
+configuration, and uses the bound only to rank configurations.
+
+The model: partition the query mix at the auxiliary types' QoS cutoff batch size ``s``.
+A fraction ``f`` of queries (those with batch <= s) can run on auxiliary instances at
+their standalone rate ``Q_a``; the remaining ``1 - f`` *must* run on base instances,
+which serve those larger-than-``s`` queries at rate ``Q_b^{s+}``.  Whichever side
+saturates first is the bottleneck:
+
+* base bottleneck (``u * Q_b^{s+} <= (1-f)/f * sum_i v_i Q_a^i``): the bound is
+  ``u * Q_b^{s+} / (1 - f)`` (Eqs. 9/12);
+* auxiliary bottleneck: the bound is ``sum_i v_i Q_a^i / f`` plus the base types'
+  left-over slack converted back into full-mix throughput (Eqs. 11/13/15).
+
+With several auxiliary types the paper approximates all of them as sharing the largest
+cutoff ``s`` (and hence the largest fraction ``f' = max_i f_i``), which only makes the
+bound more optimistic — rankings are preserved (Sec. 8.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import InstanceCatalog
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+from repro.workload.batch_sizes import BatchSizeDistribution
+
+
+@dataclass(frozen=True)
+class UpperBoundInputs:
+    """The per-configuration rates entering Eq. 15 (useful for reporting and tests).
+
+    ``aux`` holds one ``(count, q_a)`` pair per auxiliary type with a non-zero count.
+    """
+
+    base_count: int
+    q_b: float
+    q_b_splus: float
+    aux: Tuple[Tuple[int, float], ...]
+    f: float
+    s: int
+
+
+def upper_bound_from_rates(
+    base_count: int,
+    q_b: float,
+    q_b_splus: float,
+    aux: Sequence[Tuple[int, float]],
+    f: float,
+) -> float:
+    """Eq. 15 evaluated directly from rates (the Fig. 7 worked examples call this).
+
+    Parameters
+    ----------
+    base_count:
+        ``u`` — number of base instances.
+    q_b:
+        Standalone full-mix throughput of one base instance.
+    q_b_splus:
+        Throughput of one base instance on the larger-than-``s`` queries only.
+    aux:
+        ``(v_i, Q_a^i)`` pairs for the auxiliary types present.
+    f:
+        Fraction of queries with batch size at or below the cutoff ``s``.
+    """
+    if base_count < 0:
+        raise ValueError("base_count must be non-negative")
+    if not 0.0 <= f <= 1.0:
+        raise ValueError(f"f must lie in [0, 1], got {f}")
+    for v, q_a in aux:
+        if v < 0 or q_a < 0:
+            raise ValueError("auxiliary counts and rates must be non-negative")
+    if q_b < 0 or q_b_splus < 0:
+        raise ValueError("base rates must be non-negative")
+
+    aux_rate = float(sum(v * q_a for v, q_a in aux))
+
+    # Degenerate cases ------------------------------------------------------------------
+    if base_count == 0 or q_b <= 0:
+        # Without base instances only the f-fraction of small queries can ever be
+        # served within QoS; queries above the cutoff make the tail violate QoS at any
+        # sustained rate, so the allowable throughput is zero unless f == 1.
+        if f >= 1.0 - 1e-12:
+            return aux_rate
+        return 0.0
+    if aux_rate <= 0:
+        # Homogeneous base-only pool: the bound is its aggregate full-mix throughput.
+        return base_count * q_b
+    if f <= 0.0:
+        # No query fits the auxiliary types: they contribute nothing.
+        return base_count * q_b
+    if f >= 1.0 - 1e-12:
+        # Every query fits the auxiliary types; the base keeps its full-mix rate.
+        return aux_rate + base_count * q_b
+
+    offload_rate = (1.0 - f) / f * aux_rate  # Eq. 14's C term
+    base_splus_capacity = base_count * q_b_splus
+
+    if base_splus_capacity <= offload_rate:
+        # Base instances are the bottleneck (Eq. 9 / 12).
+        value = base_splus_capacity / (1.0 - f)
+    else:
+        # Auxiliary instances are the bottleneck; base slack serves extra full-mix
+        # queries (Eq. 11 / 13 / 15).
+        slack_ratio = (base_splus_capacity - offload_rate) / base_splus_capacity
+        value = aux_rate / f + slack_ratio * base_count * q_b
+    # The pool can always ignore its auxiliary instances and serve the full mix on the
+    # base instances alone, so no valid upper bound can fall below u * Q_b.  (The paper's
+    # closed form can dip below that in extreme base-bottleneck corners; flooring it
+    # keeps the bound sound and monotone without affecting the rankings it produces.)
+    return max(value, base_count * q_b)
+
+
+class ThroughputUpperBoundEstimator:
+    """Computes Eq. 15 upper bounds for arbitrary configurations of one model.
+
+    The estimator needs (a) the latency profiles and (b) the query-size mix.  The mix is
+    supplied as a sample of observed batch sizes — in the real system Kairos obtains it
+    by monitoring the most recent queries (the paper uses the last ~10000) — or drawn
+    from a :class:`~repro.workload.batch_sizes.BatchSizeDistribution` via
+    :meth:`from_distribution`.
+    """
+
+    def __init__(
+        self,
+        profiles: ProfileRegistry,
+        model: Union[str, MLModel],
+        batch_samples: Sequence[int],
+        *,
+        catalog: Optional[InstanceCatalog] = None,
+    ):
+        self.profiles = profiles
+        self.model = model if isinstance(model, MLModel) else profiles.models[model]
+        self.catalog = catalog if catalog is not None else profiles.catalog
+        samples = np.asarray(batch_samples, dtype=int)
+        if samples.size == 0:
+            raise ValueError("batch_samples must be non-empty")
+        if np.any(samples < 1):
+            raise ValueError("batch sizes must be >= 1")
+        self._samples = samples
+        self._base_name = self.catalog.base_type.name
+        # cache: cutoff s -> (f, Q_b^{s+}, {type: Q_a})
+        self._cache: Dict[int, Tuple[float, float, Dict[str, float]]] = {}
+        # per-type QoS cutoffs
+        self._cutoffs: Dict[str, int] = {
+            t.name: profiles.qos_cutoff_batch(self.model, t.name) for t in self.catalog.types
+        }
+        self._q_b_full = self._mean_rate(self._base_name, self._samples)
+
+    @classmethod
+    def from_distribution(
+        cls,
+        profiles: ProfileRegistry,
+        model: Union[str, MLModel],
+        distribution: BatchSizeDistribution,
+        *,
+        num_samples: int = 10_000,
+        rng: RngLike = None,
+        catalog: Optional[InstanceCatalog] = None,
+    ) -> "ThroughputUpperBoundEstimator":
+        """Build the estimator by monitoring ``num_samples`` queries from a distribution."""
+        samples = distribution.sample(num_samples, ensure_rng(rng))
+        return cls(profiles, model, samples, catalog=catalog)
+
+    # -- public API ---------------------------------------------------------------------
+    @property
+    def base_type_name(self) -> str:
+        return self._base_name
+
+    def cutoff_of(self, type_name: str) -> int:
+        """QoS cutoff batch size ``s_j`` of an instance type."""
+        return self._cutoffs[type_name]
+
+    def inputs_for(self, config: HeterogeneousConfig) -> UpperBoundInputs:
+        """The Eq. 15 input rates for one configuration."""
+        base_count = config.count_of(self._base_name)
+        aux_counts = [
+            (name, count)
+            for name, count in config.as_mapping().items()
+            if name != self._base_name and count > 0
+        ]
+        if not aux_counts:
+            return UpperBoundInputs(
+                base_count=base_count,
+                q_b=self._q_b_full,
+                q_b_splus=self._q_b_full,
+                aux=(),
+                f=0.0,
+                s=0,
+            )
+        s = max(self._cutoffs[name] for name, _ in aux_counts)
+        f, q_b_splus, q_a_by_type = self._rates_for_cutoff(s)
+        aux = tuple((count, q_a_by_type[name]) for name, count in aux_counts)
+        return UpperBoundInputs(
+            base_count=base_count,
+            q_b=self._q_b_full,
+            q_b_splus=q_b_splus,
+            aux=aux,
+            f=f,
+            s=s,
+        )
+
+    def upper_bound(self, config: HeterogeneousConfig) -> float:
+        """``QPS_max`` of Eq. 15 for ``config``."""
+        inputs = self.inputs_for(config)
+        return upper_bound_from_rates(
+            inputs.base_count, inputs.q_b, inputs.q_b_splus, inputs.aux, inputs.f
+        )
+
+    def upper_bounds(self, configs: Sequence[HeterogeneousConfig]) -> np.ndarray:
+        """Vector of upper bounds for many configurations."""
+        return np.asarray([self.upper_bound(c) for c in configs], dtype=float)
+
+    def rank_configs(
+        self, configs: Sequence[HeterogeneousConfig]
+    ) -> List[Tuple[HeterogeneousConfig, float]]:
+        """Configurations sorted by decreasing upper bound (ties keep input order)."""
+        bounds = self.upper_bounds(configs)
+        order = np.argsort(-bounds, kind="stable")
+        return [(configs[int(i)], float(bounds[int(i)])) for i in order]
+
+    # -- internals ------------------------------------------------------------------------
+    def _rates_for_cutoff(self, s: int) -> Tuple[float, float, Dict[str, float]]:
+        if s in self._cache:
+            return self._cache[s]
+        samples = self._samples
+        below = samples[samples <= s]
+        above = samples[samples > s]
+        f = float(below.size) / float(samples.size)
+        q_b_splus = self._mean_rate(self._base_name, above) if above.size else self._q_b_full
+        q_a_by_type: Dict[str, float] = {}
+        for t in self.catalog.types:
+            if t.name == self._base_name:
+                continue
+            if below.size == 0 or self._cutoffs[t.name] == 0:
+                q_a_by_type[t.name] = 0.0
+            else:
+                q_a_by_type[t.name] = self._mean_rate(t.name, below)
+        self._cache[s] = (f, q_b_splus, q_a_by_type)
+        return self._cache[s]
+
+    def _mean_rate(self, type_name: str, batches: np.ndarray) -> float:
+        if batches.size == 0:
+            return 0.0
+        latencies = np.asarray(
+            self.profiles.latency_ms(self.model, type_name, batches), dtype=float
+        )
+        mean = float(np.mean(latencies))
+        if mean <= 0:
+            raise ValueError("profiles produced non-positive latency")
+        return 1000.0 / mean

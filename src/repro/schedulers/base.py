@@ -1,0 +1,72 @@
+"""Scheduling-policy protocol shared by Kairos and all competing schemes.
+
+A policy is bound to one cluster and one QoS target for the duration of a serving
+simulation.  At every scheduling point (an arrival or a completion) the simulator hands
+it the pending queries and the cluster, and the policy returns the (query, server index)
+pairs it commits in this round; whatever it does not assign stays in the central queue
+and is offered again at the next scheduling point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.cluster import Cluster
+from repro.sim.metrics import QueryRecord
+from repro.sim.server import ServerInstance
+from repro.workload.query import Query
+
+#: A scheduling decision: (query, index of the server in the cluster).
+Decision = Tuple[Query, int]
+
+
+class SchedulingPolicy:
+    """Base class for query-distribution policies."""
+
+    #: Human-readable policy name used in reports and figures.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.cluster: Optional[Cluster] = None
+        self.qos_ms: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def bind(self, cluster: Cluster, qos_ms: float) -> None:
+        """Attach the policy to a cluster before a simulation starts."""
+        if qos_ms <= 0:
+            raise ValueError("qos_ms must be positive")
+        self.cluster = cluster
+        self.qos_ms = float(qos_ms)
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook for subclasses needing per-cluster setup (coefficients, caches, ...)."""
+
+    # -- scheduling ----------------------------------------------------------------------
+    def schedule(
+        self, now_ms: float, pending: Sequence[Query], cluster: Cluster
+    ) -> List[Decision]:
+        """Return the assignments committed at this scheduling point."""
+        raise NotImplementedError
+
+    def observe_completion(self, record: QueryRecord) -> None:
+        """Feedback hook invoked for every completed query (default: ignore)."""
+
+    # -- shared helpers -------------------------------------------------------------------
+    def _require_bound(self) -> Cluster:
+        if self.cluster is None or self.qos_ms is None:
+            raise RuntimeError(f"{type(self).__name__} must be bound to a cluster first")
+        return self.cluster
+
+    @staticmethod
+    def idle_server_indices(cluster: Cluster, now_ms: float) -> List[int]:
+        """Indices of servers with no running or queued work."""
+        return [i for i, s in enumerate(cluster) if s.is_idle(now_ms)]
+
+    @staticmethod
+    def split_by_base(cluster: Cluster, indices: Sequence[int]) -> Tuple[List[int], List[int]]:
+        """Partition server indices into (base-type, auxiliary-type)."""
+        base_name = cluster.config.catalog.base_type.name
+        base = [i for i in indices if cluster[i].type_name == base_name]
+        aux = [i for i in indices if cluster[i].type_name != base_name]
+        return base, aux

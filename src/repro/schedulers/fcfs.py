@@ -1,0 +1,64 @@
+"""Ribbon's query-distribution mechanism: first-come-first-serve, base type preferred.
+
+Ribbon (SC'21) concentrates on *allocating* a heterogeneous pool (via Bayesian
+optimization, see :mod:`repro.search.bayesian`); its query distribution is a simple FCFS
+policy that places each arriving query on an idle instance, preferring base-type
+instances when several are idle (paper Sec. 7, "Competing query distribution
+techniques").  Ribbon is QoS-aware in the minimal sense of Table 1 — it will not place a
+query on an instance type that cannot serve that batch size within the QoS target even
+in isolation — but it performs no query *mapping*: it ignores queue timings, waiting
+times, and the relative value of instance time, which is what limits it in Figs. 3
+and 9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.schedulers.base import Decision, SchedulingPolicy
+from repro.sim.cluster import Cluster
+from repro.workload.query import Query
+
+
+class RibbonFCFSPolicy(SchedulingPolicy):
+    """FCFS distribution preferring idle base instances, then idle auxiliary instances.
+
+    Auxiliary instances are considered in catalog order, which orders them roughly by
+    decreasing capability in the default catalog (c5n, r5n, t3).  A query is never
+    placed on an instance whose service latency alone would violate QoS; if no idle
+    instance can serve it, it waits in the central queue (later queries may still be
+    placed on other idle instances).
+    """
+
+    name = "RIBBON"
+
+    def on_bind(self) -> None:
+        cluster = self._require_bound()
+        # Per-server maximum feasible batch size (service latency within QoS).
+        self._max_batch: List[int] = [
+            server.profile.max_feasible_batch(self.qos_ms, cluster.model.max_batch_size)
+            for server in cluster
+        ]
+
+    def schedule(
+        self, now_ms: float, pending: Sequence[Query], cluster: Cluster
+    ) -> List[Decision]:
+        idle = self.idle_server_indices(cluster, now_ms)
+        if not idle:
+            return []
+        base_idle, aux_idle = self.split_by_base(cluster, idle)
+        available = base_idle + aux_idle
+        decisions: List[Decision] = []
+        for query in pending:
+            if not available:
+                break
+            chosen: Optional[int] = None
+            for pos, server_idx in enumerate(available):
+                if query.batch_size <= self._max_batch[server_idx]:
+                    chosen = pos
+                    break
+            if chosen is None:
+                # No idle instance can serve this query within QoS; it keeps waiting.
+                continue
+            decisions.append((query, available.pop(chosen)))
+        return decisions

@@ -1,0 +1,176 @@
+"""Kairos's query-distribution policy: the runtime face of :mod:`repro.core.distributor`.
+
+The policy re-solves the heterogeneity-weighted min-cost matching at every scheduling
+point over the pending queries and the *eligible* instances.  Eligibility follows the
+paper's ``L`` definition: an instance is considered if it is idle or currently serving
+exactly one query (whose remaining time is then part of ``L``); instances that already
+have a queued dispatch behind the running query are left out of the round so queries
+keep waiting centrally, where later rounds can still place them better.
+
+Latency prediction defaults to the online learner of
+:class:`repro.core.latency_model.OnlineLatencyEstimator` — i.e. the evaluation includes
+the paper's online-learning overhead — but a perfect or noisy estimator can be injected
+(Fig. 16b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.distributor import QueryDistributor
+from repro.core.heterogeneity import heterogeneity_coefficients
+from repro.core.latency_model import (
+    LatencyEstimator,
+    OnlineLatencyEstimator,
+    PerfectLatencyEstimator,
+)
+from repro.schedulers.base import Decision, SchedulingPolicy
+from repro.sim.cluster import Cluster
+from repro.sim.metrics import QueryRecord
+from repro.workload.query import Query
+
+
+class KairosPolicy(SchedulingPolicy):
+    """The Kairos central controller's scheduling behaviour.
+
+    Parameters
+    ----------
+    estimator:
+        Latency predictor; ``None`` selects the online learner (no prior knowledge).
+    use_perfect_estimator:
+        Convenience switch: use the true profiles instead of online learning.
+    solver_method:
+        Assignment solver (default: the from-scratch Jonker-Volgenant implementation).
+    max_queries_per_round:
+        Cap on the matching size per round (earliest arrivals first).
+    coefficient_refresh_interval:
+        Re-derive the heterogeneity coefficients from the estimator every N rounds, so
+        the online learner's improving picture of the hardware feeds back into the
+        weights.
+    defer_predicted_violations:
+        The matching maps every query it can (Eq. 7), including onto pairs that were
+        penalized by the QoS condition (Eq. 8).  With this option (default) such
+        assignments are not committed: the query stays in the central queue and is
+        re-matched at the next scheduling point, unless it has become hopeless (no
+        instance could meet its deadline even if idle), in which case it is dispatched
+        anyway so it does not starve.  This realizes Eq. 5 as the hard constraint the
+        formulation intends rather than locking in avoidable violations.
+    """
+
+    name = "KAIROS"
+
+    def __init__(
+        self,
+        estimator: Optional[LatencyEstimator] = None,
+        *,
+        use_perfect_estimator: bool = False,
+        solver_method: str = "jv",
+        qos_headroom: float = 0.98,
+        penalty_factor: float = 10.0,
+        max_queries_per_round: Optional[int] = 64,
+        coefficient_refresh_interval: int = 50,
+        defer_predicted_violations: bool = True,
+    ):
+        super().__init__()
+        self._estimator = estimator
+        self._use_perfect = use_perfect_estimator
+        self._solver_method = solver_method
+        self._qos_headroom = qos_headroom
+        self._penalty_factor = penalty_factor
+        self._max_queries_per_round = max_queries_per_round
+        self._refresh_interval = max(1, int(coefficient_refresh_interval))
+        self._defer_violations = bool(defer_predicted_violations)
+        self._distributor: Optional[QueryDistributor] = None
+        self._rounds = 0
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def on_bind(self) -> None:
+        cluster = self._require_bound()
+        if self._estimator is None:
+            if self._use_perfect:
+                self._estimator = PerfectLatencyEstimator(cluster.profiles, cluster.model)
+            else:
+                self._estimator = OnlineLatencyEstimator()
+        self._rounds = 0
+        self._rebuild_distributor()
+
+    def _rebuild_distributor(self) -> None:
+        cluster = self._require_bound()
+        assert self._estimator is not None
+        type_names = list(dict.fromkeys(cluster.type_names()))
+        base_name = cluster.config.catalog.base_type.name
+        if base_name not in type_names:
+            # Degenerate configurations without base instances still need a reference
+            # point; use the first type present.
+            base_name = type_names[0]
+        coefficients = heterogeneity_coefficients(
+            self._estimator,
+            type_names,
+            base_name,
+            reference_batch_size=cluster.model.max_batch_size,
+        )
+        self._distributor = QueryDistributor(
+            self._estimator,
+            coefficients,
+            self.qos_ms,
+            solver_method=self._solver_method,
+            qos_headroom=self._qos_headroom,
+            penalty_factor=self._penalty_factor,
+            max_queries_per_round=self._max_queries_per_round,
+        )
+
+    # -- scheduling ---------------------------------------------------------------------
+    def schedule(
+        self, now_ms: float, pending: Sequence[Query], cluster: Cluster
+    ) -> List[Decision]:
+        if self._distributor is None:
+            raise RuntimeError("policy used before bind()")
+        self._rounds += 1
+        if self._rounds % self._refresh_interval == 0 and not self._use_perfect:
+            self._rebuild_distributor()
+
+        eligible_indices = [
+            i for i, s in enumerate(cluster) if s.local_queue_depth <= 1
+        ]
+        if not eligible_indices:
+            return []
+        servers = [cluster[i] for i in eligible_indices]
+        round_result = self._distributor.distribute(now_ms, pending, servers)
+        decisions: List[Decision] = []
+        for assignment in round_result.assignments:
+            if (
+                self._defer_violations
+                and not assignment.predicted_feasible
+                and not self._is_hopeless(assignment.query, cluster, now_ms)
+            ):
+                # Keep the query in the central queue; a better slot may open up before
+                # its deadline, and Eq. 3's waiting-time term will prioritize it then.
+                continue
+            decisions.append((assignment.query, eligible_indices[assignment.server_index]))
+        return decisions
+
+    def _is_hopeless(self, query: Query, cluster: Cluster, now_ms: float) -> bool:
+        """True when no instance type could meet the query's deadline even if idle now."""
+        assert self._estimator is not None
+        budget = self._qos_headroom * self.qos_ms - query.waiting_time_ms(now_ms)
+        if budget <= 0:
+            return True
+        for type_name in set(cluster.type_names()):
+            if self._estimator.predict_ms(type_name, query.batch_size) <= budget:
+                return False
+        return True
+
+    def observe_completion(self, record: QueryRecord) -> None:
+        if self._estimator is not None:
+            self._estimator.observe(
+                record.server_type, record.query.batch_size, record.service_ms
+            )
+
+    # -- introspection --------------------------------------------------------------------
+    @property
+    def estimator(self) -> Optional[LatencyEstimator]:
+        return self._estimator
+
+    @property
+    def coefficients(self) -> Optional[dict]:
+        return dict(self._distributor.coefficients) if self._distributor else None

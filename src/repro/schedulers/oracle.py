@@ -1,0 +1,144 @@
+"""ORCL: the clairvoyant oracle reference scheme (paper Sec. 7).
+
+The oracle is "practically infeasible" and exists only to expose the performance limit:
+it knows the entire query mix up front, sorts the queries by batch size, and whenever a
+base instance frees up it serves the next *largest* remaining query, while auxiliary
+instances serve the next *smallest* remaining query they can finish within QoS.  There
+is no queueing delay and no QoS violation by construction, so its throughput is simply
+``#queries / makespan`` of this packing.
+
+Because the oracle needs no arrival process, it is evaluated directly as a packing
+computation (:func:`oracle_throughput`) rather than through the event simulator — which
+also makes it cheap enough to exhaustively score every configuration, exactly how the
+paper derives the "optimal configuration found via Oracle search" that the competing
+schemes are granted in Fig. 9.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class OraclePackingResult:
+    """Outcome of one oracle packing run."""
+
+    throughput_qps: float
+    makespan_ms: float
+    queries_served: int
+    served_by_type: dict
+
+
+class OracleScheduler:
+    """Clairvoyant packing of a query mix onto a heterogeneous configuration."""
+
+    name = "ORCL"
+
+    def __init__(
+        self,
+        profiles: ProfileRegistry,
+        model: Union[str, MLModel],
+    ):
+        self.profiles = profiles
+        self.model = model if isinstance(model, MLModel) else profiles.models[model]
+
+    def pack(
+        self, config: HeterogeneousConfig, batch_sizes: Sequence[int]
+    ) -> OraclePackingResult:
+        """Serve ``batch_sizes`` (one query each) with the oracle policy on ``config``."""
+        batches = np.sort(np.asarray(batch_sizes, dtype=int))
+        if batches.size == 0:
+            raise ValueError("batch_sizes must be non-empty")
+        if np.any(batches < 1):
+            raise ValueError("batch sizes must be >= 1")
+        if config.is_empty():
+            raise ValueError("configuration has no instances")
+
+        base_name = config.catalog.base_type.name
+        qos = self.model.qos_ms
+
+        # Per-server state: (next free time, server ordinal, type name, cutoff, is_base)
+        servers: List[Tuple[float, int, str, int, bool]] = []
+        ordinal = 0
+        for itype in config.expand_instance_types():
+            cutoff = self.profiles.qos_cutoff_batch(self.model, itype.name)
+            is_base = itype.name == base_name
+            servers.append((0.0, ordinal, itype.name, cutoff, is_base))
+            ordinal += 1
+        heapq.heapify(servers)
+
+        # Sorted multiset of remaining queries: use two pointers over the sorted array.
+        lo, hi = 0, batches.size - 1
+        served_by_type: dict = {}
+        makespan = 0.0
+        served = 0
+        # Servers that can no longer serve anything are dropped from the heap.
+        while lo <= hi and servers:
+            free_at, order, type_name, cutoff, is_base = heapq.heappop(servers)
+            if is_base:
+                batch = int(batches[hi])
+                hi -= 1
+            else:
+                batch = int(batches[lo])
+                if batch > cutoff:
+                    # This auxiliary server cannot serve even the smallest remaining
+                    # query within QoS; it retires.
+                    continue
+                lo += 1
+            latency = float(self.profiles.latency_ms(self.model, type_name, batch))
+            finish = free_at + latency
+            makespan = max(makespan, finish)
+            served += 1
+            served_by_type[type_name] = served_by_type.get(type_name, 0) + 1
+            heapq.heappush(servers, (finish, order, type_name, cutoff, is_base))
+
+        if lo <= hi:
+            # Remaining queries exist but no server can take them (no base instances):
+            # the configuration cannot serve the workload within QoS at any rate.
+            return OraclePackingResult(0.0, float("inf"), served, served_by_type)
+
+        throughput = 1000.0 * served / makespan if makespan > 0 else 0.0
+        return OraclePackingResult(throughput, makespan, served, served_by_type)
+
+    def throughput_qps(
+        self, config: HeterogeneousConfig, batch_sizes: Sequence[int]
+    ) -> float:
+        """Just the oracle throughput of ``config`` on the given query mix."""
+        return self.pack(config, batch_sizes).throughput_qps
+
+    def best_configuration(
+        self,
+        configs: Sequence[HeterogeneousConfig],
+        batch_sizes: Sequence[int],
+    ) -> Tuple[HeterogeneousConfig, float]:
+        """Exhaustive oracle search: the configuration with the highest oracle throughput."""
+        if not configs:
+            raise ValueError("configs must be non-empty")
+        best_config = None
+        best_qps = -1.0
+        for config in configs:
+            qps = self.throughput_qps(config, batch_sizes)
+            if qps > best_qps:
+                best_qps = qps
+                best_config = config
+        assert best_config is not None
+        return best_config, best_qps
+
+
+def oracle_throughput(
+    config: HeterogeneousConfig,
+    model: Union[str, MLModel],
+    profiles: ProfileRegistry,
+    batch_sizes: Sequence[int],
+) -> float:
+    """Functional convenience wrapper around :class:`OracleScheduler`."""
+    return OracleScheduler(profiles, model).throughput_qps(config, batch_sizes)

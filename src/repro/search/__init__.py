@@ -1,0 +1,32 @@
+"""Online configuration-search algorithms (the exploration Kairos avoids).
+
+The competing schemes must *evaluate* configurations online to find a good one.  This
+package implements the search algorithms the paper compares against (Figs. 2, 10, 11):
+random search, simulated annealing, a genetic algorithm, and Ribbon's Bayesian
+optimization (built on a from-scratch Gaussian-process regressor), plus exhaustive
+search and the sub-configuration pruning rule that the paper grants to every algorithm
+for fairness.
+"""
+
+from repro.search.base import CountingEvaluator, SearchAlgorithm, SearchResult
+from repro.search.annealing import SimulatedAnnealingSearch
+from repro.search.bayesian import BayesianOptimizationSearch
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.genetic import GeneticSearch
+from repro.search.gp import GaussianProcessRegressor, RBFKernel
+from repro.search.pruning import prune_sub_configs
+from repro.search.random_search import RandomSearch
+
+__all__ = [
+    "SearchAlgorithm",
+    "SearchResult",
+    "CountingEvaluator",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "SimulatedAnnealingSearch",
+    "GeneticSearch",
+    "BayesianOptimizationSearch",
+    "GaussianProcessRegressor",
+    "RBFKernel",
+    "prune_sub_configs",
+]

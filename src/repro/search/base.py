@@ -1,0 +1,155 @@
+"""Shared infrastructure for configuration-search algorithms.
+
+Each algorithm explores a finite candidate set (the budget-constrained configuration
+space) by calling an *evaluator* — one call corresponds to one online evaluation of a
+configuration on the real system (the expensive operation the paper counts in Figs. 10
+and 11).  :class:`CountingEvaluator` provides caching (re-evaluating a configuration is
+free, as a real system would remember the measurement) and budget enforcement, and
+:class:`SearchResult` captures the evaluation trace so experiments can report both the
+best configuration found and how many evaluations it took to find it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Evaluation function: configuration -> measured allowable throughput (QPS).
+Evaluator = Callable[[HeterogeneousConfig], float]
+
+
+class EvaluationBudgetExhausted(RuntimeError):
+    """Raised by :class:`CountingEvaluator` when the evaluation budget is used up."""
+
+
+class CountingEvaluator:
+    """Caches and counts configuration evaluations.
+
+    Parameters
+    ----------
+    evaluator:
+        The underlying (expensive) evaluation function.
+    max_evaluations:
+        Optional hard budget; exceeding it raises :class:`EvaluationBudgetExhausted`,
+        which the search algorithms catch to terminate gracefully.
+    """
+
+    def __init__(self, evaluator: Evaluator, max_evaluations: Optional[int] = None):
+        self._evaluator = evaluator
+        self._cache: Dict[Tuple[int, ...], float] = {}
+        self._trace: List[Tuple[HeterogeneousConfig, float]] = []
+        self.max_evaluations = max_evaluations
+
+    def __call__(self, config: HeterogeneousConfig) -> float:
+        key = tuple(config.counts)
+        if key in self._cache:
+            return self._cache[key]
+        if self.max_evaluations is not None and len(self._trace) >= self.max_evaluations:
+            raise EvaluationBudgetExhausted(
+                f"evaluation budget of {self.max_evaluations} exhausted"
+            )
+        value = float(self._evaluator(config))
+        self._cache[key] = value
+        self._trace.append((config, value))
+        return value
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self._trace)
+
+    @property
+    def trace(self) -> List[Tuple[HeterogeneousConfig, float]]:
+        return list(self._trace)
+
+    def evaluated(self, config: HeterogeneousConfig) -> bool:
+        return tuple(config.counts) in self._cache
+
+    def best(self) -> Tuple[Optional[HeterogeneousConfig], float]:
+        if not self._trace:
+            return None, 0.0
+        best_config, best_value = max(self._trace, key=lambda item: item[1])
+        return best_config, best_value
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one configuration search."""
+
+    algorithm: str
+    best_config: Optional[HeterogeneousConfig]
+    best_value: float
+    evaluations: Tuple[Tuple[HeterogeneousConfig, float], ...]
+    search_space_size: int
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def evaluated_fraction(self) -> float:
+        """Evaluations as a fraction of the search space (Fig. 10's y-axis)."""
+        if self.search_space_size == 0:
+            return 0.0
+        return self.num_evaluations / self.search_space_size
+
+    @property
+    def evaluations_until_best(self) -> int:
+        """1-based index of the evaluation that first achieved the best value."""
+        if not self.evaluations:
+            return 0
+        values = [v for _, v in self.evaluations]
+        best = max(values)
+        return values.index(best) + 1
+
+    def value_trace(self) -> np.ndarray:
+        """The sequence of evaluated throughputs, in evaluation order."""
+        return np.asarray([v for _, v in self.evaluations], dtype=float)
+
+    def running_best(self) -> np.ndarray:
+        """Best-so-far trace (useful for convergence plots)."""
+        trace = self.value_trace()
+        if trace.size == 0:
+            return trace
+        return np.maximum.accumulate(trace)
+
+
+class SearchAlgorithm:
+    """Interface for configuration-search algorithms."""
+
+    name: str = "search"
+
+    def __init__(self, max_evaluations: Optional[int] = None, use_pruning: bool = False):
+        self.max_evaluations = max_evaluations
+        self.use_pruning = use_pruning
+
+    def search(
+        self,
+        configs: Sequence[HeterogeneousConfig],
+        evaluator: Evaluator,
+        rng: RngLike = None,
+    ) -> SearchResult:
+        """Explore ``configs`` and return the search trace."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses -----------------------------------------------------------
+    def _wrap(self, evaluator: Evaluator) -> CountingEvaluator:
+        if isinstance(evaluator, CountingEvaluator):
+            return evaluator
+        return CountingEvaluator(evaluator, self.max_evaluations)
+
+    def _result(
+        self, counting: CountingEvaluator, search_space_size: int
+    ) -> SearchResult:
+        best_config, best_value = counting.best()
+        return SearchResult(
+            algorithm=self.name,
+            best_config=best_config,
+            best_value=best_value,
+            evaluations=tuple(counting.trace),
+            search_space_size=search_space_size,
+        )

@@ -1,0 +1,110 @@
+"""Ribbon's configuration search: Bayesian optimization over the candidate set.
+
+Ribbon (SC'21) allocates its heterogeneous pool with Bayesian optimization: fit a
+surrogate over the configurations evaluated so far, pick the next configuration by
+expected improvement, and repeat.  This is the exploration overhead the paper contrasts
+Kairos against (Figs. 10-12): every acquisition step still costs one full online
+evaluation of a configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.search.base import (
+    EvaluationBudgetExhausted,
+    Evaluator,
+    SearchAlgorithm,
+    SearchResult,
+)
+from repro.search.gp import GaussianProcessRegressor, RBFKernel, expected_improvement
+from repro.search.pruning import candidate_pool, config_key, prune_sub_configs
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class BayesianOptimizationSearch(SearchAlgorithm):
+    """GP + expected-improvement search over a finite configuration set.
+
+    Parameters
+    ----------
+    num_initial:
+        Random configurations evaluated before the surrogate is first fitted.
+    ei_tolerance:
+        Stop once the best expected improvement over the remaining candidates falls
+        below this fraction of the best observed throughput.
+    """
+
+    name = "RIBBON-BO"
+
+    def __init__(
+        self,
+        max_evaluations: Optional[int] = 40,
+        use_pruning: bool = False,
+        *,
+        num_initial: int = 5,
+        ei_tolerance: float = 0.01,
+        length_scale: float = 2.0,
+    ):
+        super().__init__(max_evaluations=max_evaluations, use_pruning=use_pruning)
+        if num_initial < 1:
+            raise ValueError("num_initial must be >= 1")
+        self.num_initial = num_initial
+        self.ei_tolerance = float(ei_tolerance)
+        self.length_scale = float(length_scale)
+
+    def search(
+        self,
+        configs: Sequence[HeterogeneousConfig],
+        evaluator: Evaluator,
+        rng: RngLike = None,
+    ) -> SearchResult:
+        if not configs:
+            raise ValueError("configs must be non-empty")
+        gen = ensure_rng(rng)
+        counting = self._wrap(evaluator)
+        pool = candidate_pool(configs)
+
+        observed_x: List[np.ndarray] = []
+        observed_y: List[float] = []
+
+        def evaluate(config: HeterogeneousConfig) -> float:
+            value = counting(config)
+            pool.pop(config_key(config), None)
+            if self.use_pruning:
+                prune_sub_configs(pool, config)
+            observed_x.append(config.as_vector().astype(float))
+            observed_y.append(value)
+            return value
+
+        try:
+            # -- initial design ---------------------------------------------------------
+            keys = sorted(pool.keys())
+            n_init = min(self.num_initial, len(keys))
+            init_indices = gen.choice(len(keys), size=n_init, replace=False)
+            for idx in init_indices:
+                key = keys[int(idx)]
+                if key in pool:
+                    evaluate(pool[key])
+
+            # -- acquisition loop --------------------------------------------------------
+            while pool:
+                best_so_far = max(observed_y) if observed_y else 0.0
+                gp = GaussianProcessRegressor(
+                    RBFKernel(length_scale=self.length_scale, signal_variance=1.0),
+                    noise_variance=1e-3,
+                )
+                gp.fit(np.asarray(observed_x), np.asarray(observed_y))
+                candidates = list(pool.values())
+                x_cand = np.asarray([c.as_vector() for c in candidates], dtype=float)
+                mean, var = gp.predict(x_cand)
+                ei = expected_improvement(mean, var, best_so_far)
+                best_ei_idx = int(np.argmax(ei))
+                if ei[best_ei_idx] < self.ei_tolerance * max(best_so_far, 1e-9):
+                    break
+                evaluate(candidates[best_ei_idx])
+        except EvaluationBudgetExhausted:
+            pass
+        return self._result(counting, len(configs))

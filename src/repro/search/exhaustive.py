@@ -1,0 +1,41 @@
+"""Exhaustive search: evaluate every configuration in the space.
+
+Used to determine the true optimal configuration offline (the reference the paper's
+Fig. 10/11 evaluation-count comparisons are measured against) and in small unit-test
+spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.search.base import (
+    EvaluationBudgetExhausted,
+    Evaluator,
+    SearchAlgorithm,
+    SearchResult,
+)
+from repro.utils.rng import RngLike
+
+
+class ExhaustiveSearch(SearchAlgorithm):
+    """Evaluate every candidate configuration (optionally up to a budget)."""
+
+    name = "EXHAUSTIVE"
+
+    def search(
+        self,
+        configs: Sequence[HeterogeneousConfig],
+        evaluator: Evaluator,
+        rng: RngLike = None,
+    ) -> SearchResult:
+        if not configs:
+            raise ValueError("configs must be non-empty")
+        counting = self._wrap(evaluator)
+        try:
+            for config in configs:
+                counting(config)
+        except EvaluationBudgetExhausted:
+            pass
+        return self._result(counting, len(configs))

@@ -1,0 +1,130 @@
+"""Genetic algorithm over configurations (GENE in Fig. 11).
+
+Standard generational GA on the per-type count vectors: tournament selection, uniform
+crossover, +/-1 mutation, with every offspring repaired onto the budget-constrained
+candidate set (invalid children are clipped to the nearest candidate by Euclidean
+distance).  Each distinct configuration is evaluated once (evaluations are cached by
+:class:`~repro.search.base.CountingEvaluator`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.search.base import (
+    EvaluationBudgetExhausted,
+    Evaluator,
+    SearchAlgorithm,
+    SearchResult,
+)
+from repro.search.pruning import candidate_pool, config_key, prune_sub_configs
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class GeneticSearch(SearchAlgorithm):
+    """Generational GA with tournament selection and candidate-set repair."""
+
+    name = "GENE"
+
+    def __init__(
+        self,
+        max_evaluations: Optional[int] = 60,
+        use_pruning: bool = False,
+        *,
+        population_size: int = 10,
+        generations: int = 10,
+        mutation_rate: float = 0.3,
+        tournament_size: int = 3,
+        elite: int = 2,
+    ):
+        super().__init__(max_evaluations=max_evaluations, use_pruning=use_pruning)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0 <= mutation_rate <= 1:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        self.population_size = population_size
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+        self.tournament_size = max(2, tournament_size)
+        self.elite = max(0, elite)
+
+    def search(
+        self,
+        configs: Sequence[HeterogeneousConfig],
+        evaluator: Evaluator,
+        rng: RngLike = None,
+    ) -> SearchResult:
+        if not configs:
+            raise ValueError("configs must be non-empty")
+        gen = ensure_rng(rng)
+        counting = self._wrap(evaluator)
+        pool = candidate_pool(configs)
+        all_configs = list(configs)
+        vectors = np.asarray([c.as_vector() for c in all_configs], dtype=float)
+
+        def repair(vector: np.ndarray) -> HeterogeneousConfig:
+            """Snap an arbitrary count vector onto the nearest remaining candidate."""
+            live = pool if pool else {config_key(c): c for c in all_configs}
+            live_configs = list(live.values())
+            live_vectors = np.asarray([c.as_vector() for c in live_configs], dtype=float)
+            distances = np.sum((live_vectors - vector[None, :]) ** 2, axis=1)
+            return live_configs[int(np.argmin(distances))]
+
+        def evaluate(config: HeterogeneousConfig) -> float:
+            value = counting(config)
+            if self.use_pruning:
+                pool.pop(config_key(config), None)
+                prune_sub_configs(pool, config)
+            return value
+
+        try:
+            # initial population: uniform without replacement
+            indices = gen.choice(
+                len(all_configs), size=min(self.population_size, len(all_configs)), replace=False
+            )
+            population: List[Tuple[HeterogeneousConfig, float]] = []
+            for idx in indices:
+                config = all_configs[int(idx)]
+                population.append((config, evaluate(config)))
+
+            for _ in range(self.generations):
+                if not pool and self.use_pruning:
+                    break
+                population.sort(key=lambda item: item[1], reverse=True)
+                next_population = population[: self.elite]
+                while len(next_population) < self.population_size:
+                    parent_a = self._tournament(population, gen)
+                    parent_b = self._tournament(population, gen)
+                    child_vec = self._crossover(parent_a, parent_b, gen)
+                    child_vec = self._mutate(child_vec, gen)
+                    child = repair(child_vec)
+                    next_population.append((child, evaluate(child)))
+                population = next_population
+        except EvaluationBudgetExhausted:
+            pass
+        return self._result(counting, len(configs))
+
+    # -- GA operators ------------------------------------------------------------------
+    def _tournament(
+        self, population: List[Tuple[HeterogeneousConfig, float]], gen: np.random.Generator
+    ) -> np.ndarray:
+        size = min(self.tournament_size, len(population))
+        contenders = [population[int(i)] for i in gen.integers(0, len(population), size=size)]
+        winner = max(contenders, key=lambda item: item[1])
+        return winner[0].as_vector().astype(float)
+
+    def _crossover(
+        self, a: np.ndarray, b: np.ndarray, gen: np.random.Generator
+    ) -> np.ndarray:
+        mask = gen.random(a.shape[0]) < 0.5
+        return np.where(mask, a, b)
+
+    def _mutate(self, vector: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+        result = vector.copy()
+        for i in range(result.shape[0]):
+            if gen.random() < self.mutation_rate:
+                result[i] = max(0.0, result[i] + (1.0 if gen.random() < 0.5 else -1.0))
+        return result

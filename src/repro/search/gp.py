@@ -1,0 +1,117 @@
+"""Gaussian-process regression substrate for Ribbon's Bayesian optimization.
+
+A deliberately small, dependency-free GP: RBF kernel with a constant signal variance,
+observation noise, Cholesky-based posterior, and standardized targets.  It is not a
+general-purpose GP library — it supports exactly what the Bayesian-optimization search
+needs (posterior mean and variance over a finite candidate set of low-dimensional
+integer vectors) while remaining numerically robust for repeated refits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """Squared-exponential kernel ``sigma_f^2 * exp(-||x - y||^2 / (2 l^2))``."""
+
+    length_scale: float = 1.0
+    signal_variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.length_scale, "length_scale")
+        check_positive(self.signal_variance, "signal_variance")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=float))
+        b = np.atleast_2d(np.asarray(b, dtype=float))
+        sq = (
+            np.sum(a * a, axis=1)[:, None]
+            + np.sum(b * b, axis=1)[None, :]
+            - 2.0 * a @ b.T
+        )
+        sq = np.maximum(sq, 0.0)
+        return self.signal_variance * np.exp(-0.5 * sq / (self.length_scale**2))
+
+
+class GaussianProcessRegressor:
+    """GP regression with an RBF kernel and Gaussian observation noise."""
+
+    def __init__(
+        self,
+        kernel: Optional[RBFKernel] = None,
+        noise_variance: float = 1e-4,
+        *,
+        normalize_targets: bool = True,
+    ):
+        check_positive(noise_variance, "noise_variance")
+        self.kernel = kernel if kernel is not None else RBFKernel()
+        self.noise_variance = float(noise_variance)
+        self.normalize_targets = normalize_targets
+        self._x: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._cho = None
+        self._alpha: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Fit the posterior to observations ``(x, y)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        if x.shape[0] == 0:
+            raise ValueError("need at least one observation")
+        if self.normalize_targets:
+            self._y_mean = float(np.mean(y))
+            self._y_std = float(np.std(y))
+            if self._y_std < 1e-12:
+                self._y_std = 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        targets = (y - self._y_mean) / self._y_std
+
+        k = self.kernel(x, x)
+        k[np.diag_indices_from(k)] += self.noise_variance
+        self._cho = cho_factor(k, lower=True)
+        self._alpha = cho_solve(self._cho, targets)
+        self._x = x
+        return self
+
+    def predict(self, x_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance at ``x_new`` (both 1-D arrays)."""
+        if not self.is_fitted:
+            raise RuntimeError("predict() called before fit()")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        k_star = self.kernel(x_new, self._x)
+        mean = k_star @ self._alpha
+        v = cho_solve(self._cho, k_star.T)
+        prior_var = np.diag(self.kernel(x_new, x_new))
+        var = prior_var - np.sum(k_star.T * v, axis=0)
+        var = np.maximum(var, 1e-12)
+        return mean * self._y_std + self._y_mean, var * self._y_std**2
+
+
+def expected_improvement(
+    mean: np.ndarray, variance: np.ndarray, best_observed: float, xi: float = 0.01
+) -> np.ndarray:
+    """Expected improvement acquisition for maximization."""
+    from scipy.stats import norm
+
+    std = np.sqrt(np.maximum(variance, 1e-18))
+    improvement = mean - best_observed - xi
+    z = improvement / std
+    ei = improvement * norm.cdf(z) + std * norm.pdf(z)
+    ei[std < 1e-12] = np.maximum(improvement[std < 1e-12], 0.0)
+    return np.maximum(ei, 0.0)

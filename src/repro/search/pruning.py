@@ -1,0 +1,45 @@
+"""Sub-configuration pruning.
+
+If configuration ``x1`` can be turned into ``x2`` by adding instances, ``x1`` is a
+*sub-configuration* of ``x2`` and can never achieve a higher throughput.  Kairos+ prunes
+sub-configurations of every evaluated configuration (Algorithm 1), and the paper grants
+the same mechanism to the competing search algorithms in Fig. 11 so the comparison
+isolates the value of the upper-bound guidance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.cloud.config import HeterogeneousConfig
+
+ConfigKey = Tuple[int, ...]
+
+
+def config_key(config: HeterogeneousConfig) -> ConfigKey:
+    """Hashable identity of a configuration (its count vector)."""
+    return tuple(config.counts)
+
+
+def prune_sub_configs(
+    candidates: Dict[ConfigKey, HeterogeneousConfig],
+    evaluated: HeterogeneousConfig,
+) -> int:
+    """Remove every sub-configuration of ``evaluated`` from ``candidates`` (in place).
+
+    Returns the number of candidates removed.
+    """
+    to_remove = [
+        key for key, config in candidates.items() if config.is_sub_config_of(evaluated)
+    ]
+    for key in to_remove:
+        del candidates[key]
+    return len(to_remove)
+
+
+def candidate_pool(configs: Sequence[HeterogeneousConfig]) -> Dict[ConfigKey, HeterogeneousConfig]:
+    """Build the mutable candidate pool used by the search algorithms."""
+    pool: Dict[ConfigKey, HeterogeneousConfig] = {}
+    for config in configs:
+        pool[config_key(config)] = config
+    return pool

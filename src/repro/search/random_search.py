@@ -1,0 +1,48 @@
+"""Random search (RAND in Fig. 11): evaluate uniformly sampled configurations."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.search.base import (
+    EvaluationBudgetExhausted,
+    Evaluator,
+    SearchAlgorithm,
+    SearchResult,
+)
+from repro.search.pruning import candidate_pool, config_key, prune_sub_configs
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class RandomSearch(SearchAlgorithm):
+    """Uniform random exploration without replacement.
+
+    With ``use_pruning=True`` (as granted in Fig. 11) every evaluation also removes the
+    evaluated configuration's sub-configurations from the remaining pool.
+    """
+
+    name = "RAND"
+
+    def search(
+        self,
+        configs: Sequence[HeterogeneousConfig],
+        evaluator: Evaluator,
+        rng: RngLike = None,
+    ) -> SearchResult:
+        if not configs:
+            raise ValueError("configs must be non-empty")
+        gen = ensure_rng(rng)
+        counting = self._wrap(evaluator)
+        pool = candidate_pool(configs)
+        try:
+            while pool:
+                keys = sorted(pool.keys())
+                key = keys[int(gen.integers(0, len(keys)))]
+                config = pool.pop(key)
+                counting(config)
+                if self.use_pruning:
+                    prune_sub_configs(pool, config)
+        except EvaluationBudgetExhausted:
+            pass
+        return self._result(counting, len(configs))

@@ -1,0 +1,31 @@
+"""Discrete-event simulator for heterogeneous inference serving.
+
+This package replaces the paper's AWS deployment: a cluster of simulated inference
+servers (one model copy each, one query at a time), a central queue, a pluggable
+query-distribution policy, latency/QoS metrics, and the allowable-throughput capacity
+search that defines the paper's headline metric.
+"""
+
+from repro.sim.cluster import Cluster
+from repro.sim.capacity import AllowableThroughputResult, measure_allowable_throughput
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.events import Event, EventKind
+from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.sim.server import ServerInstance
+from repro.sim.simulation import ServingSimulation, SimulationReport, simulate_serving
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "SimulationClock",
+    "ServerInstance",
+    "Cluster",
+    "QueryRecord",
+    "ServingMetrics",
+    "ServingSimulation",
+    "SimulationReport",
+    "simulate_serving",
+    "AllowableThroughputResult",
+    "measure_allowable_throughput",
+]

@@ -1,0 +1,100 @@
+"""A cluster of simulated inference servers built from a heterogeneous configuration."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry
+from repro.sim.server import ServerInstance
+from repro.utils.validation import check_non_negative
+
+
+class Cluster:
+    """All servers allocated for one model under one heterogeneous configuration.
+
+    Server ids are assigned in catalog order (all base-type servers first), matching the
+    paper's ``(base, aux1, aux2, ...)`` configuration notation.
+    """
+
+    def __init__(
+        self,
+        config: HeterogeneousConfig,
+        model: MLModel,
+        profiles: ProfileRegistry,
+        *,
+        dispatch_overhead_ms: float = 0.0,
+    ):
+        if config.is_empty():
+            raise ValueError("cannot build a cluster from an empty configuration")
+        check_non_negative(dispatch_overhead_ms, "dispatch_overhead_ms")
+        self.config = config
+        self.model = model
+        self.profiles = profiles
+        self.dispatch_overhead_ms = float(dispatch_overhead_ms)
+        self._servers: List[ServerInstance] = []
+        for itype in config.expand_instance_types():
+            profile = profiles.profile(model, itype)
+            self._servers.append(
+                ServerInstance(
+                    server_id=len(self._servers),
+                    instance_type=itype,
+                    profile=profile,
+                    dispatch_overhead_ms=self.dispatch_overhead_ms,
+                )
+            )
+
+    # -- container protocol --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[ServerInstance]:
+        return iter(self._servers)
+
+    def __getitem__(self, index: int) -> ServerInstance:
+        return self._servers[index]
+
+    @property
+    def servers(self) -> List[ServerInstance]:
+        return list(self._servers)
+
+    # -- views -----------------------------------------------------------------------------
+    def idle_servers(self, now_ms: float) -> List[ServerInstance]:
+        """Servers with no running or queued query at ``now_ms``."""
+        return [s for s in self._servers if s.is_idle(now_ms)]
+
+    def servers_of_type(self, type_name: str) -> List[ServerInstance]:
+        return [s for s in self._servers if s.type_name == type_name]
+
+    def base_servers(self) -> List[ServerInstance]:
+        return self.servers_of_type(self.config.catalog.base_type.name)
+
+    def auxiliary_servers(self) -> List[ServerInstance]:
+        base = self.config.catalog.base_type.name
+        return [s for s in self._servers if s.type_name != base]
+
+    def earliest_idle_time_ms(self) -> float:
+        """The soonest any server frees up (0 when at least one is already idle)."""
+        return min(s.busy_until_ms for s in self._servers)
+
+    def type_names(self) -> List[str]:
+        """Per-server instance-type names, indexed by server id."""
+        return [s.type_name for s in self._servers]
+
+    def utilization_by_type(self, horizon_ms: float) -> Dict[str, float]:
+        """Mean utilization of each instance type present in the cluster."""
+        result: Dict[str, float] = {}
+        for name in self.config.catalog.names:
+            servers = self.servers_of_type(name)
+            if servers:
+                result[name] = sum(s.utilization(horizon_ms) for s in servers) / len(servers)
+        return result
+
+    def reset(self) -> None:
+        """Reset all per-server dynamic state."""
+        for s in self._servers:
+            s.reset()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cluster(model={self.model.name}, config={self.config})"

@@ -1,0 +1,82 @@
+"""Event-queue engine: a deterministic binary-heap scheduler and a simulation clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+
+class SimulationClock:
+    """Monotone simulated-time clock (milliseconds)."""
+
+    def __init__(self, start_ms: float = 0.0):
+        if start_ms < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        return self._now
+
+    def advance_to(self, time_ms: float) -> float:
+        """Advance the clock; simulated time can never move backwards."""
+        if time_ms < self._now - 1e-9:
+            raise ValueError(
+                f"cannot move the clock backwards: now={self._now}, requested={time_ms}"
+            )
+        self._now = max(self._now, float(time_ms))
+        return self._now
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`~repro.sim.events.Event` objects.
+
+    Events at the same timestamp are ordered by event kind (completions before
+    arrivals) and then by insertion order, which makes whole simulations reproducible
+    for a fixed seed.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[tuple, Event]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        heapq.heappush(self._heap, (event.sort_key(self._sequence), event))
+        self._sequence += 1
+
+    def push_all(self, events) -> None:
+        for event in events:
+            self.push(event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on an empty event queue")
+        return self._heap[0][1]
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        return self._heap[0][1].time_ms if self._heap else None
+
+    def pop_until(self, time_ms: float) -> Iterator[Event]:
+        """Yield and remove every event with ``time <= time_ms`` in order."""
+        while self._heap and self._heap[0][1].time_ms <= time_ms + 1e-12:
+            yield self.pop()
+
+    def clear(self) -> None:
+        self._heap.clear()

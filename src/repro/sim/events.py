@@ -1,0 +1,49 @@
+"""Simulation events.
+
+The serving simulation needs only two event kinds: a query arriving at the central
+controller and a server finishing its current query.  Events are ordered by time, then
+by a kind-based priority (completions before arrivals at the same instant, so a freed
+server is visible to the scheduling round triggered by a simultaneous arrival), then by
+insertion order for determinism.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds; the integer value doubles as the tie-break priority (lower first)."""
+
+    SERVICE_COMPLETION = 0
+    QUERY_ARRIVAL = 1
+    CONTROL = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """A timestamped simulation event.
+
+    Attributes
+    ----------
+    time_ms:
+        Simulated time at which the event fires.
+    kind:
+        One of :class:`EventKind`.
+    payload:
+        Event-specific data (a query for arrivals, a server id for completions).
+    """
+
+    time_ms: float
+    kind: EventKind
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time_ms}")
+
+    def sort_key(self, sequence: int) -> tuple:
+        """Heap ordering key; ``sequence`` breaks remaining ties deterministically."""
+        return (self.time_ms, int(self.kind), sequence)

@@ -1,0 +1,153 @@
+"""Serving metrics: per-query records and aggregate QoS / throughput statistics.
+
+The paper's headline metric is the *allowable throughput*: the highest offered load (in
+queries per second) the cluster sustains while the 99th-percentile end-to-end query
+latency stays within the model's QoS target.  :class:`ServingMetrics` computes that
+tail latency plus the supporting statistics (violation rate, goodput, per-type
+utilization) from the per-query records the simulation produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.stats import percentile
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Outcome of one served query."""
+
+    query: Query
+    server_id: int
+    server_type: str
+    start_ms: float
+    completion_ms: float
+    service_ms: float
+
+    def __post_init__(self) -> None:
+        if self.completion_ms < self.start_ms:
+            raise ValueError("completion cannot precede start")
+        if self.start_ms + 1e-9 < self.query.arrival_time_ms:
+            raise ValueError("service cannot start before the query arrives")
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency: completion minus arrival (includes queueing)."""
+        return self.completion_ms - self.query.arrival_time_ms
+
+    @property
+    def waiting_ms(self) -> float:
+        """Time spent before service started (central queue + local queue + overheads)."""
+        return self.start_ms - self.query.arrival_time_ms
+
+    def meets_qos(self, qos_ms: float) -> bool:
+        return self.latency_ms <= qos_ms + 1e-9
+
+
+class ServingMetrics:
+    """Aggregates :class:`QueryRecord` objects into the paper's evaluation metrics."""
+
+    def __init__(self, qos_ms: float, qos_percentile: float = 99.0):
+        if qos_ms <= 0:
+            raise ValueError("qos_ms must be positive")
+        if not 0 < qos_percentile <= 100:
+            raise ValueError("qos_percentile must be in (0, 100]")
+        self.qos_ms = float(qos_ms)
+        self.qos_percentile = float(qos_percentile)
+        self._records: List[QueryRecord] = []
+
+    # -- collection -------------------------------------------------------------------
+    def record(self, record: QueryRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Sequence[QueryRecord]) -> None:
+        self._records.extend(records)
+
+    @property
+    def records(self) -> List[QueryRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- latency statistics -------------------------------------------------------------
+    def latencies_ms(self) -> np.ndarray:
+        return np.asarray([r.latency_ms for r in self._records], dtype=float)
+
+    def tail_latency_ms(self, q: Optional[float] = None) -> float:
+        """The ``q``-th percentile latency (defaults to the QoS percentile)."""
+        if not self._records:
+            raise ValueError("no queries recorded")
+        return percentile(self.latencies_ms(), q if q is not None else self.qos_percentile)
+
+    def mean_latency_ms(self) -> float:
+        if not self._records:
+            raise ValueError("no queries recorded")
+        return float(np.mean(self.latencies_ms()))
+
+    def qos_violation_rate(self) -> float:
+        """Fraction of queries whose end-to-end latency exceeds the QoS target."""
+        if not self._records:
+            return 0.0
+        lat = self.latencies_ms()
+        return float(np.mean(lat > self.qos_ms + 1e-9))
+
+    def meets_qos(self) -> bool:
+        """True when the QoS-percentile latency is within the QoS target."""
+        return self.tail_latency_ms() <= self.qos_ms + 1e-9
+
+    # -- throughput statistics ------------------------------------------------------------
+    def makespan_ms(self) -> float:
+        """Time from the first arrival to the last completion."""
+        if not self._records:
+            return 0.0
+        first_arrival = min(r.query.arrival_time_ms for r in self._records)
+        last_completion = max(r.completion_ms for r in self._records)
+        return max(0.0, last_completion - first_arrival)
+
+    def achieved_qps(self) -> float:
+        """Completed queries per second over the makespan."""
+        span = self.makespan_ms()
+        if span <= 0:
+            return 0.0
+        return 1000.0 * len(self._records) / span
+
+    def goodput_qps(self) -> float:
+        """QoS-compliant queries per second over the makespan (Fig. 5's notion of served)."""
+        span = self.makespan_ms()
+        if span <= 0:
+            return 0.0
+        ok = sum(1 for r in self._records if r.meets_qos(self.qos_ms))
+        return 1000.0 * ok / span
+
+    # -- distribution of work ---------------------------------------------------------------
+    def queries_by_type(self) -> Dict[str, int]:
+        result: Dict[str, int] = {}
+        for r in self._records:
+            result[r.server_type] = result.get(r.server_type, 0) + 1
+        return result
+
+    def mean_batch_by_type(self) -> Dict[str, float]:
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for r in self._records:
+            sums[r.server_type] = sums.get(r.server_type, 0.0) + r.query.batch_size
+            counts[r.server_type] = counts.get(r.server_type, 0) + 1
+        return {k: sums[k] / counts[k] for k in sums}
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dict used by reports and tests."""
+        return {
+            "num_queries": float(len(self._records)),
+            "tail_latency_ms": self.tail_latency_ms() if self._records else float("nan"),
+            "mean_latency_ms": self.mean_latency_ms() if self._records else float("nan"),
+            "qos_violation_rate": self.qos_violation_rate(),
+            "achieved_qps": self.achieved_qps(),
+            "goodput_qps": self.goodput_qps(),
+            "meets_qos": float(self.meets_qos()) if self._records else float("nan"),
+        }

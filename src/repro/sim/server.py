@@ -1,0 +1,132 @@
+"""Simulated inference server instances.
+
+Each allocated cloud instance hosts one copy of the model and serves exactly one query
+(one batch) at a time, as in the paper's Triton-style implementation (Sec. 6).  Queries
+dispatched to a busy server queue locally in FIFO order; the server's ``busy_until``
+timestamp therefore accumulates the backlog.  True service latencies come from the
+model/instance latency profile, optionally perturbed by a service-time noise model to
+emulate cloud performance variability (Fig. 16b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cloud.instances import InstanceType
+from repro.cloud.profiles import LatencyProfile
+from repro.workload.query import Query
+
+#: Optional callable perturbing a true latency: (latency_ms, rng) -> perturbed latency.
+ServiceNoiseModel = Callable[[float, np.random.Generator], float]
+
+
+@dataclass
+class ServerInstance:
+    """One allocated cloud instance running one model copy.
+
+    Attributes
+    ----------
+    server_id:
+        Index of the server within its cluster.
+    instance_type:
+        The cloud VM type backing this server.
+    profile:
+        True latency profile of the served model on this instance type.
+    busy_until_ms:
+        Simulated time at which the server's local queue drains (<= now means idle).
+    """
+
+    server_id: int
+    instance_type: InstanceType
+    profile: LatencyProfile
+    busy_until_ms: float = 0.0
+    dispatch_overhead_ms: float = 0.0
+
+    # accounting
+    queries_served: int = 0
+    busy_time_ms: float = 0.0
+    local_queue_depth: int = 0
+    _service_log: List[float] = field(default_factory=list, repr=False)
+
+    # -- state queries -----------------------------------------------------------------
+    def is_idle(self, now_ms: float) -> bool:
+        """True when the server has no running or locally queued query at ``now_ms``."""
+        return self.busy_until_ms <= now_ms + 1e-9
+
+    def remaining_busy_ms(self, now_ms: float) -> float:
+        """Time until the server's local queue drains (0 when idle)."""
+        return max(0.0, self.busy_until_ms - now_ms)
+
+    def earliest_start_ms(self, now_ms: float) -> float:
+        """Earliest time a newly dispatched query could start service."""
+        return max(now_ms, self.busy_until_ms)
+
+    # -- service -------------------------------------------------------------------------
+    def true_service_latency_ms(
+        self,
+        query: Query,
+        *,
+        noise: Optional[ServiceNoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Ground-truth service latency of ``query`` on this server."""
+        latency = float(self.profile.latency_ms(query.batch_size))
+        if noise is not None:
+            if rng is None:
+                raise ValueError("a noise model requires an rng")
+            latency = max(1e-6, float(noise(latency, rng)))
+        return latency
+
+    def dispatch(
+        self,
+        query: Query,
+        now_ms: float,
+        *,
+        noise: Optional[ServiceNoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple:
+        """Commit ``query`` to this server; returns ``(start_ms, completion_ms, service_ms)``.
+
+        The query starts when the local queue drains and occupies the server for its
+        true service latency plus the configured dispatch overhead (modelling the
+        controller-to-server RPC).
+        """
+        start = self.earliest_start_ms(now_ms) + self.dispatch_overhead_ms
+        service = self.true_service_latency_ms(query, noise=noise, rng=rng)
+        completion = start + service
+        self.busy_until_ms = completion
+        self.queries_served += 1
+        self.busy_time_ms += service
+        self.local_queue_depth += 1
+        self._service_log.append(service)
+        return start, completion, service
+
+    def complete_one(self) -> None:
+        """Acknowledge that one dispatched query finished (pops the local queue)."""
+        if self.local_queue_depth <= 0:
+            raise RuntimeError("completion acknowledged on a server with an empty local queue")
+        self.local_queue_depth -= 1
+
+    def utilization(self, horizon_ms: float) -> float:
+        """Fraction of ``[0, horizon_ms]`` the server spent serving queries."""
+        if horizon_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_ms / horizon_ms)
+
+    def reset(self) -> None:
+        """Clear all dynamic state (used when reusing a cluster across runs)."""
+        self.busy_until_ms = 0.0
+        self.queries_served = 0
+        self.busy_time_ms = 0.0
+        self.local_queue_depth = 0
+        self._service_log.clear()
+
+    @property
+    def type_name(self) -> str:
+        return self.instance_type.name
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Server{self.server_id}[{self.instance_type.name}]"

@@ -1,0 +1,267 @@
+"""End-to-end serving simulation.
+
+``simulate_serving`` drives a :class:`~repro.sim.cluster.Cluster` through a query
+stream under a pluggable query-distribution policy:
+
+1. queries arrive at the central controller and join the pending queue;
+2. whenever an event fires (arrival or a server finishing a query) the policy is asked
+   to map pending queries to servers;
+3. committed queries are dispatched to their server's local FIFO queue, their true
+   service latency is drawn from the latency profile (plus optional noise), and a
+   completion event is scheduled;
+4. per-query records feed :class:`~repro.sim.metrics.ServingMetrics`.
+
+A policy is any object implementing the small protocol documented in
+:class:`repro.schedulers.base.SchedulingPolicy` (``bind``, ``schedule``,
+``observe_completion``); the simulator itself only relies on duck typing so the Kairos
+controller and all baselines plug in identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.models import MLModel
+from repro.cloud.profiles import ProfileRegistry
+from repro.sim.cluster import Cluster
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.events import Event, EventKind
+from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.sim.server import ServiceNoiseModel
+from repro.utils.rng import RngLike, ensure_rng
+from repro.workload.query import Query
+
+
+@dataclass
+class SimulationReport:
+    """Everything a serving run produced."""
+
+    metrics: ServingMetrics
+    cluster: Cluster
+    policy_name: str
+    scheduling_rounds: int
+    dispatched_queries: int
+    total_queries: int
+    simulated_duration_ms: float
+    early_stopped: bool = False
+
+    @property
+    def completed_all(self) -> bool:
+        return self.dispatched_queries == self.total_queries and not self.early_stopped
+
+    def utilization_by_type(self) -> Dict[str, float]:
+        return self.cluster.utilization_by_type(self.simulated_duration_ms)
+
+    def summary(self) -> Dict[str, float]:
+        data = dict(self.metrics.summary())
+        data["scheduling_rounds"] = float(self.scheduling_rounds)
+        data["simulated_duration_ms"] = self.simulated_duration_ms
+        data["early_stopped"] = float(self.early_stopped)
+        return data
+
+
+class ServingSimulation:
+    """Reusable serving-simulation driver (see module docstring)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy,
+        *,
+        qos_ms: Optional[float] = None,
+        qos_percentile: float = 99.0,
+        noise: Optional[ServiceNoiseModel] = None,
+        rng: RngLike = None,
+        max_violations: Optional[int] = None,
+        warmup_queries: int = 0,
+    ):
+        self.cluster = cluster
+        self.policy = policy
+        self.qos_ms = float(qos_ms) if qos_ms is not None else cluster.model.qos_ms
+        self.qos_percentile = float(qos_percentile)
+        self.noise = noise
+        self.rng = ensure_rng(rng)
+        self.max_violations = max_violations
+        if warmup_queries < 0:
+            raise ValueError("warmup_queries must be non-negative")
+        # Queries with an id below this threshold are served normally but excluded from
+        # the QoS/throughput metrics — they cover the online latency learner's cold start
+        # (the paper measures steady-state allowable throughput on long runs).
+        self.warmup_queries = int(warmup_queries)
+
+    def run(self, queries: Sequence[Query]) -> SimulationReport:
+        """Serve ``queries`` to completion (or until the early-stop violation budget)."""
+        if not queries:
+            raise ValueError("cannot simulate an empty query stream")
+        ordered = sorted(queries, key=lambda q: (q.arrival_time_ms, q.query_id))
+        self.cluster.reset()
+        metrics = ServingMetrics(self.qos_ms, self.qos_percentile)
+        self.policy.bind(self.cluster, self.qos_ms)
+
+        clock = SimulationClock(0.0)
+        completions = EventQueue()
+        pending: List[Query] = []
+        arrival_idx = 0
+        n = len(ordered)
+        dispatched = 0
+        completed = 0
+        rounds = 0
+        violations = 0
+        early_stopped = False
+        # Queries in the warm-up window (earliest arrivals) are excluded from metrics.
+        warmup_ids = {q.query_id for q in ordered[: self.warmup_queries]}
+        # generous guard against a policy that never makes progress
+        max_steps = 20 * n + 1000
+        steps = 0
+
+        while completed < n and not early_stopped:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    f"simulation exceeded {max_steps} steps; the scheduling policy "
+                    f"{type(self.policy).__name__} appears to be making no progress"
+                )
+
+            next_arrival = ordered[arrival_idx].arrival_time_ms if arrival_idx < n else None
+            next_completion = completions.peek_time()
+            if next_arrival is None and next_completion is None:
+                # Pending queries but nothing scheduled and nothing in flight: the policy
+                # must act now or it never will.
+                if not pending:
+                    break
+                now = clock.now_ms
+            else:
+                candidates = [t for t in (next_arrival, next_completion) if t is not None]
+                now = clock.advance_to(min(candidates))
+
+            # 1. process completions at `now` (frees servers before new work is placed)
+            for event in completions.pop_until(now):
+                record: QueryRecord = event.payload
+                completed += 1
+                self.cluster[record.server_id].complete_one()
+                if record.query.query_id not in warmup_ids:
+                    if record.latency_ms > self.qos_ms + 1e-9:
+                        violations += 1
+                    metrics.record(record)
+                self.policy.observe_completion(record)
+                if self.max_violations is not None and violations > self.max_violations:
+                    early_stopped = True
+            if early_stopped:
+                break
+
+            # 2. admit arrivals at `now`
+            while arrival_idx < n and ordered[arrival_idx].arrival_time_ms <= now + 1e-12:
+                pending.append(ordered[arrival_idx])
+                arrival_idx += 1
+
+            # 3. ask the policy for assignments
+            made_progress = False
+            if pending:
+                assignments = self.policy.schedule(now, list(pending), self.cluster)
+                rounds += 1
+                if assignments:
+                    dispatched += self._commit(assignments, pending, now, completions)
+                    made_progress = True
+
+            # 4. nothing in flight, nothing arriving, and the policy declines to place
+            #    the remaining queries: end the run (the remainder counts as unserved).
+            if (
+                pending
+                and not made_progress
+                and arrival_idx >= n
+                and len(completions) == 0
+            ):
+                break
+
+        duration = metrics.makespan_ms() if len(metrics) else clock.now_ms
+        return SimulationReport(
+            metrics=metrics,
+            cluster=self.cluster,
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            scheduling_rounds=rounds,
+            dispatched_queries=dispatched,
+            total_queries=n,
+            simulated_duration_ms=duration,
+            early_stopped=early_stopped,
+        )
+
+    # -- internals ------------------------------------------------------------------------
+    def _commit(
+        self,
+        assignments: Sequence[Tuple[Query, int]],
+        pending: List[Query],
+        now: float,
+        completions: EventQueue,
+    ) -> int:
+        pending_ids = {q.query_id for q in pending}
+        count = 0
+        for query, server_idx in assignments:
+            if query.query_id not in pending_ids:
+                raise ValueError(
+                    f"policy assigned query {query.query_id}, which is not pending"
+                )
+            if not 0 <= server_idx < len(self.cluster):
+                raise ValueError(f"policy assigned an unknown server index {server_idx}")
+            server = self.cluster[server_idx]
+            start, completion, service = server.dispatch(
+                query, now, noise=self.noise, rng=self.rng
+            )
+            record = QueryRecord(
+                query=query,
+                server_id=server.server_id,
+                server_type=server.type_name,
+                start_ms=start,
+                completion_ms=completion,
+                service_ms=service,
+            )
+            completions.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
+            pending_ids.discard(query.query_id)
+            count += 1
+        # preserve arrival order of whatever was not assigned
+        pending[:] = [q for q in pending if q.query_id in pending_ids]
+        return count
+
+
+def simulate_serving(
+    config: HeterogeneousConfig,
+    model: MLModel,
+    profiles: ProfileRegistry,
+    policy,
+    queries: Sequence[Query],
+    *,
+    qos_ms: Optional[float] = None,
+    qos_percentile: float = 99.0,
+    dispatch_overhead_ms: float = 0.0,
+    noise: Optional[ServiceNoiseModel] = None,
+    rng: RngLike = None,
+    max_violations: Optional[int] = None,
+    warmup_queries: int = 0,
+) -> SimulationReport:
+    """Convenience wrapper: build the cluster and run one serving simulation."""
+    cluster = Cluster(config, model, profiles, dispatch_overhead_ms=dispatch_overhead_ms)
+    sim = ServingSimulation(
+        cluster,
+        policy,
+        qos_ms=qos_ms,
+        qos_percentile=qos_percentile,
+        noise=noise,
+        rng=rng,
+        max_violations=max_violations,
+        warmup_queries=warmup_queries,
+    )
+    return sim.run(queries)
+
+
+def gaussian_service_noise(relative_std: float) -> ServiceNoiseModel:
+    """A multiplicative Gaussian service-time noise model (Fig. 16b uses 5%)."""
+    if relative_std < 0:
+        raise ValueError("relative_std must be non-negative")
+
+    def noise(latency_ms: float, rng: np.random.Generator) -> float:
+        return latency_ms * float(1.0 + relative_std * rng.standard_normal())
+
+    return noise

@@ -1,0 +1,46 @@
+"""Greedy bipartite matcher.
+
+Sorts all (row, column) pairs by cost and accepts each pair whose row and column are
+still free.  Not optimal, but fast and simple — used as an ablation point to quantify
+how much of Kairos's benefit comes from solving the matching exactly versus merely
+being heterogeneity-aware.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def greedy_assignment(cost: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Greedy min-cost matching; returns ``(row_indices, col_indices)`` sorted by row."""
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost matrix must be 2-D, got shape {cost.shape}")
+    m, n = cost.shape
+    if m == 0 or n == 0:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int)
+    if not np.all(np.isfinite(cost)):
+        raise ValueError("cost matrix must be finite; encode forbidden pairs as large penalties")
+
+    target = min(m, n)
+    order = np.argsort(cost, axis=None, kind="stable")
+    rows_taken = np.zeros(m, dtype=bool)
+    cols_taken = np.zeros(n, dtype=bool)
+    rows = []
+    cols = []
+    for flat in order:
+        i, j = divmod(int(flat), n)
+        if rows_taken[i] or cols_taken[j]:
+            continue
+        rows_taken[i] = True
+        cols_taken[j] = True
+        rows.append(i)
+        cols.append(j)
+        if len(rows) == target:
+            break
+    rows_arr = np.asarray(rows, dtype=int)
+    cols_arr = np.asarray(cols, dtype=int)
+    sort = np.argsort(rows_arr)
+    return rows_arr[sort], cols_arr[sort]

@@ -1,0 +1,70 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic components in the library accept either an integer seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  ``ensure_rng`` normalizes those into a
+Generator so that experiments are reproducible end to end, and ``spawn_rngs`` derives
+independent child generators for parallel components (e.g. one per simulated instance)
+without correlated streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed-like input.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh entropy), an ``int`` seed, a ``SeedSequence`` or an existing
+        ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    The children are derived through ``SeedSequence.spawn`` when a seed is supplied and
+    through independently drawn 64-bit seeds when an already-instantiated generator is
+    supplied, so repeated calls on the same generator yield different (but still
+    deterministic) children.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(rng, (int, np.integer)):
+        seq = np.random.SeedSequence(int(rng))
+        return [np.random.default_rng(child) for child in seq.spawn(n)]
+    if isinstance(rng, np.random.SeedSequence):
+        return [np.random.default_rng(child) for child in rng.spawn(n)]
+    gen = ensure_rng(rng)
+    seeds = gen.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def stable_choice(rng: RngLike, items: Iterable, size: Optional[int] = None):
+    """Choose from ``items`` with a normalized generator (convenience for tests)."""
+    gen = ensure_rng(rng)
+    arr = list(items)
+    if not arr:
+        raise ValueError("cannot choose from an empty collection")
+    idx = gen.integers(0, len(arr), size=size)
+    if size is None:
+        return arr[int(idx)]
+    return [arr[int(i)] for i in np.atleast_1d(idx)]

@@ -1,0 +1,98 @@
+"""ASCII table / series formatting used by the experiment drivers and benchmarks.
+
+The benchmark harnesses print the rows and series of every paper figure; these helpers
+keep that output aligned and copy-pasteable without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    float_fmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` entries.
+    float_fmt:
+        ``format`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    header_cells = [str(h) for h in headers]
+    body = []
+    for row in rows:
+        cells = [_format_cell(v, float_fmt) for v in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(header_cells)} columns"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells):
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[Number]],
+    *,
+    index: Optional[Sequence] = None,
+    index_name: str = "x",
+    float_fmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more named numeric series against a shared index as a table."""
+    if not series:
+        raise ValueError("series must contain at least one entry")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series have inconsistent lengths: {sorted(lengths)}")
+    n = lengths.pop()
+    if index is None:
+        index = list(range(n))
+    if len(index) != n:
+        raise ValueError(f"index length {len(index)} does not match series length {n}")
+    headers = [index_name, *series.keys()]
+    rows = []
+    for i in range(n):
+        rows.append([index[i], *[values[i] for values in series.values()]])
+    return format_table(headers, rows, float_fmt=float_fmt, title=title)
+
+
+def format_mapping(mapping: Mapping, *, float_fmt: str = ".3f", title: Optional[str] = None) -> str:
+    """Render a flat mapping as a two-column key/value table."""
+    rows = [[key, value] for key, value in mapping.items()]
+    return format_table(["key", "value"], rows, float_fmt=float_fmt, title=title)

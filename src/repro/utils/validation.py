@@ -1,0 +1,98 @@
+"""Small argument-validation helpers used across the library.
+
+The helpers raise ``ValueError`` with consistent, greppable messages.  They return the
+validated value so they compose naturally inside constructors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Require ``value > 0``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Require ``value >= 0``."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Require ``0 <= value <= 1``."""
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    name: str = "value",
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Require ``low <= value <= high`` (or strict inequalities with ``inclusive=False``)."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if low is not None:
+        ok = value >= low if inclusive else value > low
+        if not ok:
+            raise ValueError(f"{name}={value!r} below allowed minimum {low!r}")
+    if high is not None:
+        ok = value <= high if inclusive else value < high
+        if not ok:
+            raise ValueError(f"{name}={value!r} above allowed maximum {high!r}")
+    return float(value)
+
+
+def check_finite(array, name: str = "array") -> np.ndarray:
+    """Require every element of ``array`` to be finite; returns it as an ndarray."""
+    arr = np.asarray(array, dtype=float)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_positive_int(value, name: str = "value") -> int:
+    """Require a positive integer (floats with integral values are accepted)."""
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got a bool")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    if not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value, name: str = "value") -> int:
+    """Require a non-negative integer."""
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got a bool")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    if not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def approx_equal(a: float, b: float, rel: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Symmetric floating-point comparison used in invariants and tests."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)

@@ -1,0 +1,45 @@
+"""Workload substrate: queries, batch-size distributions, arrival processes, traces.
+
+The paper drives its evaluation with the Meta production query-size trace and Poisson
+arrivals.  This package regenerates statistically equivalent workloads: heavy-tailed
+("production-like") batch-size mixes, Gaussian alternatives, Poisson or deterministic
+arrivals, multi-phase workloads whose distribution shifts mid-run, and simple trace I/O.
+"""
+
+from repro.workload.query import Query
+from repro.workload.batch_sizes import (
+    BatchSizeDistribution,
+    EmpiricalBatchSizes,
+    FixedBatchSizes,
+    GaussianBatchSizes,
+    TruncatedLogNormalBatchSizes,
+    production_batch_distribution,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivalProcess,
+    PoissonArrivalProcess,
+)
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.phases import PhasedWorkloadGenerator, WorkloadPhase
+from repro.workload.trace import load_trace, save_trace, synthesize_trace
+
+__all__ = [
+    "Query",
+    "BatchSizeDistribution",
+    "TruncatedLogNormalBatchSizes",
+    "GaussianBatchSizes",
+    "EmpiricalBatchSizes",
+    "FixedBatchSizes",
+    "production_batch_distribution",
+    "ArrivalProcess",
+    "PoissonArrivalProcess",
+    "DeterministicArrivalProcess",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "WorkloadPhase",
+    "PhasedWorkloadGenerator",
+    "load_trace",
+    "save_trace",
+    "synthesize_trace",
+]

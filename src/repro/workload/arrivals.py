@@ -1,0 +1,94 @@
+"""Query arrival processes.
+
+The paper generates query inter-arrivals from a Poisson process (Sec. 7) at rates of
+hundreds of queries per second; a deterministic (evenly spaced) process is also provided
+for controlled unit tests and the illustrative Fig. 5 example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class ArrivalProcess:
+    """Interface: produce absolute arrival times (ms) for ``n`` queries at a target rate."""
+
+    def arrival_times_ms(
+        self, n: int, rate_qps: float, rng: RngLike = None, start_time_ms: float = 0.0
+    ) -> np.ndarray:
+        """Absolute arrival times in milliseconds, sorted ascending, length ``n``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonArrivalProcess(ArrivalProcess):
+    """Memoryless arrivals: exponential inter-arrival times with mean ``1000 / rate``."""
+
+    def arrival_times_ms(
+        self, n: int, rate_qps: float, rng: RngLike = None, start_time_ms: float = 0.0
+    ) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        check_positive(rate_qps, "rate_qps")
+        check_non_negative(start_time_ms, "start_time_ms")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        gen = ensure_rng(rng)
+        mean_gap_ms = 1000.0 / rate_qps
+        gaps = gen.exponential(scale=mean_gap_ms, size=n)
+        return start_time_ms + np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class DeterministicArrivalProcess(ArrivalProcess):
+    """Evenly spaced arrivals at exactly the target rate (no randomness)."""
+
+    def arrival_times_ms(
+        self, n: int, rate_qps: float, rng: RngLike = None, start_time_ms: float = 0.0
+    ) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        check_positive(rate_qps, "rate_qps")
+        check_non_negative(start_time_ms, "start_time_ms")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        gap_ms = 1000.0 / rate_qps
+        return start_time_ms + gap_ms * np.arange(1, n + 1, dtype=float)
+
+
+@dataclass(frozen=True)
+class BurstyArrivalProcess(ArrivalProcess):
+    """Arrivals in bursts: groups of ``burst_size`` queries share one Poisson arrival slot.
+
+    Not used by the paper's headline experiments but useful for stress-testing the
+    query-distribution mechanism, which must handle many queries arriving concurrently.
+    """
+
+    burst_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+
+    def arrival_times_ms(
+        self, n: int, rate_qps: float, rng: RngLike = None, start_time_ms: float = 0.0
+    ) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        check_positive(rate_qps, "rate_qps")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        gen = ensure_rng(rng)
+        n_bursts = int(np.ceil(n / self.burst_size))
+        burst_rate = rate_qps / self.burst_size
+        mean_gap_ms = 1000.0 / burst_rate
+        gaps = gen.exponential(scale=mean_gap_ms, size=n_bursts)
+        burst_times = start_time_ms + np.cumsum(gaps)
+        times = np.repeat(burst_times, self.burst_size)[:n]
+        return times

@@ -1,0 +1,107 @@
+"""Workload generation: combine a batch-size distribution with an arrival process.
+
+A :class:`WorkloadSpec` captures everything that defines a query stream except the
+arrival rate (which the allowable-throughput search sweeps), so experiments pass a spec
+plus a rate and get a concrete list of :class:`~repro.workload.query.Query` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivalProcess
+from repro.workload.batch_sizes import BatchSizeDistribution, production_batch_distribution
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a query stream.
+
+    Attributes
+    ----------
+    batch_sizes:
+        Distribution of query batch sizes.
+    arrivals:
+        Arrival process (Poisson by default, as in the paper).
+    num_queries:
+        How many queries a single generated workload contains.
+    """
+
+    batch_sizes: BatchSizeDistribution = field(default_factory=production_batch_distribution)
+    arrivals: ArrivalProcess = field(default_factory=PoissonArrivalProcess)
+    num_queries: int = 2000
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_queries, "num_queries")
+
+    def with_num_queries(self, num_queries: int) -> "WorkloadSpec":
+        return replace(self, num_queries=num_queries)
+
+    def with_batch_sizes(self, batch_sizes: BatchSizeDistribution) -> "WorkloadSpec":
+        return replace(self, batch_sizes=batch_sizes)
+
+
+class WorkloadGenerator:
+    """Generates concrete query streams from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: Optional[WorkloadSpec] = None):
+        self.spec = spec if spec is not None else WorkloadSpec()
+
+    def generate(
+        self,
+        rate_qps: float,
+        rng: RngLike = None,
+        *,
+        num_queries: Optional[int] = None,
+        start_time_ms: float = 0.0,
+        first_query_id: int = 0,
+    ) -> List[Query]:
+        """Generate a list of queries arriving at an average of ``rate_qps``.
+
+        The batch-size stream and the arrival stream are drawn from independent child
+        generators of ``rng`` so that changing the arrival rate does not perturb the
+        batch-size sequence — important for apples-to-apples capacity searches.
+        """
+        check_positive(rate_qps, "rate_qps")
+        n = num_queries if num_queries is not None else self.spec.num_queries
+        check_positive_int(n, "num_queries")
+        gen = ensure_rng(rng)
+        batch_rng, arrival_rng = _independent_children(gen, 2)
+        batches = self.spec.batch_sizes.sample(n, batch_rng)
+        times = self.spec.arrivals.arrival_times_ms(
+            n, rate_qps, arrival_rng, start_time_ms=start_time_ms
+        )
+        return [
+            Query(query_id=first_query_id + i, batch_size=int(batches[i]), arrival_time_ms=float(times[i]))
+            for i in range(n)
+        ]
+
+    def sample_batch_sizes(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Draw only batch sizes (used by the planner's query monitor warm-up)."""
+        return self.spec.batch_sizes.sample(n, rng)
+
+
+def _independent_children(gen: np.random.Generator, n: int) -> List[np.random.Generator]:
+    seeds = gen.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def queries_from_batches(
+    batch_sizes: Sequence[int],
+    arrival_times_ms: Sequence[float],
+    *,
+    first_query_id: int = 0,
+) -> List[Query]:
+    """Build queries directly from parallel batch-size / arrival-time sequences."""
+    if len(batch_sizes) != len(arrival_times_ms):
+        raise ValueError("batch_sizes and arrival_times_ms must have the same length")
+    return [
+        Query(query_id=first_query_id + i, batch_size=int(b), arrival_time_ms=float(t))
+        for i, (b, t) in enumerate(zip(batch_sizes, arrival_times_ms))
+    ]

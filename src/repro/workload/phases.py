@@ -1,0 +1,88 @@
+"""Multi-phase workloads whose batch-size distribution changes over time.
+
+Sec. 8.4 / Fig. 12 of the paper evaluates the transient behaviour when the query-size
+probability distribution changes (log-normal → Gaussian): every scheme must restart its
+configuration search, and the figure tracks the throughput of the configurations each
+scheme evaluates during the transient.  :class:`PhasedWorkloadGenerator` produces the
+corresponding query streams and exposes per-phase boundaries so experiments can detect
+the change point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive, check_positive_int
+from repro.workload.batch_sizes import BatchSizeDistribution
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One phase of a phased workload: a batch-size distribution and a query count."""
+
+    batch_sizes: BatchSizeDistribution
+    num_queries: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_queries, "num_queries")
+
+
+class PhasedWorkloadGenerator:
+    """Concatenates per-phase workloads into one continuous query stream."""
+
+    def __init__(self, phases: Sequence[WorkloadPhase], spec: Optional[WorkloadSpec] = None):
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases: Tuple[WorkloadPhase, ...] = tuple(phases)
+        self._base_spec = spec if spec is not None else WorkloadSpec()
+
+    def generate(
+        self, rate_qps: float, rng: RngLike = None, *, start_time_ms: float = 0.0
+    ) -> Tuple[List[Query], List[int]]:
+        """Generate the full stream.
+
+        Returns
+        -------
+        queries:
+            All phases concatenated, with globally increasing query ids and arrival times.
+        phase_boundaries:
+            Index (into ``queries``) of the first query of each phase after the first —
+            i.e. the change points.  Empty when there is a single phase.
+        """
+        check_positive(rate_qps, "rate_qps")
+        gen = ensure_rng(rng)
+        child_rngs = spawn_rngs(gen, len(self.phases))
+        queries: List[Query] = []
+        boundaries: List[int] = []
+        clock = float(start_time_ms)
+        next_id = 0
+        for phase_idx, phase in enumerate(self.phases):
+            if phase_idx > 0:
+                boundaries.append(len(queries))
+            spec = self._base_spec.with_batch_sizes(phase.batch_sizes).with_num_queries(
+                phase.num_queries
+            )
+            phase_queries = WorkloadGenerator(spec).generate(
+                rate_qps,
+                child_rngs[phase_idx],
+                start_time_ms=clock,
+                first_query_id=next_id,
+            )
+            queries.extend(phase_queries)
+            next_id += len(phase_queries)
+            if phase_queries:
+                clock = phase_queries[-1].arrival_time_ms
+        return queries, boundaries
+
+    def phase_of_query(self, query_index: int, boundaries: Sequence[int]) -> int:
+        """Phase index of the query at position ``query_index`` given the boundaries."""
+        phase = 0
+        for b in boundaries:
+            if query_index >= b:
+                phase += 1
+        return phase

@@ -1,0 +1,67 @@
+"""Simple query-trace persistence and synthesis.
+
+The paper replays a production trace of query batch sizes.  The reproduction synthesizes
+equivalent traces (``synthesize_trace``) and can persist/reload them as plain CSV so
+experiments are repeatable byte-for-byte without regeneration.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive, check_positive_int
+from repro.workload.batch_sizes import BatchSizeDistribution, production_batch_distribution
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.query import Query
+
+_FIELDS = ("query_id", "batch_size", "arrival_time_ms")
+
+
+def save_trace(queries: Iterable[Query], path: Union[str, Path]) -> Path:
+    """Write queries to a CSV trace file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_FIELDS)
+        for q in queries:
+            writer.writerow([q.query_id, q.batch_size, f"{q.arrival_time_ms:.6f}"])
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> List[Query]:
+    """Read a CSV trace file written by :func:`save_trace`."""
+    path = Path(path)
+    queries: List[Query] = []
+    with path.open("r", newline="") as fh:
+        reader = csv.DictReader(fh)
+        missing = [f for f in _FIELDS if f not in (reader.fieldnames or [])]
+        if missing:
+            raise ValueError(f"trace file {path} is missing columns: {missing}")
+        for row in reader:
+            queries.append(
+                Query(
+                    query_id=int(row["query_id"]),
+                    batch_size=int(row["batch_size"]),
+                    arrival_time_ms=float(row["arrival_time_ms"]),
+                )
+            )
+    return queries
+
+
+def synthesize_trace(
+    num_queries: int,
+    rate_qps: float,
+    *,
+    batch_sizes: Optional[BatchSizeDistribution] = None,
+    rng: RngLike = None,
+) -> List[Query]:
+    """Generate a synthetic production-like trace (log-normal batches, Poisson arrivals)."""
+    check_positive_int(num_queries, "num_queries")
+    check_positive(rate_qps, "rate_qps")
+    dist = batch_sizes if batch_sizes is not None else production_batch_distribution()
+    spec = WorkloadSpec(batch_sizes=dist, num_queries=num_queries)
+    return WorkloadGenerator(spec).generate(rate_qps, rng)

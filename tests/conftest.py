@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+from repro.cloud.models import get_model
+from repro.cloud.profiles import default_profile_registry
+from repro.sim.cluster import Cluster
+from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """The calibrated default profile registry (session-scoped: it is immutable)."""
+    return default_profile_registry()
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return DEFAULT_INSTANCE_CATALOG
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def rm2():
+    return get_model("RM2")
+
+
+@pytest.fixture
+def wnd():
+    return get_model("WND")
+
+
+@pytest.fixture
+def small_config(catalog):
+    """A small heterogeneous configuration: 1 GPU, 1 c5n, 2 r5n."""
+    return HeterogeneousConfig((1, 1, 2, 0), catalog)
+
+
+@pytest.fixture
+def rm2_cluster(small_config, rm2, profiles):
+    return Cluster(small_config, rm2, profiles)
+
+
+@pytest.fixture
+def small_workload(rng):
+    """A short, reproducible query stream for simulation tests."""
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+        num_queries=120,
+    )
+    return WorkloadGenerator(spec).generate(rate_qps=40.0, rng=rng)

@@ -1,0 +1,121 @@
+"""Integration tests: whole-system behaviour across modules.
+
+These exercise the same paths as the benchmark harnesses but at a reduced scale, so the
+headline claims of the paper are checked on every test run:
+
+* Kairos's heterogeneous serving beats the homogeneous baseline (Fig. 8's direction);
+* Kairos's query distribution beats Ribbon's FCFS on the same configuration (Fig. 3/9);
+* the one-shot selection lands within the top upper-bound configurations (Fig. 13);
+* Kairos+ needs only a small fraction of the space (Fig. 10/11).
+"""
+
+import pytest
+
+from repro.analysis.motivation import fig5_slack_example, fig7_upper_bound_scenarios
+from repro.analysis.schemes import SchemeRunner
+from repro.analysis.settings import ExperimentSettings
+from repro.cloud.billing import BillingModel
+from repro.core.kairos import KairosPlanner
+from repro.core.kairos_plus import KairosPlusSearch
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.sim.capacity import measure_allowable_throughput
+from repro.workload.batch_sizes import production_batch_distribution
+from repro.workload.generator import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings.fast().scaled(num_queries=350, capacity_iterations=5)
+
+
+@pytest.fixture(scope="module")
+def rm2_runner(settings):
+    return SchemeRunner(settings, "RM2")
+
+
+@pytest.fixture(scope="module")
+def rm2_plan(settings):
+    planner = KairosPlanner(
+        settings.model("RM2"),
+        settings.budget_per_hour,
+        profiles=settings.registry(),
+        batch_samples=settings.monitored_batches(),
+    )
+    return planner.plan()
+
+
+class TestHeadlineClaims:
+    def test_kairos_beats_homogeneous_for_rm2(self, settings, rm2_runner, rm2_plan):
+        baseline = rm2_runner.homogeneous_baseline()
+        kairos_qps = rm2_runner.measure(rm2_plan.selected_config, "KAIROS")
+        assert kairos_qps > 1.2 * baseline["scaled_qps"]
+
+    def test_kairos_distribution_beats_ribbon_on_selected_config(self, rm2_runner, rm2_plan):
+        config = rm2_plan.selected_config
+        kairos_qps = rm2_runner.measure(config, "KAIROS")
+        ribbon_qps = rm2_runner.measure(config, "RIBBON")
+        assert kairos_qps >= ribbon_qps * 0.95  # never materially worse
+        # and the oracle stays above both
+        assert rm2_runner.oracle_throughput(config) >= max(kairos_qps, ribbon_qps) * 0.95
+
+    def test_upper_bound_is_respected_by_measurement(self, rm2_runner, rm2_plan):
+        config = rm2_plan.selected_config
+        measured = rm2_runner.measure(config, "KAIROS")
+        assert measured <= rm2_plan.selected_upper_bound * 1.05
+
+    def test_selected_config_is_heterogeneous(self, rm2_plan):
+        assert not rm2_plan.selected_config.is_homogeneous()
+        assert rm2_plan.selected_config.base_count >= 1
+
+    def test_kairos_plus_prunes_most_of_the_space(self, rm2_runner, rm2_plan):
+        result = KairosPlusSearch(rm2_plan.ranked, rm2_runner.oracle_throughput).run()
+        assert result.evaluated_fraction < 0.05
+        assert result.best_config is not None
+
+    def test_fig5_and_fig7_reproduce_exactly(self):
+        fig5 = fig5_slack_example()
+        served = fig5.column("served_within_qos")
+        assert served == [3, 4]
+        fig7 = fig7_upper_bound_scenarios()
+        computed = fig7.column("computed_QPS_max")
+        assert computed[0] == pytest.approx(225.0)
+        assert computed[1] == pytest.approx(233.333, rel=1e-3)
+
+
+class TestCrossModelBehaviour:
+    @pytest.mark.parametrize("model_name", ["WND", "DIEN"])
+    def test_planner_selects_budget_feasible_heterogeneous_config(self, settings, model_name):
+        planner = KairosPlanner(
+            settings.model(model_name),
+            settings.budget_per_hour,
+            profiles=settings.registry(),
+            batch_samples=settings.monitored_batches(),
+        )
+        plan = planner.plan()
+        assert plan.selected_config.fits_budget(settings.budget_per_hour)
+        assert plan.selected_config.base_count >= 1
+
+    def test_online_learning_matches_perfect_estimator_closely(self, settings):
+        """After warm-up the online latency learner must not cost much throughput."""
+        model = settings.model("WND")
+        profiles = settings.registry()
+        planner = KairosPlanner(
+            model, settings.budget_per_hour, profiles=profiles,
+            batch_samples=settings.monitored_batches(),
+        )
+        config = planner.plan().selected_config
+        spec = WorkloadSpec(batch_sizes=production_batch_distribution(), num_queries=350)
+        online = measure_allowable_throughput(
+            config, model, profiles, KairosPolicy,
+            workload_spec=spec, rng=5, max_iterations=5,
+        ).qps
+        perfect = measure_allowable_throughput(
+            config, model, profiles, lambda: KairosPolicy(use_perfect_estimator=True),
+            workload_spec=spec, rng=5, max_iterations=5,
+        ).qps
+        assert online >= 0.8 * perfect
+
+    def test_homogeneous_scaling_factor_applied(self, settings):
+        billing = BillingModel(settings.catalog())
+        scale = billing.homogeneous_budget_scaling("g4dn.xlarge", settings.budget_per_hour)
+        assert 1.0 < scale < 1.3

@@ -1,0 +1,73 @@
+"""Property-based tests for the assignment solvers.
+
+Invariants:
+
+* the from-scratch Jonker-Volgenant and Hungarian solvers always achieve exactly the
+  optimal cost reported by SciPy's reference implementation;
+* every solver produces a valid matching (unique rows/columns, min(m, n) pairs);
+* the greedy matcher never beats the optimum.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy.optimize import linear_sum_assignment
+
+from repro.solvers.greedy import greedy_assignment
+from repro.solvers.hungarian import hungarian_assignment
+from repro.solvers.jonker_volgenant import jonker_volgenant_assignment
+
+cost_matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 7), st.integers(1, 7)),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def optimal_cost(cost):
+    rows, cols = linear_sum_assignment(cost)
+    return cost[rows, cols].sum()
+
+
+def assert_valid_matching(cost, rows, cols):
+    m, n = cost.shape
+    assert len(rows) == len(cols) == min(m, n)
+    assert len(set(rows.tolist())) == len(rows)
+    assert len(set(cols.tolist())) == len(cols)
+    assert np.all((0 <= rows) & (rows < m))
+    assert np.all((0 <= cols) & (cols < n))
+
+
+@settings(max_examples=60, deadline=None)
+@given(cost=cost_matrices)
+def test_jonker_volgenant_is_optimal(cost):
+    rows, cols = jonker_volgenant_assignment(cost)
+    assert_valid_matching(cost, rows, cols)
+    assert cost[rows, cols].sum() == np.float64(cost[rows, cols].sum())
+    assert abs(cost[rows, cols].sum() - optimal_cost(cost)) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(cost=cost_matrices)
+def test_hungarian_is_optimal(cost):
+    rows, cols = hungarian_assignment(cost)
+    assert_valid_matching(cost, rows, cols)
+    assert abs(cost[rows, cols].sum() - optimal_cost(cost)) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(cost=cost_matrices)
+def test_greedy_is_valid_and_never_below_optimal(cost):
+    rows, cols = greedy_assignment(cost)
+    assert_valid_matching(cost, rows, cols)
+    assert cost[rows, cols].sum() >= optimal_cost(cost) - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(cost=cost_matrices, shift=st.floats(min_value=-50, max_value=50, allow_nan=False))
+def test_jv_invariant_under_constant_column_shift(cost, shift):
+    """Adding a constant to every entry shifts the optimal cost by min(m, n) * shift
+    but must not change the optimal matching's structure cost relative to scipy."""
+    shifted = cost + shift
+    rows, cols = jonker_volgenant_assignment(shifted)
+    assert abs(shifted[rows, cols].sum() - optimal_cost(shifted)) < 1e-6

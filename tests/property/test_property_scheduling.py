@@ -1,0 +1,84 @@
+"""Property-based tests for scheduling-level invariants.
+
+The key invariants the simulator and the Kairos distributor must uphold for *any*
+workload:
+
+* every committed assignment refers to a pending query and a real server, and no server
+  receives two queries in the same Kairos round;
+* simulated per-query latency always at least equals the true service latency (queueing
+  can only add time);
+* the oracle packing never violates QoS for the queries it assigns to auxiliary
+  instances and always serves every query when a base instance exists.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.models import get_model
+from repro.cloud.profiles import default_profile_registry
+from repro.core.distributor import QueryDistributor
+from repro.core.latency_model import PerfectLatencyEstimator
+from repro.core.heterogeneity import coefficients_from_profiles
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.schedulers.oracle import OracleScheduler
+from repro.sim.cluster import Cluster
+from repro.sim.simulation import simulate_serving
+from repro.workload.generator import queries_from_batches
+
+PROFILES = default_profile_registry()
+RM2 = get_model("RM2")
+
+batch_lists = st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=40)
+config_counts = st.tuples(
+    st.integers(1, 3), st.integers(0, 2), st.integers(0, 4), st.integers(0, 2)
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batches=batch_lists, counts=config_counts)
+def test_distributor_round_is_a_valid_partial_matching(batches, counts):
+    config = HeterogeneousConfig(counts)
+    cluster = Cluster(config, RM2, PROFILES)
+    estimator = PerfectLatencyEstimator(PROFILES, RM2)
+    coefficients = coefficients_from_profiles(PROFILES, RM2)
+    distributor = QueryDistributor(estimator, coefficients, RM2.qos_ms)
+    queries = queries_from_batches(batches, [0.0] * len(batches))
+    result = distributor.distribute(0.0, queries, cluster.servers)
+    assert len(result) == min(len(batches), len(cluster))
+    servers_used = [a.server_index for a in result.assignments]
+    assert len(set(servers_used)) == len(servers_used)
+    assigned_ids = {a.query.query_id for a in result.assignments}
+    assert assigned_ids <= {q.query_id for q in queries}
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches=batch_lists, counts=config_counts, seed=st.integers(0, 2**16))
+def test_simulated_latency_never_below_service_latency(batches, counts, seed):
+    config = HeterogeneousConfig(counts)
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0, 50.0 * len(batches), size=len(batches)))
+    queries = queries_from_batches(batches, arrivals)
+    report = simulate_serving(config, RM2, PROFILES, KairosPolicy(), queries)
+    for record in report.metrics.records:
+        true_latency = PROFILES.latency_ms(RM2, record.server_type, record.query.batch_size)
+        assert record.latency_ms >= true_latency - 1e-9
+        assert record.service_ms == true_latency
+    assert len(report.metrics) == len(queries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batches=batch_lists, counts=config_counts)
+def test_oracle_packing_respects_aux_qos(batches, counts):
+    config = HeterogeneousConfig(counts)
+    oracle = OracleScheduler(PROFILES, RM2)
+    result = oracle.pack(config, batches)
+    # with at least one base instance every query is served
+    assert result.queries_served == len(batches)
+    # auxiliary types never serve more queries than could fit under their cutoffs
+    for type_name, served in result.served_by_type.items():
+        if type_name == "g4dn.xlarge":
+            continue
+        cutoff = PROFILES.qos_cutoff_batch(RM2, type_name)
+        eligible = sum(1 for b in batches if b <= cutoff)
+        assert served <= eligible

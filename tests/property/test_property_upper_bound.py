@@ -1,0 +1,101 @@
+"""Property-based tests for the throughput upper bound (Eqs. 9-15)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.upper_bound import upper_bound_from_rates
+
+rates = st.floats(min_value=0.1, max_value=10_000.0, allow_nan=False, allow_infinity=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+counts = st.integers(min_value=0, max_value=30)
+aux_lists = st.lists(st.tuples(st.integers(0, 20), rates), min_size=0, max_size=4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(u=counts, q_b=rates, q_b_splus=rates, aux=aux_lists, f=fractions)
+def test_upper_bound_is_finite_and_non_negative(u, q_b, q_b_splus, aux, f):
+    value = upper_bound_from_rates(u, q_b, q_b_splus, aux, f)
+    assert value >= 0.0
+    assert math.isfinite(value)
+
+
+@settings(max_examples=120, deadline=None)
+@given(u=st.integers(1, 20), q_b=rates, q_b_splus=rates, aux=aux_lists, f=fractions)
+def test_monotone_in_base_count(u, q_b, q_b_splus, aux, f):
+    smaller = upper_bound_from_rates(u, q_b, q_b_splus, aux, f)
+    larger = upper_bound_from_rates(u + 1, q_b, q_b_splus, aux, f)
+    assert larger >= smaller - 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    u=st.integers(1, 20),
+    q_b=rates,
+    q_b_splus=rates,
+    v=st.integers(0, 20),
+    q_a=rates,
+    f=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_monotone_in_aux_count(u, q_b, q_b_splus, v, q_a, f):
+    smaller = upper_bound_from_rates(u, q_b, q_b_splus, [(v, q_a)], f)
+    larger = upper_bound_from_rates(u, q_b, q_b_splus, [(v + 1, q_a)], f)
+    assert larger >= smaller - 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(u=st.integers(1, 20), q_b=rates, q_b_splus=rates, f=fractions)
+def test_without_aux_equals_homogeneous_capacity(u, q_b, q_b_splus, f):
+    assert upper_bound_from_rates(u, q_b, q_b_splus, [], f) == u * q_b
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    u=st.integers(1, 10),
+    q_b=rates,
+    q_b_splus=rates,
+    v=st.integers(1, 10),
+    q_a=rates,
+    f=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_bound_never_exceeds_total_aggregate_service_rate(u, q_b, q_b_splus, v, q_a, f):
+    """The bound can never exceed what all instances could serve if every query were
+    cheap: u * max(Q_b, Q_b_s+) + v * Q_a."""
+    value = upper_bound_from_rates(u, q_b, q_b_splus, [(v, q_a)], f)
+    assert value <= u * max(q_b, q_b_splus) + v * q_a + 1e-6
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    u=st.integers(1, 10),
+    q_b=rates,
+    q_b_splus=rates,
+    v=st.integers(1, 10),
+    q_a=rates,
+    f=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_bound_matches_declared_branch(u, q_b, q_b_splus, v, q_a, f):
+    """The returned value equals whichever branch of Eq. 15 its condition selects,
+    floored at the base-only capacity ``u * Q_b``."""
+    value = upper_bound_from_rates(u, q_b, q_b_splus, [(v, q_a)], f)
+    offload = (1 - f) / f * v * q_a
+    if u * q_b_splus <= offload:
+        expected = u * q_b_splus / (1 - f)
+    else:
+        slack_ratio = (u * q_b_splus - offload) / (u * q_b_splus)
+        expected = v * q_a / f + slack_ratio * u * q_b
+    expected = max(expected, u * q_b)
+    assert value == expected or abs(value - expected) < 1e-9 * max(1.0, expected)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    u=st.integers(1, 10),
+    q_b=rates,
+    q_b_splus=rates,
+    aux=aux_lists,
+    f=fractions,
+)
+def test_bound_never_below_base_only_capacity(u, q_b, q_b_splus, aux, f):
+    """Base-only serving is always available, so the bound can never fall below it."""
+    assert upper_bound_from_rates(u, q_b, q_b_splus, aux, f) >= u * q_b - 1e-9

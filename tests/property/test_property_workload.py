@@ -1,0 +1,78 @@
+"""Property-based tests for workload generation and streaming statistics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.stats import StreamingStats
+from repro.workload.batch_sizes import GaussianBatchSizes, TruncatedLogNormalBatchSizes
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    median=st.floats(min_value=2.0, max_value=400.0),
+    sigma=st.floats(min_value=0.2, max_value=2.0),
+    seed=st.integers(0, 2**20),
+)
+def test_lognormal_samples_stay_in_support(median, sigma, seed):
+    dist = TruncatedLogNormalBatchSizes(median=median, sigma=sigma)
+    samples = dist.sample(300, seed)
+    assert samples.min() >= dist.min_batch
+    assert samples.max() <= dist.max_batch
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mean=st.floats(min_value=10.0, max_value=900.0),
+    std=st.floats(min_value=1.0, max_value=400.0),
+    thresholds=st.lists(st.integers(0, 1100), min_size=2, max_size=6),
+)
+def test_cdf_is_monotone_and_bounded(mean, std, thresholds):
+    dist = GaussianBatchSizes(mean=mean, std=std)
+    ordered = sorted(thresholds)
+    values = [dist.fraction_at_or_below(t) for t in ordered]
+    assert all(0.0 <= v <= 1.0 for v in values)
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rate=st.floats(min_value=1.0, max_value=500.0),
+    n=st.integers(min_value=1, max_value=200),
+    seed=st.integers(0, 2**20),
+)
+def test_generated_workloads_are_well_formed(rate, n, seed):
+    spec = WorkloadSpec(num_queries=n)
+    queries = WorkloadGenerator(spec).generate(rate, seed)
+    assert len(queries) == n
+    times = [q.arrival_time_ms for q in queries]
+    assert times == sorted(times)
+    assert all(q.batch_size >= 1 for q in queries)
+    assert [q.query_id for q in queries] == list(range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_streaming_stats_match_numpy(values):
+    stats = StreamingStats()
+    stats.extend(values)
+    assert np.isclose(stats.mean, np.mean(values), rtol=1e-9, atol=1e-6)
+    assert np.isclose(stats.variance, np.var(values), rtol=1e-6, atol=1e-6)
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.lists(st.floats(min_value=-1e5, max_value=1e5), min_size=1, max_size=80),
+    b=st.lists(st.floats(min_value=-1e5, max_value=1e5), min_size=1, max_size=80),
+)
+def test_streaming_stats_merge_equals_concatenation(a, b):
+    sa, sb = StreamingStats(), StreamingStats()
+    sa.extend(a)
+    sb.extend(b)
+    merged = sa.merge(sb)
+    combined = a + b
+    assert np.isclose(merged.mean, np.mean(combined), rtol=1e-9, atol=1e-6)
+    assert np.isclose(merged.variance, np.var(combined), rtol=1e-6, atol=1e-6)
+    assert merged.count == len(combined)

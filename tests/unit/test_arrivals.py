@@ -1,0 +1,77 @@
+"""Tests for repro.workload.arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    BurstyArrivalProcess,
+    DeterministicArrivalProcess,
+    PoissonArrivalProcess,
+)
+
+
+class TestPoisson:
+    def test_length_and_monotone(self, rng):
+        times = PoissonArrivalProcess().arrival_times_ms(1000, rate_qps=100, rng=rng)
+        assert times.shape == (1000,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_mean_rate_matches(self, rng):
+        rate = 200.0
+        times = PoissonArrivalProcess().arrival_times_ms(20000, rate, rng=rng)
+        measured = 1000.0 * len(times) / (times[-1] - 0.0)
+        assert measured == pytest.approx(rate, rel=0.05)
+
+    def test_start_offset(self, rng):
+        times = PoissonArrivalProcess().arrival_times_ms(10, 10, rng=rng, start_time_ms=500.0)
+        assert times[0] >= 500.0
+
+    def test_zero_queries(self):
+        assert PoissonArrivalProcess().arrival_times_ms(0, 10).size == 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess().arrival_times_ms(10, 0.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess().arrival_times_ms(-1, 10.0)
+
+    def test_deterministic_with_seed(self):
+        a = PoissonArrivalProcess().arrival_times_ms(50, 100, rng=3)
+        b = PoissonArrivalProcess().arrival_times_ms(50, 100, rng=3)
+        assert np.array_equal(a, b)
+
+
+class TestDeterministic:
+    def test_exact_spacing(self):
+        times = DeterministicArrivalProcess().arrival_times_ms(5, rate_qps=100)
+        assert np.allclose(np.diff(times), 10.0)
+        assert times[0] == pytest.approx(10.0)
+
+    def test_rate_exact(self):
+        times = DeterministicArrivalProcess().arrival_times_ms(1000, 250)
+        measured = 1000.0 * 1000 / times[-1]
+        assert measured == pytest.approx(250, rel=1e-6)
+
+    def test_zero_queries(self):
+        assert DeterministicArrivalProcess().arrival_times_ms(0, 10).size == 0
+
+
+class TestBursty:
+    def test_burst_structure(self, rng):
+        proc = BurstyArrivalProcess(burst_size=4)
+        times = proc.arrival_times_ms(16, rate_qps=100, rng=rng)
+        assert times.shape == (16,)
+        # queries within one burst share the same arrival time
+        assert np.unique(times).size <= 4
+
+    def test_mean_rate_preserved(self, rng):
+        proc = BurstyArrivalProcess(burst_size=5)
+        times = proc.arrival_times_ms(20000, 100.0, rng=rng)
+        measured = 1000.0 * len(times) / times[-1]
+        assert measured == pytest.approx(100.0, rel=0.1)
+
+    def test_invalid_burst_size(self):
+        with pytest.raises(ValueError):
+            BurstyArrivalProcess(burst_size=0)

@@ -1,0 +1,133 @@
+"""Tests for repro.workload.batch_sizes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.batch_sizes import (
+    EmpiricalBatchSizes,
+    FixedBatchSizes,
+    GaussianBatchSizes,
+    TruncatedLogNormalBatchSizes,
+    production_batch_distribution,
+)
+
+
+class TestTruncatedLogNormal:
+    def test_samples_within_bounds(self, rng):
+        dist = TruncatedLogNormalBatchSizes(median=80, sigma=1.25, max_batch=1000)
+        samples = dist.sample(5000, rng)
+        assert samples.dtype.kind == "i"
+        assert samples.min() >= 1
+        assert samples.max() <= 1000
+
+    def test_skewed_toward_small_batches(self, rng):
+        dist = production_batch_distribution()
+        samples = dist.sample(20000, rng)
+        assert np.median(samples) < np.mean(samples)  # right-skewed
+        assert np.median(samples) < 200
+
+    def test_fraction_at_or_below_monotone(self):
+        dist = production_batch_distribution()
+        values = [dist.fraction_at_or_below(s) for s in (1, 10, 100, 500, 999, 1000)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] == 1.0
+
+    def test_fraction_bounds(self):
+        dist = production_batch_distribution()
+        assert dist.fraction_at_or_below(0) == 0.0
+        assert dist.fraction_at_or_below(10_000) == 1.0
+
+    def test_fraction_matches_empirical(self, rng):
+        dist = production_batch_distribution()
+        samples = dist.sample(40000, rng)
+        for s in (50, 200, 600):
+            empirical = np.mean(samples <= s)
+            assert dist.fraction_at_or_below(s) == pytest.approx(empirical, abs=0.02)
+
+    def test_mean_batch_close_to_empirical(self, rng):
+        dist = production_batch_distribution()
+        samples = dist.sample(60000, rng)
+        assert dist.mean_batch() == pytest.approx(np.mean(samples), rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        dist = production_batch_distribution()
+        assert np.array_equal(dist.sample(100, 5), dist.sample(100, 5))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TruncatedLogNormalBatchSizes(median=0)
+        with pytest.raises(ValueError):
+            TruncatedLogNormalBatchSizes(sigma=0)
+        with pytest.raises(ValueError):
+            TruncatedLogNormalBatchSizes(min_batch=10, max_batch=5)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            production_batch_distribution().sample(-1)
+
+
+class TestGaussian:
+    def test_samples_within_bounds(self, rng):
+        dist = GaussianBatchSizes(mean=250, std=120)
+        samples = dist.sample(5000, rng)
+        assert samples.min() >= 1
+        assert samples.max() <= 1000
+
+    def test_mean_roughly_centered(self, rng):
+        dist = GaussianBatchSizes(mean=250, std=50)
+        samples = dist.sample(20000, rng)
+        assert np.mean(samples) == pytest.approx(250, rel=0.05)
+        assert dist.mean_batch() == pytest.approx(np.mean(samples), rel=0.05)
+
+    def test_fraction_at_or_below(self):
+        dist = GaussianBatchSizes(mean=500, std=100)
+        assert dist.fraction_at_or_below(500) == pytest.approx(0.5, abs=0.01)
+        assert dist.fraction_at_or_below(0) == 0.0
+        assert dist.fraction_at_or_below(1000) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianBatchSizes(mean=0)
+        with pytest.raises(ValueError):
+            GaussianBatchSizes(std=0)
+
+
+class TestEmpirical:
+    def test_samples_come_from_observations(self, rng):
+        dist = EmpiricalBatchSizes((10, 20, 30))
+        samples = dist.sample(500, rng)
+        assert set(np.unique(samples)) <= {10, 20, 30}
+
+    def test_support_bounds(self):
+        dist = EmpiricalBatchSizes((5, 100, 42))
+        assert dist.support() == (5, 100)
+
+    def test_fraction_and_mean(self):
+        dist = EmpiricalBatchSizes((10, 20, 30, 40))
+        assert dist.fraction_at_or_below(25) == pytest.approx(0.5)
+        assert dist.mean_batch() == pytest.approx(25.0)
+
+    def test_from_samples(self):
+        dist = EmpiricalBatchSizes.from_samples([3, 3, 9])
+        assert dist.mean_batch() == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalBatchSizes(())
+
+    def test_invalid_batches_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalBatchSizes((0, 5))
+
+
+class TestFixed:
+    def test_constant_samples(self):
+        dist = FixedBatchSizes(64)
+        assert np.all(dist.sample(10) == 64)
+        assert dist.mean_batch() == 64
+        assert dist.fraction_at_or_below(63) == 0.0
+        assert dist.fraction_at_or_below(64) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedBatchSizes(0)

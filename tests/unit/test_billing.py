@@ -1,0 +1,81 @@
+"""Tests for repro.cloud.billing."""
+
+import pytest
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.config import HeterogeneousConfig
+
+
+@pytest.fixture
+def billing():
+    return BillingModel()
+
+
+class TestHomogeneousBaseline:
+    def test_max_count_at_default_budget(self, billing):
+        # 2.5 / 0.526 = 4.75 -> 4 instances, the paper's homogeneous baseline.
+        assert billing.max_homogeneous_count("g4dn.xlarge", 2.5) == 4
+
+    def test_best_homogeneous_config(self, billing):
+        config = billing.best_homogeneous_config("g4dn.xlarge", 2.5)
+        assert config.counts == (4, 0, 0, 0)
+
+    def test_budget_scaling_factor(self, billing):
+        scale = billing.homogeneous_budget_scaling("g4dn.xlarge", 2.5)
+        assert scale == pytest.approx(2.5 / (4 * 0.526))
+        assert scale > 1.0
+
+    def test_scaling_when_nothing_fits(self, billing):
+        assert billing.homogeneous_budget_scaling("g4dn.xlarge", 0.1) == 1.0
+
+    def test_max_count_with_exact_multiple(self, billing):
+        assert billing.max_homogeneous_count("r5n.large", 0.149 * 3) == 3
+
+
+class TestCostReport:
+    def test_report_fields(self, billing):
+        config = HeterogeneousConfig((2, 0, 9, 0))
+        report = billing.report(config, duration_hours=2.0, budget_per_hour=2.5)
+        assert report.cost_per_hour == pytest.approx(config.cost_per_hour())
+        assert report.total_cost == pytest.approx(2 * config.cost_per_hour())
+        assert report.within_budget
+        assert 0 < report.budget_utilization < 1
+
+    def test_report_over_budget(self, billing):
+        config = HeterogeneousConfig((6, 0, 0, 0))
+        report = billing.report(config, budget_per_hour=2.5)
+        assert not report.within_budget
+
+    def test_report_without_budget(self, billing):
+        report = billing.report(HeterogeneousConfig((1, 0, 0, 0)))
+        assert report.within_budget
+        assert report.budget_utilization is None
+
+    def test_invalid_duration(self, billing):
+        with pytest.raises(ValueError):
+            billing.report(HeterogeneousConfig((1, 0, 0, 0)), duration_hours=0)
+
+
+class TestBudgetSlack:
+    def test_slack(self, billing):
+        config = HeterogeneousConfig((4, 0, 0, 0))
+        assert billing.budget_slack(config, 2.5) == pytest.approx(2.5 - 4 * 0.526)
+
+    def test_affordable_additions(self, billing):
+        config = HeterogeneousConfig((4, 0, 0, 0))
+        additions = billing.affordable_additions(config, 2.5)
+        # slack = 0.396: fits 2 r5n (0.298), 2 t3 (0.3328), 0 g4dn, 0 c5n
+        assert additions["g4dn.xlarge"] == 0
+        assert additions["c5n.2xlarge"] == 0
+        assert additions["r5n.large"] == 2
+        assert additions["t3.xlarge"] == 2
+
+    def test_affordable_additions_over_budget(self, billing):
+        config = HeterogeneousConfig((6, 0, 0, 0))
+        assert all(v == 0 for v in billing.affordable_additions(config, 2.5).values())
+
+    def test_cheapest_type(self, billing):
+        assert billing.cheapest_type().name == "r5n.large"
+
+    def test_describe_catalog(self, billing):
+        assert len(billing.describe_catalog()) == 4

@@ -1,0 +1,93 @@
+"""Tests for repro.sim.capacity (allowable-throughput measurement)."""
+
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.schedulers.fcfs import RibbonFCFSPolicy
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.sim.capacity import measure_allowable_throughput
+from repro.workload.batch_sizes import FixedBatchSizes
+from repro.workload.generator import WorkloadSpec
+
+
+@pytest.fixture
+def fixed_spec():
+    return WorkloadSpec(batch_sizes=FixedBatchSizes(100), num_queries=300)
+
+
+class TestMeasureAllowableThroughput:
+    def test_single_server_close_to_service_rate(self, rm2, profiles, fixed_spec, catalog):
+        config = HeterogeneousConfig((1, 0, 0, 0), catalog)
+        result = measure_allowable_throughput(
+            config, rm2, profiles, RibbonFCFSPolicy,
+            workload_spec=fixed_spec, rng=0, max_iterations=8,
+        )
+        service_rate = 1000.0 / profiles.latency_ms(rm2, "g4dn.xlarge", 100)
+        # the measured allowable throughput cannot exceed the service rate and should be
+        # a sizable fraction of it (waiting is bounded by the loose RM2 QoS)
+        assert 0.4 * service_rate < result.qps <= service_rate * 1.05
+        assert result.num_simulations == len(result.probes)
+        assert result.feasible_rates and result.infeasible_rates
+
+    def test_more_servers_give_more_throughput(self, rm2, profiles, fixed_spec, catalog):
+        one = measure_allowable_throughput(
+            HeterogeneousConfig((1, 0, 0, 0), catalog), rm2, profiles, RibbonFCFSPolicy,
+            workload_spec=fixed_spec, rng=1, max_iterations=6,
+        )
+        three = measure_allowable_throughput(
+            HeterogeneousConfig((3, 0, 0, 0), catalog), rm2, profiles, RibbonFCFSPolicy,
+            workload_spec=fixed_spec, rng=1, max_iterations=6,
+        )
+        assert three.qps > 1.8 * one.qps
+
+    def test_infeasible_config_returns_zero(self, rm2, profiles, catalog):
+        # t3-only pool cannot serve batch-1000 queries within RM2's QoS at any rate.
+        config = HeterogeneousConfig((0, 0, 0, 2), catalog)
+        spec = WorkloadSpec(batch_sizes=FixedBatchSizes(1000), num_queries=100)
+        result = measure_allowable_throughput(
+            config, rm2, profiles, RibbonFCFSPolicy,
+            workload_spec=spec, rng=2, max_iterations=4,
+        )
+        assert result.qps == 0.0
+
+    def test_result_metadata(self, rm2, profiles, fixed_spec, catalog):
+        config = HeterogeneousConfig((1, 0, 1, 0), catalog)
+        result = measure_allowable_throughput(
+            config, rm2, profiles, KairosPolicy,
+            workload_spec=fixed_spec, rng=3, max_iterations=4,
+        )
+        assert result.config == config
+        assert result.model_name == "RM2"
+        assert result.num_queries == fixed_spec.num_queries
+
+    def test_deterministic_given_seed(self, rm2, profiles, fixed_spec, catalog):
+        config = HeterogeneousConfig((1, 0, 2, 0), catalog)
+
+        def run():
+            return measure_allowable_throughput(
+                config, rm2, profiles, KairosPolicy,
+                workload_spec=fixed_spec, rng=7, max_iterations=5,
+            ).qps
+
+        assert run() == pytest.approx(run())
+
+    def test_invalid_arguments(self, rm2, profiles, catalog, fixed_spec):
+        config = HeterogeneousConfig((1, 0, 0, 0), catalog)
+        with pytest.raises(ValueError):
+            measure_allowable_throughput(
+                config, rm2, profiles, RibbonFCFSPolicy,
+                workload_spec=fixed_spec, rel_tolerance=0.0,
+            )
+        with pytest.raises(ValueError):
+            measure_allowable_throughput(
+                config, rm2, profiles, RibbonFCFSPolicy,
+                workload_spec=fixed_spec, max_iterations=0,
+            )
+
+    def test_num_queries_override(self, rm2, profiles, catalog, fixed_spec):
+        config = HeterogeneousConfig((1, 0, 0, 0), catalog)
+        result = measure_allowable_throughput(
+            config, rm2, profiles, RibbonFCFSPolicy,
+            workload_spec=fixed_spec, num_queries=120, rng=0, max_iterations=3,
+        )
+        assert result.num_queries == 120

@@ -1,0 +1,144 @@
+"""Tests for repro.cloud.config."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig, parse_config
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+
+
+class TestConstruction:
+    def test_counts_and_str(self):
+        config = HeterogeneousConfig((3, 1, 3, 0))
+        assert str(config) == "(3, 1, 3, 0)"
+        assert config.total_instances == 7
+
+    def test_from_mapping(self):
+        config = HeterogeneousConfig.from_mapping({"g4dn.xlarge": 2, "r5n.large": 5})
+        assert config.counts == (2, 0, 5, 0)
+
+    def test_from_mapping_unknown_type(self):
+        with pytest.raises(KeyError):
+            HeterogeneousConfig.from_mapping({"weird": 1})
+
+    def test_homogeneous_and_empty(self):
+        homog = HeterogeneousConfig.homogeneous("g4dn.xlarge", 4)
+        assert homog.counts == (4, 0, 0, 0)
+        assert homog.is_homogeneous()
+        assert HeterogeneousConfig.empty().is_empty()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousConfig((1, 2))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousConfig((1, -1, 0, 0))
+
+    def test_non_integer_count_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousConfig((1.5, 0, 0, 0))
+
+
+class TestAccessors:
+    def test_count_of_and_base(self):
+        config = HeterogeneousConfig((2, 1, 0, 3))
+        assert config.count_of("g4dn.xlarge") == 2
+        assert config.base_count == 2
+        assert config.auxiliary_counts == {"c5n.2xlarge": 1, "r5n.large": 0, "t3.xlarge": 3}
+
+    def test_as_vector_and_mapping(self):
+        config = HeterogeneousConfig((1, 2, 3, 4))
+        assert np.array_equal(config.as_vector(), [1, 2, 3, 4])
+        assert config.as_mapping()["t3.xlarge"] == 4
+
+    def test_is_homogeneous_false_for_mixture(self):
+        assert not HeterogeneousConfig((1, 1, 0, 0)).is_homogeneous()
+
+    def test_expand_instance_types_order(self):
+        config = HeterogeneousConfig((2, 0, 1, 0))
+        names = [t.name for t in config.expand_instance_types()]
+        assert names == ["g4dn.xlarge", "g4dn.xlarge", "r5n.large"]
+
+    def test_iteration(self):
+        pairs = dict(HeterogeneousConfig((1, 0, 0, 2)))
+        assert pairs["g4dn.xlarge"] == 1
+        assert pairs["t3.xlarge"] == 2
+
+
+class TestCost:
+    def test_cost_per_hour_paper_example(self):
+        # (3, 1, 3) over g4dn/c5n/r5n is the paper's winning Fig. 1 configuration.
+        config = HeterogeneousConfig((3, 1, 3, 0))
+        expected = 3 * 0.526 + 0.432 + 3 * 0.149
+        assert config.cost_per_hour() == pytest.approx(expected)
+
+    def test_fits_budget(self):
+        config = HeterogeneousConfig((4, 0, 0, 0))
+        assert config.fits_budget(2.5)
+        assert not config.fits_budget(2.0)
+
+    def test_empty_config_costs_nothing(self):
+        assert HeterogeneousConfig.empty().cost_per_hour() == 0.0
+
+
+class TestStructure:
+    def test_sub_config_relation(self):
+        small = HeterogeneousConfig((1, 0, 2, 0))
+        big = HeterogeneousConfig((2, 0, 2, 0))
+        assert small.is_sub_config_of(big)
+        assert big.is_super_config_of(small)
+        assert not big.is_sub_config_of(small)
+
+    def test_config_is_not_sub_config_of_itself(self):
+        config = HeterogeneousConfig((1, 1, 1, 1))
+        assert not config.is_sub_config_of(config)
+
+    def test_incomparable_configs(self):
+        a = HeterogeneousConfig((2, 0, 0, 0))
+        b = HeterogeneousConfig((0, 0, 3, 0))
+        assert not a.is_sub_config_of(b)
+        assert not b.is_sub_config_of(a)
+
+    def test_add(self):
+        config = HeterogeneousConfig((1, 0, 0, 0)).add("r5n.large", 3)
+        assert config.counts == (1, 0, 3, 0)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousConfig((1, 0, 0, 0)).add("r5n.large", -1)
+
+    def test_distance_squared(self):
+        a = HeterogeneousConfig((1, 0, 0, 0))
+        b = HeterogeneousConfig((3, 0, 2, 0))
+        assert a.distance_squared(b) == pytest.approx(4 + 4)
+        assert a.distance_squared(a) == 0.0
+
+    def test_different_catalog_rejected(self):
+        sub_catalog = DEFAULT_INSTANCE_CATALOG.subset(["g4dn.xlarge", "r5n.large"])
+        a = HeterogeneousConfig((1, 0, 0, 0))
+        b = HeterogeneousConfig((1, 0), sub_catalog)
+        with pytest.raises(ValueError):
+            a.distance_squared(b)
+
+
+class TestParseConfig:
+    def test_parse_string(self):
+        assert parse_config("(3, 1, 3)").counts == (3, 1, 3, 0)
+
+    def test_parse_list_padding(self):
+        assert parse_config([2]).counts == (2, 0, 0, 0)
+
+    def test_parse_mapping(self):
+        assert parse_config({"r5n.large": 9}).counts == (0, 0, 9, 0)
+
+    def test_parse_existing_config_passthrough(self):
+        config = HeterogeneousConfig((1, 1, 1, 1))
+        assert parse_config(config) is config
+
+    def test_parse_empty_string(self):
+        assert parse_config("()").is_empty()
+
+    def test_too_many_entries_rejected(self):
+        with pytest.raises(ValueError):
+            parse_config([1, 2, 3, 4, 5])

@@ -1,0 +1,78 @@
+"""Tests for repro.core.config_space."""
+
+import itertools
+
+import pytest
+
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+from repro.core.config_space import enumerate_configs, homogeneous_configs, search_space_size
+
+
+class TestEnumerateConfigs:
+    def test_all_within_budget(self):
+        configs = enumerate_configs(2.5)
+        assert configs
+        assert all(c.fits_budget(2.5) for c in configs)
+
+    def test_no_empty_config(self):
+        configs = enumerate_configs(2.5)
+        assert all(c.total_instances >= 1 for c in configs)
+
+    def test_no_duplicates(self):
+        configs = enumerate_configs(2.5)
+        keys = {c.counts for c in configs}
+        assert len(keys) == len(configs)
+
+    def test_complete_against_brute_force_small_budget(self):
+        budget = 1.2
+        configs = {c.counts for c in enumerate_configs(budget)}
+        prices = DEFAULT_INSTANCE_CATALOG.price_vector()
+        maxes = [int(budget // p) + 1 for p in prices]
+        brute = set()
+        for counts in itertools.product(*[range(m + 1) for m in maxes]):
+            cost = sum(c * p for c, p in zip(counts, prices))
+            if cost <= budget + 1e-9 and sum(counts) >= 1:
+                brute.add(counts)
+        assert configs == brute
+
+    def test_default_budget_search_space_order_of_hundreds(self):
+        # The paper quotes an order-of-1000 search space at the 2.5 $/hr budget.
+        size = search_space_size(2.5)
+        assert 300 <= size <= 3000
+
+    def test_min_base_count(self):
+        configs = enumerate_configs(2.5, min_base_count=2)
+        assert all(c.base_count >= 2 for c in configs)
+
+    def test_min_total_instances(self):
+        configs = enumerate_configs(2.5, min_total_instances=5)
+        assert all(c.total_instances >= 5 for c in configs)
+
+    def test_max_per_type(self):
+        configs = enumerate_configs(2.5, max_per_type=2)
+        assert all(max(c.counts) <= 2 for c in configs)
+
+    def test_budget_scaling_grows_space(self):
+        assert search_space_size(10.0, max_per_type=6) > search_space_size(2.5, max_per_type=6)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            enumerate_configs(0.0)
+
+    def test_invalid_min_base(self):
+        with pytest.raises(ValueError):
+            enumerate_configs(2.5, min_base_count=-1)
+
+
+class TestHomogeneousConfigs:
+    def test_one_per_affordable_type(self):
+        configs = homogeneous_configs(2.5)
+        assert len(configs) == 4
+        by_type = {c.catalog.names[i]: c for c in configs for i, n in enumerate(c.counts) if n}
+        assert by_type["g4dn.xlarge"].counts == (4, 0, 0, 0)
+        assert by_type["r5n.large"].counts == (0, 0, 16, 0)
+
+    def test_small_budget_excludes_unaffordable_types(self):
+        configs = homogeneous_configs(0.2)
+        names = {c.catalog.names[i] for c in configs for i, n in enumerate(c.counts) if n}
+        assert names == {"r5n.large", "t3.xlarge"}

@@ -1,0 +1,77 @@
+"""Tests for repro.core.controller (the KairosServingSystem facade)."""
+
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.core.controller import KairosServingSystem
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.workload.batch_sizes import FixedBatchSizes, production_batch_distribution
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture
+def system(profiles):
+    return KairosServingSystem(
+        "RM2", budget_per_hour=2.5, profiles=profiles, rng=11,
+        batch_distribution=production_batch_distribution(),
+    )
+
+
+class TestKairosServingSystem:
+    def test_plan_is_cached(self, system):
+        first = system.plan()
+        second = system.plan()
+        assert first is second
+        forced = system.plan(force=True)
+        assert forced is not first
+
+    def test_selected_config_within_budget(self, system):
+        config = system.selected_config
+        assert config.fits_budget(2.5)
+        assert config.total_instances >= 1
+
+    def test_simulate_serves_all_queries(self, system):
+        spec = WorkloadSpec(batch_sizes=production_batch_distribution(), num_queries=150)
+        queries = WorkloadGenerator(spec).generate(40.0, rng=4)
+        report = system.simulate(queries)
+        assert report.completed_all
+        assert report.policy_name == "KAIROS"
+
+    def test_simulate_on_explicit_config(self, system):
+        spec = WorkloadSpec(batch_sizes=FixedBatchSizes(50), num_queries=50)
+        queries = WorkloadGenerator(spec).generate(20.0, rng=4)
+        report = system.simulate(queries, config=HeterogeneousConfig((1, 0, 1, 0)))
+        assert len(report.cluster) == 2
+
+    def test_measure_throughput(self, system):
+        result = system.measure_throughput(num_queries=250, max_iterations=4)
+        assert result.qps > 0
+        assert result.model_name == "RM2"
+
+    def test_build_policy_fresh_instances(self, system):
+        a = system.build_policy()
+        b = system.build_policy()
+        assert isinstance(a, KairosPolicy)
+        assert a is not b
+
+    def test_perfect_estimator_switch(self, profiles):
+        system = KairosServingSystem(
+            "WND", profiles=profiles, use_online_latency_learning=False, rng=0
+        )
+        policy = system.build_policy()
+        assert policy._use_perfect
+
+    def test_refine_with_kairos_plus_improves_or_matches(self, system):
+        plan = system.plan()
+        # cheap surrogate evaluator so the test stays fast: upper bound itself
+        bounds = {tuple(c.counts): b for c, b in plan.ranked}
+        result = system.refine_with_kairos_plus(
+            evaluator=lambda config: bounds[tuple(config.counts)] * 0.9,
+            max_evaluations=5,
+        )
+        assert result.num_evaluations <= 5
+        assert result.best_config is not None
+
+    def test_accepts_model_object(self, profiles, rm2):
+        system = KairosServingSystem(rm2, profiles=profiles, rng=0)
+        assert system.model.name == "RM2"

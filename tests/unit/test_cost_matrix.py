@@ -1,0 +1,114 @@
+"""Tests for repro.core.cost_matrix (the L matrix, Eqs. 2-8)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instances import get_instance_type
+from repro.cloud.profiles import LinearLatencyProfile
+from repro.core.cost_matrix import build_cost_matrix
+from repro.core.latency_model import OnlineLatencyEstimator, PerfectLatencyEstimator
+from repro.sim.server import ServerInstance
+from repro.workload.query import Query
+
+
+@pytest.fixture
+def servers():
+    gpu = ServerInstance(0, get_instance_type("g4dn.xlarge"), LinearLatencyProfile(10.0, 0.05))
+    cpu = ServerInstance(1, get_instance_type("r5n.large"), LinearLatencyProfile(20.0, 0.30))
+    return [gpu, cpu]
+
+
+@pytest.fixture
+def estimator():
+    est = OnlineLatencyEstimator()
+    for batch in (1, 500, 1000):
+        est.observe("g4dn.xlarge", batch, 10.0 + 0.05 * batch)
+        est.observe("r5n.large", batch, 20.0 + 0.30 * batch)
+    return est
+
+
+COEFFS = {"g4dn.xlarge": 1.0, "r5n.large": 0.2}
+
+
+class TestBuildCostMatrix:
+    def test_usage_is_remaining_plus_latency(self, servers, estimator):
+        servers[0].busy_until_ms = 40.0
+        queries = [Query(0, 100, 0.0)]
+        matrix = build_cost_matrix(queries, servers, estimator, 10.0, 100.0, COEFFS)
+        # GPU: remaining 30 + latency 15 = 45; CPU: 0 + 50 = 50
+        assert matrix.usage_ms[0, 0] == pytest.approx(45.0)
+        assert matrix.usage_ms[0, 1] == pytest.approx(50.0)
+
+    def test_weighting_by_coefficient(self, servers, estimator):
+        queries = [Query(0, 100, 0.0)]
+        matrix = build_cost_matrix(queries, servers, estimator, 0.0, 100.0, COEFFS)
+        assert matrix.weighted[0, 1] == pytest.approx(0.2 * matrix.penalized_ms[0, 1])
+        assert matrix.weighted[0, 0] == pytest.approx(matrix.penalized_ms[0, 0])
+
+    def test_penalty_applied_to_infeasible_pairs(self, servers, estimator):
+        queries = [Query(0, 900, 0.0)]  # CPU latency 290 > QoS 100
+        matrix = build_cost_matrix(queries, servers, estimator, 0.0, 100.0, COEFFS)
+        assert matrix.qos_feasible[0, 0]
+        assert not matrix.qos_feasible[0, 1]
+        assert matrix.penalized_ms[0, 1] == pytest.approx(10 * 100.0)
+        assert matrix.penalized_ms[0, 0] == pytest.approx(matrix.usage_ms[0, 0])
+
+    def test_waiting_time_tightens_constraint(self, servers, estimator):
+        # A query that has waited 60 ms only has 38 ms of headroom left (xi = 0.98).
+        query = Query(0, 500, 0.0)
+        matrix = build_cost_matrix([query], servers, estimator, 60.0, 100.0, COEFFS)
+        # GPU latency for 500 is 35 -> 35 + 60 = 95 <= 98 feasible
+        assert matrix.qos_feasible[0, 0]
+        # CPU latency 170 -> infeasible regardless
+        assert not matrix.qos_feasible[0, 1]
+
+    def test_headroom_factor(self, servers, estimator):
+        # latency 60 on GPU for batch 1000; with qos 61 and headroom 0.98 -> 59.78 -> infeasible
+        query = Query(0, 1000, 0.0)
+        matrix = build_cost_matrix([query], servers, estimator, 0.0, 61.0, COEFFS)
+        assert not matrix.qos_feasible[0, 0]
+        relaxed = build_cost_matrix(
+            [query], servers, estimator, 0.0, 61.0, COEFFS, qos_headroom=1.0
+        )
+        assert relaxed.qos_feasible[0, 0]
+
+    def test_custom_penalty_factor(self, servers, estimator):
+        queries = [Query(0, 900, 0.0)]
+        matrix = build_cost_matrix(
+            queries, servers, estimator, 0.0, 100.0, COEFFS, penalty_factor=3.0
+        )
+        assert matrix.penalized_ms[0, 1] == pytest.approx(300.0)
+
+    def test_shape_and_ids(self, servers, estimator):
+        queries = [Query(7, 10, 0.0), Query(8, 20, 0.0), Query(9, 30, 0.0)]
+        matrix = build_cost_matrix(queries, servers, estimator, 0.0, 100.0, COEFFS)
+        assert matrix.shape == (3, 2)
+        assert matrix.query_ids == (7, 8, 9)
+        assert matrix.server_ids == (0, 1)
+
+    def test_empty_inputs(self, servers, estimator):
+        matrix = build_cost_matrix([], servers, estimator, 0.0, 100.0, COEFFS)
+        assert matrix.shape == (0, 2)
+        assert matrix.feasible_fraction() == 0.0
+
+    def test_feasible_fraction(self, servers, estimator):
+        queries = [Query(0, 100, 0.0), Query(1, 900, 0.0)]
+        matrix = build_cost_matrix(queries, servers, estimator, 0.0, 100.0, COEFFS)
+        assert matrix.feasible_fraction() == pytest.approx(3 / 4)
+
+    def test_missing_coefficient_rejected(self, servers, estimator):
+        with pytest.raises(KeyError):
+            build_cost_matrix(
+                [Query(0, 10, 0.0)], servers, estimator, 0.0, 100.0, {"g4dn.xlarge": 1.0}
+            )
+
+    def test_non_positive_coefficient_rejected(self, servers, estimator):
+        with pytest.raises(ValueError):
+            build_cost_matrix(
+                [Query(0, 10, 0.0)], servers, estimator, 0.0, 100.0,
+                {"g4dn.xlarge": 1.0, "r5n.large": 0.0},
+            )
+
+    def test_invalid_qos_rejected(self, servers, estimator):
+        with pytest.raises(ValueError):
+            build_cost_matrix([Query(0, 10, 0.0)], servers, estimator, 0.0, 0.0, COEFFS)

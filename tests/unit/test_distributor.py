@@ -1,0 +1,123 @@
+"""Tests for repro.core.distributor (Kairos's matching-based query distribution)."""
+
+import pytest
+
+from repro.cloud.instances import get_instance_type
+from repro.cloud.profiles import LinearLatencyProfile
+from repro.core.distributor import QueryDistributor
+from repro.core.latency_model import OnlineLatencyEstimator
+from repro.sim.server import ServerInstance
+from repro.workload.query import Query
+
+
+def make_servers():
+    gpu = ServerInstance(0, get_instance_type("g4dn.xlarge"), LinearLatencyProfile(10.0, 0.05))
+    cpu1 = ServerInstance(1, get_instance_type("r5n.large"), LinearLatencyProfile(20.0, 0.30))
+    cpu2 = ServerInstance(2, get_instance_type("r5n.large"), LinearLatencyProfile(20.0, 0.30))
+    return [gpu, cpu1, cpu2]
+
+
+def make_estimator():
+    est = OnlineLatencyEstimator()
+    for batch in (1, 500, 1000):
+        est.observe("g4dn.xlarge", batch, 10.0 + 0.05 * batch)
+        est.observe("r5n.large", batch, 20.0 + 0.30 * batch)
+    return est
+
+
+COEFFS = {"g4dn.xlarge": 1.0, "r5n.large": 60.0 / 320.0}
+QOS = 100.0
+
+
+@pytest.fixture
+def distributor():
+    return QueryDistributor(make_estimator(), COEFFS, QOS)
+
+
+class TestQueryDistributor:
+    def test_assignment_count_is_min_m_n(self, distributor):
+        servers = make_servers()
+        queries = [Query(i, 50, 0.0) for i in range(5)]
+        result = distributor.distribute(0.0, queries, servers)
+        assert len(result) == 3  # more queries than instances
+        few = distributor.distribute(0.0, queries[:2], servers)
+        assert len(few) == 2  # more instances than queries
+
+    def test_one_query_per_server(self, distributor):
+        servers = make_servers()
+        queries = [Query(i, 50, 0.0) for i in range(5)]
+        result = distributor.distribute(0.0, queries, servers)
+        targets = [a.server_index for a in result.assignments]
+        assert len(set(targets)) == len(targets)
+
+    def test_large_query_goes_to_base(self, distributor):
+        servers = make_servers()
+        queries = [Query(0, 900, 0.0), Query(1, 50, 0.0), Query(2, 60, 0.0)]
+        result = distributor.distribute(0.0, queries, servers)
+        by_query = {a.query.query_id: a.server_index for a in result.assignments}
+        assert by_query[0] == 0  # the only QoS-feasible home for the big query
+        assert by_query[1] in (1, 2)
+        assert by_query[2] in (1, 2)
+
+    def test_small_queries_prefer_cheap_instances(self, distributor):
+        servers = make_servers()
+        queries = [Query(0, 50, 0.0)]
+        result = distributor.distribute(0.0, queries, servers)
+        # weighted cost on r5n (0.1875 * 35) beats the GPU (12.5)... GPU cost is 12.5,
+        # CPU weighted is 6.6 -> the small query lands on a CPU, keeping the GPU free.
+        assert result.assignments[0].server_index in (1, 2)
+
+    def test_earliest_arrivals_considered_first_when_capped(self):
+        distributor = QueryDistributor(
+            make_estimator(), COEFFS, QOS, max_queries_per_round=2
+        )
+        servers = make_servers()
+        queries = [Query(i, 50, float(i)) for i in range(10)]
+        result = distributor.distribute(20.0, queries, servers)
+        assert len(result) == 2
+        assigned_ids = {a.query.query_id for a in result.assignments}
+        assert assigned_ids == {0, 1}
+
+    def test_feasibility_flag_reported(self, distributor):
+        servers = make_servers()[1:]  # CPUs only
+        queries = [Query(0, 900, 0.0)]
+        result = distributor.distribute(0.0, queries, servers)
+        assert len(result) == 1
+        assert not result.assignments[0].predicted_feasible
+
+    def test_objective_value_matches_weighted_costs(self, distributor):
+        servers = make_servers()
+        queries = [Query(i, 100, 0.0) for i in range(3)]
+        result = distributor.distribute(0.0, queries, servers)
+        manual = sum(
+            result.cost_matrix.weighted[i, a.server_index]
+            for i, a in enumerate(result.assignments)
+        )
+        assert result.objective_value == pytest.approx(manual)
+
+    def test_empty_inputs(self, distributor):
+        assert len(distributor.distribute(0.0, [], make_servers())) == 0
+        assert len(distributor.distribute(0.0, [Query(0, 10, 0.0)], [])) == 0
+
+    def test_busy_server_usage_included(self, distributor):
+        servers = make_servers()
+        servers[0].busy_until_ms = 80.0  # GPU busy for a long time
+        queries = [Query(0, 50, 0.0)]
+        result = distributor.distribute(0.0, queries, servers)
+        # the small query avoids the busy GPU
+        assert result.assignments[0].server_index in (1, 2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            QueryDistributor(make_estimator(), COEFFS, 0.0)
+        with pytest.raises(ValueError):
+            QueryDistributor(make_estimator(), COEFFS, QOS, max_queries_per_round=0)
+
+    def test_alternative_solver_same_objective(self):
+        jv = QueryDistributor(make_estimator(), COEFFS, QOS, solver_method="jv")
+        hung = QueryDistributor(make_estimator(), COEFFS, QOS, solver_method="hungarian")
+        servers = make_servers()
+        queries = [Query(i, 30 + 40 * i, 0.0) for i in range(3)]
+        assert jv.distribute(0.0, queries, servers).objective_value == pytest.approx(
+            hung.distribute(0.0, queries, servers).objective_value
+        )

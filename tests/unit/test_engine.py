@@ -1,0 +1,93 @@
+"""Tests for repro.sim.events and repro.sim.engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.events import Event, EventKind
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, EventKind.QUERY_ARRIVAL)
+
+    def test_sort_key_orders_completions_before_arrivals(self):
+        completion = Event(10.0, EventKind.SERVICE_COMPLETION)
+        arrival = Event(10.0, EventKind.QUERY_ARRIVAL)
+        assert completion.sort_key(1) < arrival.sort_key(0)
+
+
+class TestSimulationClock:
+    def test_advance(self):
+        clock = SimulationClock()
+        assert clock.advance_to(5.0) == 5.0
+        assert clock.now_ms == 5.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_same_time_is_fine(self):
+        clock = SimulationClock(10.0)
+        assert clock.advance_to(10.0) == 10.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+
+class TestEventQueue:
+    def test_ordering_by_time(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventKind.QUERY_ARRIVAL, "late"))
+        q.push(Event(1.0, EventKind.QUERY_ARRIVAL, "early"))
+        assert q.pop().payload == "early"
+        assert q.pop().payload == "late"
+
+    def test_completion_before_arrival_at_same_time(self):
+        q = EventQueue()
+        q.push(Event(3.0, EventKind.QUERY_ARRIVAL, "arrival"))
+        q.push(Event(3.0, EventKind.SERVICE_COMPLETION, "completion"))
+        assert q.pop().payload == "completion"
+
+    def test_insertion_order_breaks_ties(self):
+        q = EventQueue()
+        q.push(Event(3.0, EventKind.QUERY_ARRIVAL, "first"))
+        q.push(Event(3.0, EventKind.QUERY_ARRIVAL, "second"))
+        assert q.pop().payload == "first"
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(Event(1.0, EventKind.CONTROL))
+        assert q and len(q) == 1
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventKind.CONTROL, "x"))
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_pop_until(self):
+        q = EventQueue()
+        q.push_all([Event(t, EventKind.CONTROL, t) for t in (1.0, 2.0, 3.0, 4.0)])
+        popped = [e.payload for e in q.pop_until(2.5)]
+        assert popped == [1.0, 2.0]
+        assert len(q) == 2
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.CONTROL))
+        q.clear()
+        assert len(q) == 0

@@ -1,0 +1,71 @@
+"""Tests for repro.core.heterogeneity (Definition 1)."""
+
+import pytest
+
+from repro.core.heterogeneity import coefficients_from_profiles, heterogeneity_coefficients
+from repro.core.latency_model import OnlineLatencyEstimator, PerfectLatencyEstimator
+
+
+class _TableEstimator:
+    """Estimator returning fixed largest-query latencies for the paper's example."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def predict_ms(self, instance_type, batch_size):
+        return self.table[instance_type]
+
+
+class TestHeterogeneityCoefficients:
+    def test_paper_example(self):
+        # Largest-query latencies 100 / 200 / 500 ms -> coefficients 1 / 0.5 / 0.2.
+        est = _TableEstimator({"I1": 100.0, "I2": 200.0, "I3": 500.0})
+        coeffs = heterogeneity_coefficients(est, ["I1", "I2", "I3"], "I1")
+        assert coeffs["I1"] == 1.0
+        assert coeffs["I2"] == pytest.approx(0.5)
+        assert coeffs["I3"] == pytest.approx(0.2)
+
+    def test_clipped_at_one(self):
+        est = _TableEstimator({"base": 100.0, "faster": 50.0})
+        coeffs = heterogeneity_coefficients(est, ["base", "faster"], "base")
+        assert coeffs["faster"] == 1.0
+
+    def test_in_unit_interval(self, profiles, rm2):
+        coeffs = coefficients_from_profiles(profiles, rm2)
+        assert coeffs["g4dn.xlarge"] == 1.0
+        for name, value in coeffs.items():
+            assert 0.0 < value <= 1.0
+
+    def test_base_is_most_important(self, profiles):
+        for model in profiles.models:
+            coeffs = coefficients_from_profiles(profiles, model)
+            assert max(coeffs.values()) == coeffs["g4dn.xlarge"]
+
+    def test_unknown_base_rejected(self):
+        est = _TableEstimator({"a": 1.0})
+        with pytest.raises(ValueError):
+            heterogeneity_coefficients(est, ["a"], "b")
+
+    def test_non_positive_latency_rejected(self):
+        est = _TableEstimator({"a": 0.0, "b": 1.0})
+        with pytest.raises(ValueError):
+            heterogeneity_coefficients(est, ["a", "b"], "a")
+        est2 = _TableEstimator({"a": 1.0, "b": 0.0})
+        with pytest.raises(ValueError):
+            heterogeneity_coefficients(est2, ["a", "b"], "a")
+
+    def test_invalid_reference_batch(self):
+        est = _TableEstimator({"a": 1.0})
+        with pytest.raises(ValueError):
+            heterogeneity_coefficients(est, ["a"], "a", reference_batch_size=0)
+
+    def test_online_estimator_cold_start_gives_uniform_weights(self):
+        est = OnlineLatencyEstimator()
+        coeffs = heterogeneity_coefficients(est, ["x", "y"], "x")
+        assert coeffs == {"x": 1.0, "y": 1.0}
+
+    def test_subset_of_types(self, profiles, rm2):
+        coeffs = coefficients_from_profiles(
+            profiles, rm2, type_names=["g4dn.xlarge", "r5n.large"]
+        )
+        assert set(coeffs) == {"g4dn.xlarge", "r5n.large"}

@@ -1,0 +1,112 @@
+"""Tests for repro.cloud.instances (paper Table 4)."""
+
+import pytest
+
+from repro.cloud.instances import (
+    DEFAULT_INSTANCE_CATALOG,
+    InstanceCatalog,
+    InstanceClass,
+    InstanceType,
+    get_instance_type,
+)
+
+
+class TestInstanceType:
+    def test_table4_prices(self):
+        assert get_instance_type("g4dn.xlarge").price_per_hour == pytest.approx(0.526)
+        assert get_instance_type("c5n.2xlarge").price_per_hour == pytest.approx(0.432)
+        assert get_instance_type("r5n.large").price_per_hour == pytest.approx(0.149)
+        assert get_instance_type("t3.xlarge").price_per_hour == pytest.approx(0.1664)
+
+    def test_classes(self):
+        assert get_instance_type("g4dn.xlarge").instance_class == InstanceClass.GPU_ACCELERATED
+        assert get_instance_type("c5n.2xlarge").instance_class == InstanceClass.COMPUTE_OPTIMIZED
+        assert get_instance_type("r5n.large").instance_class == InstanceClass.MEMORY_OPTIMIZED
+        assert get_instance_type("t3.xlarge").instance_class == InstanceClass.GENERAL_PURPOSE
+
+    def test_only_gpu_is_accelerated(self):
+        accelerated = [t.name for t in DEFAULT_INSTANCE_CATALOG.types if t.is_accelerated]
+        assert accelerated == ["g4dn.xlarge"]
+
+    def test_price_per_ms(self):
+        t = get_instance_type("g4dn.xlarge")
+        assert t.price_per_ms == pytest.approx(0.526 / 3_600_000)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            get_instance_type("p3.2xlarge")
+
+    def test_invalid_price_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", InstanceClass.GENERAL_PURPOSE, price_per_hour=0.0)
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", "quantum", price_per_hour=1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType("", InstanceClass.GENERAL_PURPOSE, price_per_hour=1.0)
+
+
+class TestInstanceCatalog:
+    def test_default_order_and_base(self):
+        assert DEFAULT_INSTANCE_CATALOG.names == [
+            "g4dn.xlarge",
+            "c5n.2xlarge",
+            "r5n.large",
+            "t3.xlarge",
+        ]
+        assert DEFAULT_INSTANCE_CATALOG.base_type.name == "g4dn.xlarge"
+        assert len(DEFAULT_INSTANCE_CATALOG) == 4
+
+    def test_auxiliary_types(self):
+        aux = [t.name for t in DEFAULT_INSTANCE_CATALOG.auxiliary_types]
+        assert "g4dn.xlarge" not in aux
+        assert len(aux) == 3
+
+    def test_price_vector_matches_order(self):
+        prices = DEFAULT_INSTANCE_CATALOG.price_vector()
+        assert prices[0] == pytest.approx(0.526)
+        assert prices[2] == pytest.approx(0.149)
+
+    def test_contains_and_getitem(self):
+        assert "r5n.large" in DEFAULT_INSTANCE_CATALOG
+        assert DEFAULT_INSTANCE_CATALOG["r5n.large"].memory_gb == pytest.approx(16.0)
+
+    def test_index_of(self):
+        assert DEFAULT_INSTANCE_CATALOG.index_of("c5n.2xlarge") == 1
+
+    def test_with_base(self):
+        swapped = DEFAULT_INSTANCE_CATALOG.with_base("r5n.large")
+        assert swapped.base_type.name == "r5n.large"
+        # original is untouched
+        assert DEFAULT_INSTANCE_CATALOG.base_type.name == "g4dn.xlarge"
+
+    def test_subset(self):
+        sub = DEFAULT_INSTANCE_CATALOG.subset(["g4dn.xlarge", "r5n.large"])
+        assert sub.names == ["g4dn.xlarge", "r5n.large"]
+        assert sub.base_type.name == "g4dn.xlarge"
+
+    def test_subset_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            DEFAULT_INSTANCE_CATALOG.subset(["nope"])
+
+    def test_duplicate_names_rejected(self):
+        t = get_instance_type("r5n.large")
+        with pytest.raises(ValueError):
+            InstanceCatalog([t, t])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceCatalog([])
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(KeyError):
+            InstanceCatalog([get_instance_type("r5n.large")], base_type="g4dn.xlarge")
+
+    def test_describe_rows(self):
+        rows = DEFAULT_INSTANCE_CATALOG.describe()
+        assert len(rows) == 4
+        assert rows[0]["is_base"] is True
+        assert all("price_per_hour" in r for r in rows)

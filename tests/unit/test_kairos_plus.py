@@ -1,0 +1,100 @@
+"""Tests for repro.core.kairos_plus (Algorithm 1)."""
+
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.core.kairos_plus import KairosPlusSearch
+
+
+def make_ranked(counts_bounds):
+    return [(HeterogeneousConfig(c), b) for c, b in counts_bounds]
+
+
+class SpyEvaluator:
+    """Evaluation function that records which configurations were evaluated."""
+
+    def __init__(self, truth):
+        self.truth = {tuple(k): v for k, v in truth.items()}
+        self.calls = []
+
+    def __call__(self, config):
+        self.calls.append(tuple(config.counts))
+        return self.truth[tuple(config.counts)]
+
+
+class TestKairosPlusSearch:
+    def test_finds_best_config(self):
+        truth = {
+            (1, 0, 13, 0): 100.0,
+            (2, 0, 9, 0): 120.0,
+            (3, 0, 5, 0): 90.0,
+            (4, 0, 0, 0): 60.0,
+        }
+        ranked = make_ranked(
+            [((1, 0, 13, 0), 150.0), ((2, 0, 9, 0), 140.0), ((3, 0, 5, 0), 130.0), ((4, 0, 0, 0), 70.0)]
+        )
+        evaluator = SpyEvaluator(truth)
+        result = KairosPlusSearch(ranked, evaluator).run()
+        assert result.best_config.counts == (2, 0, 9, 0)
+        assert result.best_throughput == pytest.approx(120.0)
+
+    def test_upper_bound_pruning_skips_dominated_configs(self):
+        # After evaluating the first config (throughput 100), every candidate whose
+        # upper bound is <= 100 must be pruned without evaluation.
+        truth = {(2, 0, 9, 0): 100.0, (1, 0, 13, 0): 95.0, (4, 0, 0, 0): 60.0}
+        ranked = make_ranked(
+            [((2, 0, 9, 0), 150.0), ((1, 0, 13, 0), 90.0), ((4, 0, 0, 0), 80.0)]
+        )
+        evaluator = SpyEvaluator(truth)
+        result = KairosPlusSearch(ranked, evaluator).run()
+        assert evaluator.calls == [(2, 0, 9, 0)]
+        assert result.num_evaluations == 1
+        assert result.pruned_by_bound == 2
+
+    def test_sub_configuration_pruning(self):
+        # (1, 0, 5, 0) is a sub-configuration of (2, 0, 9, 0): once the latter is
+        # evaluated the former must never be evaluated, even with a higher bound than
+        # the current best throughput.
+        truth = {(2, 0, 9, 0): 50.0, (1, 0, 5, 0): 45.0, (3, 0, 1, 0): 55.0}
+        ranked = make_ranked(
+            [((2, 0, 9, 0), 150.0), ((1, 0, 5, 0), 140.0), ((3, 0, 1, 0), 130.0)]
+        )
+        evaluator = SpyEvaluator(truth)
+        result = KairosPlusSearch(ranked, evaluator).run()
+        assert (1, 0, 5, 0) not in evaluator.calls
+        assert result.pruned_by_subconfig >= 1
+        assert result.best_config.counts == (3, 0, 1, 0)
+
+    def test_evaluates_fewer_than_search_space(self):
+        # A fairly tight bound set should prune most of a larger space.
+        configs = [((1, 0, i, 0), 100.0 + i) for i in range(20)]
+        truth = {c: 90.0 + 0.5 * c[2] for c, _ in configs}
+        ranked = make_ranked(sorted(configs, key=lambda x: -x[1]))
+        evaluator = SpyEvaluator(truth)
+        result = KairosPlusSearch(ranked, evaluator).run()
+        assert result.num_evaluations < 20
+        assert result.search_space_size == 20
+        assert 0 < result.evaluated_fraction < 1
+
+    def test_max_evaluations_cap(self):
+        configs = [((1, 0, i, 0), 200.0 - i) for i in range(10)]
+        truth = {c: 1.0 for c, _ in configs}
+        ranked = make_ranked(configs)
+        result = KairosPlusSearch(ranked, SpyEvaluator(truth), max_evaluations=3).run()
+        assert result.num_evaluations == 3
+
+    def test_requires_sorted_bounds(self):
+        ranked = make_ranked([((1, 0, 0, 0), 10.0), ((2, 0, 0, 0), 20.0)])
+        with pytest.raises(ValueError):
+            KairosPlusSearch(ranked, lambda c: 1.0)
+
+    def test_empty_ranked_rejected(self):
+        with pytest.raises(ValueError):
+            KairosPlusSearch([], lambda c: 1.0)
+
+    def test_evaluation_trace_recorded(self):
+        truth = {(1, 0, 1, 0): 10.0, (2, 0, 0, 0): 30.0}
+        ranked = make_ranked([((2, 0, 0, 0), 50.0), ((1, 0, 1, 0), 40.0)])
+        result = KairosPlusSearch(ranked, SpyEvaluator(truth)).run()
+        assert [tuple(c.counts) for c, _ in result.evaluations][0] == (2, 0, 0, 0)
+        assert result.evaluations[0][1] == pytest.approx(30.0)

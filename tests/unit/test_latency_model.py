@@ -1,0 +1,132 @@
+"""Tests for repro.core.latency_model."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency_model import (
+    NoisyLatencyEstimator,
+    OnlineLatencyEstimator,
+    PerfectLatencyEstimator,
+)
+
+
+class TestPerfectLatencyEstimator:
+    def test_matches_profiles(self, profiles, rm2):
+        est = PerfectLatencyEstimator(profiles, rm2)
+        assert est.predict_ms("g4dn.xlarge", 500) == pytest.approx(
+            profiles.latency_ms(rm2, "g4dn.xlarge", 500)
+        )
+
+    def test_vectorized_prediction(self, profiles, rm2):
+        est = PerfectLatencyEstimator(profiles, rm2)
+        out = est.predict_many_ms("r5n.large", [1, 10, 100])
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_accepts_model_name(self, profiles):
+        est = PerfectLatencyEstimator(profiles, "WND")
+        assert est.predict_ms("g4dn.xlarge", 10) > 0
+
+    def test_observe_is_noop(self, profiles, rm2):
+        est = PerfectLatencyEstimator(profiles, rm2)
+        before = est.predict_ms("g4dn.xlarge", 10)
+        est.observe("g4dn.xlarge", 10, 99999.0)
+        assert est.predict_ms("g4dn.xlarge", 10) == before
+
+
+class TestOnlineLatencyEstimator:
+    def test_cold_start_prior(self):
+        est = OnlineLatencyEstimator(cold_start_prior_ms=2.0)
+        assert est.predict_ms("g4dn.xlarge", 100) == 2.0
+        assert est.observations("g4dn.xlarge") == 0
+
+    def test_lookup_table_exact_batch(self):
+        est = OnlineLatencyEstimator()
+        est.observe("gpu", 100, 30.0)
+        est.observe("gpu", 100, 32.0)
+        assert est.predict_ms("gpu", 100) == pytest.approx(31.0)
+        assert est.observations("gpu") == 2
+
+    def test_single_point_proportional_scaling(self):
+        est = OnlineLatencyEstimator()
+        est.observe("gpu", 100, 50.0)
+        assert est.predict_ms("gpu", 200) == pytest.approx(100.0)
+
+    def test_linear_fit_recovers_true_profile(self):
+        est = OnlineLatencyEstimator()
+        intercept, slope = 5.0, 0.25
+        for batch in (10, 50, 100, 400, 800):
+            est.observe("cpu", batch, intercept + slope * batch)
+        coeffs = est.linear_coefficients("cpu")
+        assert coeffs is not None
+        assert coeffs[0] == pytest.approx(intercept, abs=1e-6)
+        assert coeffs[1] == pytest.approx(slope, abs=1e-9)
+        # prediction for an unseen batch uses the fit
+        assert est.predict_ms("cpu", 333) == pytest.approx(intercept + slope * 333, rel=1e-6)
+
+    def test_linear_coefficients_need_two_batches(self):
+        est = OnlineLatencyEstimator()
+        est.observe("cpu", 10, 5.0)
+        assert est.linear_coefficients("cpu") is None
+
+    def test_slope_never_negative(self):
+        est = OnlineLatencyEstimator()
+        est.observe("cpu", 10, 100.0)
+        est.observe("cpu", 1000, 10.0)  # decreasing data
+        intercept, slope = est.linear_coefficients("cpu")
+        assert slope == 0.0
+        assert est.predict_ms("cpu", 500) > 0
+
+    def test_types_are_independent(self):
+        est = OnlineLatencyEstimator()
+        est.observe("a", 10, 5.0)
+        assert est.predict_ms("b", 10) == est.cold_start_prior_ms
+
+    def test_invalid_observations(self):
+        est = OnlineLatencyEstimator()
+        with pytest.raises(ValueError):
+            est.observe("a", 10, 0.0)
+        with pytest.raises(ValueError):
+            est.observe("a", 0, 1.0)
+        with pytest.raises(ValueError):
+            OnlineLatencyEstimator(cold_start_prior_ms=0.0)
+
+    def test_predict_many(self):
+        est = OnlineLatencyEstimator()
+        for batch in (10, 100):
+            est.observe("cpu", batch, float(batch))
+        out = est.predict_many_ms("cpu", [10, 100])
+        assert out[0] == pytest.approx(10.0)
+        assert out[1] == pytest.approx(100.0)
+
+
+class TestNoisyLatencyEstimator:
+    def test_noise_perturbs_predictions(self, profiles, rm2):
+        inner = PerfectLatencyEstimator(profiles, rm2)
+        noisy = NoisyLatencyEstimator(inner, relative_std=0.05, rng=0)
+        true = inner.predict_ms("g4dn.xlarge", 500)
+        draws = [noisy.predict_ms("g4dn.xlarge", 500) for _ in range(20)]
+        assert len(set(draws)) > 1
+        assert np.mean(draws) == pytest.approx(true, rel=0.1)
+
+    def test_zero_noise_identity(self, profiles, rm2):
+        inner = PerfectLatencyEstimator(profiles, rm2)
+        noisy = NoisyLatencyEstimator(inner, relative_std=0.0, rng=0)
+        assert noisy.predict_ms("g4dn.xlarge", 100) == pytest.approx(
+            inner.predict_ms("g4dn.xlarge", 100)
+        )
+
+    def test_observe_forwards_to_inner(self):
+        inner = OnlineLatencyEstimator()
+        noisy = NoisyLatencyEstimator(inner, 0.05, rng=0)
+        noisy.observe("cpu", 10, 5.0)
+        assert inner.observations("cpu") == 1
+
+    def test_invalid_std(self, profiles, rm2):
+        with pytest.raises(ValueError):
+            NoisyLatencyEstimator(PerfectLatencyEstimator(profiles, rm2), -0.1)
+
+    def test_predictions_stay_positive(self):
+        inner = OnlineLatencyEstimator(cold_start_prior_ms=0.001)
+        noisy = NoisyLatencyEstimator(inner, relative_std=5.0, rng=1)
+        assert all(noisy.predict_ms("x", 1) > 0 for _ in range(50))

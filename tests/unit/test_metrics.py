@@ -1,0 +1,105 @@
+"""Tests for repro.sim.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.workload.query import Query
+
+
+def make_record(query_id, batch, arrival, start, completion, server_type="g4dn.xlarge"):
+    return QueryRecord(
+        query=Query(query_id, batch, arrival),
+        server_id=0,
+        server_type=server_type,
+        start_ms=start,
+        completion_ms=completion,
+        service_ms=completion - start,
+    )
+
+
+class TestQueryRecord:
+    def test_latency_and_waiting(self):
+        r = make_record(0, 10, arrival=5.0, start=8.0, completion=20.0)
+        assert r.latency_ms == pytest.approx(15.0)
+        assert r.waiting_ms == pytest.approx(3.0)
+        assert r.meets_qos(15.0)
+        assert not r.meets_qos(14.0)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(0, 10, arrival=5.0, start=10.0, completion=9.0)
+        with pytest.raises(ValueError):
+            make_record(0, 10, arrival=5.0, start=4.0, completion=9.0)
+
+
+class TestServingMetrics:
+    def make_metrics(self, latencies, qos=100.0):
+        metrics = ServingMetrics(qos_ms=qos)
+        for i, lat in enumerate(latencies):
+            metrics.record(make_record(i, 10, arrival=float(i), start=float(i), completion=float(i) + lat))
+        return metrics
+
+    def test_tail_latency(self):
+        latencies = list(np.linspace(1, 100, 100))
+        metrics = self.make_metrics(latencies)
+        assert metrics.tail_latency_ms(50) == pytest.approx(np.percentile(latencies, 50))
+        assert metrics.tail_latency_ms() == pytest.approx(np.percentile(latencies, 99))
+
+    def test_meets_qos_boundary(self):
+        metrics = self.make_metrics([50.0] * 100, qos=50.0)
+        assert metrics.meets_qos()
+        metrics2 = self.make_metrics([50.0] * 99 + [200.0], qos=50.0)
+        assert not metrics2.meets_qos()
+
+    def test_violation_rate(self):
+        metrics = self.make_metrics([10.0] * 90 + [200.0] * 10, qos=100.0)
+        assert metrics.qos_violation_rate() == pytest.approx(0.1)
+
+    def test_empty_metrics(self):
+        metrics = ServingMetrics(100.0)
+        assert metrics.qos_violation_rate() == 0.0
+        assert len(metrics) == 0
+        with pytest.raises(ValueError):
+            metrics.tail_latency_ms()
+        with pytest.raises(ValueError):
+            metrics.mean_latency_ms()
+
+    def test_makespan_and_qps(self):
+        metrics = ServingMetrics(100.0)
+        metrics.record(make_record(0, 10, arrival=0.0, start=0.0, completion=50.0))
+        metrics.record(make_record(1, 10, arrival=100.0, start=100.0, completion=1000.0))
+        assert metrics.makespan_ms() == pytest.approx(1000.0)
+        assert metrics.achieved_qps() == pytest.approx(2.0)
+
+    def test_goodput_excludes_violations(self):
+        metrics = ServingMetrics(100.0)
+        metrics.record(make_record(0, 10, arrival=0.0, start=0.0, completion=50.0))
+        metrics.record(make_record(1, 10, arrival=0.0, start=0.0, completion=1000.0))
+        assert metrics.goodput_qps() == pytest.approx(0.5 * metrics.achieved_qps())
+
+    def test_queries_by_type_and_mean_batch(self):
+        metrics = ServingMetrics(100.0)
+        metrics.record(make_record(0, 10, 0.0, 0.0, 1.0, server_type="a"))
+        metrics.record(make_record(1, 30, 0.0, 0.0, 1.0, server_type="a"))
+        metrics.record(make_record(2, 100, 0.0, 0.0, 1.0, server_type="b"))
+        assert metrics.queries_by_type() == {"a": 2, "b": 1}
+        assert metrics.mean_batch_by_type()["a"] == pytest.approx(20.0)
+
+    def test_summary_keys(self):
+        metrics = self.make_metrics([10.0, 20.0])
+        summary = metrics.summary()
+        assert {"num_queries", "tail_latency_ms", "achieved_qps", "goodput_qps"} <= set(summary)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ServingMetrics(0.0)
+        with pytest.raises(ValueError):
+            ServingMetrics(10.0, qos_percentile=0.0)
+
+    def test_extend_and_records(self):
+        metrics = ServingMetrics(100.0)
+        records = [make_record(i, 10, 0.0, 0.0, 10.0) for i in range(3)]
+        metrics.extend(records)
+        assert len(metrics) == 3
+        assert len(metrics.records) == 3

@@ -1,0 +1,84 @@
+"""Tests for repro.cloud.models (paper Table 3)."""
+
+import pytest
+
+from repro.cloud.models import (
+    DEFAULT_MODEL_REGISTRY,
+    MAX_BATCH_SIZE,
+    MLModel,
+    ModelRegistry,
+    get_model,
+)
+
+
+class TestTable3:
+    @pytest.mark.parametrize(
+        "name,qos",
+        [("NCF", 5.0), ("RM2", 350.0), ("WND", 25.0), ("MT-WND", 25.0), ("DIEN", 35.0)],
+    )
+    def test_qos_targets(self, name, qos):
+        assert get_model(name).qos_ms == pytest.approx(qos)
+
+    def test_registry_has_five_models(self):
+        assert len(DEFAULT_MODEL_REGISTRY) == 5
+        assert DEFAULT_MODEL_REGISTRY.names == ["NCF", "RM2", "WND", "MT-WND", "DIEN"]
+
+    def test_max_batch_size(self):
+        assert MAX_BATCH_SIZE == 1000
+        assert all(m.max_batch_size == 1000 for m in DEFAULT_MODEL_REGISTRY)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model("BERT")
+
+    def test_describe(self):
+        rows = DEFAULT_MODEL_REGISTRY.describe()
+        assert len(rows) == 5
+        assert {"model", "qos_ms", "application", "description"} <= set(rows[0].keys())
+
+
+class TestMLModel:
+    def test_with_qos(self):
+        rm2 = get_model("RM2")
+        relaxed = rm2.with_qos(400.0)
+        assert relaxed.qos_ms == 400.0
+        assert relaxed.name == "RM2"
+        assert rm2.qos_ms == 350.0  # original untouched
+
+    def test_scaled_qos(self):
+        assert get_model("WND").scaled_qos(1.2).qos_ms == pytest.approx(30.0)
+
+    def test_scaled_qos_invalid_factor(self):
+        with pytest.raises(ValueError):
+            get_model("WND").scaled_qos(0.0)
+
+    def test_invalid_qos_rejected(self):
+        with pytest.raises(ValueError):
+            MLModel("X", qos_ms=0.0)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MLModel("X", qos_ms=10.0, max_batch_size=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MLModel("", qos_ms=10.0)
+
+
+class TestModelRegistry:
+    def test_duplicate_rejected(self):
+        m = get_model("NCF")
+        with pytest.raises(ValueError):
+            ModelRegistry([m, m])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry([])
+
+    def test_get_default(self):
+        assert DEFAULT_MODEL_REGISTRY.get("nope") is None
+        assert DEFAULT_MODEL_REGISTRY.get("NCF").name == "NCF"
+
+    def test_contains(self):
+        assert "DIEN" in DEFAULT_MODEL_REGISTRY
+        assert "GPT" not in DEFAULT_MODEL_REGISTRY

@@ -1,0 +1,157 @@
+"""Tests for repro.cloud.profiles and the calibrated profile table."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.models import get_model
+from repro.cloud.profile_data import coefficient_table
+from repro.cloud.profiles import (
+    LinearLatencyProfile,
+    ProfileRegistry,
+    TabulatedLatencyProfile,
+    default_profile_registry,
+)
+
+
+class TestLinearLatencyProfile:
+    def test_scalar_latency(self):
+        p = LinearLatencyProfile(intercept_ms=2.0, per_item_ms=0.1)
+        assert p.latency_ms(10) == pytest.approx(3.0)
+
+    def test_vectorized_latency(self):
+        p = LinearLatencyProfile(2.0, 0.1)
+        out = p.latency_ms(np.array([1, 10, 100]))
+        assert out.shape == (3,)
+        assert out[2] == pytest.approx(12.0)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ValueError):
+            LinearLatencyProfile(1.0, 0.1).latency_ms(-1)
+
+    def test_invalid_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            LinearLatencyProfile(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            LinearLatencyProfile(1.0, 0.0)
+
+    def test_max_feasible_batch_closed_form(self):
+        p = LinearLatencyProfile(10.0, 1.0)
+        # qos 100 -> 10 + b <= 100 -> b <= 90
+        assert p.max_feasible_batch(100.0, 1000) == 90
+
+    def test_max_feasible_batch_capped(self):
+        p = LinearLatencyProfile(1.0, 0.001)
+        assert p.max_feasible_batch(100.0, 500) == 500
+
+    def test_max_feasible_batch_zero_when_infeasible(self):
+        p = LinearLatencyProfile(200.0, 1.0)
+        assert p.max_feasible_batch(100.0, 1000) == 0
+
+    def test_closed_form_matches_generic_scan(self):
+        p = LinearLatencyProfile(3.0, 0.37)
+        generic = super(LinearLatencyProfile, p).max_feasible_batch
+        assert p.max_feasible_batch(50.0, 300) == generic(50.0, 300)
+
+
+class TestTabulatedLatencyProfile:
+    def test_interpolation(self):
+        p = TabulatedLatencyProfile((1, 100), (2.0, 20.0))
+        assert p.latency_ms(50) == pytest.approx(2.0 + (20.0 - 2.0) * 49 / 99)
+
+    def test_extrapolation_beyond_last_point(self):
+        p = TabulatedLatencyProfile((1, 100), (2.0, 20.0))
+        slope = (20.0 - 2.0) / 99
+        assert p.latency_ms(200) == pytest.approx(20.0 + slope * 100)
+
+    def test_from_linear_matches(self):
+        lin = LinearLatencyProfile(5.0, 0.2)
+        tab = TabulatedLatencyProfile.from_linear(lin, [1, 10, 100, 1000])
+        assert tab.latency_ms(10) == pytest.approx(lin.latency_ms(10))
+        assert tab.latency_ms(500) == pytest.approx(lin.latency_ms(500))
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            TabulatedLatencyProfile((1,), (2.0,))
+        with pytest.raises(ValueError):
+            TabulatedLatencyProfile((5, 1), (2.0, 3.0))
+        with pytest.raises(ValueError):
+            TabulatedLatencyProfile((1, 2), (2.0, -1.0))
+
+
+class TestProfileRegistry:
+    def test_has_profile_for_all_pairs(self, profiles):
+        for model in profiles.models:
+            for itype in profiles.catalog.types:
+                assert profiles.has_profile(model, itype)
+
+    def test_unknown_pair_raises(self, profiles):
+        with pytest.raises(KeyError):
+            profiles.profile("RM2", "p3.2xlarge")
+
+    def test_base_is_the_only_fully_feasible_type(self, profiles):
+        for model in profiles.models:
+            feasible = [t.name for t in profiles.feasible_base_types(model)]
+            assert feasible == ["g4dn.xlarge"], f"{model.name}: {feasible}"
+
+    def test_aux_cutoffs_are_positive_and_below_max(self, profiles):
+        for model in profiles.models:
+            for itype in profiles.catalog.auxiliary_types:
+                cutoff = profiles.qos_cutoff_batch(model, itype)
+                assert 1 <= cutoff < model.max_batch_size
+
+    def test_pearson_above_0_99(self, profiles):
+        batches = np.unique(np.geomspace(1, 1000, 40).astype(int))
+        for model in profiles.models:
+            for itype in profiles.catalog.types:
+                assert profiles.pearson_batch_latency(model, itype, batches) > 0.99
+
+    def test_standalone_qps_respects_qos(self, profiles, rm2):
+        qps_all = profiles.standalone_qps(rm2, "r5n.large", [10, 500, 999], respect_qos=False)
+        qps_qos = profiles.standalone_qps(rm2, "r5n.large", [10, 500, 999], respect_qos=True)
+        assert qps_qos >= qps_all
+
+    def test_standalone_qps_zero_when_nothing_feasible(self, profiles, rm2):
+        cutoff = profiles.qos_cutoff_batch(rm2, "t3.xlarge")
+        qps = profiles.standalone_qps(rm2, "t3.xlarge", [cutoff + 1, cutoff + 10])
+        assert qps == 0.0
+
+    def test_standalone_qps_empty_mix(self, profiles, rm2):
+        assert profiles.standalone_qps(rm2, "g4dn.xlarge", []) == 0.0
+
+    def test_with_profile_replaces_one_entry(self, profiles, rm2):
+        new = LinearLatencyProfile(1.0, 0.001)
+        updated = profiles.with_profile(rm2, "g4dn.xlarge", new)
+        assert updated.latency_ms(rm2, "g4dn.xlarge", 100) == pytest.approx(1.1)
+        # original untouched
+        assert profiles.latency_ms(rm2, "g4dn.xlarge", 100) != pytest.approx(1.1)
+
+    def test_restrict_to_model(self, profiles):
+        only_rm2 = profiles.restrict_to_model("RM2")
+        assert only_rm2.has_profile("RM2", "g4dn.xlarge")
+        assert not only_rm2.has_profile("NCF", "g4dn.xlarge")
+
+    def test_restrict_to_unknown_model(self, profiles):
+        with pytest.raises(KeyError):
+            profiles.restrict_to_model("GPT")
+
+    def test_registry_rejects_unknown_references(self, catalog):
+        with pytest.raises(KeyError):
+            ProfileRegistry({("GPT", "g4dn.xlarge"): LinearLatencyProfile(1, 1)})
+        with pytest.raises(KeyError):
+            ProfileRegistry({("RM2", "weird.type"): LinearLatencyProfile(1, 1)})
+
+
+class TestCoefficientTable:
+    def test_covers_all_model_type_pairs(self, profiles):
+        table = coefficient_table()
+        assert len(table) == len(profiles.models) * len(profiles.catalog)
+
+    def test_all_coefficients_positive(self):
+        for (intercept, slope) in coefficient_table().values():
+            assert intercept >= 0
+            assert slope > 0
+
+    def test_gpu_meets_qos_at_max_batch_with_margin(self, profiles):
+        for model in profiles.models:
+            latency = profiles.latency_ms(model, "g4dn.xlarge", model.max_batch_size)
+            assert latency < model.qos_ms

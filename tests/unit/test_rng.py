@@ -1,0 +1,79 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs, stable_choice
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=10)
+        b = ensure_rng(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.integers(0, 10**9, size=5) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_for_int_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(0)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+
+class TestStableChoice:
+    def test_single_choice_member(self):
+        assert stable_choice(0, [1, 2, 3]) in (1, 2, 3)
+
+    def test_multiple_choices(self):
+        picks = stable_choice(0, ["a", "b"], size=4)
+        assert len(picks) == 4
+        assert set(picks) <= {"a", "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stable_choice(0, [])

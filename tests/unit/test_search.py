@@ -1,0 +1,228 @@
+"""Tests for repro.search: the online configuration-search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.core.config_space import enumerate_configs
+from repro.search.annealing import SimulatedAnnealingSearch
+from repro.search.base import CountingEvaluator, EvaluationBudgetExhausted
+from repro.search.bayesian import BayesianOptimizationSearch
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.genetic import GeneticSearch
+from repro.search.gp import GaussianProcessRegressor, RBFKernel, expected_improvement
+from repro.search.pruning import candidate_pool, config_key, prune_sub_configs
+from repro.search.random_search import RandomSearch
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    """A compact configuration space (budget 1.5 $/hr, max 3 per type)."""
+    return enumerate_configs(1.5, max_per_type=3)
+
+
+def synthetic_evaluator(config: HeterogeneousConfig) -> float:
+    """A smooth synthetic throughput landscape peaking at a mixed configuration."""
+    g, c, r, t = config.counts
+    return 40.0 * g + 18.0 * r + 9.0 * c + 6.0 * t - 4.0 * (g - 1) ** 2 - 0.8 * (r - 3) ** 2
+
+
+def true_best(space):
+    return max(space, key=synthetic_evaluator)
+
+
+class TestCountingEvaluator:
+    def test_caches_repeated_evaluations(self, small_space):
+        calls = []
+
+        def evaluator(config):
+            calls.append(config)
+            return 1.0
+
+        counting = CountingEvaluator(evaluator)
+        counting(small_space[0])
+        counting(small_space[0])
+        assert len(calls) == 1
+        assert counting.num_evaluations == 1
+        assert counting.evaluated(small_space[0])
+
+    def test_budget_enforced(self, small_space):
+        counting = CountingEvaluator(lambda c: 1.0, max_evaluations=2)
+        counting(small_space[0])
+        counting(small_space[1])
+        with pytest.raises(EvaluationBudgetExhausted):
+            counting(small_space[2])
+
+    def test_best_tracking(self, small_space):
+        counting = CountingEvaluator(synthetic_evaluator)
+        for config in small_space[:10]:
+            counting(config)
+        best_config, best_value = counting.best()
+        assert best_value == max(v for _, v in counting.trace)
+        assert counting.best()[0] is best_config
+
+    def test_empty_best(self):
+        assert CountingEvaluator(lambda c: 1.0).best() == (None, 0.0)
+
+
+class TestPruning:
+    def test_prune_sub_configs(self, small_space):
+        pool = candidate_pool(small_space)
+        big = HeterogeneousConfig((1, 1, 3, 0))
+        removed = prune_sub_configs(pool, big)
+        assert removed > 0
+        assert all(not cfg.is_sub_config_of(big) for cfg in pool.values())
+        assert config_key(big) in pool  # the evaluated config itself is not a sub-config
+
+    def test_prune_nothing_for_minimal_config(self, small_space):
+        pool = candidate_pool(small_space)
+        smallest = HeterogeneousConfig((0, 0, 1, 0))
+        assert prune_sub_configs(pool, smallest) == 0
+
+
+class TestExhaustiveSearch:
+    def test_covers_whole_space(self, small_space):
+        result = ExhaustiveSearch().search(small_space, synthetic_evaluator)
+        assert result.num_evaluations == len(small_space)
+        assert result.best_config == true_best(small_space)
+        assert result.evaluated_fraction == pytest.approx(1.0)
+
+    def test_budget_cap(self, small_space):
+        result = ExhaustiveSearch(max_evaluations=5).search(small_space, synthetic_evaluator)
+        assert result.num_evaluations == 5
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ExhaustiveSearch().search([], synthetic_evaluator)
+
+
+class TestRandomSearch:
+    def test_respects_budget_and_finds_good_config(self, small_space):
+        result = RandomSearch(max_evaluations=30).search(small_space, synthetic_evaluator, rng=0)
+        assert result.num_evaluations == 30
+        assert result.best_value >= 0.5 * synthetic_evaluator(true_best(small_space))
+
+    def test_without_budget_covers_space(self, small_space):
+        result = RandomSearch().search(small_space, synthetic_evaluator, rng=0)
+        assert result.num_evaluations == len(small_space)
+        assert result.best_config == true_best(small_space)
+
+    def test_pruning_reduces_evaluations(self, small_space):
+        no_prune = RandomSearch().search(small_space, synthetic_evaluator, rng=1)
+        pruned = RandomSearch(use_pruning=True).search(small_space, synthetic_evaluator, rng=1)
+        assert pruned.num_evaluations < no_prune.num_evaluations
+
+    def test_deterministic_given_seed(self, small_space):
+        a = RandomSearch(max_evaluations=10).search(small_space, synthetic_evaluator, rng=5)
+        b = RandomSearch(max_evaluations=10).search(small_space, synthetic_evaluator, rng=5)
+        assert [c.counts for c, _ in a.evaluations] == [c.counts for c, _ in b.evaluations]
+
+    def test_running_best_monotone(self, small_space):
+        result = RandomSearch(max_evaluations=20).search(small_space, synthetic_evaluator, rng=2)
+        running = result.running_best()
+        assert np.all(np.diff(running) >= 0)
+        assert result.evaluations_until_best >= 1
+
+
+class TestSimulatedAnnealing:
+    def test_finds_reasonable_config(self, small_space):
+        result = SimulatedAnnealingSearch(max_evaluations=40).search(
+            small_space, synthetic_evaluator, rng=0
+        )
+        assert result.num_evaluations <= 40
+        assert result.best_value >= 0.6 * synthetic_evaluator(true_best(small_space))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSearch(initial_temperature=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSearch(cooling=1.5)
+
+    def test_trace_recorded(self, small_space):
+        result = SimulatedAnnealingSearch(max_evaluations=15).search(
+            small_space, synthetic_evaluator, rng=3
+        )
+        assert len(result.evaluations) == result.num_evaluations > 0
+
+
+class TestGeneticSearch:
+    def test_finds_reasonable_config(self, small_space):
+        result = GeneticSearch(max_evaluations=60).search(small_space, synthetic_evaluator, rng=0)
+        assert result.best_value >= 0.7 * synthetic_evaluator(true_best(small_space))
+        assert result.num_evaluations <= 60
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GeneticSearch(population_size=1)
+        with pytest.raises(ValueError):
+            GeneticSearch(mutation_rate=1.5)
+
+    def test_population_smaller_than_space(self):
+        space = enumerate_configs(0.4, max_per_type=2)
+        result = GeneticSearch(population_size=50, generations=2).search(
+            space, synthetic_evaluator, rng=0
+        )
+        assert result.num_evaluations <= len(space)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 1.0, 4.0, 9.0])
+        gp = GaussianProcessRegressor(RBFKernel(length_scale=1.0), noise_variance=1e-6)
+        gp.fit(x, y)
+        mean, var = gp.predict(x)
+        assert np.allclose(mean, y, atol=0.05)
+        assert np.all(var >= 0)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        gp = GaussianProcessRegressor().fit(x, y)
+        _, var_near = gp.predict(np.array([[0.5]]))
+        _, var_far = gp.predict(np.array([[10.0]]))
+        assert var_far > var_near
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.array([[0.0]]))
+
+    def test_fit_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_expected_improvement_positive_where_mean_exceeds_best(self):
+        ei = expected_improvement(np.array([1.0, 5.0]), np.array([0.1, 0.1]), best_observed=2.0)
+        assert ei[1] > ei[0]
+        assert np.all(ei >= 0)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=0.0)
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise_variance=0.0)
+
+
+class TestBayesianOptimization:
+    def test_finds_good_config_with_few_evaluations(self, small_space):
+        result = BayesianOptimizationSearch(max_evaluations=35, ei_tolerance=1e-4).search(
+            small_space, synthetic_evaluator, rng=0
+        )
+        assert result.num_evaluations <= 35
+        assert result.best_value >= 0.75 * synthetic_evaluator(true_best(small_space))
+
+    def test_more_efficient_than_exhaustive(self, small_space):
+        result = BayesianOptimizationSearch(max_evaluations=30).search(
+            small_space, synthetic_evaluator, rng=1
+        )
+        assert result.num_evaluations < len(small_space)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizationSearch(num_initial=0)
+
+    def test_pruning_supported(self, small_space):
+        result = BayesianOptimizationSearch(max_evaluations=20, use_pruning=True).search(
+            small_space, synthetic_evaluator, rng=2
+        )
+        assert result.num_evaluations <= 20

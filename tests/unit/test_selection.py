@@ -1,0 +1,82 @@
+"""Tests for repro.core.selection (similarity-based configuration selection)."""
+
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.core.selection import select_configuration
+
+
+def ranked_from_counts(counts_and_bounds):
+    return [(HeterogeneousConfig(c), b) for c, b in counts_and_bounds]
+
+
+class TestSelectConfiguration:
+    def test_top1_rule_when_top3_share_base_count(self):
+        ranked = ranked_from_counts(
+            [
+                ((2, 0, 9, 0), 100.0),
+                ((2, 0, 8, 1), 99.0),
+                ((2, 1, 7, 0), 98.0),
+                ((1, 0, 13, 0), 97.0),
+            ]
+        )
+        result = select_configuration(ranked)
+        assert result.rule == "top1-same-base"
+        assert result.selected == ranked[0][0]
+        assert result.selected_rank == 0
+
+    def test_centroid_rule_when_base_counts_differ(self):
+        # top-3 have different base counts -> min-SSE centroid over the top-10
+        ranked = ranked_from_counts(
+            [
+                ((1, 0, 13, 0), 100.0),
+                ((2, 0, 9, 0), 99.0),
+                ((3, 0, 5, 0), 98.0),
+                ((2, 0, 8, 0), 97.0),
+                ((2, 0, 10, 0), 96.0),
+            ]
+        )
+        result = select_configuration(ranked)
+        assert result.rule == "min-sse-centroid"
+        # (2, 0, 9, 0) is the centroid-most configuration of this cluster
+        assert result.selected.counts == (2, 0, 9, 0)
+        assert len(result.distance_sums) == len(result.candidates)
+
+    def test_centroid_distances_are_sums_of_squared_distances(self):
+        ranked = ranked_from_counts(
+            [
+                ((1, 0, 0, 0), 10.0),
+                ((2, 0, 0, 0), 9.0),
+                ((5, 0, 0, 0), 8.0),
+            ]
+        )
+        result = select_configuration(ranked, top_k_base_check=5)
+        # distances for (2,0,0,0): (1)^2 + (3)^2 = 10 -> the minimum
+        assert result.selected.counts == (2, 0, 0, 0)
+        assert min(result.distance_sums) == pytest.approx(10.0)
+
+    def test_fewer_than_topk_candidates_still_works(self):
+        ranked = ranked_from_counts([((1, 0, 1, 0), 5.0), ((2, 0, 0, 0), 4.0)])
+        result = select_configuration(ranked)
+        assert result.selected in {c for c, _ in ranked}
+
+    def test_single_candidate(self):
+        ranked = ranked_from_counts([((1, 0, 0, 0), 5.0)])
+        result = select_configuration(ranked)
+        assert result.selected.counts == (1, 0, 0, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_configuration([])
+
+    def test_invalid_topk(self):
+        ranked = ranked_from_counts([((1, 0, 0, 0), 5.0)])
+        with pytest.raises(ValueError):
+            select_configuration(ranked, top_k_base_check=0)
+
+    def test_custom_topk_similarity(self):
+        ranked = ranked_from_counts(
+            [((i, 0, 0, 0), 10.0 - i) for i in range(1, 8)]
+        )
+        result = select_configuration(ranked, top_k_similarity=3)
+        assert len(result.candidates) == 3

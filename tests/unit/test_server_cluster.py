@@ -1,0 +1,144 @@
+"""Tests for repro.sim.server and repro.sim.cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import get_instance_type
+from repro.cloud.profiles import LinearLatencyProfile
+from repro.sim.cluster import Cluster
+from repro.sim.server import ServerInstance
+from repro.sim.simulation import gaussian_service_noise
+from repro.workload.query import Query
+
+
+@pytest.fixture
+def server():
+    return ServerInstance(
+        server_id=0,
+        instance_type=get_instance_type("g4dn.xlarge"),
+        profile=LinearLatencyProfile(10.0, 0.1),
+    )
+
+
+class TestServerInstance:
+    def test_idle_initially(self, server):
+        assert server.is_idle(0.0)
+        assert server.remaining_busy_ms(0.0) == 0.0
+        assert server.earliest_start_ms(5.0) == 5.0
+
+    def test_dispatch_sets_busy(self, server):
+        q = Query(0, 100, 0.0)
+        start, completion, service = server.dispatch(q, 0.0)
+        assert start == 0.0
+        assert service == pytest.approx(20.0)
+        assert completion == pytest.approx(20.0)
+        assert not server.is_idle(10.0)
+        assert server.is_idle(20.0)
+        assert server.local_queue_depth == 1
+
+    def test_dispatch_chains_on_busy_server(self, server):
+        server.dispatch(Query(0, 100, 0.0), 0.0)
+        start, completion, _ = server.dispatch(Query(1, 100, 1.0), 1.0)
+        assert start == pytest.approx(20.0)
+        assert completion == pytest.approx(40.0)
+        assert server.local_queue_depth == 2
+
+    def test_complete_one(self, server):
+        server.dispatch(Query(0, 10, 0.0), 0.0)
+        server.complete_one()
+        assert server.local_queue_depth == 0
+        with pytest.raises(RuntimeError):
+            server.complete_one()
+
+    def test_dispatch_overhead(self):
+        server = ServerInstance(
+            0, get_instance_type("r5n.large"), LinearLatencyProfile(10.0, 0.1),
+            dispatch_overhead_ms=2.0,
+        )
+        start, completion, _ = server.dispatch(Query(0, 10, 0.0), 0.0)
+        assert start == pytest.approx(2.0)
+        assert completion == pytest.approx(13.0)
+
+    def test_noise_requires_rng(self, server):
+        noise = gaussian_service_noise(0.05)
+        with pytest.raises(ValueError):
+            server.true_service_latency_ms(Query(0, 10, 0.0), noise=noise)
+
+    def test_noise_perturbs_latency(self, server):
+        noise = gaussian_service_noise(0.2)
+        rng = np.random.default_rng(0)
+        values = {
+            server.true_service_latency_ms(Query(0, 100, 0.0), noise=noise, rng=rng)
+            for _ in range(5)
+        }
+        assert len(values) > 1
+        assert all(v > 0 for v in values)
+
+    def test_utilization_and_reset(self, server):
+        server.dispatch(Query(0, 100, 0.0), 0.0)
+        assert server.utilization(40.0) == pytest.approx(0.5)
+        assert server.queries_served == 1
+        server.reset()
+        assert server.queries_served == 0
+        assert server.is_idle(0.0)
+        assert server.local_queue_depth == 0
+
+    def test_utilization_zero_horizon(self, server):
+        assert server.utilization(0.0) == 0.0
+
+
+class TestGaussianServiceNoise:
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            gaussian_service_noise(-0.1)
+
+    def test_zero_noise_is_identity(self):
+        noise = gaussian_service_noise(0.0)
+        assert noise(10.0, np.random.default_rng(0)) == pytest.approx(10.0)
+
+
+class TestCluster:
+    def test_server_count_and_order(self, rm2_cluster, small_config):
+        assert len(rm2_cluster) == small_config.total_instances
+        names = rm2_cluster.type_names()
+        assert names == ["g4dn.xlarge", "c5n.2xlarge", "r5n.large", "r5n.large"]
+
+    def test_base_and_aux_partition(self, rm2_cluster):
+        assert len(rm2_cluster.base_servers()) == 1
+        assert len(rm2_cluster.auxiliary_servers()) == 3
+
+    def test_idle_servers(self, rm2_cluster):
+        assert len(rm2_cluster.idle_servers(0.0)) == 4
+        rm2_cluster[0].dispatch(Query(0, 100, 0.0), 0.0)
+        assert len(rm2_cluster.idle_servers(0.0)) == 3
+
+    def test_earliest_idle_time(self, rm2_cluster):
+        assert rm2_cluster.earliest_idle_time_ms() == 0.0
+        for server in rm2_cluster:
+            server.dispatch(Query(server.server_id, 100, 0.0), 0.0)
+        assert rm2_cluster.earliest_idle_time_ms() > 0.0
+
+    def test_servers_of_type(self, rm2_cluster):
+        assert len(rm2_cluster.servers_of_type("r5n.large")) == 2
+        assert rm2_cluster.servers_of_type("t3.xlarge") == []
+
+    def test_utilization_by_type(self, rm2_cluster):
+        rm2_cluster[0].dispatch(Query(0, 100, 0.0), 0.0)
+        util = rm2_cluster.utilization_by_type(1000.0)
+        assert util["g4dn.xlarge"] > 0
+        assert util["r5n.large"] == 0.0
+        assert "t3.xlarge" not in util
+
+    def test_reset(self, rm2_cluster):
+        rm2_cluster[0].dispatch(Query(0, 100, 0.0), 0.0)
+        rm2_cluster.reset()
+        assert all(s.is_idle(0.0) for s in rm2_cluster)
+
+    def test_empty_config_rejected(self, rm2, profiles):
+        with pytest.raises(ValueError):
+            Cluster(HeterogeneousConfig.empty(), rm2, profiles)
+
+    def test_getitem(self, rm2_cluster):
+        assert rm2_cluster[0].server_id == 0
+        assert rm2_cluster[3].server_id == 3

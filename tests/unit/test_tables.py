@@ -1,0 +1,62 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_mapping, format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+        assert "3" in text
+
+    def test_title_line(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_bool_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_float_format_override(self):
+        text = format_table(["v"], [[1.23456]], float_fmt=".1f")
+        assert "1.2" in text and "1.23" not in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment_columns_consistent(self):
+        text = format_table(["col", "value"], [["x", 1], ["longer", 2]])
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert len(lines) == 3  # header + 2 rows
+        assert len({line.index("|") for line in lines}) == 1
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series({"y": [1.0, 2.0]}, index=[10, 20], index_name="t")
+        assert "t" in text and "y" in text and "10" in text
+
+    def test_default_index(self):
+        text = format_series({"y": [5.0]})
+        assert "0" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({})
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1], "b": [1, 2]})
+
+    def test_index_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1, 2]}, index=[1])
+
+
+def test_format_mapping():
+    text = format_mapping({"alpha": 1, "beta": 2.5})
+    assert "alpha" in text and "2.500" in text

@@ -1,0 +1,168 @@
+"""Tests for repro.core.upper_bound (Eqs. 9-15)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.core.upper_bound import (
+    ThroughputUpperBoundEstimator,
+    upper_bound_from_rates,
+)
+from repro.schedulers.oracle import OracleScheduler
+from repro.workload.batch_sizes import production_batch_distribution
+
+
+class TestUpperBoundFromRates:
+    def test_paper_scenario_1_base_bottleneck(self):
+        # Fig. 7 scenario 1: Qb=100, Qb_s+=90, Qa=150, f=0.6 -> 225.
+        assert upper_bound_from_rates(1, 100, 90, [(1, 150)], 0.6) == pytest.approx(225.0)
+
+    def test_paper_scenario_2_aux_bottleneck(self):
+        # Fig. 7 scenario 2: Qa=140, f=0.7 -> 233.33.
+        assert upper_bound_from_rates(1, 100, 90, [(1, 140)], 0.7) == pytest.approx(233.333, rel=1e-3)
+
+    def test_multi_node_scaling(self):
+        # Eq. 12: doubling the base count doubles the base-bottleneck bound.
+        single = upper_bound_from_rates(1, 100, 90, [(1, 150)], 0.6)
+        double = upper_bound_from_rates(2, 100, 90, [(2, 150)], 0.6)
+        assert double == pytest.approx(2 * single)
+
+    def test_no_aux_reduces_to_homogeneous(self):
+        assert upper_bound_from_rates(3, 100, 90, [], 0.5) == pytest.approx(300.0)
+        assert upper_bound_from_rates(3, 100, 90, [(2, 0.0)], 0.5) == pytest.approx(300.0)
+
+    def test_no_base_and_tail_queries_gives_zero(self):
+        assert upper_bound_from_rates(0, 100, 90, [(5, 100)], 0.9) == 0.0
+
+    def test_no_base_but_full_coverage(self):
+        assert upper_bound_from_rates(0, 100, 90, [(5, 100)], 1.0) == pytest.approx(500.0)
+
+    def test_f_one_adds_full_base_rate(self):
+        assert upper_bound_from_rates(2, 100, 90, [(1, 50)], 1.0) == pytest.approx(250.0)
+
+    def test_f_zero_ignores_aux(self):
+        assert upper_bound_from_rates(2, 100, 90, [(4, 50)], 0.0) == pytest.approx(200.0)
+
+    def test_monotone_in_aux_count(self):
+        bounds = [
+            upper_bound_from_rates(1, 100, 90, [(v, 50)], 0.8) for v in range(0, 8)
+        ]
+        assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_monotone_in_base_count(self):
+        bounds = [
+            upper_bound_from_rates(u, 100, 90, [(4, 50)], 0.8) for u in range(0, 6)
+        ]
+        assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            upper_bound_from_rates(-1, 100, 90, [], 0.5)
+        with pytest.raises(ValueError):
+            upper_bound_from_rates(1, 100, 90, [], 1.5)
+        with pytest.raises(ValueError):
+            upper_bound_from_rates(1, 100, 90, [(-1, 10)], 0.5)
+        with pytest.raises(ValueError):
+            upper_bound_from_rates(1, -5, 90, [], 0.5)
+
+
+@pytest.fixture
+def estimator(profiles, rm2, rng):
+    samples = production_batch_distribution().sample(6000, rng)
+    return ThroughputUpperBoundEstimator(profiles, rm2, samples)
+
+
+class TestThroughputUpperBoundEstimator:
+    def test_inputs_for_config(self, estimator):
+        config = HeterogeneousConfig((2, 0, 9, 0))
+        inputs = estimator.inputs_for(config)
+        assert inputs.base_count == 2
+        assert len(inputs.aux) == 1
+        assert inputs.aux[0][0] == 9
+        assert 0.0 < inputs.f < 1.0
+        assert inputs.s == estimator.cutoff_of("r5n.large")
+        assert inputs.q_b > inputs.q_b_splus > 0
+
+    def test_homogeneous_config_inputs(self, estimator):
+        config = HeterogeneousConfig((4, 0, 0, 0))
+        inputs = estimator.inputs_for(config)
+        assert inputs.aux == ()
+        assert inputs.f == 0.0
+        assert estimator.upper_bound(config) == pytest.approx(4 * inputs.q_b)
+
+    def test_s_is_max_cutoff_of_present_aux_types(self, estimator):
+        only_t3 = HeterogeneousConfig((1, 0, 0, 5))
+        both = HeterogeneousConfig((1, 0, 5, 5))
+        assert estimator.inputs_for(only_t3).s == estimator.cutoff_of("t3.xlarge")
+        assert estimator.inputs_for(both).s == max(
+            estimator.cutoff_of("r5n.large"), estimator.cutoff_of("t3.xlarge")
+        )
+
+    def test_upper_bound_positive_for_mixed_configs(self, estimator):
+        for counts in [(1, 0, 13, 0), (2, 1, 4, 1), (3, 1, 3, 0)]:
+            assert estimator.upper_bound(HeterogeneousConfig(counts)) > 0
+
+    def test_upper_bound_monotone_when_adding_instances(self, estimator):
+        base = HeterogeneousConfig((1, 0, 3, 0))
+        bigger = HeterogeneousConfig((2, 0, 3, 0))
+        more_aux = HeterogeneousConfig((1, 0, 6, 0))
+        assert estimator.upper_bound(bigger) >= estimator.upper_bound(base) - 1e-9
+        assert estimator.upper_bound(more_aux) >= estimator.upper_bound(base) - 1e-9
+
+    def test_upper_bound_tracks_oracle_packing(self, estimator, profiles, rm2, rng):
+        """The bound approximately dominates the clairvoyant packing's throughput.
+
+        The paper's formula assumes the base instances spend their slack on the *full*
+        query mix while the auxiliary types serve every query below the largest cutoff;
+        the clairvoyant packing instead splits the mix at a better threshold, so on some
+        configurations it can exceed the closed-form value by a few percent.  The test
+        asserts the bound stays within 10% of (and mostly above) the packing, which is
+        what the ranking use-case needs.
+        """
+        oracle = OracleScheduler(profiles, rm2)
+        samples = estimator._samples
+        ubs, oracles = [], []
+        for counts in [(1, 0, 13, 0), (2, 0, 9, 0), (3, 1, 3, 0), (4, 0, 0, 0), (2, 2, 2, 2)]:
+            config = HeterogeneousConfig(counts)
+            ub = estimator.upper_bound(config)
+            oracle_qps = oracle.throughput_qps(config, samples)
+            ubs.append(ub)
+            oracles.append(oracle_qps)
+            assert ub >= oracle_qps * 0.85, f"{config}: UB {ub} << oracle {oracle_qps}"
+        # the bound's *ordering* must agree with the packing's ordering (that is what
+        # the configuration ranking relies on)
+        ub_rank = np.argsort(np.argsort(ubs))
+        oracle_rank = np.argsort(np.argsort(oracles))
+        assert np.corrcoef(ub_rank, oracle_rank)[0, 1] > 0.85
+
+    def test_rank_configs_sorted(self, estimator):
+        configs = [
+            HeterogeneousConfig(c)
+            for c in [(1, 0, 13, 0), (4, 0, 0, 0), (2, 0, 9, 0), (1, 1, 1, 1)]
+        ]
+        ranked = estimator.rank_configs(configs)
+        bounds = [b for _, b in ranked]
+        assert bounds == sorted(bounds, reverse=True)
+        assert len(ranked) == len(configs)
+
+    def test_upper_bounds_vectorized(self, estimator):
+        configs = [HeterogeneousConfig((1, 0, i, 0)) for i in range(5)]
+        bounds = estimator.upper_bounds(configs)
+        assert bounds.shape == (5,)
+
+    def test_from_distribution_constructor(self, profiles, rm2):
+        est = ThroughputUpperBoundEstimator.from_distribution(
+            profiles, rm2, production_batch_distribution(), num_samples=2000, rng=0
+        )
+        assert est.upper_bound(HeterogeneousConfig((2, 0, 9, 0))) > 0
+
+    def test_empty_samples_rejected(self, profiles, rm2):
+        with pytest.raises(ValueError):
+            ThroughputUpperBoundEstimator(profiles, rm2, [])
+
+    def test_invalid_samples_rejected(self, profiles, rm2):
+        with pytest.raises(ValueError):
+            ThroughputUpperBoundEstimator(profiles, rm2, [0, 10])
+
+    def test_base_type_name(self, estimator):
+        assert estimator.base_type_name == "g4dn.xlarge"

@@ -1,0 +1,101 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    approx_equal,
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0) == 0.0
+
+    @pytest.mark.parametrize("value", [-0.1, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_non_negative(value)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(5, low=5, high=5) == 5.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValueError):
+            check_in_range(5, low=5, high=10, inclusive=False)
+
+    def test_above_high_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range(11, low=0, high=10)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range(float("inf"), low=0)
+
+
+class TestCheckFinite:
+    def test_accepts_finite_array(self):
+        out = check_finite([1.0, 2.0])
+        assert isinstance(out, np.ndarray)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_finite([1.0, float("nan")])
+
+    def test_empty_ok(self):
+        assert check_finite([]).size == 0
+
+
+class TestIntValidators:
+    def test_positive_int_accepts_integral_float(self):
+        assert check_positive_int(3.0) == 3
+
+    @pytest.mark.parametrize("value", [0, -2, 1.5, True, "3"])
+    def test_positive_int_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value)
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int(0) == 0
+
+    @pytest.mark.parametrize("value", [-1, 2.5, False])
+    def test_non_negative_int_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_non_negative_int(value)
+
+
+def test_approx_equal():
+    assert approx_equal(1.0, 1.0 + 1e-12)
+    assert not approx_equal(1.0, 1.001)

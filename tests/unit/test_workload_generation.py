@@ -1,0 +1,138 @@
+"""Tests for repro.workload.query / generator / phases / trace."""
+
+import numpy as np
+import pytest
+
+from repro.workload.batch_sizes import FixedBatchSizes, GaussianBatchSizes, production_batch_distribution
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec, queries_from_batches
+from repro.workload.phases import PhasedWorkloadGenerator, WorkloadPhase
+from repro.workload.query import Query
+from repro.workload.trace import load_trace, save_trace, synthesize_trace
+
+
+class TestQuery:
+    def test_deadline_and_waiting(self):
+        q = Query(query_id=3, batch_size=100, arrival_time_ms=50.0)
+        assert q.deadline_ms(25.0) == pytest.approx(75.0)
+        assert q.waiting_time_ms(60.0) == pytest.approx(10.0)
+        assert q.waiting_time_ms(40.0) == 0.0
+
+    def test_with_arrival_time(self):
+        q = Query(0, 10, 5.0).with_arrival_time(9.0)
+        assert q.arrival_time_ms == 9.0
+        assert q.batch_size == 10
+
+    def test_invalid_fields(self):
+        with pytest.raises(ValueError):
+            Query(-1, 10, 0.0)
+        with pytest.raises(ValueError):
+            Query(0, 0, 0.0)
+        with pytest.raises(ValueError):
+            Query(0, 10, -1.0)
+
+
+class TestWorkloadGenerator:
+    def test_generates_requested_count(self, rng):
+        spec = WorkloadSpec(num_queries=250)
+        queries = WorkloadGenerator(spec).generate(100.0, rng)
+        assert len(queries) == 250
+
+    def test_ids_sequential_and_times_sorted(self, rng):
+        queries = WorkloadGenerator(WorkloadSpec(num_queries=100)).generate(50.0, rng)
+        assert [q.query_id for q in queries] == list(range(100))
+        times = [q.arrival_time_ms for q in queries]
+        assert times == sorted(times)
+
+    def test_first_query_id_offset(self, rng):
+        queries = WorkloadGenerator(WorkloadSpec(num_queries=5)).generate(
+            10.0, rng, first_query_id=42
+        )
+        assert queries[0].query_id == 42
+
+    def test_batch_sequence_independent_of_rate(self):
+        spec = WorkloadSpec(num_queries=200)
+        gen = WorkloadGenerator(spec)
+        low = gen.generate(10.0, rng=7)
+        high = gen.generate(500.0, rng=7)
+        assert [q.batch_size for q in low] == [q.batch_size for q in high]
+
+    def test_num_queries_override(self, rng):
+        queries = WorkloadGenerator(WorkloadSpec(num_queries=10)).generate(
+            10.0, rng, num_queries=33
+        )
+        assert len(queries) == 33
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            WorkloadGenerator().generate(0.0, rng)
+
+    def test_spec_with_helpers(self):
+        spec = WorkloadSpec(num_queries=10)
+        assert spec.with_num_queries(99).num_queries == 99
+        new = spec.with_batch_sizes(FixedBatchSizes(7))
+        assert new.batch_sizes.mean_batch() == 7
+
+    def test_queries_from_batches(self):
+        queries = queries_from_batches([10, 20], [1.0, 2.0], first_query_id=5)
+        assert queries[0].query_id == 5
+        assert queries[1].batch_size == 20
+
+    def test_queries_from_batches_mismatch(self):
+        with pytest.raises(ValueError):
+            queries_from_batches([10], [1.0, 2.0])
+
+
+class TestPhasedWorkload:
+    def test_boundaries_and_continuity(self, rng):
+        phases = [
+            WorkloadPhase(FixedBatchSizes(10), 50, label="small"),
+            WorkloadPhase(FixedBatchSizes(500), 30, label="large"),
+        ]
+        queries, boundaries = PhasedWorkloadGenerator(phases).generate(100.0, rng)
+        assert len(queries) == 80
+        assert boundaries == [50]
+        assert [q.query_id for q in queries] == list(range(80))
+        # arrival times keep increasing across the phase boundary
+        times = [q.arrival_time_ms for q in queries]
+        assert times == sorted(times)
+        # batch sizes switch at the boundary
+        assert all(q.batch_size == 10 for q in queries[:50])
+        assert all(q.batch_size == 500 for q in queries[50:])
+
+    def test_phase_of_query(self):
+        gen = PhasedWorkloadGenerator([WorkloadPhase(FixedBatchSizes(1), 10)])
+        assert gen.phase_of_query(3, []) == 0
+        assert gen.phase_of_query(12, [10]) == 1
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedWorkloadGenerator([])
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path, rng):
+        queries = synthesize_trace(100, 50.0, rng=rng)
+        path = save_trace(queries, tmp_path / "trace.csv")
+        loaded = load_trace(path)
+        assert len(loaded) == 100
+        for original, restored in zip(queries, loaded):
+            assert restored.query_id == original.query_id
+            assert restored.batch_size == original.batch_size
+            # arrival times are persisted with microsecond precision
+            assert restored.arrival_time_ms == pytest.approx(original.arrival_time_ms, abs=1e-5)
+
+    def test_synthesize_with_custom_distribution(self, rng):
+        queries = synthesize_trace(50, 10.0, batch_sizes=GaussianBatchSizes(), rng=rng)
+        assert len(queries) == 50
+
+    def test_load_missing_columns(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("query_id,batch_size\n1,2\n")
+        with pytest.raises(ValueError):
+            load_trace(bad)
+
+    def test_synthesize_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(0, 10.0)
+        with pytest.raises(ValueError):
+            synthesize_trace(10, 0.0)

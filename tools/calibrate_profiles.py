@@ -1,0 +1,66 @@
+"""Calibration helper: check the Fig. 8 shape produced by the current profile table.
+
+Run after editing ``repro/cloud/profile_data.py``:
+
+    python tools/calibrate_profiles.py [--fast]
+
+For every model it prints the Kairos-selected configuration, its upper bound, the
+measured homogeneous and Kairos allowable throughputs, and the ratio — the quantity
+Fig. 8 reports.  The target shape: every ratio > 1.2, RM2 the largest (~2x), MT-WND the
+smallest (~1.25x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import KairosServingSystem
+from repro.cloud.billing import BillingModel
+from repro.cloud.profiles import default_profile_registry
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.sim.capacity import measure_allowable_throughput
+from repro.workload.batch_sizes import production_batch_distribution
+from repro.workload.generator import WorkloadSpec
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-queries", type=int, default=600)
+    parser.add_argument("--budget", type=float, default=2.5)
+    parser.add_argument("--iterations", type=int, default=7)
+    parser.add_argument("--models", nargs="*", default=["NCF", "RM2", "WND", "MT-WND", "DIEN"])
+    args = parser.parse_args()
+
+    profiles = default_profile_registry()
+    billing = BillingModel()
+    dist = production_batch_distribution()
+    spec = WorkloadSpec(batch_sizes=dist, num_queries=args.num_queries)
+
+    print(f"{'model':8s} {'selected':16s} {'UB':>8s} {'homog':>8s} {'kairos':>8s} {'ratio':>6s} {'ach/UB':>7s}")
+    for model_name in args.models:
+        model = profiles.models[model_name]
+        system = KairosServingSystem(model_name, args.budget, rng=1)
+        plan = system.plan()
+        homog = billing.best_homogeneous_config("g4dn.xlarge", args.budget)
+        scale = billing.homogeneous_budget_scaling("g4dn.xlarge", args.budget)
+        homog_res = measure_allowable_throughput(
+            homog, model, profiles, lambda: KairosPolicy(use_perfect_estimator=True),
+            workload_spec=spec, rng=2, max_iterations=args.iterations,
+        )
+        kairos_res = measure_allowable_throughput(
+            plan.selected_config, model, profiles, lambda: KairosPolicy(),
+            workload_spec=spec, rng=2, max_iterations=args.iterations,
+        )
+        homog_scaled = homog_res.qps * scale
+        ratio = kairos_res.qps / homog_scaled if homog_scaled else float("nan")
+        ach_over_ub = kairos_res.qps / plan.selected_upper_bound if plan.selected_upper_bound else float("nan")
+        print(
+            f"{model_name:8s} {str(plan.selected_config):16s} {plan.selected_upper_bound:8.1f} "
+            f"{homog_scaled:8.1f} {kairos_res.qps:8.1f} {ratio:6.2f} {ach_over_ub:7.2f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
