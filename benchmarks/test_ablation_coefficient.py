@@ -1,8 +1,11 @@
 """Ablation: the heterogeneity coefficient C_j (Definition 1) on vs. off."""
 
+import pytest
+
 from repro.analysis.ablations import ablation_heterogeneity_coefficient
 
 
+@pytest.mark.smoke
 def test_ablation_coefficient(record_figure, fast_settings):
     settings = fast_settings.scaled(num_queries=350, capacity_iterations=4)
     table = record_figure(

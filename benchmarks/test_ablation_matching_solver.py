@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.ablations import ablation_matching_solver
 
 
+@pytest.mark.smoke
 def test_ablation_matching_solver(record_figure, fast_settings):
     settings = fast_settings.scaled(num_queries=300, capacity_iterations=4)
     table = record_figure(

@@ -1,8 +1,11 @@
 """Fig. 1: heterogeneous configurations vs. the best homogeneous one (RM2, Ribbon FCFS)."""
 
+import pytest
+
 from repro.analysis.motivation import fig1_hetero_vs_homogeneous
 
 
+@pytest.mark.smoke
 def test_fig01_hetero_vs_homog(record_figure, fast_settings):
     table = record_figure(
         fig1_hetero_vs_homogeneous, "fig01_hetero_vs_homog.txt", fast_settings

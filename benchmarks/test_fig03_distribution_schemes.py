@@ -1,8 +1,11 @@
 """Fig. 3: the same configurations under different query-distribution schemes."""
 
+import pytest
+
 from repro.analysis.motivation import fig3_distribution_schemes
 
 
+@pytest.mark.smoke
 def test_fig03_distribution_schemes(record_figure, fast_settings):
     table = record_figure(
         fig3_distribution_schemes, "fig03_distribution_schemes.txt", fast_settings

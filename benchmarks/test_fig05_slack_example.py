@@ -1,8 +1,11 @@
 """Fig. 5: the two-instance slack-creation example (Kairos 4/4 vs. naive FCFS 3/4)."""
 
+import pytest
+
 from repro.analysis.motivation import fig5_slack_example
 
 
+@pytest.mark.smoke
 def test_fig05_slack_example(record_figure):
     table = record_figure(fig5_slack_example, "fig05_slack_example.txt")
     served = table.row_map("scheme", "served_within_qos")

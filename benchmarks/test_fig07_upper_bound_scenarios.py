@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.motivation import fig7_upper_bound_scenarios
 
 
+@pytest.mark.smoke
 def test_fig07_upper_bound_scenarios(record_figure):
     table = record_figure(fig7_upper_bound_scenarios, "fig07_upper_bound_scenarios.txt")
     computed = table.column("computed_QPS_max")

@@ -1,5 +1,7 @@
 """Table 3: models and QoS targets."""
 
+import pytest
+
 from repro.analysis.reporting import FigureTable
 from repro.cloud.models import DEFAULT_MODEL_REGISTRY
 
@@ -17,6 +19,7 @@ def table3() -> FigureTable:
     )
 
 
+@pytest.mark.smoke
 def test_table3_models(record_figure):
     table = record_figure(table3, "table3_models.txt")
     qos = table.row_map("model", "qos_ms")

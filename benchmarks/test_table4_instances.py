@@ -19,6 +19,7 @@ def table4() -> FigureTable:
     )
 
 
+@pytest.mark.smoke
 def test_table4_instances(record_figure):
     table = record_figure(table4, "table4_instances.txt")
     prices = table.row_map("instance_type", "price_per_hour")

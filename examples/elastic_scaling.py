@@ -1,0 +1,49 @@
+"""Serve a trace-driven load step with online re-planning and elastic provisioning.
+
+Run with::
+
+    python examples/elastic_scaling.py
+
+The offered arrival rate doubles mid-trace.  A static Kairos plan (provisioned for the
+baseline load) saturates after the step; the elastic controller detects the sustained
+change from its sliding arrival-rate window, re-plans in one shot under a budget scaled
+to the new load, and migrates the cluster through SCALE_UP/SCALE_DOWN provisioning
+events — instance startup delay, draining, and per-instance billing included.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.elasticity import fig12_dynamic_replan
+from repro.analysis.settings import ExperimentSettings
+
+
+def main() -> int:
+    settings = ExperimentSettings.fast().scaled(num_queries=400)
+    table = fig12_dynamic_replan(settings, model_name="RM2", load_step=2.0)
+    print(table.format())
+
+    elastic = table.extras["elastic_report"]
+    print()
+    for decision in elastic.replans:
+        print(
+            f"replan @ {decision.time_ms:8.0f} ms: observed {decision.observed_rate_qps:6.1f} qps "
+            f"(provisioned for {decision.provisioned_rate_qps:.1f}), "
+            f"budget -> {decision.budget_per_hour:.2f} $/hr, "
+            f"config {decision.old_config} -> {decision.new_config}"
+        )
+    for entry in elastic.scale_log:
+        print(
+            f"  {entry.time_ms:8.0f} ms  {entry.kind:<15s} {entry.type_name} x{entry.count}"
+        )
+    print(
+        f"\ntotal spend: static ${table.extras['static_report'].total_cost():.4f} "
+        f"vs elastic ${elastic.total_cost():.4f} "
+        f"({len(elastic.replans)} re-plans, peak {elastic.peak_instances} instances)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ Quick start::
 
 Sub-packages
 ------------
-``repro.cloud``     instance catalog, models, latency profiles, configurations
+``repro.cloud``     instance catalog, models, latency profiles, configurations, billing
 ``repro.workload``  queries, batch-size distributions, arrival processes, traces
 ``repro.sim``       discrete-event serving simulator and capacity measurement
 ``repro.solvers``   linear-sum-assignment solvers (Jonker-Volgenant, Hungarian, greedy)
@@ -25,6 +25,35 @@ Sub-packages
 ``repro.schedulers``query-distribution policies (Kairos, Ribbon, DRS, CLKWRK, Oracle)
 ``repro.search``    online configuration-search baselines (random, SA, GA, BO)
 ``repro.analysis``  experiment drivers reproducing every table and figure
+
+Online elasticity data flow
+---------------------------
+The elasticity subsystem reacts to load changes mid-simulation (the online
+generalization of the paper's Fig. 12 one-shot re-planning).  Data flows through
+four layers::
+
+    repro.workload.phases            LoadPhase / PhasedTrace
+        |   trace-driven arrival-rate phases (step, ramp, diurnal, spike) composed
+        |   into one query stream with per-phase windows
+        v
+    repro.sim.elasticity             ElasticServingSimulation
+        |   one EventQueue carrying arrivals, completions, and the provisioning
+        |   events SCALE_UP / SCALE_DOWN / INSTANCE_READY; draining semantics and
+        |   an index-stable ClusterView for the scheduling policy; per-instance
+        |   billing via repro.cloud.billing.InstanceUsageLedger
+        v
+    repro.core.controller            ElasticKairosController
+        |   sliding ArrivalRateEstimator detects sustained load change; KairosPlanner
+        |   re-plans in one shot under a load-scaled budget; migration_deltas emit
+        |   the scale events that migrate the cluster
+        v
+    repro.analysis.elasticity        fig12_dynamic_replan
+            per-phase QoS-met throughput and dollar spend, static plan vs. elastic
+
+Quick elastic start::
+
+    from repro.analysis.elasticity import fig12_dynamic_replan
+    print(fig12_dynamic_replan().format())
 """
 
 from repro.cloud.config import HeterogeneousConfig

@@ -22,6 +22,7 @@ from repro.analysis.headline import (
     fig10_evaluation_overhead,
     fig11_search_algorithms,
 )
+from repro.analysis.elasticity import fig12_dynamic_replan, phase_comparison_rows
 from repro.analysis.robustness import (
     fig12_load_change,
     fig13_top_upper_bound_configs,
@@ -56,6 +57,8 @@ __all__ = [
     "fig10_evaluation_overhead",
     "fig11_search_algorithms",
     "fig12_load_change",
+    "fig12_dynamic_replan",
+    "phase_comparison_rows",
     "fig13_top_upper_bound_configs",
     "fig14_codesign",
     "fig15_budget_and_qos",

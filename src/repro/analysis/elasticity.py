@@ -1,0 +1,174 @@
+"""Elasticity experiments: static-plan serving vs. the one-shot re-planning controller.
+
+The paper's Fig. 12 shows Kairos reacting to a load change "in one shot" by re-planning
+from closed-form upper bounds.  ``fig12_dynamic_replan`` turns that into an *online*
+scenario: a trace-driven load step is served twice through the same elastic event loop —
+once pinned to the initial plan (static) and once with
+:class:`~repro.core.controller.ElasticKairosController` re-planning and re-provisioning
+mid-run — and the table reports per-phase QoS-met throughput and dollar spend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import FigureTable
+from repro.analysis.settings import ExperimentSettings
+from repro.core.controller import ElasticKairosController
+from repro.core.kairos import KairosPlanner
+from repro.sim.cluster import Cluster
+from repro.sim.elasticity import ElasticServingSimulation, ElasticSimulationReport
+from repro.workload.generator import WorkloadSpec
+from repro.workload.phases import LoadPhase, PhasedTrace, PhasedTraceResult
+
+
+def phase_comparison_rows(
+    trace_result: PhasedTraceResult,
+    static_report: ElasticSimulationReport,
+    elastic_report: ElasticSimulationReport,
+) -> List[List]:
+    """Per-phase ``[label, offered, static/elastic goodput, static/elastic cost]`` rows."""
+    rows: List[List] = []
+    for phase_idx in range(trace_result.num_phases):
+        t0, t1 = trace_result.phase_window_ms(phase_idx)
+        offered = 1000.0 * len(trace_result.queries_in_phase(phase_idx)) / (t1 - t0)
+        rows.append(
+            [
+                trace_result.labels[phase_idx],
+                offered,
+                static_report.metrics.qos_met_qps_in_window(t0, t1),
+                elastic_report.metrics.qos_met_qps_in_window(t0, t1),
+                static_report.ledger.cost_in_window(t0, t1),
+                elastic_report.ledger.cost_in_window(t0, t1),
+            ]
+        )
+    return rows
+
+
+def fig12_dynamic_replan(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    model_name: str = "RM2",
+    load_step: float = 2.0,
+    base_load_frac: float = 0.55,
+    total_queries_target: Optional[int] = None,
+    change_threshold: float = 1.5,
+    use_online_latency_learning: bool = True,
+) -> FigureTable:
+    """Serve a ``load_step`` × arrival-rate step with and without online re-planning.
+
+    The baseline phase offers ``base_load_frac`` of the initial plan's throughput
+    upper bound (comfortable headroom); the step phase multiplies that offered rate by
+    ``load_step``, pushing the static plan past its capacity while the elastic
+    controller re-plans under a proportionally scaled budget and migrates the cluster
+    through ``SCALE_UP``/``SCALE_DOWN`` events.
+
+    Both arms run through :class:`~repro.sim.elasticity.ElasticServingSimulation` (the
+    static arm simply has no controller), the same trace object, and the same seeds, so
+    the comparison isolates exactly one difference: the re-planning controller.
+    """
+    settings = settings or ExperimentSettings()
+    registry = settings.registry()
+    model = settings.model(model_name)
+    monitored = settings.monitored_batches()
+
+    # One-shot plan for the baseline load, from the monitored query-size window.
+    planner = KairosPlanner(
+        model,
+        settings.budget_per_hour,
+        profiles=registry,
+        batch_samples=monitored,
+    )
+    plan = planner.plan()
+    base_rate = base_load_frac * plan.selected_upper_bound
+
+    # Phase durations sized so the whole scenario offers ~total_queries_target queries.
+    target = (
+        int(total_queries_target)
+        if total_queries_target is not None
+        else 3 * settings.num_queries
+    )
+    phase_ms = 1000.0 * target / ((1.0 + load_step) * base_rate)
+    startup_delay_ms = phase_ms / 10.0
+    window_ms = max(250.0, phase_ms / 5.0)
+
+    trace = PhasedTrace(
+        [
+            LoadPhase.step(base_rate, phase_ms, label="base"),
+            LoadPhase.step(base_rate * load_step, phase_ms, label="step"),
+        ],
+        WorkloadSpec(batch_sizes=settings.distribution()),
+    )
+    trace_result = trace.generate(settings.rng(42))
+
+    def build_policy():
+        from repro.schedulers.kairos_policy import KairosPolicy
+
+        return KairosPolicy(use_perfect_estimator=not use_online_latency_learning)
+
+    # Static arm: the initial plan, pinned for the whole trace.
+    static_sim = ElasticServingSimulation(
+        Cluster(plan.selected_config, model, registry),
+        build_policy(),
+        controller=None,
+        startup_delay_ms=startup_delay_ms,
+        rng=settings.rng(7),
+    )
+    static_report = static_sim.run(list(trace_result.queries))
+
+    # Elastic arm: same initial plan (controller primed with the same monitor window),
+    # re-planning when the sliding rate estimate departs from the provisioned rate.
+    controller = ElasticKairosController(
+        model,
+        settings.budget_per_hour,
+        base_rate,
+        profiles=registry,
+        batch_distribution=settings.distribution(),
+        window_ms=window_ms,
+        change_threshold=change_threshold,
+        min_observations=25,
+        cooldown_ms=2.0 * window_ms,
+        monitor_window=len(monitored),
+        rng=settings.rng(3),
+    )
+    controller.prime_monitor(monitored)
+    elastic_plan = controller.initial_plan()
+    elastic_sim = ElasticServingSimulation(
+        Cluster(elastic_plan.selected_config, model, registry),
+        build_policy(),
+        controller=controller,
+        startup_delay_ms=startup_delay_ms,
+        rng=settings.rng(7),
+    )
+    elastic_report = elastic_sim.run(list(trace_result.queries))
+
+    table = FigureTable(
+        figure_id="fig12-dynamic",
+        title=f"{model.name}: static plan vs. online re-planning under a "
+        f"{load_step:g}x load step",
+        headers=[
+            "phase",
+            "offered_qps",
+            "static_qps",
+            "elastic_qps",
+            "static_cost",
+            "elastic_cost",
+        ],
+        rows=phase_comparison_rows(trace_result, static_report, elastic_report),
+        notes=[
+            f"baseline offered load = {base_load_frac:.2f} x planned upper bound "
+            f"({plan.selected_upper_bound:.1f} qps)",
+            f"phase duration = {phase_ms:.0f} ms, instance startup delay = "
+            f"{startup_delay_ms:.0f} ms",
+            f"re-plans: {len(elastic_report.replans)}; "
+            f"scale actions: {len(elastic_report.scale_log)}",
+        ],
+        extras={
+            "plan": plan,
+            "trace": trace_result,
+            "static_report": static_report,
+            "elastic_report": elastic_report,
+            "num_replans": len(elastic_report.replans),
+        },
+    )
+    return table

@@ -4,6 +4,10 @@ The paper's budget constraint is expressed in $/hr of on-demand rental.  This mo
 provides the small amount of billing math the experiments need: budget feasibility,
 the best homogeneous allocation under a budget, the paper's proportional-scaling
 compensation for unused homogeneous budget (Sec. 8.1), and per-experiment cost reports.
+
+For elastic runs, where membership changes mid-simulation, :class:`InstanceUsageLedger`
+accrues cost per instance over the exact interval it was commissioned, so experiments
+can report spend per load phase rather than a single static $/hr figure.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from typing import Dict, List, Optional, Union
 from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog, InstanceType
 from repro.utils.validation import check_non_negative, check_positive
+
+MS_PER_HOUR = 3_600_000.0
 
 
 @dataclass(frozen=True)
@@ -39,6 +45,119 @@ class CostReport:
         if self.budget_per_hour is None:
             return None
         return self.cost_per_hour / self.budget_per_hour
+
+
+@dataclass
+class UsageInterval:
+    """One instance's commissioned interval (``end_ms`` is ``None`` while still open)."""
+
+    server_id: int
+    type_name: str
+    price_per_hour: float
+    start_ms: float
+    end_ms: Optional[float] = None
+
+    def overlap_ms(self, t0_ms: float, t1_ms: float) -> float:
+        """Length of the intersection of this interval with ``[t0_ms, t1_ms)``."""
+        end = self.end_ms if self.end_ms is not None else t1_ms
+        return max(0.0, min(end, t1_ms) - max(self.start_ms, t0_ms))
+
+    def cost_in_window(self, t0_ms: float, t1_ms: float) -> float:
+        return self.price_per_hour * self.overlap_ms(t0_ms, t1_ms) / MS_PER_HOUR
+
+
+class InstanceUsageLedger:
+    """Per-instance commissioning intervals and the cost they accrue.
+
+    The elastic simulator opens an interval when an instance starts billing (for
+    scale-ups that is at the *scale request*, not at readiness — clouds bill the boot
+    time too) and closes it when the instance is decommissioned.  Costs are then exact
+    integrals of $/hr over wall-clock membership, queryable over any window so the
+    elasticity reports can attribute spend to load phases.
+    """
+
+    def __init__(self, catalog: InstanceCatalog = DEFAULT_INSTANCE_CATALOG):
+        self.catalog = catalog
+        self._intervals: List[UsageInterval] = []
+        self._open: Dict[int, UsageInterval] = {}
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def intervals(self) -> List[UsageInterval]:
+        return list(self._intervals)
+
+    def start(
+        self,
+        server_id: int,
+        instance_type: Union[str, InstanceType],
+        now_ms: float,
+    ) -> UsageInterval:
+        """Open a billing interval for ``server_id`` at ``now_ms``."""
+        check_non_negative(now_ms, "now_ms")
+        if server_id in self._open:
+            raise ValueError(f"server {server_id} already has an open billing interval")
+        itype = (
+            self.catalog[instance_type] if isinstance(instance_type, str) else instance_type
+        )
+        interval = UsageInterval(
+            server_id=server_id,
+            type_name=itype.name,
+            price_per_hour=itype.price_per_hour,
+            start_ms=float(now_ms),
+        )
+        self._intervals.append(interval)
+        self._open[server_id] = interval
+        return interval
+
+    def stop(self, server_id: int, now_ms: float) -> UsageInterval:
+        """Close the open billing interval of ``server_id`` at ``now_ms``."""
+        interval = self._open.pop(server_id, None)
+        if interval is None:
+            raise ValueError(f"server {server_id} has no open billing interval")
+        if now_ms < interval.start_ms:
+            raise ValueError("cannot close a billing interval before it started")
+        interval.end_ms = float(now_ms)
+        return interval
+
+    def close_all(self, now_ms: float) -> None:
+        """Close every still-open interval (end of simulation)."""
+        for server_id in list(self._open):
+            self.stop(server_id, now_ms)
+
+    # -- queries -----------------------------------------------------------------------
+    def cost_in_window(self, t0_ms: float, t1_ms: float) -> float:
+        """Total $ accrued over ``[t0_ms, t1_ms)`` across all instances."""
+        if t1_ms < t0_ms:
+            raise ValueError("window end precedes window start")
+        return sum(iv.cost_in_window(t0_ms, t1_ms) for iv in self._intervals)
+
+    def total_cost(self, horizon_ms: float) -> float:
+        """Total $ accrued from time 0 to ``horizon_ms``."""
+        return self.cost_in_window(0.0, horizon_ms)
+
+    def cost_by_type(self, horizon_ms: float) -> Dict[str, float]:
+        result: Dict[str, float] = {}
+        for iv in self._intervals:
+            result[iv.type_name] = result.get(iv.type_name, 0.0) + iv.cost_in_window(
+                0.0, horizon_ms
+            )
+        return result
+
+    def concurrent_cost_per_hour(self, t_ms: float) -> float:
+        """Instantaneous burn rate in $/hr at time ``t_ms``."""
+        rate = 0.0
+        for iv in self._intervals:
+            end = iv.end_ms if iv.end_ms is not None else float("inf")
+            if iv.start_ms <= t_ms < end:
+                rate += iv.price_per_hour
+        return rate
+
+    def mean_cost_per_hour(self, horizon_ms: float) -> float:
+        """Average burn rate over ``[0, horizon_ms]`` (the elastic analogue of $/hr)."""
+        check_positive(horizon_ms, "horizon_ms")
+        return self.total_cost(horizon_ms) / (horizon_ms / MS_PER_HOUR)
 
 
 class BillingModel:

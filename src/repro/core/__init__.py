@@ -31,7 +31,13 @@ from repro.core.upper_bound import (
     UpperBoundInputs,
     upper_bound_from_rates,
 )
-from repro.core.controller import KairosServingSystem
+from repro.core.controller import (
+    ArrivalRateEstimator,
+    ElasticKairosController,
+    KairosServingSystem,
+    ReplanDecision,
+    migration_deltas,
+)
 
 __all__ = [
     "LatencyEstimator",
@@ -55,4 +61,8 @@ __all__ = [
     "KairosPlusResult",
     "KairosPlusSearch",
     "KairosServingSystem",
+    "ArrivalRateEstimator",
+    "ElasticKairosController",
+    "ReplanDecision",
+    "migration_deltas",
 ]

@@ -8,6 +8,14 @@ queries to the allocated instances.  The facade exposes exactly the operations t
 examples and experiments need: ``plan``, ``build_policy``, ``simulate``, and
 ``measure_throughput``.
 
+:class:`ElasticKairosController` extends the one-shot reaction of Fig. 12 to *online*
+load changes: it keeps a sliding estimate of the offered arrival rate, and when the
+rate departs durably from the rate the current plan was provisioned for, it re-runs
+:class:`~repro.core.kairos.KairosPlanner` in one shot — against a budget scaled to the
+new load and against the batch sizes the query monitor actually observed — and emits
+the scale-up/scale-down deltas that migrate the cluster to the new plan.  The elastic
+simulator (:mod:`repro.sim.elasticity`) turns those deltas into provisioning events.
+
 The schedulers package is imported lazily inside the methods so that ``repro.core``
 does not depend on ``repro.schedulers`` at import time (the scheduler baselines import
 core components).
@@ -15,8 +23,9 @@ core components).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Union
 
 from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import InstanceCatalog
@@ -178,3 +187,275 @@ class KairosServingSystem:
             rng=rng if rng is not None else self._rng,
             **capacity_kwargs,
         )
+
+
+# ---------------------------------------------------------------------------------------
+# Online elasticity: load tracking and the re-planning controller
+# ---------------------------------------------------------------------------------------
+
+class ArrivalRateEstimator:
+    """Sliding-window estimate of the offered arrival rate.
+
+    Keeps the arrival timestamps of the last ``window_ms`` of trace time and reports
+    ``count / window`` as the rate.  The estimate is intentionally simple — the paper's
+    contribution is reacting in one shot once a change is detected, not the detector —
+    but the window makes the detection *sustained*: a single burst cannot move the
+    estimate for longer than the window.
+    """
+
+    def __init__(self, window_ms: float = 5_000.0):
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        self.window_ms = float(window_ms)
+        self._arrivals: Deque[float] = deque()
+
+    def observe(self, t_ms: float) -> None:
+        if self._arrivals and t_ms < self._arrivals[-1] - 1e-9:
+            raise ValueError("arrival timestamps must be non-decreasing")
+        self._arrivals.append(float(t_ms))
+        self._evict(t_ms)
+
+    def _evict(self, now_ms: float) -> None:
+        cutoff = now_ms - self.window_ms
+        while self._arrivals and self._arrivals[0] < cutoff:
+            self._arrivals.popleft()
+
+    def observations(self, now_ms: float) -> int:
+        self._evict(now_ms)
+        return len(self._arrivals)
+
+    def rate_qps(self, now_ms: float) -> float:
+        """Arrivals per second over the trailing window (0 when the window is empty)."""
+        self._evict(now_ms)
+        if not self._arrivals:
+            return 0.0
+        # Normalizing by the full window (not the observed span) keeps the estimate
+        # unbiased for a stationary process and makes an emptying window read as a
+        # falling rate rather than a noisy one.
+        span_ms = min(self.window_ms, max(now_ms, self._arrivals[-1]))
+        if span_ms <= 0:
+            return 0.0
+        return 1000.0 * len(self._arrivals) / span_ms
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """One re-planning action of the elastic controller.
+
+    ``scale_deltas`` maps instance-type name to the signed instance-count change needed
+    to migrate from ``old_config`` to ``new_config`` (positive = provision, negative =
+    drain); the elastic simulator turns it into ``SCALE_UP`` / ``SCALE_DOWN`` events.
+    """
+
+    time_ms: float
+    observed_rate_qps: float
+    provisioned_rate_qps: float
+    budget_per_hour: float
+    old_config: HeterogeneousConfig
+    new_config: HeterogeneousConfig
+    plan: KairosPlan
+    scale_deltas: Dict[str, int]
+
+    @property
+    def is_scale_up(self) -> bool:
+        return sum(self.scale_deltas.values()) > 0
+
+
+class ElasticKairosController:
+    """Detect sustained load change and re-plan the configuration in one shot.
+
+    Parameters
+    ----------
+    model / profiles / catalog:
+        The cloud substrate (as for :class:`KairosServingSystem`).
+    base_budget_per_hour:
+        The budget the initial plan is provisioned under.
+    base_rate_qps:
+        The offered load that budget is provisioned for.  Re-planning scales the
+        budget proportionally to the observed/provisioned rate ratio (provisioning-
+        aware scaling): twice the load buys twice the cluster, half the load drains
+        half the spend.
+    window_ms / change_threshold / min_observations / cooldown_ms:
+        Detection knobs: the sliding-window length, the sustained rate ratio that
+        triggers a re-plan (1.5 = ±50%), the minimum arrivals the window must hold
+        before it is trusted *while the first window is still filling* (after a full
+        window of trace time a sparse window is itself a valid load-drop signal),
+        and the minimum time between re-plans.
+    max_budget_per_hour:
+        Hard ceiling on the scaled budget (``None`` = 4x the base budget).
+    batch_distribution:
+        Fallback query-size mix for planning before the monitor has seen enough
+        arrivals; once ``monitor_window`` batch sizes have been observed the re-plan
+        uses the observed window instead (the paper's query monitor).
+    """
+
+    def __init__(
+        self,
+        model: Union[str, MLModel],
+        base_budget_per_hour: float,
+        base_rate_qps: float,
+        *,
+        profiles: Optional[ProfileRegistry] = None,
+        catalog: Optional[InstanceCatalog] = None,
+        batch_distribution: Optional[BatchSizeDistribution] = None,
+        window_ms: float = 5_000.0,
+        change_threshold: float = 1.5,
+        min_observations: int = 30,
+        cooldown_ms: float = 10_000.0,
+        max_budget_per_hour: Optional[float] = None,
+        monitor_window: int = 2_000,
+        num_monitor_samples: int = 4_000,
+        rng: RngLike = None,
+    ):
+        if base_budget_per_hour <= 0:
+            raise ValueError("base_budget_per_hour must be positive")
+        if base_rate_qps <= 0:
+            raise ValueError("base_rate_qps must be positive")
+        if change_threshold <= 1.0:
+            raise ValueError("change_threshold must be > 1")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+        self.profiles = profiles if profiles is not None else default_profile_registry()
+        self.catalog = catalog if catalog is not None else self.profiles.catalog
+        self.model = model if isinstance(model, MLModel) else self.profiles.models[model]
+        self.base_budget_per_hour = float(base_budget_per_hour)
+        self.base_rate_qps = float(base_rate_qps)
+        self.batch_distribution = (
+            batch_distribution
+            if batch_distribution is not None
+            else production_batch_distribution(self.model.max_batch_size)
+        )
+        self.change_threshold = float(change_threshold)
+        self.min_observations = int(min_observations)
+        self.cooldown_ms = float(cooldown_ms)
+        self.max_budget_per_hour = (
+            float(max_budget_per_hour)
+            if max_budget_per_hour is not None
+            else 4.0 * self.base_budget_per_hour
+        )
+        self.num_monitor_samples = int(num_monitor_samples)
+        self._rng = ensure_rng(rng)
+        self.rate_estimator = ArrivalRateEstimator(window_ms)
+        self._batch_window: Deque[int] = deque(maxlen=int(monitor_window))
+        self._provisioned_rate_qps = self.base_rate_qps
+        self._last_replan_ms = 0.0
+        self._current_config: Optional[HeterogeneousConfig] = None
+        self.decisions: List[ReplanDecision] = []
+
+    # -- planning ----------------------------------------------------------------------
+    def _plan_at_budget(self, budget_per_hour: float) -> KairosPlan:
+        if self._batch_window:
+            batch_samples: Optional[Sequence[int]] = list(self._batch_window)
+        else:
+            batch_samples = None
+        planner = KairosPlanner(
+            self.model,
+            budget_per_hour,
+            profiles=self.profiles,
+            catalog=self.catalog,
+            batch_samples=batch_samples,
+            batch_distribution=self.batch_distribution,
+            num_monitor_samples=self.num_monitor_samples,
+            rng=self._rng,
+        )
+        return planner.plan()
+
+    def initial_plan(self) -> KairosPlan:
+        """Plan for the base budget; remembers the selection as the live configuration."""
+        plan = self._plan_at_budget(self.base_budget_per_hour)
+        self._current_config = plan.selected_config
+        return plan
+
+    @property
+    def current_config(self) -> Optional[HeterogeneousConfig]:
+        return self._current_config
+
+    @property
+    def provisioned_rate_qps(self) -> float:
+        """The offered rate the live configuration was last provisioned for."""
+        return self._provisioned_rate_qps
+
+    # -- online observation ------------------------------------------------------------
+    def prime_monitor(self, batch_sizes: Sequence[int]) -> None:
+        """Pre-fill the query monitor (e.g. with the window a prior system observed).
+
+        Priming makes the initial plan reproducible against a known monitoring window —
+        experiments prime both the static baseline's planner and the elastic controller
+        with the same samples so the two arms start from the same configuration.
+        """
+        for b in batch_sizes:
+            self._batch_window.append(int(b))
+
+    def observe_arrival(self, query: Query, now_ms: float) -> None:
+        """Feed one arriving query into the rate estimator and the query monitor."""
+        self.rate_estimator.observe(now_ms)
+        self._batch_window.append(query.batch_size)
+
+    def maybe_replan(self, now_ms: float) -> Optional[ReplanDecision]:
+        """Re-plan when the observed rate departs durably from the provisioned rate.
+
+        Returns the decision (also appended to :attr:`decisions`) or ``None`` when the
+        load is within threshold, the window is not yet trustworthy, or the controller
+        is still in its post-replan cooldown.
+        """
+        if self._current_config is None:
+            raise RuntimeError("call initial_plan() before maybe_replan()")
+        # The min_observations gate protects against acting on a window that simply
+        # has not existed long enough to be meaningful.  Once a full window of trace
+        # time has elapsed, a *sparse* window is itself the signal (a severe load
+        # drop produces few arrivals by definition), so the gate no longer applies.
+        window_elapsed = now_ms >= self.rate_estimator.window_ms
+        if not window_elapsed and self.rate_estimator.observations(now_ms) < self.min_observations:
+            return None
+        if now_ms < self._last_replan_ms + self.cooldown_ms:
+            return None
+        observed = self.rate_estimator.rate_qps(now_ms)
+        if observed <= 0:
+            return None
+        ratio = observed / self._provisioned_rate_qps
+        if 1.0 / self.change_threshold < ratio < self.change_threshold:
+            return None
+
+        budget = self.base_budget_per_hour * observed / self.base_rate_qps
+        budget = min(max(budget, self._cheapest_price()), self.max_budget_per_hour)
+        plan = self._plan_at_budget(budget)
+        old_config = self._current_config
+        new_config = plan.selected_config
+        decision = ReplanDecision(
+            time_ms=float(now_ms),
+            observed_rate_qps=observed,
+            provisioned_rate_qps=self._provisioned_rate_qps,
+            budget_per_hour=budget,
+            old_config=old_config,
+            new_config=new_config,
+            plan=plan,
+            scale_deltas=migration_deltas(old_config, new_config),
+        )
+        self._current_config = new_config
+        self._provisioned_rate_qps = observed
+        self._last_replan_ms = float(now_ms)
+        self.decisions.append(decision)
+        return decision
+
+    def _cheapest_price(self) -> float:
+        return min(t.price_per_hour for t in self.catalog.types)
+
+
+def migration_deltas(
+    old_config: HeterogeneousConfig, new_config: HeterogeneousConfig
+) -> Dict[str, int]:
+    """Signed per-type instance deltas migrating ``old_config`` into ``new_config``.
+
+    Only types whose count changes appear in the result (positive = scale up,
+    negative = scale down), in catalog order for deterministic event emission.
+    """
+    old_counts = old_config.as_mapping()
+    new_counts = new_config.as_mapping()
+    deltas: Dict[str, int] = {}
+    for name in old_config.catalog.names:
+        diff = new_counts.get(name, 0) - old_counts.get(name, 0)
+        if diff != 0:
+            deltas[name] = diff
+    return deltas

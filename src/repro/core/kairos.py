@@ -39,12 +39,19 @@ class KairosPlan:
     search_space_size: int
     planning_seconds: float
 
-    @property
-    def selected_upper_bound(self) -> float:
+    def __post_init__(self) -> None:
+        # Resolve the selected configuration's bound once; repeated accessor calls used
+        # to re-scan the full ranked list (thousands of configs at realistic budgets).
         for config, bound in self.ranked:
             if config == self.selected_config:
-                return bound
+                object.__setattr__(self, "_selected_upper_bound", float(bound))
+                return
         raise LookupError("selected configuration missing from the ranked list")
+
+    @property
+    def selected_upper_bound(self) -> float:
+        """Upper bound of the selected configuration (cached at construction)."""
+        return self._selected_upper_bound
 
     def top(self, k: int) -> List[Tuple[HeterogeneousConfig, float]]:
         """The ``k`` highest-upper-bound configurations."""

@@ -6,10 +6,16 @@ query-distribution policy, latency/QoS metrics, and the allowable-throughput cap
 search that defines the paper's headline metric.
 """
 
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, ClusterView
 from repro.sim.capacity import AllowableThroughputResult, measure_allowable_throughput
+from repro.sim.elasticity import (
+    ElasticServingSimulation,
+    ElasticSimulationReport,
+    ScaleLogEntry,
+    simulate_elastic_serving,
+)
 from repro.sim.engine import EventQueue, SimulationClock
-from repro.sim.events import Event, EventKind
+from repro.sim.events import Event, EventKind, ScaleRequest
 from repro.sim.metrics import QueryRecord, ServingMetrics
 from repro.sim.server import ServerInstance
 from repro.sim.simulation import ServingSimulation, SimulationReport, simulate_serving
@@ -17,15 +23,21 @@ from repro.sim.simulation import ServingSimulation, SimulationReport, simulate_s
 __all__ = [
     "Event",
     "EventKind",
+    "ScaleRequest",
     "EventQueue",
     "SimulationClock",
     "ServerInstance",
     "Cluster",
+    "ClusterView",
     "QueryRecord",
     "ServingMetrics",
     "ServingSimulation",
     "SimulationReport",
     "simulate_serving",
+    "ElasticServingSimulation",
+    "ElasticSimulationReport",
+    "ScaleLogEntry",
+    "simulate_elastic_serving",
     "AllowableThroughputResult",
     "measure_allowable_throughput",
 ]

@@ -1,10 +1,20 @@
-"""A cluster of simulated inference servers built from a heterogeneous configuration."""
+"""A cluster of simulated inference servers built from a heterogeneous configuration.
+
+Clusters start static (one server per allocated instance, ids equal to list indices)
+but support elastic membership for the online-elasticity subsystem: servers can be
+added after a provisioning delay (``add_server``), put into draining
+(``drain_servers``), and removed once drained (``remove_server``).  Because scheduling
+policies address servers by *index within the object they are handed*, elastic runs
+hand policies a :class:`ClusterView` of the currently schedulable servers instead of
+the raw (mutating) cluster.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import InstanceType
 from repro.cloud.models import MLModel
 from repro.cloud.profiles import ProfileRegistry
 from repro.sim.server import ServerInstance
@@ -44,6 +54,7 @@ class Cluster:
                     dispatch_overhead_ms=self.dispatch_overhead_ms,
                 )
             )
+        self._next_server_id = len(self._servers)
 
     # -- container protocol --------------------------------------------------------------
     def __len__(self) -> int:
@@ -91,6 +102,88 @@ class Cluster:
                 result[name] = sum(s.utilization(horizon_ms) for s in servers) / len(servers)
         return result
 
+    # -- elastic membership ----------------------------------------------------------------
+    def server_by_id(self, server_id: int) -> ServerInstance:
+        """Look a server up by its (stable) id rather than its (shifting) list index."""
+        for s in self._servers:
+            if s.server_id == server_id:
+                return s
+        raise KeyError(f"no server with id {server_id} in the cluster")
+
+    def reserve_server_id(self) -> int:
+        """Claim the next fresh server id (used when billing starts before readiness)."""
+        server_id = self._next_server_id
+        self._next_server_id += 1
+        return server_id
+
+    def add_server(
+        self,
+        instance_type: Union[str, InstanceType],
+        *,
+        now_ms: float = 0.0,
+        server_id: Optional[int] = None,
+    ) -> ServerInstance:
+        """Commission one new server of ``instance_type``; returns the new instance.
+
+        Ids are fresh and never reused (pass a previously reserved one via
+        ``server_id``), so in-flight completion events for removed servers can never
+        alias onto a newcomer.
+        """
+        if server_id is None:
+            server_id = self.reserve_server_id()
+        elif any(s.server_id == server_id for s in self._servers):
+            raise ValueError(f"server id {server_id} is already present in the cluster")
+        itype = (
+            self.config.catalog[instance_type]
+            if isinstance(instance_type, str)
+            else instance_type
+        )
+        server = ServerInstance(
+            server_id=server_id,
+            instance_type=itype,
+            profile=self.profiles.profile(self.model, itype),
+            dispatch_overhead_ms=self.dispatch_overhead_ms,
+            commissioned_at_ms=float(now_ms),
+        )
+        self._servers.append(server)
+        return server
+
+    def drain_servers(self, type_name: str, count: int, now_ms: float) -> List[ServerInstance]:
+        """Put ``count`` servers of ``type_name`` into draining; returns those drained.
+
+        Victims are chosen deterministically, least-loaded first (queue depth, then
+        remaining busy time, then id), so idle servers leave before busy ones.
+        """
+        candidates = [
+            s for s in self._servers if s.type_name == type_name and not s.draining
+        ]
+        candidates.sort(key=lambda s: (s.local_queue_depth, s.busy_until_ms, s.server_id))
+        victims = candidates[:count]
+        for s in victims:
+            s.start_draining()
+        return victims
+
+    def remove_server(self, server_id: int) -> ServerInstance:
+        """Decommission a server (it must exist); returns the removed instance."""
+        server = self.server_by_id(server_id)
+        self._servers.remove(server)
+        return server
+
+    def active_servers(self) -> List[ServerInstance]:
+        """Servers currently eligible for new dispatches (not draining)."""
+        return [s for s in self._servers if s.accepting]
+
+    def active_view(self) -> "ClusterView":
+        """An index-contiguous view over the schedulable servers (see module docstring)."""
+        return ClusterView(self, self.active_servers())
+
+    def current_config(self) -> HeterogeneousConfig:
+        """The configuration implied by present membership (draining servers included)."""
+        counts: Dict[str, int] = {}
+        for s in self._servers:
+            counts[s.type_name] = counts.get(s.type_name, 0) + 1
+        return HeterogeneousConfig.from_mapping(counts, self.config.catalog)
+
     def reset(self) -> None:
         """Reset all per-server dynamic state."""
         for s in self._servers:
@@ -98,3 +191,67 @@ class Cluster:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"Cluster(model={self.model.name}, config={self.config})"
+
+
+class ClusterView:
+    """A frozen, index-contiguous subset of a cluster's servers.
+
+    Scheduling policies address servers by index into whatever container they are
+    handed; when membership changes mid-run (elastic scaling), indices into the raw
+    cluster would shift under the policy's feet.  A view taken at the top of each
+    scheduling round pins the mapping: ``view[i]`` is stable for the round, and the
+    simulator commits dispatches on the :class:`ServerInstance` objects themselves.
+
+    The view quacks like a :class:`Cluster` for everything the policy protocol uses
+    (iteration, indexing, ``config``/``model``/``profiles``, ``type_names``).
+    """
+
+    def __init__(self, cluster: Cluster, servers: Sequence[ServerInstance]):
+        self._cluster = cluster
+        self._servers = list(servers)
+
+    # -- container protocol ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[ServerInstance]:
+        return iter(self._servers)
+
+    def __getitem__(self, index: int) -> ServerInstance:
+        return self._servers[index]
+
+    @property
+    def servers(self) -> List[ServerInstance]:
+        return list(self._servers)
+
+    # -- cluster delegation ------------------------------------------------------------------
+    @property
+    def config(self) -> HeterogeneousConfig:
+        return self._cluster.config
+
+    @property
+    def model(self) -> MLModel:
+        return self._cluster.model
+
+    @property
+    def profiles(self) -> ProfileRegistry:
+        return self._cluster.profiles
+
+    @property
+    def dispatch_overhead_ms(self) -> float:
+        return self._cluster.dispatch_overhead_ms
+
+    def type_names(self) -> List[str]:
+        return [s.type_name for s in self._servers]
+
+    def idle_servers(self, now_ms: float) -> List[ServerInstance]:
+        return [s for s in self._servers if s.is_idle(now_ms)]
+
+    def servers_of_type(self, type_name: str) -> List[ServerInstance]:
+        return [s for s in self._servers if s.type_name == type_name]
+
+    def earliest_idle_time_ms(self) -> float:
+        return min(s.busy_until_ms for s in self._servers)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusterView({len(self._servers)} of {len(self._cluster)} servers)"

@@ -1,0 +1,443 @@
+"""Elastic serving simulation: provisioning events, draining, and online re-planning.
+
+:class:`ElasticServingSimulation` generalizes :class:`~repro.sim.simulation.ServingSimulation`
+to clusters whose membership changes mid-run.  Everything — arrivals, completions, and
+the new provisioning events — flows through one :class:`~repro.sim.engine.EventQueue`
+under the existing ordering contract (completions before arrivals at equal
+timestamps), so elastic runs are exactly as deterministic as static ones.
+
+Lifecycle of a scale action:
+
+``SCALE_UP``
+    An :class:`~repro.core.controller.ElasticKairosController` decision (or an explicit
+    scripted event) requests ``count`` instances of a type.  Billing starts immediately
+    (clouds charge for boot time) and an ``INSTANCE_READY`` event fires after
+    ``startup_delay_ms``; only then does the instance join the schedulable set.
+
+``SCALE_DOWN``
+    The least-loaded instances of the type stop accepting work (*draining*).  An idle
+    instance is decommissioned on the spot; a busy one finishes its local queue and is
+    removed at its final completion.  Billing stops at decommission time.
+
+Scheduling happens on an index-stable :class:`~repro.sim.cluster.ClusterView` of the
+currently accepting servers, rebuilt (and the policy re-bound) whenever membership
+changes, so existing policies work unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.billing import InstanceUsageLedger
+from repro.core.controller import ElasticKairosController, ReplanDecision
+from repro.sim.cluster import Cluster, ClusterView
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.sim.server import ServerInstance, ServiceNoiseModel
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_non_negative
+from repro.workload.query import Query
+
+
+@dataclass
+class ScaleLogEntry:
+    """One applied provisioning action (for reports and tests)."""
+
+    time_ms: float
+    kind: str  # "scale_up" | "scale_down" | "instance_ready" | "decommission"
+    type_name: str
+    count: int
+    reason: str = ""
+
+
+@dataclass
+class ElasticSimulationReport:
+    """Everything an elastic serving run produced."""
+
+    metrics: ServingMetrics
+    cluster: Cluster
+    ledger: InstanceUsageLedger
+    policy_name: str
+    scheduling_rounds: int
+    dispatched_queries: int
+    total_queries: int
+    simulated_duration_ms: float
+    #: Absolute sim time the run ended at (>= any ledger interval end).  The makespan
+    #: in ``simulated_duration_ms`` is a *length* that can start after t=0 (warm-up),
+    #: so billing integrals must use this absolute horizon instead.
+    billing_horizon_ms: float = 0.0
+    replans: List[ReplanDecision] = field(default_factory=list)
+    scale_log: List[ScaleLogEntry] = field(default_factory=list)
+    peak_instances: int = 0
+
+    @property
+    def completed_all(self) -> bool:
+        return self.dispatched_queries == self.total_queries
+
+    def total_cost(self) -> float:
+        """Dollar spend over the whole run (ledger integral to the run's end)."""
+        return self.ledger.total_cost(self.billing_horizon_ms)
+
+    def summary(self) -> Dict[str, float]:
+        data = dict(self.metrics.summary())
+        data["scheduling_rounds"] = float(self.scheduling_rounds)
+        data["simulated_duration_ms"] = self.simulated_duration_ms
+        data["num_replans"] = float(len(self.replans))
+        data["total_cost"] = self.total_cost()
+        data["peak_instances"] = float(self.peak_instances)
+        return data
+
+
+class ElasticServingSimulation:
+    """Serve a query stream on a cluster that can grow and shrink mid-run.
+
+    Parameters
+    ----------
+    cluster:
+        The initial cluster (typically built from the controller's initial plan).
+    policy:
+        A query-distribution policy (:class:`~repro.schedulers.base.SchedulingPolicy`
+        protocol).  It is re-bound on every membership change; policies that learn
+        online (the Kairos estimator) keep their learned state across re-binds.
+    controller:
+        Optional :class:`~repro.core.controller.ElasticKairosController`.  Without one
+        the simulation is *static through the elastic code path*: same event loop, no
+        provisioning — the honest baseline for re-planning comparisons.
+    startup_delay_ms:
+        Provisioning delay between a scale-up request and the instance becoming
+        schedulable (billing covers the delay).
+    scripted_events:
+        Optional pre-scheduled provisioning events (``SCALE_UP`` / ``SCALE_DOWN`` with a
+        :class:`~repro.sim.events.ScaleRequest` payload), e.g. for tests or scenarios
+        with known maintenance windows.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy,
+        *,
+        controller: Optional[ElasticKairosController] = None,
+        qos_ms: Optional[float] = None,
+        qos_percentile: float = 99.0,
+        startup_delay_ms: float = 2_000.0,
+        noise: Optional[ServiceNoiseModel] = None,
+        rng: RngLike = None,
+        warmup_queries: int = 0,
+        scripted_events: Sequence[Event] = (),
+    ):
+        check_non_negative(startup_delay_ms, "startup_delay_ms")
+        if warmup_queries < 0:
+            raise ValueError("warmup_queries must be non-negative")
+        self.cluster = cluster
+        self.policy = policy
+        self.controller = controller
+        self.qos_ms = float(qos_ms) if qos_ms is not None else cluster.model.qos_ms
+        self.qos_percentile = float(qos_percentile)
+        self.startup_delay_ms = float(startup_delay_ms)
+        self.noise = noise
+        self.rng = ensure_rng(rng)
+        self.warmup_queries = int(warmup_queries)
+        self.scripted_events = tuple(scripted_events)
+        for event in self.scripted_events:
+            if event.kind not in (EventKind.SCALE_UP, EventKind.SCALE_DOWN):
+                raise ValueError("scripted events must be SCALE_UP or SCALE_DOWN")
+            if not isinstance(event.payload, ScaleRequest):
+                raise ValueError("scripted scale events must carry a ScaleRequest payload")
+        self._ran = False
+
+    def run(self, queries: Sequence[Query]) -> ElasticSimulationReport:
+        """Serve ``queries`` once.  Unlike :class:`~repro.sim.simulation.ServingSimulation`
+        this driver is one-shot: a run permanently mutates cluster membership and the
+        controller's observation history, so repeat runs must build fresh objects."""
+        if self._ran:
+            raise RuntimeError(
+                "ElasticServingSimulation is one-shot: cluster membership and "
+                "controller state are consumed by run(); build a fresh simulation "
+                "(and controller) for another run"
+            )
+        self._ran = True
+        if not queries:
+            raise ValueError("cannot simulate an empty query stream")
+        ordered = sorted(queries, key=lambda q: (q.arrival_time_ms, q.query_id))
+        n = len(ordered)
+        self.cluster.reset()
+        metrics = ServingMetrics(self.qos_ms, self.qos_percentile)
+        ledger = InstanceUsageLedger(self.cluster.config.catalog)
+        for server in self.cluster:
+            ledger.start(server.server_id, server.instance_type, 0.0)
+        scale_log: List[ScaleLogEntry] = []
+        replans: List[ReplanDecision] = []
+
+        clock = SimulationClock(0.0)
+        events = EventQueue()
+        for q in ordered:
+            events.push(Event(q.arrival_time_ms, EventKind.QUERY_ARRIVAL, q))
+        events.push_all(self.scripted_events)
+
+        pending: List[Query] = []
+        warmup_ids = {q.query_id for q in ordered[: self.warmup_queries]}
+        # Scale-ups in flight: reserved ids per type that have not fired INSTANCE_READY
+        # yet.  A scale-down cancels these (newest first) before draining live servers,
+        # so a replan reversing a recent scale-up cannot strand booting instances.
+        self._booting: Dict[str, List[int]] = {}
+        self._cancelled: set = set()
+        dispatched = 0
+        rounds = 0
+        peak = len(self.cluster)
+        view = self.cluster.active_view()
+        self.policy.bind(view, self.qos_ms)
+        # generous guard against a policy that never makes progress
+        max_steps = 20 * n + 1000
+        steps = 0
+
+        while events:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    f"simulation exceeded {max_steps} steps; the scheduling policy "
+                    f"{type(self.policy).__name__} appears to be making no progress"
+                )
+            now = clock.advance_to(events.peek_time())
+            membership_changed = False
+            saw_arrival = False
+
+            # Drain the whole timestamp batch; handlers may push follow-up events at
+            # `now` (a replan's scale requests), which the inner loop picks up before
+            # the scheduling round so new decisions act in the same instant.
+            batch = list(events.pop_until(now))
+            while batch:
+                for event in batch:
+                    kind_changed, kind_arrival = self._handle(
+                        event, now, metrics, ledger, scale_log, warmup_ids, events
+                    )
+                    membership_changed = membership_changed or kind_changed
+                    saw_arrival = saw_arrival or kind_arrival
+                    if kind_arrival:
+                        pending.append(event.payload)
+                batch = list(events.pop_until(now))
+
+                # The controller reacts right after the arrivals of this instant are
+                # observed — the one-shot re-plan (Fig. 12) happens inside the event
+                # loop, not between runs.
+                if saw_arrival and self.controller is not None:
+                    decision = self.controller.maybe_replan(now)
+                    if decision is not None:
+                        replans.append(decision)
+                        self._emit_scale_events(decision, now, events)
+                    saw_arrival = False
+
+            if membership_changed:
+                view = self.cluster.active_view()
+                # A fully drained fleet leaves nothing to bind or schedule; queries
+                # wait centrally until an INSTANCE_READY brings capacity back (the
+                # next membership change re-binds).
+                if len(view):
+                    self.policy.bind(view, self.qos_ms)
+                peak = max(peak, len(self.cluster))
+
+            # scheduling round over the accepting servers
+            if pending and len(view):
+                assignments = self.policy.schedule(now, list(pending), view)
+                rounds += 1
+                if assignments:
+                    dispatched += self._commit(assignments, pending, view, now, events)
+
+            # Nothing left to fire and the policy declines the remainder: end the run.
+            if not events and pending:
+                break
+
+        duration = metrics.makespan_ms() if len(metrics) else clock.now_ms
+        # Completions flow through the event queue, so the clock ends at or after the
+        # last completion; that is the absolute billing horizon.
+        horizon = clock.now_ms
+        ledger.close_all(horizon)
+        return ElasticSimulationReport(
+            metrics=metrics,
+            cluster=self.cluster,
+            ledger=ledger,
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            scheduling_rounds=rounds,
+            dispatched_queries=dispatched,
+            total_queries=n,
+            simulated_duration_ms=duration,
+            billing_horizon_ms=horizon,
+            replans=replans,
+            scale_log=scale_log,
+            peak_instances=peak,
+        )
+
+    # -- event handling -----------------------------------------------------------------
+    def _handle(
+        self,
+        event: Event,
+        now: float,
+        metrics: ServingMetrics,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+        warmup_ids,
+        events: EventQueue,
+    ) -> Tuple[bool, bool]:
+        """Apply one event; returns ``(membership_changed, was_arrival)``."""
+        if event.kind == EventKind.SERVICE_COMPLETION:
+            record: QueryRecord = event.payload
+            server = self.cluster.server_by_id(record.server_id)
+            server.complete_one()
+            if record.query.query_id not in warmup_ids:
+                metrics.record(record)
+            self.policy.observe_completion(record)
+            if server.drained:
+                self.cluster.remove_server(server.server_id)
+                ledger.stop(server.server_id, now)
+                scale_log.append(
+                    ScaleLogEntry(now, "decommission", server.type_name, 1)
+                )
+                return True, False
+            return False, False
+
+        if event.kind == EventKind.QUERY_ARRIVAL:
+            if self.controller is not None:
+                self.controller.observe_arrival(event.payload, now)
+            return False, True
+
+        if event.kind == EventKind.SCALE_UP:
+            request: ScaleRequest = event.payload
+            itype = self.cluster.config.catalog[request.type_name]
+            for _ in range(request.count):
+                # billing starts at the request; the instance is schedulable only
+                # after the startup delay
+                server_id = self.cluster.reserve_server_id()
+                ledger.start(server_id, itype, now)
+                self._booting.setdefault(request.type_name, []).append(server_id)
+                events.push(
+                    Event(
+                        now + self.startup_delay_ms,
+                        EventKind.INSTANCE_READY,
+                        (server_id, request.type_name),
+                    )
+                )
+            scale_log.append(
+                ScaleLogEntry(now, "scale_up", request.type_name, request.count, request.reason)
+            )
+            return False, False
+
+        if event.kind == EventKind.SCALE_DOWN:
+            request = event.payload
+            self.cluster.config.catalog[request.type_name]  # raises on unknown type
+            remaining = request.count
+            # cancel still-booting instances first (newest first): they have not
+            # served anything, so reversing them is free apart from the boot billing
+            booting = self._booting.get(request.type_name, [])
+            while remaining > 0 and booting:
+                server_id = booting.pop()
+                self._cancelled.add(server_id)
+                ledger.stop(server_id, now)
+                scale_log.append(
+                    ScaleLogEntry(now, "cancel_startup", request.type_name, 1, request.reason)
+                )
+                remaining -= 1
+            victims = (
+                self.cluster.drain_servers(request.type_name, remaining, now)
+                if remaining > 0
+                else []
+            )
+            changed = False
+            for server in victims:
+                if server.drained:  # already idle: decommission on the spot
+                    self.cluster.remove_server(server.server_id)
+                    ledger.stop(server.server_id, now)
+                    scale_log.append(
+                        ScaleLogEntry(now, "decommission", server.type_name, 1)
+                    )
+                changed = True
+            scale_log.append(
+                ScaleLogEntry(
+                    now, "scale_down", request.type_name, len(victims), request.reason
+                )
+            )
+            return changed, False
+
+        if event.kind == EventKind.INSTANCE_READY:
+            server_id, type_name = event.payload
+            if server_id in self._cancelled:
+                self._cancelled.discard(server_id)
+                return False, False
+            booting = self._booting.get(type_name, [])
+            if server_id in booting:
+                booting.remove(server_id)
+            self.cluster.add_server(type_name, now_ms=now, server_id=server_id)
+            scale_log.append(ScaleLogEntry(now, "instance_ready", type_name, 1))
+            return True, False
+
+        return False, False  # CONTROL and future kinds: no-op
+
+    def _emit_scale_events(
+        self, decision: ReplanDecision, now: float, events: EventQueue
+    ) -> None:
+        for type_name, delta in decision.scale_deltas.items():
+            if delta > 0:
+                events.push(
+                    Event(
+                        now,
+                        EventKind.SCALE_UP,
+                        ScaleRequest(type_name, delta, reason="replan"),
+                    )
+                )
+            elif delta < 0:
+                events.push(
+                    Event(
+                        now,
+                        EventKind.SCALE_DOWN,
+                        ScaleRequest(type_name, -delta, reason="replan"),
+                    )
+                )
+
+    def _commit(
+        self,
+        assignments: Sequence[Tuple[Query, int]],
+        pending: List[Query],
+        view: ClusterView,
+        now: float,
+        events: EventQueue,
+    ) -> int:
+        pending_ids = {q.query_id for q in pending}
+        count = 0
+        for query, server_idx in assignments:
+            if query.query_id not in pending_ids:
+                raise ValueError(
+                    f"policy assigned query {query.query_id}, which is not pending"
+                )
+            if not 0 <= server_idx < len(view):
+                raise ValueError(f"policy assigned an unknown server index {server_idx}")
+            server = view[server_idx]
+            start, completion, service = server.dispatch(
+                query, now, noise=self.noise, rng=self.rng
+            )
+            record = QueryRecord(
+                query=query,
+                server_id=server.server_id,
+                server_type=server.type_name,
+                start_ms=start,
+                completion_ms=completion,
+                service_ms=service,
+            )
+            events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
+            pending_ids.discard(query.query_id)
+            count += 1
+        pending[:] = [q for q in pending if q.query_id in pending_ids]
+        return count
+
+
+def simulate_elastic_serving(
+    cluster: Cluster,
+    policy,
+    queries: Sequence[Query],
+    *,
+    controller: Optional[ElasticKairosController] = None,
+    **kwargs,
+) -> ElasticSimulationReport:
+    """Convenience wrapper mirroring :func:`~repro.sim.simulation.simulate_serving`."""
+    sim = ElasticServingSimulation(cluster, policy, controller=controller, **kwargs)
+    return sim.run(queries)

@@ -1,10 +1,19 @@
 """Simulation events.
 
-The serving simulation needs only two event kinds: a query arriving at the central
+The serving simulation needs two core event kinds: a query arriving at the central
 controller and a server finishing its current query.  Events are ordered by time, then
 by a kind-based priority (completions before arrivals at the same instant, so a freed
 server is visible to the scheduling round triggered by a simultaneous arrival), then by
 insertion order for determinism.
+
+The elasticity subsystem adds provisioning events that flow through the same queue
+under the same ordering contract: ``SCALE_UP`` / ``SCALE_DOWN`` carry a
+:class:`ScaleRequest`, and ``INSTANCE_READY`` fires when a newly provisioned instance
+finishes booting and becomes schedulable.  Their priorities deliberately sort *after*
+completions and arrivals so the state mutation order within a timestamp stays exactly
+what the pre-elasticity simulator produced (seed stability), while the elastic driver
+runs its scheduling round only after the whole timestamp batch is drained, so new
+capacity is still visible to simultaneous work.
 """
 
 from __future__ import annotations
@@ -20,6 +29,32 @@ class EventKind(enum.IntEnum):
     SERVICE_COMPLETION = 0
     QUERY_ARRIVAL = 1
     CONTROL = 2
+    SCALE_UP = 3
+    SCALE_DOWN = 4
+    INSTANCE_READY = 5
+
+
+@dataclass(frozen=True)
+class ScaleRequest:
+    """Payload of a ``SCALE_UP`` / ``SCALE_DOWN`` event: how many instances of a type.
+
+    Attributes
+    ----------
+    type_name:
+        Instance-type name in the cluster's catalog.
+    count:
+        Number of instances to add (scale-up) or drain (scale-down); always positive.
+    reason:
+        Free-form provenance tag (e.g. ``"replan"``) kept for reports.
+    """
+
+    type_name: str
+    count: int
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"scale request count must be positive, got {self.count}")
 
 
 @dataclass(frozen=True)

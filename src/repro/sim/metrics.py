@@ -125,6 +125,35 @@ class ServingMetrics:
         ok = sum(1 for r in self._records if r.meets_qos(self.qos_ms))
         return 1000.0 * ok / span
 
+    # -- windowed views (per-phase elasticity reporting) ------------------------------------
+    def window(self, t0_ms: float, t1_ms: float) -> "ServingMetrics":
+        """A new :class:`ServingMetrics` over queries that *arrived* in ``[t0_ms, t1_ms)``.
+
+        Attributing queries to the window of their arrival (not completion) matches how
+        load phases are defined, so per-phase goodput reflects the load the phase
+        actually offered.
+        """
+        if t1_ms < t0_ms:
+            raise ValueError("window end precedes window start")
+        sub = ServingMetrics(self.qos_ms, self.qos_percentile)
+        sub.extend(
+            [r for r in self._records if t0_ms <= r.query.arrival_time_ms < t1_ms]
+        )
+        return sub
+
+    def qos_met_qps_in_window(self, t0_ms: float, t1_ms: float) -> float:
+        """QoS-compliant completions per second of queries arriving in the window.
+
+        Unlike :meth:`goodput_qps` this normalizes by the *window length*, so unserved
+        (dropped) queries depress the number — an overloaded static cluster cannot
+        inflate its score by completing a small subset quickly.
+        """
+        if t1_ms <= t0_ms:
+            raise ValueError("window must have positive length")
+        sub = self.window(t0_ms, t1_ms)
+        ok = sum(1 for r in sub._records if r.meets_qos(self.qos_ms))
+        return 1000.0 * ok / (t1_ms - t0_ms)
+
     # -- distribution of work ---------------------------------------------------------------
     def queries_by_type(self) -> Dict[str, int]:
         result: Dict[str, int] = {}

@@ -45,6 +45,10 @@ class ServerInstance:
     busy_until_ms: float = 0.0
     dispatch_overhead_ms: float = 0.0
 
+    # elasticity lifecycle
+    draining: bool = False
+    commissioned_at_ms: float = 0.0
+
     # accounting
     queries_served: int = 0
     busy_time_ms: float = 0.0
@@ -55,6 +59,20 @@ class ServerInstance:
     def is_idle(self, now_ms: float) -> bool:
         """True when the server has no running or locally queued query at ``now_ms``."""
         return self.busy_until_ms <= now_ms + 1e-9
+
+    @property
+    def accepting(self) -> bool:
+        """True when the server may receive new dispatches (i.e. it is not draining)."""
+        return not self.draining
+
+    def start_draining(self) -> None:
+        """Stop accepting new work; in-flight and locally queued queries still finish."""
+        self.draining = True
+
+    @property
+    def drained(self) -> bool:
+        """True when a draining server has emptied its local queue and can be removed."""
+        return self.draining and self.local_queue_depth == 0
 
     def remaining_busy_ms(self, now_ms: float) -> float:
         """Time until the server's local queue drains (0 when idle)."""
@@ -94,6 +112,10 @@ class ServerInstance:
         true service latency plus the configured dispatch overhead (modelling the
         controller-to-server RPC).
         """
+        if self.draining:
+            raise RuntimeError(
+                f"cannot dispatch query {query.query_id} to draining server {self.server_id}"
+            )
         start = self.earliest_start_ms(now_ms) + self.dispatch_overhead_ms
         service = self.true_service_latency_ms(query, noise=noise, rng=rng)
         completion = start + service
@@ -119,6 +141,8 @@ class ServerInstance:
     def reset(self) -> None:
         """Clear all dynamic state (used when reusing a cluster across runs)."""
         self.busy_until_ms = 0.0
+        self.draining = False
+        self.commissioned_at_ms = 0.0
         self.queries_served = 0
         self.busy_time_ms = 0.0
         self.local_queue_depth = 0

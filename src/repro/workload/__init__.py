@@ -21,7 +21,13 @@ from repro.workload.arrivals import (
     PoissonArrivalProcess,
 )
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
-from repro.workload.phases import PhasedWorkloadGenerator, WorkloadPhase
+from repro.workload.phases import (
+    LoadPhase,
+    PhasedTrace,
+    PhasedTraceResult,
+    PhasedWorkloadGenerator,
+    WorkloadPhase,
+)
 from repro.workload.trace import load_trace, save_trace, synthesize_trace
 
 __all__ = [
@@ -39,6 +45,9 @@ __all__ = [
     "WorkloadSpec",
     "WorkloadPhase",
     "PhasedWorkloadGenerator",
+    "LoadPhase",
+    "PhasedTrace",
+    "PhasedTraceResult",
     "load_trace",
     "save_trace",
     "synthesize_trace",

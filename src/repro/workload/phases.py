@@ -1,4 +1,4 @@
-"""Multi-phase workloads whose batch-size distribution changes over time.
+"""Multi-phase workloads: distribution shifts and trace-driven load phases.
 
 Sec. 8.4 / Fig. 12 of the paper evaluates the transient behaviour when the query-size
 probability distribution changes (log-normal → Gaussian): every scheme must restart its
@@ -6,15 +6,28 @@ configuration search, and the figure tracks the throughput of the configurations
 scheme evaluates during the transient.  :class:`PhasedWorkloadGenerator` produces the
 corresponding query streams and exposes per-phase boundaries so experiments can detect
 the change point.
+
+The online-elasticity subsystem generalizes this to *arrival-rate* phases:
+:class:`LoadPhase` describes one span of trace time (a constant step, a linear ramp, a
+sinusoidal diurnal swing, or a bursty spike) and :class:`PhasedTrace` composes phases
+into one continuous query stream, replaying each phase through the existing
+:class:`~repro.workload.generator.WorkloadSpec` arrival-process machinery
+(time-varying rates are approximated piecewise-constant over ``segments`` slices of
+the phase).  The resulting stream drives the elastic simulator
+(:mod:`repro.sim.elasticity`) and the re-planning controller.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+from repro.workload.arrivals import ArrivalProcess
 from repro.workload.batch_sizes import BatchSizeDistribution
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 from repro.workload.query import Query
@@ -86,3 +99,327 @@ class PhasedWorkloadGenerator:
             if query_index >= b:
                 phase += 1
         return phase
+
+
+# ---------------------------------------------------------------------------------------
+# Trace-driven load phases (online elasticity)
+# ---------------------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One span of trace time with a (possibly time-varying) arrival rate.
+
+    Build instances through the shape constructors (:meth:`step`, :meth:`ramp`,
+    :meth:`diurnal`, :meth:`spike`) rather than positionally; the raw fields exist so
+    the dataclass stays frozen/hashable for deterministic replay.
+
+    Attributes
+    ----------
+    duration_ms:
+        Length of the phase in trace time.
+    rate_qps:
+        Arrival rate at the start of the phase (the mean rate for diurnal phases and
+        the baseline rate for spike phases).
+    end_rate_qps:
+        Ramp target rate; ``None`` for non-ramp shapes.
+    amplitude_qps / period_ms:
+        Sinusoidal swing of a diurnal phase around ``rate_qps``; ``period_ms`` defaults
+        to the phase duration (one full day-cycle per phase).
+    spike_factor / spike_start_frac / spike_duration_frac:
+        A bursty spike multiplies the baseline by ``spike_factor`` over the window
+        ``[spike_start_frac, spike_start_frac + spike_duration_frac)`` of the phase.
+    segments:
+        Piecewise-constant replay resolution for time-varying shapes (constant shapes
+        always use one segment).
+    batch_sizes:
+        Optional per-phase batch-size distribution override (``None`` = the trace
+        spec's distribution).
+    label:
+        Phase name used in reports and boundary metadata.
+    """
+
+    duration_ms: float
+    rate_qps: float
+    end_rate_qps: Optional[float] = None
+    amplitude_qps: float = 0.0
+    period_ms: Optional[float] = None
+    spike_factor: float = 1.0
+    spike_start_frac: float = 0.0
+    spike_duration_frac: float = 0.0
+    segments: int = 8
+    batch_sizes: Optional[BatchSizeDistribution] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive(self.duration_ms, "duration_ms")
+        check_positive(self.rate_qps, "rate_qps")
+        if self.end_rate_qps is not None:
+            check_positive(self.end_rate_qps, "end_rate_qps")
+        check_non_negative(self.amplitude_qps, "amplitude_qps")
+        if self.amplitude_qps >= self.rate_qps:
+            raise ValueError("diurnal amplitude must stay below the mean rate")
+        if self.period_ms is not None:
+            check_positive(self.period_ms, "period_ms")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1")
+        if not 0.0 <= self.spike_start_frac <= 1.0:
+            raise ValueError("spike_start_frac must be in [0, 1]")
+        if not 0.0 <= self.spike_duration_frac <= 1.0 - self.spike_start_frac:
+            raise ValueError("spike window must fit inside the phase")
+        check_positive_int(self.segments, "segments")
+
+    # -- shape constructors ------------------------------------------------------------
+    @classmethod
+    def step(cls, rate_qps: float, duration_ms: float, *, label: str = "step", **kw) -> "LoadPhase":
+        """A constant-rate phase (a step relative to whatever preceded it)."""
+        return cls(duration_ms=duration_ms, rate_qps=rate_qps, segments=1, label=label, **kw)
+
+    @classmethod
+    def ramp(
+        cls,
+        start_qps: float,
+        end_qps: float,
+        duration_ms: float,
+        *,
+        segments: int = 8,
+        label: str = "ramp",
+        **kw,
+    ) -> "LoadPhase":
+        """A linear rate ramp from ``start_qps`` to ``end_qps``."""
+        return cls(
+            duration_ms=duration_ms,
+            rate_qps=start_qps,
+            end_rate_qps=end_qps,
+            segments=segments,
+            label=label,
+            **kw,
+        )
+
+    @classmethod
+    def diurnal(
+        cls,
+        mean_qps: float,
+        amplitude_qps: float,
+        duration_ms: float,
+        *,
+        period_ms: Optional[float] = None,
+        segments: int = 12,
+        label: str = "diurnal",
+        **kw,
+    ) -> "LoadPhase":
+        """A sinusoidal day/night swing around ``mean_qps``."""
+        return cls(
+            duration_ms=duration_ms,
+            rate_qps=mean_qps,
+            amplitude_qps=amplitude_qps,
+            period_ms=period_ms,
+            segments=segments,
+            label=label,
+            **kw,
+        )
+
+    @classmethod
+    def spike(
+        cls,
+        base_qps: float,
+        duration_ms: float,
+        *,
+        spike_factor: float = 3.0,
+        spike_start_frac: float = 0.4,
+        spike_duration_frac: float = 0.2,
+        segments: int = 10,
+        label: str = "spike",
+        **kw,
+    ) -> "LoadPhase":
+        """A baseline rate with a transient burst of ``spike_factor`` × the baseline."""
+        return cls(
+            duration_ms=duration_ms,
+            rate_qps=base_qps,
+            spike_factor=spike_factor,
+            spike_start_frac=spike_start_frac,
+            spike_duration_frac=spike_duration_frac,
+            segments=segments,
+            label=label,
+            **kw,
+        )
+
+    # -- rate profile ------------------------------------------------------------------
+    def rate_at(self, offset_ms: float) -> float:
+        """Instantaneous arrival rate ``offset_ms`` into the phase."""
+        offset = min(max(offset_ms, 0.0), self.duration_ms)
+        rate = self.rate_qps
+        if self.end_rate_qps is not None:
+            frac = offset / self.duration_ms
+            rate = self.rate_qps + (self.end_rate_qps - self.rate_qps) * frac
+        if self.amplitude_qps > 0.0:
+            period = self.period_ms if self.period_ms is not None else self.duration_ms
+            rate += self.amplitude_qps * math.sin(2.0 * math.pi * offset / period)
+        if self.spike_factor > 1.0 and self.spike_duration_frac > 0.0:
+            s0 = self.spike_start_frac * self.duration_ms
+            s1 = s0 + self.spike_duration_frac * self.duration_ms
+            if s0 <= offset < s1:
+                rate *= self.spike_factor
+        return rate
+
+    def mean_rate_qps(self) -> float:
+        """Mean offered rate over the phase (segment-midpoint quadrature)."""
+        n = max(self.segments, 8)
+        width = self.duration_ms / n
+        return sum(self.rate_at((i + 0.5) * width) for i in range(n)) / n
+
+    @property
+    def is_constant(self) -> bool:
+        return (
+            self.end_rate_qps is None
+            and self.amplitude_qps == 0.0
+            and (self.spike_factor == 1.0 or self.spike_duration_frac == 0.0)
+        )
+
+
+@dataclass(frozen=True)
+class PhasedTraceResult:
+    """A generated trace: the queries plus where each phase starts and ends."""
+
+    queries: Tuple[Query, ...]
+    phase_starts_ms: Tuple[float, ...]  # length = #phases + 1; last entry = trace end
+    boundaries: Tuple[int, ...]  # query index of each phase's first query (after phase 0)
+    labels: Tuple[str, ...]
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.labels)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.phase_starts_ms[-1] - self.phase_starts_ms[0]
+
+    def phase_window_ms(self, phase_index: int) -> Tuple[float, float]:
+        """``[start, end)`` trace-time window of one phase."""
+        if not 0 <= phase_index < self.num_phases:
+            raise IndexError(f"no phase {phase_index} in a {self.num_phases}-phase trace")
+        return self.phase_starts_ms[phase_index], self.phase_starts_ms[phase_index + 1]
+
+    def phase_of_time(self, t_ms: float) -> int:
+        """Index of the phase whose window contains ``t_ms`` (clamped at the ends)."""
+        for i in range(self.num_phases):
+            if t_ms < self.phase_starts_ms[i + 1]:
+                return i
+        return self.num_phases - 1
+
+    def queries_in_phase(self, phase_index: int) -> List[Query]:
+        t0, t1 = self.phase_window_ms(phase_index)
+        return [q for q in self.queries if t0 <= q.arrival_time_ms < t1]
+
+
+class PhasedTrace:
+    """Compose :class:`LoadPhase` spans into one continuous, reproducible query stream.
+
+    Each phase is replayed through the trace spec's arrival process at the phase's
+    rate; time-varying shapes are split into ``phase.segments`` piecewise-constant
+    slices, each replayed at its midpoint rate.  Arrivals are generated until the
+    phase window is full and truncated at the half-open boundary (an arrival landing
+    exactly on a phase end belongs to no window) — for the default Poisson process
+    this is an exact inhomogeneous-Poisson replay up to the segment approximation, and
+    for the deterministic process it yields evenly spaced arrivals strictly inside
+    each window.
+    """
+
+    def __init__(self, phases: Sequence[LoadPhase], spec: Optional[WorkloadSpec] = None):
+        if not phases:
+            raise ValueError("need at least one load phase")
+        self.phases: Tuple[LoadPhase, ...] = tuple(phases)
+        self.spec = spec if spec is not None else WorkloadSpec()
+
+    @property
+    def total_duration_ms(self) -> float:
+        return sum(p.duration_ms for p in self.phases)
+
+    def rate_at(self, t_ms: float, *, start_time_ms: float = 0.0) -> float:
+        """Offered arrival rate of the composed trace at absolute time ``t_ms``."""
+        offset = t_ms - start_time_ms
+        for phase in self.phases:
+            if offset < phase.duration_ms:
+                return phase.rate_at(offset)
+            offset -= phase.duration_ms
+        return self.phases[-1].rate_at(self.phases[-1].duration_ms)
+
+    def generate(self, rng: RngLike = None, *, start_time_ms: float = 0.0) -> PhasedTraceResult:
+        """Generate the full stream with per-phase boundaries (deterministic per seed)."""
+        check_non_negative(start_time_ms, "start_time_ms")
+        gen = ensure_rng(rng)
+        phase_rngs = spawn_rngs(gen, len(self.phases))
+        queries: List[Query] = []
+        boundaries: List[int] = []
+        phase_starts: List[float] = [float(start_time_ms)]
+        t = float(start_time_ms)
+        for phase_idx, phase in enumerate(self.phases):
+            if phase_idx > 0:
+                boundaries.append(len(queries))
+            arrival_rng, batch_rng = spawn_rngs(phase_rngs[phase_idx], 2)
+            times = self._phase_arrival_times(phase, t, arrival_rng)
+            dist = phase.batch_sizes if phase.batch_sizes is not None else self.spec.batch_sizes
+            batches = dist.sample(len(times), batch_rng) if times else []
+            base_id = len(queries)
+            queries.extend(
+                Query(
+                    query_id=base_id + i,
+                    batch_size=int(batches[i]),
+                    arrival_time_ms=float(times[i]),
+                )
+                for i in range(len(times))
+            )
+            t += phase.duration_ms
+            phase_starts.append(t)
+        return PhasedTraceResult(
+            queries=tuple(queries),
+            phase_starts_ms=tuple(phase_starts),
+            boundaries=tuple(boundaries),
+            labels=tuple(
+                p.label if p.label else f"phase{idx}" for idx, p in enumerate(self.phases)
+            ),
+        )
+
+    # -- internals ---------------------------------------------------------------------
+    def _phase_arrival_times(
+        self, phase: LoadPhase, phase_start_ms: float, rng: np.random.Generator
+    ) -> List[float]:
+        n_segments = 1 if phase.is_constant else phase.segments
+        seg_width = phase.duration_ms / n_segments
+        times: List[float] = []
+        for seg in range(n_segments):
+            seg_start = phase_start_ms + seg * seg_width
+            seg_end = seg_start + seg_width
+            rate = phase.rate_at((seg + 0.5) * seg_width)
+            times.extend(
+                _arrivals_in_window(self.spec.arrivals, rate, seg_start, seg_end, rng)
+            )
+        return times
+
+
+def _arrivals_in_window(
+    process: ArrivalProcess,
+    rate_qps: float,
+    t0_ms: float,
+    t1_ms: float,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Replay ``process`` at a constant rate over ``[t0_ms, t1_ms)``.
+
+    The process API is count-based, so arrivals are drawn in chunks continuing from the
+    last generated time until the window is covered, then truncated at the boundary.
+    Chunked continuation is exact for memoryless (Poisson) and evenly spaced
+    (deterministic) processes alike.
+    """
+    expected = rate_qps * (t1_ms - t0_ms) / 1000.0
+    chunk = max(4, int(math.ceil(expected * 2.0)) + 8)
+    collected: List[float] = []
+    cursor = t0_ms
+    while True:
+        batch = process.arrival_times_ms(chunk, rate_qps, rng, start_time_ms=cursor)
+        collected.extend(float(x) for x in batch)
+        if collected and collected[-1] >= t1_ms:
+            break
+        if len(batch) == 0:  # pragma: no cover - defensive; n >= 4 above
+            break
+        cursor = collected[-1]
+    return [x for x in collected if x < t1_ms]

@@ -1,0 +1,203 @@
+"""Golden regression tests for the cost-matrix QoS semantics (paper Eqs. 2-8).
+
+These pin the exact numeric behaviour of ``build_cost_matrix`` against hand-computed
+3x3 matrices: the ``xi = 0.98`` QoS headroom, the ``10 * T_qos`` penalty for
+infeasible pairs, and the ``C_j`` column weighting.  The elasticity refactor routes
+scheduling through views of mutating clusters; if anything in that plumbing shifted
+Eq. 2-8 behaviour, these exact-equality tests fail first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+from repro.core.cost_matrix import (
+    DEFAULT_PENALTY_FACTOR,
+    DEFAULT_QOS_HEADROOM,
+    build_cost_matrix,
+)
+from repro.sim.server import ServerInstance
+from repro.workload.query import Query
+
+
+class TableEstimator:
+    """Latency oracle returning hand-picked values per (instance type, batch size)."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def predict_ms(self, type_name, batch_size):
+        return self.table[type_name][batch_size]
+
+    def predict_many_ms(self, type_name, batches):
+        return np.asarray([self.table[type_name][int(b)] for b in batches], dtype=float)
+
+
+LATENCIES = {
+    "g4dn.xlarge": {8: 20.0, 16: 30.0, 32: 40.0},
+    "c5n.2xlarge": {8: 40.0, 16: 60.0, 32: 90.0},
+    "r5n.large": {8: 50.0, 16: 80.0, 32: 120.0},
+}
+
+COEFFICIENTS = {"g4dn.xlarge": 1.0, "c5n.2xlarge": 0.5, "r5n.large": 0.25}
+
+
+def make_server(server_id, type_name, profiles, rm2, *, busy_until=0.0, overhead=0.0):
+    itype = DEFAULT_INSTANCE_CATALOG[type_name]
+    return ServerInstance(
+        server_id=server_id,
+        instance_type=itype,
+        profile=profiles.profile(rm2, itype),
+        busy_until_ms=busy_until,
+        dispatch_overhead_ms=overhead,
+    )
+
+
+@pytest.fixture
+def golden_inputs(profiles, rm2):
+    # now = 10: waits are 0, 6, 10 ms for arrivals at 10, 4, 0.
+    queries = [
+        Query(query_id=0, batch_size=8, arrival_time_ms=10.0),
+        Query(query_id=1, batch_size=16, arrival_time_ms=4.0),
+        Query(query_id=2, batch_size=32, arrival_time_ms=0.0),
+    ]
+    servers = [
+        make_server(0, "g4dn.xlarge", profiles, rm2, busy_until=30.0),  # 20 ms backlog
+        make_server(1, "c5n.2xlarge", profiles, rm2),
+        make_server(2, "r5n.large", profiles, rm2),
+    ]
+    return queries, servers
+
+
+class TestGoldenCostMatrix:
+    """Hand-computed 3x3 matrices at qos_ms=100, now_ms=10."""
+
+    def build(self, golden_inputs, **kwargs):
+        queries, servers = golden_inputs
+        return build_cost_matrix(
+            queries,
+            servers,
+            TableEstimator(LATENCIES),
+            now_ms=10.0,
+            qos_ms=100.0,
+            coefficients=COEFFICIENTS,
+            **kwargs,
+        )
+
+    def test_default_constants_are_the_papers(self):
+        assert DEFAULT_QOS_HEADROOM == 0.98
+        assert DEFAULT_PENALTY_FACTOR == 10.0
+
+    def test_usage_matrix(self, golden_inputs):
+        cm = self.build(golden_inputs)
+        # L[i, j] = remaining busy (20 on the g4dn, 0 elsewhere) + predicted latency
+        expected = np.array(
+            [
+                [40.0, 40.0, 50.0],
+                [50.0, 60.0, 80.0],
+                [60.0, 90.0, 120.0],
+            ]
+        )
+        np.testing.assert_array_equal(cm.usage_ms, expected)
+
+    def test_feasibility_uses_098_headroom_with_waiting_time(self, golden_inputs):
+        cm = self.build(golden_inputs)
+        # feasible iff usage + wait <= 0.98 * 100 = 98:
+        #   q2 (wait 10): 60+10=70 ok; 90+10=100 > 98; 120+10=130 > 98
+        expected = np.array(
+            [
+                [True, True, True],
+                [True, True, True],
+                [True, False, False],
+            ]
+        )
+        np.testing.assert_array_equal(cm.qos_feasible, expected)
+        assert cm.feasible_fraction() == pytest.approx(7.0 / 9.0)
+
+    def test_penalty_is_ten_times_qos(self, golden_inputs):
+        cm = self.build(golden_inputs)
+        expected = np.array(
+            [
+                [40.0, 40.0, 50.0],
+                [50.0, 60.0, 80.0],
+                [60.0, 1000.0, 1000.0],
+            ]
+        )
+        np.testing.assert_array_equal(cm.penalized_ms, expected)
+
+    def test_coefficient_weighting(self, golden_inputs):
+        cm = self.build(golden_inputs)
+        # weighted = C_j * penalized, column-wise C = (1.0, 0.5, 0.25)
+        expected = np.array(
+            [
+                [40.0, 20.0, 12.5],
+                [50.0, 30.0, 20.0],
+                [60.0, 500.0, 250.0],
+            ]
+        )
+        np.testing.assert_array_equal(cm.weighted, expected)
+
+    def test_exact_headroom_boundary_is_feasible(self, profiles, rm2):
+        # usage + wait == 98 exactly: with wait 0 and latency 98 the pair must count
+        # as feasible (the headroom comparison carries a 1e-9 tolerance).
+        queries = [Query(query_id=0, batch_size=8, arrival_time_ms=10.0)]
+        servers = [make_server(0, "g4dn.xlarge", profiles, rm2)]
+        cm = build_cost_matrix(
+            queries,
+            servers,
+            TableEstimator({"g4dn.xlarge": {8: 98.0}}),
+            now_ms=10.0,
+            qos_ms=100.0,
+            coefficients={"g4dn.xlarge": 1.0},
+        )
+        assert cm.qos_feasible[0, 0]
+        # one epsilon beyond the headroom flips to the penalty
+        cm2 = build_cost_matrix(
+            queries,
+            servers,
+            TableEstimator({"g4dn.xlarge": {8: 98.001}}),
+            now_ms=10.0,
+            qos_ms=100.0,
+            coefficients={"g4dn.xlarge": 1.0},
+        )
+        assert not cm2.qos_feasible[0, 0]
+        assert cm2.penalized_ms[0, 0] == 1000.0
+
+    def test_dispatch_overhead_enters_usage(self, profiles, rm2):
+        queries = [Query(query_id=0, batch_size=8, arrival_time_ms=10.0)]
+        servers = [make_server(0, "g4dn.xlarge", profiles, rm2, overhead=3.0)]
+        cm = build_cost_matrix(
+            queries,
+            servers,
+            TableEstimator(LATENCIES),
+            now_ms=10.0,
+            qos_ms=100.0,
+            coefficients=COEFFICIENTS,
+        )
+        assert cm.usage_ms[0, 0] == 23.0
+
+    def test_custom_headroom_and_penalty_respected(self, golden_inputs):
+        cm = self.build(golden_inputs, qos_headroom=0.5, penalty_factor=2.0)
+        # threshold = 50 (inclusive): q0 fits everywhere (40, 40, exactly 50); every
+        # other pair exceeds it once the waiting time is added.
+        expected_feasible = np.array(
+            [
+                [True, True, True],
+                [False, False, False],
+                [False, False, False],
+            ]
+        )
+        np.testing.assert_array_equal(cm.qos_feasible, expected_feasible)
+        assert cm.penalized_ms[2, 2] == 200.0
+
+    def test_non_positive_coefficient_rejected(self, golden_inputs):
+        queries, servers = golden_inputs
+        with pytest.raises(ValueError):
+            build_cost_matrix(
+                queries,
+                servers,
+                TableEstimator(LATENCIES),
+                now_ms=10.0,
+                qos_ms=100.0,
+                coefficients={**COEFFICIENTS, "r5n.large": 0.0},
+            )

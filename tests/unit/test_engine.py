@@ -1,9 +1,17 @@
-"""Tests for repro.sim.events and repro.sim.engine."""
+"""Tests for repro.sim.events and repro.sim.engine.
+
+Includes the property-style determinism suite that pins the engine's ordering
+contract: events at equal timestamps always pop in kind-then-insertion order
+(completions before arrivals before provisioning events), the clock never moves
+backwards, and ``pop_until`` honours its epsilon boundary.  The online-elasticity
+subsystem relies on this contract for seed-stable replays.
+"""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.sim.engine import EventQueue, SimulationClock
-from repro.sim.events import Event, EventKind
+from repro.sim.events import Event, EventKind, ScaleRequest
 
 
 class TestEvent:
@@ -91,3 +99,116 @@ class TestEventQueue:
         q.push(Event(1.0, EventKind.CONTROL))
         q.clear()
         assert len(q) == 0
+
+
+class TestScaleEventKinds:
+    """The new provisioning events slot in behind the pre-elasticity kinds."""
+
+    def test_priority_order(self):
+        assert (
+            EventKind.SERVICE_COMPLETION
+            < EventKind.QUERY_ARRIVAL
+            < EventKind.CONTROL
+            < EventKind.SCALE_UP
+            < EventKind.SCALE_DOWN
+            < EventKind.INSTANCE_READY
+        )
+
+    def test_completion_still_first_at_equal_time(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventKind.INSTANCE_READY, "ready"))
+        q.push(Event(5.0, EventKind.SCALE_UP, ScaleRequest("g4dn.xlarge", 1)))
+        q.push(Event(5.0, EventKind.QUERY_ARRIVAL, "arrival"))
+        q.push(Event(5.0, EventKind.SERVICE_COMPLETION, "completion"))
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == sorted(kinds)
+        assert kinds[0] == EventKind.SERVICE_COMPLETION
+
+    def test_scale_request_validation(self):
+        with pytest.raises(ValueError):
+            ScaleRequest("g4dn.xlarge", 0)
+        with pytest.raises(ValueError):
+            ScaleRequest("g4dn.xlarge", -2)
+
+
+# -- property-style determinism suite -----------------------------------------------------
+
+#: All event kinds, including the elasticity ones, as plain ints for strategy reuse.
+ALL_KINDS = list(EventKind)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([0.0, 1.0, 2.5, 7.0]), st.sampled_from(ALL_KINDS)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_same_timestamp_interleavings_pop_in_kind_then_sequence_order(items):
+    """Any insertion interleaving pops time-sorted, then kind-sorted, then FIFO."""
+    q = EventQueue()
+    for seq, (t, kind) in enumerate(items):
+        q.push(Event(t, kind, payload=seq))
+    popped = []
+    while q:
+        popped.append(q.pop())
+    keys = [(e.time_ms, int(e.kind), e.payload) for e in popped]
+    assert keys == sorted(keys), "pop order must be (time, kind, insertion) sorted"
+    # FIFO among exact duplicates: payload (the insertion sequence) must rise within
+    # each (time, kind) group.
+    groups = {}
+    for e in popped:
+        groups.setdefault((e.time_ms, int(e.kind)), []).append(e.payload)
+    for seqs in groups.values():
+        assert seqs == sorted(seqs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e7, allow_nan=False), min_size=1, max_size=30
+    )
+)
+def test_clock_never_moves_backwards(times):
+    clock = SimulationClock(0.0)
+    high_water = 0.0
+    for t in times:
+        if t + 1e-9 < high_water:
+            with pytest.raises(ValueError):
+                clock.advance_to(t)
+        else:
+            clock.advance_to(t)
+            high_water = max(high_water, t)
+        assert clock.now_ms == high_water
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_pop_until_respects_epsilon_boundary(times, cutoff):
+    q = EventQueue()
+    for t in times:
+        q.push(Event(t, EventKind.CONTROL, t))
+    popped = [e.payload for e in q.pop_until(cutoff)]
+    remaining = []
+    while q:
+        remaining.append(q.pop().payload)
+    assert all(t <= cutoff + 1e-12 for t in popped)
+    assert all(t > cutoff + 1e-12 for t in remaining)
+    assert sorted(popped + remaining) == sorted(times)
+
+
+def test_pop_until_includes_exact_epsilon_boundary():
+    q = EventQueue()
+    q.push(Event(10.0, EventKind.CONTROL, "at"))
+    q.push(Event(10.0 + 1e-13, EventKind.CONTROL, "within-eps"))
+    q.push(Event(10.0 + 1e-9, EventKind.CONTROL, "beyond-eps"))
+    assert [e.payload for e in q.pop_until(10.0)] == ["at", "within-eps"]
+    assert len(q) == 1

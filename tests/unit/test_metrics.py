@@ -103,3 +103,28 @@ class TestServingMetrics:
         metrics.extend(records)
         assert len(metrics) == 3
         assert len(metrics.records) == 3
+
+    def test_window_filters_by_arrival_time(self):
+        metrics = ServingMetrics(100.0)
+        # arrivals at 0, 500, 1000; completions 80 ms later (all within QoS)
+        for i, arrival in enumerate((0.0, 500.0, 1000.0)):
+            metrics.record(make_record(i, 10, arrival, arrival, arrival + 80.0))
+        sub = metrics.window(0.0, 1000.0)  # half-open: excludes the 1000 ms arrival
+        assert len(sub) == 2
+        assert sub.qos_ms == metrics.qos_ms
+        assert [r.query.query_id for r in sub.records] == [0, 1]
+        with pytest.raises(ValueError):
+            metrics.window(1000.0, 0.0)
+
+    def test_qos_met_qps_in_window_normalizes_by_window_length(self):
+        metrics = ServingMetrics(100.0)
+        # two QoS-met queries and one violation arriving inside [0, 2000)
+        metrics.record(make_record(0, 10, 100.0, 100.0, 150.0))
+        metrics.record(make_record(1, 10, 600.0, 600.0, 680.0))
+        metrics.record(make_record(2, 10, 900.0, 900.0, 1200.0))  # 300 ms > QoS
+        assert metrics.qos_met_qps_in_window(0.0, 2000.0) == pytest.approx(1.0)
+        # unserved load shows up as a lower rate, not a higher one: shrinking the
+        # window to the served span raises the figure
+        assert metrics.qos_met_qps_in_window(0.0, 1000.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            metrics.qos_met_qps_in_window(5.0, 5.0)

@@ -1,0 +1,149 @@
+"""Tests for trace-driven load phases (LoadPhase / PhasedTrace)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import DeterministicArrivalProcess
+from repro.workload.batch_sizes import FixedBatchSizes, GaussianBatchSizes
+from repro.workload.generator import WorkloadSpec
+from repro.workload.phases import LoadPhase, PhasedTrace
+
+
+def det_spec(batch=32):
+    return WorkloadSpec(
+        batch_sizes=FixedBatchSizes(batch), arrivals=DeterministicArrivalProcess()
+    )
+
+
+class TestLoadPhase:
+    def test_step_is_constant(self):
+        p = LoadPhase.step(50.0, 1000.0)
+        assert p.is_constant
+        assert p.rate_at(0.0) == p.rate_at(999.0) == 50.0
+        assert p.segments == 1
+
+    def test_ramp_interpolates_linearly(self):
+        p = LoadPhase.ramp(10.0, 30.0, 1000.0)
+        assert p.rate_at(0.0) == 10.0
+        assert p.rate_at(500.0) == pytest.approx(20.0)
+        assert p.rate_at(1000.0) == pytest.approx(30.0)
+        assert not p.is_constant
+
+    def test_diurnal_swings_around_mean(self):
+        p = LoadPhase.diurnal(20.0, 10.0, 1000.0)
+        assert p.rate_at(250.0) == pytest.approx(30.0)  # quarter period: peak
+        assert p.rate_at(750.0) == pytest.approx(10.0)  # three quarters: trough
+        assert p.mean_rate_qps() == pytest.approx(20.0, rel=0.05)
+
+    def test_spike_multiplies_baseline_inside_window(self):
+        p = LoadPhase.spike(10.0, 1000.0, spike_factor=3.0)
+        assert p.rate_at(100.0) == 10.0  # before the spike window [400, 600)
+        assert p.rate_at(450.0) == 30.0
+        assert p.rate_at(700.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadPhase.step(0.0, 1000.0)
+        with pytest.raises(ValueError):
+            LoadPhase.step(10.0, 0.0)
+        with pytest.raises(ValueError):
+            LoadPhase.diurnal(10.0, 10.0, 1000.0)  # amplitude >= mean
+        with pytest.raises(ValueError):
+            LoadPhase.spike(10.0, 1000.0, spike_factor=0.5)
+        with pytest.raises(ValueError):
+            LoadPhase.spike(10.0, 1000.0, spike_start_frac=0.9, spike_duration_frac=0.5)
+
+
+class TestPhasedTrace:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhasedTrace([])
+
+    def test_deterministic_process_counts(self):
+        trace = PhasedTrace(
+            [LoadPhase.step(10.0, 2000.0, label="a"), LoadPhase.step(20.0, 2000.0, label="b")],
+            det_spec(),
+        )
+        res = trace.generate(rng=1)
+        # evenly spaced arrivals strictly inside each half-open phase window
+        assert len(res.queries) == 19 + 39
+        assert res.boundaries == (19,)
+        assert res.phase_starts_ms == (0.0, 2000.0, 4000.0)
+        assert res.labels == ("a", "b")
+        times = [q.arrival_time_ms for q in res.queries]
+        assert times == sorted(times)
+        assert all(q.query_id == i for i, q in enumerate(res.queries))
+
+    def test_poisson_reproducible_per_seed(self):
+        trace = PhasedTrace(
+            [LoadPhase.step(60.0, 3000.0), LoadPhase.spike(60.0, 3000.0, spike_factor=3.0)]
+        )
+        a = trace.generate(rng=7)
+        b = trace.generate(rng=7)
+        c = trace.generate(rng=8)
+        assert [q.arrival_time_ms for q in a.queries] == [
+            q.arrival_time_ms for q in b.queries
+        ]
+        assert [q.arrival_time_ms for q in a.queries] != [
+            q.arrival_time_ms for q in c.queries
+        ]
+
+    def test_step_doubles_observed_rate(self):
+        trace = PhasedTrace(
+            [LoadPhase.step(50.0, 10_000.0), LoadPhase.step(100.0, 10_000.0)]
+        )
+        res = trace.generate(rng=3)
+        n0 = len(res.queries_in_phase(0))
+        n1 = len(res.queries_in_phase(1))
+        assert n1 / n0 == pytest.approx(2.0, rel=0.25)
+
+    def test_ramp_increases_arrivals_over_segments(self):
+        trace = PhasedTrace([LoadPhase.ramp(20.0, 200.0, 10_000.0, segments=10)])
+        res = trace.generate(rng=5)
+        first_half = sum(1 for q in res.queries if q.arrival_time_ms < 5000.0)
+        second_half = len(res.queries) - first_half
+        assert second_half > 1.5 * first_half
+
+    def test_phase_batch_override(self):
+        trace = PhasedTrace(
+            [
+                LoadPhase.step(10.0, 2000.0),
+                LoadPhase.step(10.0, 2000.0, batch_sizes=FixedBatchSizes(7)),
+            ],
+            det_spec(batch=32),
+        )
+        res = trace.generate(rng=2)
+        assert all(q.batch_size == 32 for q in res.queries_in_phase(0))
+        assert all(q.batch_size == 7 for q in res.queries_in_phase(1))
+
+    def test_rate_at_composes_phases(self):
+        trace = PhasedTrace(
+            [LoadPhase.step(10.0, 1000.0), LoadPhase.ramp(20.0, 40.0, 1000.0)]
+        )
+        assert trace.rate_at(500.0) == 10.0
+        assert trace.rate_at(1500.0) == pytest.approx(30.0)
+        assert trace.total_duration_ms == 2000.0
+
+    def test_result_helpers(self):
+        trace = PhasedTrace(
+            [LoadPhase.step(10.0, 1000.0, label="x"), LoadPhase.step(10.0, 3000.0, label="y")],
+            det_spec(),
+        )
+        res = trace.generate(rng=1)
+        assert res.num_phases == 2
+        assert res.duration_ms == 4000.0
+        assert res.phase_window_ms(1) == (1000.0, 4000.0)
+        assert res.phase_of_time(500.0) == 0
+        assert res.phase_of_time(2500.0) == 1
+        assert res.phase_of_time(9999.0) == 1  # clamped
+        with pytest.raises(IndexError):
+            res.phase_window_ms(2)
+
+    def test_gaussian_batches_flow_through(self):
+        trace = PhasedTrace(
+            [LoadPhase.step(40.0, 2000.0)],
+            WorkloadSpec(batch_sizes=GaussianBatchSizes(mean=100.0, std=10.0)),
+        )
+        res = trace.generate(rng=11)
+        batches = np.array([q.batch_size for q in res.queries])
+        assert batches.mean() == pytest.approx(100.0, rel=0.2)

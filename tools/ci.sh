@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the full unit/property/integration suite plus the `smoke`
+# benchmark subset (the fastest scenario per figure family), so figure-level
+# regressions surface without paying for the full benchmark matrix.
+#
+# Usage: tools/ci.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit / property / integration tests =="
+python -m pytest tests -x -q "$@"
+
+echo "== smoke benchmarks =="
+python -m pytest benchmarks -m smoke -q "$@"
+
+echo "CI gate passed."
