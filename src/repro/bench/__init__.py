@@ -1,0 +1,52 @@
+"""Performance-benchmark harness for the reproduction's hot paths.
+
+The figure benchmarks under ``benchmarks/`` answer *"does the reproduction match the
+paper?"*; this package answers *"is the reproduction fast enough to keep telling that
+story?"*.  The paper's headline operational claim — ranking ~1000 configurations by the
+closed-form upper bound takes ~2 seconds where one online evaluation takes hours — only
+survives growth of the codebase if the hot paths are measured continuously, so every
+optimization PR is held to the numbers recorded here.
+
+Structure
+---------
+:mod:`repro.bench.runner`
+    Timing/calibration machinery: a deterministic machine-score calibration (so recorded
+    throughputs are comparable across hosts), the :class:`~repro.bench.runner.BenchResult`
+    record, and the regression comparison used by the CI gate.
+:mod:`repro.bench.suites`
+    The benchmark definitions, micro and macro:
+
+    * ``serving_sim`` — end-to-end serving-simulation throughput (queries/sec) under the
+      Kairos policy with online latency learning (the paper's default operating point);
+    * ``cost_matrix`` — scheduling-round ``L``-matrix builds/sec on a pre-trained online
+      estimator (the per-round hot loop of the central controller);
+    * ``planner_rank`` — configurations ranked per second by the closed-form upper bound
+      at the default $2.5/hr budget;
+    * ``planner_rank_4x`` — the same at the 4x budget of Fig. 15a (tens of thousands of
+      configurations), the scale the paper's "one shot" claim is really about;
+    * ``elastic_replan`` — wall time of one full :class:`~repro.core.kairos.KairosPlanner`
+      pass as issued by the elastic controller's re-plan (enumerate + rank + select).
+
+Workloads are seeded and deterministic; only wall-clock time varies between runs.  The
+committed ``BENCH_perf.json`` at the repository root records the latest numbers together
+with the pre-optimization baseline measured by this same harness; ``tools/bench.py``
+refuses (exit code 1) any run that regresses a committed number by more than 30% after
+machine normalization, which is the ``bench-smoke`` stage of ``tools/ci.sh``.
+"""
+
+from repro.bench.runner import (
+    BenchResult,
+    compare_results,
+    machine_score,
+    run_benchmarks,
+)
+from repro.bench.suites import BENCHMARKS, PRESETS
+
+__all__ = [
+    "BENCHMARKS",
+    "PRESETS",
+    "BenchResult",
+    "compare_results",
+    "machine_score",
+    "run_benchmarks",
+]

@@ -1,0 +1,178 @@
+"""Timing, calibration, and regression comparison for the perf harness.
+
+Everything here is deliberately dependency-free (stdlib + numpy): the harness must run
+in the same environment as the test suite and in CI without extra tooling.
+"""
+
+from __future__ import annotations
+
+import math
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Work units assigned to one pass of the calibration workload; the machine score is
+#: ``CALIBRATION_UNITS / best_wall_seconds``, i.e. a faster host scores higher.
+CALIBRATION_UNITS = 1.0
+
+
+def _calibration_workload() -> float:
+    """A fixed, deterministic mix of Python-level and numpy work.
+
+    The hot paths being benchmarked are exactly this mix (Python dispatch loops over
+    numpy kernels), so normalizing throughputs by this score makes numbers recorded on
+    different hosts roughly comparable — which is what lets CI apply a fixed
+    regression tolerance to a committed file.
+    """
+    acc = 0.0
+    for i in range(40_000):
+        acc += (i & 7) * 0.5
+    vec = np.arange(16_384, dtype=float)
+    for _ in range(64):
+        acc += float(vec @ vec)
+    rows = np.arange(64.0)[:, None] + np.arange(48.0)[None, :]
+    for _ in range(32):
+        acc += float(np.where(rows > 40.0, rows, rows * 2.0).sum())
+    return acc
+
+
+def machine_score(repeats: int = 3) -> float:
+    """Calibration score of this host (higher = faster), best of ``repeats`` passes."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _calibration_workload()
+        best = min(best, time.perf_counter() - start)
+    return CALIBRATION_UNITS / best
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark measurement.
+
+    ``value`` is a throughput (higher is better) in ``unit``; ``normalized`` is
+    ``value / machine_score`` and is what regression comparisons use.
+    """
+
+    name: str
+    preset: str
+    value: float
+    unit: str
+    wall_seconds: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """The identity used in ``BENCH_perf.json`` (name + scale preset)."""
+        return f"{self.name}@{self.preset}"
+
+    def normalized(self, score: float) -> float:
+        if score <= 0:
+            raise ValueError("machine score must be positive")
+        return self.value / score
+
+    def as_dict(self, score: float) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "normalized": self.normalized(score),
+            "wall_seconds": self.wall_seconds,
+            "extras": dict(self.extras),
+        }
+
+
+def time_throughput(
+    work: Callable[[], float],
+    *,
+    min_seconds: float = 0.2,
+    max_rounds: int = 50,
+) -> Tuple[float, float]:
+    """Run ``work`` (which returns a unit count) until ``min_seconds`` of wall time.
+
+    Returns ``(units_per_second, total_wall_seconds)``.  Repeating short workloads
+    until a minimum wall time keeps micro-benchmark numbers stable without pinning a
+    fixed (and machine-dependent) round count.
+    """
+    total_units = 0.0
+    total_wall = 0.0
+    rounds = 0
+    while total_wall < min_seconds and rounds < max_rounds:
+        start = time.perf_counter()
+        units = work()
+        total_wall += time.perf_counter() - start
+        total_units += units
+        rounds += 1
+    if total_wall <= 0:
+        raise RuntimeError("benchmark workload consumed no measurable time")
+    return total_units / total_wall, total_wall
+
+
+def run_benchmarks(
+    preset: str,
+    *,
+    names: Optional[Sequence[str]] = None,
+    benchmarks: Optional[Mapping[str, Callable[[str], BenchResult]]] = None,
+) -> List[BenchResult]:
+    """Run the registered benchmarks for one scale preset, in registry order."""
+    from repro.bench.suites import BENCHMARKS, PRESETS
+
+    table = benchmarks if benchmarks is not None else BENCHMARKS
+    if benchmarks is None and preset not in PRESETS:
+        raise KeyError(f"unknown preset {preset!r}; available: {sorted(PRESETS)}")
+    selected = list(table) if names is None else list(names)
+    unknown = [n for n in selected if n not in table]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}")
+    return [table[name](preset) for name in selected]
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark whose normalized throughput fell below the allowed fraction."""
+
+    key: str
+    current: float
+    committed: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.committed if self.committed > 0 else math.inf
+
+
+def compare_results(
+    current: Mapping[str, float],
+    committed: Mapping[str, float],
+    *,
+    tolerance: float = 0.30,
+) -> List[Regression]:
+    """Regressions of ``current`` vs ``committed`` normalized throughputs.
+
+    Only keys present on both sides are compared (a new benchmark cannot regress, and a
+    retired one stops gating).  A benchmark regresses when its normalized throughput
+    drops below ``(1 - tolerance)`` of the committed number.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError("tolerance must lie in (0, 1)")
+    regressions: List[Regression] = []
+    for key in sorted(set(current) & set(committed)):
+        cur, ref = float(current[key]), float(committed[key])
+        if ref <= 0:
+            continue
+        if cur < (1.0 - tolerance) * ref:
+            regressions.append(Regression(key=key, current=cur, committed=ref))
+    return regressions
+
+
+def environment_fingerprint() -> Dict[str, str]:
+    """Coarse host description recorded alongside the numbers (context, not identity)."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "numpy": np.__version__,
+    }

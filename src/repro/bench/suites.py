@@ -1,0 +1,259 @@
+"""The perf-benchmark definitions (see the package docstring for the catalog).
+
+Every benchmark is a function ``(preset: str) -> BenchResult`` registered in
+:data:`BENCHMARKS`.  Workloads are seeded, so two runs on the same code measure the same
+work; only wall time varies.  Scale presets (:data:`PRESETS`) keep one benchmark
+*identity* per (name, preset) pair — comparisons in ``BENCH_perf.json`` are only ever
+made within the same preset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.bench.runner import BenchResult, time_throughput
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.profiles import default_profile_registry
+from repro.core.config_space import enumerate_configs
+from repro.core.cost_matrix import build_cost_matrix
+from repro.core.kairos import KairosPlanner
+from repro.core.latency_model import OnlineLatencyEstimator
+from repro.core.upper_bound import ThroughputUpperBoundEstimator
+from repro.sim.cluster import Cluster
+from repro.sim.simulation import ServingSimulation
+from repro.workload.batch_sizes import (
+    TruncatedLogNormalBatchSizes,
+    production_batch_distribution,
+)
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+SEED = 20230715
+
+#: Scale presets.  ``smoke`` exists for the unit tests of the harness itself; ``quick``
+#: is what the CI ``bench-smoke`` stage runs; ``full`` is the committed reference scale.
+PRESETS: Dict[str, Dict[str, float]] = {
+    "smoke": dict(
+        serving_queries=60,
+        serving_rate_qps=60.0,
+        serving_counts=(2, 2, 4, 0),
+        cost_matrix_queries=16,
+        cost_matrix_servers=8,
+        cost_matrix_variants=4,
+        rank_budget=1.0,
+        rank_4x_budget=2.0,
+        replan_budget=1.0,
+        min_seconds=0.05,
+    ),
+    "quick": dict(
+        serving_queries=300,
+        serving_rate_qps=150.0,
+        serving_counts=(6, 6, 12, 0),
+        cost_matrix_queries=48,
+        cost_matrix_servers=16,
+        cost_matrix_variants=8,
+        rank_budget=2.5,
+        rank_4x_budget=10.0,
+        replan_budget=2.5,
+        min_seconds=0.15,
+    ),
+    "full": dict(
+        serving_queries=1000,
+        serving_rate_qps=150.0,
+        serving_counts=(6, 6, 12, 0),
+        cost_matrix_queries=64,
+        cost_matrix_servers=24,
+        cost_matrix_variants=8,
+        rank_budget=2.5,
+        rank_4x_budget=10.0,
+        replan_budget=5.0,
+        min_seconds=0.4,
+    ),
+}
+
+MODEL = "RM2"
+
+
+def _params(preset: str) -> Dict[str, float]:
+    try:
+        return PRESETS[preset]
+    except KeyError:
+        raise KeyError(f"unknown preset {preset!r}; available: {sorted(PRESETS)}") from None
+
+
+def bench_serving_sim(preset: str) -> BenchResult:
+    """Macro: end-to-end serving-simulation throughput (simulated queries per second).
+
+    The paper's default operating point: Kairos policy, online latency learning, a
+    heterogeneous cluster, arrival rate high enough that the central queue stays busy —
+    so the measurement is dominated by scheduling rounds, not event-queue idling.
+    """
+    p = _params(preset)
+    profiles = default_profile_registry()
+    config = HeterogeneousConfig(tuple(p["serving_counts"]), profiles.catalog)
+    model = profiles.models[MODEL]
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+        num_queries=int(p["serving_queries"]),
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=p["serving_rate_qps"], rng=SEED)
+
+    def work() -> float:
+        from repro.schedulers.kairos_policy import KairosPolicy
+
+        cluster = Cluster(config, model, profiles)
+        sim = ServingSimulation(
+            cluster, KairosPolicy(), rng=np.random.default_rng(SEED + 1)
+        )
+        report = sim.run(queries)
+        return float(report.dispatched_queries)
+
+    qps, wall = time_throughput(work, min_seconds=p["min_seconds"])
+    return BenchResult(
+        name="serving_sim",
+        preset=preset,
+        value=qps,
+        unit="queries/s",
+        wall_seconds=wall,
+        extras={"num_queries": float(p["serving_queries"])},
+    )
+
+
+def bench_cost_matrix(preset: str) -> BenchResult:
+    """Micro: scheduling-round ``L``-matrix builds per second.
+
+    Uses a pre-trained online estimator (the steady-state case: the learner has seen
+    each type) over a mixed-type server pool, cycling through several distinct pending
+    sets and scheduling instants so the measurement covers both cold and memoized
+    prediction vectors — the same mix a long serving run produces.
+    """
+    p = _params(preset)
+    profiles = default_profile_registry()
+    model = profiles.models[MODEL]
+    catalog = profiles.catalog
+    n_servers = int(p["cost_matrix_servers"])
+    m_queries = int(p["cost_matrix_queries"])
+    rng = np.random.default_rng(SEED)
+
+    type_cycle = [t.name for t in catalog.types[:3]]
+    cluster_counts = {name: 0 for name in catalog.names}
+    for i in range(n_servers):
+        cluster_counts[type_cycle[i % len(type_cycle)]] += 1
+    config = HeterogeneousConfig.from_mapping(cluster_counts, catalog)
+    cluster = Cluster(config, model, profiles)
+    servers = cluster.servers
+    for i, server in enumerate(servers):
+        server.busy_until_ms = float((i * 7) % 40)
+
+    estimator = OnlineLatencyEstimator()
+    for name in type_cycle:
+        profile = profiles.profile(model, catalog[name])
+        for batch in (1, 64, 256, 512, model.max_batch_size):
+            estimator.observe(name, batch, float(profile.latency_ms(batch)))
+
+    coefficients = {name: 1.0 if i == 0 else 0.3 for i, name in enumerate(catalog.names)}
+    from repro.workload.query import Query
+
+    variants: List[List[Query]] = []
+    for v in range(int(p["cost_matrix_variants"])):
+        batches = rng.integers(1, model.max_batch_size + 1, size=m_queries)
+        variants.append(
+            [Query(v * m_queries + i, int(b), 0.0) for i, b in enumerate(batches)]
+        )
+
+    def work() -> float:
+        builds = 0
+        for round_idx, queries in enumerate(variants):
+            build_cost_matrix(
+                queries,
+                servers,
+                estimator,
+                float(10 * round_idx),
+                model.qos_ms,
+                coefficients,
+            )
+            builds += 1
+        return float(builds)
+
+    builds_per_sec, wall = time_throughput(work, min_seconds=p["min_seconds"])
+    return BenchResult(
+        name="cost_matrix",
+        preset=preset,
+        value=builds_per_sec,
+        unit="builds/s",
+        wall_seconds=wall,
+        extras={"queries": float(m_queries), "servers": float(n_servers)},
+    )
+
+
+def _rank_benchmark(name: str, preset: str, budget: float, min_seconds: float) -> BenchResult:
+    profiles = default_profile_registry()
+    samples = production_batch_distribution().sample(4000, np.random.default_rng(SEED))
+    estimator = ThroughputUpperBoundEstimator(profiles, MODEL, samples)
+    space = enumerate_configs(budget, profiles.catalog)
+
+    def work() -> float:
+        estimator.rank_configs(space)
+        return float(len(space))
+
+    configs_per_sec, wall = time_throughput(work, min_seconds=min_seconds)
+    return BenchResult(
+        name=name,
+        preset=preset,
+        value=configs_per_sec,
+        unit="configs/s",
+        wall_seconds=wall,
+        extras={"space_size": float(len(space)), "budget_per_hour": budget},
+    )
+
+
+def bench_planner_rank(preset: str) -> BenchResult:
+    """Micro: configurations ranked per second at the default $2.5/hr budget."""
+    p = _params(preset)
+    return _rank_benchmark("planner_rank", preset, p["rank_budget"], p["min_seconds"])
+
+
+def bench_planner_rank_4x(preset: str) -> BenchResult:
+    """Macro: ranking the Fig. 15a-scale (4x budget) space — tens of thousands of configs."""
+    p = _params(preset)
+    return _rank_benchmark("planner_rank_4x", preset, p["rank_4x_budget"], p["min_seconds"])
+
+
+def bench_elastic_replan(preset: str) -> BenchResult:
+    """Macro: wall time of one full re-plan pass (enumerate + rank + select).
+
+    This is the latency the elastic controller pays inside the serving loop every time
+    :meth:`~repro.core.controller.ElasticKairosController.maybe_replan` fires, so it is
+    reported as re-plans per second of the same planner pipeline the controller builds.
+    """
+    p = _params(preset)
+    profiles = default_profile_registry()
+    samples = production_batch_distribution().sample(2000, np.random.default_rng(SEED))
+    planner = KairosPlanner(
+        MODEL, p["replan_budget"], profiles=profiles, batch_samples=samples
+    )
+
+    def work() -> float:
+        planner.plan()
+        return 1.0
+
+    plans_per_sec, wall = time_throughput(work, min_seconds=p["min_seconds"])
+    return BenchResult(
+        name="elastic_replan",
+        preset=preset,
+        value=plans_per_sec,
+        unit="replans/s",
+        wall_seconds=wall,
+        extras={"budget_per_hour": p["replan_budget"]},
+    )
+
+
+#: Registry, in execution order.
+BENCHMARKS: Dict[str, Callable[[str], BenchResult]] = {
+    "serving_sim": bench_serving_sim,
+    "cost_matrix": bench_cost_matrix,
+    "planner_rank": bench_planner_rank,
+    "planner_rank_4x": bench_planner_rank_4x,
+    "elastic_replan": bench_elastic_replan,
+}

@@ -79,6 +79,12 @@ class LinearLatencyProfile(LatencyProfile):
         check_positive(self.per_item_ms, "per_item_ms")
 
     def latency_ms(self, batch_size: ArrayLike):
+        # Scalar fast path: the simulator's dispatch loop calls this once per query
+        # with a plain int, where the numpy round-trip costs more than the profile.
+        if type(batch_size) in (int, float):
+            if batch_size < 0:
+                raise ValueError("batch sizes must be non-negative")
+            return float(self.intercept_ms + self.per_item_ms * batch_size)
         batch = np.asarray(batch_size, dtype=float)
         if np.any(batch < 0):
             raise ValueError("batch sizes must be non-negative")

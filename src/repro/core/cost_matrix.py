@@ -105,12 +105,14 @@ def build_cost_matrix(
     check_positive(qos_headroom, "qos_headroom")
     check_positive(penalty_factor, "penalty_factor")
     if not queries or not servers:
+        # Zero queries or zero servers means zero matrix elements; the (shared) arrays
+        # carry only shape information, so one allocation serves all three float views.
         empty = np.zeros((len(queries), len(servers)))
         return CostMatrix(
             usage_ms=empty,
-            penalized_ms=empty.copy(),
-            weighted=empty.copy(),
-            qos_feasible=empty.astype(bool),
+            penalized_ms=empty,
+            weighted=empty,
+            qos_feasible=np.zeros(empty.shape, dtype=bool),
             query_ids=tuple(q.query_id for q in queries),
             server_ids=tuple(s.server_id for s in servers),
         )
@@ -120,20 +122,39 @@ def build_cost_matrix(
     batches = np.asarray([q.batch_size for q in queries], dtype=int)
     waits = np.asarray([q.waiting_time_ms(now_ms) for q in queries], dtype=float)
 
+    # One estimator call per instance *type*, not per server: deterministic estimators
+    # predict the same column for every same-type server, so it is computed once and
+    # broadcast, with only the per-server terms (remaining busy time + dispatch
+    # overhead) varying.  For a stochastic estimator (NoisyLatencyEstimator) this means
+    # one noise draw per type per round, shared by its same-type columns — the paper's
+    # prediction-noise model perturbs the controller's per-type latency belief, not
+    # individual servers, so the robustness experiment is unaffected.
+    columns_by_type: Dict[str, list] = {}
+    offsets_list = []
+    for j, server in enumerate(servers):
+        columns_by_type.setdefault(server.type_name, []).append(j)
+        busy_until = server.busy_until_ms
+        remaining = busy_until - now_ms if busy_until > now_ms else 0.0
+        offsets_list.append(remaining + server.dispatch_overhead_ms)
+
+    offsets = np.asarray(offsets_list, dtype=float)
     usage = np.empty((m, n), dtype=float)
     weights = np.empty(n, dtype=float)
-    for j, server in enumerate(servers):
-        type_name = server.type_name
+    for type_name, cols in columns_by_type.items():
         if type_name not in coefficients:
             raise KeyError(f"no heterogeneity coefficient for instance type {type_name!r}")
-        predicted = estimator.predict_many_ms(type_name, batches)
-        usage[:, j] = (
-            server.remaining_busy_ms(now_ms) + server.dispatch_overhead_ms + predicted
+        coefficient = coefficients[type_name]
+        if coefficient <= 0:
+            raise ValueError("heterogeneity coefficients must be positive")
+        predicted = np.asarray(
+            estimator.predict_many_ms(type_name, batches), dtype=float
         )
-        weights[j] = coefficients[type_name]
-
-    if np.any(weights <= 0):
-        raise ValueError("heterogeneity coefficients must be positive")
+        if cols[-1] - cols[0] + 1 == len(cols):
+            # Same-type servers are contiguous in catalog order (the common layout):
+            # basic slicing beats fancy indexing on the hot path.
+            cols = slice(cols[0], cols[-1] + 1)
+        usage[:, cols] = offsets[cols][None, :] + predicted[:, None]
+        weights[cols] = coefficient
 
     # Eq. 3 with the xi headroom: completion time (usage) plus prior waiting time must
     # stay within xi * T_qos, otherwise the pair is penalized per Eq. 8.

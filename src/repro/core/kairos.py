@@ -148,11 +148,12 @@ class KairosPlanner:
         )
 
     def update_batch_samples(self, batch_samples: Sequence[int]) -> None:
-        """Replace the monitored query-size window (load-change adaptation, Fig. 12)."""
+        """Replace the monitored query-size window (load-change adaptation, Fig. 12).
+
+        Updates the upper-bound estimator in place: the per-type QoS cutoff table is a
+        function of the profiles alone and survives the window swap, so a re-plan only
+        pays for the new mix's rates.
+        """
         samples = np.asarray(batch_samples, dtype=int)
-        if samples.size == 0:
-            raise ValueError("batch_samples must be non-empty")
+        self.estimator.update_samples(samples)
         self.batch_samples = samples
-        self.estimator = ThroughputUpperBoundEstimator(
-            self.profiles, self.model, samples, catalog=self.catalog
-        )

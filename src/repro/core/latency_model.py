@@ -77,6 +77,8 @@ class _TypeState:
     sum_bb: float = 0.0
     sum_bl: float = 0.0
     count: int = 0
+    # memoized (intercept, slope) of the current sums; None = recompute after observe
+    fit: Optional[Tuple[float, float]] = None
 
     def distinct_batches(self) -> int:
         return len(self.table)
@@ -99,12 +101,18 @@ class OnlineLatencyEstimator(LatencyEstimator):
         check_positive(cold_start_prior_ms, "cold_start_prior_ms")
         self.cold_start_prior_ms = float(cold_start_prior_ms)
         self._state: Dict[str, _TypeState] = {}
+        # Memoized prediction vectors keyed by (type, batch-vector bytes).  A scheduling
+        # round asks for the same batch vector once per instance type, and consecutive
+        # rounds often repeat the vector verbatim; entries are dropped for a type the
+        # moment it learns something new (observe), so cached vectors can never go stale.
+        self._prediction_cache: Dict[str, Dict[bytes, np.ndarray]] = {}
 
     # -- learning ---------------------------------------------------------------------
     def observe(self, instance_type: str, batch_size: int, latency_ms: float) -> None:
         check_positive(latency_ms, "latency_ms")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        self._prediction_cache.pop(instance_type, None)
         state = self._state.setdefault(instance_type, _TypeState(table={}))
         mean, count = state.table.get(int(batch_size), (0.0, 0))
         count += 1
@@ -115,6 +123,7 @@ class OnlineLatencyEstimator(LatencyEstimator):
         state.sum_bb += batch_size * batch_size
         state.sum_bl += batch_size * latency_ms
         state.count += 1
+        state.fit = None
 
     def observations(self, instance_type: str) -> int:
         """Number of observations folded in for ``instance_type``."""
@@ -130,18 +139,72 @@ class OnlineLatencyEstimator(LatencyEstimator):
         if exact is not None:
             return exact[0]
         if state.distinct_batches() >= 2:
-            intercept, slope = self._linear_fit(state)
+            intercept, slope = self._fit_of(state)
             return max(1e-6, intercept + slope * batch_size)
         # single distinct batch: proportional scaling through the origin
         only_batch, (only_mean, _) = next(iter(state.table.items()))
         return max(1e-6, only_mean * batch_size / only_batch)
+
+    def predict_many_ms(self, instance_type: str, batch_sizes) -> np.ndarray:
+        """Vectorized prediction over a batch-size vector (hot path of the ``L`` matrix).
+
+        Applies the same per-element rules as :meth:`predict_ms` — exact lookup first,
+        then the linear fit (or proportional scaling) — as whole-vector numpy
+        operations, and memoizes the result per (type, vector) until the next
+        :meth:`observe` on the type.  The returned array is shared with the cache and
+        marked read-only; copy it before mutating.
+        """
+        batches = np.atleast_1d(np.asarray(batch_sizes, dtype=int))
+        cache = self._prediction_cache.setdefault(instance_type, {})
+        key = batches.tobytes()
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        if len(cache) >= 256:
+            # A type that never receives an observe() (e.g. always penalized away)
+            # would otherwise accumulate one entry per distinct pending vector forever.
+            cache.clear()
+
+        state = self._state.get(instance_type)
+        if batches.size <= 8:
+            # Tiny vectors (near-empty pending queues) are cheaper through the scalar
+            # rules than through whole-array numpy ops.
+            predictions = np.asarray(
+                [self.predict_ms(instance_type, b) for b in batches.tolist()],
+                dtype=float,
+            )
+        elif state is None or state.count == 0:
+            predictions = np.full(batches.shape, self.cold_start_prior_ms, dtype=float)
+        else:
+            if state.distinct_batches() >= 2:
+                intercept, slope = self._fit_of(state)
+                predictions = np.maximum(1e-6, intercept + slope * batches)
+            else:
+                only_batch, (only_mean, _) = next(iter(state.table.items()))
+                predictions = np.maximum(1e-6, only_mean * batches / only_batch)
+            # exact lookup-table entries override the model, as in predict_ms
+            for batch in set(batches.tolist()):
+                exact = state.table.get(batch)
+                if exact is not None:
+                    predictions[batches == batch] = exact[0]
+        predictions.setflags(write=False)
+        cache[key] = predictions
+        return predictions
 
     def linear_coefficients(self, instance_type: str) -> Optional[Tuple[float, float]]:
         """The current (intercept, slope) fit, or ``None`` with <2 distinct batches."""
         state = self._state.get(instance_type)
         if state is None or state.distinct_batches() < 2:
             return None
-        return self._linear_fit(state)
+        return self._fit_of(state)
+
+    @classmethod
+    def _fit_of(cls, state: _TypeState) -> Tuple[float, float]:
+        """The memoized least-squares fit (recomputed only after new observations)."""
+        fit = state.fit
+        if fit is None:
+            fit = state.fit = cls._linear_fit(state)
+        return fit
 
     @staticmethod
     def _linear_fit(state: _TypeState) -> Tuple[float, float]:
@@ -173,6 +236,23 @@ class NoisyLatencyEstimator(LatencyEstimator):
         base = self.inner.predict_ms(instance_type, batch_size)
         factor = 1.0 + self.relative_std * float(self._rng.standard_normal())
         return max(1e-6, base * factor)
+
+    def predict_many_ms(self, instance_type: str, batch_sizes) -> np.ndarray:
+        """Vectorized noisy prediction: one rng vector draw over the inner predictions.
+
+        Without this override every cost-matrix build fell back to the per-element
+        Python loop of :meth:`LatencyEstimator.predict_many_ms` (one scalar normal draw
+        per entry); the white-noise model is unchanged — i.i.d. Gaussian factors per
+        predicted element — only drawn as a single vector.  Note that the cost-matrix
+        builder calls this once per instance *type* per round, so within one round all
+        same-type servers see the same noisy prediction vector (the noise perturbs the
+        controller's belief about a type, not individual servers).
+        """
+        base = np.asarray(
+            self.inner.predict_many_ms(instance_type, batch_sizes), dtype=float
+        )
+        factors = 1.0 + self.relative_std * self._rng.standard_normal(base.shape)
+        return np.maximum(1e-6, base * factors)
 
     def observe(self, instance_type: str, batch_size: int, latency_ms: float) -> None:
         self.inner.observe(instance_type, batch_size, latency_ms)

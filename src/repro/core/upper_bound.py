@@ -122,6 +122,61 @@ def upper_bound_from_rates(
     return max(value, base_count * q_b)
 
 
+def _bounds_for_group(
+    base_counts: np.ndarray,
+    q_b: float,
+    q_b_splus: float,
+    aux_rate: np.ndarray,
+    f: float,
+) -> np.ndarray:
+    """Vectorized :func:`upper_bound_from_rates` for configurations sharing a cutoff.
+
+    ``f``, ``q_b`` and ``q_b_splus`` are scalars for the whole group; ``base_counts``
+    and ``aux_rate`` vary per configuration.  The branch structure mirrors the scalar
+    function case for case so results are bit-identical.
+    """
+    values = np.empty(base_counts.shape, dtype=float)
+
+    # Degenerate: no base instances (q_b > 0 is guaranteed by _mean_rate).
+    no_base = (base_counts == 0) | (q_b <= 0)
+    values[no_base] = aux_rate[no_base] if f >= 1.0 - 1e-12 else 0.0
+    rest = ~no_base
+    if not np.any(rest):
+        return values
+
+    if f <= 0.0:
+        # No query fits the auxiliary types (also covers aux_rate == 0: same formula).
+        values[rest] = base_counts[rest] * q_b
+        return values
+    if f >= 1.0 - 1e-12:
+        # Every query fits the auxiliary types; adding 0 when aux_rate == 0 matches
+        # the scalar's homogeneous branch exactly.
+        values[rest] = aux_rate[rest] + base_counts[rest] * q_b
+        return values
+
+    # Configurations whose present aux types all have rate 0 reduce to base-only.
+    no_aux_rate = rest & (aux_rate <= 0)
+    values[no_aux_rate] = base_counts[no_aux_rate] * q_b
+    main = rest & ~no_aux_rate
+    if not np.any(main):
+        return values
+
+    base = base_counts[main]
+    rate = aux_rate[main]
+    offload_rate = (1.0 - f) / f * rate  # Eq. 14's C term
+    base_splus_capacity = base * q_b_splus
+    base_bottleneck = base_splus_capacity <= offload_rate
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slack_ratio = (base_splus_capacity - offload_rate) / base_splus_capacity
+        value = np.where(
+            base_bottleneck,
+            base_splus_capacity / (1.0 - f),  # Eq. 9 / 12
+            rate / f + slack_ratio * base * q_b,  # Eq. 11 / 13 / 15
+        )
+    values[main] = np.maximum(value, base * q_b)  # same soundness floor as the scalar
+    return values
+
+
 class ThroughputUpperBoundEstimator:
     """Computes Eq. 15 upper bounds for arbitrary configurations of one model.
 
@@ -178,6 +233,23 @@ class ThroughputUpperBoundEstimator:
     def base_type_name(self) -> str:
         return self._base_name
 
+    def update_samples(self, batch_samples: Sequence[int]) -> None:
+        """Replace the monitored query-size window in place.
+
+        Only the sample-dependent state is recomputed (the per-cutoff rate cache and
+        the base full-mix rate); the per-type QoS cutoff table depends solely on the
+        profiles and the model, so re-plans keep it instead of re-deriving every
+        cutoff from scratch the way rebuilding the estimator would.
+        """
+        samples = np.asarray(batch_samples, dtype=int)
+        if samples.size == 0:
+            raise ValueError("batch_samples must be non-empty")
+        if np.any(samples < 1):
+            raise ValueError("batch sizes must be >= 1")
+        self._samples = samples
+        self._cache.clear()
+        self._q_b_full = self._mean_rate(self._base_name, samples)
+
     def cutoff_of(self, type_name: str) -> int:
         """QoS cutoff batch size ``s_j`` of an instance type."""
         return self._cutoffs[type_name]
@@ -219,8 +291,69 @@ class ThroughputUpperBoundEstimator:
         )
 
     def upper_bounds(self, configs: Sequence[HeterogeneousConfig]) -> np.ndarray:
-        """Vector of upper bounds for many configurations."""
-        return np.asarray([self.upper_bound(c) for c in configs], dtype=float)
+        """Vector of upper bounds for many configurations (vectorized fast path)."""
+        return self.upper_bounds_batch(configs)
+
+    def upper_bounds_batch(self, configs: Sequence[HeterogeneousConfig]) -> np.ndarray:
+        """Eq. 15 over a whole configuration space as grouped numpy array math.
+
+        The space is partitioned by the effective cutoff ``s`` (the maximum cutoff of
+        the auxiliary types present in a configuration); all configurations sharing a
+        cutoff share the same ``(f, Q_b^{s+}, Q_a)`` rates, so the bound reduces to
+        arithmetic over per-group count vectors.  Produces bit-identical values to the
+        scalar :meth:`upper_bound` — the planner's ranking is unchanged, only ~100x
+        cheaper at Fig. 15a-scale spaces.
+        """
+        configs = list(configs)
+        if not configs:
+            return np.zeros(0, dtype=float)
+        names = list(self.catalog.names)
+        if not all(c.catalog is self.catalog for c in configs):
+            # Identity check first: name-list comparison per config is itself hot-path
+            # overhead, and enumerate_configs spaces all share one catalog object.
+            if any(
+                list(c.catalog.names) != names
+                for c in configs
+                if c.catalog is not self.catalog
+            ):
+                # Foreign catalogs fall back to the scalar path (name-based lookups).
+                return np.asarray([self.upper_bound(c) for c in configs], dtype=float)
+
+        counts = np.asarray([c.counts for c in configs], dtype=int)
+        base_index = self.catalog.index_of(self._base_name)
+        aux_indices = [i for i in range(len(names)) if i != base_index]
+        aux_names = [names[i] for i in aux_indices]
+        q_b = self._q_b_full
+
+        base_counts = counts[:, base_index].astype(float)
+        bounds = np.empty(len(configs), dtype=float)
+        if not aux_indices:
+            # Single-type catalog: every configuration is base-only.
+            bounds[:] = base_counts * q_b
+            return bounds
+
+        aux_counts = counts[:, aux_indices]
+        present = aux_counts > 0
+        cutoffs = np.asarray([self._cutoffs[name] for name in aux_names], dtype=int)
+        # effective cutoff s = max cutoff over the aux types present (-1: no aux)
+        s_values = np.where(present, cutoffs[None, :], -1).max(axis=1)
+
+        no_aux = s_values < 0
+        bounds[no_aux] = base_counts[no_aux] * q_b
+
+        for s in np.unique(s_values[~no_aux]):
+            group = s_values == s
+            f, q_b_splus, q_a_by_type = self._rates_for_cutoff(int(s))
+            q_a = [q_a_by_type[name] for name in aux_names]
+            group_counts = aux_counts[group]
+            # accumulate in catalog order, matching the scalar sum term by term
+            aux_rate = np.zeros(group_counts.shape[0], dtype=float)
+            for k in range(len(aux_names)):
+                aux_rate = aux_rate + group_counts[:, k] * q_a[k]
+            bounds[group] = _bounds_for_group(
+                base_counts[group], q_b, q_b_splus, aux_rate, f
+            )
+        return bounds
 
     def rank_configs(
         self, configs: Sequence[HeterogeneousConfig]
@@ -228,7 +361,8 @@ class ThroughputUpperBoundEstimator:
         """Configurations sorted by decreasing upper bound (ties keep input order)."""
         bounds = self.upper_bounds(configs)
         order = np.argsort(-bounds, kind="stable")
-        return [(configs[int(i)], float(bounds[int(i)])) for i in order]
+        values = bounds[order].tolist()  # bulk-convert: no per-element numpy boxing
+        return [(configs[i], value) for i, value in zip(order.tolist(), values)]
 
     # -- internals ------------------------------------------------------------------------
     def _rates_for_cutoff(self, s: int) -> Tuple[float, float, Dict[str, float]]:

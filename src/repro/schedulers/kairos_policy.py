@@ -125,37 +125,48 @@ class KairosPolicy(SchedulingPolicy):
     ) -> List[Decision]:
         if self._distributor is None:
             raise RuntimeError("policy used before bind()")
+        if not pending:
+            return []
         self._rounds += 1
         if self._rounds % self._refresh_interval == 0 and not self._use_perfect:
             self._rebuild_distributor()
 
-        eligible_indices = [
-            i for i, s in enumerate(cluster) if s.local_queue_depth <= 1
-        ]
+        eligible_indices: List[int] = []
+        servers = []
+        for i, server in enumerate(cluster):
+            if server.local_queue_depth <= 1:
+                eligible_indices.append(i)
+                servers.append(server)
         if not eligible_indices:
             return []
-        servers = [cluster[i] for i in eligible_indices]
         round_result = self._distributor.distribute(now_ms, pending, servers)
         decisions: List[Decision] = []
+        # The cluster's type set is invariant within a round; derive it at most once
+        # per round instead of per deferred assignment.
+        round_types: Optional[set] = None
         for assignment in round_result.assignments:
-            if (
-                self._defer_violations
-                and not assignment.predicted_feasible
-                and not self._is_hopeless(assignment.query, cluster, now_ms)
-            ):
-                # Keep the query in the central queue; a better slot may open up before
-                # its deadline, and Eq. 3's waiting-time term will prioritize it then.
-                continue
+            if self._defer_violations and not assignment.predicted_feasible:
+                if round_types is None:
+                    round_types = set(cluster.type_names())
+                if not self._is_hopeless(assignment.query, round_types, now_ms):
+                    # Keep the query in the central queue; a better slot may open up
+                    # before its deadline, and Eq. 3's waiting-time term will
+                    # prioritize it then.
+                    continue
             decisions.append((assignment.query, eligible_indices[assignment.server_index]))
         return decisions
 
-    def _is_hopeless(self, query: Query, cluster: Cluster, now_ms: float) -> bool:
-        """True when no instance type could meet the query's deadline even if idle now."""
+    def _is_hopeless(self, query: Query, type_names, now_ms: float) -> bool:
+        """True when no instance type could meet the query's deadline even if idle now.
+
+        ``type_names`` is the set of instance-type names present in the round's
+        cluster (computed once per scheduling round by :meth:`schedule`).
+        """
         assert self._estimator is not None
         budget = self._qos_headroom * self.qos_ms - query.waiting_time_ms(now_ms)
         if budget <= 0:
             return True
-        for type_name in set(cluster.type_names()):
+        for type_name in type_names:
             if self._estimator.predict_ms(type_name, query.batch_size) <= budget:
                 return False
         return True

@@ -35,6 +35,7 @@ from repro.sim.cluster import Cluster, ClusterView
 from repro.sim.engine import EventQueue, SimulationClock
 from repro.sim.events import Event, EventKind, ScaleRequest
 from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.sim.pending import PendingQueue
 from repro.sim.server import ServerInstance, ServiceNoiseModel
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_non_negative
@@ -177,7 +178,7 @@ class ElasticServingSimulation:
             events.push(Event(q.arrival_time_ms, EventKind.QUERY_ARRIVAL, q))
         events.push_all(self.scripted_events)
 
-        pending: List[Query] = []
+        pending = PendingQueue()
         warmup_ids = {q.query_id for q in ordered[: self.warmup_queries]}
         # Scale-ups in flight: reserved ids per type that have not fired INSTANCE_READY
         # yet.  A scale-down cancels these (newest first) before draining live servers,
@@ -240,7 +241,7 @@ class ElasticServingSimulation:
 
             # scheduling round over the accepting servers
             if pending and len(view):
-                assignments = self.policy.schedule(now, list(pending), view)
+                assignments = self.policy.schedule(now, pending.snapshot(), view)
                 rounds += 1
                 if assignments:
                     dispatched += self._commit(assignments, pending, view, now, events)
@@ -397,20 +398,20 @@ class ElasticServingSimulation:
     def _commit(
         self,
         assignments: Sequence[Tuple[Query, int]],
-        pending: List[Query],
+        pending: PendingQueue,
         view: ClusterView,
         now: float,
         events: EventQueue,
     ) -> int:
-        pending_ids = {q.query_id for q in pending}
         count = 0
         for query, server_idx in assignments:
-            if query.query_id not in pending_ids:
+            if query.query_id not in pending:
                 raise ValueError(
                     f"policy assigned query {query.query_id}, which is not pending"
                 )
             if not 0 <= server_idx < len(view):
                 raise ValueError(f"policy assigned an unknown server index {server_idx}")
+            pending.remove(query.query_id)
             server = view[server_idx]
             start, completion, service = server.dispatch(
                 query, now, noise=self.noise, rng=self.rng
@@ -424,9 +425,7 @@ class ElasticServingSimulation:
                 service_ms=service,
             )
             events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
-            pending_ids.discard(query.query_id)
             count += 1
-        pending[:] = [q for q in pending if q.query_id in pending_ids]
         return count
 
 

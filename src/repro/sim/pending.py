@@ -1,0 +1,86 @@
+"""The central controller's pending queue, without per-round list churn.
+
+The serving simulators used to copy the whole pending list every scheduling round
+(``list(pending)``), rebuild a ``query_id`` set on every commit, and reconstruct the
+list after each round (``pending[:] = [q for q in pending if ...]``) — O(n) work per
+commit that turns long backlogs into O(n^2) churn.  :class:`PendingQueue` keeps the
+same arrival-ordered semantics with O(1) membership tests, O(1) removal (tombstones +
+amortized compaction), and a memoized snapshot that is only rebuilt when the queue
+actually changed between rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.workload.query import Query
+
+
+class PendingQueue:
+    """Arrival-ordered pending queries with O(1) lookup/removal by ``query_id``.
+
+    The iteration/snapshot order is exactly the append order of the still-pending
+    queries — identical to the plain-list implementation it replaces, which is what
+    keeps optimized runs byte-identical per seed.
+    """
+
+    __slots__ = ("_entries", "_positions", "_live", "_snapshot")
+
+    def __init__(self) -> None:
+        self._entries: List[Optional[Query]] = []
+        self._positions: Dict[int, int] = {}
+        self._live = 0
+        self._snapshot: Optional[List[Query]] = None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._positions
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.snapshot())
+
+    def append(self, query: Query) -> None:
+        """Admit one arriving query (ids must be unique among pending queries)."""
+        if query.query_id in self._positions:
+            raise ValueError(f"query {query.query_id} is already pending")
+        self._positions[query.query_id] = len(self._entries)
+        self._entries.append(query)
+        self._live += 1
+        self._snapshot = None
+
+    def remove(self, query_id: int) -> Query:
+        """Remove (and return) a pending query by id; raises ``KeyError`` if absent.
+
+        Removal leaves a tombstone; the backing list is compacted once more than half
+        of it is tombstones, keeping removal O(1) amortized while preserving order.
+        """
+        position = self._positions.pop(query_id, None)
+        if position is None:
+            raise KeyError(query_id)
+        query = self._entries[position]
+        assert query is not None
+        self._entries[position] = None
+        self._live -= 1
+        self._snapshot = None
+        if len(self._entries) > 32 and self._live * 2 < len(self._entries):
+            self._compact()
+        return query
+
+    def snapshot(self) -> List[Query]:
+        """The pending queries in arrival order.
+
+        The returned list is memoized until the next ``append``/``remove`` — callers
+        (scheduling policies) must treat it as read-only.
+        """
+        if self._snapshot is None:
+            self._snapshot = [q for q in self._entries if q is not None]
+        return self._snapshot
+
+    def _compact(self) -> None:
+        self._entries = [q for q in self._entries if q is not None]
+        self._positions = {q.query_id: i for i, q in enumerate(self._entries)}

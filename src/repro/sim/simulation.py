@@ -31,6 +31,7 @@ from repro.sim.cluster import Cluster
 from repro.sim.engine import EventQueue, SimulationClock
 from repro.sim.events import Event, EventKind
 from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.sim.pending import PendingQueue
 from repro.sim.server import ServiceNoiseModel
 from repro.utils.rng import RngLike, ensure_rng
 from repro.workload.query import Query
@@ -104,7 +105,7 @@ class ServingSimulation:
 
         clock = SimulationClock(0.0)
         completions = EventQueue()
-        pending: List[Query] = []
+        pending = PendingQueue()
         arrival_idx = 0
         n = len(ordered)
         dispatched = 0
@@ -161,7 +162,7 @@ class ServingSimulation:
             # 3. ask the policy for assignments
             made_progress = False
             if pending:
-                assignments = self.policy.schedule(now, list(pending), self.cluster)
+                assignments = self.policy.schedule(now, pending.snapshot(), self.cluster)
                 rounds += 1
                 if assignments:
                     dispatched += self._commit(assignments, pending, now, completions)
@@ -193,19 +194,19 @@ class ServingSimulation:
     def _commit(
         self,
         assignments: Sequence[Tuple[Query, int]],
-        pending: List[Query],
+        pending: PendingQueue,
         now: float,
         completions: EventQueue,
     ) -> int:
-        pending_ids = {q.query_id for q in pending}
         count = 0
         for query, server_idx in assignments:
-            if query.query_id not in pending_ids:
+            if query.query_id not in pending:
                 raise ValueError(
                     f"policy assigned query {query.query_id}, which is not pending"
                 )
             if not 0 <= server_idx < len(self.cluster):
                 raise ValueError(f"policy assigned an unknown server index {server_idx}")
+            pending.remove(query.query_id)
             server = self.cluster[server_idx]
             start, completion, service = server.dispatch(
                 query, now, noise=self.noise, rng=self.rng
@@ -219,10 +220,7 @@ class ServingSimulation:
                 service_ms=service,
             )
             completions.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
-            pending_ids.discard(query.query_id)
             count += 1
-        # preserve arrival order of whatever was not assigned
-        pending[:] = [q for q in pending if q.query_id in pending_ids]
         return count
 
 

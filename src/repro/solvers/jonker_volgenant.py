@@ -41,6 +41,14 @@ def jonker_volgenant_assignment(cost: np.ndarray) -> Tuple[np.ndarray, np.ndarra
     if not np.all(np.isfinite(cost)):
         raise ValueError("cost matrix must be finite; encode forbidden pairs as large penalties")
 
+    # Single-row / single-column matchings are a plain argmin; np.argmin returns the
+    # first minimum, which is exactly the tie-break the Dijkstra loop below applies on
+    # its first step (all columns open and unassigned), so the fast path is identical.
+    if m == 1:
+        return np.zeros(1, dtype=int), np.asarray([np.argmin(cost[0])], dtype=int)
+    if n == 1:
+        return np.asarray([np.argmin(cost[:, 0])], dtype=int), np.zeros(1, dtype=int)
+
     if m > n:
         cols, rows = jonker_volgenant_assignment(cost.T)
         order = np.argsort(rows)

@@ -1,0 +1,96 @@
+"""The perf harness: calibration, result records, regression gate, smoke execution."""
+
+import numpy as np
+import pytest
+
+from repro.bench import BENCHMARKS, PRESETS, BenchResult, machine_score, run_benchmarks
+from repro.bench.runner import Regression, compare_results, time_throughput
+
+
+class TestMachineScore:
+    def test_positive_and_repeatable_order_of_magnitude(self):
+        a = machine_score(repeats=1)
+        b = machine_score(repeats=1)
+        assert a > 0 and b > 0
+        assert 0.2 < a / b < 5.0  # same host: same ballpark
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            machine_score(repeats=0)
+
+
+class TestBenchResult:
+    def test_key_and_normalization(self):
+        result = BenchResult("x", "quick", value=100.0, unit="ops/s", wall_seconds=0.5)
+        assert result.key == "x@quick"
+        assert result.normalized(50.0) == pytest.approx(2.0)
+        payload = result.as_dict(50.0)
+        assert payload["value"] == 100.0 and payload["normalized"] == pytest.approx(2.0)
+
+    def test_normalization_rejects_bad_score(self):
+        result = BenchResult("x", "quick", value=1.0, unit="u", wall_seconds=0.1)
+        with pytest.raises(ValueError):
+            result.normalized(0.0)
+
+
+class TestTimeThroughput:
+    def test_counts_units_over_wall_time(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            return 10.0
+
+        rate, wall = time_throughput(work, min_seconds=0.01)
+        assert rate > 0 and wall > 0
+        # either the wall-time floor was reached or the round cap kicked in
+        assert wall >= 0.01 or len(calls) == 50
+
+
+class TestCompareResults:
+    def test_detects_regression_beyond_tolerance(self):
+        regressions = compare_results({"a@q": 0.5}, {"a@q": 1.0}, tolerance=0.30)
+        assert len(regressions) == 1
+        assert isinstance(regressions[0], Regression)
+        assert regressions[0].ratio == pytest.approx(0.5)
+
+    def test_within_tolerance_passes(self):
+        assert compare_results({"a@q": 0.75}, {"a@q": 1.0}, tolerance=0.30) == []
+
+    def test_improvement_passes(self):
+        assert compare_results({"a@q": 5.0}, {"a@q": 1.0}) == []
+
+    def test_only_shared_keys_compared(self):
+        regressions = compare_results(
+            {"new@q": 0.01}, {"old@q": 1.0}, tolerance=0.30
+        )
+        assert regressions == []  # disjoint keys cannot regress
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            compare_results({}, {}, tolerance=0.0)
+        with pytest.raises(ValueError):
+            compare_results({}, {}, tolerance=1.0)
+
+
+class TestRunBenchmarks:
+    def test_smoke_preset_runs_every_benchmark(self):
+        results = run_benchmarks("smoke")
+        assert [r.name for r in results] == list(BENCHMARKS)
+        for result in results:
+            assert result.preset == "smoke"
+            assert result.value > 0
+            assert result.wall_seconds > 0
+
+    def test_subset_selection(self):
+        results = run_benchmarks("smoke", names=["cost_matrix"])
+        assert [r.name for r in results] == ["cost_matrix"]
+
+    def test_unknown_preset_and_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_benchmarks("galactic")
+        with pytest.raises(KeyError):
+            run_benchmarks("smoke", names=["nope"])
+
+    def test_presets_cover_ci_and_reference_scales(self):
+        assert {"smoke", "quick", "full"} <= set(PRESETS)

@@ -1,0 +1,178 @@
+"""The vectorized cost-matrix fast path: call counts, golden equivalence, empty cases.
+
+The optimization contract is strict: one ``predict_many_ms`` call per instance *type*
+per scheduling round (instead of one per server), and an ``L`` matrix element-wise
+identical to the seed per-server implementation (reproduced here as
+``reference_build_cost_matrix``).
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.core.cost_matrix import CostMatrix, build_cost_matrix
+from repro.core.latency_model import (
+    LatencyEstimator,
+    OnlineLatencyEstimator,
+    PerfectLatencyEstimator,
+)
+from repro.schedulers.kairos_policy import KairosPolicy
+from repro.sim.cluster import Cluster
+from repro.workload.query import Query
+
+
+class CountingEstimator(LatencyEstimator):
+    """Delegates to an inner estimator, counting ``predict_many_ms`` calls per type."""
+
+    def __init__(self, inner: LatencyEstimator):
+        self.inner = inner
+        self.many_calls = Counter()
+        self.scalar_calls = Counter()
+
+    def predict_ms(self, instance_type, batch_size):
+        self.scalar_calls[instance_type] += 1
+        return self.inner.predict_ms(instance_type, batch_size)
+
+    def predict_many_ms(self, instance_type, batch_sizes):
+        self.many_calls[instance_type] += 1
+        return self.inner.predict_many_ms(instance_type, batch_sizes)
+
+    def observe(self, instance_type, batch_size, latency_ms):
+        self.inner.observe(instance_type, batch_size, latency_ms)
+
+
+def reference_build_cost_matrix(queries, servers, estimator, now_ms, qos_ms, coefficients):
+    """The seed implementation: one estimator call per *server*, per-column assembly."""
+    m, n = len(queries), len(servers)
+    batches = np.asarray([q.batch_size for q in queries], dtype=int)
+    waits = np.asarray([q.waiting_time_ms(now_ms) for q in queries], dtype=float)
+    usage = np.empty((m, n), dtype=float)
+    weights = np.empty(n, dtype=float)
+    for j, server in enumerate(servers):
+        predicted = estimator.predict_many_ms(server.type_name, batches)
+        usage[:, j] = (
+            server.remaining_busy_ms(now_ms) + server.dispatch_overhead_ms + predicted
+        )
+        weights[j] = coefficients[server.type_name]
+    feasible = (usage + waits[:, None]) <= 0.98 * qos_ms + 1e-9
+    penalized = np.where(feasible, usage, 10.0 * qos_ms)
+    weighted = penalized * weights[None, :]
+    return usage, penalized, weighted, feasible
+
+
+@pytest.fixture
+def mixed_cluster(profiles, rm2, catalog):
+    """3 instance types, multiple servers each, staggered busy times."""
+    config = HeterogeneousConfig((3, 2, 4, 0), catalog)
+    cluster = Cluster(config, rm2, profiles)
+    for i, server in enumerate(cluster):
+        server.busy_until_ms = float((i * 13) % 50)
+    return cluster
+
+
+COEFFS = {"g4dn.xlarge": 1.0, "c5n.2xlarge": 0.5, "r5n.large": 0.2, "t3.xlarge": 0.1}
+
+
+def _queries(rng, count, max_batch=1000):
+    batches = rng.integers(1, max_batch + 1, size=count)
+    return [Query(i, int(b), float(i)) for i, b in enumerate(batches)]
+
+
+class TestEstimatorCallCounts:
+    def test_one_predict_many_call_per_type(self, mixed_cluster, profiles, rm2, rng):
+        counting = CountingEstimator(PerfectLatencyEstimator(profiles, rm2))
+        queries = _queries(rng, 12)
+        build_cost_matrix(queries, mixed_cluster.servers, counting, 100.0, rm2.qos_ms, COEFFS)
+        present_types = set(mixed_cluster.type_names())
+        assert set(counting.many_calls) == present_types
+        assert all(count == 1 for count in counting.many_calls.values())
+
+    def test_one_call_per_type_per_scheduling_round(self, mixed_cluster, profiles, rm2, rng):
+        counting = CountingEstimator(PerfectLatencyEstimator(profiles, rm2))
+        policy = KairosPolicy(estimator=counting)
+        policy.bind(mixed_cluster, rm2.qos_ms)
+        counting.many_calls.clear()
+        queries = _queries(rng, 6)
+        for round_idx in range(3):
+            policy.schedule(50.0 * round_idx, queries, mixed_cluster)
+        present_types = set(mixed_cluster.type_names())
+        assert set(counting.many_calls) == present_types
+        assert all(count == 3 for count in counting.many_calls.values())
+
+    def test_empty_pending_short_circuits(self, mixed_cluster, profiles, rm2):
+        counting = CountingEstimator(PerfectLatencyEstimator(profiles, rm2))
+        policy = KairosPolicy(estimator=counting)
+        policy.bind(mixed_cluster, rm2.qos_ms)
+        counting.many_calls.clear()
+        counting.scalar_calls.clear()
+        assert policy.schedule(0.0, [], mixed_cluster) == []
+        assert not counting.many_calls and not counting.scalar_calls
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("estimator_kind", ["perfect", "online"])
+    def test_identical_to_seed_implementation(
+        self, mixed_cluster, profiles, rm2, rng, estimator_kind
+    ):
+        if estimator_kind == "perfect":
+            estimator = PerfectLatencyEstimator(profiles, rm2)
+        else:
+            estimator = OnlineLatencyEstimator()
+            for server in mixed_cluster:
+                profile = profiles.profile(rm2, server.instance_type)
+                for batch in (1, 100, 700):
+                    estimator.observe(
+                        server.type_name, batch, float(profile.latency_ms(batch))
+                    )
+        for trial in range(5):
+            queries = _queries(np.random.default_rng(trial), 1 + 7 * trial)
+            now_ms = 37.0 * trial
+            matrix = build_cost_matrix(
+                queries, mixed_cluster.servers, estimator, now_ms, rm2.qos_ms, COEFFS
+            )
+            usage, penalized, weighted, feasible = reference_build_cost_matrix(
+                queries, mixed_cluster.servers, estimator, now_ms, rm2.qos_ms, COEFFS
+            )
+            # element-wise identical, not approximately equal
+            assert np.array_equal(matrix.usage_ms, usage)
+            assert np.array_equal(matrix.penalized_ms, penalized)
+            assert np.array_equal(matrix.weighted, weighted)
+            assert np.array_equal(matrix.qos_feasible, feasible)
+
+    def test_non_contiguous_type_layout(self, profiles, rm2, catalog, rng):
+        """Interleaved types (elastic clusters after scale events) take the fancy path."""
+        config = HeterogeneousConfig((2, 0, 2, 0), catalog)
+        cluster = Cluster(config, rm2, profiles)
+        cluster.add_server("g4dn.xlarge")  # base type appended after r5n servers
+        servers = cluster.servers
+        assert servers[-1].type_name == servers[0].type_name  # interleaved layout
+        estimator = PerfectLatencyEstimator(profiles, rm2)
+        queries = _queries(rng, 9)
+        matrix = build_cost_matrix(queries, servers, estimator, 0.0, rm2.qos_ms, COEFFS)
+        usage, penalized, weighted, feasible = reference_build_cost_matrix(
+            queries, servers, estimator, 0.0, rm2.qos_ms, COEFFS
+        )
+        assert np.array_equal(matrix.usage_ms, usage)
+        assert np.array_equal(matrix.weighted, weighted)
+
+
+class TestEmptyCases:
+    def test_no_queries_allocates_nothing(self, mixed_cluster, profiles, rm2):
+        estimator = CountingEstimator(PerfectLatencyEstimator(profiles, rm2))
+        matrix = build_cost_matrix(
+            [], mixed_cluster.servers, estimator, 0.0, rm2.qos_ms, COEFFS
+        )
+        assert matrix.shape == (0, len(mixed_cluster))
+        assert matrix.usage_ms.size == 0
+        assert matrix.qos_feasible.dtype == bool
+        assert not estimator.many_calls  # no estimator traffic for the empty matrix
+        assert matrix.feasible_fraction() == 0.0
+
+    def test_no_servers(self, profiles, rm2, rng):
+        estimator = PerfectLatencyEstimator(profiles, rm2)
+        matrix = build_cost_matrix(_queries(rng, 3), [], estimator, 0.0, rm2.qos_ms, COEFFS)
+        assert matrix.shape == (3, 0)
+        assert matrix.usage_ms.size == 0
+        assert isinstance(matrix, CostMatrix)

@@ -52,6 +52,23 @@ class TestJonkerVolgenant:
         rows, cols = jonker_volgenant_assignment(cost)
         assert cost[rows, cols].sum() == pytest.approx(4.0)
 
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 7), (1, 24), (7, 1), (24, 1)])
+    def test_single_row_or_column_fast_path(self, rng, shape):
+        for _ in range(5):
+            cost = random_costs(rng, *shape)
+            rows, cols = jonker_volgenant_assignment(cost)
+            assert len(rows) == 1
+            assert cost[rows, cols].sum() == pytest.approx(scipy_cost(cost))
+
+    def test_single_row_tie_break_is_first_minimum(self):
+        # the fast path must keep the Dijkstra loop's first-open-column tie-break
+        cost = np.array([[3.0, 1.0, 1.0, 2.0, 1.0]])
+        rows, cols = jonker_volgenant_assignment(cost)
+        assert rows.tolist() == [0] and cols.tolist() == [1]
+        cost_col = np.array([[5.0], [2.0], [2.0], [4.0]])
+        rows, cols = jonker_volgenant_assignment(cost_col)
+        assert rows.tolist() == [1] and cols.tolist() == [0]
+
     def test_empty_matrix(self):
         rows, cols = jonker_volgenant_assignment(np.zeros((0, 3)))
         assert rows.size == 0 and cols.size == 0

@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Perf-benchmark runner: measure the hot paths, gate regressions, emit BENCH_perf.json.
+
+Usage::
+
+    python tools/bench.py --quick            # CI bench-smoke scale
+    python tools/bench.py --full             # committed reference scale
+    python tools/bench.py                    # both presets
+    python tools/bench.py --set-baseline     # record this run as the pre-optimization
+                                             # baseline block (done once, before a perf PR)
+
+The output file (default ``BENCH_perf.json`` at the repository root) holds, per
+``benchmark@preset`` key, the raw throughput, the machine-normalized throughput, and the
+carried-forward *baseline* (the pre-optimization numbers measured by this same harness).
+On every run the freshly measured normalized numbers are compared against the committed
+file; any benchmark that regressed by more than ``--tolerance`` (default 30%) makes the
+run exit non-zero — that comparison is the ``bench-smoke`` stage of ``tools/ci.sh``.
+
+Results from presets that were not run are carried over from the committed file, so a
+``--quick`` CI run never erases the committed ``full`` numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.runner import (  # noqa: E402
+    compare_results,
+    environment_fingerprint,
+    machine_score,
+    run_benchmarks,
+)
+from repro.bench.suites import BENCHMARKS  # noqa: E402
+
+SCHEMA = 1
+
+
+def load_committed(path: Path) -> dict:
+    if not path.exists():
+        return {}
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: could not read {path}: {exc}", file=sys.stderr)
+        return {}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="run only the quick preset")
+    parser.add_argument("--full", action="store_true", help="run only the full preset")
+    parser.add_argument(
+        "--names",
+        default=None,
+        help="comma-separated benchmark subset (default: all): "
+        + ",".join(BENCHMARKS),
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="output/committed-baseline file (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression vs the committed file (default 0.30)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the regression gate against the committed file",
+    )
+    parser.add_argument(
+        "--set-baseline",
+        action="store_true",
+        help="record this run's normalized numbers as the baseline block",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", help="measure and compare but do not write"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick and args.full:
+        parser.error("--quick and --full are mutually exclusive (default runs both)")
+    presets = ["quick"] if args.quick else ["full"] if args.full else ["quick", "full"]
+    names = args.names.split(",") if args.names else None
+
+    score = machine_score()
+    print(f"machine score: {score:.2f} (normalization divisor)")
+
+    results = []
+    for preset in presets:
+        print(f"== preset: {preset} ==")
+        for result in run_benchmarks(preset, names=names):
+            print(
+                f"  {result.key:<24} {result.value:>12.2f} {result.unit:<10} "
+                f"(normalized {result.normalized(score):.4f}, "
+                f"wall {result.wall_seconds:.2f}s)"
+            )
+            results.append(result)
+
+    committed = load_committed(args.output)
+    committed_results = committed.get("results", {})
+    current_normalized = {r.key: r.normalized(score) for r in results}
+
+    exit_code = 0
+    if not args.no_compare and committed_results:
+        committed_normalized = {
+            key: entry["normalized"]
+            for key, entry in committed_results.items()
+            if isinstance(entry, dict) and "normalized" in entry
+        }
+        regressions = compare_results(
+            current_normalized, committed_normalized, tolerance=args.tolerance
+        )
+        for reg in regressions:
+            print(
+                f"REGRESSION: {reg.key} at {reg.ratio:.2f}x of the committed number "
+                f"({reg.current:.4f} vs {reg.committed:.4f} normalized)",
+                file=sys.stderr,
+            )
+        if regressions:
+            exit_code = 1
+        else:
+            shared = sorted(set(current_normalized) & set(committed_normalized))
+            print(f"regression gate passed ({len(shared)} benchmarks compared)")
+
+    # Merge: presets not run this time keep their committed numbers.
+    merged_results = dict(committed_results)
+    for result in results:
+        merged_results[result.key] = result.as_dict(score)
+
+    baseline = dict(committed.get("baseline", {}))
+    if args.set_baseline:
+        baseline.update(current_normalized)
+        print(f"baseline block set for {len(current_normalized)} benchmarks")
+
+    speedups = {
+        key: merged_results[key]["normalized"] / baseline[key]
+        for key in sorted(set(merged_results) & set(baseline))
+        if baseline[key] > 0
+    }
+    for key, ratio in speedups.items():
+        print(f"  speedup vs baseline: {key:<24} {ratio:.2f}x")
+
+    if exit_code != 0:
+        # Never persist regressed numbers: rewriting the file here would make an
+        # immediate rerun compare against the regression and pass, defeating the gate.
+        print("not writing output: fix the regression (or raise --tolerance) first",
+              file=sys.stderr)
+        return exit_code
+
+    payload = {
+        "schema": SCHEMA,
+        "description": (
+            "Perf-harness numbers for the reproduction's hot paths; see "
+            "src/repro/bench and benchmarks/README.md. 'baseline' holds the "
+            "pre-optimization numbers measured by this same harness."
+        ),
+        "machine_score": score,
+        "environment": environment_fingerprint(),
+        "results": merged_results,
+        "baseline": baseline,
+        "speedup_vs_baseline": speedups,
+    }
+    if not args.dry_run:
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

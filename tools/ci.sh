@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the full unit/property/integration suite plus the `smoke`
 # benchmark subset (the fastest scenario per figure family), so figure-level
-# regressions surface without paying for the full benchmark matrix.
+# regressions surface without paying for the full benchmark matrix, and the
+# `bench-smoke` perf stage, which re-measures the hot paths at the quick scale
+# and fails on a >30% machine-normalized regression against the committed
+# BENCH_perf.json.
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -14,5 +17,8 @@ python -m pytest tests -x -q "$@"
 
 echo "== smoke benchmarks =="
 python -m pytest benchmarks -m smoke -q "$@"
+
+echo "== bench-smoke: perf regression gate =="
+python tools/bench.py --quick
 
 echo "CI gate passed."
