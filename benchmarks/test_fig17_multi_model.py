@@ -1,0 +1,50 @@
+"""Fig. 17 (multi-model): joint shared-budget co-location vs. independent clusters.
+
+Beyond the paper's single-model scope: two models share one cluster and one dollar
+budget.  The joint planner provisions each model with the cheapest configuration whose
+Eq. 15 upper bound covers that model's demand, and the multi-model central controller
+schedules the union of pending queries each round.  The benchmark asserts, per seed,
+the headline multi-tenant claim: the joint plan meets *every* model's QoS target at a
+strictly lower total cost than two independently planned per-model clusters.
+"""
+
+import pytest
+
+from repro.analysis.multi_model import fig17_multi_model_joint
+
+MODELS = ("RM2", "WND")
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("seed", [7, 42])
+def test_fig17_multi_model_joint(record_figure, fast_settings, seed):
+    settings = fast_settings.scaled(num_queries=500, seed=seed)
+    table = record_figure(
+        fig17_multi_model_joint,
+        f"fig17_multi_model_seed{seed}.txt",
+        settings,
+        model_names=MODELS,
+    )
+    headers = list(table.headers)
+    joint_cost = table.extras["joint_cost_per_hour"]
+    independent_cost = table.extras["independent_cost_per_hour"]
+
+    # Every co-located model meets its own QoS target on the joint cluster...
+    for row in table.rows:
+        assert row[headers.index("joint_meets_qos")] == 1.0, row
+    assert table.extras["joint_report"].all_meet_qos()
+    # ...at a strictly lower total cost than the independently planned clusters.
+    assert joint_cost < independent_cost
+    # The joint selection fit the shared budget directly (no fallback split) and
+    # covered every demand target by construction.
+    assert table.extras["joint_plan"].within_budget
+    assert table.extras["joint_plan"].meets_all_targets
+    # Per-model attributed spend partitions the joint run's total bill exactly.
+    report = table.extras["joint_report"]
+    by_model = report.cost_by_model()
+    assert set(by_model) == set(MODELS)
+    assert sum(by_model.values()) == pytest.approx(report.total_cost())
+
+    # Deterministic for the fixed seed: a second full run reproduces the table.
+    again = fig17_multi_model_joint(settings, model_names=MODELS)
+    assert again.rows == table.rows

@@ -54,6 +54,36 @@ Quick elastic start::
 
     from repro.analysis.elasticity import fig12_dynamic_replan
     print(fig12_dynamic_replan().format())
+
+Multi-model co-location data flow
+---------------------------------
+N models share one cluster and one dollar budget; every instance hosts one model
+copy, and the central controller schedules the *union* of pending queries each
+round.  Data flows through the same four layers::
+
+    repro.workload                   model-tagged queries; interleave_model_streams /
+        |                            MultiModelTrace merge per-model streams into one
+        |                            arrival-ordered multi-tenant trace
+        v
+    repro.sim.cluster                MultiModelCluster / MultiModelClusterView
+        |                            per-model partitions over one global server-id
+        |   space; repro.sim.multi_model.MultiModelServingSimulation drives the
+        |   joint event loop (per-model QoS metrics, model-tagged billing, scale
+        |   events addressed to model partitions)
+        v
+    repro.core                       build_multi_model_cost_matrix (one predict per
+        |                            (model, type) per round, cross-model pairs
+        |   penalized), MultiModelKairosPlanner.plan_joint (cheapest demand-covering
+        |   config per model under the shared budget), and
+        |   MultiModelElasticController (joint re-planning on sustained load change)
+        v
+    repro.analysis.multi_model       fig17_multi_model_joint
+            joint shared-budget plan vs. independently planned per-model clusters
+
+Quick multi-model start::
+
+    from repro.analysis.multi_model import fig17_multi_model_joint
+    print(fig17_multi_model_joint().format())
 """
 
 from repro.cloud.config import HeterogeneousConfig
@@ -61,9 +91,16 @@ from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceType, get_in
 from repro.cloud.models import DEFAULT_MODEL_REGISTRY, MLModel, get_model
 from repro.cloud.profiles import default_profile_registry
 from repro.core.controller import KairosServingSystem
-from repro.core.kairos import KairosPlan, KairosPlanner
+from repro.core.kairos import (
+    KairosPlan,
+    KairosPlanner,
+    MultiModelKairosPlanner,
+    MultiModelPlan,
+)
 from repro.core.kairos_plus import KairosPlusSearch
 from repro.sim.capacity import measure_allowable_throughput
+from repro.sim.cluster import MultiModelCluster
+from repro.sim.multi_model import simulate_multi_model_serving
 from repro.sim.simulation import simulate_serving
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 
@@ -82,9 +119,13 @@ __all__ = [
     "KairosServingSystem",
     "KairosPlanner",
     "KairosPlan",
+    "MultiModelKairosPlanner",
+    "MultiModelPlan",
+    "MultiModelCluster",
     "KairosPlusSearch",
     "measure_allowable_throughput",
     "simulate_serving",
+    "simulate_multi_model_serving",
     "WorkloadGenerator",
     "WorkloadSpec",
 ]

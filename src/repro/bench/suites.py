@@ -44,6 +44,9 @@ PRESETS: Dict[str, Dict[str, float]] = {
         rank_budget=1.0,
         rank_4x_budget=2.0,
         replan_budget=1.0,
+        mm_queries=40,
+        mm_rates=(25.0, 150.0),
+        mm_counts=((1, 1, 2, 0), (1, 1, 2, 0)),
         min_seconds=0.05,
     ),
     "quick": dict(
@@ -56,6 +59,9 @@ PRESETS: Dict[str, Dict[str, float]] = {
         rank_budget=2.5,
         rank_4x_budget=10.0,
         replan_budget=2.5,
+        mm_queries=150,
+        mm_rates=(60.0, 400.0),
+        mm_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
         min_seconds=0.15,
     ),
     "full": dict(
@@ -68,6 +74,9 @@ PRESETS: Dict[str, Dict[str, float]] = {
         rank_budget=2.5,
         rank_4x_budget=10.0,
         replan_budget=5.0,
+        mm_queries=500,
+        mm_rates=(60.0, 400.0),
+        mm_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
         min_seconds=0.4,
     ),
 }
@@ -249,10 +258,69 @@ def bench_elastic_replan(preset: str) -> BenchResult:
     )
 
 
+MM_MODELS = ("RM2", "WND")
+
+
+def bench_multi_model_sim(preset: str) -> BenchResult:
+    """Macro: end-to-end multi-model serving throughput (simulated queries per second).
+
+    The new scheduling-round shape of the co-location subsystem: two models share one
+    cluster, every round solves one joint matching over the union of pending queries
+    with model-aware columns (one ``predict_many_ms`` per (model, type) pair).  Rates
+    keep both models' queues busy so the measurement is dominated by joint rounds.
+    """
+    p = _params(preset)
+    profiles = default_profile_registry()
+    from repro.cloud.config import HeterogeneousConfig as Config
+    from repro.sim.cluster import MultiModelCluster
+    from repro.sim.multi_model import MultiModelServingSimulation
+    from repro.workload.generator import interleave_model_streams
+
+    configs = {
+        name: Config(tuple(counts), profiles.catalog)
+        for name, counts in zip(MM_MODELS, p["mm_counts"])
+    }
+    streams = {}
+    for i, name in enumerate(MM_MODELS):
+        spec = WorkloadSpec(
+            batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+            num_queries=int(p["mm_queries"]),
+            model_name=name,
+        )
+        streams[name] = WorkloadGenerator(spec).generate(
+            rate_qps=p["mm_rates"][i], rng=SEED + 10 + i
+        )
+    queries = interleave_model_streams(streams)
+
+    def work() -> float:
+        from repro.schedulers.kairos_policy import MultiModelKairosPolicy
+
+        cluster = MultiModelCluster(configs, profiles)
+        sim = MultiModelServingSimulation(
+            cluster, MultiModelKairosPolicy(), rng=np.random.default_rng(SEED + 1)
+        )
+        report = sim.run(queries)
+        return float(report.dispatched_queries)
+
+    qps, wall = time_throughput(work, min_seconds=p["min_seconds"])
+    return BenchResult(
+        name="multi_model_sim",
+        preset=preset,
+        value=qps,
+        unit="queries/s",
+        wall_seconds=wall,
+        extras={
+            "num_queries": float(len(queries)),
+            "num_models": float(len(MM_MODELS)),
+        },
+    )
+
+
 #: Registry, in execution order.
 BENCHMARKS: Dict[str, Callable[[str], BenchResult]] = {
     "serving_sim": bench_serving_sim,
     "cost_matrix": bench_cost_matrix,
+    "multi_model_sim": bench_multi_model_sim,
     "planner_rank": bench_planner_rank,
     "planner_rank_4x": bench_planner_rank_4x,
     "elastic_replan": bench_elastic_replan,

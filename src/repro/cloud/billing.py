@@ -49,13 +49,18 @@ class CostReport:
 
 @dataclass
 class UsageInterval:
-    """One instance's commissioned interval (``end_ms`` is ``None`` while still open)."""
+    """One instance's commissioned interval (``end_ms`` is ``None`` while still open).
+
+    ``tag`` is an optional attribution label — multi-model clusters tag every interval
+    with the model the instance hosts, so spend can be attributed per model.
+    """
 
     server_id: int
     type_name: str
     price_per_hour: float
     start_ms: float
     end_ms: Optional[float] = None
+    tag: Optional[str] = None
 
     def overlap_ms(self, t0_ms: float, t1_ms: float) -> float:
         """Length of the intersection of this interval with ``[t0_ms, t1_ms)``."""
@@ -93,8 +98,14 @@ class InstanceUsageLedger:
         server_id: int,
         instance_type: Union[str, InstanceType],
         now_ms: float,
+        *,
+        tag: Optional[str] = None,
     ) -> UsageInterval:
-        """Open a billing interval for ``server_id`` at ``now_ms``."""
+        """Open a billing interval for ``server_id`` at ``now_ms``.
+
+        ``tag`` attributes the interval (e.g. to the model the instance hosts); it only
+        affects the ``*_by_tag`` queries, never the totals.
+        """
         check_non_negative(now_ms, "now_ms")
         if server_id in self._open:
             raise ValueError(f"server {server_id} already has an open billing interval")
@@ -106,6 +117,7 @@ class InstanceUsageLedger:
             type_name=itype.name,
             price_per_hour=itype.price_per_hour,
             start_ms=float(now_ms),
+            tag=tag,
         )
         self._intervals.append(interval)
         self._open[server_id] = interval
@@ -127,23 +139,41 @@ class InstanceUsageLedger:
             self.stop(server_id, now_ms)
 
     # -- queries -----------------------------------------------------------------------
+    # Aggregations use math.fsum (exactly rounded summation), so reported costs are
+    # invariant to the order intervals were opened in — simultaneous provisioning
+    # events may apply in any order without perturbing the bill by float round-off.
     def cost_in_window(self, t0_ms: float, t1_ms: float) -> float:
         """Total $ accrued over ``[t0_ms, t1_ms)`` across all instances."""
         if t1_ms < t0_ms:
             raise ValueError("window end precedes window start")
-        return sum(iv.cost_in_window(t0_ms, t1_ms) for iv in self._intervals)
+        return math.fsum(iv.cost_in_window(t0_ms, t1_ms) for iv in self._intervals)
 
     def total_cost(self, horizon_ms: float) -> float:
         """Total $ accrued from time 0 to ``horizon_ms``."""
         return self.cost_in_window(0.0, horizon_ms)
 
     def cost_by_type(self, horizon_ms: float) -> Dict[str, float]:
-        result: Dict[str, float] = {}
+        parts: Dict[str, List[float]] = {}
         for iv in self._intervals:
-            result[iv.type_name] = result.get(iv.type_name, 0.0) + iv.cost_in_window(
-                0.0, horizon_ms
-            )
-        return result
+            parts.setdefault(iv.type_name, []).append(iv.cost_in_window(0.0, horizon_ms))
+        return {name: math.fsum(costs) for name, costs in parts.items()}
+
+    def cost_in_window_by_tag(self, t0_ms: float, t1_ms: float) -> Dict[Optional[str], float]:
+        """Per-tag $ accrued over ``[t0_ms, t1_ms)`` (untagged intervals under ``None``).
+
+        The values always sum to :meth:`cost_in_window` over the same window — tags
+        partition the intervals, so attribution can never create or lose spend.
+        """
+        if t1_ms < t0_ms:
+            raise ValueError("window end precedes window start")
+        parts: Dict[Optional[str], List[float]] = {}
+        for iv in self._intervals:
+            parts.setdefault(iv.tag, []).append(iv.cost_in_window(t0_ms, t1_ms))
+        return {tag: math.fsum(costs) for tag, costs in parts.items()}
+
+    def cost_by_tag(self, horizon_ms: float) -> Dict[Optional[str], float]:
+        """Per-tag $ accrued from time 0 to ``horizon_ms`` (per-model attribution)."""
+        return self.cost_in_window_by_tag(0.0, horizon_ms)
 
     def concurrent_cost_per_hour(self, t_ms: float) -> float:
         """Instantaneous burn rate in $/hr at time ``t_ms``."""

@@ -25,13 +25,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Union
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import InstanceCatalog
 from repro.cloud.models import MLModel
 from repro.cloud.profiles import ProfileRegistry, default_profile_registry
-from repro.core.kairos import KairosPlan, KairosPlanner
+from repro.core.kairos import (
+    KairosPlan,
+    KairosPlanner,
+    MultiModelKairosPlanner,
+    MultiModelPlan,
+)
 from repro.core.kairos_plus import KairosPlusResult, KairosPlusSearch
 from repro.sim.capacity import AllowableThroughputResult, measure_allowable_throughput
 from repro.sim.simulation import SimulationReport, simulate_serving
@@ -435,6 +440,224 @@ class ElasticKairosController:
         )
         self._current_config = new_config
         self._provisioned_rate_qps = observed
+        self._last_replan_ms = float(now_ms)
+        self.decisions.append(decision)
+        return decision
+
+    def _cheapest_price(self) -> float:
+        return min(t.price_per_hour for t in self.catalog.types)
+
+
+@dataclass(frozen=True)
+class MultiModelReplanDecision:
+    """One joint re-planning action over all co-located models.
+
+    ``scale_deltas`` maps model name to that partition's per-type signed deltas; the
+    multi-model simulator turns them into model-tagged ``SCALE_UP`` / ``SCALE_DOWN``
+    events (shrinks ordered by drain cost-efficiency).
+    """
+
+    time_ms: float
+    observed_rates_qps: Dict[str, float]
+    provisioned_rates_qps: Dict[str, float]
+    budget_per_hour: float
+    old_configs: Dict[str, HeterogeneousConfig]
+    new_configs: Dict[str, HeterogeneousConfig]
+    plan: MultiModelPlan
+    scale_deltas: Dict[str, Dict[str, int]]
+
+    @property
+    def is_scale_up(self) -> bool:
+        return sum(sum(d.values()) for d in self.scale_deltas.values()) > 0
+
+
+class MultiModelElasticController:
+    """Joint re-planning for N co-located models under one shared budget.
+
+    Each model keeps its own sliding :class:`ArrivalRateEstimator` and query-size
+    monitor window (arrivals route by the query's model tag).  When *any* model's
+    observed rate departs durably from the rate its partition was provisioned for, the
+    controller re-runs :class:`~repro.core.kairos.MultiModelKairosPlanner.plan_joint`
+    over all models at once — the shared budget scales with the *total* observed load,
+    and demand targets are the per-model observed rates — and emits per-model
+    migration deltas.  Detection knobs have the same semantics as
+    :class:`ElasticKairosController`, applied per model (cooldown is global: one joint
+    re-plan replaces N per-model ones).
+    """
+
+    def __init__(
+        self,
+        models: Sequence[Union[str, MLModel]],
+        base_budget_per_hour: float,
+        base_rates_qps: Mapping[str, float],
+        *,
+        profiles: Optional[ProfileRegistry] = None,
+        catalog: Optional[InstanceCatalog] = None,
+        batch_distribution_by_model: Optional[Mapping[str, BatchSizeDistribution]] = None,
+        window_ms: float = 5_000.0,
+        change_threshold: float = 1.5,
+        min_observations: int = 30,
+        cooldown_ms: float = 10_000.0,
+        max_budget_per_hour: Optional[float] = None,
+        monitor_window: int = 2_000,
+        num_monitor_samples: int = 4_000,
+        demand_headroom: Union[float, Mapping[str, float]] = 1.0,
+        rng: RngLike = None,
+    ):
+        if base_budget_per_hour <= 0:
+            raise ValueError("base_budget_per_hour must be positive")
+        if change_threshold <= 1.0:
+            raise ValueError("change_threshold must be > 1")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+        self.profiles = profiles if profiles is not None else default_profile_registry()
+        self.catalog = catalog if catalog is not None else self.profiles.catalog
+        self.models: List[MLModel] = [
+            m if isinstance(m, MLModel) else self.profiles.models[m] for m in models
+        ]
+        names = [m.name for m in self.models]
+        missing = [n for n in names if n not in base_rates_qps]
+        if missing:
+            raise KeyError(f"no base rate for models: {missing}")
+        for name in names:
+            if base_rates_qps[name] <= 0:
+                raise ValueError(f"base rate for {name!r} must be positive")
+        self.base_budget_per_hour = float(base_budget_per_hour)
+        self.base_rates_qps: Dict[str, float] = {
+            name: float(base_rates_qps[name]) for name in names
+        }
+        self.change_threshold = float(change_threshold)
+        self.min_observations = int(min_observations)
+        self.cooldown_ms = float(cooldown_ms)
+        self.max_budget_per_hour = (
+            float(max_budget_per_hour)
+            if max_budget_per_hour is not None
+            else 4.0 * self.base_budget_per_hour
+        )
+        self.planner = MultiModelKairosPlanner(
+            self.models,
+            self.max_budget_per_hour,
+            profiles=self.profiles,
+            catalog=self.catalog,
+            batch_distribution_by_model=(
+                dict(batch_distribution_by_model)
+                if batch_distribution_by_model is not None
+                else None
+            ),
+            num_monitor_samples=int(num_monitor_samples),
+            demand_headroom=demand_headroom,
+            rng=rng,
+        )
+        self.demand_headroom = dict(self.planner.demand_headroom)
+        self.rate_estimators: Dict[str, ArrivalRateEstimator] = {
+            name: ArrivalRateEstimator(window_ms) for name in names
+        }
+        self._batch_windows: Dict[str, Deque[int]] = {
+            name: deque(maxlen=int(monitor_window)) for name in names
+        }
+        self._provisioned_rates: Dict[str, float] = dict(self.base_rates_qps)
+        self._last_replan_ms = 0.0
+        self._current_configs: Optional[Dict[str, HeterogeneousConfig]] = None
+        self.decisions: List[MultiModelReplanDecision] = []
+
+    # -- planning ----------------------------------------------------------------------
+    @property
+    def model_names(self) -> List[str]:
+        return [m.name for m in self.models]
+
+    def _plan_at_budget(
+        self, budget_per_hour: float, targets: Mapping[str, float]
+    ) -> MultiModelPlan:
+        for name, window in self._batch_windows.items():
+            if window:
+                self.planner.update_batch_samples(name, list(window))
+        self.planner.budget_per_hour = float(budget_per_hour)
+        return self.planner.plan_joint(targets)
+
+    def initial_plan(self) -> MultiModelPlan:
+        """Joint plan for the base rates; remembers the selection as live configs."""
+        plan = self._plan_at_budget(self.base_budget_per_hour, self.base_rates_qps)
+        self._current_configs = plan.configs()
+        return plan
+
+    @property
+    def current_configs(self) -> Optional[Dict[str, HeterogeneousConfig]]:
+        return dict(self._current_configs) if self._current_configs is not None else None
+
+    def provisioned_rate_qps(self, model_name: str) -> float:
+        return self._provisioned_rates[model_name]
+
+    # -- online observation ------------------------------------------------------------
+    def prime_monitor(self, model_name: str, batch_sizes: Sequence[int]) -> None:
+        """Pre-fill one model's query monitor (see ElasticKairosController)."""
+        window = self._batch_windows[model_name]
+        for b in batch_sizes:
+            window.append(int(b))
+
+    def observe_arrival(self, query: Query, now_ms: float) -> None:
+        name = query.model_name
+        if name is None:
+            if len(self.models) != 1:
+                raise ValueError(
+                    f"untagged arrival in a {len(self.models)}-model controller"
+                )
+            name = self.models[0].name
+        self.rate_estimators[name].observe(now_ms)
+        self._batch_windows[name].append(query.batch_size)
+
+    def maybe_replan(self, now_ms: float) -> Optional[MultiModelReplanDecision]:
+        """Joint re-plan when any model's load departs durably from its provisioning."""
+        if self._current_configs is None:
+            raise RuntimeError("call initial_plan() before maybe_replan()")
+        if now_ms < self._last_replan_ms + self.cooldown_ms:
+            return None
+        triggered = False
+        observed: Dict[str, float] = {}
+        for name in self.model_names:
+            estimator = self.rate_estimators[name]
+            window_elapsed = now_ms >= estimator.window_ms
+            trustworthy = window_elapsed or (
+                estimator.observations(now_ms) >= self.min_observations
+            )
+            rate = estimator.rate_qps(now_ms)
+            # A model whose window is not yet trustworthy (or empty) must neither
+            # trigger nor have its partition re-targeted to the noisy estimate: the
+            # joint plan keeps provisioning it for its current rate, exactly like the
+            # single-model controller's min_observations gate.
+            if not trustworthy or rate <= 0:
+                observed[name] = self._provisioned_rates[name]
+                continue
+            observed[name] = rate
+            ratio = rate / self._provisioned_rates[name]
+            if ratio >= self.change_threshold or ratio <= 1.0 / self.change_threshold:
+                triggered = True
+        if not triggered:
+            return None
+
+        total_base = sum(self.base_rates_qps.values())
+        budget = self.base_budget_per_hour * sum(observed.values()) / total_base
+        budget = min(max(budget, self._cheapest_price()), self.max_budget_per_hour)
+        plan = self._plan_at_budget(budget, observed)
+        old_configs = dict(self._current_configs)
+        new_configs = plan.configs()
+        deltas = {
+            name: migration_deltas(old_configs[name], new_configs[name])
+            for name in self.model_names
+        }
+        decision = MultiModelReplanDecision(
+            time_ms=float(now_ms),
+            observed_rates_qps=dict(observed),
+            provisioned_rates_qps=dict(self._provisioned_rates),
+            budget_per_hour=budget,
+            old_configs=old_configs,
+            new_configs=new_configs,
+            plan=plan,
+            scale_deltas={name: d for name, d in deltas.items() if d},
+        )
+        self._current_configs = new_configs
+        self._provisioned_rates = dict(observed)
         self._last_replan_ms = float(now_ms)
         self.decisions.append(decision)
         return decision

@@ -170,3 +170,166 @@ def build_cost_matrix(
         query_ids=tuple(q.query_id for q in queries),
         server_ids=tuple(s.server_id for s in servers),
     )
+
+
+# ---------------------------------------------------------------------------------------
+# Multi-model clusters: one joint matrix over the union of pending queries
+# ---------------------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MultiModelCostMatrix(CostMatrix):
+    """The joint ``L`` matrix of a co-located multi-model scheduling round.
+
+    Rows are the union of pending queries across models, columns the union of eligible
+    instances; ``cross_model[i, j]`` is True where query ``i`` targets a different
+    model than instance ``j`` hosts.  Cross-model pairs can never serve (an instance
+    hosts one model copy), so they carry the row model's Eq. 8 penalty, are flagged
+    QoS-infeasible, and the policy never commits them; they exist only so one
+    assignment solve covers the whole round.  With a single registered model every
+    matrix is element-wise identical to :func:`build_cost_matrix`'s output.
+    """
+
+    cross_model: np.ndarray = None  # type: ignore[assignment]
+    query_models: Tuple[str, ...] = ()
+    server_models: Tuple[str, ...] = ()
+
+
+def build_multi_model_cost_matrix(
+    queries: Sequence[Query],
+    servers: Sequence[ServerInstance],
+    server_models: Sequence[str],
+    estimators: Mapping[str, LatencyEstimator],
+    now_ms: float,
+    qos_ms_by_model: Mapping[str, float],
+    coefficients_by_model: Mapping[str, Mapping[str, float]],
+    *,
+    qos_headroom: float = DEFAULT_QOS_HEADROOM,
+    penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+) -> MultiModelCostMatrix:
+    """Assemble the joint cost matrix of one multi-model scheduling round.
+
+    Parameters mirror :func:`build_cost_matrix` with per-model plumbing:
+    ``server_models[j]`` names the model instance ``j`` hosts, ``estimators`` /
+    ``qos_ms_by_model`` / ``coefficients_by_model`` are keyed by model name.  Queries
+    may leave ``model_name`` unset only when exactly one model is registered (the
+    single-model compatibility path).
+
+    The PR-2 fast path generalizes per model: one ``predict_many_ms`` call per
+    (model, instance type) pair per round, over that model's pending batch vector,
+    broadcast into the (model-rows x type-columns) block.
+    """
+    check_positive(qos_headroom, "qos_headroom")
+    check_positive(penalty_factor, "penalty_factor")
+    for model_name, qos in qos_ms_by_model.items():
+        if qos <= 0:
+            raise ValueError(f"qos_ms for model {model_name!r} must be positive")
+    sole_model = next(iter(qos_ms_by_model)) if len(qos_ms_by_model) == 1 else None
+
+    def row_model(query: Query) -> str:
+        if query.model_name is not None:
+            name = query.model_name
+        elif sole_model is not None:
+            name = sole_model
+        else:
+            raise ValueError(
+                f"query {query.query_id} carries no model tag but "
+                f"{len(qos_ms_by_model)} models are registered"
+            )
+        if name not in qos_ms_by_model:
+            raise KeyError(f"query {query.query_id} targets unregistered model {name!r}")
+        return name
+
+    query_models = tuple(row_model(q) for q in queries)
+    server_models = tuple(server_models)
+    if len(server_models) != len(servers):
+        raise ValueError("server_models must parallel the server list")
+
+    if not queries or not servers:
+        empty = np.zeros((len(queries), len(servers)))
+        return MultiModelCostMatrix(
+            usage_ms=empty,
+            penalized_ms=empty,
+            weighted=empty,
+            qos_feasible=np.zeros(empty.shape, dtype=bool),
+            query_ids=tuple(q.query_id for q in queries),
+            server_ids=tuple(s.server_id for s in servers),
+            cross_model=np.zeros(empty.shape, dtype=bool),
+            query_models=query_models,
+            server_models=server_models,
+        )
+
+    m = len(queries)
+    n = len(servers)
+    batches = np.asarray([q.batch_size for q in queries], dtype=int)
+    waits = np.asarray([q.waiting_time_ms(now_ms) for q in queries], dtype=float)
+    qos_rows = np.asarray([qos_ms_by_model[name] for name in query_models], dtype=float)
+
+    rows_by_model: Dict[str, list] = {}
+    for i, name in enumerate(query_models):
+        rows_by_model.setdefault(name, []).append(i)
+
+    columns_by_group: Dict[Tuple[str, str], list] = {}
+    offsets_list = []
+    for j, server in enumerate(servers):
+        columns_by_group.setdefault((server_models[j], server.type_name), []).append(j)
+        busy_until = server.busy_until_ms
+        remaining = busy_until - now_ms if busy_until > now_ms else 0.0
+        offsets_list.append(remaining + server.dispatch_overhead_ms)
+
+    offsets = np.asarray(offsets_list, dtype=float)
+    # Start every entry at the row model's penalty: same-model blocks are overwritten
+    # below, so only cross-model pairs keep it (their "usage" is the Eq. 8 penalty by
+    # definition — serving the pair is impossible at any price).
+    usage = np.broadcast_to(
+        (penalty_factor * qos_rows)[:, None], (m, n)
+    ).copy()
+    weights = np.empty(n, dtype=float)
+    for (model_name, type_name), cols in columns_by_group.items():
+        coefficients = coefficients_by_model.get(model_name)
+        if coefficients is None or type_name not in coefficients:
+            raise KeyError(
+                f"no heterogeneity coefficient for model {model_name!r} "
+                f"type {type_name!r}"
+            )
+        coefficient = coefficients[type_name]
+        if coefficient <= 0:
+            raise ValueError("heterogeneity coefficients must be positive")
+        if cols[-1] - cols[0] + 1 == len(cols):
+            cols = slice(cols[0], cols[-1] + 1)
+        weights[cols] = coefficient
+        rows = rows_by_model.get(model_name)
+        if not rows:
+            continue  # no pending query targets this model: the block stays penalized
+        predicted = np.asarray(
+            estimators[model_name].predict_many_ms(type_name, batches[rows]),
+            dtype=float,
+        )
+        if len(rows) == m:
+            # Single-model rounds (and rounds where every pending query targets this
+            # model): identical basic-slicing assembly to build_cost_matrix.
+            usage[:, cols] = offsets[cols][None, :] + predicted[:, None]
+        else:
+            usage[np.ix_(rows, np.arange(n)[cols])] = (
+                offsets[cols][None, :] + predicted[:, None]
+            )
+
+    same_model = (
+        np.asarray(query_models, dtype=object)[:, None]
+        == np.asarray(server_models, dtype=object)[None, :]
+    )
+    feasible = ((usage + waits[:, None]) <= qos_headroom * qos_rows[:, None] + 1e-9)
+    feasible &= same_model
+    penalized = np.where(feasible, usage, (penalty_factor * qos_rows)[:, None])
+    weighted = penalized * weights[None, :]
+
+    return MultiModelCostMatrix(
+        usage_ms=usage,
+        penalized_ms=penalized,
+        weighted=weighted,
+        qos_feasible=feasible,
+        query_ids=tuple(q.query_id for q in queries),
+        server_ids=tuple(s.server_id for s in servers),
+        cross_model=~same_model,
+        query_models=query_models,
+        server_models=server_models,
+    )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.core.config_space import enumerate_configs
 from repro.core.selection import SelectionResult, select_configuration
 from repro.core.upper_bound import ThroughputUpperBoundEstimator
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
 from repro.workload.batch_sizes import BatchSizeDistribution, production_batch_distribution
 
 
@@ -157,3 +157,254 @@ class KairosPlanner:
         samples = np.asarray(batch_samples, dtype=int)
         self.estimator.update_samples(samples)
         self.batch_samples = samples
+
+
+# ---------------------------------------------------------------------------------------
+# Multi-model joint planning: split one budget across co-located models
+# ---------------------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModelAllocation:
+    """One model's share of a joint multi-model plan."""
+
+    model_name: str
+    target_qps: float
+    config: HeterogeneousConfig
+    upper_bound: float
+    cost_per_hour: float
+    #: True when the selected configuration's upper bound covers the demand target.
+    demand_met: bool
+
+
+@dataclass(frozen=True)
+class MultiModelPlan:
+    """Result of one joint planning pass over N co-located models."""
+
+    budget_per_hour: float
+    allocations: Tuple[ModelAllocation, ...]
+    search_space_size: int
+    planning_seconds: float
+    #: True when the joint selection fit the shared budget directly; False when the
+    #: planner had to fall back to a proportional budget split.
+    within_budget: bool
+
+    @property
+    def total_cost_per_hour(self) -> float:
+        return sum(a.cost_per_hour for a in self.allocations)
+
+    @property
+    def meets_all_targets(self) -> bool:
+        return all(a.demand_met for a in self.allocations)
+
+    def allocation_of(self, model_name: str) -> ModelAllocation:
+        for allocation in self.allocations:
+            if allocation.model_name == model_name:
+                return allocation
+        raise KeyError(f"no allocation for model {model_name!r} in the joint plan")
+
+    def configs(self) -> Dict[str, HeterogeneousConfig]:
+        """Per-model configurations, in allocation order (feeds MultiModelCluster)."""
+        return {a.model_name: a.config for a in self.allocations}
+
+
+class MultiModelKairosPlanner:
+    """Joint configuration planning for N models sharing one dollar budget.
+
+    Where the single-model :class:`KairosPlanner` maximizes one model's throughput
+    upper bound under the full budget, the joint planner answers the multi-tenant
+    question: *given each model's offered load, what is the cheapest per-model
+    allocation whose Eq. 15 upper bound still covers every model's demand?*  For each
+    model it ranks the shared configuration space with the vectorized
+    ``upper_bounds_batch`` and picks the cheapest demand-feasible configuration
+    (ties: highest bound, then enumeration order).  Because co-located models only
+    provision what their own demand needs, the joint plan undercuts independently
+    planned per-model clusters that each spend a fixed budget share (the Fig. 17
+    scenario).
+
+    If the cheapest demand-feasible selections still exceed the shared budget, the
+    planner falls back to a deterministic proportional split (budget shares
+    proportional to demand targets) of single-model :class:`KairosPlanner` passes and
+    flags the plan ``within_budget=False``.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[Union[str, MLModel]],
+        budget_per_hour: float,
+        *,
+        profiles: Optional[ProfileRegistry] = None,
+        catalog: Optional[InstanceCatalog] = None,
+        batch_samples_by_model: Optional[Dict[str, Sequence[int]]] = None,
+        batch_distribution_by_model: Optional[Dict[str, BatchSizeDistribution]] = None,
+        num_monitor_samples: int = 10_000,
+        demand_headroom: Union[float, Mapping[str, float]] = 1.0,
+        rng: RngLike = None,
+        min_base_count: int = 0,
+        max_per_type: Optional[int] = None,
+    ):
+        check_positive(budget_per_hour, "budget_per_hour")
+        if not models:
+            raise ValueError("need at least one model")
+        self.profiles = profiles if profiles is not None else default_profile_registry()
+        self.catalog = catalog if catalog is not None else self.profiles.catalog
+        self.models: List[MLModel] = [
+            m if isinstance(m, MLModel) else self.profiles.models[m] for m in models
+        ]
+        names = [m.name for m in self.models]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate models in the joint planner: {names}")
+        self.budget_per_hour = float(budget_per_hour)
+        # Per-model headroom over the demand target: Eq. 15 is an *upper* bound on the
+        # allowable throughput, and how loose it is differs per model (tight-QoS models
+        # lose more of the bound to queueing), so the factor may be a mapping.
+        if isinstance(demand_headroom, Mapping):
+            self.demand_headroom: Dict[str, float] = {
+                name: float(demand_headroom.get(name, 1.0)) for name in names
+            }
+        else:
+            self.demand_headroom = {name: float(demand_headroom) for name in names}
+        for name, factor in self.demand_headroom.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"demand_headroom for {name!r} must be >= 1 "
+                    "(provision at least the demand)"
+                )
+        self.min_base_count = min_base_count
+        self.max_per_type = max_per_type
+        gen = ensure_rng(rng)
+        samples_by_model = dict(batch_samples_by_model or {})
+        dist_by_model = dict(batch_distribution_by_model or {})
+        self.batch_samples_by_model: Dict[str, np.ndarray] = {}
+        self.estimators: Dict[str, ThroughputUpperBoundEstimator] = {}
+        for model in self.models:
+            samples = samples_by_model.get(model.name)
+            if samples is None:
+                dist = dist_by_model.get(model.name)
+                if dist is None:
+                    dist = production_batch_distribution(model.max_batch_size)
+                samples = dist.sample(num_monitor_samples, gen)
+            samples = np.asarray(samples, dtype=int)
+            self.batch_samples_by_model[model.name] = samples
+            self.estimators[model.name] = ThroughputUpperBoundEstimator(
+                self.profiles, model, samples, catalog=self.catalog
+            )
+
+    @property
+    def model_names(self) -> List[str]:
+        return [m.name for m in self.models]
+
+    def enumerate(self) -> List[HeterogeneousConfig]:
+        """The shared configuration space: everything affordable under the full budget.
+
+        One model alone may spend up to the whole budget (another model's demand can
+        be near zero), so each model ranks the same space; the budget check applies to
+        the *sum* of the selections.
+        """
+        return enumerate_configs(
+            self.budget_per_hour,
+            self.catalog,
+            min_base_count=self.min_base_count,
+            max_per_type=self.max_per_type,
+        )
+
+    def update_batch_samples(self, model_name: str, batch_samples: Sequence[int]) -> None:
+        """Swap one model's monitored window in place (re-plans keep the cutoff table)."""
+        samples = np.asarray(batch_samples, dtype=int)
+        self.estimators[model_name].update_samples(samples)
+        self.batch_samples_by_model[model_name] = samples
+
+    def plan_joint(self, target_qps: Mapping[str, float]) -> MultiModelPlan:
+        """Select per-model configurations covering every model's demand target.
+
+        ``target_qps`` maps every registered model to its offered load; the effective
+        requirement is ``target * demand_headroom``.
+        """
+        start = time.perf_counter()
+        missing = [m.name for m in self.models if m.name not in target_qps]
+        if missing:
+            raise KeyError(f"no demand target for models: {missing}")
+        space = self.enumerate()
+        if not space:
+            raise ValueError(
+                f"no configuration fits the budget of {self.budget_per_hour}$/hr"
+            )
+        costs = np.asarray([c.cost_per_hour() for c in space], dtype=float)
+        order_keys = np.arange(len(space))
+
+        allocations: List[ModelAllocation] = []
+        for model in self.models:
+            target = float(target_qps[model.name])
+            check_non_negative(target, f"demand target for {model.name}")
+            required = target * self.demand_headroom[model.name]
+            bounds = self.estimators[model.name].upper_bounds_batch(space)
+            feasible = bounds >= required - 1e-9
+            if np.any(feasible):
+                idx_pool = np.nonzero(feasible)[0]
+                # cheapest first; ties by highest bound, then enumeration order
+                pick = idx_pool[
+                    np.lexsort(
+                        (order_keys[idx_pool], -bounds[idx_pool], costs[idx_pool])
+                    )[0]
+                ]
+                demand_met = True
+            else:
+                # demand not coverable even with the whole budget: best effort
+                pick = int(np.lexsort((order_keys, costs, -bounds))[0])
+                demand_met = False
+            allocations.append(
+                ModelAllocation(
+                    model_name=model.name,
+                    target_qps=target,
+                    config=space[int(pick)],
+                    upper_bound=float(bounds[int(pick)]),
+                    cost_per_hour=float(costs[int(pick)]),
+                    demand_met=demand_met,
+                )
+            )
+
+        total = sum(a.cost_per_hour for a in allocations)
+        within_budget = total <= self.budget_per_hour + 1e-9
+        if not within_budget:
+            allocations = self._proportional_split(target_qps)
+        elapsed = time.perf_counter() - start
+        return MultiModelPlan(
+            budget_per_hour=self.budget_per_hour,
+            allocations=tuple(allocations),
+            search_space_size=len(space),
+            planning_seconds=elapsed,
+            within_budget=within_budget,
+        )
+
+    def _proportional_split(
+        self, target_qps: Mapping[str, float]
+    ) -> List[ModelAllocation]:
+        """Fallback: split the budget proportionally to demand, plan each model alone."""
+        cheapest = min(t.price_per_hour for t in self.catalog.types)
+        total_target = sum(float(target_qps[m.name]) for m in self.models)
+        allocations: List[ModelAllocation] = []
+        for model in self.models:
+            target = float(target_qps[model.name])
+            share = target / total_target if total_target > 0 else 1.0 / len(self.models)
+            budget = max(self.budget_per_hour * share, cheapest)
+            planner = KairosPlanner(
+                model,
+                budget,
+                profiles=self.profiles,
+                catalog=self.catalog,
+                batch_samples=self.batch_samples_by_model[model.name],
+                min_base_count=self.min_base_count,
+                max_per_type=self.max_per_type,
+            )
+            plan = planner.plan()
+            required = target * self.demand_headroom[model.name]
+            allocations.append(
+                ModelAllocation(
+                    model_name=model.name,
+                    target_qps=target,
+                    config=plan.selected_config,
+                    upper_bound=plan.selected_upper_bound,
+                    cost_per_hour=plan.selected_config.cost_per_hour(),
+                    demand_met=plan.selected_upper_bound >= required - 1e-9,
+                )
+            )
+        return allocations

@@ -15,8 +15,9 @@ the paper's online-learning overhead — but a perfect or noisy estimator can be
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
+from repro.core.cost_matrix import build_multi_model_cost_matrix
 from repro.core.distributor import QueryDistributor
 from repro.core.heterogeneity import heterogeneity_coefficients
 from repro.core.latency_model import (
@@ -25,8 +26,9 @@ from repro.core.latency_model import (
     PerfectLatencyEstimator,
 )
 from repro.schedulers.base import Decision, SchedulingPolicy
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, MultiModelClusterView
 from repro.sim.metrics import QueryRecord
+from repro.solvers.assignment import solve_assignment
 from repro.workload.query import Query
 
 
@@ -185,3 +187,209 @@ class KairosPolicy(SchedulingPolicy):
     @property
     def coefficients(self) -> Optional[dict]:
         return dict(self._distributor.coefficients) if self._distributor else None
+
+
+class MultiModelKairosPolicy(SchedulingPolicy):
+    """Kairos scheduling over the union of N co-located models' pending queries.
+
+    One joint matching per round: rows are the pending queries of every model (arrival
+    order, capped at ``max_queries_per_round`` exactly like the single-model policy),
+    columns the eligible instances of every model partition.  Same-model blocks are
+    built by the per-(model, type) ``predict_many_ms`` fast path; cross-model pairs
+    carry the Eq. 8 penalty and are *never* committed — a forced cross assignment from
+    the rectangular matching simply defers the query to the next round.
+
+    Per-model state mirrors :class:`KairosPolicy` exactly: an independent latency
+    estimator (online learner by default), per-model heterogeneity coefficients
+    refreshed on the same cadence, per-model QoS targets in the feasibility fold, and
+    the same defer/hopeless semantics evaluated against the query's own model.  With a
+    single registered model the round-by-round decisions are identical to
+    :class:`KairosPolicy` (locked down by the golden tests).
+    """
+
+    name = "KAIROS-MM"
+
+    def __init__(
+        self,
+        estimators: Optional[Mapping[str, LatencyEstimator]] = None,
+        *,
+        use_perfect_estimator: bool = False,
+        solver_method: str = "jv",
+        qos_headroom: float = 0.98,
+        penalty_factor: float = 10.0,
+        max_queries_per_round: Optional[int] = 64,
+        coefficient_refresh_interval: int = 50,
+        defer_predicted_violations: bool = True,
+    ):
+        super().__init__()
+        self._estimators: Dict[str, LatencyEstimator] = (
+            dict(estimators) if estimators is not None else {}
+        )
+        self._use_perfect = use_perfect_estimator
+        self._solver_method = solver_method
+        self._qos_headroom = qos_headroom
+        self._penalty_factor = penalty_factor
+        self._max_queries_per_round = max_queries_per_round
+        self._refresh_interval = max(1, int(coefficient_refresh_interval))
+        self._defer_violations = bool(defer_predicted_violations)
+        self._coefficients: Dict[str, Dict[str, float]] = {}
+        self._qos_by_model: Dict[str, float] = {}
+        self._rounds = 0
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def bind(self, cluster: MultiModelClusterView, qos_ms: Optional[float] = None) -> None:
+        """Attach to a multi-model view; per-model QoS targets come from the view.
+
+        ``qos_ms`` exists for protocol compatibility and, when given, must match the
+        strictest model target (it is otherwise ignored).
+        """
+        self.cluster = cluster
+        self._qos_by_model = dict(cluster.qos_by_model())
+        strictest = min(self._qos_by_model.values())
+        if qos_ms is not None and abs(qos_ms - strictest) > 1e-9:
+            raise ValueError(
+                "multi-model policies derive per-model QoS from the cluster; "
+                f"got qos_ms={qos_ms} but the strictest model target is {strictest}"
+            )
+        self.qos_ms = strictest
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        cluster = self._require_bound()
+        for name in cluster.model_names:
+            if name not in self._estimators:
+                if self._use_perfect:
+                    self._estimators[name] = PerfectLatencyEstimator(
+                        cluster.profiles, cluster.model(name)
+                    )
+                else:
+                    self._estimators[name] = OnlineLatencyEstimator()
+        self._rounds = 0
+        self._rebuild_coefficients()
+
+    def _rebuild_coefficients(self) -> None:
+        cluster = self._require_bound()
+        base_catalog_name = cluster.profiles.catalog.base_type.name
+        server_models = cluster.server_models()
+        type_names_of: Dict[str, List[str]] = {}
+        for server, model_name in zip(cluster, server_models):
+            names = type_names_of.setdefault(model_name, [])
+            if server.type_name not in names:
+                names.append(server.type_name)
+        self._coefficients = {}
+        for model_name, type_names in type_names_of.items():
+            base_name = (
+                base_catalog_name if base_catalog_name in type_names else type_names[0]
+            )
+            self._coefficients[model_name] = heterogeneity_coefficients(
+                self._estimators[model_name],
+                type_names,
+                base_name,
+                reference_batch_size=cluster.model(model_name).max_batch_size,
+            )
+
+    # -- scheduling ---------------------------------------------------------------------
+    def schedule(
+        self, now_ms: float, pending: Sequence[Query], cluster: MultiModelClusterView
+    ) -> List[Decision]:
+        if not self._qos_by_model:
+            raise RuntimeError("policy used before bind()")
+        if not pending:
+            return []
+        self._rounds += 1
+        if self._rounds % self._refresh_interval == 0 and not self._use_perfect:
+            self._rebuild_coefficients()
+
+        all_models = cluster.server_models()
+        eligible_indices: List[int] = []
+        servers = []
+        server_models: List[str] = []
+        for i, server in enumerate(cluster):
+            if server.local_queue_depth <= 1:
+                eligible_indices.append(i)
+                servers.append(server)
+                server_models.append(all_models[i])
+        if not eligible_indices:
+            return []
+
+        considered = list(pending)
+        if (
+            self._max_queries_per_round is not None
+            and len(considered) > self._max_queries_per_round
+        ):
+            considered = considered[: self._max_queries_per_round]
+
+        matrix = build_multi_model_cost_matrix(
+            considered,
+            servers,
+            server_models,
+            self._estimators,
+            now_ms,
+            self._qos_by_model,
+            self._coefficients,
+            qos_headroom=self._qos_headroom,
+            penalty_factor=self._penalty_factor,
+        )
+        result = solve_assignment(matrix.weighted, method=self._solver_method)
+
+        decisions: List[Decision] = []
+        round_types_of: Dict[str, Set[str]] = {}
+        for row, col in zip(result.row_indices, result.col_indices):
+            row, col = int(row), int(col)
+            if matrix.cross_model[row, col]:
+                # an instance of another model can never serve this query: always defer
+                continue
+            query = considered[row]
+            model_name = matrix.query_models[row]
+            if self._defer_violations and not matrix.qos_feasible[row, col]:
+                types = round_types_of.get(model_name)
+                if types is None:
+                    types = {
+                        name
+                        for name, server_model in zip(
+                            cluster.type_names(), all_models
+                        )
+                        if server_model == model_name
+                    }
+                    round_types_of[model_name] = types
+                if not self._is_hopeless(query, model_name, types, now_ms):
+                    continue
+            decisions.append((query, eligible_indices[col]))
+        return decisions
+
+    def _is_hopeless(
+        self, query: Query, model_name: str, type_names, now_ms: float
+    ) -> bool:
+        """True when no instance of the query's model could meet its deadline even idle."""
+        estimator = self._estimators[model_name]
+        budget = (
+            self._qos_headroom * self._qos_by_model[model_name]
+            - query.waiting_time_ms(now_ms)
+        )
+        if budget <= 0:
+            return True
+        for type_name in type_names:
+            if estimator.predict_ms(type_name, query.batch_size) <= budget:
+                return False
+        return True
+
+    def observe_completion(self, record: QueryRecord) -> None:
+        name = record.query.model_name
+        if name is None:
+            if len(self._estimators) != 1:
+                raise ValueError(
+                    "untagged completion record in a multi-model policy with "
+                    f"{len(self._estimators)} models"
+                )
+            name = next(iter(self._estimators))
+        self._estimators[name].observe(
+            record.server_type, record.query.batch_size, record.service_ms
+        )
+
+    # -- introspection --------------------------------------------------------------------
+    def estimator_of(self, model_name: str) -> LatencyEstimator:
+        return self._estimators[model_name]
+
+    @property
+    def coefficients_by_model(self) -> Dict[str, Dict[str, float]]:
+        return {name: dict(c) for name, c in self._coefficients.items()}

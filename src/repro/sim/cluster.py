@@ -11,7 +11,7 @@ the raw (mutating) cluster.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import InstanceType
@@ -19,6 +19,28 @@ from repro.cloud.models import MLModel
 from repro.cloud.profiles import ProfileRegistry
 from repro.sim.server import ServerInstance
 from repro.utils.validation import check_non_negative
+
+
+class ServerIdAllocator:
+    """Monotone server-id source; ids are never reused.
+
+    A standalone :class:`Cluster` owns a private allocator (ids 0, 1, 2, ... exactly as
+    before), while the model partitions of a :class:`MultiModelCluster` share one, so
+    server ids — and therefore billing-ledger keys and completion-event routing — stay
+    globally unique across co-located models.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError("server ids must be non-negative")
+        self._next = int(start)
+
+    def reserve(self) -> int:
+        server_id = self._next
+        self._next += 1
+        return server_id
 
 
 class Cluster:
@@ -35,6 +57,7 @@ class Cluster:
         profiles: ProfileRegistry,
         *,
         dispatch_overhead_ms: float = 0.0,
+        id_allocator: Optional[ServerIdAllocator] = None,
     ):
         if config.is_empty():
             raise ValueError("cannot build a cluster from an empty configuration")
@@ -43,18 +66,18 @@ class Cluster:
         self.model = model
         self.profiles = profiles
         self.dispatch_overhead_ms = float(dispatch_overhead_ms)
+        self._ids = id_allocator if id_allocator is not None else ServerIdAllocator()
         self._servers: List[ServerInstance] = []
         for itype in config.expand_instance_types():
             profile = profiles.profile(model, itype)
             self._servers.append(
                 ServerInstance(
-                    server_id=len(self._servers),
+                    server_id=self._ids.reserve(),
                     instance_type=itype,
                     profile=profile,
                     dispatch_overhead_ms=self.dispatch_overhead_ms,
                 )
             )
-        self._next_server_id = len(self._servers)
 
     # -- container protocol --------------------------------------------------------------
     def __len__(self) -> int:
@@ -112,9 +135,7 @@ class Cluster:
 
     def reserve_server_id(self) -> int:
         """Claim the next fresh server id (used when billing starts before readiness)."""
-        server_id = self._next_server_id
-        self._next_server_id += 1
-        return server_id
+        return self._ids.reserve()
 
     def add_server(
         self,
@@ -255,3 +276,192 @@ class ClusterView:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"ClusterView({len(self._servers)} of {len(self._cluster)} servers)"
+
+
+class MultiModelCluster:
+    """N co-located models sharing one physical pool, partitioned per model.
+
+    Each model owns a :class:`Cluster` over its own heterogeneous configuration (every
+    instance hosts exactly one model copy, as in the single-model system), but all
+    partitions share one :class:`ServerIdAllocator` so server ids — the keys of the
+    billing ledger and of completion events — are globally unique.  The scheduling
+    surface is the union: :meth:`active_view` concatenates every partition's accepting
+    servers (in registration order) into one :class:`MultiModelClusterView` with a
+    parallel model-name column, which the multi-model cost matrix consumes.
+    """
+
+    def __init__(
+        self,
+        configs: Mapping[str, HeterogeneousConfig],
+        profiles: ProfileRegistry,
+        *,
+        dispatch_overhead_ms: float = 0.0,
+    ):
+        if not configs:
+            raise ValueError("need at least one model configuration")
+        self.profiles = profiles
+        self.dispatch_overhead_ms = float(dispatch_overhead_ms)
+        self._ids = ServerIdAllocator()
+        self._clusters: Dict[str, Cluster] = {}
+        self._model_of_id: Dict[int, str] = {}
+        for name, config in configs.items():
+            model = profiles.models[name]
+            cluster = Cluster(
+                config,
+                model,
+                profiles,
+                dispatch_overhead_ms=dispatch_overhead_ms,
+                id_allocator=self._ids,
+            )
+            self._clusters[name] = cluster
+            for server in cluster:
+                self._model_of_id[server.server_id] = name
+
+    # -- partitions ------------------------------------------------------------------------
+    @property
+    def model_names(self) -> List[str]:
+        """Registered model names, in registration order."""
+        return list(self._clusters)
+
+    @property
+    def models(self) -> List[MLModel]:
+        return [c.model for c in self._clusters.values()]
+
+    def cluster_of(self, model_name: str) -> Cluster:
+        """The model's partition; raises ``KeyError`` for unregistered models."""
+        try:
+            return self._clusters[model_name]
+        except KeyError:
+            raise KeyError(
+                f"no model {model_name!r} in the cluster; registered: {self.model_names}"
+            ) from None
+
+    def qos_by_model(self) -> Dict[str, float]:
+        return {name: c.model.qos_ms for name, c in self._clusters.items()}
+
+    def current_configs(self) -> Dict[str, HeterogeneousConfig]:
+        return {name: c.current_config() for name, c in self._clusters.items()}
+
+    # -- container protocol (union of all partitions) ----------------------------------------
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._clusters.values())
+
+    def __iter__(self) -> Iterator[ServerInstance]:
+        for cluster in self._clusters.values():
+            yield from cluster
+
+    # -- id routing --------------------------------------------------------------------------
+    def model_of_server(self, server_id: int) -> str:
+        """Model hosted by ``server_id`` (also resolves reserved and removed ids)."""
+        try:
+            return self._model_of_id[server_id]
+        except KeyError:
+            raise KeyError(f"no server with id {server_id} in the cluster") from None
+
+    def server_by_id(self, server_id: int) -> ServerInstance:
+        return self.cluster_of(self.model_of_server(server_id)).server_by_id(server_id)
+
+    def remove_server(self, server_id: int) -> ServerInstance:
+        return self.cluster_of(self.model_of_server(server_id)).remove_server(server_id)
+
+    # -- elastic membership --------------------------------------------------------------------
+    def reserve_server_id(self, model_name: str) -> int:
+        """Reserve a fresh global id for a booting instance of ``model_name``."""
+        server_id = self.cluster_of(model_name).reserve_server_id()
+        self._model_of_id[server_id] = model_name
+        return server_id
+
+    def add_server(
+        self,
+        model_name: str,
+        instance_type: Union[str, InstanceType],
+        *,
+        now_ms: float = 0.0,
+        server_id: Optional[int] = None,
+    ) -> ServerInstance:
+        server = self.cluster_of(model_name).add_server(
+            instance_type, now_ms=now_ms, server_id=server_id
+        )
+        self._model_of_id[server.server_id] = model_name
+        return server
+
+    def drain_servers(
+        self, model_name: str, type_name: str, count: int, now_ms: float
+    ) -> List[ServerInstance]:
+        return self.cluster_of(model_name).drain_servers(type_name, count, now_ms)
+
+    # -- views -----------------------------------------------------------------------------
+    def active_view(self) -> "MultiModelClusterView":
+        return MultiModelClusterView(self)
+
+    def reset(self) -> None:
+        for cluster in self._clusters.values():
+            cluster.reset()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{n}={c.current_config()}" for n, c in self._clusters.items())
+        return f"MultiModelCluster({inner})"
+
+
+class MultiModelClusterView:
+    """A frozen, index-contiguous union of every partition's accepting servers.
+
+    Like :class:`ClusterView`, the mapping ``view[i] -> server`` is pinned for one
+    scheduling round.  The extra surface multi-model policies need is the parallel
+    model column (:meth:`server_models`) plus per-model substrate accessors
+    (:meth:`model`, :meth:`config_of`, :meth:`qos_by_model`).
+    """
+
+    def __init__(self, cluster: MultiModelCluster):
+        self._cluster = cluster
+        self._servers: List[ServerInstance] = []
+        self._server_models: List[str] = []
+        for name in cluster.model_names:
+            for server in cluster.cluster_of(name).active_servers():
+                self._servers.append(server)
+                self._server_models.append(name)
+
+    # -- container protocol ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[ServerInstance]:
+        return iter(self._servers)
+
+    def __getitem__(self, index: int) -> ServerInstance:
+        return self._servers[index]
+
+    @property
+    def servers(self) -> List[ServerInstance]:
+        return list(self._servers)
+
+    def server_models(self) -> List[str]:
+        """Model names parallel to the server list (``server_models()[i]`` hosts ``view[i]``)."""
+        return list(self._server_models)
+
+    def type_names(self) -> List[str]:
+        return [s.type_name for s in self._servers]
+
+    # -- cluster delegation ------------------------------------------------------------------
+    @property
+    def profiles(self) -> ProfileRegistry:
+        return self._cluster.profiles
+
+    @property
+    def model_names(self) -> List[str]:
+        return self._cluster.model_names
+
+    def model(self, model_name: str) -> MLModel:
+        return self._cluster.cluster_of(model_name).model
+
+    def config_of(self, model_name: str) -> HeterogeneousConfig:
+        return self._cluster.cluster_of(model_name).config
+
+    def qos_by_model(self) -> Dict[str, float]:
+        return self._cluster.qos_by_model()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiModelClusterView({len(self._servers)} servers, "
+            f"{len(self._cluster.model_names)} models)"
+        )

@@ -27,7 +27,7 @@ changes, so existing policies work unmodified.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cloud.billing import InstanceUsageLedger
 from repro.core.controller import ElasticKairosController, ReplanDecision
@@ -40,6 +40,74 @@ from repro.sim.server import ServerInstance, ServiceNoiseModel
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_non_negative
 from repro.workload.query import Query
+
+
+def _probe_batches(max_batch: int) -> List[int]:
+    """Deterministic geometric batch ladder probing a type's QoS-feasible range."""
+    ladder = []
+    b = 1
+    while b < max_batch:
+        ladder.append(b)
+        b *= 2
+    ladder.append(max_batch)
+    return ladder
+
+
+def drain_cost_efficiency(
+    profiles, model, type_name: str, *, probe_batches: Optional[Sequence[int]] = None
+) -> float:
+    """$/hr freed per unit of QoS-feasible serving capacity lost by draining one instance.
+
+    Higher scores drain first: an expensive type contributing little within-QoS
+    throughput frees the most budget per qps given up.  A type that cannot serve any
+    probed batch within the model's QoS scores ``inf`` — draining it costs no serving
+    capacity at all.  The probe mix is a fixed geometric ladder so the score depends
+    only on the profiles, keeping elastic runs deterministic.
+    """
+    batches = (
+        list(probe_batches) if probe_batches is not None else _probe_batches(model.max_batch_size)
+    )
+    qps = profiles.standalone_qps(model, type_name, batches)
+    price = profiles.catalog[type_name].price_per_hour
+    if qps <= 0.0:
+        return float("inf")
+    return price / qps
+
+
+def scale_down_priority(profiles, model, type_names: Sequence[str]) -> List[str]:
+    """Order instance types for draining, most cost-efficient-to-shed first.
+
+    Ties (equal $/hr-per-qps scores) keep catalog order for determinism.
+    """
+    ranked = sorted(
+        type_names,
+        key=lambda name: (-drain_cost_efficiency(profiles, model, name),
+                          profiles.catalog.index_of(name)),
+    )
+    return ranked
+
+
+def select_drain_victims(
+    cluster: Cluster, requests: Mapping[str, int], now_ms: float
+) -> List[ServerInstance]:
+    """Synchronously drain a multi-type shrink in cost-aware order (ROADMAP item).
+
+    Types are processed by :func:`scale_down_priority` (most $/hr freed per lost qps
+    first); within a type the cluster's least-loaded-first rule picks the instances.
+    The returned list is ordered as drained; all victims are put into draining.
+
+    This is the selection policy in callable form, for scripted scenarios and direct
+    cluster surgery.  The event-driven simulators apply the *same* ordering by
+    emitting their replan ``SCALE_DOWN`` events in :func:`scale_down_priority` order
+    (cancellation of still-booting instances has to happen inside the event handler,
+    so they cannot drain synchronously through this helper).
+    """
+    victims: List[ServerInstance] = []
+    for type_name in scale_down_priority(cluster.profiles, cluster.model, list(requests)):
+        count = int(requests[type_name])
+        if count > 0:
+            victims.extend(cluster.drain_servers(type_name, count, now_ms))
+    return victims
 
 
 @dataclass
@@ -386,14 +454,23 @@ class ElasticServingSimulation:
                         ScaleRequest(type_name, delta, reason="replan"),
                     )
                 )
-            elif delta < 0:
-                events.push(
-                    Event(
-                        now,
-                        EventKind.SCALE_DOWN,
-                        ScaleRequest(type_name, -delta, reason="replan"),
-                    )
+        # When several types shrink at once, drain the most cost-efficient victims
+        # first ($/hr freed per unit of lost QoS-feasible capacity): same-timestamp
+        # SCALE_DOWN events process in insertion order, so the priority here decides
+        # which types give up booting instances and live servers first.
+        shrinking = [name for name, delta in decision.scale_deltas.items() if delta < 0]
+        for type_name in scale_down_priority(
+            self.cluster.profiles, self.cluster.model, shrinking
+        ):
+            events.push(
+                Event(
+                    now,
+                    EventKind.SCALE_DOWN,
+                    ScaleRequest(
+                        type_name, -decision.scale_deltas[type_name], reason="replan"
+                    ),
                 )
+            )
 
     def _commit(
         self,

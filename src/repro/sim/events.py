@@ -46,11 +46,15 @@ class ScaleRequest:
         Number of instances to add (scale-up) or drain (scale-down); always positive.
     reason:
         Free-form provenance tag (e.g. ``"replan"``) kept for reports.
+    model_name:
+        The co-located model whose partition the request targets.  ``None`` (the
+        default) addresses the single model of a classic elastic cluster.
     """
 
     type_name: str
     count: int
     reason: str = ""
+    model_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.count <= 0:

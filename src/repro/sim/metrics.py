@@ -180,3 +180,63 @@ class ServingMetrics:
             "goodput_qps": self.goodput_qps(),
             "meets_qos": float(self.meets_qos()) if self._records else float("nan"),
         }
+
+
+class MultiModelServingMetrics:
+    """Per-model :class:`ServingMetrics` for co-located multi-model serving runs.
+
+    Each model aggregates its own records against its own QoS target — the central
+    quantity of the multi-model experiments is whether *every* model meets its QoS,
+    not a pooled tail over incomparable targets.  Records route by the query's
+    ``model_name`` tag (untagged records are only legal with a single registered
+    model, preserving the single-model path).
+    """
+
+    def __init__(self, qos_ms_by_model: "Dict[str, float]", qos_percentile: float = 99.0):
+        if not qos_ms_by_model:
+            raise ValueError("need at least one model QoS target")
+        self._per_model: Dict[str, ServingMetrics] = {
+            name: ServingMetrics(qos_ms, qos_percentile)
+            for name, qos_ms in qos_ms_by_model.items()
+        }
+        self._sole = next(iter(self._per_model)) if len(self._per_model) == 1 else None
+
+    # -- collection -------------------------------------------------------------------
+    def record(self, record: QueryRecord) -> None:
+        name = record.query.model_name
+        if name is None:
+            if self._sole is None:
+                raise ValueError(
+                    f"record for query {record.query.query_id} carries no model tag "
+                    f"but {len(self._per_model)} models are registered"
+                )
+            name = self._sole
+        try:
+            self._per_model[name].record(record)
+        except KeyError:
+            raise KeyError(f"record targets unregistered model {name!r}") from None
+
+    def __len__(self) -> int:
+        return sum(len(m) for m in self._per_model.values())
+
+    # -- per-model views -----------------------------------------------------------------
+    @property
+    def model_names(self) -> List[str]:
+        return list(self._per_model)
+
+    def of_model(self, model_name: str) -> ServingMetrics:
+        return self._per_model[model_name]
+
+    def per_model(self) -> Dict[str, ServingMetrics]:
+        return dict(self._per_model)
+
+    def all_meet_qos(self) -> bool:
+        """True when every model with served queries meets its own QoS percentile."""
+        return all(m.meets_qos() for m in self._per_model.values() if len(m))
+
+    def makespan_ms(self) -> float:
+        return max((m.makespan_ms() for m in self._per_model.values()), default=0.0)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-model summary dicts keyed by model name."""
+        return {name: m.summary() for name, m in self._per_model.items()}

@@ -1,0 +1,504 @@
+"""Multi-model serving: N co-located models, one event loop, one shared budget.
+
+:class:`MultiModelServingSimulation` generalizes
+:class:`~repro.sim.elasticity.ElasticServingSimulation` to a
+:class:`~repro.sim.cluster.MultiModelCluster`: arrivals are tagged with the model they
+target, scheduling rounds run over the *union* of pending queries and every partition's
+accepting instances (the policy sees a
+:class:`~repro.sim.cluster.MultiModelClusterView`), metrics aggregate per model against
+per-model QoS targets, and the billing ledger tags every instance with its model so
+spend is attributable per tenant.
+
+Everything flows through the same :class:`~repro.sim.engine.EventQueue` ordering
+contract as the single-model simulators; with exactly one registered model the run is
+event-for-event identical to the single-model elastic path (locked down by the golden
+and seed-stability tests).
+
+Elasticity carries over: ``SCALE_UP`` / ``SCALE_DOWN`` requests name the model
+partition they target, and an optional
+:class:`~repro.core.controller.MultiModelElasticController` re-plans the *joint*
+allocation of all models under the shared budget.  When a re-plan shrinks several
+(model, type) pairs at once, scale-downs are emitted most-cost-efficient-first (the
+same $/hr-per-capacity rule as :func:`~repro.sim.elasticity.scale_down_priority`).
+
+Maintenance note: the event loop, handlers, and commit path deliberately mirror
+:class:`~repro.sim.elasticity.ElasticServingSimulation` statement for statement (the
+single-model loop stays untouched so its seed behaviour cannot drift); a semantic fix
+in either loop must be mirrored in the other, and the byte-identity suite
+(``test_multi_model.py::TestSingleModelByteIdentity``) fails if they diverge on the
+shared single-model behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.billing import InstanceUsageLedger
+from repro.sim.cluster import MultiModelCluster, MultiModelClusterView
+from repro.sim.elasticity import ScaleLogEntry, drain_cost_efficiency
+from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.metrics import MultiModelServingMetrics, QueryRecord
+from repro.sim.pending import PendingQueue
+from repro.sim.server import ServiceNoiseModel
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_non_negative
+from repro.workload.query import Query
+
+
+@dataclass
+class MultiModelSimulationReport:
+    """Everything a multi-model serving run produced."""
+
+    metrics: MultiModelServingMetrics
+    cluster: MultiModelCluster
+    ledger: InstanceUsageLedger
+    policy_name: str
+    scheduling_rounds: int
+    dispatched_queries: int
+    total_queries: int
+    simulated_duration_ms: float
+    billing_horizon_ms: float = 0.0
+    replans: List = field(default_factory=list)
+    scale_log: List[ScaleLogEntry] = field(default_factory=list)
+    peak_instances: int = 0
+
+    @property
+    def completed_all(self) -> bool:
+        return self.dispatched_queries == self.total_queries
+
+    def total_cost(self) -> float:
+        """Dollar spend over the whole run (all models combined)."""
+        return self.ledger.total_cost(self.billing_horizon_ms)
+
+    def cost_by_model(self) -> Dict[str, float]:
+        """Per-model attributed spend; sums to :meth:`total_cost` (ledger tags)."""
+        by_tag = self.ledger.cost_by_tag(self.billing_horizon_ms)
+        return {name: cost for name, cost in by_tag.items() if name is not None}
+
+    def all_meet_qos(self) -> bool:
+        return self.metrics.all_meet_qos()
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-model metric summaries plus run-level totals under ``"__run__"``."""
+        data: Dict[str, Dict[str, float]] = dict(self.metrics.summary())
+        cost_by_model = self.cost_by_model()
+        for name in cost_by_model:
+            data[name] = dict(data.get(name, {}))
+            data[name]["attributed_cost"] = cost_by_model[name]
+        data["__run__"] = {
+            "scheduling_rounds": float(self.scheduling_rounds),
+            "simulated_duration_ms": self.simulated_duration_ms,
+            "num_replans": float(len(self.replans)),
+            "total_cost": self.total_cost(),
+            "peak_instances": float(self.peak_instances),
+        }
+        return data
+
+
+class MultiModelServingSimulation:
+    """Serve an interleaved multi-model query stream on one co-located cluster.
+
+    Parameters mirror :class:`~repro.sim.elasticity.ElasticServingSimulation`; the
+    policy must understand a :class:`~repro.sim.cluster.MultiModelClusterView`
+    (:class:`~repro.schedulers.kairos_policy.MultiModelKairosPolicy` is the reference
+    implementation).  Scripted scale events and controller decisions address model
+    partitions via ``ScaleRequest.model_name`` (``None`` is only legal with a single
+    registered model).  Like the elastic simulator this driver is one-shot.
+    """
+
+    def __init__(
+        self,
+        cluster: MultiModelCluster,
+        policy,
+        *,
+        controller=None,
+        qos_percentile: float = 99.0,
+        startup_delay_ms: float = 2_000.0,
+        noise: Optional[ServiceNoiseModel] = None,
+        rng: RngLike = None,
+        warmup_queries: int = 0,
+        scripted_events: Sequence[Event] = (),
+    ):
+        check_non_negative(startup_delay_ms, "startup_delay_ms")
+        if warmup_queries < 0:
+            raise ValueError("warmup_queries must be non-negative")
+        self.cluster = cluster
+        self.policy = policy
+        self.controller = controller
+        self.qos_percentile = float(qos_percentile)
+        self.startup_delay_ms = float(startup_delay_ms)
+        self.noise = noise
+        self.rng = ensure_rng(rng)
+        self.warmup_queries = int(warmup_queries)
+        self.scripted_events = tuple(scripted_events)
+        for event in self.scripted_events:
+            if event.kind not in (EventKind.SCALE_UP, EventKind.SCALE_DOWN):
+                raise ValueError("scripted events must be SCALE_UP or SCALE_DOWN")
+            if not isinstance(event.payload, ScaleRequest):
+                raise ValueError("scripted scale events must carry a ScaleRequest payload")
+            self._request_model(event.payload)  # validates the model tag
+        self._ran = False
+
+    # -- helpers -----------------------------------------------------------------------
+    def _request_model(self, request: ScaleRequest) -> str:
+        """Resolve the model a scale request targets (sole-model fallback)."""
+        if request.model_name is not None:
+            self.cluster.cluster_of(request.model_name)  # raises on unknown model
+            return request.model_name
+        names = self.cluster.model_names
+        if len(names) != 1:
+            raise ValueError(
+                f"scale request for type {request.type_name!r} carries no model tag "
+                f"but {len(names)} models are co-located"
+            )
+        return names[0]
+
+    def run(self, queries: Sequence[Query]) -> MultiModelSimulationReport:
+        """Serve ``queries`` once (one-shot, like the elastic simulator)."""
+        if self._ran:
+            raise RuntimeError(
+                "MultiModelServingSimulation is one-shot: cluster membership and "
+                "controller state are consumed by run(); build fresh objects for "
+                "another run"
+            )
+        self._ran = True
+        if not queries:
+            raise ValueError("cannot simulate an empty query stream")
+        sole = self.cluster.model_names[0] if len(self.cluster.model_names) == 1 else None
+        for q in queries:
+            if q.model_name is None and sole is None:
+                raise ValueError(
+                    f"query {q.query_id} carries no model tag but "
+                    f"{len(self.cluster.model_names)} models are co-located"
+                )
+            if q.model_name is not None and q.model_name not in self.cluster.model_names:
+                raise KeyError(
+                    f"query {q.query_id} targets unregistered model {q.model_name!r}"
+                )
+        ordered = sorted(queries, key=lambda q: (q.arrival_time_ms, q.query_id))
+        n = len(ordered)
+        self.cluster.reset()
+        metrics = MultiModelServingMetrics(
+            self.cluster.qos_by_model(), self.qos_percentile
+        )
+        ledger = InstanceUsageLedger(self.cluster.profiles.catalog)
+        for name in self.cluster.model_names:
+            for server in self.cluster.cluster_of(name):
+                ledger.start(server.server_id, server.instance_type, 0.0, tag=name)
+        scale_log: List[ScaleLogEntry] = []
+        replans: List = []
+
+        clock = SimulationClock(0.0)
+        events = EventQueue()
+        for q in ordered:
+            events.push(Event(q.arrival_time_ms, EventKind.QUERY_ARRIVAL, q))
+        events.push_all(self.scripted_events)
+
+        pending = PendingQueue()
+        # Warm-up is per model: each model's online learner has its own cold start, so
+        # the first `warmup_queries` arrivals *of each model* are excluded from metrics
+        # (with one model this reduces to the single-model prefix rule).
+        warmup_ids = set()
+        if self.warmup_queries:
+            seen: Dict[Optional[str], int] = {}
+            for q in ordered:
+                count = seen.get(q.model_name, 0)
+                if count < self.warmup_queries:
+                    warmup_ids.add(q.query_id)
+                    seen[q.model_name] = count + 1
+        # (model, type) -> reserved ids of instances still booting (see elasticity.py)
+        self._booting: Dict[Tuple[str, str], List[int]] = {}
+        self._cancelled: set = set()
+        dispatched = 0
+        rounds = 0
+        peak = len(self.cluster)
+        view = self.cluster.active_view()
+        self.policy.bind(view)
+        max_steps = 20 * n + 1000
+        steps = 0
+
+        while events:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    f"simulation exceeded {max_steps} steps; the scheduling policy "
+                    f"{type(self.policy).__name__} appears to be making no progress"
+                )
+            now = clock.advance_to(events.peek_time())
+            membership_changed = False
+            saw_arrival = False
+
+            batch = list(events.pop_until(now))
+            while batch:
+                for event in batch:
+                    kind_changed, kind_arrival = self._handle(
+                        event, now, metrics, ledger, scale_log, warmup_ids, events
+                    )
+                    membership_changed = membership_changed or kind_changed
+                    saw_arrival = saw_arrival or kind_arrival
+                    if kind_arrival:
+                        pending.append(event.payload)
+                batch = list(events.pop_until(now))
+
+                if saw_arrival and self.controller is not None:
+                    decision = self.controller.maybe_replan(now)
+                    if decision is not None:
+                        replans.append(decision)
+                        self._emit_scale_events(decision, now, events)
+                    saw_arrival = False
+
+            if membership_changed:
+                view = self.cluster.active_view()
+                if len(view):
+                    self.policy.bind(view)
+                peak = max(peak, len(self.cluster))
+
+            if pending and len(view):
+                assignments = self.policy.schedule(now, pending.snapshot(), view)
+                rounds += 1
+                if assignments:
+                    dispatched += self._commit(assignments, pending, view, now, events)
+
+            if not events and pending:
+                break
+
+        duration = metrics.makespan_ms() if len(metrics) else clock.now_ms
+        horizon = clock.now_ms
+        ledger.close_all(horizon)
+        return MultiModelSimulationReport(
+            metrics=metrics,
+            cluster=self.cluster,
+            ledger=ledger,
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            scheduling_rounds=rounds,
+            dispatched_queries=dispatched,
+            total_queries=n,
+            simulated_duration_ms=duration,
+            billing_horizon_ms=horizon,
+            replans=replans,
+            scale_log=scale_log,
+            peak_instances=peak,
+        )
+
+    # -- event handling -----------------------------------------------------------------
+    def _handle(
+        self,
+        event: Event,
+        now: float,
+        metrics: MultiModelServingMetrics,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+        warmup_ids,
+        events: EventQueue,
+    ) -> Tuple[bool, bool]:
+        """Apply one event; returns ``(membership_changed, was_arrival)``."""
+        if event.kind == EventKind.SERVICE_COMPLETION:
+            record: QueryRecord = event.payload
+            server = self.cluster.server_by_id(record.server_id)
+            server.complete_one()
+            if record.query.query_id not in warmup_ids:
+                metrics.record(record)
+            self.policy.observe_completion(record)
+            if server.drained:
+                self.cluster.remove_server(server.server_id)
+                ledger.stop(server.server_id, now)
+                scale_log.append(
+                    ScaleLogEntry(now, "decommission", server.type_name, 1)
+                )
+                return True, False
+            return False, False
+
+        if event.kind == EventKind.QUERY_ARRIVAL:
+            if self.controller is not None:
+                self.controller.observe_arrival(event.payload, now)
+            return False, True
+
+        if event.kind == EventKind.SCALE_UP:
+            request: ScaleRequest = event.payload
+            model_name = self._request_model(request)
+            itype = self.cluster.profiles.catalog[request.type_name]
+            for _ in range(request.count):
+                server_id = self.cluster.reserve_server_id(model_name)
+                ledger.start(server_id, itype, now, tag=model_name)
+                self._booting.setdefault((model_name, request.type_name), []).append(
+                    server_id
+                )
+                events.push(
+                    Event(
+                        now + self.startup_delay_ms,
+                        EventKind.INSTANCE_READY,
+                        (server_id, request.type_name, model_name),
+                    )
+                )
+            scale_log.append(
+                ScaleLogEntry(
+                    now,
+                    "scale_up",
+                    request.type_name,
+                    request.count,
+                    self._reason(request, model_name),
+                )
+            )
+            return False, False
+
+        if event.kind == EventKind.SCALE_DOWN:
+            request = event.payload
+            model_name = self._request_model(request)
+            self.cluster.profiles.catalog[request.type_name]  # raises on unknown type
+            remaining = request.count
+            booting = self._booting.get((model_name, request.type_name), [])
+            while remaining > 0 and booting:
+                server_id = booting.pop()
+                self._cancelled.add(server_id)
+                ledger.stop(server_id, now)
+                scale_log.append(
+                    ScaleLogEntry(
+                        now,
+                        "cancel_startup",
+                        request.type_name,
+                        1,
+                        self._reason(request, model_name),
+                    )
+                )
+                remaining -= 1
+            victims = (
+                self.cluster.drain_servers(model_name, request.type_name, remaining, now)
+                if remaining > 0
+                else []
+            )
+            changed = False
+            for server in victims:
+                if server.drained:
+                    self.cluster.remove_server(server.server_id)
+                    ledger.stop(server.server_id, now)
+                    scale_log.append(
+                        ScaleLogEntry(now, "decommission", server.type_name, 1)
+                    )
+                changed = True
+            scale_log.append(
+                ScaleLogEntry(
+                    now,
+                    "scale_down",
+                    request.type_name,
+                    len(victims),
+                    self._reason(request, model_name),
+                )
+            )
+            return changed, False
+
+        if event.kind == EventKind.INSTANCE_READY:
+            server_id, type_name, model_name = event.payload
+            if server_id in self._cancelled:
+                self._cancelled.discard(server_id)
+                return False, False
+            booting = self._booting.get((model_name, type_name), [])
+            if server_id in booting:
+                booting.remove(server_id)
+            self.cluster.add_server(
+                model_name, type_name, now_ms=now, server_id=server_id
+            )
+            scale_log.append(
+                ScaleLogEntry(now, "instance_ready", type_name, 1, model_name)
+            )
+            return True, False
+
+        return False, False  # CONTROL and future kinds: no-op
+
+    @staticmethod
+    def _reason(request: ScaleRequest, model_name: str) -> str:
+        return f"{request.reason}:{model_name}" if request.reason else model_name
+
+    def _emit_scale_events(self, decision, now: float, events: EventQueue) -> None:
+        """Turn a joint re-plan into per-(model, type) provisioning events.
+
+        Scale-ups go out in model/catalog order; scale-downs across all shrinking
+        (model, type) pairs are ordered by drain cost-efficiency (most $/hr freed per
+        unit of lost QoS-feasible capacity first), generalizing the single-model rule.
+        """
+        shrinking: List[Tuple[float, int, str, str, int]] = []
+        for order, (model_name, deltas) in enumerate(decision.scale_deltas.items()):
+            for type_name, delta in deltas.items():
+                if delta > 0:
+                    events.push(
+                        Event(
+                            now,
+                            EventKind.SCALE_UP,
+                            ScaleRequest(
+                                type_name, delta, reason="replan", model_name=model_name
+                            ),
+                        )
+                    )
+                elif delta < 0:
+                    score = drain_cost_efficiency(
+                        self.cluster.profiles,
+                        self.cluster.cluster_of(model_name).model,
+                        type_name,
+                    )
+                    tie = self.cluster.profiles.catalog.index_of(type_name)
+                    shrinking.append((-score, order, tie, type_name, model_name, -delta))
+        for _, _, _, type_name, model_name, count in sorted(
+            shrinking, key=lambda item: item[:3]
+        ):
+            events.push(
+                Event(
+                    now,
+                    EventKind.SCALE_DOWN,
+                    ScaleRequest(
+                        type_name, count, reason="replan", model_name=model_name
+                    ),
+                )
+            )
+
+    def _commit(
+        self,
+        assignments,
+        pending: PendingQueue,
+        view: MultiModelClusterView,
+        now: float,
+        events: EventQueue,
+    ) -> int:
+        count = 0
+        server_models = view.server_models()
+        for query, server_idx in assignments:
+            if query.query_id not in pending:
+                raise ValueError(
+                    f"policy assigned query {query.query_id}, which is not pending"
+                )
+            if not 0 <= server_idx < len(view):
+                raise ValueError(f"policy assigned an unknown server index {server_idx}")
+            if query.model_name is not None and server_models[server_idx] != query.model_name:
+                raise ValueError(
+                    f"policy assigned query {query.query_id} ({query.model_name}) to a "
+                    f"server hosting {server_models[server_idx]}"
+                )
+            pending.remove(query.query_id)
+            server = view[server_idx]
+            start, completion, service = server.dispatch(
+                query, now, noise=self.noise, rng=self.rng
+            )
+            record = QueryRecord(
+                query=query,
+                server_id=server.server_id,
+                server_type=server.type_name,
+                start_ms=start,
+                completion_ms=completion,
+                service_ms=service,
+            )
+            events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
+            count += 1
+        return count
+
+
+def simulate_multi_model_serving(
+    cluster: MultiModelCluster,
+    policy,
+    queries: Sequence[Query],
+    *,
+    controller=None,
+    **kwargs,
+) -> MultiModelSimulationReport:
+    """Convenience wrapper mirroring :func:`~repro.sim.elasticity.simulate_elastic_serving`."""
+    sim = MultiModelServingSimulation(cluster, policy, controller=controller, **kwargs)
+    return sim.run(queries)

@@ -20,9 +20,15 @@ from repro.workload.arrivals import (
     DeterministicArrivalProcess,
     PoissonArrivalProcess,
 )
-from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    interleave_model_streams,
+)
 from repro.workload.phases import (
     LoadPhase,
+    MultiModelTrace,
+    MultiModelTraceResult,
     PhasedTrace,
     PhasedTraceResult,
     PhasedWorkloadGenerator,
@@ -43,11 +49,14 @@ __all__ = [
     "DeterministicArrivalProcess",
     "WorkloadGenerator",
     "WorkloadSpec",
+    "interleave_model_streams",
     "WorkloadPhase",
     "PhasedWorkloadGenerator",
     "LoadPhase",
     "PhasedTrace",
     "PhasedTraceResult",
+    "MultiModelTrace",
+    "MultiModelTraceResult",
     "load_trace",
     "save_trace",
     "synthesize_trace",

@@ -8,7 +8,7 @@ plus a rate and get a concrete list of :class:`~repro.workload.query.Query` obje
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -31,11 +31,15 @@ class WorkloadSpec:
         Arrival process (Poisson by default, as in the paper).
     num_queries:
         How many queries a single generated workload contains.
+    model_name:
+        Optional model tag stamped on every generated query (multi-model clusters);
+        ``None`` generates untagged single-model streams exactly as before.
     """
 
     batch_sizes: BatchSizeDistribution = field(default_factory=production_batch_distribution)
     arrivals: ArrivalProcess = field(default_factory=PoissonArrivalProcess)
     num_queries: int = 2000
+    model_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_queries, "num_queries")
@@ -45,6 +49,9 @@ class WorkloadSpec:
 
     def with_batch_sizes(self, batch_sizes: BatchSizeDistribution) -> "WorkloadSpec":
         return replace(self, batch_sizes=batch_sizes)
+
+    def for_model(self, model_name: Optional[str]) -> "WorkloadSpec":
+        return replace(self, model_name=model_name)
 
 
 class WorkloadGenerator:
@@ -78,7 +85,12 @@ class WorkloadGenerator:
             n, rate_qps, arrival_rng, start_time_ms=start_time_ms
         )
         return [
-            Query(query_id=first_query_id + i, batch_size=int(batches[i]), arrival_time_ms=float(times[i]))
+            Query(
+                query_id=first_query_id + i,
+                batch_size=int(batches[i]),
+                arrival_time_ms=float(times[i]),
+                model_name=self.spec.model_name,
+            )
             for i in range(n)
         ]
 
@@ -90,6 +102,24 @@ class WorkloadGenerator:
 def _independent_children(gen: np.random.Generator, n: int) -> List[np.random.Generator]:
     seeds = gen.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def interleave_model_streams(streams: Mapping[str, Sequence[Query]]) -> List[Query]:
+    """Merge per-model query streams into one arrival-ordered multi-model stream.
+
+    Every query is tagged with its stream's model name and re-numbered with a global
+    id in arrival order (model order in ``streams`` breaks arrival-time ties, original
+    ids break ties within one stream), so the merged stream satisfies the simulator's
+    "ids monotone in arrival order" convention and ids are globally unique.
+    """
+    order = {name: rank for rank, name in enumerate(streams)}
+    tagged = [
+        q if q.model_name == name else q.for_model(name)
+        for name, queries in streams.items()
+        for q in queries
+    ]
+    tagged.sort(key=lambda q: (q.arrival_time_ms, order[q.model_name], q.query_id))
+    return [q.with_query_id(i) for i, q in enumerate(tagged)]
 
 
 def queries_from_batches(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -394,6 +394,57 @@ class PhasedTrace:
                 _arrivals_in_window(self.spec.arrivals, rate, seg_start, seg_end, rng)
             )
         return times
+
+
+@dataclass(frozen=True)
+class MultiModelTraceResult:
+    """An interleaved multi-model trace plus each model's own phased view.
+
+    ``queries`` is the merged arrival-ordered stream with model tags and globally
+    unique ids; ``per_model`` keeps each model's :class:`PhasedTraceResult` (with its
+    original per-stream ids) so per-phase windows and offered rates stay queryable
+    per model.
+    """
+
+    queries: Tuple[Query, ...]
+    per_model: "Dict[str, PhasedTraceResult]"
+
+    @property
+    def model_names(self) -> Tuple[str, ...]:
+        return tuple(self.per_model)
+
+    def queries_of_model(self, model_name: str) -> List[Query]:
+        return [q for q in self.queries if q.model_name == model_name]
+
+
+class MultiModelTrace:
+    """Compose one :class:`PhasedTrace` per co-located model into one query stream.
+
+    Each model's trace is generated with an independent child generator (spawned in
+    the mapping's model order, so the composition is deterministic per seed), its
+    queries are tagged with the model name, and the streams are interleaved in global
+    arrival order via
+    :func:`~repro.workload.generator.interleave_model_streams` — the arrival shape a
+    co-located cluster actually sees.
+    """
+
+    def __init__(self, traces: "Mapping[str, PhasedTrace]"):
+        if not traces:
+            raise ValueError("need at least one model trace")
+        self.traces: "Dict[str, PhasedTrace]" = dict(traces)
+
+    def generate(self, rng: RngLike = None, *, start_time_ms: float = 0.0) -> MultiModelTraceResult:
+        from repro.workload.generator import interleave_model_streams
+
+        gen = ensure_rng(rng)
+        child_rngs = spawn_rngs(gen, len(self.traces))
+        per_model: Dict[str, PhasedTraceResult] = {}
+        for child, (name, trace) in zip(child_rngs, self.traces.items()):
+            per_model[name] = trace.generate(child, start_time_ms=start_time_ms)
+        merged = interleave_model_streams(
+            {name: list(result.queries) for name, result in per_model.items()}
+        )
+        return MultiModelTraceResult(queries=tuple(merged), per_model=per_model)
 
 
 def _arrivals_in_window(

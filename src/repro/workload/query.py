@@ -26,17 +26,25 @@ class Query:
         Number of requests batched into the query (1 .. model max batch size).
     arrival_time_ms:
         Simulated wall-clock arrival time in milliseconds.
+    model_name:
+        The served model this query targets.  ``None`` (the default) means the single
+        model of the cluster, preserving the original single-model workloads byte for
+        byte; multi-model clusters require every query to be tagged so the central
+        controller can route it to an instance hosting the right model.
     """
 
     query_id: int
     batch_size: int
     arrival_time_ms: float
+    model_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.query_id < 0:
             raise ValueError(f"query_id must be non-negative, got {self.query_id}")
         check_positive_int(self.batch_size, "batch_size")
         check_non_negative(self.arrival_time_ms, "arrival_time_ms")
+        if self.model_name is not None and not self.model_name:
+            raise ValueError("model_name must be None or non-empty")
 
     def deadline_ms(self, qos_ms: float) -> float:
         """Absolute completion deadline implied by a QoS target."""
@@ -52,7 +60,16 @@ class Query:
 
     def with_arrival_time(self, arrival_time_ms: float) -> "Query":
         """Copy of the query shifted to a new arrival time (used by trace replay)."""
-        return Query(self.query_id, self.batch_size, float(arrival_time_ms))
+        return Query(self.query_id, self.batch_size, float(arrival_time_ms), self.model_name)
+
+    def for_model(self, model_name: str) -> "Query":
+        """Copy of the query tagged with the model it targets (multi-model workloads)."""
+        return Query(self.query_id, self.batch_size, self.arrival_time_ms, model_name)
+
+    def with_query_id(self, query_id: int) -> "Query":
+        """Copy with a new id (used when interleaving per-model streams globally)."""
+        return Query(int(query_id), self.batch_size, self.arrival_time_ms, self.model_name)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Q{self.query_id}(b={self.batch_size}, t={self.arrival_time_ms:.2f}ms)"
+        tag = f", {self.model_name}" if self.model_name else ""
+        return f"Q{self.query_id}(b={self.batch_size}, t={self.arrival_time_ms:.2f}ms{tag})"

@@ -1,0 +1,142 @@
+"""Property-based tests for per-model cost attribution in the usage ledger.
+
+Multi-model runs tag every billing interval with the model the instance hosts.  The
+invariants any attribution scheme must uphold, for *any* commissioning history:
+
+* per-model attributed cost sums exactly to the total billed cost (tags partition the
+  intervals — attribution can neither create nor lose spend);
+* every attributed cost is non-negative, and windowed queries behave the same;
+* the ledger is invariant to the *interleaving order* of start/stop events at equal
+  timestamps: costs are per-interval integrals, so applying simultaneous events in any
+  order (that respects each instance's own start-before-stop causality) yields the
+  identical per-tag and total costs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.billing import InstanceUsageLedger
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+
+MODELS = ("RM2", "WND", "NCF")
+TYPE_NAMES = list(DEFAULT_INSTANCE_CATALOG.names)
+
+#: One instance's commissioning history: (type index, tag index, start, duration).
+#: Timestamps are drawn from a coarse grid so equal-timestamp collisions are common —
+#: the interleaving-invariance property is vacuous without them.
+instance_histories = st.lists(
+    st.tuples(
+        st.integers(0, len(TYPE_NAMES) - 1),
+        st.integers(0, len(MODELS) - 1),
+        st.integers(0, 20),  # start (grid units)
+        st.integers(0, 10),  # duration (grid units; 0 = start and stop coincide)
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+GRID_MS = 500.0
+HORIZON_MS = 40 * GRID_MS
+
+
+def _build_events(histories):
+    """Turn per-instance histories into (time, kind, server_id, type, tag) events."""
+    events = []
+    for server_id, (type_idx, tag_idx, start, duration) in enumerate(histories):
+        start_ms = start * GRID_MS
+        end_ms = (start + duration) * GRID_MS
+        events.append((start_ms, "start", server_id, TYPE_NAMES[type_idx], MODELS[tag_idx]))
+        events.append((end_ms, "stop", server_id, None, None))
+    return events
+
+
+def _apply(events, order_keys):
+    """Apply events time-ordered, breaking equal-timestamp ties by ``order_keys``.
+
+    Each instance's start always precedes its stop (the ledger's causality
+    contract); beyond that, simultaneous events of different instances are applied
+    in an arbitrary hypothesis-chosen order.
+    """
+    ledger = InstanceUsageLedger(DEFAULT_INSTANCE_CATALOG)
+    started = set()
+    pending = sorted(
+        enumerate(events),
+        key=lambda item: (item[1][0], order_keys[item[0] % len(order_keys)], item[0]),
+    )
+    # A stop whose start shares the timestamp must still come after it; resolve by
+    # deferring premature stops (possible only because their times are equal).
+    deferred = []
+    for _, event in pending:
+        time_ms, kind, server_id, type_name, tag = event
+        if kind == "start":
+            ledger.start(server_id, type_name, time_ms, tag=tag)
+            started.add(server_id)
+            still_deferred = []
+            for d_time, d_server in deferred:
+                if d_server in started:
+                    ledger.stop(d_server, d_time)
+                else:  # pragma: no cover - defensive
+                    still_deferred.append((d_time, d_server))
+            deferred = still_deferred
+        else:
+            if server_id in started:
+                ledger.stop(server_id, time_ms)
+            else:
+                deferred.append((time_ms, server_id))
+    assert not deferred
+    return ledger
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories=instance_histories)
+def test_per_tag_costs_partition_the_total(histories):
+    ledger = _apply(_build_events(histories), order_keys=list(range(32)))
+    by_tag = ledger.cost_by_tag(HORIZON_MS)
+    assert all(cost >= 0.0 for cost in by_tag.values())
+    assert sum(by_tag.values()) == np.float64(
+        sum(by_tag.values())
+    )  # finite, no NaN propagation
+    np.testing.assert_allclose(
+        sum(by_tag.values()), ledger.total_cost(HORIZON_MS), rtol=0, atol=1e-12
+    )
+    # direct closed-form check: each instance accrues price * duration
+    expected_by_tag = {}
+    for type_idx, tag_idx, start, duration in histories:
+        hours = min((start + duration) * GRID_MS, HORIZON_MS) - min(
+            start * GRID_MS, HORIZON_MS
+        )
+        price = DEFAULT_INSTANCE_CATALOG[TYPE_NAMES[type_idx]].price_per_hour
+        expected_by_tag.setdefault(MODELS[tag_idx], 0.0)
+        expected_by_tag[MODELS[tag_idx]] += price * hours / 3_600_000.0
+    for tag, expected in expected_by_tag.items():
+        np.testing.assert_allclose(by_tag.get(tag, 0.0), expected, rtol=0, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories=instance_histories, permutation=st.permutations(list(range(24))))
+def test_attribution_invariant_to_equal_timestamp_interleaving(histories, permutation):
+    events = _build_events(histories)
+    reference = _apply(events, order_keys=list(range(32)))
+    shuffled = _apply(events, order_keys=list(permutation))
+    assert shuffled.cost_by_tag(HORIZON_MS) == reference.cost_by_tag(HORIZON_MS)
+    assert shuffled.total_cost(HORIZON_MS) == reference.total_cost(HORIZON_MS)
+    assert shuffled.cost_by_type(HORIZON_MS) == reference.cost_by_type(HORIZON_MS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    histories=instance_histories,
+    window=st.tuples(st.integers(0, 30), st.integers(0, 30)),
+)
+def test_windowed_attribution_partitions_windowed_total(histories, window):
+    t0, t1 = sorted(window)
+    t0_ms, t1_ms = t0 * GRID_MS, t1 * GRID_MS
+    ledger = _apply(_build_events(histories), order_keys=list(range(32)))
+    by_tag = ledger.cost_in_window_by_tag(t0_ms, t1_ms)
+    assert all(cost >= 0.0 for cost in by_tag.values())
+    np.testing.assert_allclose(
+        sum(by_tag.values()),
+        ledger.cost_in_window(t0_ms, t1_ms),
+        rtol=0,
+        atol=1e-12,
+    )

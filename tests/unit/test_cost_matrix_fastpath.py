@@ -158,6 +158,134 @@ class TestGoldenEquivalence:
         assert np.array_equal(matrix.weighted, weighted)
 
 
+class TestMultiModelFastPath:
+    """The joint matrix keeps the PR-2 contract, generalized per model:
+    one ``predict_many_ms`` call per (model, type) pair per round, and with one
+    registered model the output is element-wise identical to ``build_cost_matrix``."""
+
+    def _mm_inputs(self, profiles, catalog, rng, *, n_queries=10):
+        from repro.cloud.models import get_model
+        from repro.sim.server import ServerInstance
+
+        rm2, wnd = get_model("RM2"), get_model("WND")
+        servers, server_models = [], []
+        for i, (model, type_name) in enumerate(
+            [
+                (rm2, "g4dn.xlarge"),
+                (rm2, "r5n.large"),
+                (rm2, "r5n.large"),
+                (wnd, "g4dn.xlarge"),
+                (wnd, "c5n.2xlarge"),
+            ]
+        ):
+            itype = catalog[type_name]
+            server = ServerInstance(
+                server_id=i,
+                instance_type=itype,
+                profile=profiles.profile(model, itype),
+                busy_until_ms=float((i * 13) % 50),
+            )
+            servers.append(server)
+            server_models.append(model.name)
+        batches = rng.integers(1, 1001, size=n_queries)
+        queries = [
+            Query(i, int(b), float(i), model_name="RM2" if i % 3 else "WND")
+            for i, b in enumerate(batches)
+        ]
+        estimators = {
+            "RM2": CountingEstimator(PerfectLatencyEstimator(profiles, rm2)),
+            "WND": CountingEstimator(PerfectLatencyEstimator(profiles, wnd)),
+        }
+        coefficients = {
+            "RM2": {"g4dn.xlarge": 1.0, "r5n.large": 0.2},
+            "WND": {"g4dn.xlarge": 1.0, "c5n.2xlarge": 0.5},
+        }
+        qos = {"RM2": rm2.qos_ms, "WND": wnd.qos_ms}
+        return queries, servers, server_models, estimators, coefficients, qos
+
+    def test_one_predict_many_call_per_model_type_pair(self, profiles, catalog, rng):
+        from repro.core.cost_matrix import build_multi_model_cost_matrix
+
+        queries, servers, server_models, estimators, coefficients, qos = self._mm_inputs(
+            profiles, catalog, rng
+        )
+        build_multi_model_cost_matrix(
+            queries, servers, server_models, estimators, 100.0, qos, coefficients
+        )
+        assert dict(estimators["RM2"].many_calls) == {"g4dn.xlarge": 1, "r5n.large": 1}
+        assert dict(estimators["WND"].many_calls) == {"g4dn.xlarge": 1, "c5n.2xlarge": 1}
+
+    def test_model_without_pending_queries_gets_no_estimator_traffic(
+        self, profiles, catalog, rng
+    ):
+        from repro.core.cost_matrix import build_multi_model_cost_matrix
+
+        queries, servers, server_models, estimators, coefficients, qos = self._mm_inputs(
+            profiles, catalog, rng
+        )
+        rm2_only = [q for q in queries if q.model_name == "RM2"]
+        matrix = build_multi_model_cost_matrix(
+            rm2_only, servers, server_models, estimators, 100.0, qos, coefficients
+        )
+        assert not estimators["WND"].many_calls
+        # the whole WND column block is cross-model for RM2 rows
+        assert matrix.cross_model[:, 3:].all()
+
+    def test_single_model_identical_to_seed_build(self, mixed_cluster, profiles, rm2, rng):
+        from repro.core.cost_matrix import build_multi_model_cost_matrix
+
+        estimator = PerfectLatencyEstimator(profiles, rm2)
+        for trial in range(5):
+            queries = _queries(np.random.default_rng(trial), 1 + 7 * trial)
+            now_ms = 37.0 * trial
+            single = build_cost_matrix(
+                queries, mixed_cluster.servers, estimator, now_ms, rm2.qos_ms, COEFFS
+            )
+            multi = build_multi_model_cost_matrix(
+                queries,
+                mixed_cluster.servers,
+                ["RM2"] * len(mixed_cluster),
+                {"RM2": estimator},
+                now_ms,
+                {"RM2": rm2.qos_ms},
+                {"RM2": COEFFS},
+            )
+            assert np.array_equal(multi.usage_ms, single.usage_ms)
+            assert np.array_equal(multi.penalized_ms, single.penalized_ms)
+            assert np.array_equal(multi.weighted, single.weighted)
+            assert np.array_equal(multi.qos_feasible, single.qos_feasible)
+
+    def test_policy_round_counts_one_call_per_model_type(self, profiles, catalog, rng):
+        """The full policy path keeps the per-(model, type) call contract per round."""
+        from repro.cloud.config import HeterogeneousConfig
+        from repro.schedulers.kairos_policy import MultiModelKairosPolicy
+        from repro.sim.cluster import MultiModelCluster
+
+        configs = {
+            "RM2": HeterogeneousConfig((1, 0, 2, 0), catalog),
+            "WND": HeterogeneousConfig((1, 1, 0, 0), catalog),
+        }
+        cluster = MultiModelCluster(configs, profiles)
+        estimators = {
+            "RM2": CountingEstimator(PerfectLatencyEstimator(profiles, profiles.models["RM2"])),
+            "WND": CountingEstimator(PerfectLatencyEstimator(profiles, profiles.models["WND"])),
+        }
+        policy = MultiModelKairosPolicy(estimators)
+        view = cluster.active_view()
+        policy.bind(view)
+        for counting in estimators.values():
+            counting.many_calls.clear()
+        batches = rng.integers(1, 1001, size=8)
+        queries = [
+            Query(i, int(b), float(i), model_name="RM2" if i % 2 else "WND")
+            for i, b in enumerate(batches)
+        ]
+        for round_idx in range(3):
+            policy.schedule(50.0 * round_idx, queries, view)
+        assert dict(estimators["RM2"].many_calls) == {"g4dn.xlarge": 3, "r5n.large": 3}
+        assert dict(estimators["WND"].many_calls) == {"g4dn.xlarge": 3, "c5n.2xlarge": 3}
+
+
 class TestEmptyCases:
     def test_no_queries_allocates_nothing(self, mixed_cluster, profiles, rm2):
         estimator = CountingEstimator(PerfectLatencyEstimator(profiles, rm2))

@@ -15,6 +15,7 @@ from repro.core.cost_matrix import (
     DEFAULT_PENALTY_FACTOR,
     DEFAULT_QOS_HEADROOM,
     build_cost_matrix,
+    build_multi_model_cost_matrix,
 )
 from repro.sim.server import ServerInstance
 from repro.workload.query import Query
@@ -200,4 +201,162 @@ class TestGoldenCostMatrix:
                 now_ms=10.0,
                 qos_ms=100.0,
                 coefficients={**COEFFICIENTS, "r5n.large": 0.0},
+            )
+
+
+class TestGoldenMultiModelCostMatrix:
+    """The joint matrix, pinned against hand-computed values.
+
+    Single-model case: element-wise identical to the seed single-model matrix.
+    Two-model case: a 2-model x 3-type fixture with every same-model entry
+    hand-computed and every cross-model entry carrying the row model's penalty.
+    """
+
+    def test_single_model_identical_to_seed_matrix(self, golden_inputs):
+        queries, servers = golden_inputs
+        single = build_cost_matrix(
+            queries,
+            servers,
+            TableEstimator(LATENCIES),
+            now_ms=10.0,
+            qos_ms=100.0,
+            coefficients=COEFFICIENTS,
+        )
+        multi = build_multi_model_cost_matrix(
+            queries,  # untagged: legal with exactly one registered model
+            servers,
+            ["M"] * len(servers),
+            {"M": TableEstimator(LATENCIES)},
+            now_ms=10.0,
+            qos_ms_by_model={"M": 100.0},
+            coefficients_by_model={"M": COEFFICIENTS},
+        )
+        np.testing.assert_array_equal(multi.usage_ms, single.usage_ms)
+        np.testing.assert_array_equal(multi.penalized_ms, single.penalized_ms)
+        np.testing.assert_array_equal(multi.weighted, single.weighted)
+        np.testing.assert_array_equal(multi.qos_feasible, single.qos_feasible)
+        assert not multi.cross_model.any()
+
+    @pytest.fixture
+    def two_model_inputs(self, profiles, rm2):
+        # now = 10: waits are 0, 6, 10 ms.  Queries q0/q1 target model A (QoS 100),
+        # q2 targets model B (QoS 50).  Servers: s0 (g4dn, A, 20 ms backlog),
+        # s1 (c5n, A), s2 (r5n, B).
+        queries = [
+            Query(query_id=0, batch_size=8, arrival_time_ms=10.0, model_name="A"),
+            Query(query_id=1, batch_size=16, arrival_time_ms=4.0, model_name="A"),
+            Query(query_id=2, batch_size=8, arrival_time_ms=0.0, model_name="B"),
+        ]
+        servers = [
+            make_server(0, "g4dn.xlarge", profiles, rm2, busy_until=30.0),
+            make_server(1, "c5n.2xlarge", profiles, rm2),
+            make_server(2, "r5n.large", profiles, rm2),
+        ]
+        estimators = {
+            "A": TableEstimator(
+                {"g4dn.xlarge": {8: 20.0, 16: 30.0}, "c5n.2xlarge": {8: 40.0, 16: 60.0}}
+            ),
+            "B": TableEstimator({"r5n.large": {8: 30.0}}),
+        }
+        return queries, servers, ["A", "A", "B"], estimators
+
+    def build(self, two_model_inputs):
+        queries, servers, server_models, estimators = two_model_inputs
+        return build_multi_model_cost_matrix(
+            queries,
+            servers,
+            server_models,
+            estimators,
+            now_ms=10.0,
+            qos_ms_by_model={"A": 100.0, "B": 50.0},
+            coefficients_by_model={
+                "A": {"g4dn.xlarge": 1.0, "c5n.2xlarge": 0.5},
+                "B": {"r5n.large": 0.25},
+            },
+        )
+
+    def test_two_model_usage_matrix(self, two_model_inputs):
+        cm = self.build(two_model_inputs)
+        # Same-model entries: remaining busy (20 on s0) + predicted latency.
+        # Cross-model entries: the row model's penalty (10 * 100 for A, 10 * 50 for B).
+        expected = np.array(
+            [
+                [40.0, 40.0, 1000.0],
+                [50.0, 60.0, 1000.0],
+                [500.0, 500.0, 30.0],
+            ]
+        )
+        np.testing.assert_array_equal(cm.usage_ms, expected)
+
+    def test_two_model_feasibility_uses_each_models_qos(self, two_model_inputs):
+        cm = self.build(two_model_inputs)
+        # A rows: threshold 0.98 * 100 = 98; B row: 0.98 * 50 = 49 with wait 10
+        # (30 + 10 = 40 <= 49).  Cross-model pairs are never feasible.
+        expected = np.array(
+            [
+                [True, True, False],
+                [True, True, False],
+                [False, False, True],
+            ]
+        )
+        np.testing.assert_array_equal(cm.qos_feasible, expected)
+        np.testing.assert_array_equal(
+            cm.cross_model,
+            np.array(
+                [
+                    [False, False, True],
+                    [False, False, True],
+                    [True, True, False],
+                ]
+            ),
+        )
+
+    def test_two_model_penalty_and_weighting(self, two_model_inputs):
+        cm = self.build(two_model_inputs)
+        expected_penalized = np.array(
+            [
+                [40.0, 40.0, 1000.0],
+                [50.0, 60.0, 1000.0],
+                [500.0, 500.0, 30.0],
+            ]
+        )
+        np.testing.assert_array_equal(cm.penalized_ms, expected_penalized)
+        # column weights come from the *column* model: A's (1.0, 0.5), B's 0.25
+        expected_weighted = np.array(
+            [
+                [40.0, 20.0, 250.0],
+                [50.0, 30.0, 250.0],
+                [500.0, 250.0, 7.5],
+            ]
+        )
+        np.testing.assert_array_equal(cm.weighted, expected_weighted)
+
+    def test_untagged_query_rejected_with_two_models(self, two_model_inputs):
+        queries, servers, server_models, estimators = two_model_inputs
+        queries = [queries[0], Query(query_id=9, batch_size=8, arrival_time_ms=0.0)]
+        with pytest.raises(ValueError):
+            build_multi_model_cost_matrix(
+                queries,
+                servers,
+                server_models,
+                estimators,
+                now_ms=10.0,
+                qos_ms_by_model={"A": 100.0, "B": 50.0},
+                coefficients_by_model={
+                    "A": {"g4dn.xlarge": 1.0, "c5n.2xlarge": 0.5},
+                    "B": {"r5n.large": 0.25},
+                },
+            )
+
+    def test_missing_coefficient_rejected(self, two_model_inputs):
+        queries, servers, server_models, estimators = two_model_inputs
+        with pytest.raises(KeyError):
+            build_multi_model_cost_matrix(
+                queries,
+                servers,
+                server_models,
+                estimators,
+                now_ms=10.0,
+                qos_ms_by_model={"A": 100.0, "B": 50.0},
+                coefficients_by_model={"A": {"g4dn.xlarge": 1.0, "c5n.2xlarge": 0.5}},
             )

@@ -17,7 +17,13 @@ from repro.core.controller import (
 )
 from repro.schedulers.kairos_policy import KairosPolicy
 from repro.sim.cluster import Cluster
-from repro.sim.elasticity import ElasticServingSimulation, simulate_elastic_serving
+from repro.sim.elasticity import (
+    ElasticServingSimulation,
+    drain_cost_efficiency,
+    scale_down_priority,
+    select_drain_victims,
+    simulate_elastic_serving,
+)
 from repro.sim.events import Event, EventKind, ScaleRequest
 from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
@@ -158,6 +164,95 @@ class TestElasticCluster:
         rm2_cluster[0].start_draining()
         rm2_cluster.reset()
         assert all(not s.draining for s in rm2_cluster)
+
+
+# -- cost-aware drain victim selection ----------------------------------------------------
+
+
+class TestCostAwareDrainSelection:
+    """ROADMAP item: when multiple types shrink at once, drain the victims freeing the
+    most $/hr per unit of lost QoS-feasible serving capacity first."""
+
+    def test_scores_rank_expensive_low_capacity_types_first(self, profiles, rm2):
+        scores = {
+            name: drain_cost_efficiency(profiles, rm2, name)
+            for name in profiles.catalog.names
+        }
+        # For RM2 the GPU frees by far the most $/hr per qps given up (0.526$/hr at a
+        # modest QoS-feasible rate), then c5n (0.432$/hr), then t3, then r5n — the
+        # memory-optimized type is RM2's cheapest capacity and drains last.
+        assert (
+            scores["g4dn.xlarge"]
+            > scores["c5n.2xlarge"]
+            > scores["t3.xlarge"]
+            > scores["r5n.large"]
+        )
+
+    def test_type_with_zero_feasible_capacity_drains_first(self, profiles, rm2):
+        # a type that cannot serve any probed batch within QoS costs nothing to drain
+        assert drain_cost_efficiency(
+            profiles, rm2, "t3.xlarge", probe_batches=[1000]
+        ) == float("inf")
+
+    def test_priority_order_is_deterministic(self, profiles, rm2):
+        order = scale_down_priority(profiles, rm2, list(profiles.catalog.names))
+        assert order == ["g4dn.xlarge", "c5n.2xlarge", "t3.xlarge", "r5n.large"]
+        # subsets keep the same relative order
+        assert scale_down_priority(profiles, rm2, ["r5n.large", "c5n.2xlarge"]) == [
+            "c5n.2xlarge",
+            "r5n.large",
+        ]
+
+    def test_three_type_fixture_pins_the_chosen_victims(self, profiles, rm2, catalog):
+        """3-type shrink: victims come out in cost-efficiency order across types and
+        least-loaded-first within a type (pinned ids on a fixed fixture)."""
+        config = HeterogeneousConfig((1, 1, 2, 0), catalog)  # ids 0=g4dn 1=c5n 2,3=r5n
+        cluster = Cluster(config, rm2, profiles)
+        # make r5n id=2 busy so id=3 is the least-loaded victim of that type
+        cluster[2].busy_until_ms = 900.0
+        cluster[2].local_queue_depth = 1
+        victims = select_drain_victims(
+            cluster,
+            {"r5n.large": 1, "g4dn.xlarge": 1, "c5n.2xlarge": 1},
+            now_ms=100.0,
+        )
+        # cross-type order: g4dn ($0.526/hr, ~13.7 qps) before c5n ($0.432, ~16.0)
+        # before r5n ($0.149, ~13.9); within r5n the idle id=3 is preferred.
+        assert [v.server_id for v in victims] == [0, 1, 3]
+        assert all(v.draining for v in victims)
+        assert not cluster[2].draining
+
+    def test_replan_emits_scale_downs_in_cost_aware_order(self, profiles, rm2):
+        """The elastic loop turns a multi-type shrink into SCALE_DOWN events that
+        process most-cost-efficient-first within the same instant."""
+        config = HeterogeneousConfig((2, 2, 3, 0))
+        cluster = Cluster(config, rm2, profiles)
+        sim = ElasticServingSimulation(cluster, KairosPolicy(), rng=0)
+        from repro.core.kairos import KairosPlanner
+
+        plan = KairosPlanner(rm2, 2.5, profiles=profiles, batch_samples=[64] * 50).plan()
+        from repro.core.controller import ReplanDecision
+
+        decision = ReplanDecision(
+            time_ms=100.0,
+            observed_rate_qps=10.0,
+            provisioned_rate_qps=30.0,
+            budget_per_hour=1.0,
+            old_config=config,
+            new_config=HeterogeneousConfig((1, 1, 2, 0)),
+            plan=plan,
+            scale_deltas={"g4dn.xlarge": -1, "c5n.2xlarge": -1, "r5n.large": -1},
+        )
+        from repro.sim.engine import EventQueue
+
+        events = EventQueue()
+        sim._emit_scale_events(decision, 100.0, events)
+        popped = list(events.pop_until(100.0))
+        assert [e.payload.type_name for e in popped] == [
+            "g4dn.xlarge",
+            "c5n.2xlarge",
+            "r5n.large",
+        ]
 
 
 # -- rate estimation and the re-planning controller --------------------------------------

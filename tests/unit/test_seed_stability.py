@@ -1,17 +1,26 @@
-"""Seed-stability regression: ``simulate_serving`` is byte-identical per seed.
+"""Seed-stability regression: serving runs are byte-identical per seed.
 
 The elasticity subsystem added event kinds and cluster-membership machinery; this
 suite locks down that the *static* serving path still produces bit-for-bit identical
 ``ServingMetrics`` for a fixed seed, run after run — including under service noise,
-where the RNG draw sequence is part of the contract.
+where the RNG draw sequence is part of the contract.  The multi-model subsystem adds
+a co-located elastic scenario with the same guarantee per model.
 """
 
 import numpy as np
 import pytest
 
+from repro.cloud.config import HeterogeneousConfig
+from repro.schedulers.kairos_policy import KairosPolicy, MultiModelKairosPolicy
+from repro.sim.cluster import MultiModelCluster
+from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.multi_model import MultiModelServingSimulation
 from repro.sim.simulation import gaussian_service_noise, simulate_serving
-from repro.schedulers.kairos_policy import KairosPolicy
-from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    interleave_model_streams,
+)
 from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
 
 SEED = 20230627
@@ -77,3 +86,72 @@ class TestSeedStability:
         a = WorkloadGenerator(spec).generate(rate_qps=40.0, rng=SEED)
         b = WorkloadGenerator(spec).generate(rate_qps=40.0, rng=SEED + 99)
         assert [q.arrival_time_ms for q in a] != [q.arrival_time_ms for q in b]
+
+
+def _mm_elastic_run(profiles, catalog, *, noise=None):
+    """A 2-model co-located elastic scenario: scripted per-model scale events."""
+    cluster = MultiModelCluster(
+        {
+            "RM2": HeterogeneousConfig((1, 1, 2, 0), catalog),
+            "WND": HeterogeneousConfig((1, 1, 1, 0), catalog),
+        },
+        profiles,
+    )
+    streams = {}
+    for i, (name, rate) in enumerate((("RM2", 30.0), ("WND", 110.0))):
+        spec = WorkloadSpec(
+            batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+            num_queries=100,
+            model_name=name,
+        )
+        streams[name] = WorkloadGenerator(spec).generate(rate_qps=rate, rng=SEED + i)
+    queries = interleave_model_streams(streams)
+    events = [
+        Event(700.0, EventKind.SCALE_UP, ScaleRequest("r5n.large", 1, model_name="RM2")),
+        Event(1400.0, EventKind.SCALE_DOWN, ScaleRequest("c5n.2xlarge", 1, model_name="WND")),
+    ]
+    sim = MultiModelServingSimulation(
+        cluster,
+        MultiModelKairosPolicy(),
+        scripted_events=events,
+        startup_delay_ms=250.0,
+        noise=noise,
+        rng=np.random.default_rng(SEED + 1),
+    )
+    return sim.run(queries)
+
+
+class TestMultiModelSeedStability:
+    """The co-located elastic path: per-model metrics byte-identical per seed."""
+
+    def _per_model_tuples(self, report):
+        return {
+            name: [_record_tuple(r) for r in report.metrics.of_model(name).records]
+            for name in report.metrics.model_names
+        }
+
+    def test_metrics_byte_identical_across_runs(self, profiles, catalog):
+        first = _mm_elastic_run(profiles, catalog)
+        second = _mm_elastic_run(profiles, catalog)
+        assert self._per_model_tuples(first) == self._per_model_tuples(second)
+        assert repr(first.metrics.summary()) == repr(second.metrics.summary())
+        assert first.cost_by_model() == second.cost_by_model()
+        assert [
+            (e.time_ms, e.kind, e.type_name, e.count) for e in first.scale_log
+        ] == [(e.time_ms, e.kind, e.type_name, e.count) for e in second.scale_log]
+        # the scripted elasticity actually fired (non-vacuous scenario)
+        assert any(e.kind == "instance_ready" for e in first.scale_log)
+        assert any(e.kind == "scale_down" for e in first.scale_log)
+
+    def test_metrics_byte_identical_with_noise(self, profiles, catalog):
+        noise = gaussian_service_noise(0.05)
+        first = _mm_elastic_run(profiles, catalog, noise=noise)
+        second = _mm_elastic_run(profiles, catalog, noise=noise)
+        assert self._per_model_tuples(first) == self._per_model_tuples(second)
+        assert repr(first.metrics.summary()) == repr(second.metrics.summary())
+
+    def test_noise_actually_perturbs_the_run(self, profiles, catalog):
+        # non-vacuousness: the noisy run differs from the noiseless one
+        clean = _mm_elastic_run(profiles, catalog)
+        noisy = _mm_elastic_run(profiles, catalog, noise=gaussian_service_noise(0.05))
+        assert self._per_model_tuples(clean) != self._per_model_tuples(noisy)
