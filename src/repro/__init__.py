@@ -84,18 +84,57 @@ Quick multi-model start::
 
     from repro.analysis.multi_model import fig17_multi_model_joint
     print(fig17_multi_model_joint().format())
+
+Spot-market serving data flow
+-----------------------------
+Real clouds sell a second price axis: preemptible *spot* capacity at a 60-90%
+discount that can be reclaimed after a short warning.  The spot subsystem threads
+that through the same four layers::
+
+    repro.cloud.spot                 SpotMarket / SpotTypeMarket
+        |   per-type discounts, Poisson preemption hazards (optionally phased),
+        |   the warning window, and the expected-availability discount; the
+        |   billing ledger prices intervals per market (cost_by_market,
+        |   discount_savings) so the on-demand/spot split is exact
+        v
+    repro.sim.preemption             PreemptibleElasticSimulation
+        |   PREEMPTION_WARNING / PREEMPTED events on the elastic event loop:
+        |   a warned spot instance enters deadline-bounded draining, unfinished
+        |   work is re-queued through the central PendingQueue at the kill, and
+        |   a replacement boots while the victim drains (PreemptionBurst scripts
+        |   a correlated worst-case reclaim)
+        v
+    repro.core                       SpotAwareKairosPlanner.plan_mixed /
+        |                            MultiModelKairosPlanner.plan_joint_mixed
+        |   rank mixed on-demand+spot allocations via upper_bounds_batch, spot
+        |   bounds discounted by expected availability, a minimum on-demand
+        |   floor guarding QoS against a total spot reclaim;
+        |   ElasticKairosController.observe_preemption books the loss and
+        |   forces a one-shot re-provisioning re-plan
+        v
+    repro.analysis.spot              fig18_spot_savings
+            risk-aware mix vs. all-on-demand: $/hr and QoS attainment before,
+            during, and after a forced preemption burst
+
+Quick spot start::
+
+    from repro.analysis.spot import fig18_spot_savings
+    print(fig18_spot_savings().format())
 """
 
 from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceType, get_instance_type
 from repro.cloud.models import DEFAULT_MODEL_REGISTRY, MLModel, get_model
 from repro.cloud.profiles import default_profile_registry
+from repro.cloud.spot import SpotMarket, SpotTypeMarket
 from repro.core.controller import KairosServingSystem
 from repro.core.kairos import (
     KairosPlan,
     KairosPlanner,
+    MixedMarketPlan,
     MultiModelKairosPlanner,
     MultiModelPlan,
+    SpotAwareKairosPlanner,
 )
 from repro.core.kairos_plus import KairosPlusSearch
 from repro.sim.capacity import measure_allowable_throughput
@@ -121,6 +160,10 @@ __all__ = [
     "KairosPlan",
     "MultiModelKairosPlanner",
     "MultiModelPlan",
+    "MixedMarketPlan",
+    "SpotAwareKairosPlanner",
+    "SpotMarket",
+    "SpotTypeMarket",
     "MultiModelCluster",
     "KairosPlusSearch",
     "measure_allowable_throughput",

@@ -47,6 +47,10 @@ PRESETS: Dict[str, Dict[str, float]] = {
         mm_queries=40,
         mm_rates=(25.0, 150.0),
         mm_counts=((1, 1, 2, 0), (1, 1, 2, 0)),
+        spot_queries=60,
+        spot_rate_qps=60.0,
+        spot_counts=(2, 2, 4, 0),
+        spot_portion=(1, 1, 2, 0),
         min_seconds=0.05,
     ),
     "quick": dict(
@@ -62,6 +66,10 @@ PRESETS: Dict[str, Dict[str, float]] = {
         mm_queries=150,
         mm_rates=(60.0, 400.0),
         mm_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
+        spot_queries=300,
+        spot_rate_qps=150.0,
+        spot_counts=(6, 6, 12, 0),
+        spot_portion=(3, 3, 6, 0),
         min_seconds=0.15,
     ),
     "full": dict(
@@ -77,6 +85,10 @@ PRESETS: Dict[str, Dict[str, float]] = {
         mm_queries=500,
         mm_rates=(60.0, 400.0),
         mm_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
+        spot_queries=1000,
+        spot_rate_qps=150.0,
+        spot_counts=(6, 6, 12, 0),
+        spot_portion=(3, 3, 6, 0),
         min_seconds=0.4,
     ),
 }
@@ -316,11 +328,71 @@ def bench_multi_model_sim(preset: str) -> BenchResult:
     )
 
 
+def bench_spot_sim(preset: str) -> BenchResult:
+    """Macro: end-to-end preemptible serving throughput (simulated queries per second).
+
+    The spot subsystem's event-loop shape: half the cluster is spot capacity under an
+    aggressive preemption hazard (~1 reclaim per spot instance per simulated second),
+    so the measurement covers warning/kill events, deadline-bounded draining, central
+    re-queues, and reactive like-for-like re-provisioning on top of the ordinary
+    scheduling rounds.
+    """
+    p = _params(preset)
+    profiles = default_profile_registry()
+    model = profiles.models[MODEL]
+    from repro.cloud.spot import SpotMarket
+    from repro.sim.preemption import (
+        PreemptibleElasticSimulation,
+        initial_spot_server_ids,
+    )
+
+    combined = HeterogeneousConfig(tuple(p["spot_counts"]), profiles.catalog)
+    spot_portion = HeterogeneousConfig(tuple(p["spot_portion"]), profiles.catalog)
+    market = SpotMarket.uniform(
+        profiles.catalog, discount=0.65, preemptions_per_hour=3_600.0, warning_ms=20.0
+    )
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+        num_queries=int(p["spot_queries"]),
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=p["spot_rate_qps"], rng=SEED)
+
+    def work() -> float:
+        from repro.schedulers.kairos_policy import KairosPolicy
+
+        cluster = Cluster(combined, model, profiles)
+        sim = PreemptibleElasticSimulation(
+            cluster,
+            KairosPolicy(),
+            market=market,
+            spot_server_ids=initial_spot_server_ids(cluster, spot_portion),
+            startup_delay_ms=100.0,
+            rng=np.random.default_rng(SEED + 1),
+            market_rng=np.random.default_rng(SEED + 2),
+        )
+        report = sim.run(queries)
+        return float(report.dispatched_queries)
+
+    qps, wall = time_throughput(work, min_seconds=p["min_seconds"])
+    return BenchResult(
+        name="spot_sim",
+        preset=preset,
+        value=qps,
+        unit="queries/s",
+        wall_seconds=wall,
+        extras={
+            "num_queries": float(p["spot_queries"]),
+            "spot_instances": float(spot_portion.total_instances),
+        },
+    )
+
+
 #: Registry, in execution order.
 BENCHMARKS: Dict[str, Callable[[str], BenchResult]] = {
     "serving_sim": bench_serving_sim,
     "cost_matrix": bench_cost_matrix,
     "multi_model_sim": bench_multi_model_sim,
+    "spot_sim": bench_spot_sim,
     "planner_rank": bench_planner_rank,
     "planner_rank_4x": bench_planner_rank_4x,
     "elastic_replan": bench_elastic_replan,

@@ -20,7 +20,14 @@ from repro.cloud.profiles import (
     ProfileRegistry,
     default_profile_registry,
 )
-from repro.cloud.billing import BillingModel, CostReport
+from repro.cloud.billing import BillingModel, CostReport, InstanceUsageLedger
+from repro.cloud.spot import (
+    MARKET_ON_DEMAND,
+    MARKET_SPOT,
+    SpotMarket,
+    SpotMarketPhase,
+    SpotTypeMarket,
+)
 
 __all__ = [
     "InstanceType",
@@ -38,4 +45,10 @@ __all__ = [
     "HeterogeneousConfig",
     "BillingModel",
     "CostReport",
+    "InstanceUsageLedger",
+    "MARKET_ON_DEMAND",
+    "MARKET_SPOT",
+    "SpotMarket",
+    "SpotMarketPhase",
+    "SpotTypeMarket",
 ]

@@ -53,6 +53,11 @@ class UsageInterval:
 
     ``tag`` is an optional attribution label — multi-model clusters tag every interval
     with the model the instance hosts, so spend can be attributed per model.
+
+    ``price_multiplier`` and ``market`` carry the spot-market dimension: a spot
+    instance bills at ``price_per_hour * price_multiplier`` (the discounted rate) and
+    is attributed under its market label, so the on-demand/spot split of a mixed
+    cluster's bill is exact.
     """
 
     server_id: int
@@ -61,6 +66,13 @@ class UsageInterval:
     start_ms: float
     end_ms: Optional[float] = None
     tag: Optional[str] = None
+    price_multiplier: float = 1.0
+    market: str = "on-demand"
+
+    @property
+    def effective_price_per_hour(self) -> float:
+        """The billed $/hr rate (on-demand price times the market multiplier)."""
+        return self.price_per_hour * self.price_multiplier
 
     def overlap_ms(self, t0_ms: float, t1_ms: float) -> float:
         """Length of the intersection of this interval with ``[t0_ms, t1_ms)``."""
@@ -68,7 +80,7 @@ class UsageInterval:
         return max(0.0, min(end, t1_ms) - max(self.start_ms, t0_ms))
 
     def cost_in_window(self, t0_ms: float, t1_ms: float) -> float:
-        return self.price_per_hour * self.overlap_ms(t0_ms, t1_ms) / MS_PER_HOUR
+        return self.effective_price_per_hour * self.overlap_ms(t0_ms, t1_ms) / MS_PER_HOUR
 
 
 class InstanceUsageLedger:
@@ -100,13 +112,20 @@ class InstanceUsageLedger:
         now_ms: float,
         *,
         tag: Optional[str] = None,
+        price_multiplier: float = 1.0,
+        market: str = "on-demand",
     ) -> UsageInterval:
         """Open a billing interval for ``server_id`` at ``now_ms``.
 
         ``tag`` attributes the interval (e.g. to the model the instance hosts); it only
-        affects the ``*_by_tag`` queries, never the totals.
+        affects the ``*_by_tag`` queries, never the totals.  ``price_multiplier`` and
+        ``market`` record the purchase market: a spot instance bills every overlapping
+        window at the discounted rate and is attributed under its market label.
         """
         check_non_negative(now_ms, "now_ms")
+        check_positive(price_multiplier, "price_multiplier")
+        if not market:
+            raise ValueError("market label must be non-empty")
         if server_id in self._open:
             raise ValueError(f"server {server_id} already has an open billing interval")
         itype = (
@@ -118,6 +137,8 @@ class InstanceUsageLedger:
             price_per_hour=itype.price_per_hour,
             start_ms=float(now_ms),
             tag=tag,
+            price_multiplier=float(price_multiplier),
+            market=str(market),
         )
         self._intervals.append(interval)
         self._open[server_id] = interval
@@ -175,13 +196,56 @@ class InstanceUsageLedger:
         """Per-tag $ accrued from time 0 to ``horizon_ms`` (per-model attribution)."""
         return self.cost_in_window_by_tag(0.0, horizon_ms)
 
+    def cost_in_window_by_market(self, t0_ms: float, t1_ms: float) -> Dict[str, float]:
+        """Per-market $ accrued over ``[t0_ms, t1_ms)`` (on-demand vs. spot split).
+
+        Markets partition the intervals exactly like tags do, so the values always
+        sum to :meth:`cost_in_window` over the same window — attribution can neither
+        create nor lose spend.
+        """
+        if t1_ms < t0_ms:
+            raise ValueError("window end precedes window start")
+        parts: Dict[str, List[float]] = {}
+        for iv in self._intervals:
+            parts.setdefault(iv.market, []).append(iv.cost_in_window(t0_ms, t1_ms))
+        return {market: math.fsum(costs) for market, costs in parts.items()}
+
+    def cost_by_market(self, horizon_ms: float) -> Dict[str, float]:
+        """Per-market $ accrued from time 0 to ``horizon_ms``."""
+        return self.cost_in_window_by_market(0.0, horizon_ms)
+
+    def hours_by_market(self, horizon_ms: float) -> Dict[str, float]:
+        """Per-market commissioned instance-hours from time 0 to ``horizon_ms``."""
+        check_non_negative(horizon_ms, "horizon_ms")
+        parts: Dict[str, List[float]] = {}
+        for iv in self._intervals:
+            parts.setdefault(iv.market, []).append(iv.overlap_ms(0.0, horizon_ms))
+        return {
+            market: math.fsum(hours) / MS_PER_HOUR for market, hours in parts.items()
+        }
+
+    def discount_savings(self, horizon_ms: float) -> float:
+        """$ saved vs. billing every interval at its full on-demand rate.
+
+        The exact value of the discounted hours: ``sum (1 - multiplier) * price *
+        overlap`` — zero when no interval carries a discount.
+        """
+        check_non_negative(horizon_ms, "horizon_ms")
+        return math.fsum(
+            (1.0 - iv.price_multiplier)
+            * iv.price_per_hour
+            * iv.overlap_ms(0.0, horizon_ms)
+            / MS_PER_HOUR
+            for iv in self._intervals
+        )
+
     def concurrent_cost_per_hour(self, t_ms: float) -> float:
         """Instantaneous burn rate in $/hr at time ``t_ms``."""
         rate = 0.0
         for iv in self._intervals:
             end = iv.end_ms if iv.end_ms is not None else float("inf")
             if iv.start_ms <= t_ms < end:
-                rate += iv.price_per_hour
+                rate += iv.effective_price_per_hour
         return rate
 
     def mean_cost_per_hour(self, horizon_ms: float) -> float:

@@ -1,0 +1,240 @@
+"""Spot-market model: discounted, preemptible capacity alongside on-demand rental.
+
+Real clouds sell a second price axis the paper's budget constraint ignores: *spot*
+(preemptible) instances at a 60-90% discount that the provider may reclaim at any time
+after a short warning.  This module models that market per instance type:
+
+* a **discount** off the on-demand price (the quantity the risk-aware planner trades
+  against reliability);
+* a **preemption process** — a Poisson hazard per commissioned instance-hour,
+  optionally modulated by cyclic :class:`SpotMarketPhase` windows (capacity-tight hours
+  reclaim more aggressively), from which the simulator draws each instance's
+  time-to-preemption;
+* a **warning window** — the grace period between the reclaim notice and the kill,
+  during which a preemption-tolerant controller drains and re-provisions.
+
+The planner consumes the market through :meth:`SpotTypeMarket.expected_availability`:
+the expected fraction of a planning horizon an instance survives before its first
+preemption, ``E[min(X, T)] / T`` for ``X ~ Exp(hazard)`` — the factor by which spot
+capacity is discounted when ranking mixed on-demand+spot configurations.  The
+simulator consumes it through :meth:`SpotMarket.draw_preemption_delay_ms`, whose draws
+come from a dedicated generator so enabling the market never perturbs service-time
+noise streams (seed stability).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.billing import MS_PER_HOUR
+from repro.cloud.instances import InstanceCatalog, InstanceType
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Market labels used for billing attribution (``InstanceUsageLedger.cost_by_market``).
+MARKET_ON_DEMAND = "on-demand"
+MARKET_SPOT = "spot"
+
+
+@dataclass(frozen=True)
+class SpotMarketPhase:
+    """One cyclic window modulating a type's preemption hazard.
+
+    A sequence of phases repeats over trace time (total cycle length = sum of
+    durations), multiplying the base hazard by ``hazard_multiplier`` inside each
+    window — e.g. business-hours capacity pressure reclaiming spot more aggressively.
+    """
+
+    duration_ms: float
+    hazard_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.duration_ms, "duration_ms")
+        check_non_negative(self.hazard_multiplier, "hazard_multiplier")
+
+
+@dataclass(frozen=True)
+class SpotTypeMarket:
+    """The spot offering of one instance type.
+
+    Attributes
+    ----------
+    type_name:
+        Catalog instance type this offering discounts.
+    discount:
+        Fraction off the on-demand price, in ``[0, 1)`` (0.7 = spot costs 30%).
+    preemptions_per_hour:
+        Base Poisson hazard per commissioned instance (0 = never preempted; the
+        zero-hazard market is the byte-identity case of the preemption simulator).
+    phases:
+        Optional cyclic hazard modulation windows; empty = constant hazard.
+    """
+
+    type_name: str
+    discount: float
+    preemptions_per_hour: float = 0.0
+    phases: Tuple[SpotMarketPhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.type_name:
+            raise ValueError("type_name must be non-empty")
+        if not 0.0 <= self.discount < 1.0:
+            raise ValueError(f"discount must lie in [0, 1), got {self.discount}")
+        check_non_negative(self.preemptions_per_hour, "preemptions_per_hour")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @property
+    def price_multiplier(self) -> float:
+        """Spot price as a fraction of the on-demand price."""
+        return 1.0 - self.discount
+
+    def hazard_at(self, t_ms: float) -> float:
+        """Instantaneous preemption hazard (per instance-hour) at trace time ``t_ms``."""
+        if not self.phases:
+            return self.preemptions_per_hour
+        cycle = sum(p.duration_ms for p in self.phases)
+        offset = float(t_ms) % cycle
+        for phase in self.phases:
+            if offset < phase.duration_ms:
+                return self.preemptions_per_hour * phase.hazard_multiplier
+            offset -= phase.duration_ms
+        return self.preemptions_per_hour * self.phases[-1].hazard_multiplier
+
+    def mean_hazard_per_hour(self) -> float:
+        """Duration-weighted mean hazard over one phase cycle (= base without phases)."""
+        if not self.phases:
+            return self.preemptions_per_hour
+        cycle = sum(p.duration_ms for p in self.phases)
+        weighted = sum(p.duration_ms * p.hazard_multiplier for p in self.phases)
+        return self.preemptions_per_hour * weighted / cycle
+
+    def expected_availability(self, horizon_ms: float) -> float:
+        """Expected fraction of ``[0, horizon_ms]`` an instance survives unpreempted.
+
+        ``E[min(X, T)] / T = (1 - exp(-lam*T)) / (lam*T)`` for time-to-preemption
+        ``X ~ Exp(lam)`` at the cycle-mean hazard.  This is the capacity discount the
+        risk-aware planner applies to spot bounds: it ignores re-provisioning (the
+        controller's job), so it is conservative about what the market alone delivers.
+        """
+        check_non_negative(horizon_ms, "horizon_ms")
+        lam_t = self.mean_hazard_per_hour() * horizon_ms / MS_PER_HOUR
+        if lam_t <= 0.0 or horizon_ms == 0.0:
+            return 1.0
+        return (1.0 - math.exp(-lam_t)) / lam_t
+
+
+class SpotMarket:
+    """The spot offerings of a heterogeneous pool, keyed by instance-type name.
+
+    Parameters
+    ----------
+    offerings:
+        Per-type :class:`SpotTypeMarket` entries (mapping or sequence).  Types without
+        an entry are on-demand only.
+    warning_ms:
+        Grace period between a preemption warning and the kill — the window a warned
+        instance has for deadline-bounded draining.
+    """
+
+    def __init__(
+        self,
+        offerings: Union[Mapping[str, SpotTypeMarket], Sequence[SpotTypeMarket]],
+        *,
+        warning_ms: float = 2_000.0,
+    ):
+        check_non_negative(warning_ms, "warning_ms")
+        if isinstance(offerings, Mapping):
+            entries = list(offerings.values())
+            for name, market in offerings.items():
+                if name != market.type_name:
+                    raise ValueError(
+                        f"offering keyed {name!r} describes type {market.type_name!r}"
+                    )
+        else:
+            entries = list(offerings)
+        names = [m.type_name for m in entries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate spot offerings: {names}")
+        self._offerings: Dict[str, SpotTypeMarket] = {m.type_name: m for m in entries}
+        self.warning_ms = float(warning_ms)
+
+    @classmethod
+    def uniform(
+        cls,
+        catalog: InstanceCatalog,
+        *,
+        discount: float = 0.7,
+        preemptions_per_hour: float = 0.0,
+        phases: Sequence[SpotMarketPhase] = (),
+        warning_ms: float = 2_000.0,
+    ) -> "SpotMarket":
+        """One identical offering per catalog type (the common evaluation market)."""
+        return cls(
+            [
+                SpotTypeMarket(
+                    type_name=t.name,
+                    discount=discount,
+                    preemptions_per_hour=preemptions_per_hour,
+                    phases=tuple(phases),
+                )
+                for t in catalog.types
+            ],
+            warning_ms=warning_ms,
+        )
+
+    # -- container protocol --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._offerings)
+
+    def __iter__(self) -> Iterator[SpotTypeMarket]:
+        return iter(self._offerings.values())
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._offerings
+
+    def __getitem__(self, type_name: str) -> SpotTypeMarket:
+        try:
+            return self._offerings[type_name]
+        except KeyError:
+            raise KeyError(
+                f"no spot offering for {type_name!r}; offered: {self.type_names}"
+            ) from None
+
+    @property
+    def type_names(self) -> List[str]:
+        """Offered type names (insertion order)."""
+        return list(self._offerings)
+
+    def offers(self, type_name: str) -> bool:
+        return type_name in self._offerings
+
+    # -- planner surface -----------------------------------------------------------------
+    def price_multiplier(self, type_name: str) -> float:
+        return self[type_name].price_multiplier
+
+    def spot_price_per_hour(self, itype: InstanceType) -> float:
+        """Discounted $/hr of one instance type."""
+        return itype.price_per_hour * self[itype.name].price_multiplier
+
+    def expected_availability(self, type_name: str, horizon_ms: float) -> float:
+        return self[type_name].expected_availability(horizon_ms)
+
+    # -- simulator surface ---------------------------------------------------------------
+    def draw_preemption_delay_ms(
+        self, type_name: str, now_ms: float, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Sample the time until this instance's preemption warning, or ``None``.
+
+        ``None`` means the hazard at ``now_ms`` is zero — no preemption is ever
+        scheduled and, crucially, *no random draw is consumed*, so a zero-hazard
+        market leaves every random stream byte-identical to a spot-free run.
+        The draw uses the hazard at commissioning time (a piecewise-stationary
+        approximation of the phased process).
+        """
+        hazard = self[type_name].hazard_at(now_ms)
+        if hazard <= 0.0:
+            return None
+        return float(rng.exponential(MS_PER_HOUR / hazard))

@@ -17,7 +17,15 @@ from repro.core.config_space import enumerate_configs, search_space_size
 from repro.core.cost_matrix import CostMatrix, build_cost_matrix
 from repro.core.distributor import Assignment, QueryDistributor
 from repro.core.heterogeneity import heterogeneity_coefficients
-from repro.core.kairos import KairosPlan, KairosPlanner
+from repro.core.kairos import (
+    KairosPlan,
+    KairosPlanner,
+    MixedMarketPlan,
+    MixedModelAllocation,
+    MultiModelMixedPlan,
+    SpotAwareKairosPlanner,
+    enumerate_spot_configs,
+)
 from repro.core.kairos_plus import KairosPlusResult, KairosPlusSearch
 from repro.core.latency_model import (
     LatencyEstimator,
@@ -58,6 +66,11 @@ __all__ = [
     "select_configuration",
     "KairosPlan",
     "KairosPlanner",
+    "MixedMarketPlan",
+    "MixedModelAllocation",
+    "MultiModelMixedPlan",
+    "SpotAwareKairosPlanner",
+    "enumerate_spot_configs",
     "KairosPlusResult",
     "KairosPlusSearch",
     "KairosServingSystem",

@@ -348,6 +348,9 @@ class ElasticKairosController:
         self._last_replan_ms = 0.0
         self._current_config: Optional[HeterogeneousConfig] = None
         self.decisions: List[ReplanDecision] = []
+        #: (time_ms, type_name, count) of every preemption this controller absorbed.
+        self.preemptions: List[Tuple[float, str, int]] = []
+        self._pending_reprovision = False
 
     # -- planning ----------------------------------------------------------------------
     def _plan_at_budget(self, budget_per_hour: float) -> KairosPlan:
@@ -398,15 +401,50 @@ class ElasticKairosController:
         self.rate_estimator.observe(now_ms)
         self._batch_window.append(query.batch_size)
 
+    def observe_preemption(
+        self, type_name: str, now_ms: float, *, count: int = 1
+    ) -> None:
+        """Absorb a spot-market preemption: an *uncontrolled* scale-down.
+
+        The market reclaimed capacity the live plan still wanted, so the controller
+        (a) books the loss against its view of the current configuration and (b) arms
+        a reactive re-provisioning pass: the next :meth:`maybe_replan` call re-plans
+        immediately — bypassing the cooldown and the load-change threshold, because
+        the trigger is a capacity loss, not a load change — and its migration deltas
+        re-issue the missing instances.
+
+        Losses beyond the planned view (a mixed cluster typically carries spot
+        capacity on top of the controller's configuration) are recorded and still
+        trigger the re-plan, but can never shrink the view below zero.
+        """
+        if self._current_config is None:
+            raise RuntimeError("call initial_plan() before observe_preemption()")
+        if count <= 0:
+            raise ValueError("preemption count must be positive")
+        booked = min(int(count), self._current_config.count_of(type_name))
+        if booked > 0:
+            self._current_config = self._current_config.add(type_name, -booked)
+        self.preemptions.append((float(now_ms), type_name, int(count)))
+        self._pending_reprovision = True
+
     def maybe_replan(self, now_ms: float) -> Optional[ReplanDecision]:
         """Re-plan when the observed rate departs durably from the provisioned rate.
 
         Returns the decision (also appended to :attr:`decisions`) or ``None`` when the
         load is within threshold, the window is not yet trustworthy, or the controller
-        is still in its post-replan cooldown.
+        is still in its post-replan cooldown.  A pending preemption
+        (:meth:`observe_preemption`) overrides all three gates: lost capacity is
+        re-provisioned for the currently provisioned rate in one shot.
         """
         if self._current_config is None:
             raise RuntimeError("call initial_plan() before maybe_replan()")
+        if self._pending_reprovision:
+            self._pending_reprovision = False
+            return self._replan(
+                now_ms,
+                self._provisioned_rate_qps,
+                provisioned_after=self._provisioned_rate_qps,
+            )
         # The min_observations gate protects against acting on a window that simply
         # has not existed long enough to be meaningful.  Once a full window of trace
         # time has elapsed, a *sparse* window is itself the signal (a severe load
@@ -422,15 +460,25 @@ class ElasticKairosController:
         ratio = observed / self._provisioned_rate_qps
         if 1.0 / self.change_threshold < ratio < self.change_threshold:
             return None
+        return self._replan(now_ms, observed, provisioned_after=observed)
 
-        budget = self.base_budget_per_hour * observed / self.base_rate_qps
+    def _replan(
+        self, now_ms: float, rate_qps: float, *, provisioned_after: float
+    ) -> ReplanDecision:
+        """One planning pass at the budget scaled for ``rate_qps``; records the decision.
+
+        ``provisioned_after`` is what the live configuration is considered provisioned
+        for afterwards — the observed rate for load-change re-plans, the unchanged
+        provisioned rate for preemption re-provisioning (capacity changed, not load).
+        """
+        budget = self.base_budget_per_hour * rate_qps / self.base_rate_qps
         budget = min(max(budget, self._cheapest_price()), self.max_budget_per_hour)
         plan = self._plan_at_budget(budget)
         old_config = self._current_config
         new_config = plan.selected_config
         decision = ReplanDecision(
             time_ms=float(now_ms),
-            observed_rate_qps=observed,
+            observed_rate_qps=rate_qps,
             provisioned_rate_qps=self._provisioned_rate_qps,
             budget_per_hour=budget,
             old_config=old_config,
@@ -439,7 +487,7 @@ class ElasticKairosController:
             scale_deltas=migration_deltas(old_config, new_config),
         )
         self._current_config = new_config
-        self._provisioned_rate_qps = observed
+        self._provisioned_rate_qps = float(provisioned_after)
         self._last_replan_ms = float(now_ms)
         self.decisions.append(decision)
         return decision

@@ -9,9 +9,10 @@ load changes "in one shot" (Fig. 12).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog
 from repro.cloud.models import MLModel
 from repro.cloud.profiles import ProfileRegistry, default_profile_registry
+from repro.cloud.spot import MS_PER_HOUR, SpotMarket
 from repro.core.config_space import enumerate_configs
 from repro.core.selection import SelectionResult, select_configuration
 from repro.core.upper_bound import ThroughputUpperBoundEstimator
@@ -408,3 +410,585 @@ class MultiModelKairosPlanner:
                 )
             )
         return allocations
+
+    # -- mixed-market joint planning -----------------------------------------------------
+    def plan_joint_mixed(
+        self,
+        target_qps: Mapping[str, float],
+        market: Optional[SpotMarket],
+        *,
+        planning_horizon_ms: float = MS_PER_HOUR,
+        ondemand_floor: float = 0.5,
+        max_spot_per_type: Optional[int] = None,
+    ) -> "MultiModelMixedPlan":
+        """Joint risk-aware allocation over on-demand *and* spot capacity.
+
+        The mixed-market generalization of :meth:`plan_joint`: every model picks the
+        cheapest on-demand + spot pair whose risk-discounted effective bound covers
+        its demand target (see :meth:`SpotAwareKairosPlanner.plan_mixed` for the
+        selection semantics — same availability discount, same on-demand floor),
+        and the shared budget check applies to the *sum* of effective $/hr burn
+        rates.  Over-budget joint selections fall back to a deterministic
+        proportional budget split, flagged ``within_budget=False``.
+        """
+        start = time.perf_counter()
+        missing = [m.name for m in self.models if m.name not in target_qps]
+        if missing:
+            raise KeyError(f"no demand target for models: {missing}")
+        if not 0.0 <= ondemand_floor <= 1.0:
+            raise ValueError("ondemand_floor must lie in [0, 1]")
+        space, costs, spot_space, spot_costs, availability = _mixed_candidates(
+            self.budget_per_hour,
+            self.catalog,
+            market,
+            planning_horizon_ms,
+            max_per_type=self.max_per_type,
+            max_spot_per_type=max_spot_per_type,
+            min_base_count=self.min_base_count,
+        )
+        allocations: List[MixedModelAllocation] = []
+        for model in self.models:
+            target = float(target_qps[model.name])
+            check_non_negative(target, f"demand target for {model.name}")
+            required = target * self.demand_headroom[model.name]
+            estimator = self.estimators[model.name]
+            allocations.append(
+                _mixed_allocation(
+                    model.name,
+                    target,
+                    required,
+                    required * ondemand_floor,
+                    self.budget_per_hour,
+                    estimator.upper_bounds_batch(space),
+                    costs,
+                    space,
+                    estimator.upper_bounds_batch(spot_space),
+                    spot_costs,
+                    spot_space,
+                    availability,
+                )
+            )
+        total = math.fsum(a.cost_per_hour for a in allocations)
+        within_budget = total <= self.budget_per_hour + 1e-9
+        space_size = len(space) + len(spot_space)
+        if not within_budget:
+            allocations, space_size = self._proportional_split_mixed(
+                target_qps,
+                market,
+                planning_horizon_ms,
+                ondemand_floor,
+                max_spot_per_type,
+            )
+        elapsed = time.perf_counter() - start
+        return MultiModelMixedPlan(
+            budget_per_hour=self.budget_per_hour,
+            allocations=tuple(allocations),
+            search_space_size=space_size,
+            planning_seconds=elapsed,
+            within_budget=within_budget,
+        )
+
+    def _proportional_split_mixed(
+        self,
+        target_qps: Mapping[str, float],
+        market: Optional[SpotMarket],
+        planning_horizon_ms: float,
+        ondemand_floor: float,
+        max_spot_per_type: Optional[int],
+    ) -> Tuple[List["MixedModelAllocation"], int]:
+        """Fallback: split the budget proportionally to demand, mixed-plan each alone.
+
+        Returns the allocations plus the total size of the per-share candidate
+        spaces actually searched (the full-budget spaces were abandoned).
+        """
+        cheapest = min(t.price_per_hour for t in self.catalog.types)
+        total_target = sum(float(target_qps[m.name]) for m in self.models)
+        allocations: List[MixedModelAllocation] = []
+        space_size = 0
+        for model in self.models:
+            target = float(target_qps[model.name])
+            share = target / total_target if total_target > 0 else 1.0 / len(self.models)
+            budget = max(self.budget_per_hour * share, cheapest)
+            required = target * self.demand_headroom[model.name]
+            space, costs, spot_space, spot_costs, availability = _mixed_candidates(
+                budget,
+                self.catalog,
+                market,
+                planning_horizon_ms,
+                max_per_type=self.max_per_type,
+                max_spot_per_type=max_spot_per_type,
+                min_base_count=self.min_base_count,
+            )
+            estimator = self.estimators[model.name]
+            space_size += len(space) + len(spot_space)
+            allocations.append(
+                _mixed_allocation(
+                    model.name,
+                    target,
+                    required,
+                    required * ondemand_floor,
+                    budget,
+                    estimator.upper_bounds_batch(space),
+                    costs,
+                    space,
+                    estimator.upper_bounds_batch(spot_space),
+                    spot_costs,
+                    spot_space,
+                    availability,
+                )
+            )
+        return allocations, space_size
+
+
+# ---------------------------------------------------------------------------------------
+# Risk-aware mixed-market planning: on-demand + discounted preemptible capacity
+# ---------------------------------------------------------------------------------------
+
+def enumerate_spot_configs(
+    budget_per_hour: float,
+    catalog: InstanceCatalog,
+    market: SpotMarket,
+    *,
+    max_per_type: Optional[int] = None,
+) -> List[HeterogeneousConfig]:
+    """All spot allocations whose *discounted* cost fits ``budget_per_hour``.
+
+    Counts range only over the types the market offers (zeros elsewhere, over the
+    same catalog object so the vectorized bound path applies); the empty allocation
+    is included — "buy no spot" is always a candidate.
+    """
+    check_positive(budget_per_hour, "budget_per_hour")
+    offered = [name for name in catalog.names if market.offers(name)]
+    configs: List[HeterogeneousConfig] = []
+    counts: Dict[str, int] = {}
+
+    def recurse(idx: int, remaining: float) -> None:
+        if idx == len(offered):
+            configs.append(HeterogeneousConfig.from_mapping(counts, catalog))
+            return
+        name = offered[idx]
+        price = catalog[name].price_per_hour * market.price_multiplier(name)
+        cap = int(math.floor(remaining / price + 1e-9))
+        if max_per_type is not None:
+            cap = min(cap, max_per_type)
+        for c in range(max(cap, 0) + 1):
+            counts[name] = c
+            recurse(idx + 1, remaining - c * price)
+        counts[name] = 0
+
+    recurse(0, budget_per_hour)
+    return configs
+
+
+@dataclass(frozen=True)
+class MixedModelAllocation:
+    """One mixed on-demand + spot selection (one model's share of a joint plan).
+
+    ``effective_bound`` is the planner's risk-discounted capacity estimate: the
+    on-demand portion's full Eq. 15 bound plus the spot portion's bound scaled by
+    its expected availability over the planning horizon.  ``cost_per_hour`` is the
+    expected burn rate — on-demand at list price, spot at the discounted rate.
+    """
+
+    model_name: str
+    target_qps: float
+    ondemand_config: HeterogeneousConfig
+    spot_config: HeterogeneousConfig
+    ondemand_bound: float
+    spot_bound: float
+    availability: float
+    effective_bound: float
+    ondemand_cost_per_hour: float
+    spot_cost_per_hour: float
+    demand_met: bool
+    floor_met: bool
+
+    @property
+    def cost_per_hour(self) -> float:
+        """Total expected $/hr of the mixed allocation."""
+        return self.ondemand_cost_per_hour + self.spot_cost_per_hour
+
+    @property
+    def has_spot(self) -> bool:
+        return not self.spot_config.is_empty()
+
+    @property
+    def combined_config(self) -> HeterogeneousConfig:
+        """On-demand + spot counts summed (what the cluster physically instantiates)."""
+        combined = {
+            name: od + spot
+            for (name, od), (_, spot) in zip(self.ondemand_config, self.spot_config)
+        }
+        return HeterogeneousConfig.from_mapping(combined, self.ondemand_config.catalog)
+
+
+@dataclass(frozen=True)
+class MixedMarketPlan:
+    """Result of one single-model risk-aware mixed-market planning pass.
+
+    A thin wrapper over the selected :class:`MixedModelAllocation` (every selection
+    field reads through to it) plus the pass-level diagnostics.
+    """
+
+    budget_per_hour: float
+    allocation: MixedModelAllocation
+    search_space_size: int
+    planning_seconds: float
+
+    # -- allocation delegation (the selection surface) -----------------------------------
+    @property
+    def model_name(self) -> str:
+        return self.allocation.model_name
+
+    @property
+    def target_qps(self) -> float:
+        return self.allocation.target_qps
+
+    @property
+    def ondemand_config(self) -> HeterogeneousConfig:
+        return self.allocation.ondemand_config
+
+    @property
+    def spot_config(self) -> HeterogeneousConfig:
+        return self.allocation.spot_config
+
+    @property
+    def ondemand_bound(self) -> float:
+        return self.allocation.ondemand_bound
+
+    @property
+    def spot_bound(self) -> float:
+        return self.allocation.spot_bound
+
+    @property
+    def availability(self) -> float:
+        return self.allocation.availability
+
+    @property
+    def effective_bound(self) -> float:
+        return self.allocation.effective_bound
+
+    @property
+    def ondemand_cost_per_hour(self) -> float:
+        return self.allocation.ondemand_cost_per_hour
+
+    @property
+    def spot_cost_per_hour(self) -> float:
+        return self.allocation.spot_cost_per_hour
+
+    @property
+    def demand_met(self) -> bool:
+        return self.allocation.demand_met
+
+    @property
+    def floor_met(self) -> bool:
+        return self.allocation.floor_met
+
+    @property
+    def cost_per_hour(self) -> float:
+        return self.allocation.cost_per_hour
+
+    @property
+    def has_spot(self) -> bool:
+        return self.allocation.has_spot
+
+    @property
+    def combined_config(self) -> HeterogeneousConfig:
+        return self.allocation.combined_config
+
+
+@dataclass(frozen=True)
+class MultiModelMixedPlan:
+    """Result of one joint mixed-market planning pass over N co-located models."""
+
+    budget_per_hour: float
+    allocations: Tuple[MixedModelAllocation, ...]
+    search_space_size: int
+    planning_seconds: float
+    within_budget: bool
+
+    @property
+    def total_cost_per_hour(self) -> float:
+        return math.fsum(a.cost_per_hour for a in self.allocations)
+
+    @property
+    def meets_all_targets(self) -> bool:
+        return all(a.demand_met for a in self.allocations)
+
+    def allocation_of(self, model_name: str) -> MixedModelAllocation:
+        for allocation in self.allocations:
+            if allocation.model_name == model_name:
+                return allocation
+        raise KeyError(f"no allocation for model {model_name!r} in the joint plan")
+
+
+class _MixedSelection(NamedTuple):
+    od_index: int
+    spot_index: int
+    effective_bound: float
+    demand_met: bool
+    floor_met: bool
+
+
+def _spot_availability(
+    spot_space: Sequence[HeterogeneousConfig],
+    catalog: InstanceCatalog,
+    market: Optional[SpotMarket],
+    horizon_ms: float,
+) -> np.ndarray:
+    """Per-config availability discount: the worst (minimum) over the types present.
+
+    Conservative by construction — a mixed-type spot pool is only credited with the
+    availability of its flakiest member.  The empty allocation scores 1.0.
+    """
+    if market is None:
+        return np.ones(len(spot_space), dtype=float)
+    per_type = np.asarray(
+        [
+            market.expected_availability(name, horizon_ms) if market.offers(name) else 1.0
+            for name in catalog.names
+        ],
+        dtype=float,
+    )
+    counts = np.asarray([c.counts for c in spot_space], dtype=int)
+    if counts.size == 0:
+        return np.ones(len(spot_space), dtype=float)
+    masked = np.where(counts > 0, per_type[None, :], np.inf)
+    values = masked.min(axis=1)
+    return np.where(np.isfinite(values), values, 1.0)
+
+
+def _mixed_candidates(
+    budget_per_hour: float,
+    catalog: InstanceCatalog,
+    market: Optional[SpotMarket],
+    planning_horizon_ms: float,
+    *,
+    max_per_type: Optional[int],
+    max_spot_per_type: Optional[int],
+    min_base_count: int,
+) -> Tuple[List[HeterogeneousConfig], np.ndarray, List[HeterogeneousConfig], np.ndarray, np.ndarray]:
+    """The two candidate spaces of a mixed plan plus their cost/availability vectors."""
+    space = enumerate_configs(
+        budget_per_hour,
+        catalog,
+        min_base_count=min_base_count,
+        max_per_type=max_per_type,
+    )
+    if not space:
+        raise ValueError(f"no configuration fits the budget of {budget_per_hour}$/hr")
+    costs = np.asarray([c.cost_per_hour() for c in space], dtype=float)
+    if market is not None and len(market):
+        spot_space = enumerate_spot_configs(
+            budget_per_hour, catalog, market, max_per_type=max_spot_per_type
+        )
+        multipliers = np.asarray(
+            [
+                market.price_multiplier(name) if market.offers(name) else 1.0
+                for name in catalog.names
+            ],
+            dtype=float,
+        )
+        prices = np.asarray(catalog.price_vector(), dtype=float) * multipliers
+        spot_counts = np.asarray([c.counts for c in spot_space], dtype=int)
+        spot_costs = spot_counts @ prices
+    else:
+        spot_space = [HeterogeneousConfig.empty(catalog)]
+        spot_costs = np.zeros(1, dtype=float)
+    availability = _spot_availability(spot_space, catalog, market, planning_horizon_ms)
+    return space, costs, spot_space, spot_costs, availability
+
+
+def _select_mixed(
+    bounds: np.ndarray,
+    costs: np.ndarray,
+    disc_spot_bounds: np.ndarray,
+    spot_costs: np.ndarray,
+    required: float,
+    floor_required: float,
+    budget_per_hour: float,
+) -> _MixedSelection:
+    """Pick the cheapest (on-demand, spot) pair covering ``required``.
+
+    Fully vectorized: spot candidates are sorted by discounted cost with a running
+    bound maximum, so "cheapest spot allocation reaching bound x" is one
+    ``searchsorted``; each on-demand candidate then pairs with exactly that
+    allocation for its shortfall.  Ties break toward the highest effective bound,
+    then enumeration order.  When nothing covers the demand (or the floor), the
+    selection degrades to best effort and flags ``demand_met=False``.
+    """
+    n_od = len(bounds)
+    n_spot = len(spot_costs)
+    od_keys = np.arange(n_od)
+    spot_keys = np.arange(n_spot)
+    order = np.lexsort((spot_keys, -disc_spot_bounds, spot_costs))
+    sorted_costs = spot_costs[order]
+    sorted_disc = disc_spot_bounds[order]
+    run_max = np.maximum.accumulate(sorted_disc)
+
+    shortfall = np.maximum(0.0, required - bounds)
+    positions = np.searchsorted(run_max, np.maximum(shortfall - 1e-9, 0.0), side="left")
+    coverable = positions < n_spot
+    safe_pos = np.minimum(positions, n_spot - 1)
+    totals = np.where(coverable, costs + sorted_costs[safe_pos], np.inf)
+    effective = np.where(coverable, bounds + sorted_disc[safe_pos], bounds)
+
+    feasible = (
+        (bounds >= floor_required - 1e-9)
+        & coverable
+        & (totals <= budget_per_hour + 1e-9)
+    )
+    if np.any(feasible):
+        pool = np.nonzero(feasible)[0]
+        pick = pool[
+            np.lexsort((od_keys[pool], -effective[pool], totals[pool]))[0]
+        ]
+        return _MixedSelection(
+            od_index=int(pick),
+            spot_index=int(order[safe_pos[pick]]),
+            effective_bound=float(effective[pick]),
+            demand_met=True,
+            floor_met=True,
+        )
+
+    # Best effort: the highest-bound on-demand config (ties: cheapest, then order),
+    # topped up with the best affordable spot allocation.
+    od_pick = int(np.lexsort((od_keys, costs, -bounds))[0])
+    remaining = budget_per_hour - costs[od_pick]
+    affordable = spot_costs <= remaining + 1e-9
+    if np.any(affordable):
+        pool = np.nonzero(affordable)[0]
+        spot_pick = int(
+            pool[np.lexsort((spot_keys[pool], spot_costs[pool], -disc_spot_bounds[pool]))[0]]
+        )
+    else:  # pragma: no cover - the empty allocation always fits
+        spot_pick = int(np.argmin(spot_costs))
+    eff = float(bounds[od_pick] + disc_spot_bounds[spot_pick])
+    return _MixedSelection(
+        od_index=od_pick,
+        spot_index=spot_pick,
+        effective_bound=eff,
+        demand_met=eff >= required - 1e-9,
+        floor_met=bool(bounds[od_pick] >= floor_required - 1e-9),
+    )
+
+
+def _mixed_allocation(
+    model_name: str,
+    target: float,
+    required: float,
+    floor_required: float,
+    budget_per_hour: float,
+    bounds: np.ndarray,
+    costs: np.ndarray,
+    space: Sequence[HeterogeneousConfig],
+    spot_bounds: np.ndarray,
+    spot_costs: np.ndarray,
+    spot_space: Sequence[HeterogeneousConfig],
+    availability: np.ndarray,
+) -> MixedModelAllocation:
+    """Run the mixed selection and package one model's allocation."""
+    selection = _select_mixed(
+        bounds,
+        costs,
+        availability * spot_bounds,
+        spot_costs,
+        required,
+        floor_required,
+        budget_per_hour,
+    )
+    return MixedModelAllocation(
+        model_name=model_name,
+        target_qps=target,
+        ondemand_config=space[selection.od_index],
+        spot_config=spot_space[selection.spot_index],
+        ondemand_bound=float(bounds[selection.od_index]),
+        spot_bound=float(spot_bounds[selection.spot_index]),
+        availability=float(availability[selection.spot_index]),
+        effective_bound=selection.effective_bound,
+        ondemand_cost_per_hour=float(costs[selection.od_index]),
+        spot_cost_per_hour=float(spot_costs[selection.spot_index]),
+        demand_met=selection.demand_met,
+        floor_met=selection.floor_met,
+    )
+
+
+class SpotAwareKairosPlanner(KairosPlanner):
+    """Rank mixed on-demand + spot allocations against a demand target.
+
+    Where :class:`KairosPlanner` maximizes one market's throughput bound under the
+    budget, the risk-aware planner answers the spot-market question: *what is the
+    cheapest combination of reliable and preemptible capacity whose risk-discounted
+    Eq. 15 bound still covers the demand?*  Spot capacity is cheap but revocable, so
+    its bound is discounted by the market's expected availability over the planning
+    horizon, and a **minimum on-demand floor** (``ondemand_floor`` of the required
+    demand must be coverable by the on-demand portion alone) guarantees QoS survives
+    a worst-case correlated preemption burst that reclaims every spot instance at
+    once.  Both candidate spaces are ranked through the vectorized
+    ``upper_bounds_batch`` path.
+
+    With ``market=None`` (or an empty market) the planner degenerates to the
+    cheapest all-on-demand allocation covering the demand — the baseline arm of the
+    fig18 scenario.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, MLModel],
+        budget_per_hour: float,
+        *,
+        market: Optional[SpotMarket] = None,
+        planning_horizon_ms: float = MS_PER_HOUR,
+        ondemand_floor: float = 0.5,
+        demand_headroom: float = 1.0,
+        max_spot_per_type: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(model, budget_per_hour, **kwargs)
+        check_positive(planning_horizon_ms, "planning_horizon_ms")
+        if not 0.0 <= ondemand_floor <= 1.0:
+            raise ValueError("ondemand_floor must lie in [0, 1]")
+        if demand_headroom < 1.0:
+            raise ValueError("demand_headroom must be >= 1 (provision at least the demand)")
+        self.market = market
+        self.planning_horizon_ms = float(planning_horizon_ms)
+        self.ondemand_floor = float(ondemand_floor)
+        self.demand_headroom = float(demand_headroom)
+        self.max_spot_per_type = max_spot_per_type
+
+    def plan_mixed(self, target_qps: float) -> MixedMarketPlan:
+        """Select the cheapest mixed allocation covering ``target_qps``."""
+        start = time.perf_counter()
+        target = float(target_qps)
+        check_non_negative(target, "target_qps")
+        required = target * self.demand_headroom
+        space, costs, spot_space, spot_costs, availability = _mixed_candidates(
+            self.budget_per_hour,
+            self.catalog,
+            self.market,
+            self.planning_horizon_ms,
+            max_per_type=self.max_per_type,
+            max_spot_per_type=self.max_spot_per_type,
+            min_base_count=self.min_base_count,
+        )
+        allocation = _mixed_allocation(
+            self.model.name,
+            target,
+            required,
+            required * self.ondemand_floor,
+            self.budget_per_hour,
+            self.estimator.upper_bounds_batch(space),
+            costs,
+            space,
+            self.estimator.upper_bounds_batch(spot_space),
+            spot_costs,
+            spot_space,
+            availability,
+        )
+        elapsed = time.perf_counter() - start
+        return MixedMarketPlan(
+            budget_per_hour=self.budget_per_hour,
+            allocation=allocation,
+            search_space_size=len(space) + len(spot_space),
+            planning_seconds=elapsed,
+        )

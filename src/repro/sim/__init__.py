@@ -15,14 +15,20 @@ from repro.sim.elasticity import (
     simulate_elastic_serving,
 )
 from repro.sim.engine import EventQueue, SimulationClock
-from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.events import Event, EventKind, PreemptionBurst, ScaleRequest
 from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.sim.preemption import (
+    PreemptibleElasticSimulation,
+    initial_spot_server_ids,
+    simulate_preemptible_serving,
+)
 from repro.sim.server import ServerInstance
 from repro.sim.simulation import ServingSimulation, SimulationReport, simulate_serving
 
 __all__ = [
     "Event",
     "EventKind",
+    "PreemptionBurst",
     "ScaleRequest",
     "EventQueue",
     "SimulationClock",
@@ -38,6 +44,9 @@ __all__ = [
     "ElasticSimulationReport",
     "ScaleLogEntry",
     "simulate_elastic_serving",
+    "PreemptibleElasticSimulation",
+    "initial_spot_server_ids",
+    "simulate_preemptible_serving",
     "AllowableThroughputResult",
     "measure_allowable_throughput",
 ]

@@ -211,11 +211,15 @@ class ElasticServingSimulation:
         self.warmup_queries = int(warmup_queries)
         self.scripted_events = tuple(scripted_events)
         for event in self.scripted_events:
-            if event.kind not in (EventKind.SCALE_UP, EventKind.SCALE_DOWN):
-                raise ValueError("scripted events must be SCALE_UP or SCALE_DOWN")
-            if not isinstance(event.payload, ScaleRequest):
-                raise ValueError("scripted scale events must carry a ScaleRequest payload")
+            self._validate_scripted(event)
         self._ran = False
+
+    def _validate_scripted(self, event: Event) -> None:
+        """Reject unsupported scripted events (subclasses widen the accepted kinds)."""
+        if event.kind not in (EventKind.SCALE_UP, EventKind.SCALE_DOWN):
+            raise ValueError("scripted events must be SCALE_UP or SCALE_DOWN")
+        if not isinstance(event.payload, ScaleRequest):
+            raise ValueError("scripted scale events must carry a ScaleRequest payload")
 
     def run(self, queries: Sequence[Query]) -> ElasticSimulationReport:
         """Serve ``queries`` once.  Unlike :class:`~repro.sim.simulation.ServingSimulation`
@@ -234,9 +238,6 @@ class ElasticServingSimulation:
         n = len(ordered)
         self.cluster.reset()
         metrics = ServingMetrics(self.qos_ms, self.qos_percentile)
-        ledger = InstanceUsageLedger(self.cluster.config.catalog)
-        for server in self.cluster:
-            ledger.start(server.server_id, server.instance_type, 0.0)
         scale_log: List[ScaleLogEntry] = []
         replans: List[ReplanDecision] = []
 
@@ -245,6 +246,8 @@ class ElasticServingSimulation:
         for q in ordered:
             events.push(Event(q.arrival_time_ms, EventKind.QUERY_ARRIVAL, q))
         events.push_all(self.scripted_events)
+        ledger = InstanceUsageLedger(self.cluster.config.catalog)
+        self._open_initial_billing(ledger, events)
 
         pending = PendingQueue()
         warmup_ids = {q.query_id for q in ordered[: self.warmup_queries]}
@@ -338,6 +341,34 @@ class ElasticServingSimulation:
             peak_instances=peak,
         )
 
+    # -- subclass hooks -----------------------------------------------------------------
+    # The preemption simulator (repro.sim.preemption) extends the lifecycle through
+    # these hooks instead of forking the event loop; all defaults reproduce the
+    # pre-spot behaviour exactly (locked down by the seed-stability suite).
+    def _open_initial_billing(self, ledger: InstanceUsageLedger, events: EventQueue) -> None:
+        """Open billing for the initial fleet (``events`` lets subclasses arm timers)."""
+        for server in self.cluster:
+            ledger.start(server.server_id, server.instance_type, 0.0)
+
+    def _start_billing(
+        self,
+        ledger: InstanceUsageLedger,
+        server_id: int,
+        itype,
+        now: float,
+        request: ScaleRequest,
+    ) -> None:
+        """Open billing for one scale-up instance (subclasses price by market)."""
+        ledger.start(server_id, itype, now)
+
+    def _after_instance_ready(
+        self, server_id: int, type_name: str, now: float, events: EventQueue
+    ) -> None:
+        """Called once a provisioned instance joins the schedulable set."""
+
+    def _after_dispatch(self, record: QueryRecord) -> None:
+        """Called for every committed dispatch, before its completion is scheduled."""
+
     # -- event handling -----------------------------------------------------------------
     def _handle(
         self,
@@ -378,7 +409,7 @@ class ElasticServingSimulation:
                 # billing starts at the request; the instance is schedulable only
                 # after the startup delay
                 server_id = self.cluster.reserve_server_id()
-                ledger.start(server_id, itype, now)
+                self._start_billing(ledger, server_id, itype, now, request)
                 self._booting.setdefault(request.type_name, []).append(server_id)
                 events.push(
                     Event(
@@ -438,6 +469,7 @@ class ElasticServingSimulation:
                 booting.remove(server_id)
             self.cluster.add_server(type_name, now_ms=now, server_id=server_id)
             scale_log.append(ScaleLogEntry(now, "instance_ready", type_name, 1))
+            self._after_instance_ready(server_id, type_name, now, events)
             return True, False
 
         return False, False  # CONTROL and future kinds: no-op
@@ -501,6 +533,7 @@ class ElasticServingSimulation:
                 completion_ms=completion,
                 service_ms=service,
             )
+            self._after_dispatch(record)
             events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
             count += 1
         return count

@@ -78,5 +78,19 @@ class EventQueue:
         while self._heap and self._heap[0][1].time_ms <= time_ms + 1e-12:
             yield self.pop()
 
+    def discard(self, predicate) -> int:
+        """Remove every queued event matching ``predicate``; returns how many.
+
+        Surviving entries keep their original sort keys (timestamp, kind, insertion
+        sequence), so the relative order of everything left is untouched —
+        determinism is preserved.
+        """
+        kept = [entry for entry in self._heap if not predicate(entry[1])]
+        removed = len(self._heap) - len(kept)
+        if removed:
+            self._heap = kept
+            heapq.heapify(self._heap)
+        return removed
+
     def clear(self) -> None:
         self._heap.clear()

@@ -32,6 +32,12 @@ class EventKind(enum.IntEnum):
     SCALE_UP = 3
     SCALE_DOWN = 4
     INSTANCE_READY = 5
+    #: Spot-market reclaim notice: the instance enters deadline-bounded draining and a
+    #: ``PREEMPTED`` kill follows after the market's warning window.  Both sort after
+    #: every pre-existing kind at equal timestamps, so enabling the spot subsystem
+    #: cannot reorder the state mutations of a spot-free run (seed stability).
+    PREEMPTION_WARNING = 6
+    PREEMPTED = 7
 
 
 @dataclass(frozen=True)
@@ -55,10 +61,36 @@ class ScaleRequest:
     count: int
     reason: str = ""
     model_name: Optional[str] = None
+    #: Purchase market of the requested instances: ``"on-demand"`` (default) or
+    #: ``"spot"`` — a spot scale-up bills at the market's discounted rate and arms the
+    #: instance's preemption process once it becomes ready.
+    market: str = "on-demand"
 
     def __post_init__(self) -> None:
         if self.count <= 0:
             raise ValueError(f"scale request count must be positive, got {self.count}")
+        if not self.market:
+            raise ValueError("scale request market must be non-empty")
+
+
+@dataclass(frozen=True)
+class PreemptionBurst:
+    """Payload of a scripted ``PREEMPTION_WARNING``: reclaim several spot instances.
+
+    Models a correlated capacity reclaim (the provider taking back a tranche of spot
+    capacity at once).  ``count`` active spot instances are warned simultaneously —
+    victims chosen in the same cost-aware order as
+    :func:`~repro.sim.elasticity.select_drain_victims` — restricted to ``type_name``
+    when given, across all spot types otherwise.
+    """
+
+    count: int
+    type_name: Optional[str] = None
+    reason: str = "forced"
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"preemption burst count must be positive, got {self.count}")
 
 
 @dataclass(frozen=True)

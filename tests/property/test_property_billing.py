@@ -1,15 +1,17 @@
 """Property-based tests for per-model cost attribution in the usage ledger.
 
-Multi-model runs tag every billing interval with the model the instance hosts.  The
+Multi-model runs tag every billing interval with the model the instance hosts, and
+spot-market runs additionally carry a purchase market plus a price multiplier.  The
 invariants any attribution scheme must uphold, for *any* commissioning history:
 
 * per-model attributed cost sums exactly to the total billed cost (tags partition the
-  intervals — attribution can neither create nor lose spend);
+  intervals — attribution can neither create nor lose spend), and per-market
+  attribution partitions the same total along the other axis;
 * every attributed cost is non-negative, and windowed queries behave the same;
 * the ledger is invariant to the *interleaving order* of start/stop events at equal
   timestamps: costs are per-interval integrals, so applying simultaneous events in any
   order (that respects each instance's own start-before-stop causality) yields the
-  identical per-tag and total costs.
+  identical per-tag, per-market, and total costs.
 """
 
 import numpy as np
@@ -17,9 +19,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cloud.billing import InstanceUsageLedger
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+from repro.cloud.spot import MARKET_ON_DEMAND, MARKET_SPOT
 
 MODELS = ("RM2", "WND", "NCF")
 TYPE_NAMES = list(DEFAULT_INSTANCE_CATALOG.names)
+#: (market label, price multiplier) purchase options; spot discounts vary per draw
+#: exactly as per-type spot markets do.
+MARKETS = ((MARKET_ON_DEMAND, 1.0), (MARKET_SPOT, 0.35), (MARKET_SPOT, 0.25))
 
 #: One instance's commissioning history: (type index, tag index, start, duration).
 #: Timestamps are drawn from a coarse grid so equal-timestamp collisions are common —
@@ -30,6 +36,19 @@ instance_histories = st.lists(
         st.integers(0, len(MODELS) - 1),
         st.integers(0, 20),  # start (grid units)
         st.integers(0, 10),  # duration (grid units; 0 = start and stop coincide)
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+#: The spot-market variant adds a market index per instance.
+spot_instance_histories = st.lists(
+    st.tuples(
+        st.integers(0, len(TYPE_NAMES) - 1),
+        st.integers(0, len(MODELS) - 1),
+        st.integers(0, 20),
+        st.integers(0, 10),
+        st.integers(0, len(MARKETS) - 1),
     ),
     min_size=1,
     max_size=12,
@@ -46,6 +65,28 @@ def _build_events(histories):
         start_ms = start * GRID_MS
         end_ms = (start + duration) * GRID_MS
         events.append((start_ms, "start", server_id, TYPE_NAMES[type_idx], MODELS[tag_idx]))
+        events.append((end_ms, "stop", server_id, None, None))
+    return events
+
+
+def _build_spot_events(histories):
+    """Like :func:`_build_events`, with a (market, multiplier) pair on every start."""
+    events = []
+    for server_id, (type_idx, tag_idx, start, duration, market_idx) in enumerate(histories):
+        start_ms = start * GRID_MS
+        end_ms = (start + duration) * GRID_MS
+        market, multiplier = MARKETS[market_idx]
+        events.append(
+            (
+                start_ms,
+                "start",
+                server_id,
+                TYPE_NAMES[type_idx],
+                MODELS[tag_idx],
+                market,
+                multiplier,
+            )
+        )
         events.append((end_ms, "stop", server_id, None, None))
     return events
 
@@ -67,9 +108,17 @@ def _apply(events, order_keys):
     # deferring premature stops (possible only because their times are equal).
     deferred = []
     for _, event in pending:
-        time_ms, kind, server_id, type_name, tag = event
+        time_ms, kind, server_id, type_name, tag = event[:5]
         if kind == "start":
-            ledger.start(server_id, type_name, time_ms, tag=tag)
+            market, multiplier = event[5:] if len(event) > 5 else (MARKET_ON_DEMAND, 1.0)
+            ledger.start(
+                server_id,
+                type_name,
+                time_ms,
+                tag=tag,
+                price_multiplier=multiplier,
+                market=market,
+            )
             started.add(server_id)
             still_deferred = []
             for d_time, d_server in deferred:
@@ -140,3 +189,71 @@ def test_windowed_attribution_partitions_windowed_total(histories, window):
         rtol=0,
         atol=1e-12,
     )
+
+
+# -- spot-market attribution (price multipliers + per-market split) -----------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories=spot_instance_histories)
+def test_per_market_costs_partition_the_total(histories):
+    ledger = _apply(_build_spot_events(histories), order_keys=list(range(32)))
+    by_market = ledger.cost_by_market(HORIZON_MS)
+    assert all(cost >= 0.0 for cost in by_market.values())
+    np.testing.assert_allclose(
+        sum(by_market.values()), ledger.total_cost(HORIZON_MS), rtol=0, atol=1e-12
+    )
+    # the tag partition and the market partition slice the *same* total
+    np.testing.assert_allclose(
+        sum(ledger.cost_by_tag(HORIZON_MS).values()),
+        sum(by_market.values()),
+        rtol=0,
+        atol=1e-12,
+    )
+    # closed form: each instance accrues price * multiplier * duration
+    expected_by_market = {}
+    for type_idx, _tag_idx, start, duration, market_idx in histories:
+        overlap = min((start + duration) * GRID_MS, HORIZON_MS) - min(
+            start * GRID_MS, HORIZON_MS
+        )
+        market, multiplier = MARKETS[market_idx]
+        price = DEFAULT_INSTANCE_CATALOG[TYPE_NAMES[type_idx]].price_per_hour
+        expected_by_market.setdefault(market, 0.0)
+        expected_by_market[market] += price * multiplier * overlap / 3_600_000.0
+    for market, expected in expected_by_market.items():
+        np.testing.assert_allclose(
+            by_market.get(market, 0.0), expected, rtol=0, atol=1e-12
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories=spot_instance_histories)
+def test_discount_savings_closed_form(histories):
+    ledger = _apply(_build_spot_events(histories), order_keys=list(range(32)))
+    expected = 0.0
+    for type_idx, _tag_idx, start, duration, market_idx in histories:
+        overlap = min((start + duration) * GRID_MS, HORIZON_MS) - min(
+            start * GRID_MS, HORIZON_MS
+        )
+        _market, multiplier = MARKETS[market_idx]
+        price = DEFAULT_INSTANCE_CATALOG[TYPE_NAMES[type_idx]].price_per_hour
+        expected += (1.0 - multiplier) * price * overlap / 3_600_000.0
+    np.testing.assert_allclose(
+        ledger.discount_savings(HORIZON_MS), expected, rtol=0, atol=1e-12
+    )
+    assert ledger.discount_savings(HORIZON_MS) >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories=spot_instance_histories, permutation=st.permutations(list(range(24))))
+def test_market_attribution_invariant_to_equal_timestamp_interleaving(
+    histories, permutation
+):
+    events = _build_spot_events(histories)
+    reference = _apply(events, order_keys=list(range(32)))
+    shuffled = _apply(events, order_keys=list(permutation))
+    assert shuffled.cost_by_market(HORIZON_MS) == reference.cost_by_market(HORIZON_MS)
+    assert shuffled.cost_by_tag(HORIZON_MS) == reference.cost_by_tag(HORIZON_MS)
+    assert shuffled.total_cost(HORIZON_MS) == reference.total_cost(HORIZON_MS)
+    assert shuffled.discount_savings(HORIZON_MS) == reference.discount_savings(HORIZON_MS)
+    assert shuffled.hours_by_market(HORIZON_MS) == reference.hours_by_market(HORIZON_MS)

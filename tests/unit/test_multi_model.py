@@ -555,3 +555,88 @@ class TestSingleModelByteIdentity:
             mm, MultiModelKairosPolicy(), self._stream(), rng=3
         )
         assert report.completed_all
+
+
+class TestSpotDisabledByteIdentity:
+    """The preemption-capable path with spot disabled must not drift at all.
+
+    Same contract as the single-model multi-model identity above: with no market (or
+    a zero-hazard one) :class:`~repro.sim.preemption.PreemptibleElasticSimulation`
+    must reproduce the pre-existing elastic and static serving paths bit for bit.
+    """
+
+    def _stream(self):
+        spec = WorkloadSpec(
+            batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+            num_queries=150,
+        )
+        return WorkloadGenerator(spec).generate(rate_qps=40.0, rng=SEED)
+
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_no_market_identical_to_elastic_and_static(
+        self, small_config, rm2, profiles, noisy
+    ):
+        from repro.sim.preemption import simulate_preemptible_serving
+        from repro.sim.simulation import gaussian_service_noise
+
+        noise = gaussian_service_noise(0.05) if noisy else None
+        queries = self._stream()
+        preemptible = simulate_preemptible_serving(
+            Cluster(small_config, rm2, profiles),
+            KairosPolicy(),
+            queries,
+            noise=noise,
+            rng=np.random.default_rng(SEED + 1),
+        )
+        elastic = simulate_elastic_serving(
+            Cluster(small_config, rm2, profiles),
+            KairosPolicy(),
+            queries,
+            noise=noise,
+            rng=np.random.default_rng(SEED + 1),
+        )
+        static = simulate_serving(
+            small_config,
+            rm2,
+            profiles,
+            KairosPolicy(),
+            queries,
+            noise=noise,
+            rng=np.random.default_rng(SEED + 1),
+        )
+        tuples = TestSingleModelByteIdentity._tuples
+        assert tuples(preemptible.metrics.records) == tuples(elastic.metrics.records)
+        assert tuples(preemptible.metrics.records) == tuples(static.metrics.records)
+        assert repr(preemptible.metrics.summary()) == repr(elastic.metrics.summary())
+        assert preemptible.total_cost() == elastic.total_cost()
+        assert preemptible.scale_log == [] and preemptible.replans == []
+
+    def test_zero_hazard_market_identical_metrics_cheaper_bill(
+        self, small_config, rm2, profiles, catalog
+    ):
+        """Zero hazard: no preemption events, no market-rng draws — only the bill
+        changes (the spot portion is billed at the discounted rate)."""
+        from repro.cloud.spot import SpotMarket
+        from repro.sim.preemption import simulate_preemptible_serving
+
+        queries = self._stream()
+        market = SpotMarket.uniform(catalog, discount=0.6, preemptions_per_hour=0.0)
+        spotted = simulate_preemptible_serving(
+            Cluster(small_config, rm2, profiles),
+            KairosPolicy(),
+            queries,
+            market=market,
+            spot_server_ids=[2, 3],
+            rng=np.random.default_rng(SEED + 1),
+        )
+        elastic = simulate_elastic_serving(
+            Cluster(small_config, rm2, profiles),
+            KairosPolicy(),
+            queries,
+            rng=np.random.default_rng(SEED + 1),
+        )
+        tuples = TestSingleModelByteIdentity._tuples
+        assert tuples(spotted.metrics.records) == tuples(elastic.metrics.records)
+        assert repr(spotted.metrics.summary()) == repr(elastic.metrics.summary())
+        assert spotted.scale_log == []
+        assert spotted.total_cost() < elastic.total_cost()

@@ -4,17 +4,22 @@ The elasticity subsystem added event kinds and cluster-membership machinery; thi
 suite locks down that the *static* serving path still produces bit-for-bit identical
 ``ServingMetrics`` for a fixed seed, run after run — including under service noise,
 where the RNG draw sequence is part of the contract.  The multi-model subsystem adds
-a co-located elastic scenario with the same guarantee per model.
+a co-located elastic scenario with the same guarantee per model, and the spot-market
+subsystem a preemption scenario (hazard draws, a forced burst, re-queues, and
+reactive re-provisioning) with the same byte-identity guarantee for metrics, scale
+logs, and per-market billing.
 """
 
 import numpy as np
 import pytest
 
 from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.spot import SpotMarket
 from repro.schedulers.kairos_policy import KairosPolicy, MultiModelKairosPolicy
-from repro.sim.cluster import MultiModelCluster
-from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.cluster import Cluster, MultiModelCluster
+from repro.sim.events import Event, EventKind, PreemptionBurst, ScaleRequest
 from repro.sim.multi_model import MultiModelServingSimulation
+from repro.sim.preemption import PreemptibleElasticSimulation
 from repro.sim.simulation import gaussian_service_noise, simulate_serving
 from repro.workload.generator import (
     WorkloadGenerator,
@@ -155,3 +160,71 @@ class TestMultiModelSeedStability:
         clean = _mm_elastic_run(profiles, catalog)
         noisy = _mm_elastic_run(profiles, catalog, noise=gaussian_service_noise(0.05))
         assert self._per_model_tuples(clean) != self._per_model_tuples(noisy)
+
+
+def _spot_run(profiles, catalog, *, noise=None):
+    """A preemption scenario: nonzero hazard, a forced burst, and re-provisioning."""
+    cluster = Cluster(HeterogeneousConfig((1, 0, 3, 0), catalog), profiles.models["RM2"], profiles)
+    market = SpotMarket.uniform(
+        catalog, discount=0.65, preemptions_per_hour=2_400.0, warning_ms=30.0
+    )
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=40, sigma=1.1),
+        num_queries=150,
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=60.0, rng=SEED)
+    events = [Event(900.0, EventKind.PREEMPTION_WARNING, PreemptionBurst(count=2))]
+    sim = PreemptibleElasticSimulation(
+        cluster,
+        KairosPolicy(),
+        market=market,
+        spot_server_ids=[2, 3],
+        scripted_events=events,
+        startup_delay_ms=150.0,
+        noise=noise,
+        rng=np.random.default_rng(SEED + 1),
+        market_rng=np.random.default_rng(SEED + 2),
+    )
+    return sim.run(queries)
+
+
+class TestSpotSeedStability:
+    """The preemption path: metrics, scale log, and billing byte-identical per seed."""
+
+    def _scale_tuples(self, report):
+        return [
+            (e.time_ms, e.kind, e.type_name, e.count, e.reason) for e in report.scale_log
+        ]
+
+    def test_metrics_byte_identical_across_runs(self, profiles, catalog):
+        first = _spot_run(profiles, catalog)
+        second = _spot_run(profiles, catalog)
+        assert [_record_tuple(r) for r in first.metrics.records] == [
+            _record_tuple(r) for r in second.metrics.records
+        ]
+        assert repr(first.metrics.summary()) == repr(second.metrics.summary())
+        assert self._scale_tuples(first) == self._scale_tuples(second)
+        assert first.ledger.cost_by_market(first.billing_horizon_ms) == (
+            second.ledger.cost_by_market(second.billing_horizon_ms)
+        )
+        # non-vacuous: the preemption machinery actually fired
+        kinds = [e.kind for e in first.scale_log]
+        assert "preemption_warning" in kinds and "preempted" in kinds
+        assert any(e.kind == "scale_up" and e.reason == "reprovision" for e in first.scale_log)
+
+    def test_metrics_byte_identical_with_noise(self, profiles, catalog):
+        noise = gaussian_service_noise(0.05)
+        first = _spot_run(profiles, catalog, noise=noise)
+        second = _spot_run(profiles, catalog, noise=noise)
+        assert [_record_tuple(r) for r in first.metrics.records] == [
+            _record_tuple(r) for r in second.metrics.records
+        ]
+        assert repr(first.metrics.summary()) == repr(second.metrics.summary())
+        assert self._scale_tuples(first) == self._scale_tuples(second)
+
+    def test_noise_actually_perturbs_the_run(self, profiles, catalog):
+        clean = _spot_run(profiles, catalog)
+        noisy = _spot_run(profiles, catalog, noise=gaussian_service_noise(0.05))
+        assert [_record_tuple(r) for r in clean.metrics.records] != [
+            _record_tuple(r) for r in noisy.metrics.records
+        ]

@@ -1,0 +1,127 @@
+"""Tests for the spot-market model (repro.cloud.spot)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+from repro.cloud.spot import (
+    MS_PER_HOUR,
+    SpotMarket,
+    SpotMarketPhase,
+    SpotTypeMarket,
+)
+
+
+class TestSpotTypeMarket:
+    def test_price_multiplier_complements_discount(self):
+        market = SpotTypeMarket("g4dn.xlarge", discount=0.7)
+        assert market.price_multiplier == pytest.approx(0.3)
+
+    def test_discount_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            SpotTypeMarket("g4dn.xlarge", discount=1.0)
+        with pytest.raises(ValueError):
+            SpotTypeMarket("g4dn.xlarge", discount=-0.1)
+        with pytest.raises(ValueError):
+            SpotTypeMarket("g4dn.xlarge", discount=0.5, preemptions_per_hour=-1.0)
+
+    def test_constant_hazard_without_phases(self):
+        market = SpotTypeMarket("r5n.large", discount=0.5, preemptions_per_hour=4.0)
+        assert market.hazard_at(0.0) == 4.0
+        assert market.hazard_at(1e9) == 4.0
+        assert market.mean_hazard_per_hour() == 4.0
+
+    def test_phases_modulate_hazard_cyclically(self):
+        market = SpotTypeMarket(
+            "r5n.large",
+            discount=0.5,
+            preemptions_per_hour=2.0,
+            phases=(
+                SpotMarketPhase(1000.0, hazard_multiplier=0.0),
+                SpotMarketPhase(1000.0, hazard_multiplier=3.0),
+            ),
+        )
+        assert market.hazard_at(500.0) == 0.0
+        assert market.hazard_at(1500.0) == 6.0
+        # cyclic: the cycle length is 2000 ms
+        assert market.hazard_at(2500.0) == 0.0
+        assert market.hazard_at(3500.0) == 6.0
+        assert market.mean_hazard_per_hour() == pytest.approx(3.0)
+
+    def test_expected_availability_closed_form(self):
+        market = SpotTypeMarket("r5n.large", discount=0.5, preemptions_per_hour=1.0)
+        # lam*T = 1 over a one-hour horizon
+        assert market.expected_availability(MS_PER_HOUR) == pytest.approx(
+            1.0 - math.exp(-1.0)
+        )
+        # zero hazard or zero horizon: fully available
+        assert market.expected_availability(0.0) == 1.0
+        assert SpotTypeMarket("x" , discount=0.5).expected_availability(1e9) == 1.0
+
+    def test_expected_availability_decreases_with_horizon(self):
+        market = SpotTypeMarket("r5n.large", discount=0.5, preemptions_per_hour=2.0)
+        values = [market.expected_availability(h) for h in (1e4, 1e5, 1e6, 1e7)]
+        assert values == sorted(values, reverse=True)
+        assert all(0.0 < v <= 1.0 for v in values)
+
+
+class TestSpotMarket:
+    def make_market(self, **kw):
+        return SpotMarket.uniform(
+            DEFAULT_INSTANCE_CATALOG, discount=0.6, preemptions_per_hour=2.0, **kw
+        )
+
+    def test_uniform_offers_every_catalog_type(self):
+        market = self.make_market()
+        assert market.type_names == DEFAULT_INSTANCE_CATALOG.names
+        for itype in DEFAULT_INSTANCE_CATALOG.types:
+            assert market.offers(itype.name)
+            assert market.spot_price_per_hour(itype) == pytest.approx(
+                0.4 * itype.price_per_hour
+            )
+
+    def test_unknown_type_raises(self):
+        market = SpotMarket([SpotTypeMarket("r5n.large", discount=0.5)])
+        assert not market.offers("g4dn.xlarge")
+        with pytest.raises(KeyError):
+            market["g4dn.xlarge"]
+
+    def test_mismatched_mapping_key_rejected(self):
+        with pytest.raises(ValueError):
+            SpotMarket({"g4dn.xlarge": SpotTypeMarket("r5n.large", discount=0.5)})
+
+    def test_duplicate_offerings_rejected(self):
+        offering = SpotTypeMarket("r5n.large", discount=0.5)
+        with pytest.raises(ValueError):
+            SpotMarket([offering, offering])
+
+    def test_draw_is_deterministic_per_seed(self):
+        market = self.make_market()
+        a = [
+            market.draw_preemption_delay_ms("r5n.large", 0.0, np.random.default_rng(3))
+            for _ in range(1)
+        ]
+        b = [
+            market.draw_preemption_delay_ms("r5n.large", 0.0, np.random.default_rng(3))
+            for _ in range(1)
+        ]
+        assert a == b and a[0] > 0.0
+
+    def test_zero_hazard_draws_nothing_and_consumes_no_randomness(self):
+        market = SpotMarket.uniform(
+            DEFAULT_INSTANCE_CATALOG, discount=0.6, preemptions_per_hour=0.0
+        )
+        rng = np.random.default_rng(5)
+        before = rng.bit_generator.state
+        assert market.draw_preemption_delay_ms("r5n.large", 0.0, rng) is None
+        assert rng.bit_generator.state == before
+
+    def test_draw_mean_matches_hazard(self):
+        market = self.make_market()  # 2 preemptions per hour
+        rng = np.random.default_rng(7)
+        draws = [
+            market.draw_preemption_delay_ms("r5n.large", 0.0, rng) for _ in range(4000)
+        ]
+        assert np.mean(draws) == pytest.approx(MS_PER_HOUR / 2.0, rel=0.05)
