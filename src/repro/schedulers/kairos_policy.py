@@ -15,7 +15,7 @@ the paper's online-learning overhead — but a perfect or noisy estimator can be
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cost_matrix import build_multi_model_cost_matrix
 from repro.core.distributor import QueryDistributor
@@ -30,6 +30,18 @@ from repro.sim.cluster import Cluster, MultiModelClusterView
 from repro.sim.metrics import QueryRecord
 from repro.solvers.assignment import solve_assignment
 from repro.workload.query import Query
+
+
+def _unique_type_names(type_names: Iterable[str]) -> Tuple[str, ...]:
+    """Dedupe per-server type names preserving server (catalog) order.
+
+    Never collapse type names through a ``set``: the hopeless-query check and the
+    coefficient rebuild probe the estimator in this order, a stochastic estimator
+    consumes one RNG draw per probe, and string-set iteration order varies with
+    ``PYTHONHASHSEED`` — which once made the Fig. 16 noise rows irreproducible
+    across interpreters (see TestHashSeedStability).
+    """
+    return tuple(dict.fromkeys(type_names))
 
 
 class KairosPolicy(SchedulingPolicy):
@@ -99,7 +111,7 @@ class KairosPolicy(SchedulingPolicy):
     def _rebuild_distributor(self) -> None:
         cluster = self._require_bound()
         assert self._estimator is not None
-        type_names = list(dict.fromkeys(cluster.type_names()))
+        type_names = list(_unique_type_names(cluster.type_names()))
         base_name = cluster.config.catalog.base_type.name
         if base_name not in type_names:
             # Degenerate configurations without base instances still need a reference
@@ -145,11 +157,11 @@ class KairosPolicy(SchedulingPolicy):
         decisions: List[Decision] = []
         # The cluster's type set is invariant within a round; derive it at most once
         # per round instead of per deferred assignment.
-        round_types: Optional[set] = None
+        round_types: Optional[Tuple[str, ...]] = None
         for assignment in round_result.assignments:
             if self._defer_violations and not assignment.predicted_feasible:
                 if round_types is None:
-                    round_types = set(cluster.type_names())
+                    round_types = _unique_type_names(cluster.type_names())
                 if not self._is_hopeless(assignment.query, round_types, now_ms):
                     # Keep the query in the central queue; a better slot may open up
                     # before its deadline, and Eq. 3's waiting-time term will
@@ -161,8 +173,9 @@ class KairosPolicy(SchedulingPolicy):
     def _is_hopeless(self, query: Query, type_names, now_ms: float) -> bool:
         """True when no instance type could meet the query's deadline even if idle now.
 
-        ``type_names`` is the set of instance-type names present in the round's
-        cluster (computed once per scheduling round by :meth:`schedule`).
+        ``type_names`` is the deduped, deterministically ordered sequence of
+        instance-type names present in the round's cluster (computed once per
+        scheduling round by :meth:`schedule`).
         """
         assert self._estimator is not None
         budget = self._qos_headroom * self.qos_ms - query.waiting_time_ms(now_ms)
@@ -333,7 +346,7 @@ class MultiModelKairosPolicy(SchedulingPolicy):
         result = solve_assignment(matrix.weighted, method=self._solver_method)
 
         decisions: List[Decision] = []
-        round_types_of: Dict[str, Set[str]] = {}
+        round_types_of: Dict[str, Tuple[str, ...]] = {}
         for row, col in zip(result.row_indices, result.col_indices):
             row, col = int(row), int(col)
             if matrix.cross_model[row, col]:
@@ -344,13 +357,13 @@ class MultiModelKairosPolicy(SchedulingPolicy):
             if self._defer_violations and not matrix.qos_feasible[row, col]:
                 types = round_types_of.get(model_name)
                 if types is None:
-                    types = {
+                    types = _unique_type_names(
                         name
                         for name, server_model in zip(
                             cluster.type_names(), all_models
                         )
                         if server_model == model_name
-                    }
+                    )
                     round_types_of[model_name] = types
                 if not self._is_hopeless(query, model_name, types, now_ms):
                     continue
