@@ -41,6 +41,9 @@ PRESETS: Dict[str, Dict[str, float]] = {
         cost_matrix_queries=16,
         cost_matrix_servers=8,
         cost_matrix_variants=4,
+        jv_rows=8,
+        jv_cols=12,
+        jv_variants=4,
         rank_budget=1.0,
         rank_4x_budget=2.0,
         replan_budget=1.0,
@@ -60,6 +63,9 @@ PRESETS: Dict[str, Dict[str, float]] = {
         cost_matrix_queries=48,
         cost_matrix_servers=16,
         cost_matrix_variants=8,
+        jv_rows=32,
+        jv_cols=48,
+        jv_variants=8,
         rank_budget=2.5,
         rank_4x_budget=10.0,
         replan_budget=2.5,
@@ -79,6 +85,9 @@ PRESETS: Dict[str, Dict[str, float]] = {
         cost_matrix_queries=64,
         cost_matrix_servers=24,
         cost_matrix_variants=8,
+        jv_rows=64,
+        jv_cols=96,
+        jv_variants=8,
         rank_budget=2.5,
         rank_4x_budget=10.0,
         replan_budget=5.0,
@@ -205,6 +214,47 @@ def bench_cost_matrix(preset: str) -> BenchResult:
         unit="builds/s",
         wall_seconds=wall,
         extras={"queries": float(m_queries), "servers": float(n_servers)},
+    )
+
+
+def bench_jv_solver(preset: str) -> BenchResult:
+    """Micro: Jonker-Volgenant matchings solved per second (the round's inner loop).
+
+    Half the instances are dense uniform-random rectangular matrices, half are
+    QoS-structured like a real scheduling round: a large Eq. 8 penalty on most
+    entries (with heavy ties, exercising the solver's unassigned-column tie-break)
+    and small feasible pockets.  All solves share one
+    :class:`~repro.solvers.jonker_volgenant.JonkerVolgenantSolver`, matching the
+    scratch-buffer reuse of a simulation run (``solve_many``).
+    """
+    p = _params(preset)
+    from repro.solvers.jonker_volgenant import JonkerVolgenantSolver
+
+    m, n = int(p["jv_rows"]), int(p["jv_cols"])
+    rng = np.random.default_rng(SEED)
+    matrices: List[np.ndarray] = []
+    for v in range(int(p["jv_variants"])):
+        if v % 2 == 0:
+            matrices.append(rng.uniform(1.0, 1_000.0, size=(m, n)))
+        else:
+            qos_like = np.full((m, n), 3_500.0)  # Eq. 8 penalty plateau (tie-heavy)
+            feasible = rng.random((m, n)) < 0.25
+            qos_like[feasible] = rng.uniform(10.0, 300.0, size=int(feasible.sum()))
+            matrices.append(qos_like)
+    solver = JonkerVolgenantSolver()
+
+    def work() -> float:
+        results = solver.solve_many(matrices)
+        return float(len(results))
+
+    solves_per_sec, wall = time_throughput(work, min_seconds=p["min_seconds"])
+    return BenchResult(
+        name="jv_solver",
+        preset=preset,
+        value=solves_per_sec,
+        unit="solves/s",
+        wall_seconds=wall,
+        extras={"rows": float(m), "cols": float(n), "variants": float(p["jv_variants"])},
     )
 
 
@@ -391,6 +441,7 @@ def bench_spot_sim(preset: str) -> BenchResult:
 BENCHMARKS: Dict[str, Callable[[str], BenchResult]] = {
     "serving_sim": bench_serving_sim,
     "cost_matrix": bench_cost_matrix,
+    "jv_solver": bench_jv_solver,
     "multi_model_sim": bench_multi_model_sim,
     "spot_sim": bench_spot_sim,
     "planner_rank": bench_planner_rank,

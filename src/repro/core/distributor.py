@@ -19,15 +19,17 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import cost_matrix as cost_matrix_lib
 from repro.core.cost_matrix import (
     DEFAULT_PENALTY_FACTOR,
     DEFAULT_QOS_HEADROOM,
     CostMatrix,
+    RoundColumns,
     build_cost_matrix,
 )
 from repro.core.latency_model import LatencyEstimator
 from repro.sim.server import ServerInstance
-from repro.solvers.assignment import solve_assignment
+from repro.solvers.assignment import round_solver
 from repro.utils.validation import check_positive_int
 from repro.workload.query import Query
 
@@ -85,6 +87,7 @@ class QueryDistributor:
         qos_headroom: float = DEFAULT_QOS_HEADROOM,
         penalty_factor: float = DEFAULT_PENALTY_FACTOR,
         max_queries_per_round: Optional[int] = 64,
+        solver=None,
     ):
         if qos_ms <= 0:
             raise ValueError("qos_ms must be positive")
@@ -97,6 +100,11 @@ class QueryDistributor:
         if max_queries_per_round is not None:
             check_positive_int(max_queries_per_round, "max_queries_per_round")
         self.max_queries_per_round = max_queries_per_round
+        # One persistent solver: for "jv" its scratch buffers are reused across every
+        # round of a simulation run (solve_many semantics).  Callers that rebuild
+        # distributors mid-run (KairosPolicy's coefficient refresh) pass their own
+        # long-lived solver so the scratch survives the rebuild.
+        self._solver = solver if solver is not None else round_solver(solver_method)
 
     def distribute(
         self,
@@ -130,20 +138,63 @@ class QueryDistributor:
             qos_headroom=self.qos_headroom,
             penalty_factor=self.penalty_factor,
         )
-        result = solve_assignment(matrix.weighted, method=self.solver_method)
+        return self._solve_round(considered, matrix)
 
-        assignments: List[Assignment] = []
-        for row, col in zip(result.row_indices, result.col_indices):
-            assignments.append(
-                Assignment(
-                    query=considered[int(row)],
-                    server_index=int(col),
-                    predicted_usage_ms=float(matrix.usage_ms[row, col]),
-                    predicted_feasible=bool(matrix.qos_feasible[row, col]),
-                )
+    def distribute_prepared(
+        self,
+        considered: Sequence[Query],
+        batches,
+        waits,
+        columns: RoundColumns,
+    ) -> DistributionRound:
+        """The incremental entry point: match pre-capped queries to prepared columns.
+
+        ``considered``/``batches``/``waits`` come from the pending queue's memoized
+        snapshot arrays (already capped at ``max_queries_per_round``), ``columns``
+        from a :class:`~repro.core.cost_matrix.RoundColumnState` refresh.  Produces
+        the exact round :meth:`distribute` would, element for element — only the
+        Python-level re-materialization work is skipped.  Server indices in the
+        result address ``columns``' filtered column space; callers map them back
+        through ``columns.indices``.
+        """
+        matrix = cost_matrix_lib.assemble_cost_matrix(
+            considered,
+            self.estimator,
+            self.qos_ms,
+            self.coefficients,
+            self.qos_headroom,
+            self.penalty_factor,
+            batches,
+            waits,
+            columns.offsets,
+            columns.groups,
+            columns.server_ids,
+        )
+        return self._solve_round(considered, matrix)
+
+    def _solve_round(
+        self, considered: Sequence[Query], matrix: CostMatrix
+    ) -> DistributionRound:
+        rows, cols = self._solver(matrix.weighted)
+        if rows.size:
+            objective = float(matrix.weighted[rows, cols].sum())
+            usage_vals = matrix.usage_ms[rows, cols].tolist()
+            feasible_vals = matrix.qos_feasible[rows, cols].tolist()
+        else:
+            objective = 0.0
+            usage_vals = []
+            feasible_vals = []
+        assignments = tuple(
+            Assignment(
+                query=considered[int(row)],
+                server_index=int(col),
+                predicted_usage_ms=usage,
+                predicted_feasible=feasible,
             )
+            for row, col, usage, feasible in zip(rows, cols, usage_vals, feasible_vals)
+        )
         return DistributionRound(
-            assignments=tuple(assignments),
+            assignments=assignments,
             cost_matrix=matrix,
-            objective_value=float(result.total_cost),
+            objective_value=objective,
         )

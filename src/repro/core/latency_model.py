@@ -106,13 +106,18 @@ class OnlineLatencyEstimator(LatencyEstimator):
         # rounds often repeat the vector verbatim; entries are dropped for a type the
         # moment it learns something new (observe), so cached vectors can never go stale.
         self._prediction_cache: Dict[str, Dict[bytes, np.ndarray]] = {}
+        # Same idea for the dominant single-query rounds: 1-element prediction vectors
+        # keyed by (type, batch value), invalidated exactly like the vector cache.
+        self._scalar_cache: Dict[str, Dict[int, np.ndarray]] = {}
 
     # -- learning ---------------------------------------------------------------------
     def observe(self, instance_type: str, batch_size: int, latency_ms: float) -> None:
-        check_positive(latency_ms, "latency_ms")
+        if not (latency_ms > 0.0 and latency_ms < float("inf")):  # inline check_positive
+            check_positive(latency_ms, "latency_ms")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self._prediction_cache.pop(instance_type, None)
+        self._scalar_cache.pop(instance_type, None)
         state = self._state.setdefault(instance_type, _TypeState(table={}))
         mean, count = state.table.get(int(batch_size), (0.0, 0))
         count += 1
@@ -154,6 +159,24 @@ class OnlineLatencyEstimator(LatencyEstimator):
         :meth:`observe` on the type.  The returned array is shared with the cache and
         marked read-only; copy it before mutating.
         """
+        if (
+            type(batch_sizes) is np.ndarray
+            and batch_sizes.ndim == 1
+            and batch_sizes.size == 1
+        ):
+            # Single-query rounds dominate steady-state serving: memoize the
+            # 1-element vector per (type, batch) without the bytes-key machinery.
+            scalar_cache = self._scalar_cache.get(instance_type)
+            if scalar_cache is None:
+                scalar_cache = self._scalar_cache[instance_type] = {}
+            batch = int(batch_sizes[0])
+            cached = scalar_cache.get(batch)
+            if cached is None:
+                cached = np.empty(1)
+                cached[0] = self.predict_ms(instance_type, batch)
+                cached.setflags(write=False)  # cache-shared, like the vector path
+                scalar_cache[batch] = cached
+            return cached
         batches = np.atleast_1d(np.asarray(batch_sizes, dtype=int))
         cache = self._prediction_cache.setdefault(instance_type, {})
         key = batches.tobytes()

@@ -279,7 +279,7 @@ class ElasticServingSimulation:
             # Drain the whole timestamp batch; handlers may push follow-up events at
             # `now` (a replan's scale requests), which the inner loop picks up before
             # the scheduling round so new decisions act in the same instant.
-            batch = list(events.pop_until(now))
+            batch = events.pop_batch(now)
             while batch:
                 for event in batch:
                     kind_changed, kind_arrival = self._handle(
@@ -289,7 +289,7 @@ class ElasticServingSimulation:
                     saw_arrival = saw_arrival or kind_arrival
                     if kind_arrival:
                         pending.append(event.payload)
-                batch = list(events.pop_until(now))
+                batch = events.pop_batch(now)
 
                 # The controller reacts right after the arrivals of this instant are
                 # observed — the one-shot re-plan (Fig. 12) happens inside the event
@@ -312,7 +312,7 @@ class ElasticServingSimulation:
 
             # scheduling round over the accepting servers
             if pending and len(view):
-                assignments = self.policy.schedule(now, pending.snapshot(), view)
+                assignments = self.policy.schedule(now, pending, view)
                 rounds += 1
                 if assignments:
                     dispatched += self._commit(assignments, pending, view, now, events)

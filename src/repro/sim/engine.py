@@ -7,6 +7,19 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.sim.events import Event
 
+#: Timestamp comparison tolerance (milliseconds) shared by the whole engine: events
+#: within this distance of an instant belong to the same scheduling round
+#: (:meth:`EventQueue.pop_until` / :meth:`EventQueue.pop_batch`), and the clock
+#: tolerates backward requests up to it (:meth:`SimulationClock.advance_to`).
+#: Historically ``pop_until`` used an ad-hoc ``1e-12`` while the clock used ``1e-9``;
+#: one named epsilon keeps "same instant" meaning the same thing everywhere.  Note
+#: the unification *widens* the event-coalescing window from 1e-12 to 1e-9 ms:
+#: events less than a nanosecond apart — below any physical meaning the simulation
+#: assigns to time — now share a scheduling round.  Every committed figure, the
+#: full test suite, and the pre-overhaul byte-identity digests are unchanged under
+#: the wider window.
+TIME_EPSILON_MS = 1e-9
+
 
 class SimulationClock:
     """Monotone simulated-time clock (milliseconds)."""
@@ -22,7 +35,7 @@ class SimulationClock:
 
     def advance_to(self, time_ms: float) -> float:
         """Advance the clock; simulated time can never move backwards."""
-        if time_ms < self._now - 1e-9:
+        if time_ms < self._now - TIME_EPSILON_MS:
             raise ValueError(
                 f"cannot move the clock backwards: now={self._now}, requested={time_ms}"
             )
@@ -74,9 +87,29 @@ class EventQueue:
         return self._heap[0][1].time_ms if self._heap else None
 
     def pop_until(self, time_ms: float) -> Iterator[Event]:
-        """Yield and remove every event with ``time <= time_ms`` in order."""
-        while self._heap and self._heap[0][1].time_ms <= time_ms + 1e-12:
+        """Yield and remove every event with ``time <= time_ms`` (within epsilon)."""
+        while self._heap and self._heap[0][1].time_ms <= time_ms + TIME_EPSILON_MS:
             yield self.pop()
+
+    def pop_batch(self, time_ms: Optional[float] = None) -> List[Event]:
+        """Remove and return the whole equal-timestamp batch as a list, in order.
+
+        With ``time_ms`` given, this is the eager form of :meth:`pop_until` — every
+        event within :data:`TIME_EPSILON_MS` of ``time_ms`` — which the serving
+        simulators use so all events of one instant trigger a *single* scheduling
+        round.  Without it, the batch is taken at the earliest queued timestamp
+        (empty queue returns an empty list).  Kind/insertion ordering inside the
+        batch is exactly the heap order (completions before arrivals).
+        """
+        heap = self._heap
+        if not heap:
+            return []
+        limit = (heap[0][1].time_ms if time_ms is None else time_ms) + TIME_EPSILON_MS
+        batch: List[Event] = []
+        pop = heapq.heappop
+        while heap and heap[0][1].time_ms <= limit:
+            batch.append(pop(heap)[1])
+        return batch
 
     def discard(self, predicate) -> int:
         """Remove every queued event matching ``predicate``; returns how many.

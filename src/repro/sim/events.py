@@ -93,7 +93,7 @@ class PreemptionBurst:
             raise ValueError(f"preemption burst count must be positive, got {self.count}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A timestamped simulation event.
 

@@ -18,7 +18,7 @@ from repro.utils.stats import percentile
 from repro.workload.query import Query
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryRecord:
     """Outcome of one served query."""
 

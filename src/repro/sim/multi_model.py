@@ -230,7 +230,7 @@ class MultiModelServingSimulation:
             membership_changed = False
             saw_arrival = False
 
-            batch = list(events.pop_until(now))
+            batch = events.pop_batch(now)
             while batch:
                 for event in batch:
                     kind_changed, kind_arrival = self._handle(
@@ -240,7 +240,7 @@ class MultiModelServingSimulation:
                     saw_arrival = saw_arrival or kind_arrival
                     if kind_arrival:
                         pending.append(event.payload)
-                batch = list(events.pop_until(now))
+                batch = events.pop_batch(now)
 
                 if saw_arrival and self.controller is not None:
                     decision = self.controller.maybe_replan(now)
@@ -256,7 +256,7 @@ class MultiModelServingSimulation:
                 peak = max(peak, len(self.cluster))
 
             if pending and len(view):
-                assignments = self.policy.schedule(now, pending.snapshot(), view)
+                assignments = self.policy.schedule(now, pending, view)
                 rounds += 1
                 if assignments:
                     dispatched += self._commit(assignments, pending, view, now, events)

@@ -23,7 +23,7 @@ from repro.workload.query import Query
 ServiceNoiseModel = Callable[[float, np.random.Generator], float]
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerInstance:
     """One allocated cloud instance running one model copy.
 
@@ -53,6 +53,11 @@ class ServerInstance:
     queries_served: int = 0
     busy_time_ms: float = 0.0
     local_queue_depth: int = 0
+    #: Monotone change counter: bumped by every mutation that can affect a scheduling
+    #: round's view of the server (dispatch, completion, draining, reset).  The
+    #: incremental cost-matrix path re-reads only servers whose version moved since
+    #: the previous round.
+    state_version: int = 0
     _service_log: List[float] = field(default_factory=list, repr=False)
 
     # -- state queries -----------------------------------------------------------------
@@ -68,6 +73,7 @@ class ServerInstance:
     def start_draining(self) -> None:
         """Stop accepting new work; in-flight and locally queued queries still finish."""
         self.draining = True
+        self.state_version += 1
 
     @property
     def drained(self) -> bool:
@@ -123,6 +129,7 @@ class ServerInstance:
         self.queries_served += 1
         self.busy_time_ms += service
         self.local_queue_depth += 1
+        self.state_version += 1
         self._service_log.append(service)
         return start, completion, service
 
@@ -131,6 +138,7 @@ class ServerInstance:
         if self.local_queue_depth <= 0:
             raise RuntimeError("completion acknowledged on a server with an empty local queue")
         self.local_queue_depth -= 1
+        self.state_version += 1
 
     def utilization(self, horizon_ms: float) -> float:
         """Fraction of ``[0, horizon_ms]`` the server spent serving queries."""
@@ -146,6 +154,7 @@ class ServerInstance:
         self.queries_served = 0
         self.busy_time_ms = 0.0
         self.local_queue_depth = 0
+        self.state_version += 1
         self._service_log.clear()
 
     @property

@@ -28,7 +28,7 @@ from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.models import MLModel
 from repro.cloud.profiles import ProfileRegistry
 from repro.sim.cluster import Cluster
-from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.engine import TIME_EPSILON_MS, EventQueue, SimulationClock
 from repro.sim.events import Event, EventKind
 from repro.sim.metrics import QueryRecord, ServingMetrics
 from repro.sim.pending import PendingQueue
@@ -119,6 +119,10 @@ class ServingSimulation:
         max_steps = 20 * n + 1000
         steps = 0
 
+        # Hot-loop locals: the arrival-time column is read every iteration, and
+        # repeated attribute lookups on `ordered` queries add up over long runs.
+        arrival_times = [q.arrival_time_ms for q in ordered]
+
         while completed < n and not early_stopped:
             steps += 1
             if steps > max_steps:
@@ -127,20 +131,25 @@ class ServingSimulation:
                     f"{type(self.policy).__name__} appears to be making no progress"
                 )
 
-            next_arrival = ordered[arrival_idx].arrival_time_ms if arrival_idx < n else None
+            next_arrival = arrival_times[arrival_idx] if arrival_idx < n else None
             next_completion = completions.peek_time()
-            if next_arrival is None and next_completion is None:
-                # Pending queries but nothing scheduled and nothing in flight: the policy
-                # must act now or it never will.
-                if not pending:
-                    break
-                now = clock.now_ms
+            if next_arrival is None:
+                if next_completion is None:
+                    # Pending queries but nothing scheduled and nothing in flight: the
+                    # policy must act now or it never will.
+                    if not pending:
+                        break
+                    now = clock.now_ms
+                else:
+                    now = clock.advance_to(next_completion)
+            elif next_completion is None or next_arrival <= next_completion:
+                now = clock.advance_to(next_arrival)
             else:
-                candidates = [t for t in (next_arrival, next_completion) if t is not None]
-                now = clock.advance_to(min(candidates))
+                now = clock.advance_to(next_completion)
 
-            # 1. process completions at `now` (frees servers before new work is placed)
-            for event in completions.pop_until(now):
+            # 1. process completions at `now` (frees servers before new work is placed);
+            #    the whole equal-timestamp batch drains before the scheduling round
+            for event in completions.pop_batch(now):
                 record: QueryRecord = event.payload
                 completed += 1
                 self.cluster[record.server_id].complete_one()
@@ -155,14 +164,17 @@ class ServingSimulation:
                 break
 
             # 2. admit arrivals at `now`
-            while arrival_idx < n and ordered[arrival_idx].arrival_time_ms <= now + 1e-12:
+            limit = now + TIME_EPSILON_MS
+            while arrival_idx < n and arrival_times[arrival_idx] <= limit:
                 pending.append(ordered[arrival_idx])
                 arrival_idx += 1
 
             # 3. ask the policy for assignments
             made_progress = False
             if pending:
-                assignments = self.policy.schedule(now, pending.snapshot(), self.cluster)
+                # the queue itself is handed over (it is Sequence-like): policies with
+                # an incremental fast path read its memoized snapshot arrays
+                assignments = self.policy.schedule(now, pending, self.cluster)
                 rounds += 1
                 if assignments:
                     dispatched += self._commit(assignments, pending, now, completions)
@@ -199,18 +211,22 @@ class ServingSimulation:
         completions: EventQueue,
     ) -> int:
         count = 0
+        cluster = self.cluster
+        cluster_size = len(cluster)
+        noise = self.noise
+        rng = self.rng
+        push = completions.push
+        completion_kind = EventKind.SERVICE_COMPLETION
         for query, server_idx in assignments:
             if query.query_id not in pending:
                 raise ValueError(
                     f"policy assigned query {query.query_id}, which is not pending"
                 )
-            if not 0 <= server_idx < len(self.cluster):
+            if not 0 <= server_idx < cluster_size:
                 raise ValueError(f"policy assigned an unknown server index {server_idx}")
             pending.remove(query.query_id)
-            server = self.cluster[server_idx]
-            start, completion, service = server.dispatch(
-                query, now, noise=self.noise, rng=self.rng
-            )
+            server = cluster[server_idx]
+            start, completion, service = server.dispatch(query, now, noise=noise, rng=rng)
             record = QueryRecord(
                 query=query,
                 server_id=server.server_id,
@@ -219,7 +235,7 @@ class ServingSimulation:
                 completion_ms=completion,
                 service_ms=service,
             )
-            completions.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
+            push(Event(completion, completion_kind, record))
             count += 1
         return count
 

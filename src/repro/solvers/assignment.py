@@ -16,7 +16,10 @@ from scipy.optimize import linear_sum_assignment
 
 from repro.solvers.greedy import greedy_assignment
 from repro.solvers.hungarian import hungarian_assignment
-from repro.solvers.jonker_volgenant import jonker_volgenant_assignment
+from repro.solvers.jonker_volgenant import (
+    JonkerVolgenantSolver,
+    jonker_volgenant_assignment,
+)
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,23 @@ _SOLVERS: Dict[str, Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]] = {
 def available_methods() -> Tuple[str, ...]:
     """Names accepted by :func:`solve_assignment`."""
     return tuple(sorted(set(_SOLVERS)))
+
+
+def round_solver(method: str) -> Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """A ``cost -> (rows, cols)`` callable for per-round use by one scheduling pipeline.
+
+    For ``"jv"`` this returns a dedicated :class:`JonkerVolgenantSolver` whose scratch
+    buffers persist across the rounds of one simulation run (the ``solve_many``
+    reuse pattern); other methods return their stateless solver function.
+    """
+    key = method.lower()
+    if key not in _SOLVERS:
+        raise ValueError(
+            f"unknown assignment method {method!r}; choose from {available_methods()}"
+        )
+    if key in ("jv", "jonker-volgenant"):
+        return JonkerVolgenantSolver()
+    return _SOLVERS[key]
 
 
 def solve_assignment(cost: np.ndarray, method: str = "jv") -> AssignmentResult:

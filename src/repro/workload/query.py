@@ -14,7 +14,7 @@ from typing import Optional
 from repro.utils.validation import check_non_negative, check_positive_int
 
 
-@dataclass(frozen=True, order=False)
+@dataclass(frozen=True, order=False, slots=True)
 class Query:
     """A single inference query (a batch of requests).
 

@@ -10,7 +10,7 @@ subsystem relies on this contract for seed-stable replays.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sim.engine import EventQueue, SimulationClock
+from repro.sim.engine import TIME_EPSILON_MS, EventQueue, SimulationClock
 from repro.sim.events import Event, EventKind, ScaleRequest
 
 
@@ -200,15 +200,65 @@ def test_pop_until_respects_epsilon_boundary(times, cutoff):
     remaining = []
     while q:
         remaining.append(q.pop().payload)
-    assert all(t <= cutoff + 1e-12 for t in popped)
-    assert all(t > cutoff + 1e-12 for t in remaining)
+    assert all(t <= cutoff + TIME_EPSILON_MS for t in popped)
+    assert all(t > cutoff + TIME_EPSILON_MS for t in remaining)
     assert sorted(popped + remaining) == sorted(times)
 
 
-def test_pop_until_includes_exact_epsilon_boundary():
+class TestSharedTimeEpsilon:
+    """Pins the module-level epsilon shared by the queue and the clock.
+
+    ``pop_until`` historically used an ad-hoc ``1e-12`` while
+    ``SimulationClock.advance_to`` tolerated ``1e-9`` of backward motion; both now
+    read :data:`TIME_EPSILON_MS`, so "same instant" means the same thing in event
+    batching and in clock monotonicity."""
+
+    def test_value_is_the_clock_tolerance(self):
+        assert TIME_EPSILON_MS == 1e-9
+
+    def test_pop_until_boundary(self):
+        q = EventQueue()
+        q.push(Event(10.0, EventKind.CONTROL, "at"))
+        q.push(Event(10.0 + 1e-13, EventKind.CONTROL, "within-eps"))
+        q.push(Event(10.0 + TIME_EPSILON_MS, EventKind.CONTROL, "on-boundary"))
+        q.push(Event(10.0 + 3e-9, EventKind.CONTROL, "beyond-eps"))
+        assert [e.payload for e in q.pop_until(10.0)] == [
+            "at",
+            "within-eps",
+            "on-boundary",  # inclusive: time <= cutoff + epsilon
+        ]
+        assert [e.payload for e in q.pop_until(10.0 + 3e-9)] == ["beyond-eps"]
+
+    def test_clock_boundary(self):
+        clock = SimulationClock(10.0)
+        clock.advance_to(10.0 - TIME_EPSILON_MS)  # inside the tolerance: allowed, no-op
+        assert clock.now_ms == 10.0
+        with pytest.raises(ValueError):
+            clock.advance_to(10.0 - 3e-9)  # beyond it: backward motion rejected
+
+    def test_pop_batch_matches_pop_until(self):
+        make = lambda: [  # noqa: E731 - tiny local fixture
+            Event(10.0, EventKind.QUERY_ARRIVAL, "arrival"),
+            Event(10.0, EventKind.SERVICE_COMPLETION, "completion"),
+            Event(10.0 + 3e-9, EventKind.CONTROL, "later"),
+        ]
+        q1, q2 = EventQueue(), EventQueue()
+        for e in make():
+            q1.push(e)
+        for e in make():
+            q2.push(e)
+        batch = q1.pop_batch(10.0)
+        assert [e.payload for e in batch] == [e.payload for e in q2.pop_until(10.0)]
+        # completions sort before arrivals inside the batch, as in the lazy form
+        assert [e.payload for e in batch] == ["completion", "arrival"]
+        assert len(q1) == 1
+
+
+def test_pop_batch_without_time_takes_earliest_instant():
     q = EventQueue()
-    q.push(Event(10.0, EventKind.CONTROL, "at"))
-    q.push(Event(10.0 + 1e-13, EventKind.CONTROL, "within-eps"))
-    q.push(Event(10.0 + 1e-9, EventKind.CONTROL, "beyond-eps"))
-    assert [e.payload for e in q.pop_until(10.0)] == ["at", "within-eps"]
-    assert len(q) == 1
+    q.push(Event(5.0, EventKind.CONTROL, "b"))
+    q.push(Event(3.0, EventKind.CONTROL, "a1"))
+    q.push(Event(3.0, EventKind.CONTROL, "a2"))
+    assert [e.payload for e in q.pop_batch()] == ["a1", "a2"]
+    assert [e.payload for e in q.pop_batch()] == ["b"]
+    assert q.pop_batch() == []

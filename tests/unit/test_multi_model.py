@@ -640,3 +640,90 @@ class TestSpotDisabledByteIdentity:
         assert repr(spotted.metrics.summary()) == repr(elastic.metrics.summary())
         assert spotted.scale_log == []
         assert spotted.total_cost() < elastic.total_cost()
+
+
+class TestShardedDispatch:
+    """MultiModelKairosPolicy(sharded=True): per-model partitioned rounds."""
+
+    def _burst_queries(self, per_model: int, models=("RM2", "WND")):
+        queries = []
+        qid = 0
+        rng = np.random.default_rng(SEED)
+        for name in models:
+            for _ in range(per_model):
+                queries.append(Query(qid, int(rng.integers(1, 64)), 0.0, name))
+                qid += 1
+        return queries
+
+    def _cluster(self, catalog, profiles, counts=(2, 2, 3, 0)):
+        return MultiModelCluster(
+            {"RM2": HeterogeneousConfig(counts, catalog),
+             "WND": HeterogeneousConfig(counts, catalog)},
+            profiles,
+        )
+
+    def test_uncontended_round_matches_union_decisions(self, catalog, profiles):
+        queries = self._burst_queries(4)  # 4 pending vs 7 eligible per model
+        decisions = {}
+        for sharded in (False, True):
+            cluster = self._cluster(catalog, profiles)
+            view = cluster.active_view()
+            policy = MultiModelKairosPolicy(use_perfect_estimator=True, sharded=sharded)
+            policy.bind(view)
+            decisions[sharded] = {
+                (q.query_id, idx) for q, idx in policy.schedule(0.0, queries, view)
+            }
+        assert decisions[True] == decisions[False]
+        assert decisions[True]  # non-vacuous: the round committed work
+
+    def test_contended_round_falls_back_to_union(self, catalog, profiles):
+        queries = self._burst_queries(9)  # 9 pending vs 7 eligible per model
+        cluster = self._cluster(catalog, profiles)
+        view = cluster.active_view()
+        policy = MultiModelKairosPolicy(use_perfect_estimator=True, sharded=True)
+        policy.bind(view)
+        union = MultiModelKairosPolicy(use_perfect_estimator=True, sharded=False)
+        union.bind(view)
+        got = {(q.query_id, i) for q, i in policy.schedule(0.0, queries, view)}
+        want = {(q.query_id, i) for q, i in union.schedule(0.0, queries, view)}
+        assert policy.union_rounds == 1 and policy.sharded_rounds == 0
+        assert got == want  # the fallback IS the union matching
+
+    def test_sharded_solves_fewer_cells(self, catalog, profiles):
+        queries = self._burst_queries(4)
+        cells = {}
+        for sharded in (False, True):
+            cluster = self._cluster(catalog, profiles)
+            view = cluster.active_view()
+            policy = MultiModelKairosPolicy(use_perfect_estimator=True, sharded=sharded)
+            policy.bind(view)
+            policy.schedule(0.0, queries, view)
+            cells[sharded] = policy.solved_cells
+        # 2 co-located models: the union solves every cross pair too, 2x the cells
+        assert cells[False] == 2 * cells[True]
+
+    def test_full_run_serves_same_queries_within_qos(self, catalog, profiles):
+        streams = {}
+        for i, (name, rate) in enumerate((("RM2", 40.0), ("WND", 120.0))):
+            spec = WorkloadSpec(
+                batch_sizes=TruncatedLogNormalBatchSizes(median=60, sigma=1.0),
+                num_queries=120,
+                model_name=name,
+            )
+            streams[name] = WorkloadGenerator(spec).generate(rate_qps=rate, rng=SEED + i)
+        queries = interleave_model_streams(streams)
+        reports = {}
+        for sharded in (False, True):
+            sim = MultiModelServingSimulation(
+                self._cluster(catalog, profiles, counts=(2, 2, 4, 0)),
+                MultiModelKairosPolicy(sharded=sharded),
+                rng=np.random.default_rng(SEED + 1),
+            )
+            reports[sharded] = sim.run(queries)
+        assert reports[True].dispatched_queries == reports[False].dispatched_queries
+        assert reports[True].all_meet_qos() == reports[False].all_meet_qos()
+
+    def test_sharded_default_off_preserves_byte_identity(self, catalog, profiles):
+        # the constructor default must leave the union path untouched
+        policy = MultiModelKairosPolicy()
+        assert policy._sharded is False

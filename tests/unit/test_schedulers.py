@@ -285,3 +285,18 @@ class TestKairosPolicy:
         )
         report = simulate_serving(config, rm2, profiles, KairosPolicy(), queries)
         assert report.metrics.qos_violation_rate() <= 0.05
+
+
+class TestEmptyContainerRounds:
+    """Scheduling against an empty server container returns [] (no argmin crash)."""
+
+    def test_kairos_single_query_empty_view(self, rm2_cluster):
+        from repro.sim.cluster import ClusterView
+        from repro.workload.query import Query
+
+        policy = KairosPolicy(use_perfect_estimator=True)
+        policy.bind(rm2_cluster, rm2_cluster.model.qos_ms)
+        empty = ClusterView(rm2_cluster, [])
+        assert policy.schedule(0.0, [Query(0, 8, 0.0)], empty) == []
+        # multi-query rounds through the same empty container also decline
+        assert policy.schedule(0.0, [Query(1, 8, 0.0), Query(2, 4, 0.0)], empty) == []

@@ -1,0 +1,183 @@
+"""One-shot helper: pin byte-identity digests of the pre-overhaul serving paths.
+
+Run BEFORE the scheduling-engine overhaul lands; the printed digests are pasted
+into tests/unit/test_seed_stability.py so the rewritten (coalesced + incremental
++ flat-solver) paths are asserted byte-identical to the pre-PR implementation.
+Not part of the test suite or CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.cloud.config import HeterogeneousConfig
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG as catalog
+from repro.cloud.profiles import default_profile_registry
+from repro.cloud.spot import SpotMarket
+from repro.schedulers.kairos_policy import KairosPolicy, MultiModelKairosPolicy
+from repro.sim.cluster import Cluster, MultiModelCluster
+from repro.sim.elasticity import ElasticServingSimulation
+from repro.sim.events import Event, EventKind, PreemptionBurst, ScaleRequest
+from repro.sim.multi_model import MultiModelServingSimulation
+from repro.sim.preemption import PreemptibleElasticSimulation
+from repro.sim.simulation import gaussian_service_noise, simulate_serving
+from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
+from repro.workload.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    interleave_model_streams,
+)
+
+SEED = 20230627
+profiles = default_profile_registry()
+
+
+def _record_tuple(record):
+    return (
+        record.query.query_id,
+        record.query.batch_size,
+        record.query.arrival_time_ms,
+        record.server_id,
+        record.server_type,
+        record.start_ms,
+        record.completion_ms,
+        record.service_ms,
+    )
+
+
+def digest_of(parts) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode())
+    return h.hexdigest()[:16]
+
+
+def single_run(noise=None):
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1), num_queries=150
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=40.0, rng=SEED)
+    report = simulate_serving(
+        HeterogeneousConfig((1, 1, 2, 0), catalog),
+        profiles.models["RM2"],
+        profiles,
+        KairosPolicy(),
+        queries,
+        noise=noise,
+        rng=np.random.default_rng(SEED + 1),
+    )
+    return digest_of([_record_tuple(r) for r in report.metrics.records])
+
+
+def elastic_run(noise=None):
+    cluster = Cluster(
+        HeterogeneousConfig((1, 1, 2, 0), catalog), profiles.models["RM2"], profiles
+    )
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1), num_queries=150
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=50.0, rng=SEED)
+    events = [
+        Event(600.0, EventKind.SCALE_UP, ScaleRequest("r5n.large", 1)),
+        Event(1500.0, EventKind.SCALE_DOWN, ScaleRequest("c5n.2xlarge", 1)),
+    ]
+    sim = ElasticServingSimulation(
+        cluster,
+        KairosPolicy(),
+        scripted_events=events,
+        startup_delay_ms=250.0,
+        noise=noise,
+        rng=np.random.default_rng(SEED + 1),
+    )
+    report = sim.run(queries)
+    return digest_of(
+        [_record_tuple(r) for r in report.metrics.records]
+        + [(e.time_ms, e.kind, e.type_name, e.count) for e in report.scale_log]
+    )
+
+
+def mm_run(noise=None):
+    cluster = MultiModelCluster(
+        {
+            "RM2": HeterogeneousConfig((1, 1, 2, 0), catalog),
+            "WND": HeterogeneousConfig((1, 1, 1, 0), catalog),
+        },
+        profiles,
+    )
+    streams = {}
+    for i, (name, rate) in enumerate((("RM2", 30.0), ("WND", 110.0))):
+        spec = WorkloadSpec(
+            batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+            num_queries=100,
+            model_name=name,
+        )
+        streams[name] = WorkloadGenerator(spec).generate(rate_qps=rate, rng=SEED + i)
+    queries = interleave_model_streams(streams)
+    events = [
+        Event(700.0, EventKind.SCALE_UP, ScaleRequest("r5n.large", 1, model_name="RM2")),
+        Event(
+            1400.0, EventKind.SCALE_DOWN, ScaleRequest("c5n.2xlarge", 1, model_name="WND")
+        ),
+    ]
+    sim = MultiModelServingSimulation(
+        cluster,
+        MultiModelKairosPolicy(),
+        scripted_events=events,
+        startup_delay_ms=250.0,
+        noise=noise,
+        rng=np.random.default_rng(SEED + 1),
+    )
+    report = sim.run(queries)
+    parts = []
+    for name in report.metrics.model_names:
+        parts.extend(_record_tuple(r) for r in report.metrics.of_model(name).records)
+    parts.extend((e.time_ms, e.kind, e.type_name, e.count) for e in report.scale_log)
+    return digest_of(parts)
+
+
+def spot_run(noise=None):
+    cluster = Cluster(
+        HeterogeneousConfig((1, 0, 3, 0), catalog), profiles.models["RM2"], profiles
+    )
+    market = SpotMarket.uniform(
+        catalog, discount=0.65, preemptions_per_hour=2_400.0, warning_ms=30.0
+    )
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=40, sigma=1.1), num_queries=150
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=60.0, rng=SEED)
+    events = [Event(900.0, EventKind.PREEMPTION_WARNING, PreemptionBurst(count=2))]
+    sim = PreemptibleElasticSimulation(
+        cluster,
+        KairosPolicy(),
+        market=market,
+        spot_server_ids=[2, 3],
+        scripted_events=events,
+        startup_delay_ms=150.0,
+        noise=noise,
+        rng=np.random.default_rng(SEED + 1),
+        market_rng=np.random.default_rng(SEED + 2),
+    )
+    report = sim.run(queries)
+    return digest_of(
+        [_record_tuple(r) for r in report.metrics.records]
+        + [(e.time_ms, e.kind, e.type_name, e.count, e.reason) for e in report.scale_log]
+    )
+
+
+if __name__ == "__main__":
+    noise = gaussian_service_noise(0.05)
+    print('    "single": "%s",' % single_run())
+    print('    "single_noise": "%s",' % single_run(noise))
+    print('    "elastic": "%s",' % elastic_run())
+    print('    "elastic_noise": "%s",' % elastic_run(noise))
+    print('    "multi_model": "%s",' % mm_run())
+    print('    "multi_model_noise": "%s",' % mm_run(noise))
+    print('    "preemption": "%s",' % spot_run())
+    print('    "preemption_noise": "%s",' % spot_run(noise))

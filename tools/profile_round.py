@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Per-phase wall-time breakdown of the scheduling rounds of one serving run.
+
+Runs the same seeded scenario as the ``serving_sim`` / ``multi_model_sim`` perf
+benchmarks with lightweight timers around the round's phases — column refresh, row
+snapshot, matrix build, assignment solve, the fused single-query fast path, latency
+prediction, and dispatch commit — then prints cumulative wall time, share of the run,
+and per-round cost for each phase.  Use it to locate the next perf lever without
+ad-hoc profiling::
+
+    python tools/profile_round.py                      # serving, quick preset
+    python tools/profile_round.py --preset full
+    python tools/profile_round.py --scenario multi_model --repeats 5
+
+Phases overlap where the code nests (latency prediction runs inside the matrix build
+and the single-query fast path; both run inside "policy schedule"), so shares do not
+sum to 100% — each row answers "how much of the run is spent under this seam".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+
+class PhaseTimer:
+    """Cumulative wall-clock account for one instrumented seam."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.total = 0.0
+        self.calls = 0
+
+    def wrap(self, func):
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                self.total += time.perf_counter() - start
+                self.calls += 1
+
+        return timed
+
+
+def _instrument():
+    """Install timers at the round's phase seams; returns the timer list."""
+    import repro.core.cost_matrix as cost_matrix
+    import repro.schedulers.kairos_policy as kairos_policy
+    import repro.sim.elasticity as elasticity
+    import repro.sim.multi_model as multi_model
+    import repro.sim.simulation as simulation
+    from repro.core.latency_model import OnlineLatencyEstimator
+    from repro.solvers.jonker_volgenant import JonkerVolgenantSolver
+
+    timers = []
+
+    def seam(label, owner, name):
+        timer = PhaseTimer(label)
+        setattr(owner, name, timer.wrap(getattr(owner, name)))
+        timers.append(timer)
+        return timer
+
+    seam("policy schedule (whole round)", kairos_policy.KairosPolicy, "schedule")
+    seam("policy schedule (joint round)", kairos_policy.MultiModelKairosPolicy, "schedule")
+    seam("column refresh (incremental)", cost_matrix.RoundColumnState, "refresh")
+    seam("row snapshot (pending arrays)", kairos_policy, "_round_rows")
+    # every consumer calls these through the module attribute, so one patch point
+    # covers the distributor, both policies, and any future caller
+    seam("matrix build (assemble)", cost_matrix, "assemble_cost_matrix")
+    seam("matrix build (joint assemble)", cost_matrix, "assemble_multi_model")
+    seam("single-query fast path", kairos_policy.KairosPolicy, "_schedule_single")
+    seam("single-query fast path (joint)", kairos_policy.MultiModelKairosPolicy, "_schedule_single")
+    seam("assignment solve (JV)", JonkerVolgenantSolver, "solve")
+    seam("latency prediction", OnlineLatencyEstimator, "predict_many_ms")
+    seam("dispatch commit", simulation.ServingSimulation, "_commit")
+    seam("dispatch commit (elastic)", elasticity.ElasticServingSimulation, "_commit")
+    seam("dispatch commit (joint)", multi_model.MultiModelServingSimulation, "_commit")
+    return timers
+
+
+def _run_serving(preset: str, repeats: int) -> tuple:
+    from repro.bench.suites import MODEL, SEED, _params
+    from repro.cloud.config import HeterogeneousConfig
+    from repro.cloud.profiles import default_profile_registry
+    from repro.schedulers.kairos_policy import KairosPolicy
+    from repro.sim.cluster import Cluster
+    from repro.sim.simulation import ServingSimulation
+    from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
+    from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+    p = _params(preset)
+    profiles = default_profile_registry()
+    config = HeterogeneousConfig(tuple(p["serving_counts"]), profiles.catalog)
+    model = profiles.models[MODEL]
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+        num_queries=int(p["serving_queries"]),
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=p["serving_rate_qps"], rng=SEED)
+
+    rounds = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        sim = ServingSimulation(
+            Cluster(config, model, profiles),
+            KairosPolicy(),
+            rng=np.random.default_rng(SEED + 1),
+        )
+        rounds += sim.run(queries).scheduling_rounds
+    return time.perf_counter() - start, rounds
+
+
+def _run_multi_model(preset: str, repeats: int) -> tuple:
+    from repro.bench.suites import MM_MODELS, SEED, _params
+    from repro.cloud.config import HeterogeneousConfig
+    from repro.cloud.profiles import default_profile_registry
+    from repro.schedulers.kairos_policy import MultiModelKairosPolicy
+    from repro.sim.cluster import MultiModelCluster
+    from repro.sim.multi_model import MultiModelServingSimulation
+    from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
+    from repro.workload.generator import (
+        WorkloadGenerator,
+        WorkloadSpec,
+        interleave_model_streams,
+    )
+
+    p = _params(preset)
+    profiles = default_profile_registry()
+    configs = {
+        name: HeterogeneousConfig(tuple(counts), profiles.catalog)
+        for name, counts in zip(MM_MODELS, p["mm_counts"])
+    }
+    streams = {}
+    for i, name in enumerate(MM_MODELS):
+        spec = WorkloadSpec(
+            batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+            num_queries=int(p["mm_queries"]),
+            model_name=name,
+        )
+        streams[name] = WorkloadGenerator(spec).generate(
+            rate_qps=p["mm_rates"][i], rng=SEED + 10 + i
+        )
+    queries = interleave_model_streams(streams)
+
+    rounds = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        sim = MultiModelServingSimulation(
+            MultiModelCluster(configs, profiles),
+            MultiModelKairosPolicy(),
+            rng=np.random.default_rng(SEED + 1),
+        )
+        rounds += sim.run(queries).scheduling_rounds
+    return time.perf_counter() - start, rounds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", default="quick", choices=("smoke", "quick", "full"),
+        help="workload scale (matches the perf-benchmark presets; default quick)",
+    )
+    parser.add_argument(
+        "--scenario", default="serving", choices=("serving", "multi_model"),
+        help="which macro scenario to profile (default serving)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="simulation runs to aggregate (default 3)"
+    )
+    args = parser.parse_args(argv)
+
+    timers = _instrument()
+    runner = _run_serving if args.scenario == "serving" else _run_multi_model
+    wall, rounds = runner(args.preset, args.repeats)
+
+    print(
+        f"scenario={args.scenario} preset={args.preset} repeats={args.repeats}: "
+        f"{rounds} scheduling rounds in {wall:.3f}s wall "
+        f"({wall / rounds * 1e6:.1f} us/round)"
+    )
+    print(f"{'phase':<34} {'calls':>8} {'total s':>9} {'% of run':>9} {'us/round':>9}")
+    for timer in sorted(timers, key=lambda t: -t.total):
+        if timer.calls == 0:
+            continue
+        print(
+            f"{timer.label:<34} {timer.calls:>8} {timer.total:>9.3f} "
+            f"{100.0 * timer.total / wall:>8.1f}% {timer.total / rounds * 1e6:>9.1f}"
+        )
+    print(
+        "\nnote: phases overlap where the code nests (prediction inside matrix "
+        "build / fast path, everything inside the policy round); shares answer "
+        "'how much of the run sits under this seam', not a partition."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
