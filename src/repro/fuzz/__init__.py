@@ -1,0 +1,76 @@
+"""Scenario-space fuzzer and invariant harness for every serving loop.
+
+Module map
+----------
+``spec``
+    Declarative :class:`ScenarioSpec` — arrival processes x load phases x model
+    mixes x spot markets x preemption bursts x noise, JSON-round-trippable, one
+    frozen value per fuzzable scenario.
+``runner``
+    ``run_scenario``: spec (or ingested trace) in, :class:`ScenarioResult` out —
+    builds the workload, cluster, policy, market, and controller, runs the right
+    simulator with the policy wrapped in a :class:`RecordingPolicy` event-loop
+    recorder, and produces canonical ``result_digest`` values.
+``invariants``
+    The machine-checkable invariant library (:data:`ALL_INVARIANTS`): per-run
+    conservation/causality/billing checks via ``check_run`` plus derived checks
+    (QoS monotone in budget, spot-disabled byte-identity, PYTHONHASHSEED
+    independence).
+``strategies``
+    Bounded hypothesis strategies over the scenario space, shrinking toward
+    minimal scenarios; drive ``tests/property/test_property_scenarios.py``.
+``campaign``
+    Offline fuzzing campaigns behind ``tools/fuzz.py``: budgeted random sweeps
+    that shrink failures and serialize them as JSON regression scenarios.
+
+Committed counterexamples and seeded hard cases live in ``tests/regression/`` and
+are replayed every CI run by the ``fuzz-smoke`` stage of ``tools/ci.sh``.
+"""
+
+from repro.fuzz.invariants import (
+    ALL_INVARIANTS,
+    Violation,
+    check_hashseed_independence,
+    check_qos_monotone_in_budget,
+    check_run,
+    check_spot_disabled_identity,
+)
+from repro.fuzz.runner import (
+    RecordingPolicy,
+    ScenarioResult,
+    SchedulingRound,
+    build_queries,
+    digest_spec,
+    result_digest,
+    run_scenario,
+)
+from repro.fuzz.spec import (
+    BurstSpec,
+    PhaseSpec,
+    ScaleEventSpec,
+    ScenarioSpec,
+    SpotSpec,
+    StreamSpec,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "Violation",
+    "check_run",
+    "check_qos_monotone_in_budget",
+    "check_spot_disabled_identity",
+    "check_hashseed_independence",
+    "RecordingPolicy",
+    "ScenarioResult",
+    "SchedulingRound",
+    "build_queries",
+    "digest_spec",
+    "result_digest",
+    "run_scenario",
+    "ScenarioSpec",
+    "StreamSpec",
+    "PhaseSpec",
+    "ScaleEventSpec",
+    "SpotSpec",
+    "BurstSpec",
+]

@@ -1,0 +1,137 @@
+"""Offline fuzzing campaigns: budgeted random sweeps with shrink-and-serialize.
+
+``run_campaign`` drives hypothesis over the scenario space for a bounded number of
+examples, checking every per-run invariant on each drawn scenario (and, optionally,
+the expensive derived identities).  When a scenario violates an invariant,
+hypothesis shrinks it; the *minimal* failing spec is serialized to JSON so it can
+be replayed (``replay_spec_files``), debugged, and — once fixed — graduated into
+``tests/regression/`` as a committed deterministic regression scenario.
+
+``tools/fuzz.py`` is a thin CLI over this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from hypothesis import HealthCheck, given, seed as hypothesis_seed, settings
+
+from repro.fuzz.invariants import Violation, check_spot_disabled_identity
+from repro.fuzz.runner import build_queries, run_scenario
+from repro.fuzz.spec import ScenarioSpec
+from repro.fuzz.strategies import scenario_specs
+
+
+@dataclass
+class CampaignFailure:
+    """One invariant-violating scenario (already shrunk to minimal by hypothesis)."""
+
+    spec: ScenarioSpec
+    violations: List[Violation]
+    saved_to: Optional[Path] = None
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one fuzzing campaign."""
+
+    budget: int
+    executions: int
+    elapsed_s: float
+    failures: List[CampaignFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _check_spec(spec: ScenarioSpec, *, derived: bool) -> List[Violation]:
+    """All applicable invariant violations for one spec; crashes become findings.
+
+    A spec whose arrival windows produce zero queries is vacuous (the simulators
+    document raising on empty streams), so it is skipped rather than counted as a
+    crash.  Any other exception *is* a finding — the harness must survive every
+    scenario the spec space admits.
+    """
+    try:
+        queries = build_queries(spec)
+        if not queries:
+            return []
+        violations = list(run_scenario(spec, queries=queries).violations)
+        if derived and spec.loop == "spot":
+            violations.extend(check_spot_disabled_identity(spec))
+    except Exception as exc:  # noqa: BLE001 - crashes are findings, not aborts
+        return [Violation("crash", f"{type(exc).__name__}: {exc}")]
+    return violations
+
+
+def run_campaign(
+    budget: int = 200,
+    *,
+    loop: Optional[str] = None,
+    seed: Optional[int] = None,
+    derived: bool = False,
+    out_dir: Optional[Path] = None,
+) -> CampaignReport:
+    """Fuzz up to ``budget`` scenarios; shrink and serialize any invariant violation.
+
+    Hypothesis re-executes the minimal counterexample last, so after a failing
+    campaign the final entry of the failure log is the shrunk spec — that is the
+    one written to ``out_dir`` (as ``fuzz-<invariant>-seed<seed>.json``).
+    """
+    observed: List[Tuple[ScenarioSpec, List[Violation]]] = []
+    executions = [0]
+    started = time.perf_counter()
+
+    @settings(
+        max_examples=budget,
+        database=None,
+        deadline=None,
+        suppress_health_check=list(HealthCheck),
+        print_blob=False,
+    )
+    @given(spec=scenario_specs(loop))
+    def campaign(spec: ScenarioSpec) -> None:
+        executions[0] += 1
+        violations = _check_spec(spec, derived=derived)
+        if violations:
+            observed.append((spec, violations))
+            raise AssertionError("; ".join(str(v) for v in violations))
+
+    if seed is not None:
+        campaign = hypothesis_seed(seed)(campaign)
+
+    report = CampaignReport(budget=budget, executions=0, elapsed_s=0.0)
+    try:
+        campaign()
+    except AssertionError:
+        # The last observed failure is hypothesis's minimal shrunk example.
+        spec, violations = observed[-1]
+        failure = CampaignFailure(spec=spec, violations=violations)
+        if out_dir is not None:
+            inv = violations[0].invariant
+            failure.saved_to = spec.save(
+                Path(out_dir) / f"fuzz-{inv}-seed{spec.seed}.json"
+            )
+        report.failures.append(failure)
+    report.executions = executions[0]
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def replay_spec_files(
+    paths: Sequence[Path], *, derived: bool = False
+) -> List[CampaignFailure]:
+    """Replay saved scenario specs; returns the (hopefully empty) failure list."""
+    failures: List[CampaignFailure] = []
+    for path in paths:
+        spec = ScenarioSpec.load(path)
+        violations = _check_spec(spec, derived=derived)
+        if violations:
+            failures.append(
+                CampaignFailure(spec=spec, violations=violations, saved_to=Path(path))
+            )
+    return failures

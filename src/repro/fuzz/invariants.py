@@ -1,0 +1,486 @@
+"""Machine-checkable system invariants over scenario runs.
+
+Two families:
+
+* **Per-run invariants** inspect one :class:`~repro.fuzz.runner.ScenarioResult`
+  (its report, ledger, and the event-loop recording) and must hold for *every*
+  scenario on *every* loop: ``query_conservation``, ``completion_causality``,
+  ``round_separation``, ``budget_conservation``, ``ledger_partition_exactness``.
+  ``check_run`` evaluates all of them and returns the violations.
+
+* **Derived invariants** relate multiple runs or processes:
+  ``qos_monotone_in_budget`` (planner-level QoS bound nondecreasing in budget),
+  ``spot_disabled_identity`` (a market-less spot simulation is byte-identical to the
+  elastic one; a zero-hazard market changes billing but not one service outcome),
+  and ``hashseed_independence`` (run digests agree across PYTHONHASHSEED values,
+  via subprocess re-execution).
+
+Every invariant is registered in :data:`ALL_INVARIANTS` so docs, the fuzz CLI, and
+the coverage meta-test stay in sync with the code.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import subprocess
+import sys
+import tempfile
+from collections import Counter
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.billing import MS_PER_HOUR
+from repro.fuzz.spec import ScenarioSpec
+from repro.sim.engine import TIME_EPSILON_MS
+
+#: Relative/absolute tolerance for re-derived float aggregates (fsum vs fsum-of-groups).
+_REL = 1e-9
+_EXACT = 1e-12
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure, carrying enough context to debug without the run."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.message}"
+
+
+#: name -> (kind, one-line description).  ``run`` invariants apply to every single
+#: scenario result; ``derived`` invariants compare runs / processes / budgets.
+ALL_INVARIANTS: Dict[str, Tuple[str, str]] = {
+    "query_conservation": (
+        "run",
+        "no query is lost or double-served, even across preemption re-queues",
+    ),
+    "completion_causality": (
+        "run",
+        "completion >= start >= arrival for every record; cumulative completions "
+        "never exceed cumulative arrivals at any instant",
+    ),
+    "round_separation": (
+        "run",
+        "consecutive scheduling rounds are separated by more than TIME_EPSILON_MS "
+        "(equal-instant event clusters coalesce into one round)",
+    ),
+    "budget_conservation": (
+        "run",
+        "billing intervals sit inside [0, horizon], never overlap per server, "
+        "match commissioning events one-to-one, and integrate to the ledger total",
+    ),
+    "ledger_partition_exactness": (
+        "run",
+        "per-tag, per-market, and per-type cost partitions each sum to the total; "
+        "discount savings equal full price minus charged price",
+    ),
+    "qos_monotone_in_budget": (
+        "derived",
+        "the planner's selected QoS-satisfying throughput bound is nondecreasing "
+        "in the budget",
+    ),
+    "spot_disabled_identity": (
+        "derived",
+        "spot loop without a market is byte-identical to the elastic loop; a "
+        "zero-hazard market leaves the service stream untouched",
+    ),
+    "hashseed_independence": (
+        "derived",
+        "run digests are identical across PYTHONHASHSEED values (subprocess check)",
+    ),
+}
+
+
+# ---------------------------------------------------------------------------------------
+# Per-run invariants
+# ---------------------------------------------------------------------------------------
+
+def check_query_conservation(result) -> List[Violation]:
+    """No query lost, none double-served — the re-queue accounting invariant."""
+    out: List[Violation] = []
+    name = "query_conservation"
+    submitted = {q.query_id for q in result.queries}
+    completed = Counter(rec.query.query_id for rec in result.completions)
+
+    doubles = [qid for qid, n in completed.items() if n > 1]
+    if doubles:
+        out.append(Violation(name, f"queries completed more than once: {sorted(doubles)[:10]}"))
+    ghosts = sorted(set(completed) - submitted)
+    if ghosts:
+        out.append(Violation(name, f"completed queries never submitted: {ghosts[:10]}"))
+
+    report = result.report
+    if len(result.completions) != report.dispatched_queries:
+        out.append(
+            Violation(
+                name,
+                f"{len(result.completions)} recorded completions but the report "
+                f"counts {report.dispatched_queries} standing dispatches",
+            )
+        )
+
+    assigned = Counter(qid for r in result.rounds for qid in r.assigned_ids)
+    unassigned = sorted(qid for qid in completed if assigned[qid] < completed[qid])
+    if unassigned:
+        out.append(Violation(name, f"queries completed more often than assigned: {unassigned[:10]}"))
+    if result.spec.loop != "spot":
+        reassigned = sorted(qid for qid, n in assigned.items() if n > 1)
+        if reassigned:
+            out.append(
+                Violation(
+                    name,
+                    f"queries dispatched more than once without preemption: {reassigned[:10]}",
+                )
+            )
+
+    if getattr(report, "completed_all", report.dispatched_queries == report.total_queries):
+        lost = sorted(submitted - set(completed))
+        if lost:
+            out.append(
+                Violation(
+                    name,
+                    f"report claims all queries served but {len(lost)} never "
+                    f"completed: {lost[:10]}",
+                )
+            )
+    return out
+
+
+def check_completion_causality(result) -> List[Violation]:
+    """Temporal sanity of every record, plus completions <= arrivals at all instants."""
+    out: List[Violation] = []
+    name = "completion_causality"
+    for rec in result.completions:
+        q = rec.query
+        if rec.completion_ms < rec.start_ms - _EXACT:
+            out.append(
+                Violation(name, f"query {q.query_id} completed before it started")
+            )
+        if rec.start_ms < q.arrival_time_ms - 1e-6:
+            out.append(
+                Violation(
+                    name,
+                    f"query {q.query_id} started {q.arrival_time_ms - rec.start_ms:.6f}ms "
+                    "before it arrived",
+                )
+            )
+        if rec.service_ms < 0:
+            out.append(Violation(name, f"query {q.query_id} has negative service time"))
+
+    # Merge arrivals (+1) and completions (-1); arrivals sort first at equal times.
+    timeline = [(q.arrival_time_ms, 0) for q in result.queries]
+    timeline.extend((rec.completion_ms, 1) for rec in result.completions)
+    timeline.sort()
+    in_flight = 0
+    for t, kind in timeline:
+        in_flight += 1 if kind == 0 else -1
+        if in_flight < 0:
+            out.append(
+                Violation(
+                    name,
+                    f"cumulative completions exceed cumulative arrivals at t={t:.3f}ms",
+                )
+            )
+            break
+
+    times = [r.time_ms for r in result.rounds]
+    if any(b < a for a, b in zip(times, times[1:])):
+        out.append(Violation(name, "scheduling-round times are not nondecreasing"))
+    return out
+
+
+def check_round_separation(result) -> List[Violation]:
+    """Equal-instant coalescing: no two rounds within TIME_EPSILON_MS of each other."""
+    times = [r.time_ms for r in result.rounds]
+    for a, b in zip(times, times[1:]):
+        if b - a <= TIME_EPSILON_MS:
+            return [
+                Violation(
+                    "round_separation",
+                    f"scheduling rounds at {a!r} and {b!r} are within the "
+                    f"{TIME_EPSILON_MS} equal-instant window",
+                )
+            ]
+    return []
+
+
+def _commissioned_instances(result) -> Optional[int]:
+    """Initial fleet + every scale-up, from the report's scale log (None = no log)."""
+    report = result.report
+    scale_log = getattr(report, "scale_log", None)
+    if scale_log is None:
+        return None
+    initial = len(result.spec.config_counts[0]) and sum(
+        sum(counts) for counts in result.spec.config_counts
+    )
+    ups = sum(e.count for e in scale_log if e.kind == "scale_up")
+    return initial + ups
+
+
+def check_budget_conservation(result) -> List[Violation]:
+    """The ledger is a conservative account of exactly the capacity that existed."""
+    ledger = result.ledger
+    if ledger is None:
+        return []
+    out: List[Violation] = []
+    name = "budget_conservation"
+    horizon = float(getattr(result.report, "billing_horizon_ms", 0.0))
+
+    def _end(iv) -> float:
+        return iv.end_ms if iv.end_ms is not None else horizon
+
+    by_server: Dict[int, List] = {}
+    for iv in ledger.intervals:
+        if _end(iv) < iv.start_ms:
+            out.append(
+                Violation(name, f"server {iv.server_id} interval ends before it starts")
+            )
+        if iv.start_ms < -_EXACT or _end(iv) > horizon + _EXACT:
+            out.append(
+                Violation(
+                    name,
+                    f"server {iv.server_id} billed [{iv.start_ms}, {iv.end_ms}] outside "
+                    f"the horizon [0, {horizon}]",
+                )
+            )
+        by_server.setdefault(iv.server_id, []).append(iv)
+    for sid, ivs in by_server.items():
+        ivs = sorted(ivs, key=lambda iv: iv.start_ms)
+        for a, b in zip(ivs, ivs[1:]):
+            if b.start_ms < _end(a) - _EXACT:
+                out.append(
+                    Violation(name, f"server {sid} has overlapping billing intervals")
+                )
+                break
+
+    expected = _commissioned_instances(result)
+    if expected is not None and len(ledger.intervals) != expected:
+        out.append(
+            Violation(
+                name,
+                f"{len(ledger.intervals)} billing intervals but "
+                f"{expected} instances were commissioned (initial fleet + scale-ups)",
+            )
+        )
+
+    total = ledger.total_cost(horizon)
+    rederived = math.fsum(
+        iv.effective_price_per_hour
+        * (min(_end(iv), horizon) - max(iv.start_ms, 0.0))
+        / MS_PER_HOUR
+        for iv in ledger.intervals
+        if _end(iv) > iv.start_ms
+    )
+    if not math.isclose(total, rederived, rel_tol=_REL, abs_tol=_REL):
+        out.append(
+            Violation(
+                name,
+                f"ledger total {total} != re-derived interval integral {rederived}",
+            )
+        )
+
+    if horizon > 0:
+        mid = horizon / 2.0
+
+        def window_cost(t0: float, t1: float) -> float:
+            return math.fsum(
+                iv.effective_price_per_hour
+                * max(0.0, min(_end(iv), t1) - max(iv.start_ms, t0))
+                / MS_PER_HOUR
+                for iv in ledger.intervals
+            )
+
+        split = window_cost(0.0, mid) + window_cost(mid, horizon)
+        if not math.isclose(total, split, rel_tol=_REL, abs_tol=_REL):
+            out.append(
+                Violation(
+                    name,
+                    f"cost is not additive over windows: total {total} != "
+                    f"[0,mid] + [mid,horizon] = {split}",
+                )
+            )
+    return out
+
+
+def check_ledger_partition_exactness(result) -> List[Violation]:
+    """Every way of slicing the bill sums back to the same total."""
+    ledger = result.ledger
+    if ledger is None:
+        return []
+    out: List[Violation] = []
+    name = "ledger_partition_exactness"
+    horizon = float(getattr(result.report, "billing_horizon_ms", 0.0))
+    total = ledger.total_cost(horizon)
+
+    partitions = {
+        "cost_by_tag": ledger.cost_by_tag(horizon),
+        "cost_by_type": ledger.cost_by_type(horizon),
+        "cost_by_market": ledger.cost_by_market(horizon),
+    }
+    for label, parts in partitions.items():
+        part_sum = math.fsum(parts.values())
+        if not math.isclose(part_sum, total, rel_tol=_EXACT, abs_tol=_EXACT):
+            out.append(
+                Violation(
+                    name,
+                    f"{label} sums to {part_sum!r} but the ledger total is {total!r}",
+                )
+            )
+
+    savings = ledger.discount_savings(horizon)
+    full_price = math.fsum(
+        iv.price_per_hour * iv.overlap_ms(0.0, horizon) / MS_PER_HOUR
+        for iv in ledger.intervals
+    )
+    if not math.isclose(savings, full_price - total, rel_tol=_REL, abs_tol=_REL):
+        out.append(
+            Violation(
+                name,
+                f"discount savings {savings} != full price {full_price} - total {total}",
+            )
+        )
+    return out
+
+
+_RUN_CHECKS = (
+    check_query_conservation,
+    check_completion_causality,
+    check_round_separation,
+    check_budget_conservation,
+    check_ledger_partition_exactness,
+)
+
+
+def check_run(result) -> List[Violation]:
+    """Evaluate every per-run invariant against one scenario result."""
+    violations: List[Violation] = []
+    for check in _RUN_CHECKS:
+        violations.extend(check(result))
+    return violations
+
+
+# ---------------------------------------------------------------------------------------
+# Derived invariants
+# ---------------------------------------------------------------------------------------
+
+def check_qos_monotone_in_budget(
+    model_name: str,
+    budgets: Sequence[float],
+    *,
+    seed: int = 0,
+    n_samples: int = 400,
+) -> List[Violation]:
+    """More budget can never shrink the planner's QoS-satisfying throughput bound."""
+    import numpy as np
+
+    from repro.core.kairos import KairosPlanner
+    from repro.fuzz.runner import _registry
+    from repro.workload.batch_sizes import production_batch_distribution
+
+    samples = production_batch_distribution().sample(
+        n_samples, np.random.default_rng([seed, 7])
+    )
+    bounds = []
+    for budget in sorted(budgets):
+        plan = KairosPlanner(
+            model_name, budget, profiles=_registry(), batch_samples=samples
+        ).plan()
+        bounds.append((budget, plan.selected_upper_bound))
+    out: List[Violation] = []
+    for (b1, u1), (b2, u2) in zip(bounds, bounds[1:]):
+        if u2 < u1 - _REL * max(1.0, abs(u1)):
+            out.append(
+                Violation(
+                    "qos_monotone_in_budget",
+                    f"{model_name}: budget {b2}$/hr selects bound {u2} qps, below "
+                    f"the {u1} qps selected at {b1}$/hr",
+                )
+            )
+    return out
+
+
+def check_spot_disabled_identity(spec: ScenarioSpec) -> List[Violation]:
+    """Disabling the spot subsystem must not change anything it claims not to touch."""
+    from repro.fuzz.runner import digest_spec
+
+    if spec.loop != "spot":
+        raise ValueError("spot_disabled_identity applies to spot-loop specs")
+    out: List[Violation] = []
+    elastic_twin = spec.without_spot()
+
+    # market=None spot loop vs the plain elastic loop: byte-identical, billing included.
+    market_off = replace(spec, spot=None)
+    if digest_spec(market_off) != digest_spec(elastic_twin):
+        out.append(
+            Violation(
+                "spot_disabled_identity",
+                "spot loop with market=None diverges from the elastic loop "
+                f"(spec {spec.label or spec.seed})",
+            )
+        )
+
+    # Zero-hazard market: prices change, the service stream must not.
+    if spec.spot is not None:
+        calm = replace(
+            spec,
+            spot=replace(spec.spot, preemptions_per_hour=0.0, bursts=()),
+        )
+        if digest_spec(calm, include_billing=False) != digest_spec(
+            elastic_twin, include_billing=False
+        ):
+            out.append(
+                Violation(
+                    "spot_disabled_identity",
+                    "a zero-hazard spot market changed the service stream "
+                    f"(spec {spec.label or spec.seed})",
+                )
+            )
+    return out
+
+
+def _src_root() -> str:
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+def check_hashseed_independence(
+    spec: ScenarioSpec, *, hash_seeds: Sequence[int] = (1, 3)
+) -> List[Violation]:
+    """Re-run the scenario under different PYTHONHASHSEED values; digests must agree."""
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = Path(tmp) / "spec.json"
+        spec.save(spec_path)
+        digests = {}
+        for hs in hash_seeds:
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = str(hs)
+            env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.fuzz.runner", str(spec_path)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=False,
+            )
+            if proc.returncode != 0:
+                return [
+                    Violation(
+                        "hashseed_independence",
+                        f"subprocess run failed under PYTHONHASHSEED={hs}: "
+                        f"{proc.stderr.strip()[-500:]}",
+                    )
+                ]
+            digests[hs] = proc.stdout.strip()
+    if len(set(digests.values())) > 1:
+        return [
+            Violation(
+                "hashseed_independence",
+                f"run digest depends on PYTHONHASHSEED: {digests}",
+            )
+        ]
+    return []

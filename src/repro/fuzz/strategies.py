@@ -1,0 +1,236 @@
+"""Hypothesis strategies over the scenario space.
+
+Every strategy is bounded so a drawn scenario simulates in well under a second:
+phases are sized by *offered query count* (duration is derived from the drawn count
+and rate), streams are capped at two phases, clusters at a few instances per type.
+Shrinking therefore moves toward few queries, one phase, one instance — minimal
+counterexamples by construction.
+
+``scenario_specs()`` draws across all four serving loops; per-loop strategies are
+exposed for targeted properties.  All strategies draw only spec-level data, never
+live numpy state, so every example is reproducible from its ``seed`` field alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from hypothesis import strategies as st
+
+from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
+from repro.fuzz.spec import (
+    CATALOG_SIZE,
+    BurstSpec,
+    PhaseSpec,
+    ScaleEventSpec,
+    ScenarioSpec,
+    SpotSpec,
+    StreamSpec,
+)
+
+#: Models the fuzzer serves (kept to the fast-profile pair so examples stay cheap).
+FUZZ_MODELS: Tuple[str, ...] = ("RM2", "WND")
+
+_TYPE_NAMES = tuple(DEFAULT_INSTANCE_CATALOG.names)
+
+
+@st.composite
+def phase_specs(draw, max_queries: int = 50) -> PhaseSpec:
+    """One load phase, sized by offered query count rather than raw duration."""
+    shape = draw(st.sampled_from(("step", "ramp", "spike", "diurnal")))
+    rate = draw(st.floats(min_value=20.0, max_value=120.0, allow_nan=False))
+    n_queries = draw(st.integers(min_value=5, max_value=max_queries))
+    duration = max(250.0, n_queries / rate * 1000.0)
+    factor = draw(st.floats(min_value=0.5, max_value=2.5, allow_nan=False))
+    return PhaseSpec(shape=shape, rate_qps=rate, duration_ms=duration, factor=factor)
+
+
+@st.composite
+def stream_specs(
+    draw,
+    model_names: Sequence[str] = FUZZ_MODELS,
+    max_queries: int = 60,
+) -> StreamSpec:
+    n_phases = draw(st.integers(min_value=1, max_value=2))
+    phases = tuple(
+        draw(phase_specs(max_queries=max_queries // n_phases)) for _ in range(n_phases)
+    )
+    return StreamSpec(
+        model_name=draw(st.sampled_from(tuple(model_names))),
+        phases=phases,
+        batch_median=draw(st.floats(min_value=20.0, max_value=160.0, allow_nan=False)),
+        batch_sigma=draw(st.floats(min_value=0.6, max_value=1.4, allow_nan=False)),
+        arrival=draw(st.sampled_from(("poisson", "deterministic", "bursty"))),
+        burst_size=draw(st.integers(min_value=2, max_value=6)),
+    )
+
+
+@st.composite
+def config_vectors(draw, min_total: int = 1, max_per_type: int = 2) -> Tuple[int, ...]:
+    counts = tuple(
+        draw(st.integers(min_value=0, max_value=max_per_type))
+        for _ in range(CATALOG_SIZE)
+    )
+    if sum(counts) < min_total:
+        # Guarantee serving capacity: fall back to one accelerator instance.
+        counts = (1,) + counts[1:]
+    return counts
+
+
+def _seeds() -> st.SearchStrategy[int]:
+    return st.integers(min_value=0, max_value=2**20)
+
+
+def _noise() -> st.SearchStrategy[float]:
+    return st.one_of(
+        st.just(0.0), st.floats(min_value=0.01, max_value=0.2, allow_nan=False)
+    )
+
+
+@st.composite
+def scale_event_specs(draw, duration_ms: float) -> ScaleEventSpec:
+    return ScaleEventSpec(
+        time_ms=draw(st.floats(min_value=0.0, max_value=duration_ms, allow_nan=False)),
+        action=draw(st.sampled_from(("up", "down"))),
+        type_name=draw(st.sampled_from(_TYPE_NAMES)),
+        count=draw(st.integers(min_value=1, max_value=2)),
+    )
+
+
+@st.composite
+def static_scenarios(draw) -> ScenarioSpec:
+    return ScenarioSpec(
+        loop="static",
+        streams=(draw(stream_specs()),),
+        config_counts=(draw(config_vectors()),),
+        seed=draw(_seeds()),
+        noise_std=draw(_noise()),
+        online_learning=draw(st.booleans()),
+        warmup_queries=draw(st.integers(min_value=0, max_value=3)),
+        max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
+    )
+
+
+@st.composite
+def elastic_scenarios(draw, with_events: bool = True) -> ScenarioSpec:
+    stream = draw(stream_specs())
+    n_events = draw(st.integers(min_value=0, max_value=2)) if with_events else 0
+    events = tuple(
+        draw(scale_event_specs(stream.duration_ms)) for _ in range(n_events)
+    )
+    return ScenarioSpec(
+        loop="elastic",
+        streams=(stream,),
+        config_counts=(draw(config_vectors()),),
+        seed=draw(_seeds()),
+        noise_std=draw(_noise()),
+        online_learning=draw(st.booleans()),
+        use_controller=draw(st.booleans()),
+        budget_per_hour=draw(st.floats(min_value=1.5, max_value=5.0, allow_nan=False)),
+        startup_delay_ms=draw(st.floats(min_value=50.0, max_value=800.0, allow_nan=False)),
+        warmup_queries=draw(st.integers(min_value=0, max_value=3)),
+        max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
+        scale_events=events,
+    )
+
+
+@st.composite
+def spot_specs(draw, config: Tuple[int, ...], duration_ms: float) -> SpotSpec:
+    spot_counts = tuple(
+        draw(st.integers(min_value=0, max_value=c)) for c in config
+    )
+    n_bursts = draw(st.integers(min_value=0, max_value=2))
+    bursts = tuple(
+        BurstSpec(
+            time_ms=draw(
+                st.floats(min_value=0.0, max_value=duration_ms, allow_nan=False)
+            ),
+            count=draw(st.integers(min_value=1, max_value=3)),
+        )
+        for _ in range(n_bursts)
+    )
+    return SpotSpec(
+        discount=draw(st.floats(min_value=0.3, max_value=0.9, allow_nan=False)),
+        # Hazards far above real markets so preemptions actually fire inside the
+        # few seconds a fuzz scenario simulates.
+        preemptions_per_hour=draw(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=60.0, max_value=3600.0, allow_nan=False),
+            )
+        ),
+        warning_ms=draw(st.floats(min_value=0.0, max_value=500.0, allow_nan=False)),
+        spot_counts=spot_counts,
+        bursts=bursts,
+    )
+
+
+@st.composite
+def spot_scenarios(draw) -> ScenarioSpec:
+    stream = draw(stream_specs())
+    config = draw(config_vectors())
+    return ScenarioSpec(
+        loop="spot",
+        streams=(stream,),
+        config_counts=(config,),
+        seed=draw(_seeds()),
+        noise_std=draw(_noise()),
+        online_learning=draw(st.booleans()),
+        use_controller=draw(st.booleans()),
+        budget_per_hour=draw(st.floats(min_value=1.5, max_value=5.0, allow_nan=False)),
+        startup_delay_ms=draw(st.floats(min_value=50.0, max_value=800.0, allow_nan=False)),
+        warmup_queries=draw(st.integers(min_value=0, max_value=2)),
+        max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
+        spot=draw(spot_specs(config, stream.duration_ms)),
+    )
+
+
+@st.composite
+def multi_model_scenarios(draw) -> ScenarioSpec:
+    n_models = draw(st.integers(min_value=1, max_value=2))
+    names = draw(
+        st.permutations(FUZZ_MODELS).map(lambda p: tuple(p[:n_models]))
+    )
+    streams = tuple(
+        draw(stream_specs(model_names=(name,), max_queries=40)) for name in names
+    )
+    return ScenarioSpec(
+        loop="multi_model",
+        streams=streams,
+        config_counts=tuple(draw(config_vectors()) for _ in streams),
+        seed=draw(_seeds()),
+        noise_std=draw(_noise()),
+        online_learning=draw(st.booleans()),
+        startup_delay_ms=draw(st.floats(min_value=50.0, max_value=800.0, allow_nan=False)),
+        warmup_queries=draw(st.integers(min_value=0, max_value=2)),
+        max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
+        sharded=draw(st.booleans()),
+    )
+
+
+def scenario_specs(loop: Optional[str] = None) -> st.SearchStrategy[ScenarioSpec]:
+    """Scenarios across all loops, or restricted to one loop."""
+    by_loop = {
+        "static": static_scenarios(),
+        "elastic": elastic_scenarios(),
+        "multi_model": multi_model_scenarios(),
+        "spot": spot_scenarios(),
+    }
+    if loop is not None:
+        return by_loop[loop]
+    return st.one_of(*by_loop.values())
+
+
+def budget_ladders(
+    min_budget: float = 1.0, max_budget: float = 6.0
+) -> st.SearchStrategy[Tuple[float, ...]]:
+    """Sorted budget lists for the QoS-monotonicity invariant."""
+    return (
+        st.lists(
+            st.floats(min_value=min_budget, max_value=max_budget, allow_nan=False),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        )
+        .map(lambda bs: tuple(sorted(bs)))
+    )

@@ -35,6 +35,14 @@ from repro.workload.phases import (
     WorkloadPhase,
 )
 from repro.workload.trace import load_trace, save_trace, synthesize_trace
+from repro.workload.trace_io import (
+    Trace,
+    load_any_trace,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
 
 __all__ = [
     "Query",
@@ -60,4 +68,10 @@ __all__ = [
     "load_trace",
     "save_trace",
     "synthesize_trace",
+    "Trace",
+    "load_any_trace",
+    "load_trace_csv",
+    "load_trace_jsonl",
+    "save_trace_csv",
+    "save_trace_jsonl",
 ]

@@ -1,0 +1,204 @@
+"""Request-trace ingestion: CSV/JSONL files <-> replayable :class:`Trace` objects.
+
+``repro.workload.trace`` persists bare single-model query lists with truncated
+timestamps; this module is the full-fidelity ingestion layer the scenario fuzzer and
+the workload zoo share.  A :class:`Trace` wraps an arrival-ordered query sequence
+(optionally model-tagged) plus free-form metadata, and round-trips **exactly**
+through both supported formats:
+
+* **CSV** — header ``query_id,batch_size,arrival_time_ms[,model_name]``; arrival
+  times are written with ``repr`` so every float survives bit-for-bit.
+* **JSONL** — one JSON object per line; lines whose object carries ``"meta"``
+  hold trace metadata, all others are queries.
+
+Exact round-tripping matters because fuzzer-found scenarios double as trace files:
+a counterexample exported here must replay byte-identically through the simulators.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.workload.query import Query
+
+_CSV_FIELDS = ("query_id", "batch_size", "arrival_time_ms", "model_name")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An arrival-ordered, replayable request trace with optional metadata.
+
+    Queries must be sorted by ``(arrival_time_ms, query_id)`` — the order every
+    serving loop consumes them in — and carry unique ids.  ``meta`` is free-form
+    provenance (source file, generating scenario, rates) persisted alongside the
+    queries in JSONL form and ignored by CSV.
+    """
+
+    queries: Tuple[Query, ...]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "queries", tuple(self.queries))
+        object.__setattr__(self, "meta", dict(self.meta))
+        seen = set()
+        prev_key = None
+        for q in self.queries:
+            if q.query_id in seen:
+                raise ValueError(f"duplicate query_id {q.query_id} in trace")
+            seen.add(q.query_id)
+            key = (q.arrival_time_ms, q.query_id)
+            if prev_key is not None and key < prev_key:
+                raise ValueError(
+                    "trace queries must be sorted by (arrival_time_ms, query_id); "
+                    f"{key} follows {prev_key}"
+                )
+            prev_key = key
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    @property
+    def model_names(self) -> Tuple[str, ...]:
+        """Distinct model tags in first-appearance order (untagged queries excluded)."""
+        return tuple(
+            dict.fromkeys(q.model_name for q in self.queries if q.model_name is not None)
+        )
+
+    @property
+    def duration_ms(self) -> float:
+        return self.queries[-1].arrival_time_ms if self.queries else 0.0
+
+    def for_model(self, model_name: str) -> "Trace":
+        """Sub-trace of one model's queries (ids and arrival times preserved)."""
+        return Trace(
+            tuple(q for q in self.queries if q.model_name == model_name),
+            dict(self.meta, model_name=model_name),
+        )
+
+    @classmethod
+    def from_queries(
+        cls,
+        queries: Iterable[Query],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "Trace":
+        """Build a trace from any query iterable, sorting into canonical order."""
+        ordered = sorted(queries, key=lambda q: (q.arrival_time_ms, q.query_id))
+        return cls(tuple(ordered), meta or {})
+
+
+# ---------------------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------------------
+
+def save_trace_csv(trace: Union[Trace, Sequence[Query]], path: Union[str, Path]) -> Path:
+    """Write a trace as CSV with full float fidelity (``repr`` timestamps)."""
+    queries = trace.queries if isinstance(trace, Trace) else tuple(trace)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_FIELDS)
+        for q in queries:
+            writer.writerow(
+                [q.query_id, q.batch_size, repr(q.arrival_time_ms), q.model_name or ""]
+            )
+    return path
+
+
+def load_trace_csv(path: Union[str, Path]) -> Trace:
+    """Read a CSV trace written by :func:`save_trace_csv`.
+
+    Also accepts the legacy three-column format of ``repro.workload.trace`` (no
+    ``model_name`` column): those queries load untagged.
+    """
+    path = Path(path)
+    queries: List[Query] = []
+    with path.open("r", newline="") as fh:
+        reader = csv.DictReader(fh)
+        fields = reader.fieldnames or []
+        required = [f for f in _CSV_FIELDS[:3] if f not in fields]
+        if required:
+            raise ValueError(f"trace file {path} is missing columns: {required}")
+        for row in reader:
+            model = row.get("model_name") or None
+            queries.append(
+                Query(
+                    query_id=int(row["query_id"]),
+                    batch_size=int(row["batch_size"]),
+                    arrival_time_ms=float(row["arrival_time_ms"]),
+                    model_name=model,
+                )
+            )
+    return Trace.from_queries(queries, {"source": str(path), "format": "csv"})
+
+
+# ---------------------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------------------
+
+def save_trace_jsonl(trace: Union[Trace, Sequence[Query]], path: Union[str, Path]) -> Path:
+    """Write a trace as JSONL: an optional leading meta line, then one query per line."""
+    if isinstance(trace, Trace):
+        queries, meta = trace.queries, dict(trace.meta)
+    else:
+        queries, meta = tuple(trace), {}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        if meta:
+            fh.write(json.dumps({"meta": meta}, sort_keys=True) + "\n")
+        for q in queries:
+            record: Dict[str, object] = {
+                "query_id": q.query_id,
+                "batch_size": q.batch_size,
+                "arrival_time_ms": q.arrival_time_ms,
+            }
+            if q.model_name is not None:
+                record["model_name"] = q.model_name
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> Trace:
+    """Read a JSONL trace written by :func:`save_trace_jsonl`."""
+    path = Path(path)
+    queries: List[Query] = []
+    meta: Dict[str, object] = {}
+    with path.open("r") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "meta" in obj:
+                meta.update(obj["meta"])
+                continue
+            try:
+                queries.append(
+                    Query(
+                        query_id=int(obj["query_id"]),
+                        batch_size=int(obj["batch_size"]),
+                        arrival_time_ms=float(obj["arrival_time_ms"]),
+                        model_name=obj.get("model_name"),
+                    )
+                )
+            except KeyError as exc:
+                raise ValueError(f"{path}:{line_no}: query line missing field {exc}") from exc
+    meta.setdefault("source", str(path))
+    meta.setdefault("format", "jsonl")
+    return Trace.from_queries(queries, meta)
+
+
+def load_any_trace(path: Union[str, Path]) -> Trace:
+    """Dispatch on extension: ``.jsonl``/``.ndjson`` -> JSONL, anything else -> CSV."""
+    path = Path(path)
+    if path.suffix.lower() in (".jsonl", ".ndjson"):
+        return load_trace_jsonl(path)
+    return load_trace_csv(path)

@@ -1,9 +1,12 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the hypothesis profile registry."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
@@ -12,6 +15,35 @@ from repro.cloud.profiles import default_profile_registry
 from repro.sim.cluster import Cluster
 from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+# Hypothesis profiles: ``ci`` is the deterministic tier-1 gate (derandomized, few
+# examples, no flaky deadlines); ``dev`` searches harder for local iteration; and
+# ``fuzz`` is the deep-search profile behind long offline campaigns.  Tests that pin
+# their own ``max_examples`` keep it; everything else scales with the profile.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "dev",
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "fuzz",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+# `--hypothesis-profile=...` (set by tools/ci.sh) overrides this env-based default.
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(scope="session")

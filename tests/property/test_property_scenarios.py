@@ -1,0 +1,146 @@
+"""Hypothesis properties over the scenario space: every invariant, every loop.
+
+The per-loop properties draw whole scenarios and assert every per-run invariant via
+``run_scenario(check=True)``; the derived properties exercise the multi-run
+identities (QoS monotone in budget, spot-disabled byte-identity, PYTHONHASHSEED
+independence) and the trace-replay equivalence that makes ingested traces
+first-class scenario workloads.
+
+Example counts scale with the hypothesis profile (``ci`` / ``dev`` / ``fuzz``,
+registered in ``tests/conftest.py``) unless pinned below because one example is
+expensive (subprocesses, multiple full runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.invariants import (
+    check_hashseed_independence,
+    check_qos_monotone_in_budget,
+    check_spot_disabled_identity,
+)
+from repro.fuzz.runner import result_digest, run_scenario
+from repro.fuzz.spec import ScenarioSpec
+from repro.fuzz.strategies import (
+    FUZZ_MODELS,
+    budget_ladders,
+    elastic_scenarios,
+    multi_model_scenarios,
+    scenario_specs,
+    spot_scenarios,
+    static_scenarios,
+)
+from repro.workload.trace_io import Trace, load_trace_jsonl, save_trace_jsonl
+
+
+def _assert_no_violations(result) -> None:
+    assert not result.violations, "; ".join(str(v) for v in result.violations)
+
+
+def _run_checked(spec: ScenarioSpec):
+    """Run a drawn spec with invariants on, skipping vacuous empty-window draws."""
+    from repro.fuzz.runner import build_queries
+
+    queries = build_queries(spec)
+    assume(queries)
+    result = run_scenario(spec, queries=queries)
+    _assert_no_violations(result)
+    return result
+
+
+class TestPerRunInvariants:
+    """query_conservation + completion_causality + round_separation +
+    budget_conservation + ledger_partition_exactness, one loop per property."""
+
+    @given(spec=static_scenarios())
+    def test_static_loop_holds_all_invariants(self, spec):
+        _run_checked(spec)
+
+    @given(spec=elastic_scenarios())
+    def test_elastic_loop_holds_all_invariants(self, spec):
+        _run_checked(spec)
+
+    @given(spec=multi_model_scenarios())
+    def test_multi_model_loop_holds_all_invariants(self, spec):
+        _run_checked(spec)
+
+    @given(spec=spot_scenarios())
+    def test_spot_loop_holds_all_invariants(self, spec):
+        _run_checked(spec)
+
+
+class TestEqualInstantClusters:
+    """Bursty arrivals put many queries on one exact timestamp: the hardest case for
+    the TIME_EPSILON_MS coalescing logic, asserted across every serving loop."""
+
+    @given(
+        spec=scenario_specs(),
+        burst=st.integers(min_value=4, max_value=12),
+    )
+    def test_forced_bursts_preserve_invariants(self, spec, burst):
+        bursty_streams = tuple(
+            dataclasses.replace(s, arrival="bursty", burst_size=burst)
+            for s in spec.streams
+        )
+        forced = dataclasses.replace(spec, streams=bursty_streams)
+        _run_checked(forced)
+
+
+class TestDerivedInvariants:
+    @given(
+        model=st.sampled_from(FUZZ_MODELS),
+        budgets=budget_ladders(),
+    )
+    def test_qos_bound_monotone_in_budget(self, model, budgets):
+        violations = check_qos_monotone_in_budget(model, budgets)
+        assert not violations, "; ".join(str(v) for v in violations)
+
+    @pytest.mark.fuzz
+    @settings(max_examples=5)
+    @given(spec=spot_scenarios())
+    def test_spot_disabled_byte_identity(self, spec):
+        from repro.fuzz.runner import build_queries
+
+        assume(build_queries(spec))
+        violations = check_spot_disabled_identity(spec)
+        assert not violations, "; ".join(str(v) for v in violations)
+
+    @pytest.mark.fuzz
+    @settings(max_examples=2)
+    @given(spec=scenario_specs())
+    def test_hashseed_independence(self, spec):
+        from repro.fuzz.runner import build_queries
+
+        assume(build_queries(spec))
+        violations = check_hashseed_independence(spec)
+        assert not violations, "; ".join(str(v) for v in violations)
+
+
+class TestTraceReplayEquivalence:
+    """A scenario's workload, exported through trace_io and replayed, is the same run."""
+
+    @settings(max_examples=10)
+    @given(spec=scenario_specs())
+    def test_jsonl_round_trip_replays_byte_identically(self, spec):
+        from repro.fuzz.runner import build_queries
+
+        queries = build_queries(spec)
+        assume(queries)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = save_trace_jsonl(
+                Trace.from_queries(queries, {"scenario": spec.label or "fuzz"}),
+                Path(tmp) / "trace.jsonl",
+            )
+            replayed = load_trace_jsonl(path)
+        assert list(replayed.queries) == list(queries)
+        direct = run_scenario(spec, check=False)
+        via_trace = run_scenario(spec, queries=replayed.queries, check=True)
+        _assert_no_violations(via_trace)
+        assert result_digest(via_trace) == result_digest(direct)

@@ -1,0 +1,205 @@
+"""Deterministic regression corpus: committed scenarios replayed on every CI run.
+
+``tests/regression/scenarios/*.json`` holds seeded hard cases (and any fuzzer finds
+graduated after a fix).  Each file is a complete :class:`ScenarioSpec`; replaying
+one re-runs its serving loop and asserts every per-run invariant.  The derived
+invariants (QoS monotone in budget, spot-disabled byte-identity, PYTHONHASHSEED
+independence) each get a pinned deterministic test as well, and the detector tests
+prove the invariant checker actually *fires* on corrupted runs — guarding the
+guards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.fuzz.invariants import (
+    ALL_INVARIANTS,
+    check_budget_conservation,
+    check_completion_causality,
+    check_hashseed_independence,
+    check_ledger_partition_exactness,
+    check_qos_monotone_in_budget,
+    check_query_conservation,
+    check_round_separation,
+    check_spot_disabled_identity,
+)
+from repro.fuzz.runner import run_scenario
+from repro.fuzz.spec import ScenarioSpec
+
+SCENARIO_DIR = Path(__file__).parent / "scenarios"
+SCENARIOS = sorted(SCENARIO_DIR.glob("*.json"))
+
+
+def _load(name: str) -> ScenarioSpec:
+    return ScenarioSpec.load(SCENARIO_DIR / name)
+
+
+class TestCorpusReplay:
+    """Every committed scenario replays clean through all per-run invariants."""
+
+    @pytest.mark.parametrize("path", SCENARIOS, ids=lambda p: p.stem)
+    def test_scenario_holds_all_invariants(self, path):
+        result = run_scenario(ScenarioSpec.load(path))
+        assert not result.violations, "; ".join(str(v) for v in result.violations)
+
+    def test_corpus_is_committed(self):
+        assert len(SCENARIOS) >= 3, "the regression corpus must hold >= 3 scenarios"
+
+    def test_corpus_covers_every_loop(self):
+        loops = {ScenarioSpec.load(p).loop for p in SCENARIOS}
+        assert loops == {"static", "elastic", "multi_model", "spot"}
+
+
+class TestDerivedInvariantsDeterministic:
+    """One pinned deterministic exercise per derived invariant."""
+
+    def test_qos_monotone_in_budget(self):
+        violations = check_qos_monotone_in_budget("RM2", (1.2, 2.0, 3.0, 4.5))
+        assert not violations, "; ".join(str(v) for v in violations)
+
+    def test_spot_disabled_byte_identity(self):
+        violations = check_spot_disabled_identity(_load("spot-burst-requeue.json"))
+        assert not violations, "; ".join(str(v) for v in violations)
+
+    def test_hashseed_independence(self):
+        spec = _load("equal-instant-elastic.json")
+        violations = check_hashseed_independence(spec)
+        assert not violations, "; ".join(str(v) for v in violations)
+
+
+def _clean_result():
+    return run_scenario(_load("equal-instant-elastic.json"))
+
+
+class TestCheckersDetectCorruption:
+    """Feed each per-run checker a deliberately corrupted run: it must fire.
+
+    Without these, a checker that silently degenerates to a no-op would keep the
+    whole fuzzing stage green forever.
+    """
+
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return _clean_result()
+
+    def test_query_conservation_flags_double_service(self, clean):
+        corrupted = dataclasses.replace(
+            clean, completions=clean.completions + (clean.completions[0],)
+        )
+        assert any(
+            v.invariant == "query_conservation"
+            for v in check_query_conservation(corrupted)
+        )
+
+    def test_query_conservation_flags_lost_query(self, clean):
+        corrupted = dataclasses.replace(clean, completions=clean.completions[:-1])
+        assert any(
+            v.invariant == "query_conservation"
+            for v in check_query_conservation(corrupted)
+        )
+
+    def test_causality_flags_completion_before_arrival(self, clean):
+        rec = clean.completions[0]
+        fake = SimpleNamespace(
+            query=rec.query,
+            server_id=rec.server_id,
+            server_type=rec.server_type,
+            start_ms=rec.query.arrival_time_ms - 5.0,
+            completion_ms=rec.query.arrival_time_ms - 1.0,
+            service_ms=rec.service_ms,
+        )
+        corrupted = dataclasses.replace(
+            clean, completions=(fake,) + clean.completions[1:]
+        )
+        assert any(
+            v.invariant == "completion_causality"
+            for v in check_completion_causality(corrupted)
+        )
+
+    def test_round_separation_flags_equal_instant_rounds(self, clean):
+        r0 = clean.rounds[0]
+        duplicated = (r0, dataclasses.replace(r0)) + clean.rounds[1:]
+        corrupted = dataclasses.replace(clean, rounds=duplicated)
+        assert any(
+            v.invariant == "round_separation"
+            for v in check_round_separation(corrupted)
+        )
+
+    def test_budget_conservation_flags_interval_beyond_horizon(self, clean):
+        ledger = clean.report.ledger
+        horizon = clean.report.billing_horizon_ms
+        rogue = dataclasses.replace(
+            ledger.intervals[0], start_ms=horizon + 1_000.0, end_ms=horizon + 9_000.0
+        )
+        fake_ledger = SimpleNamespace(
+            intervals=list(ledger.intervals) + [rogue],
+            total_cost=ledger.total_cost,
+        )
+        fake_report = SimpleNamespace(
+            ledger=fake_ledger,
+            billing_horizon_ms=horizon,
+            scale_log=None,
+        )
+        corrupted = SimpleNamespace(
+            spec=clean.spec,
+            report=fake_report,
+            ledger=fake_ledger,
+            queries=clean.queries,
+            rounds=clean.rounds,
+            completions=clean.completions,
+        )
+        assert any(
+            v.invariant == "budget_conservation"
+            for v in check_budget_conservation(corrupted)
+        )
+
+    def test_partition_exactness_flags_mistagged_cost(self, clean):
+        ledger = clean.report.ledger
+        horizon = clean.report.billing_horizon_ms
+        skewed_by_tag = dict(ledger.cost_by_tag(horizon))
+        first = next(iter(skewed_by_tag))
+        skewed_by_tag[first] += 0.25
+        fake_ledger = SimpleNamespace(
+            intervals=ledger.intervals,
+            total_cost=ledger.total_cost,
+            cost_by_tag=lambda h: skewed_by_tag,
+            cost_by_type=ledger.cost_by_type,
+            cost_by_market=ledger.cost_by_market,
+            discount_savings=ledger.discount_savings,
+        )
+        corrupted = SimpleNamespace(
+            spec=clean.spec,
+            report=SimpleNamespace(ledger=fake_ledger, billing_horizon_ms=horizon),
+            ledger=fake_ledger,
+            queries=clean.queries,
+            rounds=clean.rounds,
+            completions=clean.completions,
+        )
+        assert any(
+            v.invariant == "ledger_partition_exactness"
+            for v in check_ledger_partition_exactness(corrupted)
+        )
+
+
+class TestInvariantRegistryCoverage:
+    """Meta-test: the registry, the properties, and this corpus stay in sync."""
+
+    def test_every_registered_invariant_has_a_deterministic_exercise(self):
+        # Per-run invariants are all evaluated by every corpus replay (check_run);
+        # derived invariants each have a pinned test above.  This guards renames.
+        expected = {
+            "query_conservation",
+            "completion_causality",
+            "round_separation",
+            "budget_conservation",
+            "ledger_partition_exactness",
+            "qos_monotone_in_budget",
+            "spot_disabled_identity",
+            "hashseed_independence",
+        }
+        assert set(ALL_INVARIANTS) == expected

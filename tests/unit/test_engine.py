@@ -262,3 +262,83 @@ def test_pop_batch_without_time_takes_earliest_instant():
     assert [e.payload for e in q.pop_batch()] == ["a1", "a2"]
     assert [e.payload for e in q.pop_batch()] == ["b"]
     assert q.pop_batch() == []
+
+
+class TestEpsilonClusterFuzz:
+    """Fuzzed equal-instant event clusters against the pop_batch/TIME_EPSILON_MS
+    boundary: timestamps packed below the epsilon must drain as one batch, gaps
+    above it must split batches, and nothing is ever lost or reordered."""
+
+    @given(
+        base=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+        offsets=st.lists(
+            st.floats(min_value=0.0, max_value=TIME_EPSILON_MS * 0.9, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        gap=st.floats(min_value=2.5, max_value=10.0, allow_nan=False),
+    )
+    def test_sub_epsilon_cluster_drains_as_one_batch(self, base, offsets, gap):
+        q = EventQueue()
+        times = [base + o for o in offsets]
+        for t in times:
+            q.push(Event(t, EventKind.CONTROL, t))
+        straggler = base + gap * TIME_EPSILON_MS
+        q.push(Event(straggler, EventKind.CONTROL, straggler))
+        batch = q.pop_batch()
+        # Large bases absorb sub-epsilon offsets entirely (float granularity), but
+        # whatever distinct times exist within the window must drain together.
+        assert len(batch) == len(times)
+        assert all(e.time_ms <= base + TIME_EPSILON_MS for e in batch)
+        remaining = q.pop_batch()
+        assert [e.payload for e in remaining] == [straggler] or straggler <= base + TIME_EPSILON_MS
+
+    @given(
+        cluster_times=st.lists(
+            st.floats(min_value=0.0, max_value=1_000.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_repeated_pop_batch_conserves_and_orders_events(self, cluster_times):
+        q = EventQueue()
+        for i, t in enumerate(cluster_times):
+            q.push(Event(t, EventKind.CONTROL, i))
+        drained = []
+        batch_starts = []
+        while len(q):
+            batch = q.pop_batch()
+            assert batch, "pop_batch on a non-empty queue must yield events"
+            batch_starts.append(batch[0].time_ms)
+            spread = batch[-1].time_ms - batch[0].time_ms
+            assert spread <= TIME_EPSILON_MS
+            drained.extend(batch)
+        assert len(drained) == len(cluster_times)  # conservation
+        assert sorted(e.payload for e in drained) == list(range(len(cluster_times)))
+        times = [e.time_ms for e in drained]
+        assert times == sorted(times)  # global order across batches
+        for a, b in zip(batch_starts, batch_starts[1:]):
+            assert b - a > TIME_EPSILON_MS  # distinct batches are distinct instants
+
+    @given(
+        base=st.floats(min_value=1.0, max_value=10_000.0, allow_nan=False),
+        n_arrivals=st.integers(min_value=1, max_value=8),
+        n_completions=st.integers(min_value=1, max_value=8),
+    )
+    def test_completions_sort_before_arrivals_at_an_exact_instant(
+        self, base, n_arrivals, n_completions
+    ):
+        # The kind order (completions first) breaks ties only between events with
+        # *exactly* equal timestamps; inside a wider sub-epsilon batch, raw time
+        # still orders the events.  Push interleaved to rule out insertion-order luck.
+        q = EventQueue()
+        for i in range(max(n_arrivals, n_completions)):
+            if i < n_arrivals:
+                q.push(Event(base, EventKind.QUERY_ARRIVAL, f"a{i}"))
+            if i < n_completions:
+                q.push(Event(base, EventKind.SERVICE_COMPLETION, f"c{i}"))
+        kinds = [e.kind for e in q.pop_batch()]
+        assert kinds == (
+            [EventKind.SERVICE_COMPLETION] * n_completions
+            + [EventKind.QUERY_ARRIVAL] * n_arrivals
+        )

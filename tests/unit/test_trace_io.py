@@ -1,0 +1,144 @@
+"""Unit tests for the trace-ingestion layer (``repro.workload.trace_io``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workload.query import Query
+from repro.workload.trace import save_trace
+from repro.workload.trace_io import (
+    Trace,
+    load_any_trace,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
+
+DATA = Path(__file__).parent.parent / "data"
+
+
+@pytest.fixture
+def queries():
+    return [
+        Query(0, 32, 10.000000000000002, model_name="RM2"),
+        Query(1, 80, 55.12345678901234, model_name="WND"),
+        Query(2, 8, 120.5),
+        Query(3, 64, 250.125, model_name="RM2"),
+        Query(4, 64, 250.125, model_name="WND"),
+    ]
+
+
+class TestTrace:
+    def test_canonical_order_and_length(self, queries):
+        trace = Trace.from_queries(reversed(queries))
+        assert list(trace) == queries
+        assert len(trace) == 5
+        assert trace.duration_ms == 250.125
+
+    def test_model_names_in_first_appearance_order(self, queries):
+        trace = Trace.from_queries(queries)
+        assert trace.model_names == ("RM2", "WND")
+
+    def test_for_model_subsets_without_renumbering(self, queries):
+        sub = Trace.from_queries(queries).for_model("WND")
+        assert [q.query_id for q in sub] == [1, 4]
+        assert all(q.model_name == "WND" for q in sub)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate query_id"):
+            Trace((Query(0, 1, 0.0), Query(0, 1, 1.0)))
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Trace((Query(0, 1, 5.0), Query(1, 1, 1.0)))
+
+
+class TestRoundTrip:
+    def test_csv_round_trip_is_exact(self, queries, tmp_path):
+        path = save_trace_csv(Trace.from_queries(queries), tmp_path / "t.csv")
+        assert list(load_trace_csv(path).queries) == queries
+
+    def test_jsonl_round_trip_is_exact(self, queries, tmp_path):
+        trace = Trace.from_queries(queries, {"rate_qps": 40.0})
+        path = save_trace_jsonl(trace, tmp_path / "t.jsonl")
+        loaded = load_trace_jsonl(path)
+        assert list(loaded.queries) == queries
+        assert loaded.meta["rate_qps"] == 40.0
+
+    def test_full_precision_floats_survive(self, tmp_path):
+        # Values that %.6f (the legacy writer's format) would corrupt.
+        q = [Query(0, 1, 10.000000000000002), Query(1, 1, 333.3333333333333)]
+        for save, load, name in (
+            (save_trace_csv, load_trace_csv, "t.csv"),
+            (save_trace_jsonl, load_trace_jsonl, "t.jsonl"),
+        ):
+            path = save(Trace.from_queries(q), tmp_path / name)
+            loaded = load(path)
+            assert [r.arrival_time_ms for r in loaded.queries] == [
+                10.000000000000002,
+                333.3333333333333,
+            ]
+
+    def test_legacy_three_column_csv_loads_untagged(self, tmp_path):
+        legacy = [Query(0, 4, 1.5), Query(1, 8, 2.5)]
+        path = save_trace(legacy, tmp_path / "legacy.csv")
+        loaded = load_trace_csv(path)
+        assert [q.model_name for q in loaded.queries] == [None, None]
+        assert [q.batch_size for q in loaded.queries] == [4, 8]
+
+    def test_missing_columns_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("query_id,batch_size\n0,4\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_trace_csv(bad)
+
+    def test_jsonl_missing_field_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"query_id": 0, "batch_size": 4}\n')
+        with pytest.raises(ValueError, match="missing field"):
+            load_trace_jsonl(bad)
+
+
+class TestCommittedFixture:
+    """The committed fixture trace is the contract for the on-disk formats."""
+
+    def test_csv_fixture_loads(self):
+        trace = load_trace_csv(DATA / "fixture_trace.csv")
+        assert len(trace) == 10
+        assert trace.model_names == ("RM2", "WND")
+        # the equal-instant burst at t=250.125 survives with exact timestamps
+        burst = [q for q in trace if q.arrival_time_ms == 250.125]
+        assert [q.query_id for q in burst] == [3, 4, 5]
+
+    def test_jsonl_fixture_matches_csv_fixture(self):
+        csv_trace = load_trace_csv(DATA / "fixture_trace.csv")
+        jsonl_trace = load_trace_jsonl(DATA / "fixture_trace.jsonl")
+        assert list(jsonl_trace.queries) == list(csv_trace.queries)
+        assert jsonl_trace.meta["description"] == "committed test trace"
+
+    def test_load_any_trace_dispatches_on_extension(self):
+        assert list(load_any_trace(DATA / "fixture_trace.csv").queries) == list(
+            load_any_trace(DATA / "fixture_trace.jsonl").queries
+        )
+
+
+class TestTraceReplay:
+    """Ingested traces replay through a serving loop (the workload-zoo path)."""
+
+    def test_fixture_replays_through_multi_model_loop(self):
+        from repro.fuzz.runner import run_scenario
+        from repro.fuzz.spec import ScenarioSpec, StreamSpec
+
+        trace = load_trace_csv(DATA / "fixture_trace.csv")
+        spec = ScenarioSpec(
+            loop="multi_model",
+            streams=(StreamSpec(model_name="RM2"), StreamSpec(model_name="WND")),
+            config_counts=((1, 0, 1, 0), (1, 0, 1, 0)),
+            seed=0,
+        )
+        result = run_scenario(spec, queries=trace.queries)
+        assert not result.violations, "; ".join(str(v) for v in result.violations)
+        assert len(result.completions) == len(trace)

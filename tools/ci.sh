@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: the full unit/property/integration suite plus the `smoke`
-# benchmark subset (the fastest scenario per figure family), so figure-level
-# regressions surface without paying for the full benchmark matrix, and the
-# `bench-smoke` perf stage, which re-measures the hot paths at the quick scale
-# and fails on a >30% machine-normalized regression against the committed
-# BENCH_perf.json.
+# Tier-1 CI gate: the full unit/property/regression/integration suite (with the
+# deterministic `ci` hypothesis profile) plus the `smoke` benchmark subset (the
+# fastest scenario per figure family), so figure-level regressions surface
+# without paying for the full benchmark matrix; the `bench-smoke` perf stage,
+# which re-measures the hot paths at the quick scale and fails on a >30%
+# machine-normalized regression against the committed BENCH_perf.json; and the
+# `fuzz-smoke` stage, a bounded scenario-fuzzer pass over every serving loop
+# plus a full replay of the committed tests/regression/ corpus.
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -12,13 +14,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1: unit / property / integration tests =="
-python -m pytest tests -x -q "$@"
+echo "== tier-1: unit / property / regression / integration tests =="
+python -m pytest tests -x -q --hypothesis-profile=ci "$@"
 
 echo "== smoke benchmarks =="
 python -m pytest benchmarks -m smoke -q "$@"
 
 echo "== bench-smoke: perf regression gate =="
 python tools/bench.py --quick
+
+echo "== fuzz-smoke: bounded invariant fuzzing + regression corpus replay =="
+python tools/fuzz.py --budget 25 --seed 1
+python tools/fuzz.py --corpus
 
 echo "CI gate passed."

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Offline scenario-fuzzing campaigns over every serving loop.
+
+Usage::
+
+    python tools/fuzz.py --budget 200            # default campaign, all loops
+    python tools/fuzz.py --budget 50 --loop spot # one loop only
+    python tools/fuzz.py --seed 7 --derived      # reproducible + derived identities
+    python tools/fuzz.py --replay tests/regression/scenarios/*.json
+    python tools/fuzz.py --corpus                # replay the committed corpus
+
+A campaign draws random :class:`~repro.fuzz.spec.ScenarioSpec` values, runs each
+through its simulator, and checks every per-run invariant
+(:mod:`repro.fuzz.invariants`).  On a violation, hypothesis shrinks the scenario
+and the minimal spec is written under ``--out`` (default
+``fuzz-findings/``) as JSON — replay it with ``--replay``, fix the bug, then
+graduate the file into ``tests/regression/scenarios/`` so CI replays it forever.
+
+Exits non-zero iff any invariant violation was found (or a replay failed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fuzz.campaign import replay_spec_files, run_campaign  # noqa: E402
+from repro.fuzz.spec import LOOPS  # noqa: E402
+
+CORPUS_DIR = REPO_ROOT / "tests" / "regression" / "scenarios"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", type=int, default=200, help="max scenarios to draw (default 200)"
+    )
+    parser.add_argument(
+        "--loop", choices=LOOPS, default=None, help="restrict to one serving loop"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="derandomize the campaign with this seed"
+    )
+    parser.add_argument(
+        "--derived",
+        action="store_true",
+        help="also check derived identities (spot-disabled byte-identity; ~3x slower "
+        "on spot scenarios)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "fuzz-findings",
+        help="directory for shrunk failing specs (default fuzz-findings/)",
+    )
+    parser.add_argument(
+        "--replay",
+        nargs="+",
+        type=Path,
+        default=None,
+        metavar="SPEC.json",
+        help="replay saved scenario specs instead of fuzzing",
+    )
+    parser.add_argument(
+        "--corpus",
+        action="store_true",
+        help="replay the committed regression corpus (tests/regression/scenarios/)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay or args.corpus:
+        paths = list(args.replay or [])
+        if args.corpus:
+            paths.extend(sorted(CORPUS_DIR.glob("*.json")))
+        if not paths:
+            print("no scenario files to replay", file=sys.stderr)
+            return 2
+        failures = replay_spec_files(paths, derived=args.derived)
+        for f in failures:
+            print(f"FAIL {f.saved_to}:")
+            for v in f.violations:
+                print(f"  {v}")
+        print(f"replayed {len(paths)} scenario(s), {len(failures)} failing")
+        return 1 if failures else 0
+
+    report = run_campaign(
+        args.budget,
+        loop=args.loop,
+        seed=args.seed,
+        derived=args.derived,
+        out_dir=args.out,
+    )
+    print(
+        f"fuzz campaign: {report.executions} executions against a budget of "
+        f"{report.budget} in {report.elapsed_s:.1f}s"
+    )
+    for failure in report.failures:
+        print(f"FAIL (shrunk minimal spec saved to {failure.saved_to}):")
+        for v in failure.violations:
+            print(f"  {v}")
+    if report.ok:
+        print("all invariants held")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
