@@ -58,6 +58,11 @@ class UsageInterval:
     instance bills at ``price_per_hour * price_multiplier`` (the discounted rate) and
     is attributed under its market label, so the on-demand/spot split of a mixed
     cluster's bill is exact.
+
+    ``failed`` marks an interval closed by an unannounced instance crash (the fault
+    injector): the interval ends exactly at the failure instant — clouds do not bill
+    past a host failure — and the failed/healthy split of the bill is exact
+    (:meth:`InstanceUsageLedger.cost_by_failure`), mirroring the market partition.
     """
 
     server_id: int
@@ -68,6 +73,7 @@ class UsageInterval:
     tag: Optional[str] = None
     price_multiplier: float = 1.0
     market: str = "on-demand"
+    failed: bool = False
 
     @property
     def effective_price_per_hour(self) -> float:
@@ -144,14 +150,23 @@ class InstanceUsageLedger:
         self._open[server_id] = interval
         return interval
 
-    def stop(self, server_id: int, now_ms: float) -> UsageInterval:
-        """Close the open billing interval of ``server_id`` at ``now_ms``."""
+    def stop(
+        self, server_id: int, now_ms: float, *, failed: bool = False
+    ) -> UsageInterval:
+        """Close the open billing interval of ``server_id`` at ``now_ms``.
+
+        ``failed=True`` closes the interval at an unannounced instance crash: billing
+        ends exactly at the failure instant and the interval is tagged so the failed
+        portion of the bill stays separable (:meth:`cost_by_failure`).
+        """
         interval = self._open.pop(server_id, None)
         if interval is None:
             raise ValueError(f"server {server_id} has no open billing interval")
         if now_ms < interval.start_ms:
             raise ValueError("cannot close a billing interval before it started")
         interval.end_ms = float(now_ms)
+        if failed:
+            interval.failed = True
         return interval
 
     def close_all(self, now_ms: float) -> None:
@@ -213,6 +228,29 @@ class InstanceUsageLedger:
     def cost_by_market(self, horizon_ms: float) -> Dict[str, float]:
         """Per-market $ accrued from time 0 to ``horizon_ms``."""
         return self.cost_in_window_by_market(0.0, horizon_ms)
+
+    def cost_in_window_by_failure(self, t0_ms: float, t1_ms: float) -> Dict[bool, float]:
+        """$ accrued over ``[t0_ms, t1_ms)`` split by crash outcome.
+
+        Keys are ``True`` (intervals closed by an unannounced instance failure) and
+        ``False`` (everything else).  The failed/healthy split partitions the
+        intervals exactly like markets and tags do, so the values always sum to
+        :meth:`cost_in_window` — attribution can neither create nor lose spend.
+        """
+        if t1_ms < t0_ms:
+            raise ValueError("window end precedes window start")
+        parts: Dict[bool, List[float]] = {}
+        for iv in self._intervals:
+            parts.setdefault(iv.failed, []).append(iv.cost_in_window(t0_ms, t1_ms))
+        return {failed: math.fsum(costs) for failed, costs in parts.items()}
+
+    def cost_by_failure(self, horizon_ms: float) -> Dict[bool, float]:
+        """$ accrued from time 0 to ``horizon_ms`` split by crash outcome."""
+        return self.cost_in_window_by_failure(0.0, horizon_ms)
+
+    def cost_of_failures(self, horizon_ms: float) -> float:
+        """$ sunk into instances that died by unannounced crash (0.0 without faults)."""
+        return self.cost_by_failure(horizon_ms).get(True, 0.0)
 
     def hours_by_market(self, horizon_ms: float) -> Dict[str, float]:
         """Per-market commissioned instance-hours from time 0 to ``horizon_ms``."""

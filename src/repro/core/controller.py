@@ -350,6 +350,8 @@ class ElasticKairosController:
         self.decisions: List[ReplanDecision] = []
         #: (time_ms, type_name, count) of every preemption this controller absorbed.
         self.preemptions: List[Tuple[float, str, int]] = []
+        #: (time_ms, type_name, count) of every unannounced crash this controller absorbed.
+        self.failures: List[Tuple[float, str, int]] = []
         self._pending_reprovision = False
 
     # -- planning ----------------------------------------------------------------------
@@ -421,11 +423,33 @@ class ElasticKairosController:
             raise RuntimeError("call initial_plan() before observe_preemption()")
         if count <= 0:
             raise ValueError("preemption count must be positive")
+        self._absorb_capacity_loss(type_name, count)
+        self.preemptions.append((float(now_ms), type_name, int(count)))
+        self._pending_reprovision = True
+
+    def observe_failure(self, type_name: str, now_ms: float, *, count: int = 1) -> None:
+        """Absorb an unannounced instance crash: the chaos twin of :meth:`observe_preemption`.
+
+        Identical semantics — the fault process destroyed capacity the live plan
+        still wanted, so the loss is booked against the controller's view of the
+        current configuration and the next :meth:`maybe_replan` re-plans immediately
+        (cooldown and load-change gates bypassed; the trigger is capacity loss, not a
+        load change).  Crashes are recorded separately in :attr:`failures` so reports
+        can distinguish market reclaims from hardware deaths.
+        """
+        if self._current_config is None:
+            raise RuntimeError("call initial_plan() before observe_failure()")
+        if count <= 0:
+            raise ValueError("failure count must be positive")
+        self._absorb_capacity_loss(type_name, count)
+        self.failures.append((float(now_ms), type_name, int(count)))
+        self._pending_reprovision = True
+
+    def _absorb_capacity_loss(self, type_name: str, count: int) -> None:
+        """Book an uncontrolled capacity loss, never shrinking the view below zero."""
         booked = min(int(count), self._current_config.count_of(type_name))
         if booked > 0:
             self._current_config = self._current_config.add(type_name, -booked)
-        self.preemptions.append((float(now_ms), type_name, int(count)))
-        self._pending_reprovision = True
 
     def maybe_replan(self, now_ms: float) -> Optional[ReplanDecision]:
         """Re-plan when the observed rate departs durably from the provisioned rate.

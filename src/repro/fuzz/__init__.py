@@ -30,6 +30,7 @@ are replayed every CI run by the ``fuzz-smoke`` stage of ``tools/ci.sh``.
 from repro.fuzz.invariants import (
     ALL_INVARIANTS,
     Violation,
+    check_fault_determinism,
     check_hashseed_independence,
     check_qos_monotone_in_budget,
     check_run,
@@ -45,11 +46,15 @@ from repro.fuzz.runner import (
     run_scenario,
 )
 from repro.fuzz.spec import (
+    AdmissionSpec,
     BurstSpec,
+    FaultSpec,
     PhaseSpec,
+    RetrySpec,
     ScaleEventSpec,
     ScenarioSpec,
     SpotSpec,
+    StormSpec,
     StreamSpec,
 )
 
@@ -60,6 +65,7 @@ __all__ = [
     "check_qos_monotone_in_budget",
     "check_spot_disabled_identity",
     "check_hashseed_independence",
+    "check_fault_determinism",
     "RecordingPolicy",
     "ScenarioResult",
     "SchedulingRound",
@@ -73,4 +79,8 @@ __all__ = [
     "ScaleEventSpec",
     "SpotSpec",
     "BurstSpec",
+    "FaultSpec",
+    "StormSpec",
+    "RetrySpec",
+    "AdmissionSpec",
 ]

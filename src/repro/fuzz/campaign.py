@@ -19,8 +19,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from hypothesis import HealthCheck, given, seed as hypothesis_seed, settings
 
-from repro.fuzz.invariants import Violation, check_spot_disabled_identity
-from repro.fuzz.runner import build_queries, run_scenario
+from repro.fuzz.invariants import (
+    Violation,
+    check_fault_determinism,
+    check_spot_disabled_identity,
+)
+from repro.fuzz.runner import run_scenario
 from repro.fuzz.spec import ScenarioSpec
 from repro.fuzz.strategies import scenario_specs
 
@@ -51,18 +55,17 @@ class CampaignReport:
 def _check_spec(spec: ScenarioSpec, *, derived: bool) -> List[Violation]:
     """All applicable invariant violations for one spec; crashes become findings.
 
-    A spec whose arrival windows produce zero queries is vacuous (the simulators
-    document raising on empty streams), so it is skipped rather than counted as a
-    crash.  Any other exception *is* a finding — the harness must survive every
+    Every spec the space admits must run clean — including ones whose arrival
+    windows produce zero queries (the simulators treat an empty stream as a valid
+    no-op).  Any exception *is* a finding — the harness must survive every
     scenario the spec space admits.
     """
     try:
-        queries = build_queries(spec)
-        if not queries:
-            return []
-        violations = list(run_scenario(spec, queries=queries).violations)
+        violations = list(run_scenario(spec).violations)
         if derived and spec.loop == "spot":
             violations.extend(check_spot_disabled_identity(spec))
+        if derived and (spec.faults or spec.retry or spec.admission):
+            violations.extend(check_fault_determinism(spec))
     except Exception as exc:  # noqa: BLE001 - crashes are findings, not aborts
         return [Violation("crash", f"{type(exc).__name__}: {exc}")]
     return violations
@@ -74,6 +77,7 @@ def run_campaign(
     loop: Optional[str] = None,
     seed: Optional[int] = None,
     derived: bool = False,
+    chaos: bool = False,
     out_dir: Optional[Path] = None,
 ) -> CampaignReport:
     """Fuzz up to ``budget`` scenarios; shrink and serialize any invariant violation.
@@ -93,7 +97,7 @@ def run_campaign(
         suppress_health_check=list(HealthCheck),
         print_blob=False,
     )
-    @given(spec=scenario_specs(loop))
+    @given(spec=scenario_specs(loop, chaos=chaos))
     def campaign(spec: ScenarioSpec) -> None:
         executions[0] += 1
         violations = _check_spec(spec, derived=derived)

@@ -78,6 +78,21 @@ ALL_INVARIANTS: Dict[str, Tuple[str, str]] = {
         "per-tag, per-market, and per-type cost partitions each sum to the total; "
         "discount savings equal full price minus charged price",
     ),
+    "outcome_conservation": (
+        "run",
+        "every arrival ends exactly one of served / shed / dead-lettered / "
+        "unserved, and the four counts balance the offered total",
+    ),
+    "failure_billing": (
+        "run",
+        "crashed instances are never billed past the failure instant; the "
+        "failed/healthy cost partition sums exactly to the total bill",
+    ),
+    "retry_bounded": (
+        "run",
+        "no query is attempted more often than the retry budget allows; dead "
+        "letters exhaust the budget exactly",
+    ),
     "qos_monotone_in_budget": (
         "derived",
         "the planner's selected QoS-satisfying throughput bound is nondecreasing "
@@ -91,6 +106,11 @@ ALL_INVARIANTS: Dict[str, Tuple[str, str]] = {
     "hashseed_independence": (
         "derived",
         "run digests are identical across PYTHONHASHSEED values (subprocess check)",
+    ),
+    "fault_determinism": (
+        "derived",
+        "chaos runs are byte-identical per seed on re-execution; zero-hazard "
+        "fault injection leaves the run untouched",
     ),
 }
 
@@ -127,13 +147,18 @@ def check_query_conservation(result) -> List[Violation]:
     unassigned = sorted(qid for qid in completed if assigned[qid] < completed[qid])
     if unassigned:
         out.append(Violation(name, f"queries completed more often than assigned: {unassigned[:10]}"))
-    if result.spec.loop != "spot":
+    spec = result.spec
+    may_reassign = (
+        spec.loop == "spot" or spec.faults is not None or spec.retry is not None
+    )
+    if not may_reassign:
         reassigned = sorted(qid for qid, n in assigned.items() if n > 1)
         if reassigned:
             out.append(
                 Violation(
                     name,
-                    f"queries dispatched more than once without preemption: {reassigned[:10]}",
+                    f"queries dispatched more than once without preemption or retry: "
+                    f"{reassigned[:10]}",
                 )
             )
 
@@ -346,12 +371,179 @@ def check_ledger_partition_exactness(result) -> List[Violation]:
     return out
 
 
+def check_outcome_conservation(result) -> List[Violation]:
+    """Every arrival ends exactly one way; the terminal counts balance the total."""
+    out: List[Violation] = []
+    name = "outcome_conservation"
+    report = result.report
+    total = report.total_queries
+    served_ids = Counter(rec.query.query_id for rec in result.completions)
+    shed = getattr(report, "shed_queries", [])
+    dead = getattr(report, "dead_letters", [])
+    unserved = getattr(report, "unserved_queries", 0)
+
+    served = len(result.completions)
+    balance = served + len(shed) + len(dead) + unserved
+    if balance != total and not getattr(report, "early_stopped", False):
+        out.append(
+            Violation(
+                name,
+                f"served {served} + shed {len(shed)} + dead {len(dead)} + "
+                f"unserved {unserved} = {balance}, but {total} queries were offered",
+            )
+        )
+
+    shed_ids = Counter(e.query.query_id for e in shed)
+    dead_ids = Counter(e.query.query_id for e in dead)
+    for label, ids in (("shed", shed_ids), ("dead-lettered", dead_ids)):
+        doubles = sorted(qid for qid, n in ids.items() if n > 1)
+        if doubles:
+            out.append(Violation(name, f"queries {label} more than once: {doubles[:10]}"))
+    for a, b, la, lb in (
+        (served_ids, shed_ids, "served", "shed"),
+        (served_ids, dead_ids, "served", "dead-lettered"),
+        (shed_ids, dead_ids, "shed", "dead-lettered"),
+    ):
+        both = sorted(set(a) & set(b))
+        if both:
+            out.append(Violation(name, f"queries both {la} and {lb}: {both[:10]}"))
+    return out
+
+
+def check_failure_billing(result) -> List[Violation]:
+    """Crashes stop the meter at the failure instant; the failure partition is exact."""
+    ledger = result.ledger
+    if ledger is None:
+        return []
+    out: List[Violation] = []
+    name = "failure_billing"
+    report = result.report
+    horizon = float(getattr(report, "billing_horizon_ms", 0.0))
+    scale_log = getattr(report, "scale_log", ()) or ()
+    failure_times = sorted(e.time_ms for e in scale_log if e.kind == "instance_failed")
+
+    failed_intervals = [iv for iv in ledger.intervals if getattr(iv, "failed", False)]
+    if failed_intervals and not failure_times:
+        out.append(
+            Violation(name, "failed billing intervals exist but no failures were logged")
+        )
+    for iv in failed_intervals:
+        if iv.end_ms is None:
+            out.append(
+                Violation(
+                    name,
+                    f"server {iv.server_id} crashed but its billing interval is "
+                    "still open (billed to the horizon)",
+                )
+            )
+            continue
+        if not any(abs(iv.end_ms - t) <= _EXACT for t in failure_times):
+            out.append(
+                Violation(
+                    name,
+                    f"server {iv.server_id} billing ends at {iv.end_ms!r}, which is "
+                    f"not any logged failure instant {failure_times[:10]}",
+                )
+            )
+
+    n_failures = sum(e.count for e in scale_log if e.kind == "instance_failed")
+    if len(failed_intervals) != n_failures:
+        out.append(
+            Violation(
+                name,
+                f"{n_failures} instance failures logged but {len(failed_intervals)} "
+                "billing intervals are marked failed",
+            )
+        )
+
+    by_failure = ledger.cost_by_failure(horizon)
+    total = ledger.total_cost(horizon)
+    part_sum = math.fsum(by_failure.values())
+    if not math.isclose(part_sum, total, rel_tol=_EXACT, abs_tol=_EXACT):
+        out.append(
+            Violation(
+                name,
+                f"cost_by_failure sums to {part_sum!r} but the ledger total is {total!r}",
+            )
+        )
+    if not math.isclose(
+        ledger.cost_of_failures(horizon),
+        by_failure.get(True, 0.0),
+        rel_tol=_EXACT,
+        abs_tol=_EXACT,
+    ):
+        out.append(Violation(name, "cost_of_failures disagrees with the partition"))
+    return out
+
+
+def check_retry_bounded(result) -> List[Violation]:
+    """Attempt counts never exceed the retry budget; dead letters exhaust it."""
+    out: List[Violation] = []
+    name = "retry_bounded"
+    spec = result.spec
+    max_attempts = spec.retry.max_attempts if spec.retry is not None else 1
+    report = result.report
+    dead = getattr(report, "dead_letters", [])
+
+    # In the spot loop, announced preemptions re-queue outside the retry budget, so
+    # assignment counts are only budget-bounded on the unannounced-failure loops.
+    if spec.loop != "spot":
+        assigned = Counter(qid for r in result.rounds for qid in r.assigned_ids)
+        over = sorted(qid for qid, n in assigned.items() if n > max_attempts)
+        if over:
+            out.append(
+                Violation(
+                    name,
+                    f"queries dispatched more than max_attempts={max_attempts} "
+                    f"times: {over[:10]}",
+                )
+            )
+
+    for entry in dead:
+        if entry.attempts > max_attempts:
+            out.append(
+                Violation(
+                    name,
+                    f"query {entry.query.query_id} dead-lettered after "
+                    f"{entry.attempts} attempts (budget {max_attempts})",
+                )
+            )
+    if spec.retry is not None:
+        under = [e.query.query_id for e in dead if e.attempts < max_attempts]
+        if under:
+            out.append(
+                Violation(
+                    name,
+                    f"queries dead-lettered before exhausting the budget: {under[:10]}",
+                )
+            )
+    elif dead:
+        # No retry policy: a voided attempt dead-letters immediately (1 attempt).
+        weird = [e.query.query_id for e in dead if e.attempts != 1]
+        if weird:
+            out.append(
+                Violation(
+                    name,
+                    f"dead letters without a retry policy should record exactly one "
+                    f"attempt: {weird[:10]}",
+                )
+            )
+
+    retries = getattr(report, "retries", 0)
+    if retries and spec.retry is None:
+        out.append(Violation(name, f"{retries} retries recorded without a retry policy"))
+    return out
+
+
 _RUN_CHECKS = (
     check_query_conservation,
     check_completion_causality,
     check_round_separation,
     check_budget_conservation,
     check_ledger_partition_exactness,
+    check_outcome_conservation,
+    check_failure_billing,
+    check_retry_bounded,
 )
 
 
@@ -436,6 +628,37 @@ def check_spot_disabled_identity(spec: ScenarioSpec) -> List[Violation]:
                 Violation(
                     "spot_disabled_identity",
                     "a zero-hazard spot market changed the service stream "
+                    f"(spec {spec.label or spec.seed})",
+                )
+            )
+    return out
+
+
+def check_fault_determinism(spec: ScenarioSpec) -> List[Violation]:
+    """Chaos must be reproducible: same seed, same run — and zero hazard, no effect."""
+    from repro.fuzz.runner import digest_spec
+
+    out: List[Violation] = []
+    if digest_spec(spec) != digest_spec(spec):
+        out.append(
+            Violation(
+                "fault_determinism",
+                f"two runs of the same chaos spec diverge (spec {spec.label or spec.seed})",
+            )
+        )
+    if spec.loop != "static" and spec.faults is None:
+        from repro.fuzz.spec import FaultSpec
+
+        # A zero-hazard injector draws nothing and scripts nothing: attaching it must
+        # leave the run byte-identical to no injector at all.
+        calm = replace(
+            spec, faults=FaultSpec(failures_per_hour=0.0, slowdowns_per_hour=0.0)
+        )
+        if digest_spec(calm) != digest_spec(spec):
+            out.append(
+                Violation(
+                    "fault_determinism",
+                    "a zero-hazard fault injector changed the run "
                     f"(spec {spec.label or spec.seed})",
                 )
             )

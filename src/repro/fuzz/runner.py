@@ -31,7 +31,8 @@ from repro.fuzz.spec import ScenarioSpec, StreamSpec
 from repro.schedulers.kairos_policy import KairosPolicy, MultiModelKairosPolicy
 from repro.sim.cluster import Cluster, MultiModelCluster
 from repro.sim.elasticity import ElasticServingSimulation
-from repro.sim.events import Event, EventKind, PreemptionBurst, ScaleRequest
+from repro.sim.events import CrashStorm, Event, EventKind, PreemptionBurst, ScaleRequest
+from repro.sim.faults import AdmissionController, FaultInjector, RetryPolicy
 from repro.sim.multi_model import MultiModelServingSimulation
 from repro.sim.preemption import PreemptibleElasticSimulation, initial_spot_server_ids
 from repro.sim.simulation import ServingSimulation, gaussian_service_noise
@@ -209,7 +210,58 @@ def _scripted_events(spec: ScenarioSpec) -> List[Event]:
             )
             for b in spec.spot.bursts
         )
+    if spec.faults is not None:
+        events.extend(
+            Event(
+                s.time_ms,
+                EventKind.INSTANCE_FAILED,
+                CrashStorm(s.count, type_name=s.type_name),
+            )
+            for s in spec.faults.storms
+        )
     return sorted(events, key=lambda e: e.time_ms)
+
+
+def _chaos_kwargs(spec: ScenarioSpec) -> Dict:
+    """The fault/retry/admission knobs shared by the elastic-family simulators."""
+    kwargs: Dict = {}
+    if spec.faults is not None:
+        f = spec.faults
+        kwargs["faults"] = FaultInjector.uniform(
+            DEFAULT_INSTANCE_CATALOG,
+            failures_per_hour=f.failures_per_hour,
+            slowdowns_per_hour=f.slowdowns_per_hour,
+            slowdown_factor=f.slowdown_factor,
+            slowdown_duration_ms=f.slowdown_duration_ms,
+            auto_replace=f.auto_replace,
+        )
+        kwargs["fault_rng"] = np.random.default_rng([spec.seed, 505])
+    kwargs.update(_degradation_kwargs(spec))
+    return kwargs
+
+
+def _degradation_kwargs(spec: ScenarioSpec) -> Dict:
+    """Retry/admission knobs (legal on every loop, including static)."""
+    kwargs: Dict = {}
+    if spec.retry is not None:
+        r = spec.retry
+        kwargs["retry"] = RetryPolicy(
+            max_attempts=r.max_attempts,
+            backoff_base_ms=r.backoff_base_ms,
+            backoff_factor=r.backoff_factor,
+            response_timeout_ms=r.response_timeout_ms,
+        )
+    if spec.admission is not None:
+        a = spec.admission
+        kwargs["admission"] = AdmissionController(
+            target_latency_ms=a.target_latency_ms,
+            initial_concurrency=a.initial_concurrency,
+            min_concurrency=a.min_concurrency,
+            max_concurrency=a.max_concurrency,
+            shed_backlog_factor=a.shed_backlog_factor,
+            smoothing=a.smoothing,
+        )
+    return kwargs
 
 
 def _controller(spec: ScenarioSpec, model, registry) -> Optional[ElasticKairosController]:
@@ -264,6 +316,7 @@ def run_scenario(
             noise=_noise(spec),
             rng=_service_rng(spec),
             warmup_queries=spec.warmup_queries,
+            **_degradation_kwargs(spec),
         )
         report = sim.run(run_queries)
     elif spec.loop in ("elastic", "spot"):
@@ -280,6 +333,7 @@ def run_scenario(
             rng=_service_rng(spec),
             warmup_queries=spec.warmup_queries,
             scripted_events=_scripted_events(spec),
+            **_chaos_kwargs(spec),
         )
         if spec.loop == "elastic":
             sim = ElasticServingSimulation(cluster, policy, **common)
@@ -322,6 +376,8 @@ def run_scenario(
             noise=_noise(spec),
             rng=_service_rng(spec),
             warmup_queries=spec.warmup_queries,
+            scripted_events=_scripted_events(spec),
+            **_chaos_kwargs(spec),
         )
         report = sim.run(run_queries)
 
@@ -378,12 +434,27 @@ def result_digest(result: ScenarioResult, *, include_billing: bool = True) -> st
             repr(rec.completion_ms),
             repr(rec.service_ms),
         )
+    # Chaos outcomes: emitted only when present, so digests of fault-free runs are
+    # byte-identical to what they hashed to before the chaos subsystem existed.
+    for entry in getattr(report, "shed_queries", ()):
+        line("shed", entry.query.query_id, repr(entry.time_ms), entry.reason)
+    for entry in getattr(report, "dead_letters", ()):
+        line(
+            "dead",
+            entry.query.query_id,
+            repr(entry.time_ms),
+            entry.reason,
+            entry.attempts,
+        )
+    retries = getattr(report, "retries", 0)
+    if retries:
+        line("retries", retries)
     if include_billing:
         ledger = result.ledger
         if ledger is not None:
             line("horizon", repr(getattr(report, "billing_horizon_ms", 0.0)))
             for iv in ledger.intervals:
-                line(
+                parts = [
                     "bill",
                     iv.server_id,
                     iv.type_name,
@@ -392,7 +463,10 @@ def result_digest(result: ScenarioResult, *, include_billing: bool = True) -> st
                     iv.tag or "",
                     iv.market,
                     repr(iv.price_multiplier),
-                )
+                ]
+                if getattr(iv, "failed", False):
+                    parts.append("failed")
+                line(*parts)
         for entry in getattr(report, "scale_log", ()):
             line(
                 "scale",

@@ -186,6 +186,94 @@ class SpotSpec:
 
 
 @dataclass(frozen=True)
+class StormSpec:
+    """A scripted correlated crash storm (unannounced; any elastic loop)."""
+
+    time_ms: float
+    count: int = 1
+    type_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ValueError("storm time must be non-negative")
+        if self.count < 1:
+            raise ValueError("storm count must be >= 1")
+        if self.type_name is not None and self.type_name not in DEFAULT_INSTANCE_CATALOG:
+            raise ValueError(f"unknown instance type {self.type_name!r}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The unplanned-failure dimension: crash hazards, slowdowns, scripted storms.
+
+    Unlike :class:`SpotSpec` preemptions, these failures arrive with *no* warning
+    window: in-flight work on the victim is voided.  ``auto_replace`` re-provisions
+    a like-for-like replacement when no controller is attached.
+    """
+
+    failures_per_hour: float = 0.0
+    slowdowns_per_hour: float = 0.0
+    slowdown_factor: float = 2.0
+    slowdown_duration_ms: float = 30_000.0
+    storms: Tuple[StormSpec, ...] = ()
+    auto_replace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.failures_per_hour < 0:
+            raise ValueError("failures_per_hour must be non-negative")
+        if self.slowdowns_per_hour < 0:
+            raise ValueError("slowdowns_per_hour must be non-negative")
+        if self.slowdown_factor < 1.0:
+            raise ValueError("slowdown_factor must be >= 1")
+        if self.slowdown_duration_ms <= 0:
+            raise ValueError("slowdown_duration_ms must be positive")
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """The retry/timeout dimension: per-attempt deadlines and bounded backoff."""
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 50.0
+    backoff_factor: float = 2.0
+    response_timeout_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.response_timeout_ms is not None and self.response_timeout_ms <= 0:
+            raise ValueError("response_timeout_ms must be positive")
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """The graceful-degradation dimension: adaptive concurrency + overload shedding."""
+
+    target_latency_ms: float = 400.0
+    initial_concurrency: int = 8
+    min_concurrency: int = 1
+    max_concurrency: int = 256
+    shed_backlog_factor: float = 4.0
+    smoothing: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.target_latency_ms <= 0:
+            raise ValueError("target_latency_ms must be positive")
+        if not 1 <= self.min_concurrency <= self.initial_concurrency <= self.max_concurrency:
+            raise ValueError(
+                "need 1 <= min_concurrency <= initial_concurrency <= max_concurrency"
+            )
+        if self.shed_backlog_factor < 1.0:
+            raise ValueError("shed_backlog_factor must be >= 1")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete fuzzable serving scenario (see module docstring).
 
@@ -214,6 +302,10 @@ class ScenarioSpec:
     scale_events / spot:
         Scripted provisioning actions (elastic / spot) and the spot-market dimension
         (spot loop only).
+    faults / retry / admission:
+        The chaos dimensions: unannounced failure injection (any elastic loop),
+        bounded retry with response timeouts (any loop), and admission-controlled
+        load shedding (any loop).
     """
 
     loop: str = "static"
@@ -230,6 +322,9 @@ class ScenarioSpec:
     sharded: bool = False
     scale_events: Tuple[ScaleEventSpec, ...] = ()
     spot: Optional[SpotSpec] = None
+    faults: Optional[FaultSpec] = None
+    retry: Optional[RetrySpec] = None
+    admission: Optional[AdmissionSpec] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -269,6 +364,11 @@ class ScenarioSpec:
             raise ValueError("scripted scale events require the elastic or spot loop")
         if self.use_controller and self.loop not in ("elastic", "spot"):
             raise ValueError("the controller attaches to the elastic or spot loop")
+        if self.faults is not None and self.loop == "static":
+            raise ValueError(
+                "fault injection needs an elastic loop (crashed capacity must be "
+                "re-provisionable); use loop='elastic', 'spot', or 'multi_model'"
+            )
         if self.spot is not None:
             for spot_c, conf_c in zip(self.spot.spot_counts, self.config_counts[0]):
                 if spot_c > conf_c:
@@ -299,6 +399,10 @@ class ScenarioSpec:
         return replace(self, loop="elastic", spot=None, scale_events=tuple(
             e for e in self.scale_events if e.market == "on-demand"
         ))
+
+    def without_chaos(self) -> "ScenarioSpec":
+        """The chaos-disabled twin: same workload with all three dimensions off."""
+        return replace(self, faults=None, retry=None, admission=None)
 
     # -- JSON round trip -----------------------------------------------------------------
     def to_dict(self) -> Dict:
@@ -331,6 +435,17 @@ class ScenarioSpec:
                 spot_counts=tuple(spot["spot_counts"]),
                 bursts=tuple(BurstSpec(**b) for b in spot.get("bursts", ())),
             )
+        faults = data.get("faults")
+        if faults is not None:
+            faults = dict(faults)
+            faults["storms"] = tuple(StormSpec(**s) for s in faults.get("storms", ()))
+            data["faults"] = FaultSpec(**faults)
+        retry = data.get("retry")
+        if retry is not None:
+            data["retry"] = RetrySpec(**retry)
+        admission = data.get("admission")
+        if admission is not None:
+            data["admission"] = AdmissionSpec(**admission)
         return cls(**data)
 
     def to_json(self) -> str:

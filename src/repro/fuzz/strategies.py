@@ -20,11 +20,15 @@ from hypothesis import strategies as st
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
 from repro.fuzz.spec import (
     CATALOG_SIZE,
+    AdmissionSpec,
     BurstSpec,
+    FaultSpec,
     PhaseSpec,
+    RetrySpec,
     ScaleEventSpec,
     ScenarioSpec,
     SpotSpec,
+    StormSpec,
     StreamSpec,
 )
 
@@ -98,21 +102,105 @@ def scale_event_specs(draw, duration_ms: float) -> ScaleEventSpec:
 
 
 @st.composite
-def static_scenarios(draw) -> ScenarioSpec:
+def fault_specs(draw, duration_ms: float) -> FaultSpec:
+    """Crash/slowdown hazards scaled so faults actually fire inside short scenarios."""
+    n_storms = draw(st.integers(min_value=0, max_value=2))
+    storms = tuple(
+        StormSpec(
+            time_ms=draw(
+                st.floats(min_value=0.0, max_value=duration_ms, allow_nan=False)
+            ),
+            count=draw(st.integers(min_value=1, max_value=3)),
+        )
+        for _ in range(n_storms)
+    )
+    return FaultSpec(
+        failures_per_hour=draw(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=60.0, max_value=3600.0, allow_nan=False),
+            )
+        ),
+        slowdowns_per_hour=draw(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=60.0, max_value=3600.0, allow_nan=False),
+            )
+        ),
+        slowdown_factor=draw(st.floats(min_value=1.0, max_value=4.0, allow_nan=False)),
+        slowdown_duration_ms=draw(
+            st.floats(min_value=50.0, max_value=1_000.0, allow_nan=False)
+        ),
+        storms=storms,
+        auto_replace=draw(st.booleans()),
+    )
+
+
+@st.composite
+def retry_specs(draw, duration_ms: float) -> RetrySpec:
+    return RetrySpec(
+        max_attempts=draw(st.integers(min_value=1, max_value=4)),
+        backoff_base_ms=draw(st.floats(min_value=1.0, max_value=200.0, allow_nan=False)),
+        backoff_factor=draw(st.floats(min_value=1.0, max_value=3.0, allow_nan=False)),
+        # Deadlines tight enough to trip on slow instances but not on every dispatch.
+        response_timeout_ms=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=200.0, max_value=2_000.0, allow_nan=False),
+            )
+        ),
+    )
+
+
+@st.composite
+def admission_specs(draw) -> AdmissionSpec:
+    initial = draw(st.integers(min_value=2, max_value=64))
+    return AdmissionSpec(
+        target_latency_ms=draw(
+            st.floats(min_value=100.0, max_value=1_000.0, allow_nan=False)
+        ),
+        initial_concurrency=initial,
+        min_concurrency=draw(st.integers(min_value=1, max_value=min(4, initial))),
+        max_concurrency=draw(st.integers(min_value=initial, max_value=256)),
+        shed_backlog_factor=draw(
+            st.floats(min_value=1.5, max_value=8.0, allow_nan=False)
+        ),
+        smoothing=draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def _chaos_fields(draw, duration_ms: float, with_faults: bool) -> dict:
+    """The chaos dimensions as kwargs; each independently present or absent."""
+    fields: dict = {}
+    if with_faults and draw(st.booleans()):
+        fields["faults"] = draw(fault_specs(duration_ms))
+    if draw(st.booleans()):
+        fields["retry"] = draw(retry_specs(duration_ms))
+    if draw(st.booleans()):
+        fields["admission"] = draw(admission_specs())
+    return fields
+
+
+@st.composite
+def static_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
+    stream = draw(stream_specs())
     return ScenarioSpec(
         loop="static",
-        streams=(draw(stream_specs()),),
+        streams=(stream,),
         config_counts=(draw(config_vectors()),),
         seed=draw(_seeds()),
         noise_std=draw(_noise()),
         online_learning=draw(st.booleans()),
         warmup_queries=draw(st.integers(min_value=0, max_value=3)),
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
+        # static clusters cannot re-provision: retry/admission only, never faults
+        **(draw(_chaos_fields(stream.duration_ms, with_faults=False)) if chaos else {}),
     )
 
 
 @st.composite
-def elastic_scenarios(draw, with_events: bool = True) -> ScenarioSpec:
+def elastic_scenarios(draw, with_events: bool = True, chaos: bool = False) -> ScenarioSpec:
     stream = draw(stream_specs())
     n_events = draw(st.integers(min_value=0, max_value=2)) if with_events else 0
     events = tuple(
@@ -131,6 +219,7 @@ def elastic_scenarios(draw, with_events: bool = True) -> ScenarioSpec:
         warmup_queries=draw(st.integers(min_value=0, max_value=3)),
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
         scale_events=events,
+        **(draw(_chaos_fields(stream.duration_ms, with_faults=True)) if chaos else {}),
     )
 
 
@@ -166,7 +255,7 @@ def spot_specs(draw, config: Tuple[int, ...], duration_ms: float) -> SpotSpec:
 
 
 @st.composite
-def spot_scenarios(draw) -> ScenarioSpec:
+def spot_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
     stream = draw(stream_specs())
     config = draw(config_vectors())
     return ScenarioSpec(
@@ -182,11 +271,12 @@ def spot_scenarios(draw) -> ScenarioSpec:
         warmup_queries=draw(st.integers(min_value=0, max_value=2)),
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
         spot=draw(spot_specs(config, stream.duration_ms)),
+        **(draw(_chaos_fields(stream.duration_ms, with_faults=True)) if chaos else {}),
     )
 
 
 @st.composite
-def multi_model_scenarios(draw) -> ScenarioSpec:
+def multi_model_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
     n_models = draw(st.integers(min_value=1, max_value=2))
     names = draw(
         st.permutations(FUZZ_MODELS).map(lambda p: tuple(p[:n_models]))
@@ -194,6 +284,7 @@ def multi_model_scenarios(draw) -> ScenarioSpec:
     streams = tuple(
         draw(stream_specs(model_names=(name,), max_queries=40)) for name in names
     )
+    duration = max(s.duration_ms for s in streams)
     return ScenarioSpec(
         loop="multi_model",
         streams=streams,
@@ -205,16 +296,24 @@ def multi_model_scenarios(draw) -> ScenarioSpec:
         warmup_queries=draw(st.integers(min_value=0, max_value=2)),
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
         sharded=draw(st.booleans()),
+        **(draw(_chaos_fields(duration, with_faults=True)) if chaos else {}),
     )
 
 
-def scenario_specs(loop: Optional[str] = None) -> st.SearchStrategy[ScenarioSpec]:
-    """Scenarios across all loops, or restricted to one loop."""
+def scenario_specs(
+    loop: Optional[str] = None, *, chaos: bool = False
+) -> st.SearchStrategy[ScenarioSpec]:
+    """Scenarios across all loops, or restricted to one loop.
+
+    ``chaos=True`` additionally draws the fault/retry/admission dimensions (each
+    independently present or absent), so a chaos campaign still covers the
+    fault-free corner.
+    """
     by_loop = {
-        "static": static_scenarios(),
-        "elastic": elastic_scenarios(),
-        "multi_model": multi_model_scenarios(),
-        "spot": spot_scenarios(),
+        "static": static_scenarios(chaos=chaos),
+        "elastic": elastic_scenarios(chaos=chaos),
+        "multi_model": multi_model_scenarios(chaos=chaos),
+        "spot": spot_scenarios(chaos=chaos),
     }
     if loop is not None:
         return by_loop[loop]

@@ -748,6 +748,11 @@ class MultiModelKairosPolicy(SchedulingPolicy):
         penalty and are never committed.
         """
         model_name = resolve_query_models((query,), self._qos_by_model)[0]
+        if model_name not in self._model_masks:
+            # every instance of this model is gone (crashed or drained): nothing can
+            # serve the query this round — defer until replacement capacity arrives
+            # (the multi-query path reaches the same outcome via its cross-model guard)
+            return []
         qos = self._qos_by_model[model_name]
         penalty = self._penalty_factor * qos
         plan, usage, weights, tmp, feasible, same_model = self._single_plan(

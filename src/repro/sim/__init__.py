@@ -16,6 +16,15 @@ from repro.sim.elasticity import (
 )
 from repro.sim.engine import EventQueue, SimulationClock
 from repro.sim.events import Event, EventKind, PreemptionBurst, ScaleRequest
+from repro.sim.faults import (
+    AdmissionController,
+    CrashStorm,
+    DeadLetterEntry,
+    FaultInjector,
+    FaultProfile,
+    RetryPolicy,
+    ShedEntry,
+)
 from repro.sim.metrics import QueryRecord, ServingMetrics
 from repro.sim.preemption import (
     PreemptibleElasticSimulation,
@@ -49,4 +58,11 @@ __all__ = [
     "simulate_preemptible_serving",
     "AllowableThroughputResult",
     "measure_allowable_throughput",
+    "FaultInjector",
+    "FaultProfile",
+    "CrashStorm",
+    "RetryPolicy",
+    "AdmissionController",
+    "DeadLetterEntry",
+    "ShedEntry",
 ]

@@ -27,13 +27,21 @@ changes, so existing policies work unmodified.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.cloud.billing import InstanceUsageLedger
 from repro.core.controller import ElasticKairosController, ReplanDecision
 from repro.sim.cluster import Cluster, ClusterView
 from repro.sim.engine import EventQueue, SimulationClock
-from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.events import CrashStorm, Event, EventKind, ScaleRequest
+from repro.sim.faults import (
+    AdmissionController,
+    DeadLetterEntry,
+    FaultInjector,
+    RetryPolicy,
+    ShedEntry,
+    select_shed_victims,
+)
 from repro.sim.metrics import QueryRecord, ServingMetrics
 from repro.sim.pending import PendingQueue
 from repro.sim.server import ServerInstance, ServiceNoiseModel
@@ -140,10 +148,23 @@ class ElasticSimulationReport:
     replans: List[ReplanDecision] = field(default_factory=list)
     scale_log: List[ScaleLogEntry] = field(default_factory=list)
     peak_instances: int = 0
+    #: Queries dropped by admission control under overload (graceful degradation).
+    shed_queries: List[ShedEntry] = field(default_factory=list)
+    #: Queries that exhausted their retry budget — accounted, never silently lost.
+    dead_letters: List[DeadLetterEntry] = field(default_factory=list)
+    #: Re-admissions pushed by the retry layer (crash- or timeout-failed attempts).
+    retries: int = 0
+    #: Queries still pending when the run ended (the policy declined the remainder).
+    unserved_queries: int = 0
 
     @property
     def completed_all(self) -> bool:
         return self.dispatched_queries == self.total_queries
+
+    @property
+    def instance_failures(self) -> int:
+        """Unannounced instance crashes that fired during the run."""
+        return sum(e.count for e in self.scale_log if e.kind == "instance_failed")
 
     def total_cost(self) -> float:
         """Dollar spend over the whole run (ledger integral to the run's end)."""
@@ -179,8 +200,27 @@ class ElasticServingSimulation:
         schedulable (billing covers the delay).
     scripted_events:
         Optional pre-scheduled provisioning events (``SCALE_UP`` / ``SCALE_DOWN`` with a
-        :class:`~repro.sim.events.ScaleRequest` payload), e.g. for tests or scenarios
-        with known maintenance windows.
+        :class:`~repro.sim.events.ScaleRequest` payload, or ``INSTANCE_FAILED`` with a
+        :class:`~repro.sim.events.CrashStorm` when fault injection is enabled), e.g.
+        for tests or scenarios with known maintenance windows.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultInjector` arming *unannounced* crash
+        and transient-slowdown timers on every commissioned instance.  ``None`` (or a
+        zero-hazard injector) leaves the run byte-identical to a fault-free one.
+    fault_rng:
+        Dedicated generator for fault-delay draws, separate from the service noise
+        stream so arming injection never perturbs service times.
+    retry:
+        Optional :class:`~repro.sim.faults.RetryPolicy`: failed attempts (crash-voided
+        or response-timed-out dispatches) re-enter the pending queue after exponential
+        backoff until the retry budget is spent, then dead-letter.  Without one, a
+        crash-voided query dead-letters immediately (the naive no-retry loop).
+        Spot preemption keeps its own announced-loss re-queue path (immediate,
+        unbounded) — the retry budget governs *unannounced* failures only.
+    admission:
+        Optional :class:`~repro.sim.faults.AdmissionController` throttling each
+        scheduling round's admitted concurrency from observed latency and shedding
+        the lowest-value backlog overflow under overload.
     """
 
     def __init__(
@@ -196,6 +236,10 @@ class ElasticServingSimulation:
         rng: RngLike = None,
         warmup_queries: int = 0,
         scripted_events: Sequence[Event] = (),
+        faults: Optional[FaultInjector] = None,
+        fault_rng: RngLike = None,
+        retry: Optional[RetryPolicy] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         check_non_negative(startup_delay_ms, "startup_delay_ms")
         if warmup_queries < 0:
@@ -209,6 +253,35 @@ class ElasticServingSimulation:
         self.noise = noise
         self.rng = ensure_rng(rng)
         self.warmup_queries = int(warmup_queries)
+        self.faults = faults
+        self._fault_rng = ensure_rng(fault_rng)
+        self.retry = retry
+        self.admission = admission
+        # -- shared chaos/preemption machinery (subclasses reuse all of it) ------------
+        #: per-server records dispatched but not yet completed (the voiding source)
+        self._inflight: Dict[int, List[QueryRecord]] = {}
+        #: object ids of records whose server crashed/was killed (completions are void)
+        self._killed: Set[int] = set()
+        #: object ids of records abandoned at their response deadline
+        self._timed_out: Set[int] = set()
+        #: query ids re-injected as arrivals (skip controller rate observation)
+        self._requeued_ids: Set[int] = set()
+        #: failed attempts per query id (drives the bounded retry budget)
+        self._attempt_failures: Dict[int, int] = {}
+        #: queries not yet terminally settled; gates replacement provisioning/timers
+        self._outstanding = 0
+        #: dispatches voided by a kill/crash/timeout (re-dispatches must not
+        #: double-count in the report)
+        self._voided_dispatches = 0
+        #: re-plans forced by capacity loss (merged into the report's list)
+        self._forced_replans: List = []
+        self._retries = 0
+        self.dead_letters: List[DeadLetterEntry] = []
+        self.shed_queries: List[ShedEntry] = []
+        #: whether dispatches must be tracked for voiding (crash or timeout possible)
+        self._track_inflight = faults is not None or (
+            retry is not None and retry.response_timeout_ms is not None
+        )
         self.scripted_events = tuple(scripted_events)
         for event in self.scripted_events:
             self._validate_scripted(event)
@@ -216,6 +289,14 @@ class ElasticServingSimulation:
 
     def _validate_scripted(self, event: Event) -> None:
         """Reject unsupported scripted events (subclasses widen the accepted kinds)."""
+        if event.kind == EventKind.INSTANCE_FAILED:
+            if not isinstance(event.payload, CrashStorm):
+                raise ValueError(
+                    "scripted instance failures must carry a CrashStorm payload"
+                )
+            if self.faults is None:
+                raise ValueError("scripted crash storms require a FaultInjector")
+            return
         if event.kind not in (EventKind.SCALE_UP, EventKind.SCALE_DOWN):
             raise ValueError("scripted events must be SCALE_UP or SCALE_DOWN")
         if not isinstance(event.payload, ScaleRequest):
@@ -232,10 +313,11 @@ class ElasticServingSimulation:
                 "(and controller) for another run"
             )
         self._ran = True
-        if not queries:
-            raise ValueError("cannot simulate an empty query stream")
+        # An empty stream is a valid no-op: zero offered load serves zero queries
+        # with empty metrics (scripted provisioning events still apply).
         ordered = sorted(queries, key=lambda q: (q.arrival_time_ms, q.query_id))
         n = len(ordered)
+        self._outstanding = n
         self.cluster.reset()
         metrics = ServingMetrics(self.qos_ms, self.qos_percentile)
         scale_log: List[ScaleLogEntry] = []
@@ -248,6 +330,7 @@ class ElasticServingSimulation:
         events.push_all(self.scripted_events)
         ledger = InstanceUsageLedger(self.cluster.config.catalog)
         self._open_initial_billing(ledger, events)
+        self._arm_initial_faults(events)
 
         pending = PendingQueue()
         warmup_ids = {q.query_id for q in ordered[: self.warmup_queries]}
@@ -310,15 +393,24 @@ class ElasticServingSimulation:
                     self.policy.bind(view, self.qos_ms)
                 peak = max(peak, len(self.cluster))
 
-            # scheduling round over the accepting servers
+            # scheduling round over the accepting servers (behind the admission valve)
             if pending and len(view):
-                assignments = self.policy.schedule(now, pending, view)
-                rounds += 1
-                if assignments:
-                    dispatched += self._commit(assignments, pending, view, now, events)
+                admitted = self._admit(pending, now, events)
+                if admitted:
+                    assignments = self.policy.schedule(now, admitted, view)
+                    rounds += 1
+                    if assignments:
+                        dispatched += self._commit(
+                            assignments, pending, view, now, events
+                        )
 
             # Nothing left to fire and the policy declines the remainder: end the run.
-            if not events and pending:
+            # Recurring fault/reclaim timers are not "something to fire" for this
+            # purpose: once every queued event is a hazard timer, no completion,
+            # arrival, boot, or scale action is in flight, so nothing the timers do
+            # to an idle fleet can serve a backlog the policy already declined — the
+            # run has quiesced exactly like the chaos-free case.
+            if pending and (not events or events.only_kinds(self._idle_timer_kinds())):
                 break
 
         duration = metrics.makespan_ms() if len(metrics) else clock.now_ms
@@ -326,19 +418,28 @@ class ElasticServingSimulation:
         # last completion; that is the absolute billing horizon.
         horizon = clock.now_ms
         ledger.close_all(horizon)
+        # A voided dispatch never completed; its query re-dispatched (or settled
+        # terminally) later, so only the dispatch that stood counts — completed_all
+        # keeps its exact meaning.
+        if self._forced_replans:
+            replans = sorted(replans + self._forced_replans, key=lambda d: d.time_ms)
         return ElasticSimulationReport(
             metrics=metrics,
             cluster=self.cluster,
             ledger=ledger,
             policy_name=getattr(self.policy, "name", type(self.policy).__name__),
             scheduling_rounds=rounds,
-            dispatched_queries=dispatched,
+            dispatched_queries=dispatched - self._voided_dispatches,
             total_queries=n,
             simulated_duration_ms=duration,
             billing_horizon_ms=horizon,
             replans=replans,
             scale_log=scale_log,
             peak_instances=peak,
+            shed_queries=self.shed_queries,
+            dead_letters=self.dead_letters,
+            retries=self._retries,
+            unserved_queries=len(pending),
         )
 
     # -- subclass hooks -----------------------------------------------------------------
@@ -365,9 +466,266 @@ class ElasticServingSimulation:
         self, server_id: int, type_name: str, now: float, events: EventQueue
     ) -> None:
         """Called once a provisioned instance joins the schedulable set."""
+        self._arm_fault_timers(server_id, type_name, now, events)
 
     def _after_dispatch(self, record: QueryRecord) -> None:
         """Called for every committed dispatch, before its completion is scheduled."""
+        if self._track_inflight:
+            self._inflight.setdefault(record.server_id, []).append(record)
+
+    def _market_label(self, server_id: int) -> str:
+        """Purchase market of a crashed instance's like-for-like replacement."""
+        return "on-demand"
+
+    # -- fault injection -----------------------------------------------------------------
+    def _arm_initial_faults(self, events: EventQueue) -> None:
+        """Arm crash/slowdown timers for the initial fleet (no-op without injection)."""
+        if self.faults is None or self._outstanding <= 0:
+            return
+        for server in self.cluster:
+            self._arm_fault_timers(server.server_id, server.type_name, 0.0, events)
+
+    def _arm_fault_timers(
+        self, server_id: int, type_name: str, now: float, events: EventQueue
+    ) -> None:
+        """Draw this instance's crash and first-slowdown delays (zero-hazard: no draw).
+
+        Gated on outstanding work so a replacement that becomes ready after the trace
+        is fully served cannot re-arm timers and drag the billing horizon past the
+        work (the same contract as the spot reclaim timers).
+        """
+        if self.faults is None or self._outstanding <= 0:
+            return
+        delay = self.faults.draw_failure_delay_ms(type_name, self._fault_rng)
+        if delay is not None:
+            events.push(
+                Event(now + delay, EventKind.INSTANCE_FAILED, (server_id, type_name))
+            )
+        delay = self.faults.draw_slowdown_delay_ms(type_name, self._fault_rng)
+        if delay is not None:
+            events.push(
+                Event(now + delay, EventKind.SLOWDOWN_BEGIN, (server_id, type_name))
+            )
+
+    def _idle_timer_kinds(self) -> Set[EventKind]:
+        """Event kinds that must not outlive the workload (subclasses widen)."""
+        kinds: Set[EventKind] = set()
+        if self.faults is not None:
+            kinds |= {
+                EventKind.INSTANCE_FAILED,
+                EventKind.SLOWDOWN_BEGIN,
+                EventKind.SLOWDOWN_END,
+            }
+        if self.retry is not None and self.retry.response_timeout_ms is not None:
+            kinds.add(EventKind.RESPONSE_TIMEOUT)
+        return kinds
+
+    def _settle_outstanding(self, events: EventQueue) -> None:
+        """One query reached a terminal outcome; at zero, drop lingering timers.
+
+        Pending fault/timeout (and, in subclasses, reclaim) timers must not keep the
+        run — and therefore every instance's billing — alive once the trace is fully
+        settled, exactly like a chaos-free run ending with its last completion.
+        """
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            kinds = self._idle_timer_kinds()
+            if kinds:
+                events.discard(lambda e: e.kind in kinds)
+
+    def _fail_attempt(
+        self,
+        query: Query,
+        now: float,
+        reason: str,
+        events: EventQueue,
+    ) -> None:
+        """One dispatch attempt failed (crash-voided or timed out): retry or dead-letter.
+
+        With retry budget left the query re-enters the pending queue after exponential
+        backoff (re-injected as an arrival event, like the preemption re-queue, so the
+        normal scheduling round redistributes it); exhausted queries go to the
+        dead-letter account — every arrival ends in exactly one terminal outcome.
+        """
+        qid = query.query_id
+        failures = self._attempt_failures.get(qid, 0) + 1
+        self._attempt_failures[qid] = failures
+        if self.retry is not None and failures < self.retry.max_attempts:
+            self._requeued_ids.add(qid)
+            self._retries += 1
+            events.push(
+                Event(
+                    now + self.retry.backoff_ms(failures), EventKind.QUERY_ARRIVAL, query
+                )
+            )
+        else:
+            self.dead_letters.append(DeadLetterEntry(query, now, reason, failures))
+            self._settle_outstanding(events)
+
+    # -- admission control ---------------------------------------------------------------
+    def _admit(self, pending: PendingQueue, now: float, events: EventQueue):
+        """The admission valve before a scheduling round (identity without a controller).
+
+        Sheds the lowest-value backlog overflow terminally (recorded, settled), then
+        caps the round at the adaptive concurrency limit by handing the policy a
+        prefix of the queue instead of the whole backlog.
+        """
+        if self.admission is None:
+            return pending
+        overflow = self.admission.to_shed(len(pending))
+        if overflow > 0:
+            for query in select_shed_victims(pending.snapshot(), overflow):
+                pending.remove(query.query_id)
+                self.shed_queries.append(ShedEntry(query, now))
+                self._settle_outstanding(events)
+            self.admission.record_shed(overflow)
+        limit = self.admission.concurrency_limit
+        if len(pending) > limit:
+            return list(pending.snapshot()[:limit])
+        return pending
+
+    # -- crash / slowdown / timeout handling ---------------------------------------------
+    def _handle_instance_failure(
+        self,
+        payload,
+        now: float,
+        events: EventQueue,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+    ) -> bool:
+        """Apply one ``INSTANCE_FAILED`` event; returns True when membership changed."""
+        if isinstance(payload, CrashStorm):
+            changed = False
+            for server in self._storm_victims(payload):
+                changed = (
+                    self._crash_server(server, now, events, ledger, scale_log, payload.reason)
+                    or changed
+                )
+            return changed
+        server_id, _type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return False  # already decommissioned, killed, or cancelled
+        return self._crash_server(server, now, events, ledger, scale_log, "hazard")
+
+    def _storm_victims(self, storm: CrashStorm) -> List[ServerInstance]:
+        """A scripted storm's victims: first ``count`` live servers in cluster order.
+
+        A storm is indiscriminate (rack power loss takes whatever was racked there),
+        so no cost-aware ordering applies — cluster iteration order is the
+        deterministic stand-in for physical placement.
+        """
+        victims = [
+            s
+            for s in self.cluster
+            if storm.type_name is None or s.type_name == storm.type_name
+        ]
+        return victims[: storm.count]
+
+    def _crash_server(
+        self,
+        server: ServerInstance,
+        now: float,
+        events: EventQueue,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+        reason: str,
+    ) -> bool:
+        """An unannounced crash: no warning window, no draining, in-flight work voided.
+
+        Billing closes exactly at the failure instant with the interval tagged failed
+        (clouds do not charge past a host death).  Replacement mirrors the preemption
+        path — the controller absorbs the loss via ``observe_failure`` and force-replans,
+        or the injector's ``auto_replace`` issues a like-for-like ``SCALE_UP`` — gated
+        on outstanding work so the replacement chain cannot outlive the trace.
+        """
+        server_id = server.server_id
+        self.cluster.remove_server(server_id)
+        ledger.stop(server_id, now, failed=True)
+        scale_log.append(
+            ScaleLogEntry(now, "instance_failed", server.type_name, 1, reason)
+        )
+        if self._outstanding > 0:
+            observe = getattr(self.controller, "observe_failure", None)
+            if observe is not None:
+                observe(server.type_name, now)
+                decision = self.controller.maybe_replan(now)
+                if decision is not None:
+                    self._forced_replans.append(decision)
+                    self._emit_scale_events(decision, now, events)
+            elif self.faults is not None and self.faults.auto_replace:
+                events.push(
+                    Event(
+                        now,
+                        EventKind.SCALE_UP,
+                        ScaleRequest(
+                            server.type_name,
+                            1,
+                            reason="replace_failed",
+                            market=self._market_label(server_id),
+                        ),
+                    )
+                )
+        voided = self._inflight.pop(server_id, [])
+        for record in voided:
+            # void the scheduled completion; the attempt failed with no warning, so
+            # it goes through the retry/dead-letter account (unlike the announced
+            # preemption path, which re-queues unconditionally)
+            self._killed.add(id(record))
+            self._voided_dispatches += 1
+            self._fail_attempt(record.query, now, "crash", events)
+        if voided:
+            scale_log.append(
+                ScaleLogEntry(now, "void_inflight", server.type_name, len(voided), reason)
+            )
+        return True
+
+    def _handle_slowdown_begin(
+        self, payload, now: float, events: EventQueue
+    ) -> None:
+        server_id, type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return  # crashed/decommissioned before the slowdown started
+        profile = self.faults[type_name]
+        until = now + profile.slowdown_duration_ms
+        server.begin_slowdown(profile.slowdown_factor, until)
+        events.push(Event(until, EventKind.SLOWDOWN_END, (server_id, type_name)))
+
+    def _handle_slowdown_end(
+        self, payload, now: float, events: EventQueue
+    ) -> None:
+        server_id, type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return  # died mid-slowdown: nothing to restore, nothing to re-arm
+        server.end_slowdown()
+        if self._outstanding > 0:
+            delay = self.faults.draw_slowdown_delay_ms(type_name, self._fault_rng)
+            if delay is not None:
+                events.push(
+                    Event(now + delay, EventKind.SLOWDOWN_BEGIN, (server_id, type_name))
+                )
+
+    def _handle_response_timeout(self, record: QueryRecord, now: float, events: EventQueue) -> None:
+        """The response deadline elapsed before the completion: abandon the attempt.
+
+        The server still finishes the work (its local queue drains at the original
+        completion time — the client has gone away, the GPU has not), but the
+        dispatch is voided and the query retries elsewhere or dead-letters.
+        """
+        inflight = self._inflight.get(record.server_id)
+        if inflight is None or record not in inflight:
+            return  # completed, crash-voided, or preempted before the deadline
+        inflight.remove(record)
+        if not inflight:
+            del self._inflight[record.server_id]
+        self._timed_out.add(id(record))
+        self._voided_dispatches += 1
+        self._fail_attempt(record.query, now, "timeout", events)
 
     # -- event handling -----------------------------------------------------------------
     def _handle(
@@ -383,11 +741,29 @@ class ElasticServingSimulation:
         """Apply one event; returns ``(membership_changed, was_arrival)``."""
         if event.kind == EventKind.SERVICE_COMPLETION:
             record: QueryRecord = event.payload
+            if id(record) in self._killed:
+                # the server died mid-service; the attempt was voided and this
+                # completion never happened
+                self._killed.discard(id(record))
+                return False, False
+            timed_out = id(record) in self._timed_out
+            if timed_out:
+                self._timed_out.discard(id(record))
+            else:
+                inflight = self._inflight.get(record.server_id)
+                if inflight is not None:
+                    inflight.remove(record)
+                    if not inflight:
+                        del self._inflight[record.server_id]
+                self._settle_outstanding(events)
             server = self.cluster.server_by_id(record.server_id)
             server.complete_one()
-            if record.query.query_id not in warmup_ids:
-                metrics.record(record)
-            self.policy.observe_completion(record)
+            if not timed_out:
+                if record.query.query_id not in warmup_ids:
+                    metrics.record(record)
+                    if self.admission is not None:
+                        self.admission.observe_latency(record.latency_ms)
+                self.policy.observe_completion(record)
             if server.drained:
                 self.cluster.remove_server(server.server_id)
                 ledger.stop(server.server_id, now)
@@ -398,9 +774,34 @@ class ElasticServingSimulation:
             return False, False
 
         if event.kind == EventKind.QUERY_ARRIVAL:
+            query: Query = event.payload
+            if query.query_id in self._requeued_ids:
+                # a re-queue (preemption or retry backoff), not fresh offered load:
+                # it joins the pending queue but must not inflate the controller's
+                # arrival-rate estimate
+                self._requeued_ids.discard(query.query_id)
+                return False, True
             if self.controller is not None:
-                self.controller.observe_arrival(event.payload, now)
+                self.controller.observe_arrival(query, now)
             return False, True
+
+        if event.kind == EventKind.INSTANCE_FAILED:
+            return (
+                self._handle_instance_failure(event.payload, now, events, ledger, scale_log),
+                False,
+            )
+
+        if event.kind == EventKind.SLOWDOWN_BEGIN:
+            self._handle_slowdown_begin(event.payload, now, events)
+            return False, False
+
+        if event.kind == EventKind.SLOWDOWN_END:
+            self._handle_slowdown_end(event.payload, now, events)
+            return False, False
+
+        if event.kind == EventKind.RESPONSE_TIMEOUT:
+            self._handle_response_timeout(event.payload, now, events)
+            return False, False
 
         if event.kind == EventKind.SCALE_UP:
             request: ScaleRequest = event.payload
@@ -535,6 +936,11 @@ class ElasticServingSimulation:
             )
             self._after_dispatch(record)
             events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
+            timeout = self.retry.response_timeout_ms if self.retry is not None else None
+            if timeout is not None and completion - now > timeout:
+                # the deadline will elapse strictly before the completion: arm the
+                # abandon timer (never armed when the attempt will make it in time)
+                events.push(Event(now + timeout, EventKind.RESPONSE_TIMEOUT, record))
             count += 1
         return count
 

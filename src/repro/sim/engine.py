@@ -111,6 +111,15 @@ class EventQueue:
             batch.append(pop(heap)[1])
         return batch
 
+    def only_kinds(self, kinds) -> bool:
+        """True when the queue is non-empty and every queued event's kind is in ``kinds``.
+
+        An empty ``kinds`` set always answers False: the question only makes sense
+        for a real set of timer kinds, and a fault-free caller passing the empty set
+        must get the same answer as before timers existed.
+        """
+        return bool(self._heap) and all(entry[1].kind in kinds for entry in self._heap)
+
     def discard(self, predicate) -> int:
         """Remove every queued event matching ``predicate``; returns how many.
 

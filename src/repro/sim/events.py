@@ -38,6 +38,19 @@ class EventKind(enum.IntEnum):
     #: cannot reorder the state mutations of a spot-free run (seed stability).
     PREEMPTION_WARNING = 6
     PREEMPTED = 7
+    #: Fault-injection kinds (chaos subsystem).  All sort after every pre-existing
+    #: kind at equal timestamps so enabling fault injection cannot reorder the state
+    #: mutations of a fault-free run (seed stability).  ``INSTANCE_FAILED`` is an
+    #: *unannounced* crash — no warning window, in-flight work voided; its payload is
+    #: either a ``(server_id, type_name)`` pair (hazard-drawn) or a :class:`CrashStorm`
+    #: (scripted correlated outage).  ``SLOWDOWN_BEGIN`` / ``SLOWDOWN_END`` bound a
+    #: transient degradation of one server's effective latency profile.
+    #: ``RESPONSE_TIMEOUT`` fires when a dispatched query's response deadline elapses
+    #: before its completion; the payload is the in-flight dispatch record.
+    INSTANCE_FAILED = 8
+    SLOWDOWN_BEGIN = 9
+    SLOWDOWN_END = 10
+    RESPONSE_TIMEOUT = 11
 
 
 @dataclass(frozen=True)
@@ -91,6 +104,25 @@ class PreemptionBurst:
     def __post_init__(self) -> None:
         if self.count <= 0:
             raise ValueError(f"preemption burst count must be positive, got {self.count}")
+
+
+@dataclass(frozen=True)
+class CrashStorm:
+    """Payload of a scripted ``INSTANCE_FAILED``: crash several instances at once.
+
+    The unannounced analogue of :class:`PreemptionBurst` — models a correlated
+    infrastructure outage (rack power loss, AZ failure).  ``count`` active instances
+    crash simultaneously with no warning window and their in-flight work voided,
+    restricted to ``type_name`` when given, across all types otherwise.
+    """
+
+    count: int
+    type_name: Optional[str] = None
+    reason: str = "storm"
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"crash storm count must be positive, got {self.count}")
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,383 @@
+"""Fault injection and graceful degradation: crashes, slowdowns, retries, admission.
+
+The spot subsystem (PR 4) models *announced* capacity loss — a warning precedes every
+kill and the loop drains through it.  Production fleets also lose capacity without
+warning (hardware faults, kernel panics, AZ outages) and degrade without dying
+(thermal throttling, noisy neighbours).  This module supplies the chaos side of the
+simulator:
+
+* :class:`FaultInjector` — a seeded per-instance-type fault process drawing
+  **unannounced crash** delays (Poisson hazard, mirroring
+  :meth:`~repro.cloud.spot.SpotMarket.draw_preemption_delay_ms` including its
+  zero-hazard no-draw seed-stability contract) and **transient slowdown** windows
+  that multiply a server's effective service latency for a bounded interval.
+* :class:`RetryPolicy` — the client-side survival story: per-query response
+  deadlines, re-queue through the central pending queue with a bounded retry budget
+  and exponential backoff, and a **dead-letter** account for exhausted queries so no
+  arrival is ever silently lost.
+* :class:`AdmissionController` — an AutoThrottle-style backpressure layer: the
+  admitted per-round concurrency tracks observed service latency against a target,
+  and when the backlog exceeds what the current limit can plausibly clear, the
+  lowest-value (smallest-batch) queries are shed instead of blowing QoS for everyone.
+
+All draws come from a dedicated fault RNG stream, so enabling injection never
+perturbs workload/service/market streams, and a zero-hazard injector is
+byte-identical to no injector at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cloud.billing import MS_PER_HOUR
+from repro.cloud.instances import InstanceCatalog
+from repro.sim.events import CrashStorm
+from repro.utils.validation import check_non_negative, check_positive
+from repro.workload.query import Query
+
+__all__ = [
+    "FaultProfile",
+    "FaultInjector",
+    "CrashStorm",
+    "RetryPolicy",
+    "DeadLetterEntry",
+    "ShedEntry",
+    "AdmissionController",
+]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """The unannounced-fault process of one instance type.
+
+    Attributes
+    ----------
+    type_name:
+        Catalog instance type this profile applies to.
+    failures_per_hour:
+        Poisson crash hazard per commissioned instance (0 = never crashes; the
+        zero-hazard profile is the byte-identity case of fault injection).
+    slowdowns_per_hour:
+        Poisson hazard of entering a transient slowdown window.
+    slowdown_factor:
+        Service-latency multiplier while slowed (>= 1).
+    slowdown_duration_ms:
+        Length of each slowdown window.
+    """
+
+    type_name: str
+    failures_per_hour: float = 0.0
+    slowdowns_per_hour: float = 0.0
+    slowdown_factor: float = 2.0
+    slowdown_duration_ms: float = 30_000.0
+
+    def __post_init__(self) -> None:
+        if not self.type_name:
+            raise ValueError("type_name must be non-empty")
+        check_non_negative(self.failures_per_hour, "failures_per_hour")
+        check_non_negative(self.slowdowns_per_hour, "slowdowns_per_hour")
+        if self.slowdown_factor < 1.0:
+            raise ValueError(
+                f"slowdown_factor must be >= 1, got {self.slowdown_factor}"
+            )
+        check_positive(self.slowdown_duration_ms, "slowdown_duration_ms")
+
+
+class FaultInjector:
+    """Per-type unannounced fault processes for a heterogeneous pool.
+
+    Parameters
+    ----------
+    profiles:
+        Per-type :class:`FaultProfile` entries (mapping or sequence).  Types without
+        an entry never fault.
+    auto_replace:
+        When True and no controller is attached to the serving loop, every crashed
+        instance is re-provisioned like-for-like (the operator's dumb-replacement
+        baseline); a controller instead absorbs the loss through
+        ``observe_failure`` and re-plans.
+    """
+
+    def __init__(
+        self,
+        profiles: Union[Mapping[str, FaultProfile], Sequence[FaultProfile]],
+        *,
+        auto_replace: bool = True,
+    ):
+        if isinstance(profiles, Mapping):
+            entries = list(profiles.values())
+            for name, profile in profiles.items():
+                if name != profile.type_name:
+                    raise ValueError(
+                        f"profile keyed {name!r} describes type {profile.type_name!r}"
+                    )
+        else:
+            entries = list(profiles)
+        names = [p.type_name for p in entries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate fault profiles: {names}")
+        self._profiles: Dict[str, FaultProfile] = {p.type_name: p for p in entries}
+        self.auto_replace = bool(auto_replace)
+
+    @classmethod
+    def uniform(
+        cls,
+        catalog: InstanceCatalog,
+        *,
+        failures_per_hour: float = 0.0,
+        slowdowns_per_hour: float = 0.0,
+        slowdown_factor: float = 2.0,
+        slowdown_duration_ms: float = 30_000.0,
+        auto_replace: bool = True,
+    ) -> "FaultInjector":
+        """One identical profile per catalog type (the common evaluation setup)."""
+        return cls(
+            [
+                FaultProfile(
+                    type_name=t.name,
+                    failures_per_hour=failures_per_hour,
+                    slowdowns_per_hour=slowdowns_per_hour,
+                    slowdown_factor=slowdown_factor,
+                    slowdown_duration_ms=slowdown_duration_ms,
+                )
+                for t in catalog.types
+            ],
+            auto_replace=auto_replace,
+        )
+
+    # -- container protocol --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[FaultProfile]:
+        return iter(self._profiles.values())
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._profiles
+
+    def __getitem__(self, type_name: str) -> FaultProfile:
+        try:
+            return self._profiles[type_name]
+        except KeyError:
+            raise KeyError(
+                f"no fault profile for {type_name!r}; profiled: {list(self._profiles)}"
+            ) from None
+
+    @property
+    def type_names(self) -> List[str]:
+        return list(self._profiles)
+
+    # -- simulator surface ---------------------------------------------------------------
+    def draw_failure_delay_ms(
+        self, type_name: str, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Sample the time until this instance's unannounced crash, or ``None``.
+
+        ``None`` means the type's crash hazard is zero (or the type has no profile)
+        — no crash is ever scheduled and, crucially, *no random draw is consumed*,
+        so a zero-hazard injector leaves every random stream byte-identical to a
+        fault-free run.
+        """
+        profile = self._profiles.get(type_name)
+        if profile is None or profile.failures_per_hour <= 0.0:
+            return None
+        return float(rng.exponential(MS_PER_HOUR / profile.failures_per_hour))
+
+    def draw_slowdown_delay_ms(
+        self, type_name: str, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Sample the time until this instance's next slowdown window, or ``None``.
+
+        Same zero-hazard no-draw contract as :meth:`draw_failure_delay_ms`.
+        """
+        profile = self._profiles.get(type_name)
+        if profile is None or profile.slowdowns_per_hour <= 0.0:
+            return None
+        return float(rng.exponential(MS_PER_HOUR / profile.slowdowns_per_hour))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff plus an optional response deadline.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total dispatch attempts per query (1 = no retry: first failure dead-letters).
+    backoff_base_ms:
+        Re-admission delay after the first failed attempt.
+    backoff_factor:
+        Multiplier applied per additional failed attempt (exponential backoff).
+    response_timeout_ms:
+        When set, a dispatched query whose completion would land more than this many
+        ms after dispatch is abandoned at the deadline and retried elsewhere.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 50.0
+    backoff_factor: float = 2.0
+    response_timeout_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        check_non_negative(self.backoff_base_ms, "backoff_base_ms")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.response_timeout_ms is not None:
+            check_positive(self.response_timeout_ms, "response_timeout_ms")
+
+    def backoff_ms(self, failed_attempts: int) -> float:
+        """Re-admission delay after the ``failed_attempts``-th failure (1-based)."""
+        if failed_attempts < 1:
+            raise ValueError(
+                f"failed_attempts must be >= 1, got {failed_attempts}"
+            )
+        return self.backoff_base_ms * self.backoff_factor ** (failed_attempts - 1)
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """One query that exhausted its retry budget — accounted, never silently lost."""
+
+    query: Query
+    time_ms: float
+    reason: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class ShedEntry:
+    """One query shed by admission control under overload."""
+
+    query: Query
+    time_ms: float
+    reason: str = "overload"
+
+
+@dataclass
+class AdmissionController:
+    """AutoThrottle-style admission control: latency-tracking concurrency + shedding.
+
+    Modeled on scrapy's AutoThrottle: the admitted per-round concurrency is adjusted
+    from *observed* service latency — when queries complete faster than
+    ``target_latency_ms`` the window opens, when they complete slower it closes —
+    smoothed by an EWMA so one outlier round cannot whipsaw the limit.  On top of
+    the rate signal sits a shedding valve: when the backlog exceeds
+    ``shed_backlog_factor`` times the current limit, the overflow is dropped
+    lowest-value-first (smallest batch size) so the queries that *are* admitted
+    still meet QoS instead of everyone missing it together.
+
+    Attributes
+    ----------
+    target_latency_ms:
+        Desired observed completion latency (typically the QoS target).
+    initial_concurrency:
+        Admitted per-round dispatch limit before any observation.
+    min_concurrency / max_concurrency:
+        Clamp bounds on the adaptive limit.
+    shed_backlog_factor:
+        Backlog tolerated before shedding, as a multiple of the current limit.
+    smoothing:
+        EWMA weight of each new latency observation in ``(0, 1]``.
+    """
+
+    target_latency_ms: float
+    initial_concurrency: int = 8
+    min_concurrency: int = 1
+    max_concurrency: int = 256
+    shed_backlog_factor: float = 4.0
+    smoothing: float = 0.3
+
+    _limit: float = field(init=False, repr=False)
+    _latency_ewma_ms: Optional[float] = field(init=False, default=None, repr=False)
+    shed_count: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        check_positive(self.target_latency_ms, "target_latency_ms")
+        if self.min_concurrency < 1:
+            raise ValueError(
+                f"min_concurrency must be >= 1, got {self.min_concurrency}"
+            )
+        if not (
+            self.min_concurrency <= self.initial_concurrency <= self.max_concurrency
+        ):
+            raise ValueError(
+                "need min_concurrency <= initial_concurrency <= max_concurrency, got "
+                f"{self.min_concurrency} / {self.initial_concurrency} / "
+                f"{self.max_concurrency}"
+            )
+        if self.shed_backlog_factor < 1.0:
+            raise ValueError(
+                f"shed_backlog_factor must be >= 1, got {self.shed_backlog_factor}"
+            )
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError(f"smoothing must lie in (0, 1], got {self.smoothing}")
+        self._limit = float(self.initial_concurrency)
+
+    # -- observation ---------------------------------------------------------------------
+    def observe_latency(self, latency_ms: float) -> None:
+        """Feed one completed query's client-observed latency into the EWMA."""
+        if self._latency_ewma_ms is None:
+            self._latency_ewma_ms = float(latency_ms)
+        else:
+            self._latency_ewma_ms += self.smoothing * (
+                float(latency_ms) - self._latency_ewma_ms
+            )
+        # AutoThrottle's core rule: scale the window toward the throughput that would
+        # put observed latency on target (latency above target shrinks, below grows).
+        ratio = self.target_latency_ms / max(self._latency_ewma_ms, 1e-9)
+        proposed = self._limit * ratio
+        self._limit += self.smoothing * (proposed - self._limit)
+        self._limit = min(
+            float(self.max_concurrency), max(float(self.min_concurrency), self._limit)
+        )
+
+    @property
+    def latency_ewma_ms(self) -> Optional[float]:
+        return self._latency_ewma_ms
+
+    # -- round surface -------------------------------------------------------------------
+    @property
+    def concurrency_limit(self) -> int:
+        """Admitted dispatches per scheduling round (the adaptive window)."""
+        return max(self.min_concurrency, int(self._limit))
+
+    def backlog_capacity(self) -> int:
+        """Backlog tolerated before shedding starts."""
+        return int(self.shed_backlog_factor * self.concurrency_limit)
+
+    def to_shed(self, backlog: int) -> int:
+        """How many queries to shed from a backlog of ``backlog`` (0 when tolerable)."""
+        return max(0, int(backlog) - self.backlog_capacity())
+
+    def record_shed(self, count: int) -> None:
+        self.shed_count += int(count)
+
+    def reset(self) -> None:
+        """Clear adaptive state (used when reusing a controller across runs)."""
+        self._limit = float(self.initial_concurrency)
+        self._latency_ewma_ms = None
+        self.shed_count = 0
+
+
+def select_shed_victims(pending: Sequence[Query], count: int) -> List[Query]:
+    """The ``count`` lowest-value queries of a backlog: smallest batch first.
+
+    Batch size is the per-query value proxy (a batch of 8 serves 8 users); ties
+    break by queue order (oldest kept — it has waited longest and is nearest its
+    deadline already being sunk cost either way, so we keep determinism simple:
+    later arrivals shed first within a batch-size class).
+    """
+    if count <= 0:
+        return []
+    order = sorted(
+        range(len(pending)),
+        key=lambda i: (pending[i].batch_size, -i),
+    )
+    return [pending[i] for i in order[:count]]

@@ -32,13 +32,21 @@ shared single-model behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.billing import InstanceUsageLedger
 from repro.sim.cluster import MultiModelCluster, MultiModelClusterView
 from repro.sim.elasticity import ScaleLogEntry, drain_cost_efficiency
 from repro.sim.engine import EventQueue, SimulationClock
-from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.events import CrashStorm, Event, EventKind, ScaleRequest
+from repro.sim.faults import (
+    AdmissionController,
+    DeadLetterEntry,
+    FaultInjector,
+    RetryPolicy,
+    ShedEntry,
+    select_shed_victims,
+)
 from repro.sim.metrics import MultiModelServingMetrics, QueryRecord
 from repro.sim.pending import PendingQueue
 from repro.sim.server import ServiceNoiseModel
@@ -63,10 +71,23 @@ class MultiModelSimulationReport:
     replans: List = field(default_factory=list)
     scale_log: List[ScaleLogEntry] = field(default_factory=list)
     peak_instances: int = 0
+    #: Queries dropped by admission control under overload (graceful degradation).
+    shed_queries: List[ShedEntry] = field(default_factory=list)
+    #: Queries that exhausted their retry budget — accounted, never silently lost.
+    dead_letters: List[DeadLetterEntry] = field(default_factory=list)
+    #: Re-admissions pushed by the retry layer (crash- or timeout-failed attempts).
+    retries: int = 0
+    #: Queries still pending when the run ended (the policy declined the remainder).
+    unserved_queries: int = 0
 
     @property
     def completed_all(self) -> bool:
         return self.dispatched_queries == self.total_queries
+
+    @property
+    def instance_failures(self) -> int:
+        """Unannounced instance crashes that fired during the run."""
+        return sum(e.count for e in self.scale_log if e.kind == "instance_failed")
 
     def total_cost(self) -> float:
         """Dollar spend over the whole run (all models combined)."""
@@ -120,6 +141,10 @@ class MultiModelServingSimulation:
         rng: RngLike = None,
         warmup_queries: int = 0,
         scripted_events: Sequence[Event] = (),
+        faults: Optional[FaultInjector] = None,
+        fault_rng: RngLike = None,
+        retry: Optional[RetryPolicy] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         check_non_negative(startup_delay_ms, "startup_delay_ms")
         if warmup_queries < 0:
@@ -132,8 +157,34 @@ class MultiModelServingSimulation:
         self.noise = noise
         self.rng = ensure_rng(rng)
         self.warmup_queries = int(warmup_queries)
+        self.faults = faults
+        self._fault_rng = ensure_rng(fault_rng)
+        self.retry = retry
+        self.admission = admission
+        # chaos machinery, mirroring repro.sim.elasticity statement for statement
+        self._inflight: Dict[int, List[QueryRecord]] = {}
+        self._killed: Set[int] = set()
+        self._timed_out: Set[int] = set()
+        self._requeued_ids: Set[int] = set()
+        self._attempt_failures: Dict[int, int] = {}
+        self._outstanding = 0
+        self._voided_dispatches = 0
+        self._retries = 0
+        self.dead_letters: List[DeadLetterEntry] = []
+        self.shed_queries: List[ShedEntry] = []
+        self._track_inflight = faults is not None or (
+            retry is not None and retry.response_timeout_ms is not None
+        )
         self.scripted_events = tuple(scripted_events)
         for event in self.scripted_events:
+            if event.kind == EventKind.INSTANCE_FAILED:
+                if not isinstance(event.payload, CrashStorm):
+                    raise ValueError(
+                        "scripted instance failures must carry a CrashStorm payload"
+                    )
+                if self.faults is None:
+                    raise ValueError("scripted crash storms require a FaultInjector")
+                continue
             if event.kind not in (EventKind.SCALE_UP, EventKind.SCALE_DOWN):
                 raise ValueError("scripted events must be SCALE_UP or SCALE_DOWN")
             if not isinstance(event.payload, ScaleRequest):
@@ -164,8 +215,8 @@ class MultiModelServingSimulation:
                 "another run"
             )
         self._ran = True
-        if not queries:
-            raise ValueError("cannot simulate an empty query stream")
+        # An empty stream is a valid no-op: zero offered load serves zero queries
+        # with empty metrics (scripted provisioning events still apply).
         sole = self.cluster.model_names[0] if len(self.cluster.model_names) == 1 else None
         for q in queries:
             if q.model_name is None and sole is None:
@@ -179,6 +230,7 @@ class MultiModelServingSimulation:
                 )
         ordered = sorted(queries, key=lambda q: (q.arrival_time_ms, q.query_id))
         n = len(ordered)
+        self._outstanding = n
         self.cluster.reset()
         metrics = MultiModelServingMetrics(
             self.cluster.qos_by_model(), self.qos_percentile
@@ -195,6 +247,9 @@ class MultiModelServingSimulation:
         for q in ordered:
             events.push(Event(q.arrival_time_ms, EventKind.QUERY_ARRIVAL, q))
         events.push_all(self.scripted_events)
+        if self.faults is not None and self._outstanding > 0:
+            for server in self.cluster:
+                self._arm_fault_timers(server.server_id, server.type_name, 0.0, events)
 
         pending = PendingQueue()
         # Warm-up is per model: each model's online learner has its own cold start, so
@@ -256,12 +311,21 @@ class MultiModelServingSimulation:
                 peak = max(peak, len(self.cluster))
 
             if pending and len(view):
-                assignments = self.policy.schedule(now, pending, view)
-                rounds += 1
-                if assignments:
-                    dispatched += self._commit(assignments, pending, view, now, events)
+                admitted = self._admit(pending, now, events)
+                if admitted:
+                    assignments = self.policy.schedule(now, admitted, view)
+                    rounds += 1
+                    if assignments:
+                        dispatched += self._commit(
+                            assignments, pending, view, now, events
+                        )
 
-            if not events and pending:
+            # Recurring fault timers are not "something to fire" here: once every
+            # queued event is a hazard timer, no completion, arrival, boot, or scale
+            # action is in flight, so nothing the timers do to an idle fleet can
+            # serve a backlog the policy already declined — the run has quiesced
+            # exactly like the chaos-free case.
+            if pending and (not events or events.only_kinds(self._idle_timer_kinds())):
                 break
 
         duration = metrics.makespan_ms() if len(metrics) else clock.now_ms
@@ -273,14 +337,207 @@ class MultiModelServingSimulation:
             ledger=ledger,
             policy_name=getattr(self.policy, "name", type(self.policy).__name__),
             scheduling_rounds=rounds,
-            dispatched_queries=dispatched,
+            dispatched_queries=dispatched - self._voided_dispatches,
             total_queries=n,
             simulated_duration_ms=duration,
             billing_horizon_ms=horizon,
             replans=replans,
             scale_log=scale_log,
             peak_instances=peak,
+            shed_queries=self.shed_queries,
+            dead_letters=self.dead_letters,
+            retries=self._retries,
+            unserved_queries=len(pending),
         )
+
+    # -- fault injection (mirrors repro.sim.elasticity) ----------------------------------
+    def _arm_fault_timers(
+        self, server_id: int, type_name: str, now: float, events: EventQueue
+    ) -> None:
+        """Draw this instance's crash and first-slowdown delays (zero-hazard: no draw)."""
+        if self.faults is None or self._outstanding <= 0:
+            return
+        delay = self.faults.draw_failure_delay_ms(type_name, self._fault_rng)
+        if delay is not None:
+            events.push(
+                Event(now + delay, EventKind.INSTANCE_FAILED, (server_id, type_name))
+            )
+        delay = self.faults.draw_slowdown_delay_ms(type_name, self._fault_rng)
+        if delay is not None:
+            events.push(
+                Event(now + delay, EventKind.SLOWDOWN_BEGIN, (server_id, type_name))
+            )
+
+    def _idle_timer_kinds(self) -> Set[EventKind]:
+        kinds: Set[EventKind] = set()
+        if self.faults is not None:
+            kinds |= {
+                EventKind.INSTANCE_FAILED,
+                EventKind.SLOWDOWN_BEGIN,
+                EventKind.SLOWDOWN_END,
+            }
+        if self.retry is not None and self.retry.response_timeout_ms is not None:
+            kinds.add(EventKind.RESPONSE_TIMEOUT)
+        return kinds
+
+    def _settle_outstanding(self, events: EventQueue) -> None:
+        """One query reached a terminal outcome; at zero, drop lingering timers."""
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            kinds = self._idle_timer_kinds()
+            if kinds:
+                events.discard(lambda e: e.kind in kinds)
+
+    def _fail_attempt(
+        self, query: Query, now: float, reason: str, events: EventQueue
+    ) -> None:
+        """One dispatch attempt failed: retry with backoff or dead-letter."""
+        qid = query.query_id
+        failures = self._attempt_failures.get(qid, 0) + 1
+        self._attempt_failures[qid] = failures
+        if self.retry is not None and failures < self.retry.max_attempts:
+            self._requeued_ids.add(qid)
+            self._retries += 1
+            events.push(
+                Event(
+                    now + self.retry.backoff_ms(failures), EventKind.QUERY_ARRIVAL, query
+                )
+            )
+        else:
+            self.dead_letters.append(DeadLetterEntry(query, now, reason, failures))
+            self._settle_outstanding(events)
+
+    def _admit(self, pending: PendingQueue, now: float, events: EventQueue):
+        """The admission valve before a scheduling round (identity without a controller)."""
+        if self.admission is None:
+            return pending
+        overflow = self.admission.to_shed(len(pending))
+        if overflow > 0:
+            for query in select_shed_victims(pending.snapshot(), overflow):
+                pending.remove(query.query_id)
+                self.shed_queries.append(ShedEntry(query, now))
+                self._settle_outstanding(events)
+            self.admission.record_shed(overflow)
+        limit = self.admission.concurrency_limit
+        if len(pending) > limit:
+            return list(pending.snapshot()[:limit])
+        return pending
+
+    def _handle_instance_failure(
+        self,
+        payload,
+        now: float,
+        events: EventQueue,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+    ) -> bool:
+        """Apply one ``INSTANCE_FAILED`` event; returns True when membership changed."""
+        if isinstance(payload, CrashStorm):
+            victims = [
+                s
+                for s in self.cluster
+                if payload.type_name is None or s.type_name == payload.type_name
+            ][: payload.count]
+            changed = False
+            for server in victims:
+                changed = (
+                    self._crash_server(server, now, events, ledger, scale_log, payload.reason)
+                    or changed
+                )
+            return changed
+        server_id, _type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return False  # already decommissioned or cancelled
+        return self._crash_server(server, now, events, ledger, scale_log, "hazard")
+
+    def _crash_server(
+        self,
+        server,
+        now: float,
+        events: EventQueue,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+        reason: str,
+    ) -> bool:
+        """An unannounced crash: billing stops at the failure instant, work is voided."""
+        server_id = server.server_id
+        model_name = self.cluster.model_of_server(server_id)
+        self.cluster.remove_server(server_id)
+        ledger.stop(server_id, now, failed=True)
+        scale_log.append(
+            ScaleLogEntry(now, "instance_failed", server.type_name, 1, reason)
+        )
+        if self._outstanding > 0:
+            observe = getattr(self.controller, "observe_failure", None)
+            if observe is not None:
+                observe(server.type_name, now)
+                decision = self.controller.maybe_replan(now)
+                if decision is not None:
+                    self._emit_scale_events(decision, now, events)
+            elif self.faults is not None and self.faults.auto_replace:
+                events.push(
+                    Event(
+                        now,
+                        EventKind.SCALE_UP,
+                        ScaleRequest(
+                            server.type_name,
+                            1,
+                            reason="replace_failed",
+                            model_name=model_name,
+                        ),
+                    )
+                )
+        voided = self._inflight.pop(server_id, [])
+        for record in voided:
+            self._killed.add(id(record))
+            self._voided_dispatches += 1
+            self._fail_attempt(record.query, now, "crash", events)
+        if voided:
+            scale_log.append(
+                ScaleLogEntry(now, "void_inflight", server.type_name, len(voided), reason)
+            )
+        return True
+
+    def _handle_slowdown_begin(self, payload, now: float, events: EventQueue) -> None:
+        server_id, type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return
+        profile = self.faults[type_name]
+        until = now + profile.slowdown_duration_ms
+        server.begin_slowdown(profile.slowdown_factor, until)
+        events.push(Event(until, EventKind.SLOWDOWN_END, (server_id, type_name)))
+
+    def _handle_slowdown_end(self, payload, now: float, events: EventQueue) -> None:
+        server_id, type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return
+        server.end_slowdown()
+        if self._outstanding > 0:
+            delay = self.faults.draw_slowdown_delay_ms(type_name, self._fault_rng)
+            if delay is not None:
+                events.push(
+                    Event(now + delay, EventKind.SLOWDOWN_BEGIN, (server_id, type_name))
+                )
+
+    def _handle_response_timeout(
+        self, record: QueryRecord, now: float, events: EventQueue
+    ) -> None:
+        """The response deadline elapsed before the completion: abandon the attempt."""
+        inflight = self._inflight.get(record.server_id)
+        if inflight is None or record not in inflight:
+            return  # completed or crash-voided before the deadline
+        inflight.remove(record)
+        if not inflight:
+            del self._inflight[record.server_id]
+        self._timed_out.add(id(record))
+        self._voided_dispatches += 1
+        self._fail_attempt(record.query, now, "timeout", events)
 
     # -- event handling -----------------------------------------------------------------
     def _handle(
@@ -296,11 +553,29 @@ class MultiModelServingSimulation:
         """Apply one event; returns ``(membership_changed, was_arrival)``."""
         if event.kind == EventKind.SERVICE_COMPLETION:
             record: QueryRecord = event.payload
+            if id(record) in self._killed:
+                # the server died mid-service; the attempt was voided and this
+                # completion never happened
+                self._killed.discard(id(record))
+                return False, False
+            timed_out = id(record) in self._timed_out
+            if timed_out:
+                self._timed_out.discard(id(record))
+            else:
+                inflight = self._inflight.get(record.server_id)
+                if inflight is not None:
+                    inflight.remove(record)
+                    if not inflight:
+                        del self._inflight[record.server_id]
+                self._settle_outstanding(events)
             server = self.cluster.server_by_id(record.server_id)
             server.complete_one()
-            if record.query.query_id not in warmup_ids:
-                metrics.record(record)
-            self.policy.observe_completion(record)
+            if not timed_out:
+                if record.query.query_id not in warmup_ids:
+                    metrics.record(record)
+                    if self.admission is not None:
+                        self.admission.observe_latency(record.latency_ms)
+                self.policy.observe_completion(record)
             if server.drained:
                 self.cluster.remove_server(server.server_id)
                 ledger.stop(server.server_id, now)
@@ -311,9 +586,34 @@ class MultiModelServingSimulation:
             return False, False
 
         if event.kind == EventKind.QUERY_ARRIVAL:
+            query: Query = event.payload
+            if query.query_id in self._requeued_ids:
+                # a retry-backoff re-queue, not fresh offered load: it joins the
+                # pending queue but must not inflate the controller's arrival-rate
+                # estimate
+                self._requeued_ids.discard(query.query_id)
+                return False, True
             if self.controller is not None:
-                self.controller.observe_arrival(event.payload, now)
+                self.controller.observe_arrival(query, now)
             return False, True
+
+        if event.kind == EventKind.INSTANCE_FAILED:
+            return (
+                self._handle_instance_failure(event.payload, now, events, ledger, scale_log),
+                False,
+            )
+
+        if event.kind == EventKind.SLOWDOWN_BEGIN:
+            self._handle_slowdown_begin(event.payload, now, events)
+            return False, False
+
+        if event.kind == EventKind.SLOWDOWN_END:
+            self._handle_slowdown_end(event.payload, now, events)
+            return False, False
+
+        if event.kind == EventKind.RESPONSE_TIMEOUT:
+            self._handle_response_timeout(event.payload, now, events)
+            return False, False
 
         if event.kind == EventKind.SCALE_UP:
             request: ScaleRequest = event.payload
@@ -402,6 +702,7 @@ class MultiModelServingSimulation:
             scale_log.append(
                 ScaleLogEntry(now, "instance_ready", type_name, 1, model_name)
             )
+            self._arm_fault_timers(server_id, type_name, now, events)
             return True, False
 
         return False, False  # CONTROL and future kinds: no-op
@@ -486,7 +787,14 @@ class MultiModelServingSimulation:
                 completion_ms=completion,
                 service_ms=service,
             )
+            if self._track_inflight:
+                self._inflight.setdefault(record.server_id, []).append(record)
             events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
+            timeout = self.retry.response_timeout_ms if self.retry is not None else None
+            if timeout is not None and completion - now > timeout:
+                # the deadline will elapse strictly before the completion: arm the
+                # abandon timer (never armed when the attempt will make it in time)
+                events.push(Event(now + timeout, EventKind.RESPONSE_TIMEOUT, record))
             count += 1
         return count
 

@@ -45,7 +45,7 @@ from repro.sim.elasticity import (
 )
 from repro.sim.engine import EventQueue
 from repro.sim.events import Event, EventKind, PreemptionBurst, ScaleRequest
-from repro.sim.metrics import QueryRecord, ServingMetrics
+from repro.sim.metrics import ServingMetrics
 from repro.sim.server import ServerInstance
 from repro.utils.rng import RngLike, ensure_rng
 from repro.workload.query import Query
@@ -120,23 +120,14 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
         self._market_of_id: Dict[int, str] = {}
         #: ids of currently commissioned (or booting) spot instances
         self._spot_ids: Set[int] = set()
-        #: per-server records dispatched but not yet completed (the re-queue source)
-        self._inflight: Dict[int, List[QueryRecord]] = {}
         #: servers already holding a reclaim notice — a warned instance is never
         #: warned twice (one warning, one kill, one log entry per reclaim)
         self._warned: Set[int] = set()
-        #: re-plans forced by preemption warnings (merged into the report's list)
-        self._forced_replans: List = []
-        #: object ids of records whose server was killed (their completions are void)
-        self._killed: Set[int] = set()
-        #: query ids re-injected as arrivals (skip controller rate observation)
-        self._requeued_ids: Set[int] = set()
-        #: queries not yet successfully completed; gates replacement provisioning
-        self._outstanding = 0
-        #: dispatches voided by a kill (their queries re-dispatch later, so the
-        #: report's dispatched count must not double-count them)
-        self._voided_dispatches = 0
+        # The voiding/re-queue machinery (_inflight, _killed, _requeued_ids,
+        # _outstanding, _voided_dispatches, _forced_replans) lives in the base class,
+        # shared with the unannounced-crash path of the fault injector.
         super().__init__(cluster, policy, **kwargs)
+        self._track_inflight = True  # a kill must always find its in-flight work
         if market is not None:
             known = {s.server_id for s in cluster}
             unknown = sorted(self._initial_spot_ids - known)
@@ -159,18 +150,6 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
         super()._validate_scripted(event)
 
     # -- lifecycle hooks -----------------------------------------------------------------
-    def run(self, queries: Sequence[Query]) -> ElasticSimulationReport:
-        self._outstanding = len(queries)
-        report = super().run(queries)
-        # A killed dispatch never completed; its query re-dispatched later, so only
-        # the dispatch that stood counts (completed_all keeps its exact meaning).
-        report.dispatched_queries -= self._voided_dispatches
-        if self._forced_replans:
-            report.replans = sorted(
-                report.replans + self._forced_replans, key=lambda d: d.time_ms
-            )
-        return report
-
     def _open_initial_billing(self, ledger: InstanceUsageLedger, events: EventQueue) -> None:
         for server in self.cluster:
             sid = server.server_id
@@ -183,7 +162,8 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
                     price_multiplier=self.market.price_multiplier(server.type_name),
                     market=MARKET_SPOT,
                 )
-                self._schedule_preemption(sid, server.type_name, 0.0, events)
+                if self._outstanding > 0:
+                    self._schedule_preemption(sid, server.type_name, 0.0, events)
             else:
                 self._market_of_id[sid] = MARKET_ON_DEMAND
                 ledger.start(sid, server.instance_type, 0.0)
@@ -216,6 +196,7 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
     def _after_instance_ready(
         self, server_id: int, type_name: str, now: float, events: EventQueue
     ) -> None:
+        super()._after_instance_ready(server_id, type_name, now, events)
         if self._market_of_id.get(server_id) == MARKET_SPOT:
             self._register_spot(server_id)
             # A replacement that becomes ready after the trace is fully served must
@@ -228,6 +209,16 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
     def _register_spot(self, server_id: int) -> None:
         self._market_of_id[server_id] = MARKET_SPOT
         self._spot_ids.add(server_id)
+
+    def _market_label(self, server_id: int) -> str:
+        """A crashed spot instance is replaced on the spot market (like-for-like)."""
+        return self._market_of_id.get(server_id, MARKET_ON_DEMAND)
+
+    def _idle_timer_kinds(self):
+        kinds = super()._idle_timer_kinds()
+        if self.market is not None:
+            kinds |= {EventKind.PREEMPTION_WARNING, EventKind.PREEMPTED}
+        return kinds
 
     def _schedule_preemption(
         self, server_id: int, type_name: str, now: float, events: EventQueue
@@ -250,44 +241,14 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
         events: EventQueue,
     ) -> Tuple[bool, bool]:
         if event.kind == EventKind.SERVICE_COMPLETION:
-            record: QueryRecord = event.payload
-            if id(record) in self._killed:
-                # the server died mid-service; the query was re-queued and this
-                # completion never happened
-                self._killed.discard(id(record))
-                return False, False
-            inflight = self._inflight.get(record.server_id)
-            if inflight is not None:
-                inflight.remove(record)
-                if not inflight:
-                    del self._inflight[record.server_id]
-            self._outstanding -= 1
-            if self._outstanding == 0 and self.market is not None:
-                # The trace is fully served: pending reclaim timers must not keep
-                # the run (and therefore every instance's billing) alive — drop
-                # them so the billing horizon ends with the work, exactly like a
-                # spot-free elastic run.
-                events.discard(
-                    lambda e: e.kind
-                    in (EventKind.PREEMPTION_WARNING, EventKind.PREEMPTED)
-                )
+            # Voided-completion skips, re-queue bookkeeping, and the idle-timer
+            # discard at outstanding==0 all live in the base handler now.
             changed, arrival = super()._handle(
                 event, now, metrics, ledger, scale_log, warmup_ids, events
             )
             if changed:
-                self._spot_ids.discard(record.server_id)
+                self._spot_ids.discard(event.payload.server_id)
             return changed, arrival
-
-        if event.kind == EventKind.QUERY_ARRIVAL:
-            query: Query = event.payload
-            if query.query_id in self._requeued_ids:
-                # a preemption re-queue, not fresh offered load: it joins the pending
-                # queue but must not inflate the controller's arrival-rate estimate
-                self._requeued_ids.discard(query.query_id)
-                return False, True
-            return super()._handle(
-                event, now, metrics, ledger, scale_log, warmup_ids, events
-            )
 
         if event.kind == EventKind.PREEMPTION_WARNING:
             return self._handle_warning(event.payload, now, events, scale_log), False
@@ -298,8 +259,8 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
         changed, arrival = super()._handle(
             event, now, metrics, ledger, scale_log, warmup_ids, events
         )
-        if changed and event.kind == EventKind.SCALE_DOWN:
-            # drained-on-the-spot victims may have been decommissioned
+        if changed and event.kind in (EventKind.SCALE_DOWN, EventKind.INSTANCE_FAILED):
+            # drained-on-the-spot or crashed victims may have been decommissioned
             self._spot_ids.intersection_update(
                 s.server_id for s in self.cluster
             )
@@ -427,11 +388,6 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
                 ScaleLogEntry(now, "requeue", server.type_name, len(requeued))
             )
         return True
-
-    # -- dispatch ------------------------------------------------------------------------
-    def _after_dispatch(self, record: QueryRecord) -> None:
-        """Track the dispatch so a kill can find and re-queue unfinished work."""
-        self._inflight.setdefault(record.server_id, []).append(record)
 
 
 def simulate_preemptible_serving(

@@ -49,6 +49,12 @@ class ServerInstance:
     draining: bool = False
     commissioned_at_ms: float = 0.0
 
+    # transient fault-injected slowdown: while ``now < slowdown_until_ms`` every
+    # dispatched query's true service latency is multiplied by ``slowdown_factor``
+    # (>= 1), modelling a degraded instance (thermal throttling, noisy neighbour).
+    slowdown_factor: float = 1.0
+    slowdown_until_ms: float = 0.0
+
     # accounting
     queries_served: int = 0
     busy_time_ms: float = 0.0
@@ -124,6 +130,8 @@ class ServerInstance:
             )
         start = self.earliest_start_ms(now_ms) + self.dispatch_overhead_ms
         service = self.true_service_latency_ms(query, noise=noise, rng=rng)
+        if self.slowdown_factor != 1.0 and start < self.slowdown_until_ms:
+            service *= self.slowdown_factor
         completion = start + service
         self.busy_until_ms = completion
         self.queries_served += 1
@@ -132,6 +140,22 @@ class ServerInstance:
         self.state_version += 1
         self._service_log.append(service)
         return start, completion, service
+
+    def begin_slowdown(self, factor: float, until_ms: float) -> None:
+        """Enter a transient degraded mode: service latencies scale by ``factor``."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.slowdown_factor = factor
+        self.slowdown_until_ms = until_ms
+        self.state_version += 1
+
+    def end_slowdown(self) -> None:
+        """Leave degraded mode (no-op if never slowed)."""
+        if self.slowdown_factor == 1.0 and self.slowdown_until_ms == 0.0:
+            return
+        self.slowdown_factor = 1.0
+        self.slowdown_until_ms = 0.0
+        self.state_version += 1
 
     def complete_one(self) -> None:
         """Acknowledge that one dispatched query finished (pops the local queue)."""
@@ -151,6 +175,8 @@ class ServerInstance:
         self.busy_until_ms = 0.0
         self.draining = False
         self.commissioned_at_ms = 0.0
+        self.slowdown_factor = 1.0
+        self.slowdown_until_ms = 0.0
         self.queries_served = 0
         self.busy_time_ms = 0.0
         self.local_queue_depth = 0

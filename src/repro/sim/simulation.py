@@ -30,6 +30,13 @@ from repro.cloud.profiles import ProfileRegistry
 from repro.sim.cluster import Cluster
 from repro.sim.engine import TIME_EPSILON_MS, EventQueue, SimulationClock
 from repro.sim.events import Event, EventKind
+from repro.sim.faults import (
+    AdmissionController,
+    DeadLetterEntry,
+    RetryPolicy,
+    ShedEntry,
+    select_shed_victims,
+)
 from repro.sim.metrics import QueryRecord, ServingMetrics
 from repro.sim.pending import PendingQueue
 from repro.sim.server import ServiceNoiseModel
@@ -49,6 +56,10 @@ class SimulationReport:
     total_queries: int
     simulated_duration_ms: float
     early_stopped: bool = False
+    shed_queries: List[ShedEntry] = field(default_factory=list)
+    dead_letters: List[DeadLetterEntry] = field(default_factory=list)
+    retries: int = 0
+    unserved_queries: int = 0
 
     @property
     def completed_all(self) -> bool:
@@ -79,6 +90,8 @@ class ServingSimulation:
         rng: RngLike = None,
         max_violations: Optional[int] = None,
         warmup_queries: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         self.cluster = cluster
         self.policy = policy
@@ -87,6 +100,17 @@ class ServingSimulation:
         self.noise = noise
         self.rng = ensure_rng(rng)
         self.max_violations = max_violations
+        # Graceful-degradation knobs. ``retry.response_timeout_ms`` arms a per-attempt
+        # response deadline: an attempt that would finish past it is abandoned at the
+        # deadline and re-queued with exponential backoff until the budget is spent,
+        # then dead-lettered. ``admission`` sheds lowest-value pending queries under
+        # overload and caps each scheduling round at the adaptive concurrency limit.
+        # The static loop has a fixed fleet, so crash injection lives only in the
+        # elastic loops (see repro.sim.faults.FaultInjector).
+        self.retry = retry
+        self.admission = admission
+        self._inflight_ids: set = set()
+        self._timed_out_ids: set = set()
         if warmup_queries < 0:
             raise ValueError("warmup_queries must be non-negative")
         # Queries with an id below this threshold are served normally but excluded from
@@ -95,35 +119,53 @@ class ServingSimulation:
         self.warmup_queries = int(warmup_queries)
 
     def run(self, queries: Sequence[Query]) -> SimulationReport:
-        """Serve ``queries`` to completion (or until the early-stop violation budget)."""
-        if not queries:
-            raise ValueError("cannot simulate an empty query stream")
+        """Serve ``queries`` to completion (or until the early-stop violation budget).
+
+        An empty stream is a valid no-op and returns a report with empty metrics.
+        """
         ordered = sorted(queries, key=lambda q: (q.arrival_time_ms, q.query_id))
         self.cluster.reset()
+        if self.admission is not None:
+            self.admission.reset()
         metrics = ServingMetrics(self.qos_ms, self.qos_percentile)
         self.policy.bind(self.cluster, self.qos_ms)
 
         clock = SimulationClock(0.0)
-        completions = EventQueue()
+        # carries SERVICE_COMPLETION plus, under a retry policy, RESPONSE_TIMEOUT
+        # deadlines and backoff re-queues (QUERY_ARRIVAL)
+        events = EventQueue()
         pending = PendingQueue()
         arrival_idx = 0
         n = len(ordered)
         dispatched = 0
-        completed = 0
         rounds = 0
         violations = 0
         early_stopped = False
+        # every query ends exactly one way: served, shed, or dead-lettered — the run
+        # ends when no query remains outstanding (or when the policy gives up)
+        outstanding = n
+        shed: List[ShedEntry] = []
+        dead_letters: List[DeadLetterEntry] = []
+        retries = 0
+        voided = 0
+        attempt_failures: Dict[int, int] = {}
+        # live response deadlines: id(record) -> armed; a deadline whose attempt
+        # already completed is stale and must no-op
+        self._inflight_ids = set()
+        self._timed_out_ids = set()
         # Queries in the warm-up window (earliest arrivals) are excluded from metrics.
         warmup_ids = {q.query_id for q in ordered[: self.warmup_queries]}
-        # generous guard against a policy that never makes progress
-        max_steps = 20 * n + 1000
+        # generous guard against a policy that never makes progress (each retry
+        # attempt may add a bounded number of extra steps)
+        attempts_cap = self.retry.max_attempts if self.retry is not None else 1
+        max_steps = 20 * n * attempts_cap + 1000
         steps = 0
 
         # Hot-loop locals: the arrival-time column is read every iteration, and
         # repeated attribute lookups on `ordered` queries add up over long runs.
         arrival_times = [q.arrival_time_ms for q in ordered]
 
-        while completed < n and not early_stopped:
+        while outstanding > 0 and not early_stopped:
             steps += 1
             if steps > max_steps:
                 raise RuntimeError(
@@ -132,31 +174,70 @@ class ServingSimulation:
                 )
 
             next_arrival = arrival_times[arrival_idx] if arrival_idx < n else None
-            next_completion = completions.peek_time()
+            next_event = events.peek_time()
             if next_arrival is None:
-                if next_completion is None:
+                if next_event is None:
                     # Pending queries but nothing scheduled and nothing in flight: the
                     # policy must act now or it never will.
                     if not pending:
                         break
                     now = clock.now_ms
                 else:
-                    now = clock.advance_to(next_completion)
-            elif next_completion is None or next_arrival <= next_completion:
+                    now = clock.advance_to(next_event)
+            elif next_event is None or next_arrival <= next_event:
                 now = clock.advance_to(next_arrival)
             else:
-                now = clock.advance_to(next_completion)
+                now = clock.advance_to(next_event)
 
-            # 1. process completions at `now` (frees servers before new work is placed);
+            # 1. process events at `now` (frees servers before new work is placed);
             #    the whole equal-timestamp batch drains before the scheduling round
-            for event in completions.pop_batch(now):
+            for event in events.pop_batch(now):
+                if event.kind == EventKind.QUERY_ARRIVAL:
+                    # a retry re-queue surfacing after its backoff
+                    pending.append(event.payload)
+                    continue
+                if event.kind == EventKind.RESPONSE_TIMEOUT:
+                    record = event.payload
+                    if id(record) not in self._inflight_ids:
+                        continue  # the attempt completed before the deadline
+                    self._inflight_ids.discard(id(record))
+                    self._timed_out_ids.add(id(record))
+                    voided += 1
+                    failures = attempt_failures.get(record.query.query_id, 0) + 1
+                    attempt_failures[record.query.query_id] = failures
+                    if self.retry is not None and failures < self.retry.max_attempts:
+                        retries += 1
+                        events.push(
+                            Event(
+                                now + self.retry.backoff_ms(failures),
+                                EventKind.QUERY_ARRIVAL,
+                                record.query,
+                            )
+                        )
+                    else:
+                        dead_letters.append(
+                            DeadLetterEntry(record.query, now, "timeout", failures)
+                        )
+                        outstanding -= 1
+                    continue
                 record: QueryRecord = event.payload
-                completed += 1
+                timed_out = id(record) in self._timed_out_ids
+                if timed_out:
+                    self._timed_out_ids.discard(id(record))
+                else:
+                    self._inflight_ids.discard(id(record))
+                    outstanding -= 1
                 self.cluster[record.server_id].complete_one()
+                if timed_out:
+                    # the client already abandoned this attempt: the server's slot is
+                    # freed but nothing is recorded or observed
+                    continue
                 if record.query.query_id not in warmup_ids:
                     if record.latency_ms > self.qos_ms + 1e-9:
                         violations += 1
                     metrics.record(record)
+                    if self.admission is not None:
+                        self.admission.observe_latency(record.latency_ms)
                 self.policy.observe_completion(record)
                 if self.max_violations is not None and violations > self.max_violations:
                     early_stopped = True
@@ -169,16 +250,29 @@ class ServingSimulation:
                 pending.append(ordered[arrival_idx])
                 arrival_idx += 1
 
-            # 3. ask the policy for assignments
+            # 3. ask the policy for assignments (through the admission valve)
             made_progress = False
             if pending:
-                # the queue itself is handed over (it is Sequence-like): policies with
-                # an incremental fast path read its memoized snapshot arrays
-                assignments = self.policy.schedule(now, pending, self.cluster)
-                rounds += 1
-                if assignments:
-                    dispatched += self._commit(assignments, pending, now, completions)
-                    made_progress = True
+                admitted = pending
+                if self.admission is not None:
+                    overflow = self.admission.to_shed(len(pending))
+                    if overflow > 0:
+                        for query in select_shed_victims(pending.snapshot(), overflow):
+                            pending.remove(query.query_id)
+                            shed.append(ShedEntry(query, now))
+                            outstanding -= 1
+                        self.admission.record_shed(overflow)
+                    cap = self.admission.concurrency_limit
+                    if len(pending) > cap:
+                        admitted = list(pending.snapshot()[:cap])
+                if admitted:
+                    # the queue itself is handed over (it is Sequence-like): policies
+                    # with an incremental fast path read its memoized snapshot arrays
+                    assignments = self.policy.schedule(now, admitted, self.cluster)
+                    rounds += 1
+                    if assignments:
+                        dispatched += self._commit(assignments, pending, now, events)
+                        made_progress = True
 
             # 4. nothing in flight, nothing arriving, and the policy declines to place
             #    the remaining queries: end the run (the remainder counts as unserved).
@@ -186,7 +280,7 @@ class ServingSimulation:
                 pending
                 and not made_progress
                 and arrival_idx >= n
-                and len(completions) == 0
+                and len(events) == 0
             ):
                 break
 
@@ -196,10 +290,14 @@ class ServingSimulation:
             cluster=self.cluster,
             policy_name=getattr(self.policy, "name", type(self.policy).__name__),
             scheduling_rounds=rounds,
-            dispatched_queries=dispatched,
+            dispatched_queries=dispatched - voided,
             total_queries=n,
             simulated_duration_ms=duration,
             early_stopped=early_stopped,
+            shed_queries=shed,
+            dead_letters=dead_letters,
+            retries=retries,
+            unserved_queries=outstanding,
         )
 
     # -- internals ------------------------------------------------------------------------
@@ -208,15 +306,16 @@ class ServingSimulation:
         assignments: Sequence[Tuple[Query, int]],
         pending: PendingQueue,
         now: float,
-        completions: EventQueue,
+        events: EventQueue,
     ) -> int:
         count = 0
         cluster = self.cluster
         cluster_size = len(cluster)
         noise = self.noise
         rng = self.rng
-        push = completions.push
+        push = events.push
         completion_kind = EventKind.SERVICE_COMPLETION
+        timeout = self.retry.response_timeout_ms if self.retry is not None else None
         for query, server_idx in assignments:
             if query.query_id not in pending:
                 raise ValueError(
@@ -235,6 +334,11 @@ class ServingSimulation:
                 completion_ms=completion,
                 service_ms=service,
             )
+            if timeout is not None and completion - now > timeout:
+                # the deadline will elapse strictly before the completion: arm the
+                # abandon timer (never armed when the attempt will make it in time)
+                self._inflight_ids.add(id(record))
+                push(Event(now + timeout, EventKind.RESPONSE_TIMEOUT, record))
             push(Event(completion, completion_kind, record))
             count += 1
         return count

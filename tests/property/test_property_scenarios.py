@@ -2,9 +2,14 @@
 
 The per-loop properties draw whole scenarios and assert every per-run invariant via
 ``run_scenario(check=True)``; the derived properties exercise the multi-run
-identities (QoS monotone in budget, spot-disabled byte-identity, PYTHONHASHSEED
-independence) and the trace-replay equivalence that makes ingested traces
-first-class scenario workloads.
+identities (QoS monotone in budget, spot-disabled byte-identity, fault determinism,
+PYTHONHASHSEED independence) and the trace-replay equivalence that makes ingested
+traces first-class scenario workloads.  Chaos properties re-run the per-loop
+invariants with the fault/retry/admission dimensions enabled.
+
+Empty-window draws are NOT assumed away: a spec whose arrival windows produce zero
+queries must run as a valid no-op through every loop, so vacuous scenarios are
+asserted like any other.
 
 Example counts scale with the hypothesis profile (``ci`` / ``dev`` / ``fuzz``,
 registered in ``tests/conftest.py``) unless pinned below because one example is
@@ -18,10 +23,11 @@ import tempfile
 from pathlib import Path
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fuzz.invariants import (
+    check_fault_determinism,
     check_hashseed_independence,
     check_qos_monotone_in_budget,
     check_spot_disabled_identity,
@@ -45,19 +51,16 @@ def _assert_no_violations(result) -> None:
 
 
 def _run_checked(spec: ScenarioSpec):
-    """Run a drawn spec with invariants on, skipping vacuous empty-window draws."""
-    from repro.fuzz.runner import build_queries
-
-    queries = build_queries(spec)
-    assume(queries)
-    result = run_scenario(spec, queries=queries)
+    """Run a drawn spec with invariants on (empty-window draws are valid no-ops)."""
+    result = run_scenario(spec)
     _assert_no_violations(result)
     return result
 
 
 class TestPerRunInvariants:
     """query_conservation + completion_causality + round_separation +
-    budget_conservation + ledger_partition_exactness, one loop per property."""
+    budget_conservation + ledger_partition_exactness + outcome_conservation +
+    failure_billing + retry_bounded, one loop per property."""
 
     @given(spec=static_scenarios())
     def test_static_loop_holds_all_invariants(self, spec):
@@ -73,6 +76,28 @@ class TestPerRunInvariants:
 
     @given(spec=spot_scenarios())
     def test_spot_loop_holds_all_invariants(self, spec):
+        _run_checked(spec)
+
+
+@pytest.mark.chaos
+class TestChaosInvariants:
+    """The same per-loop properties with crashes, slowdowns, storms, retry
+    deadlines, and admission control all in play."""
+
+    @given(spec=static_scenarios(chaos=True))
+    def test_static_loop_survives_chaos(self, spec):
+        _run_checked(spec)
+
+    @given(spec=elastic_scenarios(chaos=True))
+    def test_elastic_loop_survives_chaos(self, spec):
+        _run_checked(spec)
+
+    @given(spec=multi_model_scenarios(chaos=True))
+    def test_multi_model_loop_survives_chaos(self, spec):
+        _run_checked(spec)
+
+    @given(spec=spot_scenarios(chaos=True))
+    def test_spot_loop_survives_chaos(self, spec):
         _run_checked(spec)
 
 
@@ -106,9 +131,6 @@ class TestDerivedInvariants:
     @settings(max_examples=5)
     @given(spec=spot_scenarios())
     def test_spot_disabled_byte_identity(self, spec):
-        from repro.fuzz.runner import build_queries
-
-        assume(build_queries(spec))
         violations = check_spot_disabled_identity(spec)
         assert not violations, "; ".join(str(v) for v in violations)
 
@@ -116,10 +138,14 @@ class TestDerivedInvariants:
     @settings(max_examples=2)
     @given(spec=scenario_specs())
     def test_hashseed_independence(self, spec):
-        from repro.fuzz.runner import build_queries
-
-        assume(build_queries(spec))
         violations = check_hashseed_independence(spec)
+        assert not violations, "; ".join(str(v) for v in violations)
+
+    @pytest.mark.chaos
+    @settings(max_examples=5)
+    @given(spec=scenario_specs(chaos=True))
+    def test_fault_determinism(self, spec):
+        violations = check_fault_determinism(spec)
         assert not violations, "; ".join(str(v) for v in violations)
 
 
@@ -132,7 +158,6 @@ class TestTraceReplayEquivalence:
         from repro.fuzz.runner import build_queries
 
         queries = build_queries(spec)
-        assume(queries)
         with tempfile.TemporaryDirectory() as tmp:
             path = save_trace_jsonl(
                 Trace.from_queries(queries, {"scenario": spec.label or "fuzz"}),

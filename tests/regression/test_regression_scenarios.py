@@ -21,15 +21,20 @@ from repro.fuzz.invariants import (
     ALL_INVARIANTS,
     check_budget_conservation,
     check_completion_causality,
+    check_failure_billing,
+    check_fault_determinism,
     check_hashseed_independence,
     check_ledger_partition_exactness,
+    check_outcome_conservation,
     check_qos_monotone_in_budget,
     check_query_conservation,
+    check_retry_bounded,
     check_round_separation,
     check_spot_disabled_identity,
 )
 from repro.fuzz.runner import run_scenario
 from repro.fuzz.spec import ScenarioSpec
+from repro.sim.faults import DeadLetterEntry, ShedEntry
 
 SCENARIO_DIR = Path(__file__).parent / "scenarios"
 SCENARIOS = sorted(SCENARIO_DIR.glob("*.json"))
@@ -54,6 +59,20 @@ class TestCorpusReplay:
         loops = {ScenarioSpec.load(p).loop for p in SCENARIOS}
         assert loops == {"static", "elastic", "multi_model", "spot"}
 
+    def test_corpus_covers_the_chaos_dimensions(self):
+        """At least one committed scenario exercises each chaos knob."""
+        specs = [ScenarioSpec.load(p) for p in SCENARIOS]
+        assert any(s.faults is not None and s.faults.storms for s in specs)
+        assert any(
+            s.faults is not None and s.faults.failures_per_hour > 0 for s in specs
+        )
+        assert any(
+            s.faults is not None and s.faults.slowdowns_per_hour > 0 for s in specs
+        )
+        assert any(s.retry is not None for s in specs)
+        assert any(s.admission is not None for s in specs)
+        assert any(s.faults is not None and s.spot is not None for s in specs)
+
 
 class TestDerivedInvariantsDeterministic:
     """One pinned deterministic exercise per derived invariant."""
@@ -69,6 +88,10 @@ class TestDerivedInvariantsDeterministic:
     def test_hashseed_independence(self):
         spec = _load("equal-instant-elastic.json")
         violations = check_hashseed_independence(spec)
+        assert not violations, "; ".join(str(v) for v in violations)
+
+    def test_fault_determinism(self):
+        violations = check_fault_determinism(_load("chaos-elastic-storm-retry.json"))
         assert not violations, "; ".join(str(v) for v in violations)
 
 
@@ -186,6 +209,115 @@ class TestCheckersDetectCorruption:
         )
 
 
+def _clean_chaos_result():
+    return run_scenario(_load("chaos-elastic-storm-retry.json"))
+
+
+class TestChaosCheckersDetectCorruption:
+    """The chaos-era checkers must also fire on deliberately corrupted runs."""
+
+    @pytest.fixture(scope="class")
+    def chaos_clean(self):
+        result = _clean_chaos_result()
+        assert not result.violations
+        assert result.report.instance_failures > 0  # the corpus scenario crashes
+        return result
+
+    def test_outcome_conservation_flags_lost_query(self, chaos_clean):
+        corrupted = dataclasses.replace(
+            chaos_clean, completions=chaos_clean.completions[:-1]
+        )
+        assert any(
+            v.invariant == "outcome_conservation"
+            for v in check_outcome_conservation(corrupted)
+        )
+
+    def test_outcome_conservation_flags_double_terminal(self, chaos_clean):
+        served = chaos_clean.completions[0].query
+        report = dataclasses.replace(
+            chaos_clean.report,
+            shed_queries=list(chaos_clean.report.shed_queries)
+            + [ShedEntry(query=served, time_ms=0.0)],
+        )
+        corrupted = dataclasses.replace(chaos_clean, report=report)
+        violations = check_outcome_conservation(corrupted)
+        assert any("both served and shed" in v.message for v in violations)
+
+    def test_failure_billing_flags_unlogged_failures(self, chaos_clean):
+        report = dataclasses.replace(
+            chaos_clean.report,
+            scale_log=[
+                e for e in chaos_clean.report.scale_log if e.kind != "instance_failed"
+            ],
+        )
+        corrupted = SimpleNamespace(
+            spec=chaos_clean.spec,
+            report=report,
+            ledger=report.ledger,
+            queries=chaos_clean.queries,
+            rounds=chaos_clean.rounds,
+            completions=chaos_clean.completions,
+        )
+        assert any(
+            v.invariant == "failure_billing" for v in check_failure_billing(corrupted)
+        )
+
+    def test_failure_billing_flags_interval_billed_past_crash(self, chaos_clean):
+        ledger = chaos_clean.report.ledger
+        intervals = [
+            dataclasses.replace(iv, end_ms=None) if iv.failed else iv
+            for iv in ledger.intervals
+        ]
+        fake_ledger = SimpleNamespace(
+            intervals=intervals,
+            total_cost=ledger.total_cost,
+            cost_by_failure=ledger.cost_by_failure,
+            cost_of_failures=ledger.cost_of_failures,
+        )
+        corrupted = SimpleNamespace(
+            spec=chaos_clean.spec,
+            report=chaos_clean.report,
+            ledger=fake_ledger,
+            queries=chaos_clean.queries,
+            rounds=chaos_clean.rounds,
+            completions=chaos_clean.completions,
+        )
+        violations = check_failure_billing(corrupted)
+        assert any("billed to the horizon" in v.message for v in violations)
+
+    def test_retry_bounded_flags_budget_overrun(self, chaos_clean):
+        q = chaos_clean.completions[0].query
+        report = dataclasses.replace(
+            chaos_clean.report,
+            dead_letters=[
+                DeadLetterEntry(query=q, time_ms=1.0, reason="crash", attempts=99)
+            ],
+        )
+        corrupted = dataclasses.replace(chaos_clean, report=report)
+        violations = check_retry_bounded(corrupted)
+        assert any("dead-lettered after" in v.message for v in violations)
+
+    def test_retry_bounded_flags_premature_dead_letter(self, chaos_clean):
+        assert chaos_clean.spec.retry.max_attempts > 1
+        q = chaos_clean.completions[0].query
+        report = dataclasses.replace(
+            chaos_clean.report,
+            dead_letters=[
+                DeadLetterEntry(query=q, time_ms=1.0, reason="crash", attempts=1)
+            ],
+        )
+        corrupted = dataclasses.replace(chaos_clean, report=report)
+        violations = check_retry_bounded(corrupted)
+        assert any("before exhausting" in v.message for v in violations)
+
+    def test_retry_bounded_flags_retries_without_policy(self, clean=None):
+        base = _clean_result()  # a fault-free scenario: no retry policy configured
+        report = dataclasses.replace(base.report, retries=5)
+        corrupted = dataclasses.replace(base, report=report)
+        violations = check_retry_bounded(corrupted)
+        assert any("without a retry policy" in v.message for v in violations)
+
+
 class TestInvariantRegistryCoverage:
     """Meta-test: the registry, the properties, and this corpus stay in sync."""
 
@@ -198,8 +330,12 @@ class TestInvariantRegistryCoverage:
             "round_separation",
             "budget_conservation",
             "ledger_partition_exactness",
+            "outcome_conservation",
+            "failure_billing",
+            "retry_bounded",
             "qos_monotone_in_budget",
             "spot_disabled_identity",
             "hashseed_independence",
+            "fault_determinism",
         }
         assert set(ALL_INVARIANTS) == expected

@@ -81,9 +81,13 @@ class TestSimulateServing:
         assert not report.completed_all
         assert len(report.metrics) < 200
 
-    def test_empty_workload_rejected(self, single_gpu_config, rm2, profiles):
-        with pytest.raises(ValueError):
-            simulate_serving(single_gpu_config, rm2, profiles, RibbonFCFSPolicy(), [])
+    def test_empty_workload_is_a_valid_noop(self, single_gpu_config, rm2, profiles):
+        report = simulate_serving(single_gpu_config, rm2, profiles, RibbonFCFSPolicy(), [])
+        assert report.total_queries == 0
+        assert report.dispatched_queries == 0
+        assert report.completed_all
+        assert len(report.metrics) == 0
+        assert report.unserved_queries == 0
 
     def test_report_summary_and_utilization(self, small_config, rm2, profiles, small_workload):
         report = simulate_serving(small_config, rm2, profiles, KairosPolicy(), small_workload)

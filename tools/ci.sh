@@ -6,7 +6,9 @@
 # which re-measures the hot paths at the quick scale and fails on a >30%
 # machine-normalized regression against the committed BENCH_perf.json; and the
 # `fuzz-smoke` stage, a bounded scenario-fuzzer pass over every serving loop
-# plus a full replay of the committed tests/regression/ corpus.
+# plus a full replay of the committed tests/regression/ corpus; and the
+# `chaos-smoke` stage, a fault-enabled campaign (unannounced crashes, storms,
+# slowdowns, retry budgets, admission control) plus the `chaos`-marked tests.
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -26,5 +28,9 @@ python tools/bench.py --quick
 echo "== fuzz-smoke: bounded invariant fuzzing + regression corpus replay =="
 python tools/fuzz.py --budget 25 --seed 1
 python tools/fuzz.py --corpus
+
+echo "== chaos-smoke: fault-enabled fuzzing + chaos-marked tests =="
+python tools/fuzz.py --budget 25 --seed 2 --chaos
+python -m pytest tests -m chaos -q --hypothesis-profile=ci "$@"
 
 echo "CI gate passed."

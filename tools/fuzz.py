@@ -46,6 +46,12 @@ def main(argv=None) -> int:
         "--seed", type=int, default=None, help="derandomize the campaign with this seed"
     )
     parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also draw the fault/retry/admission dimensions (unannounced crashes, "
+        "slowdowns, crash storms, retry budgets, admission control)",
+    )
+    parser.add_argument(
         "--derived",
         action="store_true",
         help="also check derived identities (spot-disabled byte-identity; ~3x slower "
@@ -91,12 +97,13 @@ def main(argv=None) -> int:
         args.budget,
         loop=args.loop,
         seed=args.seed,
+        chaos=args.chaos,
         derived=args.derived,
         out_dir=args.out,
     )
     print(
-        f"fuzz campaign: {report.executions} executions against a budget of "
-        f"{report.budget} in {report.elapsed_s:.1f}s"
+        f"fuzz campaign{' (chaos)' if args.chaos else ''}: {report.executions} "
+        f"executions against a budget of {report.budget} in {report.elapsed_s:.1f}s"
     )
     for failure in report.failures:
         print(f"FAIL (shrunk minimal spec saved to {failure.saved_to}):")
