@@ -54,6 +54,11 @@ PRESETS: Dict[str, Dict[str, float]] = {
         spot_rate_qps=60.0,
         spot_counts=(2, 2, 4, 0),
         spot_portion=(1, 1, 2, 0),
+        fleet_models=2,
+        fleet_counts=(2, 2, 4, 0),
+        fleet_queries=100,
+        fleet_rate_qps=100.0,
+        fleet_burst=8,
         min_seconds=0.05,
     ),
     "quick": dict(
@@ -76,6 +81,11 @@ PRESETS: Dict[str, Dict[str, float]] = {
         spot_rate_qps=150.0,
         spot_counts=(6, 6, 12, 0),
         spot_portion=(3, 3, 6, 0),
+        fleet_models=5,
+        fleet_counts=(14, 14, 28, 0),
+        fleet_queries=1000,
+        fleet_rate_qps=400.0,
+        fleet_burst=32,
         min_seconds=0.15,
     ),
     "full": dict(
@@ -98,6 +108,23 @@ PRESETS: Dict[str, Dict[str, float]] = {
         spot_rate_qps=150.0,
         spot_counts=(6, 6, 12, 0),
         spot_portion=(3, 3, 6, 0),
+        fleet_models=5,
+        fleet_counts=(56, 56, 112, 0),
+        fleet_queries=10_000,
+        fleet_rate_qps=800.0,
+        fleet_burst=64,
+        min_seconds=0.4,
+    ),
+    # The ``fleet`` preset pairs with ``fleet_sim`` only (run it via
+    # ``tools/bench.py --fleet``): all five models, 448 servers each (2,240 total),
+    # 200k queries per model (10^6 total).  It carries no parameters for the other
+    # benchmarks on purpose — they have nothing meaningful to measure at this scale.
+    "fleet": dict(
+        fleet_models=5,
+        fleet_counts=(112, 112, 224, 0),
+        fleet_queries=200_000,
+        fleet_rate_qps=800.0,
+        fleet_burst=64,
         min_seconds=0.4,
     ),
 }
@@ -437,6 +464,77 @@ def bench_spot_sim(preset: str) -> BenchResult:
     )
 
 
+def bench_fleet_sim(preset: str) -> BenchResult:
+    """Macro: fleet-scale serving with sharded dispatch + sharded event queues.
+
+    Every profiled model is co-located on one fleet and served through the sharded
+    path: :class:`MultiModelKairosPolicy` with ``sharded=True`` (per-model matchings
+    instead of one joint union matrix) on top of ``sharded_events=True`` (per-shard
+    event heaps merged under the global anchor rule).  Arrivals come in large bursts,
+    so every scheduling round carries a wide multi-model cost matrix — the shape where
+    the union matrix is most expensive and sharding pays.  The headline value is the
+    sharded throughput; one unsharded pass of the same workload is timed into
+    ``extras`` so the recorded speedup stays honest.
+    """
+    import time as _time
+
+    p = _params(preset)
+    profiles = default_profile_registry()
+    from repro.schedulers.kairos_policy import MultiModelKairosPolicy
+    from repro.sim.cluster import MultiModelCluster
+    from repro.sim.multi_model import MultiModelServingSimulation
+    from repro.workload.arrivals import BurstyArrivalProcess
+    from repro.workload.generator import interleave_model_streams
+
+    models = [m.name for m in profiles.models][: int(p["fleet_models"])]
+    counts = tuple(int(c) for c in p["fleet_counts"])
+    configs = {
+        name: HeterogeneousConfig(counts, profiles.catalog) for name in models
+    }
+    streams = {}
+    for i, name in enumerate(models):
+        spec = WorkloadSpec(
+            batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+            num_queries=int(p["fleet_queries"]),
+            model_name=name,
+            arrivals=BurstyArrivalProcess(burst_size=int(p["fleet_burst"])),
+        )
+        streams[name] = WorkloadGenerator(spec).generate(
+            rate_qps=p["fleet_rate_qps"], rng=SEED + 20 + i
+        )
+    queries = interleave_model_streams(streams)
+
+    def run_once(sharded: bool) -> float:
+        cluster = MultiModelCluster(configs, profiles)
+        sim = MultiModelServingSimulation(
+            cluster,
+            MultiModelKairosPolicy(sharded=sharded),
+            rng=np.random.default_rng(SEED + 1),
+            sharded_events=sharded,
+        )
+        return float(sim.run(queries).dispatched_queries)
+
+    qps, wall = time_throughput(lambda: run_once(True), min_seconds=p["min_seconds"])
+    start = _time.perf_counter()
+    run_once(False)
+    unsharded_wall = _time.perf_counter() - start
+    sharded_wall = float(len(queries)) / qps  # per-pass wall from the measured rate
+    return BenchResult(
+        name="fleet_sim",
+        preset=preset,
+        value=qps,
+        unit="queries/s",
+        wall_seconds=wall,
+        extras={
+            "num_queries": float(len(queries)),
+            "num_models": float(len(models)),
+            "num_servers": float(sum(counts) * len(models)),
+            "unsharded_wall_seconds": unsharded_wall,
+            "sharded_speedup": unsharded_wall / sharded_wall,
+        },
+    )
+
+
 #: Registry, in execution order.
 BENCHMARKS: Dict[str, Callable[[str], BenchResult]] = {
     "serving_sim": bench_serving_sim,
@@ -444,6 +542,7 @@ BENCHMARKS: Dict[str, Callable[[str], BenchResult]] = {
     "jv_solver": bench_jv_solver,
     "multi_model_sim": bench_multi_model_sim,
     "spot_sim": bench_spot_sim,
+    "fleet_sim": bench_fleet_sim,
     "planner_rank": bench_planner_rank,
     "planner_rank_4x": bench_planner_rank_4x,
     "elastic_replan": bench_elastic_replan,

@@ -206,6 +206,12 @@ class ArrivalRateEstimator:
     contribution is reacting in one shot once a change is detected, not the detector —
     but the window makes the detection *sustained*: a single burst cannot move the
     estimate for longer than the window.
+
+    The estimator is anchored on the first *observed* arrival, not on simulated time
+    zero: replayed traces (committed real-trace slices in particular) routinely start
+    at an arbitrary time origin ``t0 >> window_ms``, and normalizing by absolute time
+    would read the empty pre-trace span as a full window of silence — a spurious
+    load-drop signal at trace start.
     """
 
     def __init__(self, window_ms: float = 5_000.0):
@@ -213,10 +219,29 @@ class ArrivalRateEstimator:
             raise ValueError("window_ms must be positive")
         self.window_ms = float(window_ms)
         self._arrivals: Deque[float] = deque()
+        self._first_observed_ms: Optional[float] = None
+
+    @property
+    def first_observed_ms(self) -> Optional[float]:
+        """Timestamp of the first arrival ever observed (``None`` before any)."""
+        return self._first_observed_ms
+
+    def window_elapsed(self, now_ms: float) -> bool:
+        """True once a full window of trace time has passed *since the first arrival*.
+
+        Before anything was observed this is False: an untouched estimator can never
+        claim its window is trustworthy, whatever the absolute clock reads.
+        """
+        return (
+            self._first_observed_ms is not None
+            and now_ms - self._first_observed_ms >= self.window_ms
+        )
 
     def observe(self, t_ms: float) -> None:
         if self._arrivals and t_ms < self._arrivals[-1] - 1e-9:
             raise ValueError("arrival timestamps must be non-decreasing")
+        if self._first_observed_ms is None:
+            self._first_observed_ms = float(t_ms)
         self._arrivals.append(float(t_ms))
         self._evict(t_ms)
 
@@ -236,8 +261,13 @@ class ArrivalRateEstimator:
             return 0.0
         # Normalizing by the full window (not the observed span) keeps the estimate
         # unbiased for a stationary process and makes an emptying window read as a
-        # falling rate rather than a noisy one.
-        span_ms = min(self.window_ms, max(now_ms, self._arrivals[-1]))
+        # falling rate rather than a noisy one.  The span is anchored on the first
+        # *observed* arrival: before one full window has elapsed since then, only the
+        # trace time that actually carried observations divides the count.  Anchoring
+        # on absolute time instead would bias every offset-origin trace (first arrival
+        # at t0 >> window_ms) toward a near-zero rate at trace start.
+        elapsed_ms = max(now_ms, self._arrivals[-1]) - self._first_observed_ms
+        span_ms = min(self.window_ms, elapsed_ms)
         if span_ms <= 0:
             return 0.0
         return 1000.0 * len(self._arrivals) / span_ms
@@ -471,9 +501,12 @@ class ElasticKairosController:
             )
         # The min_observations gate protects against acting on a window that simply
         # has not existed long enough to be meaningful.  Once a full window of trace
-        # time has elapsed, a *sparse* window is itself the signal (a severe load
-        # drop produces few arrivals by definition), so the gate no longer applies.
-        window_elapsed = now_ms >= self.rate_estimator.window_ms
+        # time has elapsed *since the first observed arrival*, a sparse window is
+        # itself the signal (a severe load drop produces few arrivals by definition),
+        # so the gate no longer applies.  The window is measured from the first
+        # arrival, not from absolute time zero: an offset-origin trace must not
+        # bypass the gate (and fire a spurious load-drop re-plan) at trace start.
+        window_elapsed = self.rate_estimator.window_elapsed(now_ms)
         if not window_elapsed and self.rate_estimator.observations(now_ms) < self.min_observations:
             return None
         if now_ms < self._last_replan_ms + self.cooldown_ms:
@@ -689,7 +722,7 @@ class MultiModelElasticController:
         observed: Dict[str, float] = {}
         for name in self.model_names:
             estimator = self.rate_estimators[name]
-            window_elapsed = now_ms >= estimator.window_ms
+            window_elapsed = estimator.window_elapsed(now_ms)
             trustworthy = window_elapsed or (
                 estimator.observations(now_ms) >= self.min_observations
             )

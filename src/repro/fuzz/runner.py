@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -165,8 +165,18 @@ def build_queries(spec: ScenarioSpec) -> List[Query]:
         trace = PhasedTrace([p.to_load_phase() for p in stream.phases], wspec)
         streams[stream.model_name] = trace.generate(_stream_rng(spec, i)).queries
     if spec.loop == "multi_model":
-        return interleave_model_streams(streams)
-    return list(next(iter(streams.values())))
+        queries = interleave_model_streams(streams)
+    else:
+        queries = list(next(iter(streams.values())))
+    if spec.start_offset_ms:
+        # Shift the whole stream to the spec's time origin.  The generators always
+        # emit from t=0; the offset is applied after interleaving so the relative
+        # structure (and the per-stream RNG draws) are untouched.
+        queries = [
+            replace(q, arrival_time_ms=q.arrival_time_ms + spec.start_offset_ms)
+            for q in queries
+        ]
+    return queries
 
 
 # ---------------------------------------------------------------------------------------
@@ -193,9 +203,12 @@ def _single_model_policy(spec: ScenarioSpec) -> RecordingPolicy:
 
 
 def _scripted_events(spec: ScenarioSpec) -> List[Event]:
+    # Scripted times are spec-relative; the offset moves them with the arrivals so
+    # an offset twin is the same scenario played at a different time origin.
+    offset = spec.start_offset_ms
     events = [
         Event(
-            e.time_ms,
+            e.time_ms + offset,
             EventKind.SCALE_UP if e.action == "up" else EventKind.SCALE_DOWN,
             ScaleRequest(e.type_name, e.count, reason="scripted", market=e.market),
         )
@@ -204,7 +217,7 @@ def _scripted_events(spec: ScenarioSpec) -> List[Event]:
     if spec.spot is not None:
         events.extend(
             Event(
-                b.time_ms,
+                b.time_ms + offset,
                 EventKind.PREEMPTION_WARNING,
                 PreemptionBurst(b.count, type_name=b.type_name),
             )
@@ -213,7 +226,7 @@ def _scripted_events(spec: ScenarioSpec) -> List[Event]:
     if spec.faults is not None:
         events.extend(
             Event(
-                s.time_ms,
+                s.time_ms + offset,
                 EventKind.INSTANCE_FAILED,
                 CrashStorm(s.count, type_name=s.type_name),
             )
@@ -316,6 +329,7 @@ def run_scenario(
             noise=_noise(spec),
             rng=_service_rng(spec),
             warmup_queries=spec.warmup_queries,
+            sharded_events=spec.sharded_events,
             **_degradation_kwargs(spec),
         )
         report = sim.run(run_queries)
@@ -333,6 +347,7 @@ def run_scenario(
             rng=_service_rng(spec),
             warmup_queries=spec.warmup_queries,
             scripted_events=_scripted_events(spec),
+            sharded_events=spec.sharded_events,
             **_chaos_kwargs(spec),
         )
         if spec.loop == "elastic":
@@ -377,6 +392,7 @@ def run_scenario(
             rng=_service_rng(spec),
             warmup_queries=spec.warmup_queries,
             scripted_events=_scripted_events(spec),
+            sharded_events=spec.sharded_events,
             **_chaos_kwargs(spec),
         )
         report = sim.run(run_queries)

@@ -306,6 +306,12 @@ class ScenarioSpec:
         The chaos dimensions: unannounced failure injection (any elastic loop),
         bounded retry with response timeouts (any loop), and admission-controlled
         load shedding (any loop).
+    sharded_events:
+        Drive the run off the sharded event/pending queues of
+        :mod:`repro.sim.sharding` (byte-identical to the single-heap path).
+    start_offset_ms:
+        Shift the whole scenario — arrivals, scripted events, bursts, storms — to
+        a non-zero time origin, as committed real-trace slices have.
     """
 
     loop: str = "static"
@@ -320,6 +326,8 @@ class ScenarioSpec:
     warmup_queries: int = 0
     max_queries_per_round: Optional[int] = 64
     sharded: bool = False
+    sharded_events: bool = False
+    start_offset_ms: float = 0.0
     scale_events: Tuple[ScaleEventSpec, ...] = ()
     spot: Optional[SpotSpec] = None
     faults: Optional[FaultSpec] = None
@@ -358,6 +366,8 @@ class ScenarioSpec:
             raise ValueError("max_queries_per_round must be >= 1 or None")
         if self.sharded and self.loop != "multi_model":
             raise ValueError("sharded dispatch is a multi-model policy mode")
+        if self.start_offset_ms < 0:
+            raise ValueError("start_offset_ms must be non-negative")
         if self.spot is not None and self.loop != "spot":
             raise ValueError("a SpotSpec is only legal with loop='spot'")
         if self.scale_events and self.loop not in ("elastic", "spot"):

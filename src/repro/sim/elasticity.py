@@ -240,6 +240,7 @@ class ElasticServingSimulation:
         fault_rng: RngLike = None,
         retry: Optional[RetryPolicy] = None,
         admission: Optional[AdmissionController] = None,
+        sharded_events: bool = False,
     ):
         check_non_negative(startup_delay_ms, "startup_delay_ms")
         if warmup_queries < 0:
@@ -257,6 +258,9 @@ class ElasticServingSimulation:
         self._fault_rng = ensure_rng(fault_rng)
         self.retry = retry
         self.admission = admission
+        #: drive the run off a ShardedEventQueue (per-kind shards); byte-identical
+        #: to the single-heap path (see repro.sim.sharding)
+        self.sharded_events = bool(sharded_events)
         # -- shared chaos/preemption machinery (subclasses reuse all of it) ------------
         #: per-server records dispatched but not yet completed (the voiding source)
         self._inflight: Dict[int, List[QueryRecord]] = {}
@@ -324,7 +328,12 @@ class ElasticServingSimulation:
         replans: List[ReplanDecision] = []
 
         clock = SimulationClock(0.0)
-        events = EventQueue()
+        if self.sharded_events:
+            from repro.sim.sharding import ShardedEventQueue, shard_key_by_kind
+
+            events = ShardedEventQueue(shard_key_by_kind)
+        else:
+            events = EventQueue()
         for q in ordered:
             events.push(Event(q.arrival_time_ms, EventKind.QUERY_ARRIVAL, q))
         events.push_all(self.scripted_events)
@@ -372,17 +381,19 @@ class ElasticServingSimulation:
                     saw_arrival = saw_arrival or kind_arrival
                     if kind_arrival:
                         pending.append(event.payload)
-                batch = events.pop_batch(now)
-
                 # The controller reacts right after the arrivals of this instant are
                 # observed — the one-shot re-plan (Fig. 12) happens inside the event
-                # loop, not between runs.
+                # loop, not between runs.  Replan BEFORE re-popping: the decision's
+                # same-instant scale events must land in the next inner batch, or an
+                # empty re-pop would strand them past this round and the outer loop
+                # would re-wake at the same `now` for a duplicate scheduling round.
                 if saw_arrival and self.controller is not None:
                     decision = self.controller.maybe_replan(now)
                     if decision is not None:
                         replans.append(decision)
                         self._emit_scale_events(decision, now, events)
                     saw_arrival = False
+                batch = events.pop_batch(now)
 
             if membership_changed:
                 view = self.cluster.active_view()

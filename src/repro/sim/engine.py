@@ -100,6 +100,20 @@ class EventQueue:
         round.  Without it, the batch is taken at the earliest queued timestamp
         (empty queue returns an empty list).  Kind/insertion ordering inside the
         batch is exactly the heap order (completions before arrivals).
+
+        **Anchor rule (load-bearing, do not change):** the batch limit is pinned at
+        ``anchor + TIME_EPSILON_MS`` where the *anchor* is the single timestamp the
+        batch was taken at (``time_ms`` when given, else the earliest queued event).
+        Coalescing is deliberately **not transitive**: a chain of events whose
+        consecutive gaps are each below epsilon still splits at the anchor boundary —
+        events past ``anchor + epsilon`` stay queued and anchor the *next* batch.
+        Sub-epsilon chains are therefore partitioned greedily from the earliest event
+        forward, which makes the split a deterministic function of the queue contents
+        alone.  Any sharded or merged queue
+        (:class:`~repro.sim.sharding.ShardedEventQueue`) must reuse this exact rule
+        with one **global** anchor across all shards: letting each shard anchor its
+        own batch would split the same chain differently per shard and diverge from
+        the unsharded event loop.
         """
         heap = self._heap
         if not heap:

@@ -145,12 +145,16 @@ class MultiModelServingSimulation:
         fault_rng: RngLike = None,
         retry: Optional[RetryPolicy] = None,
         admission: Optional[AdmissionController] = None,
+        sharded_events: bool = False,
     ):
         check_non_negative(startup_delay_ms, "startup_delay_ms")
         if warmup_queries < 0:
             raise ValueError("warmup_queries must be non-negative")
         self.cluster = cluster
         self.policy = policy
+        #: drive the run off per-model sharded event/pending queues; byte-identical
+        #: to the single-heap path (see repro.sim.sharding)
+        self.sharded_events = bool(sharded_events)
         self.controller = controller
         self.qos_percentile = float(qos_percentile)
         self.startup_delay_ms = float(startup_delay_ms)
@@ -243,15 +247,24 @@ class MultiModelServingSimulation:
         replans: List = []
 
         clock = SimulationClock(0.0)
-        events = EventQueue()
+        if self.sharded_events:
+            from repro.sim.sharding import (
+                ShardedEventQueue,
+                ShardedPendingQueue,
+                shard_key_by_model,
+            )
+
+            events = ShardedEventQueue(shard_key_by_model)
+            pending = ShardedPendingQueue()
+        else:
+            events = EventQueue()
+            pending = PendingQueue()
         for q in ordered:
             events.push(Event(q.arrival_time_ms, EventKind.QUERY_ARRIVAL, q))
         events.push_all(self.scripted_events)
         if self.faults is not None and self._outstanding > 0:
             for server in self.cluster:
                 self._arm_fault_timers(server.server_id, server.type_name, 0.0, events)
-
-        pending = PendingQueue()
         # Warm-up is per model: each model's online learner has its own cold start, so
         # the first `warmup_queries` arrivals *of each model* are excluded from metrics
         # (with one model this reduces to the single-model prefix rule).
@@ -295,14 +308,17 @@ class MultiModelServingSimulation:
                     saw_arrival = saw_arrival or kind_arrival
                     if kind_arrival:
                         pending.append(event.payload)
-                batch = events.pop_batch(now)
-
+                # Replan before re-popping so the decision's same-instant scale
+                # events join the next inner batch instead of stranding past this
+                # round (which would re-wake the outer loop at the same `now` for a
+                # duplicate scheduling round — see the elastic loop).
                 if saw_arrival and self.controller is not None:
                     decision = self.controller.maybe_replan(now)
                     if decision is not None:
                         replans.append(decision)
                         self._emit_scale_events(decision, now, events)
                     saw_arrival = False
+                batch = events.pop_batch(now)
 
             if membership_changed:
                 view = self.cluster.active_view()

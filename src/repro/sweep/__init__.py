@@ -1,0 +1,23 @@
+"""Parallel seed x scenario sweep harness with deterministic aggregation."""
+
+from repro.sweep.harness import (
+    SweepPoint,
+    SweepRow,
+    build_grid,
+    format_table,
+    run_point,
+    run_sweep,
+    save_table,
+    sweep_digest,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepRow",
+    "build_grid",
+    "format_table",
+    "run_point",
+    "run_sweep",
+    "save_table",
+    "sweep_digest",
+]

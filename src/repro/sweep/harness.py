@@ -1,0 +1,189 @@
+"""Parallel sweep harness: fan seeds x scenarios across processes, deterministically.
+
+A sweep is a grid of :class:`~repro.fuzz.spec.ScenarioSpec` x seed points.  Each
+point replays one scenario through :func:`~repro.fuzz.runner.run_scenario` and is
+reduced to a :class:`SweepRow` of scalar outcomes (tail latency, goodput, cost,
+digest).  The harness runs the grid either serially or fanned out over a
+``concurrent.futures.ProcessPoolExecutor`` — and the two must be byte-identical:
+
+* every point is self-contained (the spec carries the seed; workers share no
+  state), and
+* aggregation is by **grid order**, not completion order — ``executor.map``
+  yields results in submission order regardless of which worker finishes first.
+
+``sweep_digest`` hashes the rows (which carry per-run result digests but no
+wall-clock measurements), so ``sweep_digest(serial) == sweep_digest(parallel)``
+is the determinism proof the unit tests and the ``sweep-smoke`` CI stage assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.fuzz.runner import result_digest, run_scenario
+from repro.fuzz.spec import ScenarioSpec
+
+__all__ = [
+    "SweepPoint",
+    "SweepRow",
+    "build_grid",
+    "run_point",
+    "run_sweep",
+    "sweep_digest",
+    "format_table",
+    "save_table",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: a fully materialised spec (seed already substituted)."""
+
+    spec: ScenarioSpec
+    scenario: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Scalar outcomes of one replayed point — everything here is deterministic."""
+
+    scenario: str
+    seed: int
+    loop: str
+    completions: int
+    violations: int
+    tail_latency_ms: float
+    goodput_qps: float
+    cost_usd: float
+    digest: str
+
+    def key(self) -> tuple:
+        return (self.scenario, self.seed)
+
+
+def build_grid(
+    specs: Sequence[ScenarioSpec], seeds: Sequence[int]
+) -> List[SweepPoint]:
+    """Cross scenarios with seeds in a fixed order: specs outer, seeds inner."""
+    grid: List[SweepPoint] = []
+    for spec in specs:
+        name = spec.label or f"seed-{spec.seed}"
+        for seed in seeds:
+            grid.append(
+                SweepPoint(
+                    spec=dataclasses.replace(spec, seed=int(seed)),
+                    scenario=name,
+                    seed=int(seed),
+                )
+            )
+    return grid
+
+
+def run_point(point: SweepPoint) -> SweepRow:
+    """Replay one grid cell.  Module-level and argument-pure, so it pickles."""
+    result = run_scenario(point.spec, check=True)
+    metrics = result.report.metrics
+    if hasattr(metrics, "per_model"):
+        # multi-model runs report per-model views: worst tail, summed goodput
+        per = [m for m in metrics.per_model().values() if len(m)]
+        tail = max((m.tail_latency_ms() for m in per), default=0.0)
+        goodput = sum(m.goodput_qps() for m in per)
+    else:
+        tail = metrics.tail_latency_ms() if len(metrics) else 0.0
+        goodput = metrics.goodput_qps() if len(metrics) else 0.0
+    ledger = result.ledger
+    cost = 0.0
+    if ledger is not None:
+        horizon = getattr(result.report, "billing_horizon_ms", None)
+        if horizon is None:
+            horizon = metrics.makespan_ms() if len(metrics) else 0.0
+        cost = ledger.total_cost(horizon)
+    return SweepRow(
+        scenario=point.scenario,
+        seed=point.seed,
+        loop=point.spec.loop,
+        completions=len(metrics),
+        violations=len(result.violations),
+        tail_latency_ms=tail,
+        goodput_qps=goodput,
+        cost_usd=cost,
+        digest=result_digest(result),
+    )
+
+
+def run_sweep(
+    points: Sequence[SweepPoint], *, workers: int = 0
+) -> List[SweepRow]:
+    """Replay every point; ``workers <= 1`` runs serially in-process.
+
+    Parallel output is byte-identical to serial: points are independent and
+    ``executor.map`` returns results in submission (grid) order.
+    """
+    points = list(points)
+    if workers <= 1:
+        return [run_point(p) for p in points]
+    n = min(workers, len(points)) or 1
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        return list(pool.map(run_point, points))
+
+
+def default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def sweep_digest(rows: Iterable[SweepRow]) -> str:
+    """Canonical sha256 over the rows; ``repr`` keeps float bytes exact."""
+    h = hashlib.sha256()
+    for row in rows:
+        h.update(
+            "|".join(
+                [
+                    row.scenario,
+                    str(row.seed),
+                    row.loop,
+                    str(row.completions),
+                    str(row.violations),
+                    repr(row.tail_latency_ms),
+                    repr(row.goodput_qps),
+                    repr(row.cost_usd),
+                    row.digest,
+                ]
+            ).encode()
+        )
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def format_table(rows: Sequence[SweepRow]) -> str:
+    """Fixed-width aggregate table, one line per point plus a digest footer."""
+    header = (
+        f"{'scenario':<34} {'seed':>6} {'loop':<12} {'done':>6} {'viol':>5} "
+        f"{'p99 ms':>10} {'goodput':>9} {'cost $':>9}  digest"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.scenario:<34} {row.seed:>6} {row.loop:<12} "
+            f"{row.completions:>6} {row.violations:>5} "
+            f"{row.tail_latency_ms:>10.3f} {row.goodput_qps:>9.3f} "
+            f"{row.cost_usd:>9.4f}  {row.digest[:12]}"
+        )
+    lines.append("-" * len(header))
+    lines.append(f"sweep digest: {sweep_digest(rows)}")
+    return "\n".join(lines)
+
+
+def save_table(rows: Sequence[SweepRow], path: Path, title: Optional[str] = None) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = format_table(rows)
+    if title:
+        body = f"{title}\n\n{body}"
+    path.write_text(body + "\n")

@@ -72,8 +72,25 @@ class Trace:
         )
 
     @property
-    def duration_ms(self) -> float:
+    def start_ms(self) -> float:
+        """Arrival time of the first query (0 for an empty trace)."""
+        return self.queries[0].arrival_time_ms if self.queries else 0.0
+
+    @property
+    def end_ms(self) -> float:
+        """Arrival time of the last query (0 for an empty trace)."""
         return self.queries[-1].arrival_time_ms if self.queries else 0.0
+
+    @property
+    def duration_ms(self) -> float:
+        """The arrival *span* ``end_ms - start_ms``.
+
+        This is a duration, not an end time: a committed trace slice whose first
+        arrival sits at an arbitrary origin ``t0`` has the same duration as the same
+        slice re-based to zero.  Offered-rate computations must divide by this span
+        (dividing by ``end_ms`` deflates the rate of any offset-origin trace).
+        """
+        return self.end_ms - self.start_ms
 
     def for_model(self, model_name: str) -> "Trace":
         """Sub-trace of one model's queries (ids and arrival times preserved)."""
@@ -106,6 +123,9 @@ def save_trace_csv(trace: Union[Trace, Sequence[Query]], path: Union[str, Path])
         writer = csv.writer(fh)
         writer.writerow(_CSV_FIELDS)
         for q in queries:
+            # Query guarantees model_name is None or non-empty, so writing "" for
+            # None (and mapping "" back to None on load) is an exact round trip —
+            # no real query can collide with the empty-string encoding.
             writer.writerow(
                 [q.query_id, q.batch_size, repr(q.arrival_time_ms), q.model_name or ""]
             )

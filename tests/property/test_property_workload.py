@@ -1,11 +1,20 @@
 """Property-based tests for workload generation and streaming statistics."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.utils.stats import StreamingStats
 from repro.workload.batch_sizes import GaussianBatchSizes, TruncatedLogNormalBatchSizes
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.query import Query
+from repro.workload.trace_io import (
+    Trace,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
 
 
 @settings(max_examples=50, deadline=None)
@@ -76,3 +85,73 @@ def test_streaming_stats_merge_equals_concatenation(a, b):
     assert np.isclose(merged.mean, np.mean(combined), rtol=1e-9, atol=1e-6)
     assert np.isclose(merged.variance, np.var(combined), rtol=1e-6, atol=1e-6)
     assert merged.count == len(combined)
+
+
+# -- trace round-trip properties ----------------------------------------------------------
+
+#: None (untagged) plus realistic tag shapes; the CSV writer encodes None as "".
+#: ``Query`` rejects ``""`` as a tag, so the encoding can never collide — the
+#: asymmetry the round-trip properties below pin down.
+_model_names = st.one_of(
+    st.none(),
+    st.sampled_from(["NCF", "RM2", "WND", "MT-WND", "DIEN"]),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="-_."
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+
+
+@st.composite
+def _traces(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    queries = [
+        Query(
+            query_id=i,
+            batch_size=draw(st.integers(min_value=1, max_value=1024)),
+            arrival_time_ms=t,
+            model_name=draw(_model_names),
+        )
+        for i, t in enumerate(times)
+    ]
+    return Trace.from_queries(queries)
+
+
+def test_query_rejects_empty_model_name():
+    # Load-bearing for the CSV format: save_trace_csv writes "" for None and
+    # load_trace_csv maps "" back to None.  That is only an *exact* round trip
+    # because no real query can carry the empty string as its tag.
+    with pytest.raises(ValueError, match="non-empty"):
+        Query(query_id=0, batch_size=1, arrival_time_ms=0.0, model_name="")
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=_traces())
+def test_csv_round_trip_is_exact(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    save_trace_csv(trace, path)
+    loaded = load_trace_csv(path)
+    assert list(loaded.queries) == list(trace.queries)
+    assert loaded.duration_ms == trace.duration_ms
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=_traces())
+def test_jsonl_round_trip_is_exact(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("jsonl") / "t.jsonl"
+    save_trace_jsonl(trace, path)
+    loaded = load_trace_jsonl(path)
+    assert list(loaded.queries) == list(trace.queries)
+    assert loaded.duration_ms == trace.duration_ms

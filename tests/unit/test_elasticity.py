@@ -295,6 +295,51 @@ class TestArrivalRateEstimator:
             ArrivalRateEstimator(window_ms=0.0)
 
 
+class TestArrivalRateEstimatorTimeOrigin:
+    """Regression: the estimator must anchor on the first *observed* arrival.
+
+    Pre-fix, ``rate_qps`` normalized by ``min(window_ms, max(now_ms, last))`` —
+    absolute time — so any trace starting at ``t0 >> window_ms`` immediately read
+    a full-window span and deflated the rate by ``observed_span / window``.
+    """
+
+    def test_rate_anchored_on_first_observed_arrival(self):
+        est = ArrivalRateEstimator(window_ms=5_000.0)
+        t0 = 1_000_000.0  # a committed trace slice starting ~17 minutes in
+        for i in range(21):
+            est.observe(t0 + i * 25.0)  # 40 qps over a 500 ms observed span
+        now = t0 + 500.0
+        # span is the 500 ms since the first arrival, not the full 5 s window:
+        # 21 arrivals / 0.5 s = 42 qps.  Pre-fix this read 21 / 5 s = 4.2 qps.
+        assert est.rate_qps(now) == pytest.approx(42.0)
+        assert est.first_observed_ms == t0
+
+    def test_offset_origin_matches_zero_origin(self):
+        def rates(origin):
+            est = ArrivalRateEstimator(window_ms=1_000.0)
+            out = []
+            for i in range(50):
+                t = origin + i * 20.0
+                est.observe(t)
+                out.append(est.rate_qps(t))
+            return out
+
+        assert rates(600_000.0) == rates(0.0)
+
+    def test_single_arrival_zero_span_reads_zero(self):
+        est = ArrivalRateEstimator(window_ms=1_000.0)
+        est.observe(750_000.0)
+        assert est.rate_qps(750_000.0) == 0.0
+
+    def test_window_elapsed_requires_an_observation(self):
+        est = ArrivalRateEstimator(window_ms=1_000.0)
+        # an untouched estimator never claims a trustworthy window, whatever the clock
+        assert not est.window_elapsed(1e12)
+        est.observe(600_000.0)
+        assert not est.window_elapsed(600_999.0)
+        assert est.window_elapsed(601_000.0)
+
+
 class TestMigrationDeltas:
     def test_deltas(self, catalog):
         old = HeterogeneousConfig((2, 1, 3, 0), catalog)
@@ -424,6 +469,71 @@ class TestElasticKairosController:
         decision = ctrl.decisions[0]
         assert not decision.is_scale_up
         assert decision.budget_per_hour < 2.5
+
+
+class TestElasticControllerOffsetTrace:
+    """Regression: a trace whose first arrival is at ``t0 >> window_ms`` must not
+    fire a spurious load-drop re-plan at trace start.
+
+    Pre-fix, ``maybe_replan`` treated the window as elapsed once ``now_ms >=
+    window_ms`` (absolute time), bypassing the ``min_observations`` gate, and the
+    deflated early rate then looked like a severe load drop.
+    """
+
+    def make_controller(self, profiles, **kw):
+        defaults = dict(
+            window_ms=1000.0,
+            change_threshold=1.5,
+            min_observations=20,
+            cooldown_ms=2000.0,
+            rng=0,
+        )
+        defaults.update(kw)
+        return ElasticKairosController(
+            "RM2", 2.5, 100.0, profiles=profiles, **defaults
+        )
+
+    def test_no_spurious_replan_at_offset_trace_start(self, profiles):
+        ctrl = self.make_controller(profiles)
+        ctrl.initial_plan()
+        t0 = 600_000.0  # first arrival ten minutes in, at the provisioned 100 qps
+        for i in range(5):
+            t = t0 + i * 10.0
+            ctrl.observe_arrival(_query(i, 64, t), t)
+            assert ctrl.maybe_replan(t) is None
+        assert ctrl.decisions == []
+
+    def test_offset_trace_still_detects_real_load_step(self, profiles):
+        ctrl = self.make_controller(profiles)
+        ctrl.initial_plan()
+        t0 = 600_000.0
+        t = t0
+        for i in range(600):
+            t += 4.0  # 250 qps: a 2.5x step, sustained past the window
+            ctrl.observe_arrival(_query(i, 64, t), t)
+            if ctrl.maybe_replan(t):
+                break
+        assert len(ctrl.decisions) == 1
+        assert ctrl.decisions[0].is_scale_up
+
+    def test_offset_trace_matches_zero_origin_decisions(self, profiles):
+        # cooldown off: the initial cooldown is deliberately anchored at absolute
+        # t=0 (the controller goes live when the run starts), which would shift
+        # the first decision of the zero-origin twin — not what this test pins.
+        def decide(origin):
+            ctrl = self.make_controller(profiles, cooldown_ms=0.0)
+            ctrl.initial_plan()
+            t = origin
+            fired_after = None
+            for i in range(600):
+                t += 4.0
+                ctrl.observe_arrival(_query(i, 64, t), t)
+                if ctrl.maybe_replan(t):
+                    fired_after = t - origin
+                    break
+            return fired_after, [d.observed_rate_qps for d in ctrl.decisions]
+
+        assert decide(600_000.0) == decide(0.0)
 
 
 def _query(qid, batch, t):

@@ -264,6 +264,63 @@ def test_pop_batch_without_time_takes_earliest_instant():
     assert q.pop_batch() == []
 
 
+class TestPopBatchAnchorRule:
+    """Pins the anchor-based (non-transitive) coalescing rule of ``pop_batch``.
+
+    A chain of events whose *consecutive* gaps are each below ``TIME_EPSILON_MS``
+    still partitions greedily from the earliest event: the batch limit is
+    ``anchor + epsilon`` where the anchor is one single timestamp, never the
+    last event admitted so far.  Sharded queues must reuse exactly this rule
+    with one global anchor — per-shard anchors would split the same chain
+    differently per shard and diverge from the unsharded loop.
+    """
+
+    CHAIN = [5.0 + i * 0.6e-9 for i in range(5)]  # gaps 0.6 eps, span 2.4 eps
+
+    def fill(self, times=None):
+        q = EventQueue()
+        for i, t in enumerate(times if times is not None else self.CHAIN):
+            q.push(Event(t, EventKind.CONTROL, i))
+        return q
+
+    def test_sub_epsilon_chain_partitions_greedily(self):
+        # anchor=5.0 admits offsets {0, 0.6eps}; 1.2eps anchors the next batch
+        # (admitting 1.8eps); 2.4eps anchors the last.  Transitive coalescing
+        # would drain all five as one batch — that must not happen.
+        q = self.fill()
+        batches = []
+        while q:
+            batches.append([e.payload for e in q.pop_batch()])
+        assert batches == [[0, 1], [2, 3], [4]]
+
+    def test_explicit_anchor_reproduces_the_implicit_split(self):
+        q = self.fill()
+        assert [e.payload for e in q.pop_batch(5.0)] == [0, 1]
+
+    def test_anchor_choice_decides_the_split(self):
+        # Anchoring at the third chain event widens the limit to 2.2 eps past the
+        # base: four events coalesce.  The split is a function of the anchor —
+        # which is exactly why a sharded merge must use ONE global anchor.
+        q = self.fill()
+        assert [e.payload for e in q.pop_batch(self.CHAIN[2])] == [0, 1, 2, 3]
+
+    def test_insertion_order_never_changes_the_partition(self):
+        q = self.fill(reversed(self.CHAIN))
+        batches = []
+        while q:
+            batches.append([e.time_ms for e in q.pop_batch()])
+        assert batches == [
+            [self.CHAIN[0], self.CHAIN[1]],
+            [self.CHAIN[2], self.CHAIN[3]],
+            [self.CHAIN[4]],
+        ]
+
+    def test_event_exactly_on_the_limit_is_admitted(self):
+        q = self.fill([5.0, 5.0 + TIME_EPSILON_MS, 5.0 + 2.0 * TIME_EPSILON_MS])
+        assert [e.payload for e in q.pop_batch()] == [0, 1]  # limit is inclusive
+        assert [e.payload for e in q.pop_batch()] == [2]
+
+
 class TestEpsilonClusterFuzz:
     """Fuzzed equal-instant event clusters against the pop_batch/TIME_EPSILON_MS
     boundary: timestamps packed below the epsilon must drain as one batch, gaps

@@ -1,0 +1,276 @@
+"""Tests for repro.sim.sharding: the sharded event/pending queues and shard clocks.
+
+The load-bearing property is *merge exactness*: whatever the partition, the sharded
+queue's pop order — and its batch splits under the anchor rule — must be
+byte-identical to the single-heap :class:`~repro.sim.engine.EventQueue`.  The
+corpus-wide proof lives in the regression suite; these tests pin the mechanism.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import TIME_EPSILON_MS, EventQueue
+from repro.sim.events import Event, EventKind, ScaleRequest
+from repro.sim.sharding import (
+    ShardClock,
+    ShardedEventQueue,
+    ShardedPendingQueue,
+    shard_key_by_kind,
+    shard_key_by_model,
+)
+from repro.workload.query import Query
+
+ALL_KINDS = list(EventKind)
+
+
+def _drain_pops(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+def _drain_batches(queue):
+    out = []
+    while queue:
+        out.append(queue.pop_batch())
+    return out
+
+
+class TestShardKeys:
+    def test_model_key_uses_payload_model(self):
+        q = Query(0, 8, 1.0, model_name="RM2")
+        assert shard_key_by_model(Event(1.0, EventKind.QUERY_ARRIVAL, q)) == (
+            "model",
+            "RM2",
+        )
+        req = ScaleRequest("g4dn.xlarge", 1, model_name="WND")
+        assert shard_key_by_model(Event(2.0, EventKind.SCALE_UP, req)) == (
+            "model",
+            "WND",
+        )
+
+    def test_model_key_falls_back_to_kind(self):
+        e = Event(1.0, EventKind.INSTANCE_FAILED, (3, "g4dn.xlarge"))
+        assert shard_key_by_model(e) == ("kind", int(EventKind.INSTANCE_FAILED))
+
+    def test_kind_key_classes(self):
+        assert shard_key_by_kind(Event(1.0, EventKind.SERVICE_COMPLETION)) == "completion"
+        assert shard_key_by_kind(Event(1.0, EventKind.QUERY_ARRIVAL)) == "arrival"
+        assert shard_key_by_kind(Event(1.0, EventKind.SCALE_UP, None)) == "control"
+
+
+class TestMergeExactness:
+    """Pop order and batch splits must match the single heap, for any partition."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        items=st.lists(
+            st.tuples(
+                st.sampled_from([0.0, 1.0, 1.0 + 0.5e-9, 2.5, 7.0]),
+                st.sampled_from(ALL_KINDS),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        n_shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_pop_order_matches_single_heap_for_any_partition(self, items, n_shards):
+        # shard arbitrarily (round-robin over payload) — correctness must not care
+        sharded = ShardedEventQueue(lambda e: e.payload % n_shards)
+        plain = EventQueue()
+        for seq, (t, kind) in enumerate(items):
+            sharded.push(Event(t, kind, payload=seq))
+            plain.push(Event(t, kind, payload=seq))
+        assert [(e.time_ms, e.kind, e.payload) for e in _drain_pops(sharded)] == [
+            (e.time_ms, e.kind, e.payload) for e in _drain_pops(plain)
+        ]
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        n_shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_batch_splits_match_single_heap_for_any_partition(self, times, n_shards):
+        sharded = ShardedEventQueue(lambda e: e.payload % n_shards)
+        plain = EventQueue()
+        for i, t in enumerate(times):
+            sharded.push(Event(t, EventKind.CONTROL, payload=i))
+            plain.push(Event(t, EventKind.CONTROL, payload=i))
+        assert [
+            [(e.time_ms, e.payload) for e in batch] for batch in _drain_batches(sharded)
+        ] == [[(e.time_ms, e.payload) for e in batch] for batch in _drain_batches(plain)]
+
+    def test_global_anchor_spans_shards(self):
+        # chain with 0.6-eps gaps alternating across two shards: a per-shard anchor
+        # would see 1.2-eps gaps inside each shard and split differently — the
+        # global anchor must reproduce the single-heap partition [[0,1],[2,3],[4]].
+        times = [5.0 + i * 0.6e-9 for i in range(5)]
+        sharded = ShardedEventQueue(lambda e: e.payload % 2)
+        for i, t in enumerate(times):
+            sharded.push(Event(t, EventKind.CONTROL, payload=i))
+        assert [[e.payload for e in b] for b in _drain_batches(sharded)] == [
+            [0, 1],
+            [2, 3],
+            [4],
+        ]
+
+    def test_explicit_anchor_matches_plain_queue(self):
+        times = [5.0 + i * 0.6e-9 for i in range(5)]
+        sharded = ShardedEventQueue(lambda e: e.payload % 2)
+        plain = EventQueue()
+        for i, t in enumerate(times):
+            sharded.push(Event(t, EventKind.CONTROL, payload=i))
+            plain.push(Event(t, EventKind.CONTROL, payload=i))
+        anchor = times[2]
+        assert [e.payload for e in sharded.pop_batch(anchor)] == [
+            e.payload for e in plain.pop_batch(anchor)
+        ]
+
+
+class TestEventQueueApi:
+    """The drop-in surface the serving loops rely on."""
+
+    def fill(self):
+        q = ShardedEventQueue(shard_key_by_kind)
+        q.push(Event(3.0, EventKind.QUERY_ARRIVAL, "a"))
+        q.push(Event(1.0, EventKind.SERVICE_COMPLETION, "c"))
+        q.push(Event(2.0, EventKind.SCALE_UP, None))
+        return q
+
+    def test_len_bool_peek(self):
+        q = self.fill()
+        assert len(q) == 3 and q
+        assert q.peek().payload == "c"
+        assert q.peek_time() == 1.0
+        assert q.num_shards == 3
+
+    def test_empty_behaviour(self):
+        q = ShardedEventQueue()
+        assert not q and len(q) == 0
+        assert q.peek_time() is None
+        assert q.pop_batch() == []
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_pop_until(self):
+        q = ShardedEventQueue(lambda e: e.payload % 2)
+        q.push_all(Event(t, EventKind.CONTROL, t) for t in (1.0, 2.0, 3.0, 4.0))
+        assert [e.payload for e in q.pop_until(2.5)] == [1.0, 2.0]
+        assert len(q) == 2
+
+    def test_only_kinds(self):
+        q = self.fill()
+        assert not q.only_kinds({EventKind.QUERY_ARRIVAL})
+        assert q.only_kinds(
+            {EventKind.QUERY_ARRIVAL, EventKind.SERVICE_COMPLETION, EventKind.SCALE_UP}
+        )
+        assert not q.only_kinds(set())  # empty kinds always answers False
+        assert not ShardedEventQueue().only_kinds({EventKind.CONTROL})
+
+    def test_discard_preserves_survivor_order(self):
+        q = ShardedEventQueue(lambda e: e.payload % 3)
+        q.push_all(Event(float(i % 4), EventKind.CONTROL, i) for i in range(12))
+        removed = q.discard(lambda e: e.payload % 2 == 0)
+        assert removed == 6
+        drained = [e.payload for e in _drain_pops(q)]
+        assert sorted(drained) == [1, 3, 5, 7, 9, 11]
+        times = [float(p % 4) for p in drained]
+        assert times == sorted(times)
+
+    def test_clear(self):
+        q = self.fill()
+        q.clear()
+        assert len(q) == 0 and q.pop_batch() == []
+
+
+class TestShardClock:
+    def test_global_clock_is_max_of_shards(self):
+        clock = ShardClock()
+        clock.advance_shard("a", 5.0)
+        clock.advance_shard("b", 3.0)
+        assert clock.now_ms == 5.0
+        assert clock.shard_now_ms("a") == 5.0
+        assert clock.shard_now_ms("b") == 3.0
+        assert clock.shard_now_ms("never-seen") == 0.0
+
+    def test_shard_clocks_are_monotone(self):
+        clock = ShardClock()
+        clock.advance_shard("a", 5.0)
+        with pytest.raises(ValueError):
+            clock.advance_shard("a", 2.0)
+
+    def test_queue_tracks_participating_shards(self):
+        q = ShardedEventQueue(lambda e: e.payload)
+        q.push(Event(1.0, EventKind.CONTROL, "x"))
+        q.push(Event(1.0, EventKind.CONTROL, "y"))
+        q.push(Event(9.0, EventKind.CONTROL, "z"))
+        q.pop_batch()
+        assert q.clock.now_ms == 1.0
+        assert q.clock.shard_now_ms("x") == q.clock.shard_now_ms("y") == 1.0
+        assert q.clock.shard_now_ms("z") == 0.0  # did not participate in the round
+
+
+class TestShardedPendingQueue:
+    def _q(self, qid, model=None, t=None):
+        return Query(qid, 8, float(qid) if t is None else t, model_name=model)
+
+    def test_merged_snapshot_equals_append_order(self):
+        pending = ShardedPendingQueue()
+        order = []
+        for i, model in enumerate(["RM2", "WND", None, "RM2", "WND", None, "RM2"]):
+            q = self._q(i, model)
+            pending.append(q)
+            order.append(q)
+        assert pending.snapshot() == order
+        assert list(pending) == order
+        assert pending[2] is order[2]
+        assert pending.num_shards == 3
+
+    def test_remove_keeps_merge_order(self):
+        pending = ShardedPendingQueue()
+        for i, model in enumerate(["RM2", "WND", "RM2", None, "WND"]):
+            pending.append(self._q(i, model))
+        pending.remove(1)
+        pending.remove(2)
+        assert [q.query_id for q in pending.snapshot()] == [0, 3, 4]
+        assert len(pending) == 3
+        assert 1 not in pending and 0 in pending
+
+    def test_duplicate_and_missing_ids_rejected(self):
+        pending = ShardedPendingQueue()
+        pending.append(self._q(0, "RM2"))
+        with pytest.raises(ValueError):
+            pending.append(self._q(0, "WND"))
+        with pytest.raises(KeyError):
+            pending.remove(99)
+
+    def test_version_bumps_on_change(self):
+        pending = ShardedPendingQueue()
+        v0 = pending.version
+        pending.append(self._q(0, "RM2"))
+        v1 = pending.version
+        pending.remove(0)
+        assert v0 < v1 < pending.version
+
+    def test_snapshot_arrays_parallel_snapshot(self):
+        pending = ShardedPendingQueue()
+        for i, model in enumerate(["RM2", "WND", "RM2"]):
+            pending.append(Query(i, 10 + i, 2.0 * i, model_name=model))
+        snapshot, batches, arrivals = pending.snapshot_arrays()
+        assert [q.query_id for q in snapshot] == [0, 1, 2]
+        assert list(batches) == [10, 11, 12]
+        assert list(arrivals) == [0.0, 2.0, 4.0]
+
+    def test_per_model_shard_views(self):
+        pending = ShardedPendingQueue()
+        for i, model in enumerate(["RM2", "WND", "RM2"]):
+            pending.append(self._q(i, model))
+        assert [q.query_id for q in pending.shard("RM2").snapshot()] == [0, 2]
+        assert pending.shard("DIEN") is None

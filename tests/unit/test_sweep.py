@@ -1,0 +1,106 @@
+"""Tests for repro.sweep: grid construction, determinism, and the fan-out proof.
+
+The load-bearing property is that the ``ProcessPoolExecutor`` fan-out is
+byte-identical to the serial pass: points are self-contained and aggregation is
+by grid order, never completion order.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.spec import ScenarioSpec
+from repro.sweep import (
+    SweepRow,
+    build_grid,
+    format_table,
+    run_sweep,
+    save_table,
+    sweep_digest,
+)
+
+SCENARIO_DIR = Path(__file__).parent.parent / "regression" / "scenarios"
+
+
+@pytest.fixture(scope="module")
+def fast_spec():
+    return ScenarioSpec.load(SCENARIO_DIR / "static-overload-bursty.json")
+
+
+class TestGrid:
+    def test_specs_outer_seeds_inner(self, fast_spec):
+        other = dataclasses.replace(fast_spec, label="twin")
+        grid = build_grid([fast_spec, other], [7, 11])
+        assert [(p.scenario, p.seed) for p in grid] == [
+            (fast_spec.label, 7),
+            (fast_spec.label, 11),
+            ("twin", 7),
+            ("twin", 11),
+        ]
+
+    def test_seed_is_substituted_into_the_spec(self, fast_spec):
+        grid = build_grid([fast_spec], [7])
+        assert grid[0].spec.seed == 7
+        assert grid[0].spec.label == fast_spec.label
+
+
+class TestDeterministicFanOut:
+    def test_parallel_is_byte_identical_to_serial(self, fast_spec):
+        grid = build_grid([fast_spec], [1, 2, 3, 4])
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=2)
+        assert serial == parallel
+        assert sweep_digest(serial) == sweep_digest(parallel)
+
+    def test_rows_follow_grid_order(self, fast_spec):
+        grid = build_grid([fast_spec], [3, 1, 2])
+        rows = run_sweep(grid, workers=1)
+        assert [r.seed for r in rows] == [3, 1, 2]
+
+    def test_repeat_runs_reproduce_the_digest(self, fast_spec):
+        grid = build_grid([fast_spec], [5])
+        assert sweep_digest(run_sweep(grid)) == sweep_digest(run_sweep(grid))
+
+
+class TestDigestAndTable:
+    def _row(self, **overrides):
+        base = dict(
+            scenario="s",
+            seed=1,
+            loop="static",
+            completions=10,
+            violations=0,
+            tail_latency_ms=1.25,
+            goodput_qps=4.5,
+            cost_usd=0.001,
+            digest="abc123",
+        )
+        base.update(overrides)
+        return SweepRow(**base)
+
+    def test_digest_is_sensitive_to_every_outcome_field(self):
+        base = [self._row()]
+        d = sweep_digest(base)
+        assert sweep_digest([self._row(seed=2)]) != d
+        assert sweep_digest([self._row(completions=11)]) != d
+        assert sweep_digest([self._row(tail_latency_ms=1.25 + 1e-12)]) != d
+        assert sweep_digest([self._row(digest="abc124")]) != d
+
+    def test_digest_is_sensitive_to_row_order(self):
+        a, b = self._row(seed=1), self._row(seed=2)
+        assert sweep_digest([a, b]) != sweep_digest([b, a])
+
+    def test_table_lists_rows_and_footer_digest(self):
+        rows = [self._row()]
+        table = format_table(rows)
+        assert "s" in table and "abc123"[:12][:6] in table
+        assert sweep_digest(rows) in table
+
+    def test_save_table_writes_title_and_body(self, tmp_path):
+        rows = [self._row()]
+        out = tmp_path / "sub" / "table.txt"
+        save_table(rows, out, title="sweep test")
+        text = out.read_text()
+        assert text.startswith("sweep test")
+        assert sweep_digest(rows) in text

@@ -36,7 +36,9 @@ class TestTrace:
         trace = Trace.from_queries(reversed(queries))
         assert list(trace) == queries
         assert len(trace) == 5
-        assert trace.duration_ms == 250.125
+        assert trace.start_ms == 10.000000000000002
+        assert trace.end_ms == 250.125
+        assert trace.duration_ms == 250.125 - 10.000000000000002
 
     def test_model_names_in_first_appearance_order(self, queries):
         trace = Trace.from_queries(queries)
@@ -54,6 +56,49 @@ class TestTrace:
     def test_out_of_order_rejected(self):
         with pytest.raises(ValueError, match="sorted"):
             Trace((Query(0, 1, 5.0), Query(1, 1, 1.0)))
+
+
+class TestTraceSpan:
+    """Regression: ``duration_ms`` is the arrival *span*, not an end time.
+
+    Pre-fix it returned ``queries[-1].arrival_time_ms``, which inflates the
+    duration (and deflates any offered rate computed from it) for every trace
+    that does not start at t=0 — exactly the committed-slice real traces.
+    """
+
+    def test_offset_trace_duration_is_the_span(self):
+        t0 = 3_600_000.0  # a slice starting one hour in
+        trace = Trace.from_queries(
+            Query(i, 8, t0 + i * 100.0) for i in range(11)
+        )
+        assert trace.start_ms == t0
+        assert trace.end_ms == t0 + 1000.0
+        assert trace.duration_ms == 1000.0
+
+    def test_offset_invariance(self):
+        base = [Query(i, 8, i * 100.0) for i in range(11)]
+        shifted = [Query(i, 8, 500_000.0 + i * 100.0) for i in range(11)]
+        assert (
+            Trace.from_queries(base).duration_ms
+            == Trace.from_queries(shifted).duration_ms
+            == 1000.0
+        )
+
+    def test_offered_rate_from_span(self):
+        # 11 arrivals over a 1 s span at t0=500 s: 10 inter-arrival gaps -> the
+        # natural offered-rate estimate count/span stays ~10 qps, not ~0.02 qps
+        # as dividing by end_ms would give.
+        trace = Trace.from_queries(
+            Query(i, 8, 500_000.0 + i * 100.0) for i in range(11)
+        )
+        assert len(trace) / (trace.duration_ms / 1000.0) == pytest.approx(11.0)
+
+    def test_empty_and_singleton_traces(self):
+        assert Trace(()).duration_ms == 0.0
+        assert Trace(()).start_ms == 0.0 and Trace(()).end_ms == 0.0
+        single = Trace((Query(0, 1, 42.5),))
+        assert single.start_ms == single.end_ms == 42.5
+        assert single.duration_ms == 0.0
 
 
 class TestRoundTrip:

@@ -6,6 +6,8 @@ Usage::
     python tools/bench.py --quick            # CI bench-smoke scale
     python tools/bench.py --full             # committed reference scale
     python tools/bench.py                    # both presets
+    python tools/bench.py --fleet            # fleet_sim only, at fleet scale
+                                             # (2,240 servers, 10^6 queries)
     python tools/bench.py --set-baseline     # record this run as the pre-optimization
                                              # baseline block (done once, before a perf PR)
 
@@ -56,6 +58,11 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="run only the quick preset")
     parser.add_argument("--full", action="store_true", help="run only the full preset")
     parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run only the fleet_sim benchmark at the fleet preset (slow: minutes)",
+    )
+    parser.add_argument(
         "--names",
         default=None,
         help="comma-separated benchmark subset (default: all): "
@@ -88,10 +95,20 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.quick and args.full:
-        parser.error("--quick and --full are mutually exclusive (default runs both)")
-    presets = ["quick"] if args.quick else ["full"] if args.full else ["quick", "full"]
-    names = args.names.split(",") if args.names else None
+    if sum([args.quick, args.full, args.fleet]) > 1:
+        parser.error(
+            "--quick, --full, and --fleet are mutually exclusive (default runs "
+            "quick and full)"
+        )
+    if args.fleet:
+        presets = ["fleet"]
+        # the fleet preset parameterizes only fleet_sim; never fan it out wider
+        names = ["fleet_sim"]
+    else:
+        presets = (
+            ["quick"] if args.quick else ["full"] if args.full else ["quick", "full"]
+        )
+        names = args.names.split(",") if args.names else None
 
     score = machine_score()
     print(f"machine score: {score:.2f} (normalization divisor)")

@@ -29,6 +29,9 @@ echo "== fuzz-smoke: bounded invariant fuzzing + regression corpus replay =="
 python tools/fuzz.py --budget 25 --seed 1
 python tools/fuzz.py --corpus
 
+echo "== sweep-smoke: parallel fan-out must be byte-identical to serial =="
+python tools/sweep.py --check --seeds 1 2 --workers 2 > /dev/null
+
 echo "== chaos-smoke: fault-enabled fuzzing + chaos-marked tests =="
 python tools/fuzz.py --budget 25 --seed 2 --chaos
 python -m pytest tests -m chaos -q --hypothesis-profile=ci "$@"

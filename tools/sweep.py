@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Fan a seed x scenario sweep across processes, with deterministic aggregation.
+
+Usage::
+
+    python tools/sweep.py                             # corpus x 3 seeds, auto workers
+    python tools/sweep.py --seeds 1 2 3 4 5           # explicit seed list
+    python tools/sweep.py --scenarios tests/regression/scenarios/*.json
+    python tools/sweep.py --workers 1                 # force serial
+    python tools/sweep.py --check                     # prove parallel == serial
+    python tools/sweep.py --out results/sweep_corpus.txt
+
+Each (scenario, seed) point replays through the invariant-checked runner and is
+reduced to one table row; rows aggregate in grid order, so the parallel fan-out
+is byte-identical to the serial pass (``--check`` asserts it).  Exits non-zero
+if any point reports an invariant violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fuzz.spec import ScenarioSpec  # noqa: E402
+from repro.sweep import (  # noqa: E402
+    build_grid,
+    format_table,
+    run_sweep,
+    save_table,
+    sweep_digest,
+)
+from repro.sweep.harness import default_workers  # noqa: E402
+
+CORPUS_DIR = REPO_ROOT / "tests" / "regression" / "scenarios"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        type=Path,
+        default=None,
+        help="scenario JSON files (default: the committed regression corpus)",
+    )
+    parser.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[1, 2, 3],
+        help="seeds to substitute into every scenario (default: 1 2 3)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: cpu count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run serially and assert the parallel digest matches",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="write the table here")
+    args = parser.parse_args(argv)
+
+    paths = args.scenarios or sorted(CORPUS_DIR.glob("*.json"))
+    specs = [ScenarioSpec.load(p) for p in paths]
+    grid = build_grid(specs, args.seeds)
+    workers = args.workers if args.workers is not None else default_workers()
+
+    rows = run_sweep(grid, workers=workers)
+    if args.check:
+        serial = run_sweep(grid, workers=1)
+        if sweep_digest(serial) != sweep_digest(rows):
+            print("FAIL: parallel sweep diverged from the serial pass", file=sys.stderr)
+            return 1
+        print(f"parallel == serial over {len(grid)} points: OK")
+
+    table = format_table(rows)
+    print(table)
+    if args.out:
+        save_table(
+            rows,
+            args.out,
+            title=(
+                f"Seed x scenario sweep: {len(specs)} scenarios x "
+                f"{len(args.seeds)} seeds, {workers} worker(s)"
+            ),
+        )
+        print(f"wrote {args.out}")
+
+    bad = [r for r in rows if r.violations]
+    if bad:
+        for r in bad:
+            print(
+                f"VIOLATIONS: {r.scenario} seed={r.seed}: {r.violations}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
