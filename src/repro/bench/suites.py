@@ -50,6 +50,10 @@ PRESETS: Dict[str, Dict[str, float]] = {
         mm_queries=40,
         mm_rates=(25.0, 150.0),
         mm_counts=((1, 1, 2, 0), (1, 1, 2, 0)),
+        pipe_queries=40,
+        pipe_rates=(25.0, 150.0),
+        pipe_counts=((1, 1, 2, 0), (1, 1, 2, 0)),
+        pipe_graphs=4,
         spot_queries=60,
         spot_rate_qps=60.0,
         spot_counts=(2, 2, 4, 0),
@@ -77,6 +81,10 @@ PRESETS: Dict[str, Dict[str, float]] = {
         mm_queries=150,
         mm_rates=(60.0, 400.0),
         mm_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
+        pipe_queries=150,
+        pipe_rates=(60.0, 400.0),
+        pipe_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
+        pipe_graphs=12,
         spot_queries=300,
         spot_rate_qps=150.0,
         spot_counts=(6, 6, 12, 0),
@@ -104,6 +112,10 @@ PRESETS: Dict[str, Dict[str, float]] = {
         mm_queries=500,
         mm_rates=(60.0, 400.0),
         mm_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
+        pipe_queries=500,
+        pipe_rates=(60.0, 400.0),
+        pipe_counts=((3, 3, 6, 0), (3, 3, 6, 0)),
+        pipe_graphs=24,
         spot_queries=1000,
         spot_rate_qps=150.0,
         spot_counts=(6, 6, 12, 0),
@@ -405,6 +417,94 @@ def bench_multi_model_sim(preset: str) -> BenchResult:
     )
 
 
+def bench_pipeline_sim(preset: str) -> BenchResult:
+    """Macro: end-to-end pipeline serving throughput (simulated queries per second).
+
+    The task-graph subsystem's round shape on top of the multi-model loop: a fleet
+    of chain and diamond graphs (stages alternating between the two co-located
+    models) is released across a busy background trace and served by
+    :class:`~repro.pipeline.CriticalPathKairosPolicy` under graph-aware admission.
+    Every round therefore pays the full pipeline tax — laxity row-scaling folded
+    into the joint matching, successor releases re-entering the central queue as
+    same-instant arrivals, and per-admission doomed-graph sweeps — so this number
+    gates the overhead graph-awareness adds to a scheduling round.
+    """
+    p = _params(preset)
+    profiles = default_profile_registry()
+    from repro.pipeline import (
+        CriticalPathKairosPolicy,
+        PipelineServingSimulation,
+        chain_graph,
+        diamond_graph,
+        realize_graphs,
+    )
+    from repro.sim.cluster import MultiModelCluster
+    from repro.workload.generator import interleave_model_streams
+
+    configs = {
+        name: HeterogeneousConfig(tuple(counts), profiles.catalog)
+        for name, counts in zip(MM_MODELS, p["pipe_counts"])
+    }
+    streams = {}
+    for i, name in enumerate(MM_MODELS):
+        spec = WorkloadSpec(
+            batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+            num_queries=int(p["pipe_queries"]),
+            model_name=name,
+        )
+        streams[name] = WorkloadGenerator(spec).generate(
+            rate_qps=p["pipe_rates"][i], rng=SEED + 30 + i
+        )
+    background = interleave_model_streams(streams)
+    span_ms = max(q.arrival_time_ms for q in background)
+    a, b = MM_MODELS
+    n_graphs = int(p["pipe_graphs"])
+    graphs = []
+    for g in range(n_graphs):
+        release = span_ms * (0.2 + 0.5 * g / max(1, n_graphs - 1))
+        if g % 2 == 0:
+            graphs.append(
+                chain_graph(
+                    g, ((a, 24), (b, 16), (a, 8)), 2_000.0, release_ms=release
+                )
+            )
+        else:
+            graphs.append(
+                diamond_graph(
+                    g, (a, 24), (b, 12), (a, 12), (b, 8), 2_000.0, release_ms=release
+                )
+            )
+
+    def work() -> float:
+        # Fresh realization per pass: runtimes and stage queries are stateful.
+        sources, coordinator = realize_graphs(graphs, len(background))
+        cluster = MultiModelCluster(configs, profiles)
+        sim = PipelineServingSimulation(
+            cluster,
+            CriticalPathKairosPolicy(coordinator),
+            coordinator=coordinator,
+            graph_aware=True,
+            rng=np.random.default_rng(SEED + 1),
+        )
+        queries = sorted(background + sources, key=lambda q: q.arrival_time_ms)
+        report = sim.run(queries)
+        return float(report.dispatched_queries)
+
+    qps, wall = time_throughput(work, min_seconds=p["min_seconds"])
+    return BenchResult(
+        name="pipeline_sim",
+        preset=preset,
+        value=qps,
+        unit="queries/s",
+        wall_seconds=wall,
+        extras={
+            "num_queries": float(len(background)),
+            "num_graphs": float(n_graphs),
+            "num_models": float(len(MM_MODELS)),
+        },
+    )
+
+
 def bench_spot_sim(preset: str) -> BenchResult:
     """Macro: end-to-end preemptible serving throughput (simulated queries per second).
 
@@ -541,6 +641,7 @@ BENCHMARKS: Dict[str, Callable[[str], BenchResult]] = {
     "cost_matrix": bench_cost_matrix,
     "jv_solver": bench_jv_solver,
     "multi_model_sim": bench_multi_model_sim,
+    "pipeline_sim": bench_pipeline_sim,
     "spot_sim": bench_spot_sim,
     "fleet_sim": bench_fleet_sim,
     "planner_rank": bench_planner_rank,

@@ -14,13 +14,53 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.cloud.config import HeterogeneousConfig
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG, InstanceCatalog, InstanceType
 from repro.utils.validation import check_non_negative, check_positive
 
 MS_PER_HOUR = 3_600_000.0
+
+#: Cyclic ``(duration_ms, multiplier)`` price schedule, anchored at trace time 0.
+PriceSchedule = Tuple[Tuple[float, float], ...]
+
+
+def schedule_multiplier_at(schedule: PriceSchedule, t_ms: float) -> float:
+    """The schedule's price multiplier at trace time ``t_ms`` (cyclic)."""
+    cycle = sum(d for d, _ in schedule)
+    offset = float(t_ms) % cycle
+    for duration, multiplier in schedule:
+        if offset < duration:
+            return multiplier
+        offset -= duration
+    return schedule[-1][1]
+
+
+def schedule_integral_ms(schedule: PriceSchedule, t0_ms: float, t1_ms: float) -> float:
+    """``∫ multiplier(t) dt`` over ``[t0_ms, t1_ms)`` for a cyclic price schedule.
+
+    Evaluated as a difference of exact prefix integrals from 0, so windows are
+    additive: splitting ``[a, c)`` at any ``b`` (phase boundary or not) yields two
+    integrals summing to the original.
+    """
+    if t1_ms <= t0_ms:
+        return 0.0
+    cycle = sum(d for d, _ in schedule)
+    per_cycle = math.fsum(d * m for d, m in schedule)
+
+    def prefix(t: float) -> float:
+        full, offset = divmod(float(t), cycle)
+        acc = [full * per_cycle]
+        for duration, multiplier in schedule:
+            if offset <= 0.0:
+                break
+            take = min(offset, duration)
+            acc.append(take * multiplier)
+            offset -= take
+        return math.fsum(acc)
+
+    return prefix(t1_ms) - prefix(t0_ms)
 
 
 @dataclass(frozen=True)
@@ -59,6 +99,13 @@ class UsageInterval:
     is attributed under its market label, so the on-demand/spot split of a mixed
     cluster's bill is exact.
 
+    ``price_schedule`` carries the *phased* spot-price dimension: when the market's
+    phases modulate the price over a cycle, the interval bills the exact piecewise
+    integral of ``price_per_hour * multiplier(t)`` over its overlap with the window
+    (and ``price_multiplier`` is ignored — the schedule entries are already the
+    effective multipliers).  ``None`` keeps the scalar fast path, byte-identical to
+    the pre-phase math.
+
     ``failed`` marks an interval closed by an unannounced instance crash (the fault
     injector): the interval ends exactly at the failure instant — clouds do not bill
     past a host failure — and the failed/healthy split of the bill is exact
@@ -74,19 +121,52 @@ class UsageInterval:
     price_multiplier: float = 1.0
     market: str = "on-demand"
     failed: bool = False
+    price_schedule: Optional[PriceSchedule] = None
 
     @property
     def effective_price_per_hour(self) -> float:
         """The billed $/hr rate (on-demand price times the market multiplier)."""
         return self.price_per_hour * self.price_multiplier
 
+    def rate_per_hour_at(self, t_ms: float) -> float:
+        """Instantaneous billed $/hr at ``t_ms`` (phase-dependent under a schedule)."""
+        if self.price_schedule is None:
+            return self.effective_price_per_hour
+        return self.price_per_hour * schedule_multiplier_at(self.price_schedule, t_ms)
+
     def overlap_ms(self, t0_ms: float, t1_ms: float) -> float:
         """Length of the intersection of this interval with ``[t0_ms, t1_ms)``."""
         end = self.end_ms if self.end_ms is not None else t1_ms
         return max(0.0, min(end, t1_ms) - max(self.start_ms, t0_ms))
 
+    def multiplier_integral_ms(self, t0_ms: float, t1_ms: float) -> float:
+        """``∫ multiplier(t) dt`` over the overlap with ``[t0_ms, t1_ms)``."""
+        end = self.end_ms if self.end_ms is not None else t1_ms
+        a = max(self.start_ms, t0_ms)
+        b = min(end, t1_ms)
+        if b <= a:
+            return 0.0
+        if self.price_schedule is None:
+            return self.price_multiplier * (b - a)
+        return schedule_integral_ms(self.price_schedule, a, b)
+
     def cost_in_window(self, t0_ms: float, t1_ms: float) -> float:
-        return self.effective_price_per_hour * self.overlap_ms(t0_ms, t1_ms) / MS_PER_HOUR
+        if self.price_schedule is None:
+            # scalar fast path — kept expression-identical to the pre-phase math so
+            # existing digests stay byte-identical
+            return (
+                self.effective_price_per_hour * self.overlap_ms(t0_ms, t1_ms) / MS_PER_HOUR
+            )
+        end = self.end_ms if self.end_ms is not None else t1_ms
+        a = max(self.start_ms, t0_ms)
+        b = min(end, t1_ms)
+        if b <= a:
+            return 0.0
+        return (
+            self.price_per_hour
+            * schedule_integral_ms(self.price_schedule, a, b)
+            / MS_PER_HOUR
+        )
 
 
 class InstanceUsageLedger:
@@ -120,6 +200,7 @@ class InstanceUsageLedger:
         tag: Optional[str] = None,
         price_multiplier: float = 1.0,
         market: str = "on-demand",
+        price_schedule: Optional[PriceSchedule] = None,
     ) -> UsageInterval:
         """Open a billing interval for ``server_id`` at ``now_ms``.
 
@@ -127,11 +208,20 @@ class InstanceUsageLedger:
         affects the ``*_by_tag`` queries, never the totals.  ``price_multiplier`` and
         ``market`` record the purchase market: a spot instance bills every overlapping
         window at the discounted rate and is attributed under its market label.
+        ``price_schedule`` (from ``SpotTypeMarket.price_schedule``) switches the
+        interval to the exact piecewise phased-price integral.
         """
         check_non_negative(now_ms, "now_ms")
         check_positive(price_multiplier, "price_multiplier")
         if not market:
             raise ValueError("market label must be non-empty")
+        if price_schedule is not None:
+            price_schedule = tuple((float(d), float(m)) for d, m in price_schedule)
+            if not price_schedule:
+                raise ValueError("price_schedule must have at least one phase")
+            for duration, multiplier in price_schedule:
+                check_positive(duration, "price_schedule duration_ms")
+                check_positive(multiplier, "price_schedule multiplier")
         if server_id in self._open:
             raise ValueError(f"server {server_id} already has an open billing interval")
         itype = (
@@ -145,6 +235,7 @@ class InstanceUsageLedger:
             tag=tag,
             price_multiplier=float(price_multiplier),
             market=str(market),
+            price_schedule=price_schedule,
         )
         self._intervals.append(interval)
         self._open[server_id] = interval
@@ -266,14 +357,25 @@ class InstanceUsageLedger:
         """$ saved vs. billing every interval at its full on-demand rate.
 
         The exact value of the discounted hours: ``sum (1 - multiplier) * price *
-        overlap`` — zero when no interval carries a discount.
+        overlap`` — zero when no interval carries a discount.  Phased intervals use
+        the exact piecewise integral, so full-price minus savings always equals the
+        billed total (the ledger-partition invariant re-checks this).
         """
         check_non_negative(horizon_ms, "horizon_ms")
         return math.fsum(
-            (1.0 - iv.price_multiplier)
-            * iv.price_per_hour
-            * iv.overlap_ms(0.0, horizon_ms)
-            / MS_PER_HOUR
+            (
+                (1.0 - iv.price_multiplier)
+                * iv.price_per_hour
+                * iv.overlap_ms(0.0, horizon_ms)
+                / MS_PER_HOUR
+                if iv.price_schedule is None
+                else iv.price_per_hour
+                * (
+                    iv.overlap_ms(0.0, horizon_ms)
+                    - iv.multiplier_integral_ms(0.0, horizon_ms)
+                )
+                / MS_PER_HOUR
+            )
             for iv in self._intervals
         )
 
@@ -283,7 +385,7 @@ class InstanceUsageLedger:
         for iv in self._intervals:
             end = iv.end_ms if iv.end_ms is not None else float("inf")
             if iv.start_ms <= t_ms < end:
-                rate += iv.effective_price_per_hour
+                rate += iv.rate_per_hour_at(t_ms)
         return rate
 
     def mean_cost_per_hour(self, horizon_ms: float) -> float:

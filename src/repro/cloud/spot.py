@@ -41,19 +41,23 @@ MARKET_SPOT = "spot"
 
 @dataclass(frozen=True)
 class SpotMarketPhase:
-    """One cyclic window modulating a type's preemption hazard.
+    """One cyclic window modulating a type's preemption hazard *and* spot price.
 
     A sequence of phases repeats over trace time (total cycle length = sum of
-    durations), multiplying the base hazard by ``hazard_multiplier`` inside each
-    window — e.g. business-hours capacity pressure reclaiming spot more aggressively.
+    durations), multiplying the base hazard by ``hazard_multiplier`` and the base
+    spot price by ``price_multiplier`` inside each window — capacity-tight hours
+    both reclaim spot more aggressively and erode the discount, exactly the
+    coupled dynamic real spot markets show.
     """
 
     duration_ms: float
     hazard_multiplier: float = 1.0
+    price_multiplier: float = 1.0
 
     def __post_init__(self) -> None:
         check_positive(self.duration_ms, "duration_ms")
         check_non_negative(self.hazard_multiplier, "hazard_multiplier")
+        check_positive(self.price_multiplier, "price_multiplier")
 
 
 @dataclass(frozen=True)
@@ -95,13 +99,36 @@ class SpotTypeMarket:
         """Instantaneous preemption hazard (per instance-hour) at trace time ``t_ms``."""
         if not self.phases:
             return self.preemptions_per_hour
+        return self.preemptions_per_hour * self._phase_at(t_ms).hazard_multiplier
+
+    def _phase_at(self, t_ms: float) -> SpotMarketPhase:
         cycle = sum(p.duration_ms for p in self.phases)
         offset = float(t_ms) % cycle
         for phase in self.phases:
             if offset < phase.duration_ms:
-                return self.preemptions_per_hour * phase.hazard_multiplier
+                return phase
             offset -= phase.duration_ms
-        return self.preemptions_per_hour * self.phases[-1].hazard_multiplier
+        return self.phases[-1]
+
+    def price_multiplier_at(self, t_ms: float) -> float:
+        """The billed spot fraction of the on-demand price at trace time ``t_ms``."""
+        if not self.phases:
+            return self.price_multiplier
+        return self.price_multiplier * self._phase_at(t_ms).price_multiplier
+
+    def price_schedule(self) -> Optional[Tuple[Tuple[float, float], ...]]:
+        """The cyclic ``(duration_ms, effective_multiplier)`` price schedule.
+
+        ``None`` when the spot price is constant over the cycle (no phases, or
+        every phase keeps ``price_multiplier == 1``) — billing then stays on the
+        scalar fast path, byte-identical to the pre-phase ledger math.
+        """
+        if not self.phases or all(p.price_multiplier == 1.0 for p in self.phases):
+            return None
+        return tuple(
+            (p.duration_ms, self.price_multiplier * p.price_multiplier)
+            for p in self.phases
+        )
 
     def mean_hazard_per_hour(self) -> float:
         """Duration-weighted mean hazard over one phase cycle (= base without phases)."""
@@ -214,6 +241,10 @@ class SpotMarket:
     # -- planner surface -----------------------------------------------------------------
     def price_multiplier(self, type_name: str) -> float:
         return self[type_name].price_multiplier
+
+    def price_schedule(self, type_name: str) -> Optional[Tuple[Tuple[float, float], ...]]:
+        """The type's cyclic price schedule (``None`` when its spot price is constant)."""
+        return self[type_name].price_schedule()
 
     def spot_price_per_hour(self, itype: InstanceType) -> float:
         """Discounted $/hr of one instance type."""

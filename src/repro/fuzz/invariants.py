@@ -93,6 +93,17 @@ ALL_INVARIANTS: Dict[str, Tuple[str, str]] = {
         "no query is attempted more often than the retry budget allows; dead "
         "letters exhaust the budget exactly",
     ),
+    "stage_precedence": (
+        "run",
+        "no pipeline stage starts before every parent stage has completed, and "
+        "every released successor arrives exactly at its release instant",
+    ),
+    "graph_conservation": (
+        "run",
+        "every released task graph resolves as a unit: its stage partition "
+        "(served / shed / dead / unserved / unreleased) balances the stage count "
+        "and agrees with the graph's terminal outcome label",
+    ),
     "qos_monotone_in_budget": (
         "derived",
         "the planner's selected QoS-satisfying throughput bound is nondecreasing "
@@ -292,11 +303,36 @@ def check_budget_conservation(result) -> List[Violation]:
             )
         )
 
+    def _rate_integral(iv, t0: float, t1: float) -> float:
+        """Independently integrate the billed $/hr over ``[t0, t1)`` of one interval.
+
+        Phased spot intervals carry a cyclic price schedule; the re-derivation walks
+        it segment by segment from time 0 rather than trusting the ledger's own
+        prefix-difference integral.
+        """
+        a = max(iv.start_ms, t0)
+        b = min(_end(iv), t1)
+        if b <= a:
+            return 0.0
+        if iv.price_schedule is None:
+            return iv.effective_price_per_hour * (b - a) / MS_PER_HOUR
+        acc = 0.0
+        t = 0.0
+        phases = list(iv.price_schedule)
+        i = 0
+        while t < b:
+            duration, multiplier = phases[i % len(phases)]
+            seg_end = t + duration
+            lo, hi = max(t, a), min(seg_end, b)
+            if hi > lo:
+                acc += iv.price_per_hour * multiplier * (hi - lo) / MS_PER_HOUR
+            t = seg_end
+            i += 1
+        return acc
+
     total = ledger.total_cost(horizon)
     rederived = math.fsum(
-        iv.effective_price_per_hour
-        * (min(_end(iv), horizon) - max(iv.start_ms, 0.0))
-        / MS_PER_HOUR
+        _rate_integral(iv, 0.0, horizon)
         for iv in ledger.intervals
         if _end(iv) > iv.start_ms
     )
@@ -312,12 +348,7 @@ def check_budget_conservation(result) -> List[Violation]:
         mid = horizon / 2.0
 
         def window_cost(t0: float, t1: float) -> float:
-            return math.fsum(
-                iv.effective_price_per_hour
-                * max(0.0, min(_end(iv), t1) - max(iv.start_ms, t0))
-                / MS_PER_HOUR
-                for iv in ledger.intervals
-            )
+            return math.fsum(_rate_integral(iv, t0, t1) for iv in ledger.intervals)
 
         split = window_cost(0.0, mid) + window_cost(mid, horizon)
         if not math.isclose(total, split, rel_tol=_REL, abs_tol=_REL):
@@ -535,6 +566,198 @@ def check_retry_bounded(result) -> List[Violation]:
     return out
 
 
+def check_stage_precedence(result) -> List[Violation]:
+    """Causality along DAG edges: child stages wait for all parents, exactly."""
+    coordinator = getattr(result, "coordinator", None)
+    if coordinator is None or not coordinator.active:
+        return []
+    out: List[Violation] = []
+    name = "stage_precedence"
+    by_qid = {rec.query.query_id: rec for rec in result.completions}
+    for runtime in coordinator.runtimes:
+        graph = runtime.graph
+        for stage in graph.stages:
+            query = runtime.queries[stage.name]
+            rec = by_qid.get(query.query_id)
+            if rec is not None:
+                for parent in stage.parents:
+                    done = runtime.served.get(parent)
+                    if done is None:
+                        out.append(
+                            Violation(
+                                name,
+                                f"graph {graph.graph_id} stage {stage.name!r} served "
+                                f"but parent {parent!r} never completed",
+                            )
+                        )
+                    elif rec.start_ms < done - 1e-6:
+                        out.append(
+                            Violation(
+                                name,
+                                f"graph {graph.graph_id} stage {stage.name!r} started "
+                                f"at {rec.start_ms!r}, before parent {parent!r} "
+                                f"completed at {done!r}",
+                            )
+                        )
+            if not stage.parents:
+                if abs(query.arrival_time_ms - graph.release_ms) > 1e-6:
+                    out.append(
+                        Violation(
+                            name,
+                            f"graph {graph.graph_id} source {stage.name!r} arrives at "
+                            f"{query.arrival_time_ms!r}, not the release instant "
+                            f"{graph.release_ms!r}",
+                        )
+                    )
+            elif stage.name in runtime.released and all(
+                p in runtime.served for p in stage.parents
+            ):
+                release_instant = max(runtime.served[p] for p in stage.parents)
+                if abs(query.arrival_time_ms - release_instant) > 1e-6:
+                    out.append(
+                        Violation(
+                            name,
+                            f"graph {graph.graph_id} stage {stage.name!r} arrives at "
+                            f"{query.arrival_time_ms!r}, not its release instant "
+                            f"{release_instant!r} (last parent completion)",
+                        )
+                    )
+    return out
+
+
+def check_graph_conservation(result) -> List[Violation]:
+    """Released graphs resolve as units; per-graph stage partitions are exact."""
+    outcomes = getattr(result, "graph_outcomes", ())
+    if not outcomes:
+        return []
+    out: List[Violation] = []
+    name = "graph_conservation"
+    backlogged = getattr(result.report, "unserved_queries", 0) > 0
+    for o in outcomes:
+        balance = (
+            o.served_stages
+            + o.shed_stages
+            + o.dead_stages
+            + o.unserved_stages
+            + o.unreleased_stages
+        )
+        if balance != o.stages:
+            out.append(
+                Violation(
+                    name,
+                    f"graph {o.graph_id}: served {o.served_stages} + shed "
+                    f"{o.shed_stages} + dead {o.dead_stages} + unserved "
+                    f"{o.unserved_stages} + unreleased {o.unreleased_stages} = "
+                    f"{balance}, but the graph has {o.stages} stages",
+                )
+            )
+        if o.outcome == "served":
+            if o.served_stages != o.stages:
+                out.append(
+                    Violation(
+                        name,
+                        f"graph {o.graph_id} labelled served with only "
+                        f"{o.served_stages}/{o.stages} stages served",
+                    )
+                )
+        elif o.outcome == "dead":
+            if o.dead_stages < 1:
+                out.append(
+                    Violation(
+                        name, f"graph {o.graph_id} labelled dead with no dead stage"
+                    )
+                )
+        elif o.outcome == "shed":
+            if o.dead_stages:
+                out.append(
+                    Violation(
+                        name,
+                        f"graph {o.graph_id} labelled shed despite "
+                        f"{o.dead_stages} dead-lettered stages (dead dominates)",
+                    )
+                )
+            if o.shed_stages + o.unreleased_stages < 1:
+                out.append(
+                    Violation(
+                        name,
+                        f"graph {o.graph_id} labelled shed but no stage was shed "
+                        "or withheld",
+                    )
+                )
+        elif o.outcome == "unserved":
+            if o.shed_stages or o.dead_stages or o.served_stages == o.stages:
+                out.append(
+                    Violation(
+                        name,
+                        f"graph {o.graph_id} labelled unserved with partition "
+                        f"({o.served_stages}, {o.shed_stages}, {o.dead_stages})",
+                    )
+                )
+        else:
+            out.append(
+                Violation(name, f"graph {o.graph_id} has unknown outcome {o.outcome!r}")
+            )
+        # A terminal graph resolves as a unit: nothing lingers in the backlog
+        # (unless the whole run quiesced with a backlog it never drained).
+        if o.outcome in ("served", "shed", "dead") and o.unserved_stages and not backlogged:
+            out.append(
+                Violation(
+                    name,
+                    f"graph {o.graph_id} is terminal ({o.outcome}) but "
+                    f"{o.unserved_stages} released stages never resolved",
+                )
+            )
+
+    coordinator = getattr(result, "coordinator", None)
+    if coordinator is not None and coordinator.active:
+        shed_ids = {e.query.query_id for e in getattr(result.report, "shed_queries", ())}
+        dead_ids = {e.query.query_id for e in getattr(result.report, "dead_letters", ())}
+        served_ids = Counter(rec.query.query_id for rec in result.completions)
+        for runtime in coordinator.runtimes:
+            gid = runtime.graph.graph_id
+            overlap = (
+                (set(runtime.served) & set(runtime.shed))
+                | (set(runtime.served) & set(runtime.dead))
+                | (set(runtime.shed) & set(runtime.dead))
+            )
+            if overlap:
+                out.append(
+                    Violation(
+                        name,
+                        f"graph {gid} stages with two terminal outcomes: "
+                        f"{sorted(overlap)[:10]}",
+                    )
+                )
+            for stage_name in runtime.shed:
+                if runtime.queries[stage_name].query_id not in shed_ids:
+                    out.append(
+                        Violation(
+                            name,
+                            f"graph {gid} stage {stage_name!r} marked shed without a "
+                            "shed entry in the report",
+                        )
+                    )
+            for stage_name in runtime.dead:
+                if runtime.queries[stage_name].query_id not in dead_ids:
+                    out.append(
+                        Violation(
+                            name,
+                            f"graph {gid} stage {stage_name!r} marked dead without a "
+                            "dead-letter entry in the report",
+                        )
+                    )
+            for stage_name in runtime.served:
+                if served_ids[runtime.queries[stage_name].query_id] != 1:
+                    out.append(
+                        Violation(
+                            name,
+                            f"graph {gid} stage {stage_name!r} marked served without "
+                            "exactly one completion record",
+                        )
+                    )
+    return out
+
+
 _RUN_CHECKS = (
     check_query_conservation,
     check_completion_causality,
@@ -544,6 +767,8 @@ _RUN_CHECKS = (
     check_outcome_conservation,
     check_failure_billing,
     check_retry_bounded,
+    check_stage_precedence,
+    check_graph_conservation,
 )
 
 

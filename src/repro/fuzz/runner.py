@@ -28,6 +28,12 @@ from repro.cloud.profiles import default_profile_registry
 from repro.cloud.spot import SpotMarket
 from repro.core.controller import ElasticKairosController
 from repro.fuzz.spec import ScenarioSpec, StreamSpec
+from repro.pipeline import (
+    CriticalPathKairosPolicy,
+    PipelineCoordinator,
+    PipelineServingSimulation,
+    realize_graphs,
+)
 from repro.schedulers.kairos_policy import KairosPolicy, MultiModelKairosPolicy
 from repro.sim.cluster import Cluster, MultiModelCluster
 from repro.sim.elasticity import ElasticServingSimulation
@@ -125,6 +131,8 @@ class ScenarioResult:
     rounds: Tuple[SchedulingRound, ...]
     completions: Tuple[object, ...]
     controller: Optional[ElasticKairosController] = None
+    coordinator: Optional[PipelineCoordinator] = None
+    graph_outcomes: Tuple[object, ...] = ()
     violations: List = field(default_factory=list)
 
     @property
@@ -164,7 +172,7 @@ def build_queries(spec: ScenarioSpec) -> List[Query]:
         )
         trace = PhasedTrace([p.to_load_phase() for p in stream.phases], wspec)
         streams[stream.model_name] = trace.generate(_stream_rng(spec, i)).queries
-    if spec.loop == "multi_model":
+    if spec.loop in ("multi_model", "pipeline"):
         queries = interleave_model_streams(streams)
     else:
         queries = list(next(iter(streams.values())))
@@ -375,18 +383,13 @@ def run_scenario(
                 **common,
             )
         report = sim.run(run_queries)
-    else:  # multi_model
+    else:  # multi_model / pipeline
         configs = {
             stream.model_name: HeterogeneousConfig(tuple(counts))
             for stream, counts in zip(spec.streams, spec.config_counts)
         }
         cluster = MultiModelCluster(configs, registry)
-        policy = RecordingPolicy(
-            MultiModelKairosPolicy(sharded=spec.sharded, **_policy_kwargs(spec))
-        )
-        sim = MultiModelServingSimulation(
-            cluster,
-            policy,
+        common = dict(
             startup_delay_ms=spec.startup_delay_ms,
             noise=_noise(spec),
             rng=_service_rng(spec),
@@ -395,7 +398,39 @@ def run_scenario(
             sharded_events=spec.sharded_events,
             **_chaos_kwargs(spec),
         )
+        if spec.loop == "pipeline":
+            # Graph releases are spec-relative like scripted events: the offset
+            # moves them with the arrivals.  Stage query ids are allocated after
+            # the stream's so the two id spaces never collide.
+            graphs = [
+                replace(p, release_ms=p.release_ms + spec.start_offset_ms).to_task_graph(
+                    f"g{i}"
+                )
+                for i, p in enumerate(spec.pipelines)
+            ]
+            sources, coordinator = realize_graphs(
+                graphs, 1 + max((q.query_id for q in run_queries), default=0)
+            )
+            policy = RecordingPolicy(
+                CriticalPathKairosPolicy(
+                    coordinator, sharded=spec.sharded, **_policy_kwargs(spec)
+                )
+            )
+            sim = PipelineServingSimulation(
+                cluster, policy, coordinator=coordinator, **common
+            )
+            run_queries = sorted(
+                list(run_queries) + sources, key=lambda q: q.arrival_time_ms
+            )
+        else:
+            coordinator = None
+            policy = RecordingPolicy(
+                MultiModelKairosPolicy(sharded=spec.sharded, **_policy_kwargs(spec))
+            )
+            sim = MultiModelServingSimulation(cluster, policy, **common)
         report = sim.run(run_queries)
+        if spec.loop == "pipeline":
+            run_queries = list(run_queries) + list(sim.released_queries)
 
     result = ScenarioResult(
         spec=spec,
@@ -404,6 +439,8 @@ def run_scenario(
         rounds=tuple(policy.rounds),
         completions=tuple(policy.completions),
         controller=controller,
+        coordinator=coordinator if spec.loop == "pipeline" else None,
+        graph_outcomes=tuple(getattr(sim, "graph_outcomes", ())),
     )
     if check:
         from repro.fuzz.invariants import check_run
@@ -465,6 +502,19 @@ def result_digest(result: ScenarioResult, *, include_billing: bool = True) -> st
     retries = getattr(report, "retries", 0)
     if retries:
         line("retries", retries)
+    # Task-graph outcomes: emitted only when graphs ran, so graph-free digests are
+    # byte-identical to what they hashed to before the pipeline subsystem existed.
+    for outcome in result.graph_outcomes:
+        line(
+            "graph",
+            outcome.graph_id,
+            outcome.outcome,
+            int(outcome.deadline_met),
+            repr(outcome.end_ms),
+            repr(outcome.e2e_latency_ms),
+            repr(outcome.critical_path_ms),
+            repr(outcome.realized_span_ms),
+        )
     if include_billing:
         ledger = result.ledger
         if ledger is not None:

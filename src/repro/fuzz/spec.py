@@ -23,8 +23,8 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.cloud.instances import DEFAULT_INSTANCE_CATALOG
 
-#: The four serving loops a spec can target (ROADMAP's simulator inventory).
-LOOPS = ("static", "elastic", "multi_model", "spot")
+#: The five serving loops a spec can target (ROADMAP's simulator inventory).
+LOOPS = ("static", "elastic", "multi_model", "spot", "pipeline")
 
 #: Arrival-process names understood by :class:`StreamSpec`.
 ARRIVALS = ("poisson", "deterministic", "bursty")
@@ -274,6 +274,69 @@ class AdmissionSpec:
 
 
 @dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: a named unit of work on one model's cluster partition."""
+
+    name: str
+    model_name: str = "RM2"
+    batch_size: int = 32
+    parents: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        if not self.model_name:
+            raise ValueError("stage model_name must be non-empty")
+        if self.batch_size < 1:
+            raise ValueError("stage batch_size must be >= 1")
+        object.__setattr__(self, "parents", tuple(self.parents))
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One DAG-structured inference request with an end-to-end deadline.
+
+    A declarative twin of :class:`repro.pipeline.TaskGraph`: stages in declaration
+    order, one deadline/value per graph, released into the stream at ``release_ms``.
+    Construction validates by materializing the task graph, so every structural
+    rule (acyclicity, single sink, known parents) holds for any spec that exists.
+    """
+
+    stages: Tuple[StageSpec, ...] = (StageSpec(name="s0"),)
+    deadline_ms: float = 2_000.0
+    value: float = 1.0
+    release_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        self.to_task_graph("spec-validate")  # raises on any structural violation
+
+    def to_task_graph(self, graph_id: str):
+        """Materialize the corresponding :class:`~repro.pipeline.TaskGraph`."""
+        from repro.pipeline import TaskGraph, TaskStage
+
+        return TaskGraph(
+            graph_id=graph_id,
+            stages=tuple(
+                TaskStage(
+                    name=s.name,
+                    model_name=s.model_name,
+                    batch_size=s.batch_size,
+                    parents=s.parents,
+                )
+                for s in self.stages
+            ),
+            deadline_ms=self.deadline_ms,
+            value=self.value,
+            release_ms=self.release_ms,
+        )
+
+    @property
+    def model_names(self) -> Tuple[str, ...]:
+        return tuple(s.model_name for s in self.stages)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete fuzzable serving scenario (see module docstring).
 
@@ -306,6 +369,11 @@ class ScenarioSpec:
         The chaos dimensions: unannounced failure injection (any elastic loop),
         bounded retry with response timeouts (any loop), and admission-controlled
         load shedding (any loop).
+    pipelines:
+        DAG-structured inference requests (loop='pipeline' only): each
+        :class:`PipelineSpec` is one task graph released on top of the streams'
+        standalone queries, scheduled critical-path-aware against one
+        end-to-end deadline.
     sharded_events:
         Drive the run off the sharded event/pending queues of
         :mod:`repro.sim.sharding` (byte-identical to the single-heap path).
@@ -333,6 +401,7 @@ class ScenarioSpec:
     faults: Optional[FaultSpec] = None
     retry: Optional[RetrySpec] = None
     admission: Optional[AdmissionSpec] = None
+    pipelines: Tuple[PipelineSpec, ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -340,7 +409,7 @@ class ScenarioSpec:
             raise ValueError(f"unknown loop {self.loop!r}; one of {LOOPS}")
         if not self.streams:
             raise ValueError("a scenario needs at least one stream")
-        if self.loop != "multi_model" and len(self.streams) != 1:
+        if self.loop not in ("multi_model", "pipeline") and len(self.streams) != 1:
             raise ValueError(f"loop {self.loop!r} serves exactly one stream")
         names = [s.model_name for s in self.streams]
         if len(set(names)) != len(names):
@@ -364,7 +433,7 @@ class ScenarioSpec:
             raise ValueError("warmup_queries must be non-negative")
         if self.max_queries_per_round is not None and self.max_queries_per_round < 1:
             raise ValueError("max_queries_per_round must be >= 1 or None")
-        if self.sharded and self.loop != "multi_model":
+        if self.sharded and self.loop not in ("multi_model", "pipeline"):
             raise ValueError("sharded dispatch is a multi-model policy mode")
         if self.start_offset_ms < 0:
             raise ValueError("start_offset_ms must be non-negative")
@@ -379,6 +448,19 @@ class ScenarioSpec:
                 "fault injection needs an elastic loop (crashed capacity must be "
                 "re-provisionable); use loop='elastic', 'spot', or 'multi_model'"
             )
+        if self.pipelines and self.loop != "pipeline":
+            raise ValueError("pipelines are only legal with loop='pipeline'")
+        if self.loop == "pipeline" and not self.pipelines:
+            raise ValueError("loop='pipeline' needs at least one PipelineSpec")
+        if self.pipelines:
+            served = set(s.model_name for s in self.streams)
+            for pipe in self.pipelines:
+                for name in pipe.model_names:
+                    if name not in served:
+                        raise ValueError(
+                            f"pipeline stage targets model {name!r} with no stream "
+                            f"(served models: {sorted(served)})"
+                        )
         if self.spot is not None:
             for spot_c, conf_c in zip(self.spot.spot_counts, self.config_counts[0]):
                 if spot_c > conf_c:
@@ -413,6 +495,10 @@ class ScenarioSpec:
     def without_chaos(self) -> "ScenarioSpec":
         """The chaos-disabled twin: same workload with all three dimensions off."""
         return replace(self, faults=None, retry=None, admission=None)
+
+    def without_pipelines(self) -> "ScenarioSpec":
+        """The graph-free twin: same streams through the plain multi-model loop."""
+        return replace(self, loop="multi_model", pipelines=())
 
     # -- JSON round trip -----------------------------------------------------------------
     def to_dict(self) -> Dict:
@@ -456,6 +542,23 @@ class ScenarioSpec:
         admission = data.get("admission")
         if admission is not None:
             data["admission"] = AdmissionSpec(**admission)
+        data["pipelines"] = tuple(
+            PipelineSpec(
+                stages=tuple(
+                    StageSpec(
+                        name=s["name"],
+                        model_name=s["model_name"],
+                        batch_size=s["batch_size"],
+                        parents=tuple(s["parents"]),
+                    )
+                    for s in p["stages"]
+                ),
+                deadline_ms=p["deadline_ms"],
+                value=p["value"],
+                release_ms=p["release_ms"],
+            )
+            for p in data.get("pipelines", ())
+        )
         return cls(**data)
 
     def to_json(self) -> str:

@@ -6,7 +6,7 @@ and rate), streams are capped at two phases, clusters at a few instances per typ
 Shrinking therefore moves toward few queries, one phase, one instance — minimal
 counterexamples by construction.
 
-``scenario_specs()`` draws across all four serving loops; per-loop strategies are
+``scenario_specs()`` draws across all five serving loops; per-loop strategies are
 exposed for targeted properties.  All strategies draw only spec-level data, never
 live numpy state, so every example is reproducible from its ``seed`` field alone.
 """
@@ -24,10 +24,12 @@ from repro.fuzz.spec import (
     BurstSpec,
     FaultSpec,
     PhaseSpec,
+    PipelineSpec,
     RetrySpec,
     ScaleEventSpec,
     ScenarioSpec,
     SpotSpec,
+    StageSpec,
     StormSpec,
     StreamSpec,
 )
@@ -300,6 +302,86 @@ def multi_model_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
     )
 
 
+def _stage_batches(draw) -> int:
+    return draw(st.integers(min_value=4, max_value=64))
+
+
+@st.composite
+def pipeline_specs(
+    draw,
+    model_names: Sequence[str] = FUZZ_MODELS,
+    duration_ms: float = 1_000.0,
+) -> PipelineSpec:
+    """One DAG: a chain, a fan-out/fan-in, or a diamond, with a mixed deadline.
+
+    Deadlines span comfortable to hopeless so both arms of graph-aware admission
+    (serve vs shed-whole-graph) are exercised; releases land inside the streams'
+    span so stages contend with standalone load.
+    """
+    names = tuple(model_names)
+
+    def stage(name: str, parents: Tuple[str, ...] = ()) -> StageSpec:
+        return StageSpec(
+            name=name,
+            model_name=draw(st.sampled_from(names)),
+            batch_size=_stage_batches(draw),
+            parents=parents,
+        )
+
+    shape = draw(st.sampled_from(("chain", "fan", "diamond")))
+    if shape == "chain":
+        n = draw(st.integers(min_value=2, max_value=4))
+        stages = [stage("s0")]
+        stages.extend(stage(f"s{i}", (f"s{i - 1}",)) for i in range(1, n))
+    elif shape == "diamond":
+        stages = [
+            stage("src"),
+            stage("left", ("src",)),
+            stage("right", ("src",)),
+            stage("sink", ("left", "right")),
+        ]
+    else:  # fan-out / fan-in
+        k = draw(st.integers(min_value=2, max_value=3))
+        stages = [stage("src")]
+        stages.extend(stage(f"b{i}", ("src",)) for i in range(k))
+        stages.append(stage("sink", tuple(f"b{i}" for i in range(k))))
+    return PipelineSpec(
+        stages=tuple(stages),
+        deadline_ms=draw(st.floats(min_value=200.0, max_value=6_000.0, allow_nan=False)),
+        value=draw(st.floats(min_value=0.5, max_value=3.0, allow_nan=False)),
+        release_ms=draw(st.floats(min_value=0.0, max_value=duration_ms, allow_nan=False)),
+    )
+
+
+@st.composite
+def pipeline_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
+    n_models = draw(st.integers(min_value=1, max_value=2))
+    names = draw(st.permutations(FUZZ_MODELS).map(lambda p: tuple(p[:n_models])))
+    streams = tuple(
+        draw(stream_specs(model_names=(name,), max_queries=30)) for name in names
+    )
+    duration = max(s.duration_ms for s in streams)
+    n_pipes = draw(st.integers(min_value=1, max_value=3))
+    pipelines = tuple(
+        draw(pipeline_specs(model_names=names, duration_ms=duration))
+        for _ in range(n_pipes)
+    )
+    return ScenarioSpec(
+        loop="pipeline",
+        streams=streams,
+        config_counts=tuple(draw(config_vectors()) for _ in streams),
+        seed=draw(_seeds()),
+        noise_std=draw(_noise()),
+        online_learning=draw(st.booleans()),
+        startup_delay_ms=draw(st.floats(min_value=50.0, max_value=800.0, allow_nan=False)),
+        warmup_queries=draw(st.integers(min_value=0, max_value=2)),
+        max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
+        sharded=draw(st.booleans()),
+        pipelines=pipelines,
+        **(draw(_chaos_fields(duration, with_faults=True)) if chaos else {}),
+    )
+
+
 def scenario_specs(
     loop: Optional[str] = None, *, chaos: bool = False
 ) -> st.SearchStrategy[ScenarioSpec]:
@@ -314,6 +396,7 @@ def scenario_specs(
         "elastic": elastic_scenarios(chaos=chaos),
         "multi_model": multi_model_scenarios(chaos=chaos),
         "spot": spot_scenarios(chaos=chaos),
+        "pipeline": pipeline_scenarios(chaos=chaos),
     }
     if loop is not None:
         return by_loop[loop]

@@ -1,0 +1,34 @@
+"""DAG-structured inference pipelines with end-to-end deadlines.
+
+The task-graph subsystem: frozen :class:`TaskGraph`\\ s of per-model stages
+(:mod:`repro.pipeline.graph`), the runtime release/slack bookkeeping shared by
+the loop and the policy (:mod:`repro.pipeline.runtime`), the canonical workload
+shapes (:mod:`repro.pipeline.workload`), the critical-path-aware matching policy
+(:mod:`repro.pipeline.policy`), and the serving loop with release semantics and
+graph-aware admission (:mod:`repro.pipeline.simulation`).
+"""
+
+from repro.pipeline.graph import TaskGraph, TaskStage
+from repro.pipeline.policy import CriticalPathKairosPolicy
+from repro.pipeline.runtime import (
+    GraphOutcome,
+    GraphRuntime,
+    PipelineCoordinator,
+    realize_graphs,
+)
+from repro.pipeline.simulation import PipelineServingSimulation
+from repro.pipeline.workload import chain_graph, diamond_graph, fan_out_in_graph
+
+__all__ = [
+    "TaskGraph",
+    "TaskStage",
+    "CriticalPathKairosPolicy",
+    "GraphOutcome",
+    "GraphRuntime",
+    "PipelineCoordinator",
+    "realize_graphs",
+    "PipelineServingSimulation",
+    "chain_graph",
+    "diamond_graph",
+    "fan_out_in_graph",
+]

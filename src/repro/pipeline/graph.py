@@ -1,0 +1,175 @@
+"""Task graphs: DAG-structured inference pipelines with end-to-end deadlines.
+
+A :class:`TaskGraph` is a frozen DAG of :class:`TaskStage`\\ s over the existing
+:class:`~repro.workload.query.Query` machinery: each stage names the model it runs
+on and the batch size of its work, and the *graph* carries one end-to-end deadline
+(relative to its release instant) and a value used by graph-aware shedding.  The
+reference design space is the TetriSched/Graphene lineage (release whole task
+graphs, enforce end-to-end deadlines, prioritize by critical path) — see the
+erdos-scheduling-simulator notes in SNIPPETS.md.
+
+Validation happens at construction: stage names are unique, parents exist, the
+graph is acyclic (Kahn's algorithm in declaration order, so iteration is
+deterministic), and there is exactly one sink — the stage whose completion defines
+the graph's end-to-end latency.
+
+Critical paths are computed against a prediction callable
+``predict(model_name, batch_size) -> ms`` — in the serving stack that is the
+current :class:`~repro.core.latency_model.OnlineLatencyEstimator` belief (the
+fastest type the model's partition offers), so the scheduler's notion of slack
+sharpens as the online learner converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.utils.validation import check_positive
+
+#: ``predict(model_name, batch_size) -> ms``: per-stage service-time belief.
+StagePredictor = Callable[[str, int], float]
+
+
+@dataclass(frozen=True)
+class TaskStage:
+    """One stage of a pipeline: a unit of work for one model at one batch size."""
+
+    name: str
+    model_name: str
+    batch_size: int
+    parents: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        if not self.model_name:
+            raise ValueError(f"stage {self.name!r} must name a model")
+        if self.batch_size < 1:
+            raise ValueError(f"stage {self.name!r} batch_size must be >= 1")
+        object.__setattr__(self, "parents", tuple(self.parents))
+        if len(set(self.parents)) != len(self.parents):
+            raise ValueError(f"stage {self.name!r} lists a duplicate parent")
+        if self.name in self.parents:
+            raise ValueError(f"stage {self.name!r} cannot be its own parent")
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """A frozen DAG of stages with one end-to-end deadline and one value.
+
+    ``deadline_ms`` is relative to ``release_ms`` (the instant the graph's source
+    stages are offered); the absolute deadline is ``release_ms + deadline_ms``.
+    ``value`` is the worth of completing the whole graph in time — graph-aware
+    admission sheds lowest-value graphs first.
+    """
+
+    graph_id: int
+    stages: Tuple[TaskStage, ...]
+    deadline_ms: float
+    value: float = 1.0
+    release_ms: float = 0.0
+    #: derived lookup structures (set in __post_init__, excluded from eq/repr)
+    _by_name: Dict[str, TaskStage] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _children: Dict[str, Tuple[str, ...]] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _topo: Tuple[TaskStage, ...] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self):
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if not self.stages:
+            raise ValueError(f"graph {self.graph_id} has no stages")
+        check_positive(self.deadline_ms, "deadline_ms")
+        check_positive(self.value, "value")
+        if self.release_ms < 0:
+            raise ValueError("release_ms must be non-negative")
+        by_name: Dict[str, TaskStage] = {}
+        for stage in self.stages:
+            if stage.name in by_name:
+                raise ValueError(
+                    f"graph {self.graph_id} declares stage {stage.name!r} twice"
+                )
+            by_name[stage.name] = stage
+        children: Dict[str, List[str]] = {s.name: [] for s in self.stages}
+        for stage in self.stages:
+            for parent in stage.parents:
+                if parent not in by_name:
+                    raise ValueError(
+                        f"graph {self.graph_id} stage {stage.name!r} names unknown "
+                        f"parent {parent!r}"
+                    )
+                children[parent].append(stage.name)
+        # Kahn's algorithm in declaration order: deterministic topological order and
+        # the acyclicity check in one pass.
+        indegree = {s.name: len(s.parents) for s in self.stages}
+        ready = [s for s in self.stages if indegree[s.name] == 0]
+        topo: List[TaskStage] = []
+        while ready:
+            stage = ready.pop(0)
+            topo.append(stage)
+            for child in children[stage.name]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(by_name[child])
+        if len(topo) != len(self.stages):
+            cyclic = sorted(name for name, deg in indegree.items() if deg > 0)
+            raise ValueError(f"graph {self.graph_id} has a cycle through {cyclic}")
+        sinks = [name for name, kids in children.items() if not kids]
+        if len(sinks) != 1:
+            raise ValueError(
+                f"graph {self.graph_id} must have exactly one sink stage, "
+                f"found {sorted(sinks)}"
+            )
+        object.__setattr__(self, "_by_name", by_name)
+        object.__setattr__(
+            self, "_children", {name: tuple(kids) for name, kids in children.items()}
+        )
+        object.__setattr__(self, "_topo", tuple(topo))
+
+    # -- structure ----------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def stage(self, name: str) -> TaskStage:
+        return self._by_name[name]
+
+    def children(self, name: str) -> Tuple[str, ...]:
+        return self._children[name]
+
+    def sources(self) -> Tuple[TaskStage, ...]:
+        return tuple(s for s in self.stages if not s.parents)
+
+    def sink(self) -> TaskStage:
+        return next(s for s in self.stages if not self._children[s.name])
+
+    def topological_order(self) -> Tuple[TaskStage, ...]:
+        """Stages in a deterministic topological order (declaration-order Kahn)."""
+        return self._topo
+
+    def deadline_abs_ms(self) -> float:
+        return self.release_ms + self.deadline_ms
+
+    # -- critical paths -----------------------------------------------------------------
+    def critical_path_remaining(self, predict: StagePredictor) -> Dict[str, float]:
+        """Per-stage longest path (stage-inclusive) to the sink, in predicted ms.
+
+        ``cpr[s] = predict(s) + max(cpr[child] for child)`` over the reverse
+        topological order; the entry of a source on the longest chain equals
+        :meth:`critical_path_ms`.
+        """
+        cpr: Dict[str, float] = {}
+        for stage in reversed(self._topo):
+            kids = self._children[stage.name]
+            tail = max((cpr[k] for k in kids), default=0.0)
+            cpr[stage.name] = predict(stage.model_name, stage.batch_size) + tail
+        return cpr
+
+    def critical_path_ms(self, predict: StagePredictor) -> float:
+        """End-to-end critical-path length from the current predictions."""
+        cpr = self.critical_path_remaining(predict)
+        return max(cpr[s.name] for s in self.sources())

@@ -1,0 +1,87 @@
+"""Task-graph workload builders: the canonical pipeline shapes.
+
+Three generators cover the production multi-stage shapes the subsystem models —
+chains (RAG-style sequential stages), fan-out/fan-in (parallel branches joined by
+a rank/merge stage), and diamonds (the two-branch special case, kept as its own
+name because it is the smallest graph where critical-path arbitration matters).
+Each stage is given as a ``(model_name, batch_size)`` pair; stage names are
+deterministic (``s0, s1, ...`` / ``src, b0..bk, sink``) so specs, digests, and
+shrunk fuzz findings stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.pipeline.graph import TaskGraph, TaskStage
+
+#: ``(model_name, batch_size)`` — one stage's work.
+StageWork = Tuple[str, int]
+
+
+def chain_graph(
+    graph_id: int,
+    stages: Sequence[StageWork],
+    deadline_ms: float,
+    *,
+    value: float = 1.0,
+    release_ms: float = 0.0,
+) -> TaskGraph:
+    """A linear pipeline ``s0 -> s1 -> ... -> s{n-1}``."""
+    if not stages:
+        raise ValueError("a chain needs at least one stage")
+    built: List[TaskStage] = []
+    for i, (model_name, batch_size) in enumerate(stages):
+        parents = (f"s{i - 1}",) if i else ()
+        built.append(TaskStage(f"s{i}", model_name, batch_size, parents))
+    return TaskGraph(
+        graph_id, tuple(built), deadline_ms, value=value, release_ms=release_ms
+    )
+
+
+def fan_out_in_graph(
+    graph_id: int,
+    source: StageWork,
+    branches: Sequence[StageWork],
+    sink: StageWork,
+    deadline_ms: float,
+    *,
+    value: float = 1.0,
+    release_ms: float = 0.0,
+) -> TaskGraph:
+    """``src`` fans out to ``len(branches)`` parallel stages joined by ``sink``."""
+    if not branches:
+        raise ValueError("fan-out needs at least one branch")
+    built: List[TaskStage] = [TaskStage("src", source[0], source[1])]
+    names: List[str] = []
+    for i, (model_name, batch_size) in enumerate(branches):
+        name = f"b{i}"
+        built.append(TaskStage(name, model_name, batch_size, ("src",)))
+        names.append(name)
+    built.append(TaskStage("sink", sink[0], sink[1], tuple(names)))
+    return TaskGraph(
+        graph_id, tuple(built), deadline_ms, value=value, release_ms=release_ms
+    )
+
+
+def diamond_graph(
+    graph_id: int,
+    source: StageWork,
+    left: StageWork,
+    right: StageWork,
+    sink: StageWork,
+    deadline_ms: float,
+    *,
+    value: float = 1.0,
+    release_ms: float = 0.0,
+) -> TaskGraph:
+    """The two-branch diamond ``src -> {left, right} -> sink``."""
+    return fan_out_in_graph(
+        graph_id,
+        source,
+        (left, right),
+        sink,
+        deadline_ms,
+        value=value,
+        release_ms=release_ms,
+    )

@@ -545,7 +545,11 @@ class MultiModelKairosPolicy(SchedulingPolicy):
             )
         waits = np.maximum(now_ms - arrivals, 0.0)
         query_models = resolve_query_models(considered, self._qos_by_model)
-        if self._sharded:
+        row_scale = self._row_cost_scale(considered, now_ms)
+        if self._sharded and row_scale is None:
+            # Row-priority rounds (pipeline laxity) are inherently global — which
+            # urgent row wins a contended column is cross-model arbitration — so they
+            # always take the union matching; plain rounds shard as before.
             decisions = self._schedule_sharded(
                 considered, query_models, batches, waits, columns, now_ms
             )
@@ -568,7 +572,16 @@ class MultiModelKairosPolicy(SchedulingPolicy):
             columns.server_ids,
             server_models,
         )
-        result_rows, result_cols = self._solver(matrix.weighted)
+        weighted = matrix.weighted
+        if row_scale is not None:
+            # Scale feasible cells only.  Infeasible cells carry a flat
+            # penalty cost; discounting them too would make exiling an urgent
+            # row onto a penalized (and therefore deferred) column the cheapest
+            # assignment — the opposite of a priority boost.
+            weighted = np.where(
+                matrix.qos_feasible, weighted * row_scale[:, None], weighted
+            )
+        result_rows, result_cols = self._solver(weighted)
         self.union_rounds += 1
         self.solved_cells += matrix.weighted.size
 
@@ -781,6 +794,20 @@ class MultiModelKairosPolicy(SchedulingPolicy):
             ):
                 return []
         return [(query, columns.indices[col])]
+
+    def _row_cost_scale(
+        self, considered: Sequence[Query], now_ms: float
+    ) -> Optional[np.ndarray]:
+        """Optional per-row cost multipliers folded into the union matching.
+
+        The base policy returns ``None`` — no scaling, no extra floating-point
+        operations, so decisions stay byte-identical.  Subclasses (the pipeline's
+        critical-path policy) return a vector of positive multipliers to make
+        urgent rows win contended columns; a row's multiplier never changes which
+        column that row prefers (a positive scalar preserves the row's argmin),
+        only how the matching arbitrates between rows.
+        """
+        return None
 
     def _is_hopeless(
         self, query: Query, model_name: str, type_names, now_ms: float

@@ -577,6 +577,14 @@ class MultiModelServingSimulation:
             timed_out = id(record) in self._timed_out
             if timed_out:
                 self._timed_out.discard(id(record))
+                try:
+                    self.cluster.server_by_id(record.server_id)
+                except KeyError:
+                    # The abandoned attempt's server crashed after the timeout
+                    # (the crash could not void the record: the timeout had
+                    # already pulled it out of the in-flight set), so this
+                    # phantom completion has no server left to account against.
+                    return False, False
             else:
                 inflight = self._inflight.get(record.server_id)
                 if inflight is not None:

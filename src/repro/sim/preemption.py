@@ -161,6 +161,7 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
                     0.0,
                     price_multiplier=self.market.price_multiplier(server.type_name),
                     market=MARKET_SPOT,
+                    price_schedule=self.market.price_schedule(server.type_name),
                 )
                 if self._outstanding > 0:
                     self._schedule_preemption(sid, server.type_name, 0.0, events)
@@ -188,6 +189,7 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
                 now,
                 price_multiplier=self.market.price_multiplier(request.type_name),
                 market=MARKET_SPOT,
+                price_schedule=self.market.price_schedule(request.type_name),
             )
         else:
             self._market_of_id[server_id] = MARKET_ON_DEMAND

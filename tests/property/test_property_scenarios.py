@@ -39,6 +39,7 @@ from repro.fuzz.strategies import (
     budget_ladders,
     elastic_scenarios,
     multi_model_scenarios,
+    pipeline_scenarios,
     scenario_specs,
     spot_scenarios,
     static_scenarios,
@@ -78,6 +79,11 @@ class TestPerRunInvariants:
     def test_spot_loop_holds_all_invariants(self, spec):
         _run_checked(spec)
 
+    @given(spec=pipeline_scenarios())
+    def test_pipeline_loop_holds_all_invariants(self, spec):
+        """Adds stage_precedence + graph_conservation on top of the common eight."""
+        _run_checked(spec)
+
 
 @pytest.mark.chaos
 class TestChaosInvariants:
@@ -98,6 +104,10 @@ class TestChaosInvariants:
 
     @given(spec=spot_scenarios(chaos=True))
     def test_spot_loop_survives_chaos(self, spec):
+        _run_checked(spec)
+
+    @given(spec=pipeline_scenarios(chaos=True))
+    def test_pipeline_loop_survives_chaos(self, spec):
         _run_checked(spec)
 
 

@@ -23,6 +23,7 @@ from repro.fuzz.invariants import (
     check_completion_causality,
     check_failure_billing,
     check_fault_determinism,
+    check_graph_conservation,
     check_hashseed_independence,
     check_ledger_partition_exactness,
     check_outcome_conservation,
@@ -31,6 +32,7 @@ from repro.fuzz.invariants import (
     check_retry_bounded,
     check_round_separation,
     check_spot_disabled_identity,
+    check_stage_precedence,
 )
 from repro.fuzz.runner import run_scenario
 from repro.fuzz.spec import ScenarioSpec
@@ -57,7 +59,7 @@ class TestCorpusReplay:
 
     def test_corpus_covers_every_loop(self):
         loops = {ScenarioSpec.load(p).loop for p in SCENARIOS}
-        assert loops == {"static", "elastic", "multi_model", "spot"}
+        assert loops == {"static", "elastic", "multi_model", "spot", "pipeline"}
 
     def test_corpus_covers_the_chaos_dimensions(self):
         """At least one committed scenario exercises each chaos knob."""
@@ -94,6 +96,46 @@ class TestShardedByteIdentity:
         spec = ScenarioSpec.load(path)
         assert digest_spec(spec) == digest_spec(
             dataclasses.replace(spec, sharded_events=True)
+        )
+
+
+class TestPipelineSimByteIdentity:
+    """With no task graphs registered, the pipeline simulator is pure overhead-free
+    scaffolding: substituting :class:`PipelineServingSimulation` for
+    :class:`MultiModelServingSimulation` must leave every multi-model scenario's
+    result digest byte-identical — chaos, sharded scheduling, and the sharded
+    event loop included.  The guard pins the ``coordinator.active`` gating in
+    ``_admit`` / ``_handle`` / ``run`` and the zero-FP-op ``_row_cost_scale``
+    default: any stray graph bookkeeping on the hot path shows up as a digest
+    mismatch here.
+    """
+
+    MULTI_MODEL = [p for p in SCENARIOS if ScenarioSpec.load(p).loop == "multi_model"]
+
+    @pytest.mark.parametrize("path", MULTI_MODEL, ids=lambda p: p.stem)
+    @pytest.mark.parametrize("sharded_events", [False, True])
+    def test_no_graph_digest_matches_multi_model(
+        self, path, sharded_events, monkeypatch
+    ):
+        import repro.fuzz.runner as runner_module
+        from repro.fuzz.runner import digest_spec
+        from repro.pipeline import PipelineServingSimulation
+
+        spec = dataclasses.replace(
+            ScenarioSpec.load(path), sharded_events=sharded_events
+        )
+        baseline = digest_spec(spec)
+        monkeypatch.setattr(
+            runner_module, "MultiModelServingSimulation", PipelineServingSimulation
+        )
+        assert digest_spec(spec) == baseline
+
+    def test_corpus_has_chaos_multi_model_coverage(self):
+        """The identity above must be exercised under faults, not just calm runs."""
+        specs = [ScenarioSpec.load(p) for p in self.MULTI_MODEL]
+        assert any(
+            s.faults is not None and s.retry is not None and s.admission is not None
+            for s in specs
         )
 
 
@@ -379,6 +421,90 @@ class TestChaosCheckersDetectCorruption:
         assert any("without a retry policy" in v.message for v in violations)
 
 
+def _clean_pipeline_result():
+    return run_scenario(_load("pipeline-diamond-deadlines.json"))
+
+
+class TestPipelineCheckersDetectCorruption:
+    """The task-graph checkers must fire on corrupted pipeline runs.
+
+    Corruptions only swap tuples on the result (completions, graph_outcomes) —
+    the shared coordinator is never mutated, so the class-scoped fixture stays
+    clean across tests.
+    """
+
+    @pytest.fixture(scope="class")
+    def pipeline_clean(self):
+        result = _clean_pipeline_result()
+        assert not result.violations
+        assert result.coordinator is not None and result.coordinator.active
+        assert any(o.outcome == "served" for o in result.graph_outcomes)
+        return result
+
+    @staticmethod
+    def _served_child(result):
+        """A (runtime, stage, completion) triple for a served non-source stage."""
+        by_qid = {rec.query.query_id: rec for rec in result.completions}
+        for runtime in result.coordinator.runtimes:
+            for stage in runtime.graph.stages:
+                rec = by_qid.get(runtime.queries[stage.name].query_id)
+                if stage.parents and rec is not None:
+                    return runtime, stage, rec
+        raise AssertionError("corpus scenario must serve a non-source stage")
+
+    def test_stage_precedence_flags_child_starting_before_parent(
+        self, pipeline_clean
+    ):
+        runtime, stage, rec = self._served_child(pipeline_clean)
+        parent_done = max(runtime.served[p] for p in stage.parents)
+        fake = SimpleNamespace(
+            query=rec.query,
+            server_id=rec.server_id,
+            server_type=rec.server_type,
+            start_ms=parent_done - 5.0,
+            completion_ms=rec.completion_ms,
+            service_ms=rec.service_ms,
+        )
+        completions = tuple(
+            fake if r.query.query_id == rec.query.query_id else r
+            for r in pipeline_clean.completions
+        )
+        corrupted = dataclasses.replace(pipeline_clean, completions=completions)
+        violations = check_stage_precedence(corrupted)
+        assert any("before parent" in v.message for v in violations)
+
+    def test_graph_conservation_flags_partition_imbalance(self, pipeline_clean):
+        o = next(x for x in pipeline_clean.graph_outcomes if x.outcome == "served")
+        broken = dataclasses.replace(o, served_stages=o.served_stages + 1)
+        outcomes = tuple(
+            broken if x.graph_id == o.graph_id else x
+            for x in pipeline_clean.graph_outcomes
+        )
+        corrupted = dataclasses.replace(pipeline_clean, graph_outcomes=outcomes)
+        violations = check_graph_conservation(corrupted)
+        assert any("but the graph has" in v.message for v in violations)
+
+    def test_graph_conservation_flags_mislabelled_outcome(self, pipeline_clean):
+        o = next(x for x in pipeline_clean.graph_outcomes if x.outcome == "served")
+        mislabelled = dataclasses.replace(o, outcome="dead")
+        outcomes = tuple(
+            mislabelled if x.graph_id == o.graph_id else x
+            for x in pipeline_clean.graph_outcomes
+        )
+        corrupted = dataclasses.replace(pipeline_clean, graph_outcomes=outcomes)
+        violations = check_graph_conservation(corrupted)
+        assert any("labelled dead with no dead stage" in v.message for v in violations)
+
+    def test_graph_conservation_flags_unknown_label(self, pipeline_clean):
+        o = pipeline_clean.graph_outcomes[0]
+        outcomes = (dataclasses.replace(o, outcome="mystery"),) + tuple(
+            pipeline_clean.graph_outcomes[1:]
+        )
+        corrupted = dataclasses.replace(pipeline_clean, graph_outcomes=outcomes)
+        violations = check_graph_conservation(corrupted)
+        assert any("unknown outcome" in v.message for v in violations)
+
+
 class TestInvariantRegistryCoverage:
     """Meta-test: the registry, the properties, and this corpus stay in sync."""
 
@@ -395,6 +521,8 @@ class TestInvariantRegistryCoverage:
             "failure_billing",
             "retry_bounded",
             "qos_monotone_in_budget",
+            "stage_precedence",
+            "graph_conservation",
             "spot_disabled_identity",
             "hashseed_independence",
             "fault_determinism",

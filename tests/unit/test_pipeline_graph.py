@@ -1,0 +1,193 @@
+"""Unit tests for the task-graph core: validation, topology, critical paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import (
+    TaskGraph,
+    TaskStage,
+    chain_graph,
+    diamond_graph,
+    fan_out_in_graph,
+)
+
+
+def diamond() -> TaskGraph:
+    return TaskGraph(
+        graph_id=1,
+        stages=(
+            TaskStage("src", "RM2", 16),
+            TaskStage("left", "RM2", 32, ("src",)),
+            TaskStage("right", "WND", 8, ("src",)),
+            TaskStage("sink", "WND", 4, ("left", "right")),
+        ),
+        deadline_ms=500.0,
+    )
+
+
+class TestTaskStage:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TaskStage("", "RM2", 8)
+
+    def test_rejects_empty_model(self):
+        with pytest.raises(ValueError, match="must name a model"):
+            TaskStage("s0", "", 8)
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            TaskStage("s0", "RM2", 0)
+
+    def test_rejects_duplicate_parent(self):
+        with pytest.raises(ValueError, match="duplicate parent"):
+            TaskStage("s1", "RM2", 8, ("s0", "s0"))
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ValueError, match="own parent"):
+            TaskStage("s0", "RM2", 8, ("s0",))
+
+
+class TestTaskGraphValidation:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError, match="no stages"):
+            TaskGraph(1, (), deadline_ms=100.0)
+
+    def test_rejects_duplicate_stage_names(self):
+        with pytest.raises(ValueError, match="twice"):
+            TaskGraph(
+                1,
+                (TaskStage("s0", "RM2", 8), TaskStage("s0", "WND", 8)),
+                deadline_ms=100.0,
+            )
+
+    def test_rejects_unknown_parent(self):
+        with pytest.raises(ValueError, match="unknown"):
+            TaskGraph(
+                1,
+                (TaskStage("s0", "RM2", 8), TaskStage("s1", "RM2", 8, ("ghost",))),
+                deadline_ms=100.0,
+            )
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph(
+                1,
+                (
+                    TaskStage("a", "RM2", 8, ("c",)),
+                    TaskStage("b", "RM2", 8, ("a",)),
+                    TaskStage("c", "RM2", 8, ("b",)),
+                ),
+                deadline_ms=100.0,
+            )
+
+    def test_rejects_multiple_sinks(self):
+        with pytest.raises(ValueError, match="exactly one sink"):
+            TaskGraph(
+                1,
+                (
+                    TaskStage("src", "RM2", 8),
+                    TaskStage("a", "RM2", 8, ("src",)),
+                    TaskStage("b", "RM2", 8, ("src",)),
+                ),
+                deadline_ms=100.0,
+            )
+
+    def test_rejects_nonpositive_deadline_and_value(self):
+        with pytest.raises(ValueError):
+            TaskGraph(1, (TaskStage("s0", "RM2", 8),), deadline_ms=0.0)
+        with pytest.raises(ValueError):
+            TaskGraph(1, (TaskStage("s0", "RM2", 8),), deadline_ms=10.0, value=0.0)
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(ValueError, match="release_ms"):
+            TaskGraph(
+                1, (TaskStage("s0", "RM2", 8),), deadline_ms=10.0, release_ms=-1.0
+            )
+
+
+class TestTopology:
+    def test_topological_order_is_declaration_order_kahn(self):
+        graph = diamond()
+        assert [s.name for s in graph.topological_order()] == [
+            "src",
+            "left",
+            "right",
+            "sink",
+        ]
+
+    def test_sources_sink_children(self):
+        graph = diamond()
+        assert [s.name for s in graph.sources()] == ["src"]
+        assert graph.sink().name == "sink"
+        assert graph.children("src") == ("left", "right")
+        assert graph.children("sink") == ()
+        assert graph.stage("right").model_name == "WND"
+        assert len(graph) == 4
+
+    def test_deadline_abs(self):
+        graph = TaskGraph(
+            1, (TaskStage("s0", "RM2", 8),), deadline_ms=100.0, release_ms=40.0
+        )
+        assert graph.deadline_abs_ms() == pytest.approx(140.0)
+
+
+class TestCriticalPath:
+    def test_constant_predictor_diamond(self):
+        graph = diamond()
+        cpr = graph.critical_path_remaining(lambda model, batch: 100.0)
+        assert cpr == {"sink": 100.0, "left": 200.0, "right": 200.0, "src": 300.0}
+        assert graph.critical_path_ms(lambda model, batch: 100.0) == pytest.approx(
+            300.0
+        )
+
+    def test_predictor_sees_model_and_batch(self):
+        graph = diamond()
+        # left (batch 32) is slower than right (batch 8): the critical path runs
+        # through left and the source entry reflects it.
+        cpr = graph.critical_path_remaining(lambda model, batch: float(batch))
+        assert cpr["left"] == pytest.approx(32.0 + 4.0)
+        assert cpr["right"] == pytest.approx(8.0 + 4.0)
+        assert cpr["src"] == pytest.approx(16.0 + 36.0)
+        assert graph.critical_path_ms(lambda m, b: float(b)) == pytest.approx(52.0)
+
+    def test_chain_critical_path_is_the_sum(self):
+        graph = chain_graph(2, [("RM2", 8)] * 5, deadline_ms=1000.0)
+        assert graph.critical_path_ms(lambda m, b: 10.0) == pytest.approx(50.0)
+
+
+class TestWorkloadBuilders:
+    def test_chain_graph_shape(self):
+        graph = chain_graph(3, [("RM2", 8), ("WND", 4), ("RM2", 2)], deadline_ms=100.0)
+        assert [s.name for s in graph.stages] == ["s0", "s1", "s2"]
+        assert graph.stage("s1").parents == ("s0",)
+        assert graph.stage("s2").parents == ("s1",)
+        assert graph.sink().name == "s2"
+
+    def test_chain_graph_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            chain_graph(1, [], deadline_ms=100.0)
+
+    def test_fan_out_in_shape(self):
+        graph = fan_out_in_graph(
+            4,
+            ("RM2", 8),
+            [("WND", 4), ("WND", 2), ("RM2", 1)],
+            ("RM2", 16),
+            deadline_ms=100.0,
+        )
+        assert [s.name for s in graph.stages] == ["src", "b0", "b1", "b2", "sink"]
+        assert graph.stage("sink").parents == ("b0", "b1", "b2")
+        for branch in ("b0", "b1", "b2"):
+            assert graph.stage(branch).parents == ("src",)
+
+    def test_fan_out_in_rejects_no_branches(self):
+        with pytest.raises(ValueError, match="at least one branch"):
+            fan_out_in_graph(1, ("RM2", 8), [], ("RM2", 8), deadline_ms=100.0)
+
+    def test_diamond_is_two_branch_fan_out(self):
+        graph = diamond_graph(
+            5, ("RM2", 8), ("WND", 4), ("RM2", 2), ("WND", 1), deadline_ms=100.0
+        )
+        assert [s.name for s in graph.stages] == ["src", "b0", "b1", "sink"]
+        assert graph.stage("sink").parents == ("b0", "b1")

@@ -8,7 +8,10 @@
 # `fuzz-smoke` stage, a bounded scenario-fuzzer pass over every serving loop
 # plus a full replay of the committed tests/regression/ corpus; and the
 # `chaos-smoke` stage, a fault-enabled campaign (unannounced crashes, storms,
-# slowdowns, retry budgets, admission control) plus the `chaos`-marked tests.
+# slowdowns, retry budgets, admission control) plus the `chaos`-marked tests;
+# and the `pipeline-smoke` stage, a bounded task-graph fuzzing campaign over
+# the pipeline serving loop plus an explicit replay of the committed pipeline
+# scenarios (the fig20 smoke benchmark runs under `smoke benchmarks` above).
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -35,5 +38,9 @@ python tools/sweep.py --check --seeds 1 2 --workers 2 > /dev/null
 echo "== chaos-smoke: fault-enabled fuzzing + chaos-marked tests =="
 python tools/fuzz.py --budget 25 --seed 2 --chaos
 python -m pytest tests -m chaos -q --hypothesis-profile=ci "$@"
+
+echo "== pipeline-smoke: bounded task-graph fuzzing + pipeline corpus replay =="
+python tools/fuzz.py --budget 25 --seed 3 --loop pipeline
+python tools/fuzz.py --replay tests/regression/scenarios/pipeline-*.json
 
 echo "CI gate passed."
