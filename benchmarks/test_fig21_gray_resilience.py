@@ -1,0 +1,86 @@
+"""Fig. 21 (gray): health-aware serving vs. crash-hardened serving under gray failures.
+
+The gray-failure headline scenario: servers silently degrade to 8x latency or go
+zombie (accept work, never complete) while a crash-hardened policy stack (fig19's
+retries + admission, with a response timeout) keeps routing fresh work onto them.
+The health arm — the identical stack plus the oracle-free health monitor feeding
+quarantine circuit breakers and latency-quantile hedged dispatch — must strictly
+beat it on offered-query QoS attainment, whole-run and post-onset, at equal
+realized $/hr: same fleet, trace, service RNG, and gray schedule in both arms, and
+no crashes, so not even replacement-boot jitter separates the bills.
+"""
+
+import pytest
+
+from repro.analysis.chaos import fig21_gray_resilience
+
+#: No crashes and no replacements: both arms bill the identical fleet over the
+#: identical window, so realized $/hr must agree to numerical noise.
+COST_TOLERANCE = 0.01
+
+
+@pytest.mark.smoke
+@pytest.mark.gray
+def test_fig21_gray_resilience(record_figure, fast_settings):
+    settings = fast_settings.scaled(num_queries=350)
+    table = record_figure(
+        fig21_gray_resilience, "fig21_gray_resilience.txt", settings
+    )
+    headers = list(table.headers)
+    hardened_row, health_row = table.rows
+    assert hardened_row[0] == "hardened" and health_row[0] == "health+hedge"
+
+    def col(row, name):
+        return row[headers.index(name)]
+
+    # Gray failures actually fire, in both arms, from the same seeded schedule.
+    for key in ("hardened_report", "health_report"):
+        onsets = [
+            e
+            for e in table.extras[key].scale_log
+            if e.kind in ("degradation_onset", "zombie_onset")
+        ]
+        assert len(onsets) >= 2
+    assert table.extras["onset_t0_ms"] > 0.0
+
+    # The headline: detection + isolation + hedging strictly wins on offered-QoS
+    # attainment — whole-run and in the post-onset window where the sick servers
+    # poison the hardened arm's dispatch stream.
+    assert col(health_row, "attainment") > col(hardened_row, "attainment")
+    assert col(health_row, "attainment_post") > col(hardened_row, "attainment_post")
+
+    # ...at equal realized $/hr: same fleet, no crashes, no replacements.
+    hardened_cost = col(hardened_row, "realized_cost_hr")
+    health_cost = col(health_row, "realized_cost_hr")
+    assert abs(health_cost - hardened_cost) <= COST_TOLERANCE * hardened_cost
+
+    # Each arm behaves in character: only the health arm quarantines, probes,
+    # and hedges; the quarantine bill is real but small; every launched hedge
+    # resolves (the exactly-once race accounting).
+    assert col(hardened_row, "quarantines") == 0
+    assert col(hardened_row, "hedges") == 0
+    assert col(health_row, "quarantines") >= 1
+    assert col(health_row, "probations") >= 1
+    assert col(health_row, "hedges") >= 1
+    assert col(health_row, "hedge_wins") >= 1
+    assert col(health_row, "cost_quarantine") > 0.0
+    health_report = table.extras["health_report"]
+    assert health_report.hedges_launched == health_report.hedges_cancelled
+
+    # No query is lost without a paper trail, in either arm.
+    for row, key in (
+        (hardened_row, "hardened_report"),
+        (health_row, "health_report"),
+    ):
+        report = table.extras[key]
+        accounted = (
+            len(report.metrics)
+            + len(report.dead_letters)
+            + len(report.shed_queries)
+            + report.unserved_queries
+        )
+        assert accounted == len(table.extras["trace"].queries)
+
+    # Deterministic: the whole experiment replays byte-identically.
+    again = fig21_gray_resilience(settings)
+    assert again.rows == table.rows

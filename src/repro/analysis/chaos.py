@@ -37,6 +37,7 @@ from repro.schedulers.kairos_policy import KairosPolicy
 from repro.sim.cluster import Cluster
 from repro.sim.elasticity import ElasticServingSimulation, ElasticSimulationReport
 from repro.sim.faults import AdmissionController, FaultInjector, RetryPolicy
+from repro.sim.health import HealthConfig, HedgePolicy
 from repro.workload.generator import WorkloadSpec
 from repro.workload.phases import LoadPhase, PhasedTrace
 from repro.workload.query import Query
@@ -211,6 +212,208 @@ def fig19_chaos_resilience(
             "demand_qps": demand,
             "duration_ms": duration_ms,
             "crowd_window_ms": (crowd_t0, crowd_t1),
+            "qos_ms": model.qos_ms,
+            "trace": trace_result,
+        },
+    )
+    return table
+
+
+def fig21_gray_resilience(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    model_name: str = "RM2",
+    demand_frac: float = 0.45,
+    degradations_per_instance: float = 0.3,
+    zombies_per_instance: float = 0.5,
+    degradation_factor: float = 8.0,
+    max_attempts: int = 3,
+    total_queries_target: Optional[int] = None,
+    use_online_latency_learning: bool = True,
+) -> FigureTable:
+    """Serve one steady trace under gray failures, hardened vs. health-aware.
+
+    Gray failures never crash: a degraded server keeps accepting work at
+    ``degradation_factor`` x latency forever, and a zombie accepts work and never
+    completes it.  Crash-oriented hardening (fig19's retry + admission arm, here
+    with a response timeout so zombie-held work eventually re-queues) survives
+    that — but keeps routing fresh work onto the sick servers.  The health arm
+    runs the identical policy stack plus the oracle-free
+    :class:`~repro.sim.health.ServerHealthMonitor` (EWMA latency ratio vs. the
+    per-type fleet baseline + phi-accrual overdue suspicion) feeding quarantine
+    circuit breakers, and latency-quantile hedged dispatch with exact
+    loser-cancellation billing.
+
+    Both arms run the identical fleet, trace, service RNG, and gray schedule (the
+    gray RNG is consumed in commission order; ``failures_per_hour`` is zero, so no
+    replacement jitter exists and realized $/hr is equal essentially exactly) —
+    the comparison isolates detection + isolation + hedging.  Attainment counts
+    offered queries; ``attainment_post`` starts at the first gray onset.
+    """
+    settings = settings or ExperimentSettings()
+    registry = settings.registry()
+    model = settings.model(model_name)
+    monitored = settings.monitored_batches()
+    budget = settings.budget_per_hour
+    headroom = DEFAULT_DEMAND_HEADROOM.get(model.name, 2.0)
+
+    budget_plan = KairosPlanner(
+        model, budget, profiles=registry, batch_samples=monitored
+    ).plan()
+    demand = demand_frac * budget_plan.selected_upper_bound
+    plan = SpotAwareKairosPlanner(
+        model,
+        budget,
+        profiles=registry,
+        batch_samples=monitored,
+        demand_headroom=headroom,
+    ).plan_mixed(demand)
+
+    target = (
+        int(total_queries_target)
+        if total_queries_target is not None
+        else 3 * settings.num_queries
+    )
+    duration_ms = 1000.0 * target / demand
+    startup_delay_ms = duration_ms / 12.0
+
+    degradation_hazard = degradations_per_instance * MS_PER_HOUR / duration_ms
+    zombie_hazard = zombies_per_instance * MS_PER_HOUR / duration_ms
+    faults = FaultInjector.uniform(
+        registry.catalog,
+        failures_per_hour=0.0,
+        degradations_per_hour=degradation_hazard,
+        degradation_factor=degradation_factor,
+        zombies_per_hour=zombie_hazard,
+        auto_replace=False,
+    )
+
+    trace = PhasedTrace(
+        [LoadPhase.step(demand, duration_ms, label="steady")],
+        WorkloadSpec(batch_sizes=settings.distribution()),
+    )
+    trace_result = trace.generate(settings.rng(42))
+    queries = list(trace_result.queries)
+
+    def run_arm(*, health, hedge) -> ElasticSimulationReport:
+        sim = ElasticServingSimulation(
+            Cluster(plan.combined_config, model, registry),
+            KairosPolicy(use_perfect_estimator=not use_online_latency_learning),
+            startup_delay_ms=startup_delay_ms,
+            rng=settings.rng(7),
+            faults=faults,
+            fault_rng=np.random.default_rng([settings.seed, 505]),
+            gray_rng=np.random.default_rng([settings.seed, 606]),
+            retry=RetryPolicy(
+                max_attempts=max_attempts,
+                backoff_base_ms=model.qos_ms / 10.0,
+                response_timeout_ms=4.0 * model.qos_ms,
+            ),
+            admission=AdmissionController(
+                target_latency_ms=model.qos_ms, initial_concurrency=16
+            ),
+            health=health,
+            hedge=hedge,
+        )
+        return sim.run(queries)
+
+    hardened_report = run_arm(health=None, hedge=None)
+    # Detector tuning: per-item latency still varies with the (sub-linear) batch
+    # profile, so the degrade ratio sits well above that spread yet far below the
+    # 8x true degradation — no healthy server trips, every sick one does.
+    health_report = run_arm(
+        health=HealthConfig(
+            ewma_alpha=0.15,
+            degrade_ratio=2.8,
+            min_samples=10,
+            probation_ms=8.0 * model.qos_ms,
+        ),
+        hedge=HedgePolicy(quantile=0.9, delay_factor=1.3, min_samples=8),
+    )
+
+    # Both arms draw the identical gray schedule; the first onset anywhere opens
+    # the post-onset window.
+    onsets = [
+        e.time_ms
+        for report in (hardened_report, health_report)
+        for e in report.scale_log
+        if e.kind in ("degradation_onset", "zombie_onset")
+    ]
+    onset_t0 = min(onsets) if onsets else 0.0
+
+    rows = []
+    for arm, report in (("hardened", hardened_report), ("health+hedge", health_report)):
+        horizon = report.billing_horizon_ms
+        lifecycle = {"quarantine": 0, "probation": 0, "breaker_close": 0}
+        for e in report.scale_log:
+            if e.kind in lifecycle:
+                lifecycle[e.kind] += 1
+        rows.append(
+            [
+                arm,
+                offered_qos_attainment(report, queries, model.qos_ms, 0.0, duration_ms),
+                offered_qos_attainment(
+                    report, queries, model.qos_ms, onset_t0, duration_ms
+                ),
+                report.ledger.cost_in_window(0.0, duration_ms)
+                / (duration_ms / MS_PER_HOUR),
+                float(lifecycle["quarantine"]),
+                float(lifecycle["probation"]),
+                float(lifecycle["breaker_close"]),
+                float(report.hedges_launched),
+                float(report.hedge_wins),
+                report.ledger.cost_of_quarantine(horizon),
+                report.ledger.cost_of_hedges(horizon),
+                float(report.retries),
+                float(len(report.dead_letters)),
+                float(len(report.shed_queries)),
+                float(len(report.metrics)),
+            ]
+        )
+
+    hardened_att, health_att = rows[0][1], rows[1][1]
+    hardened_post, health_post = rows[0][2], rows[1][2]
+    table = FigureTable(
+        figure_id="fig21-gray",
+        title=f"{model.name}: health-aware serving vs. crash-hardened serving under "
+        f"gray failures ({degradation_factor:g}x permanent degradation + zombies)",
+        headers=[
+            "arm",
+            "attainment",
+            "attainment_post",
+            "realized_cost_hr",
+            "quarantines",
+            "probations",
+            "breaker_closes",
+            "hedges",
+            "hedge_wins",
+            "cost_quarantine",
+            "cost_hedges",
+            "retries",
+            "dead_letters",
+            "shed",
+            "served",
+        ],
+        rows=rows,
+        notes=[
+            f"demand = {demand_frac:.2f} x budget-max bound = {demand:.1f} qps "
+            f"(headroom {headroom:g}); no crashes — gray hazards only",
+            f"gray hazards: {degradation_hazard:.1f} degradations/instance-hr at "
+            f"{degradation_factor:g}x (permanent), {zombie_hazard:.1f} "
+            "zombies/instance-hr (accept work, never complete)",
+            f"first gray onset at {onset_t0:.0f} ms of {duration_ms:.0f} ms; "
+            "attainment counts offered queries, so dead letters and shed are misses",
+            f"offered-QoS attainment: health+hedge {health_att:.1%} vs hardened "
+            f"{hardened_att:.1%} whole-run, {health_post:.1%} vs "
+            f"{hardened_post:.1%} post-onset, at equal realized $/hr",
+        ],
+        extras={
+            "plan": plan,
+            "hardened_report": hardened_report,
+            "health_report": health_report,
+            "demand_qps": demand,
+            "duration_ms": duration_ms,
+            "onset_t0_ms": onset_t0,
             "qos_ms": model.qos_ms,
             "trace": trace_result,
         },

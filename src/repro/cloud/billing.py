@@ -169,6 +169,39 @@ class UsageInterval:
         )
 
 
+#: Attribution-span kinds recognised by :meth:`InstanceUsageLedger.record_span`.
+SPAN_QUARANTINE = "quarantine"
+SPAN_HEDGE = "hedge"
+_SPAN_KINDS = (SPAN_QUARANTINE, SPAN_HEDGE)
+
+
+@dataclass
+class AttributionSpan:
+    """A sub-interval attribution of one server's billed time.
+
+    Unlike :class:`UsageInterval` this never *creates* cost — a span re-labels a
+    slice of its server's already-billed time so the gray-failure accounting can
+    partition the bill: ``quarantine`` spans cover time parked behind an open
+    circuit breaker (the idle burn of an isolated server), ``hedge`` spans cover
+    the partial occupancy of cancelled hedge attempts.  ``end_ms is None`` means
+    open-ended (clipped at the query horizon).  Where spans overlap, quarantine
+    takes precedence over hedge; a ``failed`` interval's whole cost stays under
+    the crash partition regardless of spans.
+    """
+
+    server_id: int
+    kind: str
+    start_ms: float
+    end_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SPAN_KINDS:
+            raise ValueError(f"span kind must be one of {_SPAN_KINDS}, got {self.kind!r}")
+        check_non_negative(self.start_ms, "start_ms")
+        if self.end_ms is not None and self.end_ms < self.start_ms:
+            raise ValueError("span end precedes span start")
+
+
 class InstanceUsageLedger:
     """Per-instance commissioning intervals and the cost they accrue.
 
@@ -183,6 +216,7 @@ class InstanceUsageLedger:
         self.catalog = catalog
         self._intervals: List[UsageInterval] = []
         self._open: Dict[int, UsageInterval] = {}
+        self._spans: List[AttributionSpan] = []
 
     def __len__(self) -> int:
         return len(self._intervals)
@@ -265,6 +299,29 @@ class InstanceUsageLedger:
         for server_id in list(self._open):
             self.stop(server_id, now_ms)
 
+    # -- attribution spans ---------------------------------------------------------------
+    @property
+    def spans(self) -> List[AttributionSpan]:
+        return list(self._spans)
+
+    def record_span(
+        self,
+        server_id: int,
+        kind: str,
+        start_ms: float,
+        end_ms: Optional[float] = None,
+    ) -> AttributionSpan:
+        """Open (or record a closed) attribution span on ``server_id``'s billed time.
+
+        Returns the span; an open span (``end_ms=None``) is closed by assigning
+        ``span.end_ms`` — the partition clips open spans at its query horizon.
+        """
+        span = AttributionSpan(
+            server_id=server_id, kind=kind, start_ms=float(start_ms), end_ms=end_ms
+        )
+        self._spans.append(span)
+        return span
+
     # -- queries -----------------------------------------------------------------------
     # Aggregations use math.fsum (exactly rounded summation), so reported costs are
     # invariant to the order intervals were opened in — simultaneous provisioning
@@ -342,6 +399,66 @@ class InstanceUsageLedger:
     def cost_of_failures(self, horizon_ms: float) -> float:
         """$ sunk into instances that died by unannounced crash (0.0 without faults)."""
         return self.cost_by_failure(horizon_ms).get(True, 0.0)
+
+    def attribution_partition(self, horizon_ms: float) -> Dict[str, float]:
+        """The gray-failure partition of the bill over ``[0, horizon_ms)``.
+
+        Keys: ``"failed"`` (intervals closed by unannounced crash — the whole
+        interval, matching :meth:`cost_of_failures`), ``"quarantine"`` (time
+        behind an open breaker), ``"hedge"`` (partial occupancy of cancelled
+        hedge attempts), ``"healthy"`` (everything else).  Each interval's
+        overlap with the window is cut at its spans' clipped edges and every
+        segment billed through the same ``cost_in_window`` used for the totals,
+        so the four values sum exactly (1e-12) to :meth:`total_cost` — spans
+        re-label spend, they can neither create nor lose it.  Quarantine takes
+        precedence over hedge where spans overlap.
+        """
+        check_non_negative(horizon_ms, "horizon_ms")
+        parts: Dict[str, List[float]] = {
+            "failed": [],
+            "quarantine": [],
+            "hedge": [],
+            "healthy": [],
+        }
+        by_server: Dict[int, List[AttributionSpan]] = {}
+        for span in self._spans:
+            by_server.setdefault(span.server_id, []).append(span)
+        for iv in self._intervals:
+            if iv.failed:
+                parts["failed"].append(iv.cost_in_window(0.0, horizon_ms))
+                continue
+            end = iv.end_ms if iv.end_ms is not None else horizon_ms
+            a = max(iv.start_ms, 0.0)
+            b = min(end, horizon_ms)
+            if b <= a:
+                continue
+            spans = [
+                (max(s.start_ms, a), min(s.end_ms if s.end_ms is not None else b, b), s.kind)
+                for s in by_server.get(iv.server_id, ())
+            ]
+            spans = [(s0, s1, kind) for s0, s1, kind in spans if s1 > s0]
+            if not spans:
+                parts["healthy"].append(iv.cost_in_window(a, b))
+                continue
+            edges = sorted({a, b, *(s0 for s0, _, _ in spans), *(s1 for _, s1, _ in spans)})
+            for s0, s1 in zip(edges, edges[1:]):
+                mid = 0.5 * (s0 + s1)
+                if any(k == SPAN_QUARANTINE and lo <= mid < hi for lo, hi, k in spans):
+                    label = "quarantine"
+                elif any(k == SPAN_HEDGE and lo <= mid < hi for lo, hi, k in spans):
+                    label = "hedge"
+                else:
+                    label = "healthy"
+                parts[label].append(iv.cost_in_window(s0, s1))
+        return {label: math.fsum(costs) for label, costs in parts.items()}
+
+    def cost_of_quarantine(self, horizon_ms: float) -> float:
+        """$ burned by quarantined (breaker-open) servers (0.0 without health)."""
+        return self.attribution_partition(horizon_ms)["quarantine"]
+
+    def cost_of_hedges(self, horizon_ms: float) -> float:
+        """$ burned by cancelled hedge attempts' partial occupancy (0.0 without hedging)."""
+        return self.attribution_partition(horizon_ms)["hedge"]
 
     def hours_by_market(self, horizon_ms: float) -> Dict[str, float]:
         """Per-market commissioned instance-hours from time 0 to ``horizon_ms``."""

@@ -382,6 +382,10 @@ class ElasticKairosController:
         self.preemptions: List[Tuple[float, str, int]] = []
         #: (time_ms, type_name, count) of every unannounced crash this controller absorbed.
         self.failures: List[Tuple[float, str, int]] = []
+        #: (time_ms, type_name, count) of every gray-failure quarantine absorbed.
+        self.quarantines: List[Tuple[float, str, int]] = []
+        #: (time_ms, type_name, count) of every probation re-admission absorbed.
+        self.readmits: List[Tuple[float, str, int]] = []
         self._pending_reprovision = False
 
     # -- planning ----------------------------------------------------------------------
@@ -473,6 +477,40 @@ class ElasticKairosController:
             raise ValueError("failure count must be positive")
         self._absorb_capacity_loss(type_name, count)
         self.failures.append((float(now_ms), type_name, int(count)))
+        self._pending_reprovision = True
+
+    def observe_quarantine(self, type_name: str, now_ms: float, *, count: int = 1) -> None:
+        """Absorb a gray-failure quarantine: capacity isolated by an open breaker.
+
+        Same semantics as :meth:`observe_failure` — the health layer parked
+        capacity the live plan still wanted, so the loss is booked against the
+        controller's view and the next :meth:`maybe_replan` re-plans immediately
+        (cooldown and load-change gates bypassed).  Unlike a crash the instance
+        still exists and still bills; if probation later re-admits it,
+        :meth:`observe_readmit` books the capacity back.
+        """
+        if self._current_config is None:
+            raise RuntimeError("call initial_plan() before observe_quarantine()")
+        if count <= 0:
+            raise ValueError("quarantine count must be positive")
+        self._absorb_capacity_loss(type_name, count)
+        self.quarantines.append((float(now_ms), type_name, int(count)))
+        self._pending_reprovision = True
+
+    def observe_readmit(self, type_name: str, now_ms: float, *, count: int = 1) -> None:
+        """Absorb a probation re-admission: quarantined capacity returned to service.
+
+        The inverse of :meth:`observe_quarantine`: the capacity is booked back
+        into the controller's view and a cooldown-bypassing re-plan is armed so
+        the next pass can shed whatever replacement capacity the quarantine
+        forced it to buy.
+        """
+        if self._current_config is None:
+            raise RuntimeError("call initial_plan() before observe_readmit()")
+        if count <= 0:
+            raise ValueError("readmit count must be positive")
+        self._current_config = self._current_config.add(type_name, int(count))
+        self.readmits.append((float(now_ms), type_name, int(count)))
         self._pending_reprovision = True
 
     def _absorb_capacity_loss(self, type_name: str, count: int) -> None:

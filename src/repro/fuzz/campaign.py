@@ -64,7 +64,9 @@ def _check_spec(spec: ScenarioSpec, *, derived: bool) -> List[Violation]:
         violations = list(run_scenario(spec).violations)
         if derived and spec.loop == "spot":
             violations.extend(check_spot_disabled_identity(spec))
-        if derived and (spec.faults or spec.retry or spec.admission):
+        if derived and (
+            spec.faults or spec.retry or spec.admission or spec.health or spec.hedge
+        ):
             violations.extend(check_fault_determinism(spec))
     except Exception as exc:  # noqa: BLE001 - crashes are findings, not aborts
         return [Violation("crash", f"{type(exc).__name__}: {exc}")]
@@ -78,6 +80,7 @@ def run_campaign(
     seed: Optional[int] = None,
     derived: bool = False,
     chaos: bool = False,
+    gray: bool = False,
     out_dir: Optional[Path] = None,
 ) -> CampaignReport:
     """Fuzz up to ``budget`` scenarios; shrink and serialize any invariant violation.
@@ -97,7 +100,7 @@ def run_campaign(
         suppress_health_check=list(HealthCheck),
         print_blob=False,
     )
-    @given(spec=scenario_specs(loop, chaos=chaos))
+    @given(spec=scenario_specs(loop, chaos=chaos or gray, gray=gray))
     def campaign(spec: ScenarioSpec) -> None:
         executions[0] += 1
         violations = _check_spec(spec, derived=derived)

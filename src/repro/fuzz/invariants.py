@@ -104,6 +104,22 @@ ALL_INVARIANTS: Dict[str, Tuple[str, str]] = {
         "(served / shed / dead / unserved / unreleased) balances the stage count "
         "and agrees with the graph's terminal outcome label",
     ),
+    "hedge_exactly_once": (
+        "run",
+        "every hedge race resolves exactly once: each launched duplicate is "
+        "cancelled or wins, no query is served twice, and a hedge-free spec "
+        "records zero hedge activity",
+    ),
+    "gray_billing_partition": (
+        "run",
+        "the failed/quarantine/hedge/healthy attribution partition sums exactly "
+        "to the ledger total; buckets are zero when their dimension is off",
+    ),
+    "probation_liveness": (
+        "run",
+        "quarantine/probation/close entries follow the breaker state machine "
+        "per server, and at least one accepting server always remains",
+    ),
     "qos_monotone_in_budget": (
         "derived",
         "the planner's selected QoS-satisfying throughput bound is nondecreasing "
@@ -758,6 +774,209 @@ def check_graph_conservation(result) -> List[Violation]:
     return out
 
 
+def check_hedge_exactly_once(result) -> List[Violation]:
+    """Hedge races are zero-sum: one winner served, one loser cancelled and billed."""
+    out: List[Violation] = []
+    name = "hedge_exactly_once"
+    report = result.report
+    spec = result.spec
+    launched = getattr(report, "hedges_launched", 0)
+    cancelled = getattr(report, "hedges_cancelled", 0)
+    wins = getattr(report, "hedge_wins", 0)
+
+    if spec.hedge is None and (launched or cancelled or wins):
+        out.append(
+            Violation(
+                name,
+                f"hedge activity ({launched} launched, {cancelled} cancelled, "
+                f"{wins} wins) recorded without a HedgeSpec",
+            )
+        )
+    if launched != cancelled:
+        out.append(
+            Violation(
+                name,
+                f"{launched} hedges launched but {cancelled} cancelled — every "
+                "race must resolve with exactly one loser",
+            )
+        )
+    if wins > launched:
+        out.append(
+            Violation(name, f"{wins} hedge wins exceed {launched} launched hedges")
+        )
+
+    # Each query still completes at most once (the race's core exactly-once claim).
+    doubles = sorted(
+        qid
+        for qid, n in Counter(rec.query.query_id for rec in result.completions).items()
+        if n > 1
+    )
+    if doubles:
+        out.append(
+            Violation(name, f"queries served more than once under hedging: {doubles[:10]}")
+        )
+
+    ledger = result.ledger
+    if ledger is not None:
+        hedge_spans = [s for s in getattr(ledger, "spans", ()) if s.kind == "hedge"]
+        if spec.hedge is None and hedge_spans:
+            out.append(
+                Violation(name, f"{len(hedge_spans)} hedge spans without a HedgeSpec")
+            )
+        if len(hedge_spans) > cancelled:
+            out.append(
+                Violation(
+                    name,
+                    f"{len(hedge_spans)} hedge billing spans exceed the "
+                    f"{cancelled} cancelled hedges (at most one span per loser)",
+                )
+            )
+        still_open = [s for s in hedge_spans if s.end_ms is None]
+        if still_open:
+            out.append(
+                Violation(
+                    name,
+                    f"{len(still_open)} hedge spans left open — losers are "
+                    "cancelled at a definite instant",
+                )
+            )
+    return out
+
+
+def check_gray_billing_partition(result) -> List[Violation]:
+    """The gray attribution partition re-labels the bill without creating or losing cost."""
+    ledger = result.ledger
+    if ledger is None:
+        return []
+    out: List[Violation] = []
+    name = "gray_billing_partition"
+    spec = result.spec
+    horizon = float(getattr(result.report, "billing_horizon_ms", 0.0))
+    partition = ledger.attribution_partition(horizon)
+    total = ledger.total_cost(horizon)
+
+    part_sum = math.fsum(partition.values())
+    if not math.isclose(part_sum, total, rel_tol=_EXACT, abs_tol=_EXACT):
+        out.append(
+            Violation(
+                name,
+                f"attribution partition sums to {part_sum!r} but the ledger "
+                f"total is {total!r}",
+            )
+        )
+    if not math.isclose(
+        partition.get("failed", 0.0),
+        ledger.cost_of_failures(horizon),
+        rel_tol=_EXACT,
+        abs_tol=_EXACT,
+    ):
+        out.append(
+            Violation(
+                name,
+                "the attribution 'failed' bucket disagrees with cost_of_failures",
+            )
+        )
+    for label, enabled in (
+        ("quarantine", spec.health is not None),
+        ("hedge", spec.hedge is not None),
+        ("failed", spec.faults is not None or spec.loop == "spot"),
+    ):
+        if not enabled and partition.get(label, 0.0) != 0.0:
+            out.append(
+                Violation(
+                    name,
+                    f"attribution bucket {label!r} holds {partition[label]!r} "
+                    "with its dimension disabled",
+                )
+            )
+    return out
+
+
+def check_probation_liveness(result) -> List[Violation]:
+    """Breaker lifecycle entries are well-formed and never quarantine the whole fleet."""
+    out: List[Violation] = []
+    name = "probation_liveness"
+    spec = result.spec
+    report = result.report
+    scale_log = getattr(report, "scale_log", ()) or ()
+    lifecycle = [e for e in scale_log if e.kind in ("quarantine", "probation", "breaker_close")]
+
+    if spec.health is None:
+        if lifecycle:
+            out.append(
+                Violation(
+                    name,
+                    f"{len(lifecycle)} breaker lifecycle entries without a HealthSpec",
+                )
+            )
+        ledger = result.ledger
+        if ledger is not None and any(
+            s.kind == "quarantine" for s in getattr(ledger, "spans", ())
+        ):
+            out.append(Violation(name, "quarantine billing spans without a HealthSpec"))
+        return out
+
+    # Per-server breaker state machine: closed -Q-> open -P-> half -C-> closed,
+    # with half -Q-> open on a failed probe.  Crashed/decommissioned servers may
+    # end in any state; they simply stop appearing.
+    CLOSED, OPEN, HALF = 0, 1, 2
+    state: Dict[int, int] = {}
+    # Liveness bound: open breakers are distinct servers and the trip-time guard
+    # keeps one accepting server, so net-open < everything ever commissioned.
+    ever = sum(sum(counts) for counts in spec.config_counts)
+    net_open = 0
+    for e in scale_log:
+        if e.kind == "scale_up":
+            ever += e.count
+            continue
+        if e.kind not in ("quarantine", "probation", "breaker_close"):
+            continue
+        tag = e.reason.split(":", 1)[0]
+        if not tag.startswith("server"):
+            out.append(
+                Violation(name, f"{e.kind} entry with unparseable reason {e.reason!r}")
+            )
+            continue
+        sid = int(tag[len("server"):])
+        current = state.get(sid, CLOSED)
+        if e.kind == "quarantine":
+            if current == OPEN:
+                out.append(
+                    Violation(
+                        name, f"server {sid} quarantined while already quarantined"
+                    )
+                )
+            state[sid] = OPEN
+            net_open += 1
+            if net_open >= ever:
+                out.append(
+                    Violation(
+                        name,
+                        f"all {ever} commissioned servers quarantined at "
+                        f"t={e.time_ms!r} — no accepting server left for probes",
+                    )
+                )
+        elif e.kind == "probation":
+            if current != OPEN:
+                out.append(
+                    Violation(
+                        name, f"server {sid} entered probation without being quarantined"
+                    )
+                )
+            else:
+                net_open -= 1
+            state[sid] = HALF
+        else:  # breaker_close
+            if current != HALF:
+                out.append(
+                    Violation(
+                        name, f"server {sid} closed its breaker without probation"
+                    )
+                )
+            state[sid] = CLOSED
+    return out
+
+
 _RUN_CHECKS = (
     check_query_conservation,
     check_completion_causality,
@@ -769,6 +988,9 @@ _RUN_CHECKS = (
     check_retry_bounded,
     check_stage_precedence,
     check_graph_conservation,
+    check_hedge_exactly_once,
+    check_gray_billing_partition,
+    check_probation_liveness,
 )
 
 

@@ -39,6 +39,7 @@ from repro.sim.cluster import Cluster, MultiModelCluster
 from repro.sim.elasticity import ElasticServingSimulation
 from repro.sim.events import CrashStorm, Event, EventKind, PreemptionBurst, ScaleRequest
 from repro.sim.faults import AdmissionController, FaultInjector, RetryPolicy
+from repro.sim.health import HealthConfig, HedgePolicy
 from repro.sim.multi_model import MultiModelServingSimulation
 from repro.sim.preemption import PreemptibleElasticSimulation, initial_spot_server_ids
 from repro.sim.simulation import ServingSimulation, gaussian_service_noise
@@ -244,7 +245,7 @@ def _scripted_events(spec: ScenarioSpec) -> List[Event]:
 
 
 def _chaos_kwargs(spec: ScenarioSpec) -> Dict:
-    """The fault/retry/admission knobs shared by the elastic-family simulators."""
+    """The fault/retry/admission/gray knobs shared by the elastic-family simulators."""
     kwargs: Dict = {}
     if spec.faults is not None:
         f = spec.faults
@@ -254,9 +255,37 @@ def _chaos_kwargs(spec: ScenarioSpec) -> Dict:
             slowdowns_per_hour=f.slowdowns_per_hour,
             slowdown_factor=f.slowdown_factor,
             slowdown_duration_ms=f.slowdown_duration_ms,
+            degradations_per_hour=f.degradations_per_hour,
+            degradation_factor=f.degradation_factor,
+            flaky_per_hour=f.flaky_per_hour,
+            flaky_factor=f.flaky_factor,
+            flaky_duration_ms=f.flaky_duration_ms,
+            zombies_per_hour=f.zombies_per_hour,
             auto_replace=f.auto_replace,
         )
         kwargs["fault_rng"] = np.random.default_rng([spec.seed, 505])
+        # The gray substream is only materialized alongside a fault injector: a
+        # gray-free spec builds neither, keeping the constructor byte-identical.
+        kwargs["gray_rng"] = np.random.default_rng([spec.seed, 606])
+    if spec.health is not None:
+        h = spec.health
+        kwargs["health"] = HealthConfig(
+            ewma_alpha=h.ewma_alpha,
+            degrade_ratio=h.degrade_ratio,
+            min_samples=h.min_samples,
+            suspicion_threshold=h.suspicion_threshold,
+            overdue_grace_factor=h.overdue_grace_factor,
+            probation_ms=h.probation_ms,
+            probation_backoff=h.probation_backoff,
+            probe_successes=h.probe_successes,
+        )
+    if spec.hedge is not None:
+        g = spec.hedge
+        kwargs["hedge"] = HedgePolicy(
+            quantile=g.quantile,
+            delay_factor=g.delay_factor,
+            min_samples=g.min_samples,
+        )
     kwargs.update(_degradation_kwargs(spec))
     return kwargs
 
@@ -502,6 +531,16 @@ def result_digest(result: ScenarioResult, *, include_billing: bool = True) -> st
     retries = getattr(report, "retries", 0)
     if retries:
         line("retries", retries)
+    # Gray outcomes: emitted only when the hedge layer actually fired, so digests
+    # of hedge-free runs are byte-identical to pre-gray digests.
+    hedges_launched = getattr(report, "hedges_launched", 0)
+    if hedges_launched:
+        line(
+            "hedges",
+            hedges_launched,
+            getattr(report, "hedges_cancelled", 0),
+            getattr(report, "hedge_wins", 0),
+        )
     # Task-graph outcomes: emitted only when graphs ran, so graph-free digests are
     # byte-identical to what they hashed to before the pipeline subsystem existed.
     for outcome in result.graph_outcomes:
@@ -533,6 +572,16 @@ def result_digest(result: ScenarioResult, *, include_billing: bool = True) -> st
                 if getattr(iv, "failed", False):
                     parts.append("failed")
                 line(*parts)
+            # Attribution spans exist only when quarantine/hedging ran: absent,
+            # the billing digest is byte-identical to pre-gray digests.
+            for span in getattr(ledger, "spans", ()):
+                line(
+                    "span",
+                    span.server_id,
+                    span.kind,
+                    repr(span.start_ms),
+                    repr(span.end_ms),
+                )
         for entry in getattr(report, "scale_log", ()):
             line(
                 "scale",

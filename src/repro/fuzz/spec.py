@@ -209,12 +209,25 @@ class FaultSpec:
     Unlike :class:`SpotSpec` preemptions, these failures arrive with *no* warning
     window: in-flight work on the victim is voided.  ``auto_replace`` re-provisions
     a like-for-like replacement when no controller is attached.
+
+    The ``degradations/flaky/zombies`` trio is the *gray-failure* dimension
+    (servers that misbehave without dying): permanent degradation onsets,
+    intermittent flaky latency windows, and zombie servers that accept work but
+    never complete it.  All three draw from the dedicated gray RNG substream
+    (``[seed, 606]``), and all-zero hazards draw nothing — byte-identity with a
+    gray-free run.
     """
 
     failures_per_hour: float = 0.0
     slowdowns_per_hour: float = 0.0
     slowdown_factor: float = 2.0
     slowdown_duration_ms: float = 30_000.0
+    degradations_per_hour: float = 0.0
+    degradation_factor: float = 3.0
+    flaky_per_hour: float = 0.0
+    flaky_factor: float = 2.5
+    flaky_duration_ms: float = 500.0
+    zombies_per_hour: float = 0.0
     storms: Tuple[StormSpec, ...] = ()
     auto_replace: bool = True
 
@@ -227,6 +240,27 @@ class FaultSpec:
             raise ValueError("slowdown_factor must be >= 1")
         if self.slowdown_duration_ms <= 0:
             raise ValueError("slowdown_duration_ms must be positive")
+        if self.degradations_per_hour < 0:
+            raise ValueError("degradations_per_hour must be non-negative")
+        if self.degradation_factor < 1.0:
+            raise ValueError("degradation_factor must be >= 1")
+        if self.flaky_per_hour < 0:
+            raise ValueError("flaky_per_hour must be non-negative")
+        if self.flaky_factor < 1.0:
+            raise ValueError("flaky_factor must be >= 1")
+        if self.flaky_duration_ms <= 0:
+            raise ValueError("flaky_duration_ms must be positive")
+        if self.zombies_per_hour < 0:
+            raise ValueError("zombies_per_hour must be non-negative")
+
+    @property
+    def has_gray(self) -> bool:
+        """True when any gray mode (degradation, flaky, zombie) can fire."""
+        return (
+            self.degradations_per_hour > 0.0
+            or self.flaky_per_hour > 0.0
+            or self.zombies_per_hour > 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -271,6 +305,66 @@ class AdmissionSpec:
             raise ValueError("shed_backlog_factor must be >= 1")
         if not 0.0 < self.smoothing <= 1.0:
             raise ValueError("smoothing must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class HealthSpec:
+    """The gray-failure detection dimension: health scoring + quarantine breakers.
+
+    A declarative twin of :class:`repro.sim.health.HealthConfig`: EWMA latency
+    scoring against the per-type fleet baseline, phi-accrual overdue suspicion,
+    and the circuit-breaker quarantine/probation lifecycle.
+    """
+
+    ewma_alpha: float = 0.3
+    degrade_ratio: float = 2.0
+    min_samples: int = 4
+    suspicion_threshold: float = 1.0
+    overdue_grace_factor: float = 3.0
+    probation_ms: float = 10_000.0
+    probation_backoff: float = 2.0
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+        if self.degrade_ratio <= 1.0:
+            raise ValueError("degrade_ratio must be > 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.suspicion_threshold <= 0:
+            raise ValueError("suspicion_threshold must be positive")
+        if self.overdue_grace_factor <= 1.0:
+            raise ValueError("overdue_grace_factor must be > 1")
+        if self.probation_ms <= 0:
+            raise ValueError("probation_ms must be positive")
+        if self.probation_backoff < 1.0:
+            raise ValueError("probation_backoff must be >= 1")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+@dataclass(frozen=True)
+class HedgeSpec:
+    """The hedged-dispatch dimension: tail-latency duplicate requests.
+
+    A declarative twin of :class:`repro.sim.health.HedgePolicy`: an attempt
+    outliving the per-type latency-quantile hedge delay is duplicated onto the
+    best eligible idle server; first completion wins, the loser is cancelled
+    with its partial work billed exactly.
+    """
+
+    quantile: float = 0.9
+    delay_factor: float = 1.5
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must lie in (0, 1)")
+        if self.delay_factor <= 1.0:
+            raise ValueError("delay_factor must be > 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -369,6 +463,11 @@ class ScenarioSpec:
         The chaos dimensions: unannounced failure injection (any elastic loop),
         bounded retry with response timeouts (any loop), and admission-controlled
         load shedding (any loop).
+    health / hedge:
+        The gray-resilience dimensions (elastic-family loops only): oracle-free
+        server health scoring with quarantine circuit breakers, and hedged
+        dispatch with exact cancellation accounting.  Zombie hazards require a
+        recovery path — a health monitor or a retry response timeout.
     pipelines:
         DAG-structured inference requests (loop='pipeline' only): each
         :class:`PipelineSpec` is one task graph released on top of the streams'
@@ -401,6 +500,8 @@ class ScenarioSpec:
     faults: Optional[FaultSpec] = None
     retry: Optional[RetrySpec] = None
     admission: Optional[AdmissionSpec] = None
+    health: Optional[HealthSpec] = None
+    hedge: Optional[HedgeSpec] = None
     pipelines: Tuple[PipelineSpec, ...] = ()
     label: str = ""
 
@@ -448,6 +549,23 @@ class ScenarioSpec:
                 "fault injection needs an elastic loop (crashed capacity must be "
                 "re-provisionable); use loop='elastic', 'spot', or 'multi_model'"
             )
+        if (self.health is not None or self.hedge is not None) and self.loop == "static":
+            raise ValueError(
+                "health monitoring and hedged dispatch need an elastic loop "
+                "(quarantined capacity must be replaceable); use loop='elastic', "
+                "'spot', 'multi_model', or 'pipeline'"
+            )
+        if (
+            self.faults is not None
+            and self.faults.zombies_per_hour > 0.0
+            and self.health is None
+            and (self.retry is None or self.retry.response_timeout_ms is None)
+        ):
+            raise ValueError(
+                "zombie hazards need a recovery path: attach a HealthSpec or a "
+                "RetrySpec with response_timeout_ms, else zombie-held queries "
+                "hang forever"
+            )
         if self.pipelines and self.loop != "pipeline":
             raise ValueError("pipelines are only legal with loop='pipeline'")
         if self.loop == "pipeline" and not self.pipelines:
@@ -493,8 +611,27 @@ class ScenarioSpec:
         ))
 
     def without_chaos(self) -> "ScenarioSpec":
-        """The chaos-disabled twin: same workload with all three dimensions off."""
-        return replace(self, faults=None, retry=None, admission=None)
+        """The chaos-disabled twin: same workload with every chaos dimension off."""
+        return replace(
+            self, faults=None, retry=None, admission=None, health=None, hedge=None
+        )
+
+    def without_gray(self) -> "ScenarioSpec":
+        """The gray-disabled twin: crashes/slowdowns kept, gray modes zeroed.
+
+        Drops the health and hedge layers and zeroes the gray hazards while
+        keeping the classic crash/slowdown dimensions — the byte-identity
+        reference for the gray no-draw contract.
+        """
+        faults = self.faults
+        if faults is not None:
+            faults = replace(
+                faults,
+                degradations_per_hour=0.0,
+                flaky_per_hour=0.0,
+                zombies_per_hour=0.0,
+            )
+        return replace(self, faults=faults, health=None, hedge=None)
 
     def without_pipelines(self) -> "ScenarioSpec":
         """The graph-free twin: same streams through the plain multi-model loop."""
@@ -542,6 +679,12 @@ class ScenarioSpec:
         admission = data.get("admission")
         if admission is not None:
             data["admission"] = AdmissionSpec(**admission)
+        health = data.get("health")
+        if health is not None:
+            data["health"] = HealthSpec(**health)
+        hedge = data.get("hedge")
+        if hedge is not None:
+            data["hedge"] = HedgeSpec(**hedge)
         data["pipelines"] = tuple(
             PipelineSpec(
                 stages=tuple(

@@ -23,6 +23,8 @@ from repro.fuzz.spec import (
     AdmissionSpec,
     BurstSpec,
     FaultSpec,
+    HealthSpec,
+    HedgeSpec,
     PhaseSpec,
     PipelineSpec,
     RetrySpec,
@@ -103,9 +105,21 @@ def scale_event_specs(draw, duration_ms: float) -> ScaleEventSpec:
     )
 
 
+def _hazard() -> st.SearchStrategy[float]:
+    """A per-hour hazard hot enough to fire inside short scenarios, or off."""
+    return st.one_of(
+        st.just(0.0),
+        st.floats(min_value=60.0, max_value=3600.0, allow_nan=False),
+    )
+
+
 @st.composite
-def fault_specs(draw, duration_ms: float) -> FaultSpec:
-    """Crash/slowdown hazards scaled so faults actually fire inside short scenarios."""
+def fault_specs(draw, duration_ms: float, gray: bool = False) -> FaultSpec:
+    """Crash/slowdown hazards scaled so faults actually fire inside short scenarios.
+
+    ``gray=True`` additionally draws the gray-failure hazards (permanent
+    degradations, flaky windows, zombie onsets), each independently off or hot.
+    """
     n_storms = draw(st.integers(min_value=0, max_value=2))
     storms = tuple(
         StormSpec(
@@ -116,25 +130,30 @@ def fault_specs(draw, duration_ms: float) -> FaultSpec:
         )
         for _ in range(n_storms)
     )
+    gray_fields: dict = {}
+    if gray:
+        gray_fields = dict(
+            degradations_per_hour=draw(_hazard()),
+            degradation_factor=draw(
+                st.floats(min_value=1.5, max_value=5.0, allow_nan=False)
+            ),
+            flaky_per_hour=draw(_hazard()),
+            flaky_factor=draw(st.floats(min_value=1.0, max_value=4.0, allow_nan=False)),
+            flaky_duration_ms=draw(
+                st.floats(min_value=50.0, max_value=1_000.0, allow_nan=False)
+            ),
+            zombies_per_hour=draw(_hazard()),
+        )
     return FaultSpec(
-        failures_per_hour=draw(
-            st.one_of(
-                st.just(0.0),
-                st.floats(min_value=60.0, max_value=3600.0, allow_nan=False),
-            )
-        ),
-        slowdowns_per_hour=draw(
-            st.one_of(
-                st.just(0.0),
-                st.floats(min_value=60.0, max_value=3600.0, allow_nan=False),
-            )
-        ),
+        failures_per_hour=draw(_hazard()),
+        slowdowns_per_hour=draw(_hazard()),
         slowdown_factor=draw(st.floats(min_value=1.0, max_value=4.0, allow_nan=False)),
         slowdown_duration_ms=draw(
             st.floats(min_value=50.0, max_value=1_000.0, allow_nan=False)
         ),
         storms=storms,
         auto_replace=draw(st.booleans()),
+        **gray_fields,
     )
 
 
@@ -172,15 +191,66 @@ def admission_specs(draw) -> AdmissionSpec:
 
 
 @st.composite
-def _chaos_fields(draw, duration_ms: float, with_faults: bool) -> dict:
-    """The chaos dimensions as kwargs; each independently present or absent."""
+def health_specs(draw) -> HealthSpec:
+    """Health scoring / breaker knobs, with probation short enough to fire in-scenario."""
+    return HealthSpec(
+        ewma_alpha=draw(st.floats(min_value=0.1, max_value=1.0, allow_nan=False)),
+        degrade_ratio=draw(st.floats(min_value=1.3, max_value=4.0, allow_nan=False)),
+        min_samples=draw(st.integers(min_value=1, max_value=8)),
+        suspicion_threshold=draw(
+            st.floats(min_value=0.5, max_value=3.0, allow_nan=False)
+        ),
+        overdue_grace_factor=draw(
+            st.floats(min_value=1.5, max_value=5.0, allow_nan=False)
+        ),
+        probation_ms=draw(st.floats(min_value=200.0, max_value=5_000.0, allow_nan=False)),
+        probation_backoff=draw(st.floats(min_value=1.0, max_value=3.0, allow_nan=False)),
+        probe_successes=draw(st.integers(min_value=1, max_value=3)),
+    )
+
+
+@st.composite
+def hedge_specs(draw) -> HedgeSpec:
+    """Hedged-dispatch knobs, aggressive enough to actually duplicate attempts."""
+    return HedgeSpec(
+        quantile=draw(st.floats(min_value=0.5, max_value=0.98, allow_nan=False)),
+        delay_factor=draw(st.floats(min_value=1.05, max_value=3.0, allow_nan=False)),
+        min_samples=draw(st.integers(min_value=2, max_value=16)),
+    )
+
+
+@st.composite
+def _chaos_fields(
+    draw, duration_ms: float, with_faults: bool, gray: bool = False
+) -> dict:
+    """The chaos dimensions as kwargs; each independently present or absent.
+
+    ``gray=True`` (elastic-family loops only) additionally draws gray fault
+    hazards plus the health/hedge layers.  A drawn zombie hazard without a
+    recovery path (no health layer, no retry response timeout) forces the
+    health layer on — the spec space never admits a hang-forever scenario.
+    """
     fields: dict = {}
     if with_faults and draw(st.booleans()):
-        fields["faults"] = draw(fault_specs(duration_ms))
+        fields["faults"] = draw(fault_specs(duration_ms, gray=gray))
     if draw(st.booleans()):
         fields["retry"] = draw(retry_specs(duration_ms))
     if draw(st.booleans()):
         fields["admission"] = draw(admission_specs())
+    if gray and with_faults:
+        if draw(st.booleans()):
+            fields["health"] = draw(health_specs())
+        if draw(st.booleans()):
+            fields["hedge"] = draw(hedge_specs())
+        faults = fields.get("faults")
+        retry = fields.get("retry")
+        if (
+            faults is not None
+            and faults.zombies_per_hour > 0.0
+            and "health" not in fields
+            and (retry is None or retry.response_timeout_ms is None)
+        ):
+            fields["health"] = draw(health_specs())
     return fields
 
 
@@ -202,7 +272,9 @@ def static_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
 
 
 @st.composite
-def elastic_scenarios(draw, with_events: bool = True, chaos: bool = False) -> ScenarioSpec:
+def elastic_scenarios(
+    draw, with_events: bool = True, chaos: bool = False, gray: bool = False
+) -> ScenarioSpec:
     stream = draw(stream_specs())
     n_events = draw(st.integers(min_value=0, max_value=2)) if with_events else 0
     events = tuple(
@@ -221,7 +293,11 @@ def elastic_scenarios(draw, with_events: bool = True, chaos: bool = False) -> Sc
         warmup_queries=draw(st.integers(min_value=0, max_value=3)),
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
         scale_events=events,
-        **(draw(_chaos_fields(stream.duration_ms, with_faults=True)) if chaos else {}),
+        **(
+            draw(_chaos_fields(stream.duration_ms, with_faults=True, gray=gray))
+            if chaos
+            else {}
+        ),
     )
 
 
@@ -257,7 +333,7 @@ def spot_specs(draw, config: Tuple[int, ...], duration_ms: float) -> SpotSpec:
 
 
 @st.composite
-def spot_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
+def spot_scenarios(draw, chaos: bool = False, gray: bool = False) -> ScenarioSpec:
     stream = draw(stream_specs())
     config = draw(config_vectors())
     return ScenarioSpec(
@@ -273,12 +349,16 @@ def spot_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
         warmup_queries=draw(st.integers(min_value=0, max_value=2)),
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
         spot=draw(spot_specs(config, stream.duration_ms)),
-        **(draw(_chaos_fields(stream.duration_ms, with_faults=True)) if chaos else {}),
+        **(
+            draw(_chaos_fields(stream.duration_ms, with_faults=True, gray=gray))
+            if chaos
+            else {}
+        ),
     )
 
 
 @st.composite
-def multi_model_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
+def multi_model_scenarios(draw, chaos: bool = False, gray: bool = False) -> ScenarioSpec:
     n_models = draw(st.integers(min_value=1, max_value=2))
     names = draw(
         st.permutations(FUZZ_MODELS).map(lambda p: tuple(p[:n_models]))
@@ -298,7 +378,11 @@ def multi_model_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
         warmup_queries=draw(st.integers(min_value=0, max_value=2)),
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
         sharded=draw(st.booleans()),
-        **(draw(_chaos_fields(duration, with_faults=True)) if chaos else {}),
+        **(
+            draw(_chaos_fields(duration, with_faults=True, gray=gray))
+            if chaos
+            else {}
+        ),
     )
 
 
@@ -354,7 +438,7 @@ def pipeline_specs(
 
 
 @st.composite
-def pipeline_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
+def pipeline_scenarios(draw, chaos: bool = False, gray: bool = False) -> ScenarioSpec:
     n_models = draw(st.integers(min_value=1, max_value=2))
     names = draw(st.permutations(FUZZ_MODELS).map(lambda p: tuple(p[:n_models])))
     streams = tuple(
@@ -378,25 +462,31 @@ def pipeline_scenarios(draw, chaos: bool = False) -> ScenarioSpec:
         max_queries_per_round=draw(st.sampled_from((8, 16, 64))),
         sharded=draw(st.booleans()),
         pipelines=pipelines,
-        **(draw(_chaos_fields(duration, with_faults=True)) if chaos else {}),
+        **(
+            draw(_chaos_fields(duration, with_faults=True, gray=gray))
+            if chaos
+            else {}
+        ),
     )
 
 
 def scenario_specs(
-    loop: Optional[str] = None, *, chaos: bool = False
+    loop: Optional[str] = None, *, chaos: bool = False, gray: bool = False
 ) -> st.SearchStrategy[ScenarioSpec]:
     """Scenarios across all loops, or restricted to one loop.
 
     ``chaos=True`` additionally draws the fault/retry/admission dimensions (each
     independently present or absent), so a chaos campaign still covers the
-    fault-free corner.
+    fault-free corner.  ``gray=True`` (implies nothing without ``chaos``) widens
+    the fault dimension with gray hazards and the health/hedge layers on the
+    elastic-family loops.
     """
     by_loop = {
         "static": static_scenarios(chaos=chaos),
-        "elastic": elastic_scenarios(chaos=chaos),
-        "multi_model": multi_model_scenarios(chaos=chaos),
-        "spot": spot_scenarios(chaos=chaos),
-        "pipeline": pipeline_scenarios(chaos=chaos),
+        "elastic": elastic_scenarios(chaos=chaos, gray=gray),
+        "multi_model": multi_model_scenarios(chaos=chaos, gray=gray),
+        "spot": spot_scenarios(chaos=chaos, gray=gray),
+        "pipeline": pipeline_scenarios(chaos=chaos, gray=gray),
     }
     if loop is not None:
         return by_loop[loop]

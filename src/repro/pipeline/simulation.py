@@ -144,7 +144,11 @@ class PipelineServingSimulation(MultiModelServingSimulation):
             and self.coordinator.active
         ):
             record: QueryRecord = event.payload
-            if id(record) not in self._killed and id(record) not in self._timed_out:
+            if (
+                id(record) not in self._killed
+                and id(record) not in self._timed_out
+                and id(record) not in self._absorbed
+            ):
                 # A genuine completion (the parent handler will take the same
                 # branch): release successors before delegating so the offered
                 # count never dips to zero mid-graph — `_settle_outstanding`
@@ -189,6 +193,15 @@ class PipelineServingSimulation(MultiModelServingSimulation):
         if self.graph_aware:
             doomed = self.coordinator.doomed(now, margin_frac=self.doom_margin_frac)
             for runtime in doomed:
+                # Nothing sheddable (every stage released and dispatched or
+                # served): the graph is fully committed, so let it resolve
+                # naturally rather than mislabel a fully-served graph as shed.
+                queued = any(
+                    runtime.queries[name].query_id in pending
+                    for name in runtime.pending_released()
+                )
+                if not queued and not runtime.unreleased():
+                    continue
                 self.coordinator.mark_graph_shed(runtime, now)
                 self._shed_graph_stages(
                     runtime, pending, now, events, reason="pipeline-doomed"

@@ -51,6 +51,27 @@ class EventKind(enum.IntEnum):
     SLOWDOWN_BEGIN = 9
     SLOWDOWN_END = 10
     RESPONSE_TIMEOUT = 11
+    #: Gray-failure kinds (health subsystem).  All sort after every pre-existing
+    #: kind at equal timestamps so enabling gray injection or health monitoring
+    #: cannot reorder the state mutations of a gray-free run (seed stability).
+    #: ``DEGRADATION_ONSET`` permanently degrades one server's service latency
+    #: (slowdown with no recovery); ``FLAKY_BEGIN``/``FLAKY_END`` bound one window
+    #: of an intermittent latency flap (recurring, like the transient slowdowns);
+    #: ``ZOMBIE_ONSET`` turns a server into a zombie that accepts dispatches but
+    #: never emits completions.  Payloads are ``(server_id, type_name)`` pairs.
+    #: ``HEALTH_CHECK`` fires when a dispatched attempt's expected completion is
+    #: overdue (payload: the in-flight dispatch record) and feeds the suspicion
+    #: score; ``HEALTH_PROBE`` ends a quarantined server's dwell and moves its
+    #: breaker to half-open (payload: ``(server_id, type_name)``).
+    #: ``HEDGE_TIMER`` fires when an attempt has outlived the per-type hedge
+    #: delay (payload: the in-flight dispatch record).
+    DEGRADATION_ONSET = 12
+    FLAKY_BEGIN = 13
+    FLAKY_END = 14
+    ZOMBIE_ONSET = 15
+    HEALTH_CHECK = 16
+    HEALTH_PROBE = 17
+    HEDGE_TIMER = 18
 
 
 @dataclass(frozen=True)

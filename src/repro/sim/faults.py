@@ -63,9 +63,29 @@ class FaultProfile:
     slowdowns_per_hour:
         Poisson hazard of entering a transient slowdown window.
     slowdown_factor:
-        Service-latency multiplier while slowed (>= 1).
+        Service-latency multiplier while slowed (>= 1).  Overlapping transient
+        windows **replace** each other on the server (factors never compound
+        within the transient mechanism; see
+        :meth:`~repro.sim.server.ServerInstance.begin_slowdown`).
     slowdown_duration_ms:
         Length of each slowdown window.
+    degradations_per_hour:
+        Poisson hazard of a *permanent* gray degradation onset: service latency
+        multiplies by ``degradation_factor`` with no recovery, compounding across
+        onsets and with transient windows (0 = never, the byte-identity case).
+    degradation_factor:
+        Permanent service-latency multiplier applied at each degradation onset.
+    flaky_per_hour:
+        Poisson hazard of an intermittent latency flap: a bounded
+        ``flaky_factor`` slowdown window of ``flaky_duration_ms`` that re-arms
+        after each window — a server that keeps flapping rather than degrading
+        monotonically.
+    flaky_factor / flaky_duration_ms:
+        Multiplier and length of each flaky window.
+    zombies_per_hour:
+        Poisson hazard of a zombie onset: the server keeps accepting dispatches
+        but never emits a completion — the canonical gray failure the health
+        layer must catch without any oracle.
     """
 
     type_name: str
@@ -73,6 +93,12 @@ class FaultProfile:
     slowdowns_per_hour: float = 0.0
     slowdown_factor: float = 2.0
     slowdown_duration_ms: float = 30_000.0
+    degradations_per_hour: float = 0.0
+    degradation_factor: float = 3.0
+    flaky_per_hour: float = 0.0
+    flaky_factor: float = 2.5
+    flaky_duration_ms: float = 500.0
+    zombies_per_hour: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.type_name:
@@ -84,6 +110,25 @@ class FaultProfile:
                 f"slowdown_factor must be >= 1, got {self.slowdown_factor}"
             )
         check_positive(self.slowdown_duration_ms, "slowdown_duration_ms")
+        check_non_negative(self.degradations_per_hour, "degradations_per_hour")
+        if self.degradation_factor < 1.0:
+            raise ValueError(
+                f"degradation_factor must be >= 1, got {self.degradation_factor}"
+            )
+        check_non_negative(self.flaky_per_hour, "flaky_per_hour")
+        if self.flaky_factor < 1.0:
+            raise ValueError(f"flaky_factor must be >= 1, got {self.flaky_factor}")
+        check_positive(self.flaky_duration_ms, "flaky_duration_ms")
+        check_non_negative(self.zombies_per_hour, "zombies_per_hour")
+
+    @property
+    def has_gray_hazards(self) -> bool:
+        """True when any gray mode (degradation, flaky, zombie) can fire."""
+        return (
+            self.degradations_per_hour > 0.0
+            or self.flaky_per_hour > 0.0
+            or self.zombies_per_hour > 0.0
+        )
 
 
 class FaultInjector:
@@ -131,6 +176,12 @@ class FaultInjector:
         slowdowns_per_hour: float = 0.0,
         slowdown_factor: float = 2.0,
         slowdown_duration_ms: float = 30_000.0,
+        degradations_per_hour: float = 0.0,
+        degradation_factor: float = 3.0,
+        flaky_per_hour: float = 0.0,
+        flaky_factor: float = 2.5,
+        flaky_duration_ms: float = 500.0,
+        zombies_per_hour: float = 0.0,
         auto_replace: bool = True,
     ) -> "FaultInjector":
         """One identical profile per catalog type (the common evaluation setup)."""
@@ -142,6 +193,12 @@ class FaultInjector:
                     slowdowns_per_hour=slowdowns_per_hour,
                     slowdown_factor=slowdown_factor,
                     slowdown_duration_ms=slowdown_duration_ms,
+                    degradations_per_hour=degradations_per_hour,
+                    degradation_factor=degradation_factor,
+                    flaky_per_hour=flaky_per_hour,
+                    flaky_factor=flaky_factor,
+                    flaky_duration_ms=flaky_duration_ms,
+                    zombies_per_hour=zombies_per_hour,
                 )
                 for t in catalog.types
             ],
@@ -197,6 +254,44 @@ class FaultInjector:
         if profile is None or profile.slowdowns_per_hour <= 0.0:
             return None
         return float(rng.exponential(MS_PER_HOUR / profile.slowdowns_per_hour))
+
+    # -- gray modes ----------------------------------------------------------------------
+    # All gray draws come from a *dedicated* gray RNG substream (seeded
+    # ``[seed, 606]`` by the serving loops), so enabling gray injection never
+    # perturbs the crash/slowdown fault stream, and every method honours the
+    # zero-hazard no-draw contract of :meth:`draw_failure_delay_ms`.
+
+    def draw_degradation_delay_ms(
+        self, type_name: str, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Sample the time until this instance's permanent degradation onset, or ``None``."""
+        profile = self._profiles.get(type_name)
+        if profile is None or profile.degradations_per_hour <= 0.0:
+            return None
+        return float(rng.exponential(MS_PER_HOUR / profile.degradations_per_hour))
+
+    def draw_flaky_delay_ms(
+        self, type_name: str, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Sample the time until this instance's next flaky window, or ``None``."""
+        profile = self._profiles.get(type_name)
+        if profile is None or profile.flaky_per_hour <= 0.0:
+            return None
+        return float(rng.exponential(MS_PER_HOUR / profile.flaky_per_hour))
+
+    def draw_zombie_delay_ms(
+        self, type_name: str, rng: np.random.Generator
+    ) -> Optional[float]:
+        """Sample the time until this instance goes zombie, or ``None``."""
+        profile = self._profiles.get(type_name)
+        if profile is None or profile.zombies_per_hour <= 0.0:
+            return None
+        return float(rng.exponential(MS_PER_HOUR / profile.zombies_per_hour))
+
+    @property
+    def has_gray_hazards(self) -> bool:
+        """True when any profiled type has a non-zero gray hazard."""
+        return any(p.has_gray_hazards for p in self._profiles.values())
 
 
 @dataclass(frozen=True)

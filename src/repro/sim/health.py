@@ -1,0 +1,310 @@
+"""Gray-failure detection and mitigation: health scoring, breakers, hedging.
+
+The chaos layer (PR 7) covers *fail-stop* faults — a crashed server disappears
+and the loop reacts.  Gray failures are worse: a server silently degrades,
+flaps, or goes zombie (accepts dispatches, never completes) while the scheduler
+keeps matching deadline-bound work onto it.  This module supplies the detection
+and mitigation side; injection lives in :mod:`repro.sim.faults`.
+
+Three cooperating pieces, all oracle-free (they observe only what a real
+control plane could — dispatch times and completions):
+
+* :class:`ServerHealthMonitor` — per-server health scoring from two signals.
+  **Latency ratio**: an EWMA of each server's per-item service latency compared
+  against the per-type fleet EWMA baseline; a server whose ratio exceeds
+  ``degrade_ratio`` (with at least ``min_samples`` observations) is degraded.
+  **Suspicion**: a phi-accrual-style score over expected-completion overdue
+  time — every dispatched attempt schedules a health check at
+  ``overdue_grace_factor`` times its expected duration, and if the attempt is
+  still unresolved when the check fires, suspicion accrues by the overdue time
+  normalised by the expected duration.  Zombies never complete, so their
+  suspicion crosses ``suspicion_threshold`` after a bounded number of stuck
+  dispatches; any genuine completion resets it.
+* :class:`CircuitBreaker` — the per-server isolation lifecycle: *closed*
+  (healthy) → *open* (quarantined: the server leaves every active view, the
+  controller is notified, its idle burn is partitioned as ``cost_of_quarantine``)
+  → *half-open* after a deterministic probation dwell (exponentially backed off
+  per re-open) during which probe completions either close the breaker or
+  re-open it.
+* :class:`HedgeManager` — tail-tolerant speculative retry: per-type attempt
+  latencies feed a quantile estimate, and an in-flight attempt that outlives
+  ``delay_factor`` times that quantile is duplicated onto the best eligible
+  idle server.  First completion wins; the loser is cancelled and its partial
+  occupancy billed exactly as ``cost_of_hedges``.  Each query is served exactly
+  once (the hedge-exactly-once invariant).
+
+Everything here is deterministic — no RNG draws — so enabling monitoring on a
+gray-free run changes behaviour only through the decisions it takes, and a
+monitor that never trips is byte-identical to no monitor at all.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "HealthConfig",
+    "HedgePolicy",
+    "ServerHealthMonitor",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "HedgeManager",
+]
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning of the health monitor and breaker lifecycle.
+
+    Attributes
+    ----------
+    ewma_alpha:
+        Weight of each new per-item latency sample in the server/fleet EWMAs.
+    degrade_ratio:
+        Server-EWMA over fleet-EWMA ratio at which a server counts as degraded.
+    min_samples:
+        Per-server completions required before the latency ratio is trusted.
+    suspicion_threshold:
+        Accrued overdue score at which a server counts as suspect (zombie).
+    overdue_grace_factor:
+        A health check fires this multiple of the expected attempt duration
+        after dispatch (must exceed 1 so genuine completions beat their check).
+    probation_ms:
+        Quarantine dwell before the half-open probation probe.
+    probation_backoff:
+        Dwell multiplier per consecutive re-open of the same breaker.
+    probe_successes:
+        Consecutive healthy completions in half-open needed to close.
+    """
+
+    ewma_alpha: float = 0.3
+    degrade_ratio: float = 2.0
+    min_samples: int = 4
+    suspicion_threshold: float = 1.0
+    overdue_grace_factor: float = 3.0
+    probation_ms: float = 10_000.0
+    probation_backoff: float = 2.0
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must lie in (0, 1], got {self.ewma_alpha}")
+        if self.degrade_ratio <= 1.0:
+            raise ValueError(f"degrade_ratio must be > 1, got {self.degrade_ratio}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        check_positive(self.suspicion_threshold, "suspicion_threshold")
+        if self.overdue_grace_factor <= 1.0:
+            raise ValueError(
+                f"overdue_grace_factor must be > 1, got {self.overdue_grace_factor}"
+            )
+        check_positive(self.probation_ms, "probation_ms")
+        if self.probation_backoff < 1.0:
+            raise ValueError(
+                f"probation_backoff must be >= 1, got {self.probation_backoff}"
+            )
+        if self.probe_successes < 1:
+            raise ValueError(
+                f"probe_successes must be >= 1, got {self.probe_successes}"
+            )
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Tuning of speculative duplicate dispatch.
+
+    Attributes
+    ----------
+    quantile:
+        Per-type attempt-latency quantile the hedge delay is anchored to.
+    delay_factor:
+        Hedge delay = ``delay_factor`` x the quantile latency (> 1 so hedges
+        only fire on genuine stragglers).
+    min_samples:
+        Per-type completions required before hedging arms (cold types never
+        hedge — the quantile would be noise).
+    """
+
+    quantile: float = 0.9
+    delay_factor: float = 1.5
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(f"quantile must lie in (0, 1), got {self.quantile}")
+        if self.delay_factor <= 1.0:
+            raise ValueError(f"delay_factor must be > 1, got {self.delay_factor}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-server isolation lifecycle: closed -> open -> half-open -> closed.
+
+    The breaker holds no policy — the monitor decides *when* to trip and the
+    serving loop performs the quarantine side effects — it just keeps the state
+    machine and the probation-backoff arithmetic deterministic.
+    """
+
+    state: str = BREAKER_CLOSED
+    opened_at_ms: float = 0.0
+    open_count: int = 0
+    probes_ok: int = 0
+
+    def trip(self, now_ms: float) -> None:
+        """Closed/half-open -> open (quarantine)."""
+        if self.state == BREAKER_OPEN:
+            raise RuntimeError("breaker already open")
+        self.state = BREAKER_OPEN
+        self.opened_at_ms = now_ms
+        self.open_count += 1
+        self.probes_ok = 0
+
+    def half_open(self) -> None:
+        """Open -> half-open (probation: server re-admitted, on trial)."""
+        if self.state != BREAKER_OPEN:
+            raise RuntimeError(f"cannot half-open a {self.state} breaker")
+        self.state = BREAKER_HALF_OPEN
+        self.probes_ok = 0
+
+    def close(self) -> None:
+        """Half-open -> closed (recovered)."""
+        if self.state != BREAKER_HALF_OPEN:
+            raise RuntimeError(f"cannot close a {self.state} breaker")
+        self.state = BREAKER_CLOSED
+        self.probes_ok = 0
+
+    def probation_delay_ms(self, config: HealthConfig) -> float:
+        """Quarantine dwell before the next probe: exponential in prior re-opens."""
+        return config.probation_ms * config.probation_backoff ** max(
+            0, self.open_count - 1
+        )
+
+
+class ServerHealthMonitor:
+    """Oracle-free per-server health scoring against a per-type fleet baseline."""
+
+    def __init__(self, config: Optional[HealthConfig] = None):
+        self.config = config if config is not None else HealthConfig()
+        self._fleet_ewma: Dict[str, float] = {}
+        self._server_ewma: Dict[int, float] = {}
+        self._server_samples: Dict[int, int] = {}
+        self._suspicion: Dict[int, float] = {}
+
+    # -- observations --------------------------------------------------------------------
+    def observe_completion(
+        self, server_id: int, type_name: str, service_ms: float, batch_size: int
+    ) -> None:
+        """Feed one genuine completion; resets the server's zombie suspicion."""
+        per_item = float(service_ms) / max(1, int(batch_size))
+        alpha = self.config.ewma_alpha
+        fleet = self._fleet_ewma.get(type_name)
+        self._fleet_ewma[type_name] = (
+            per_item if fleet is None else fleet + alpha * (per_item - fleet)
+        )
+        mine = self._server_ewma.get(server_id)
+        self._server_ewma[server_id] = (
+            per_item if mine is None else mine + alpha * (per_item - mine)
+        )
+        self._server_samples[server_id] = self._server_samples.get(server_id, 0) + 1
+        self._suspicion.pop(server_id, None)
+
+    def record_overdue(
+        self, server_id: int, overdue_ms: float, expected_ms: float
+    ) -> float:
+        """Accrue phi-style suspicion for one overdue attempt; returns the new score."""
+        score = self._suspicion.get(server_id, 0.0) + max(0.0, float(overdue_ms)) / max(
+            1e-9, float(expected_ms)
+        )
+        self._suspicion[server_id] = score
+        return score
+
+    # -- verdicts ------------------------------------------------------------------------
+    def latency_ratio(self, server_id: int, type_name: str) -> Optional[float]:
+        """Server EWMA / fleet EWMA, or ``None`` before ``min_samples`` observations."""
+        if self._server_samples.get(server_id, 0) < self.config.min_samples:
+            return None
+        fleet = self._fleet_ewma.get(type_name)
+        mine = self._server_ewma.get(server_id)
+        if fleet is None or mine is None or fleet <= 0.0:
+            return None
+        return mine / fleet
+
+    def sample_ratio(self, type_name: str, service_ms: float, batch_size: int) -> float:
+        """One sample's per-item latency over the fleet baseline (probe verdicts)."""
+        fleet = self._fleet_ewma.get(type_name)
+        if fleet is None or fleet <= 0.0:
+            return 1.0
+        return (float(service_ms) / max(1, int(batch_size))) / fleet
+
+    def suspicion(self, server_id: int) -> float:
+        return self._suspicion.get(server_id, 0.0)
+
+    def is_degraded(self, server_id: int, type_name: str) -> bool:
+        ratio = self.latency_ratio(server_id, type_name)
+        return ratio is not None and ratio >= self.config.degrade_ratio
+
+    def is_suspect(self, server_id: int) -> bool:
+        return self.suspicion(server_id) >= self.config.suspicion_threshold
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def reset_server(self, server_id: int) -> None:
+        """Fresh trial on probation re-admit: forget the server's samples and suspicion."""
+        self._server_ewma.pop(server_id, None)
+        self._server_samples.pop(server_id, None)
+        self._suspicion.pop(server_id, None)
+
+    def forget(self, server_id: int) -> None:
+        """Drop all state for a decommissioned/crashed server."""
+        self.reset_server(server_id)
+
+
+class HedgeManager:
+    """Per-type hedge-delay estimation from observed attempt latencies.
+
+    Keeps a bounded window of the most recent attempt durations per instance
+    type (insertion-ordered ring, sorted view maintained incrementally) and
+    answers the hedge delay as ``delay_factor`` times the configured quantile.
+    Deterministic: no RNG, and the quantile index is a plain floor.
+    """
+
+    WINDOW = 256
+
+    def __init__(self, policy: Optional[HedgePolicy] = None):
+        self.policy = policy if policy is not None else HedgePolicy()
+        self._recent: Dict[str, List[float]] = {}
+        self._sorted: Dict[str, List[float]] = {}
+
+    def observe(self, type_name: str, attempt_ms: float) -> None:
+        """Feed one genuine attempt duration (dispatch to completion)."""
+        value = float(attempt_ms)
+        recent = self._recent.setdefault(type_name, [])
+        ordered = self._sorted.setdefault(type_name, [])
+        recent.append(value)
+        bisect.insort(ordered, value)
+        if len(recent) > self.WINDOW:
+            evicted = recent.pop(0)
+            del ordered[bisect.bisect_left(ordered, evicted)]
+
+    def samples(self, type_name: str) -> int:
+        return len(self._recent.get(type_name, ()))
+
+    def hedge_delay_ms(self, type_name: str) -> Optional[float]:
+        """Current hedge delay for ``type_name``, or ``None`` while still cold."""
+        ordered = self._sorted.get(type_name)
+        if ordered is None or len(ordered) < self.policy.min_samples:
+            return None
+        index = int(self.policy.quantile * (len(ordered) - 1))
+        return self.policy.delay_factor * ordered[index]

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cloud.billing import InstanceUsageLedger
+from repro.cloud.billing import SPAN_HEDGE, SPAN_QUARANTINE, InstanceUsageLedger
 from repro.sim.cluster import MultiModelCluster, MultiModelClusterView
 from repro.sim.elasticity import ScaleLogEntry, drain_cost_efficiency
 from repro.sim.engine import EventQueue, SimulationClock
@@ -46,6 +46,15 @@ from repro.sim.faults import (
     RetryPolicy,
     ShedEntry,
     select_shed_victims,
+)
+from repro.sim.health import (
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    HealthConfig,
+    HedgeManager,
+    HedgePolicy,
+    ServerHealthMonitor,
 )
 from repro.sim.metrics import MultiModelServingMetrics, QueryRecord
 from repro.sim.pending import PendingQueue
@@ -79,6 +88,17 @@ class MultiModelSimulationReport:
     retries: int = 0
     #: Queries still pending when the run ended (the policy declined the remainder).
     unserved_queries: int = 0
+    #: Speculative duplicate dispatches launched by the hedge layer.
+    hedges_launched: int = 0
+    #: Hedge attempts cancelled (every launched race resolves with exactly one).
+    hedges_cancelled: int = 0
+    #: Hedge races won by the duplicate (the speculation paid off).
+    hedge_wins: int = 0
+
+    @property
+    def quarantine_events(self) -> int:
+        """Breaker trips (quarantines) that fired during the run."""
+        return sum(e.count for e in self.scale_log if e.kind == "quarantine")
 
     @property
     def completed_all(self) -> bool:
@@ -146,10 +166,21 @@ class MultiModelServingSimulation:
         retry: Optional[RetryPolicy] = None,
         admission: Optional[AdmissionController] = None,
         sharded_events: bool = False,
+        gray_rng: RngLike = None,
+        health: Optional[HealthConfig] = None,
+        hedge: Optional[HedgePolicy] = None,
     ):
         check_non_negative(startup_delay_ms, "startup_delay_ms")
         if warmup_queries < 0:
             raise ValueError("warmup_queries must be non-negative")
+        if faults is not None and any(p.zombies_per_hour > 0.0 for p in faults):
+            # a zombie attempt has no completion event; without a recovery path the
+            # query could never settle and conservation would break by construction
+            if health is None and (retry is None or retry.response_timeout_ms is None):
+                raise ValueError(
+                    "zombie hazards need a recovery path: enable health monitoring "
+                    "or a retry response timeout"
+                )
         self.cluster = cluster
         self.policy = policy
         #: drive the run off per-model sharded event/pending queues; byte-identical
@@ -176,8 +207,28 @@ class MultiModelServingSimulation:
         self._retries = 0
         self.dead_letters: List[DeadLetterEntry] = []
         self.shed_queries: List[ShedEntry] = []
-        self._track_inflight = faults is not None or (
-            retry is not None and retry.response_timeout_ms is not None
+        # gray-failure machinery, mirroring repro.sim.elasticity statement for
+        # statement (health scoring, breakers, hedging)
+        self.health = health
+        self.monitor = ServerHealthMonitor(health) if health is not None else None
+        self.hedge = hedge
+        self.hedges = HedgeManager(hedge) if hedge is not None else None
+        self._gray_rng = ensure_rng(gray_rng)
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._zombie_ids: Set[int] = set()
+        self._zombie_attempts: Set[int] = set()
+        self._absorbed: Set[int] = set()
+        self._hedge_pairs: Dict[int, Tuple[QueryRecord, QueryRecord]] = {}
+        self._quarantine_spans: Dict[int, object] = {}
+        self._hedge_extra_dispatches = 0
+        self.hedges_launched = 0
+        self.hedges_cancelled = 0
+        self.hedge_wins = 0
+        self._track_inflight = (
+            faults is not None
+            or (retry is not None and retry.response_timeout_ms is not None)
+            or health is not None
+            or hedge is not None
         )
         self.scripted_events = tuple(scripted_events)
         for event in self.scripted_events:
@@ -340,8 +391,16 @@ class MultiModelServingSimulation:
             # queued event is a hazard timer, no completion, arrival, boot, or scale
             # action is in flight, so nothing the timers do to an idle fleet can
             # serve a backlog the policy already declined — the run has quiesced
-            # exactly like the chaos-free case.
-            if pending and (not events or events.only_kinds(self._idle_timer_kinds())):
+            # exactly like the chaos-free case.  A zombie-held attempt breaks that
+            # reasoning: it is in flight with NO completion queued, and its recovery
+            # watchdog (health check or response timeout) is itself an idle-kind
+            # timer — so the run must stay alive until the watchdog voids the
+            # attempt to a terminal outcome.
+            if (
+                pending
+                and not self._zombie_attempts
+                and (not events or events.only_kinds(self._idle_timer_kinds()))
+            ):
                 break
 
         duration = metrics.makespan_ms() if len(metrics) else clock.now_ms
@@ -353,7 +412,9 @@ class MultiModelServingSimulation:
             ledger=ledger,
             policy_name=getattr(self.policy, "name", type(self.policy).__name__),
             scheduling_rounds=rounds,
-            dispatched_queries=dispatched - self._voided_dispatches,
+            dispatched_queries=dispatched
+            + self._hedge_extra_dispatches
+            - self._voided_dispatches,
             total_queries=n,
             simulated_duration_ms=duration,
             billing_horizon_ms=horizon,
@@ -364,6 +425,9 @@ class MultiModelServingSimulation:
             dead_letters=self.dead_letters,
             retries=self._retries,
             unserved_queries=len(pending),
+            hedges_launched=self.hedges_launched,
+            hedges_cancelled=self.hedges_cancelled,
+            hedge_wins=self.hedge_wins,
         )
 
     # -- fault injection (mirrors repro.sim.elasticity) ----------------------------------
@@ -383,6 +447,23 @@ class MultiModelServingSimulation:
             events.push(
                 Event(now + delay, EventKind.SLOWDOWN_BEGIN, (server_id, type_name))
             )
+        # gray modes draw from the dedicated gray stream, after the fault-stream
+        # draws above, so arming them never perturbs crash/slowdown schedules
+        delay = self.faults.draw_degradation_delay_ms(type_name, self._gray_rng)
+        if delay is not None:
+            events.push(
+                Event(now + delay, EventKind.DEGRADATION_ONSET, (server_id, type_name))
+            )
+        delay = self.faults.draw_flaky_delay_ms(type_name, self._gray_rng)
+        if delay is not None:
+            events.push(
+                Event(now + delay, EventKind.FLAKY_BEGIN, (server_id, type_name))
+            )
+        delay = self.faults.draw_zombie_delay_ms(type_name, self._gray_rng)
+        if delay is not None:
+            events.push(
+                Event(now + delay, EventKind.ZOMBIE_ONSET, (server_id, type_name))
+            )
 
     def _idle_timer_kinds(self) -> Set[EventKind]:
         kinds: Set[EventKind] = set()
@@ -391,9 +472,20 @@ class MultiModelServingSimulation:
                 EventKind.INSTANCE_FAILED,
                 EventKind.SLOWDOWN_BEGIN,
                 EventKind.SLOWDOWN_END,
+                EventKind.DEGRADATION_ONSET,
+                EventKind.FLAKY_BEGIN,
+                EventKind.FLAKY_END,
+                EventKind.ZOMBIE_ONSET,
             }
         if self.retry is not None and self.retry.response_timeout_ms is not None:
             kinds.add(EventKind.RESPONSE_TIMEOUT)
+        # Health checks and probes must not keep a settled run alive; a probe that is
+        # discarded leaves its server quarantined through the horizon, which is the
+        # correct billing outcome for capacity parked when the trace ended.
+        if self.monitor is not None:
+            kinds |= {EventKind.HEALTH_CHECK, EventKind.HEALTH_PROBE}
+        if self.hedges is not None:
+            kinds.add(EventKind.HEDGE_TIMER)
         return kinds
 
     def _settle_outstanding(self, events: EventQueue) -> None:
@@ -507,13 +599,31 @@ class MultiModelServingSimulation:
                 )
         voided = self._inflight.pop(server_id, [])
         for record in voided:
-            self._killed.add(id(record))
+            if id(record) in self._zombie_attempts:
+                # a zombie attempt has no completion event to void
+                self._zombie_attempts.discard(id(record))
+            else:
+                self._killed.add(id(record))
             self._voided_dispatches += 1
+            pair = self._hedge_pairs.pop(record.query.query_id, None)
+            if pair is not None:
+                # the surviving hedge attempt still serves this query; the crash
+                # resolved the race instead of failing the client path
+                self.hedges_cancelled += 1
+                continue
             self._fail_attempt(record.query, now, "crash", events)
         if voided:
             scale_log.append(
                 ScaleLogEntry(now, "void_inflight", server.type_name, len(voided), reason)
             )
+        # drop gray-failure state for the dead server
+        if self.monitor is not None:
+            self.monitor.forget(server_id)
+        span = self._quarantine_spans.pop(server_id, None)
+        if span is not None:
+            span.end_ms = now  # the failed interval takes the whole cost anyway
+        self._zombie_ids.discard(server_id)
+        self._breakers.pop(server_id, None)
         return True
 
     def _handle_slowdown_begin(self, payload, now: float, events: EventQueue) -> None:
@@ -551,9 +661,384 @@ class MultiModelServingSimulation:
         inflight.remove(record)
         if not inflight:
             del self._inflight[record.server_id]
-        self._timed_out.add(id(record))
+        if id(record) in self._zombie_attempts:
+            # a zombie attempt has no completion event to swallow
+            self._zombie_attempts.discard(id(record))
+        else:
+            self._timed_out.add(id(record))
         self._voided_dispatches += 1
+        pair = self._hedge_pairs.pop(record.query.query_id, None)
+        if pair is not None:
+            # the partner attempt is still in flight and will serve the query; the
+            # timeout resolved the hedge race instead of failing the client path
+            self.hedges_cancelled += 1
+            return
         self._fail_attempt(record.query, now, "timeout", events)
+
+    # -- gray-failure injection handlers (mirror repro.sim.elasticity) -------------------
+    def _handle_degradation_onset(
+        self, payload, now: float, scale_log: List[ScaleLogEntry]
+    ) -> None:
+        server_id, type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return  # crashed/decommissioned before the onset
+        server.begin_degradation(self.faults[type_name].degradation_factor)
+        scale_log.append(
+            ScaleLogEntry(now, "degradation_onset", type_name, 1, f"server{server_id}")
+        )
+
+    def _handle_flaky_begin(self, payload, now: float, events: EventQueue) -> None:
+        server_id, type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return
+        profile = self.faults[type_name]
+        until = now + profile.flaky_duration_ms
+        server.begin_slowdown(profile.flaky_factor, until)
+        events.push(Event(until, EventKind.FLAKY_END, (server_id, type_name)))
+
+    def _handle_flaky_end(self, payload, now: float, events: EventQueue) -> None:
+        server_id, type_name = payload
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return
+        server.end_slowdown()
+        if self._outstanding > 0:
+            delay = self.faults.draw_flaky_delay_ms(type_name, self._gray_rng)
+            if delay is not None:
+                events.push(
+                    Event(now + delay, EventKind.FLAKY_BEGIN, (server_id, type_name))
+                )
+
+    def _handle_zombie_onset(
+        self, payload, now: float, scale_log: List[ScaleLogEntry]
+    ) -> None:
+        server_id, type_name = payload
+        try:
+            self.cluster.server_by_id(server_id)
+        except KeyError:
+            return
+        self._zombie_ids.add(server_id)
+        scale_log.append(
+            ScaleLogEntry(now, "zombie_onset", type_name, 1, f"server{server_id}")
+        )
+
+    # -- quarantine lifecycle ------------------------------------------------------------
+    def _breaker(self, server_id: int) -> CircuitBreaker:
+        return self._breakers.setdefault(server_id, CircuitBreaker())
+
+    def _quarantine_pool(self, server) -> List:
+        """The liveness guard counts the server's own model partition."""
+        model_name = self.cluster.model_of_server(server.server_id)
+        return list(self.cluster.cluster_of(model_name))
+
+    def _hedge_targets(self, record: QueryRecord) -> List:
+        """Hedge duplicates stay inside the primary server's model partition."""
+        model_name = self.cluster.model_of_server(record.server_id)
+        return self.cluster.cluster_of(model_name).active_servers()
+
+    def _quarantine_server(
+        self,
+        server,
+        now: float,
+        events: EventQueue,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+        reason: str,
+    ) -> bool:
+        """Open the server's breaker: isolate, bill, notify, probe later.
+
+        Returns True when membership changed.  The probation-liveness guard
+        refuses to quarantine the last accepting server of its model partition —
+        a fully quarantined partition could never serve the probe traffic that
+        re-admits servers, so one (possibly unhealthy) server always stays
+        eligible.
+        """
+        if server.draining or server.quarantined:
+            return False
+        accepting = sum(1 for s in self._quarantine_pool(server) if s.accepting)
+        if accepting <= 1:
+            return False
+        server_id = server.server_id
+        breaker = self._breaker(server_id)
+        breaker.trip(now)
+        server.begin_quarantine()
+        scale_log.append(
+            ScaleLogEntry(
+                now, "quarantine", server.type_name, 1, f"server{server_id}:{reason}"
+            )
+        )
+        self._quarantine_spans[server_id] = ledger.record_span(
+            server_id, SPAN_QUARANTINE, now
+        )
+        # stuck zombie attempts can never complete; abandon them now so their
+        # queries re-enter the client path (retry/dead-letter) immediately
+        stuck = [
+            r
+            for r in self._inflight.get(server_id, ())
+            if id(r) in self._zombie_attempts
+        ]
+        for record in stuck:
+            self._void_stuck_attempt(record, now, events, "quarantine")
+        if self._outstanding > 0:
+            observe = getattr(self.controller, "observe_quarantine", None)
+            if observe is not None:
+                observe(server.type_name, now)
+                decision = self.controller.maybe_replan(now)
+                if decision is not None:
+                    self._emit_scale_events(decision, now, events)
+        events.push(
+            Event(
+                now + breaker.probation_delay_ms(self.health),
+                EventKind.HEALTH_PROBE,
+                (server_id, server.type_name),
+            )
+        )
+        return True
+
+    def _handle_health_probe(
+        self,
+        payload,
+        now: float,
+        events: EventQueue,
+        scale_log: List[ScaleLogEntry],
+    ) -> bool:
+        """Probation dwell elapsed: breaker half-open, server re-admitted on trial."""
+        server_id, type_name = payload
+        breaker = self._breakers.get(server_id)
+        if breaker is None or breaker.state != BREAKER_OPEN:
+            return False
+        try:
+            server = self.cluster.server_by_id(server_id)
+        except KeyError:
+            return False  # crashed/decommissioned while quarantined
+        if not server.quarantined:
+            return False
+        breaker.half_open()
+        server.end_quarantine()
+        span = self._quarantine_spans.pop(server_id, None)
+        if span is not None:
+            span.end_ms = now
+        if self.monitor is not None:
+            # fresh trial: old degraded samples must not instantly re-trip
+            self.monitor.reset_server(server_id)
+        scale_log.append(
+            ScaleLogEntry(now, "probation", type_name, 1, f"server{server_id}")
+        )
+        if self._outstanding > 0:
+            observe = getattr(self.controller, "observe_readmit", None)
+            if observe is not None:
+                observe(type_name, now)
+                decision = self.controller.maybe_replan(now)
+                if decision is not None:
+                    self._emit_scale_events(decision, now, events)
+        return True
+
+    def _void_stuck_attempt(
+        self, record: QueryRecord, now: float, events: EventQueue, reason: str
+    ) -> None:
+        """Abandon an attempt that can never complete (zombie-stuck or overdue)."""
+        inflight = self._inflight.get(record.server_id)
+        if inflight is not None and record in inflight:
+            inflight.remove(record)
+            if not inflight:
+                del self._inflight[record.server_id]
+        self._voided_dispatches += 1
+        if id(record) in self._zombie_attempts:
+            self._zombie_attempts.discard(id(record))
+        else:
+            self._absorbed.add(id(record))
+        pair = self._hedge_pairs.pop(record.query.query_id, None)
+        if pair is not None:
+            # the partner attempt still serves the query
+            self.hedges_cancelled += 1
+            return
+        self._fail_attempt(record.query, now, reason, events)
+
+    def _handle_health_check(
+        self,
+        payload,
+        now: float,
+        events: EventQueue,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+    ) -> bool:
+        """An attempt's expected completion is overdue: accrue suspicion, isolate."""
+        record, expected_ms = payload
+        if self.monitor is None:
+            return False
+        inflight = self._inflight.get(record.server_id)
+        if inflight is None or record not in inflight:
+            return False  # resolved before the check fired
+        overdue = now - record.completion_ms
+        self.monitor.record_overdue(record.server_id, overdue, expected_ms)
+        changed = False
+        if self.monitor.is_suspect(record.server_id):
+            try:
+                server = self.cluster.server_by_id(record.server_id)
+            except KeyError:
+                server = None
+            if server is not None:
+                changed = self._quarantine_server(
+                    server, now, events, ledger, scale_log, "suspect"
+                )
+        still = self._inflight.get(record.server_id)
+        if still is not None and record in still:
+            self._void_stuck_attempt(record, now, events, "overdue")
+        return changed
+
+    # -- hedged dispatch -----------------------------------------------------------------
+    def _arm_watchdogs(
+        self, record: QueryRecord, now: float, completion: float, events: EventQueue
+    ) -> None:
+        """Arm the overdue health check and (maybe) the hedge timer for one dispatch."""
+        if self.monitor is not None:
+            expected = max(completion - now, 1e-6)
+            events.push(
+                Event(
+                    now + self.health.overdue_grace_factor * expected,
+                    EventKind.HEALTH_CHECK,
+                    (record, expected),
+                )
+            )
+        if self.hedges is not None and record.query.query_id not in self._hedge_pairs:
+            delay = self.hedges.hedge_delay_ms(record.server_type)
+            if delay is not None and (
+                id(record) in self._zombie_attempts or completion - now > delay
+            ):
+                events.push(Event(now + delay, EventKind.HEDGE_TIMER, record))
+
+    def _handle_hedge_timer(
+        self, record: QueryRecord, now: float, events: EventQueue
+    ) -> None:
+        """The attempt outlived its hedge delay: duplicate onto the best idle server."""
+        inflight = self._inflight.get(record.server_id)
+        if inflight is None or record not in inflight:
+            return  # resolved before the timer fired
+        qid = record.query.query_id
+        if qid in self._hedge_pairs:
+            return  # already hedged once
+        candidates = [
+            s
+            for s in self._hedge_targets(record)
+            if s.accepting and s.is_idle(now) and s.server_id != record.server_id
+        ]
+        if not candidates:
+            return  # no eligible idle capacity; the primary keeps its chance
+        best = min(
+            candidates,
+            key=lambda s: (s.profile.latency_ms(record.query.batch_size), s.server_id),
+        )
+        start, completion, service = best.dispatch(
+            record.query, now, noise=self.noise, rng=self.rng
+        )
+        duplicate = QueryRecord(
+            query=record.query,
+            server_id=best.server_id,
+            server_type=best.type_name,
+            start_ms=start,
+            completion_ms=completion,
+            service_ms=service,
+        )
+        if self._track_inflight:
+            self._inflight.setdefault(duplicate.server_id, []).append(duplicate)
+        self._hedge_extra_dispatches += 1
+        self.hedges_launched += 1
+        self._hedge_pairs[qid] = (record, duplicate)
+        if best.server_id in self._zombie_ids:
+            self._zombie_attempts.add(id(duplicate))
+        else:
+            events.push(Event(completion, EventKind.SERVICE_COMPLETION, duplicate))
+        timeout = self.retry.response_timeout_ms if self.retry is not None else None
+        if timeout is not None and (
+            best.server_id in self._zombie_ids or completion - now > timeout
+        ):
+            # the duplicate needs its own recovery path: without it, a hedge
+            # landing on a zombie under timeout-only recovery strands the query
+            events.push(Event(now + timeout, EventKind.RESPONSE_TIMEOUT, duplicate))
+        if self.monitor is not None:
+            expected = max(completion - now, 1e-6)
+            events.push(
+                Event(
+                    now + self.health.overdue_grace_factor * expected,
+                    EventKind.HEALTH_CHECK,
+                    (duplicate, expected),
+                )
+            )
+
+    def _cancel_hedge_loser(
+        self, loser: QueryRecord, now: float, ledger: InstanceUsageLedger
+    ) -> None:
+        """First completion won the race: cancel the loser, bill its partial work."""
+        inflight = self._inflight.get(loser.server_id)
+        if inflight is not None and loser in inflight:
+            inflight.remove(loser)
+            if not inflight:
+                del self._inflight[loser.server_id]
+        self._voided_dispatches += 1
+        self.hedges_cancelled += 1
+        if id(loser) in self._zombie_attempts:
+            self._zombie_attempts.discard(id(loser))
+        else:
+            self._absorbed.add(id(loser))
+        # partial work: the loser occupied its server from service start (if it
+        # started at all) until the cancellation instant
+        span_start = min(loser.start_ms, now)
+        if now > span_start:
+            ledger.record_span(loser.server_id, SPAN_HEDGE, span_start, now)
+
+    def _observe_health(
+        self,
+        record: QueryRecord,
+        server,
+        now: float,
+        events: EventQueue,
+        ledger: InstanceUsageLedger,
+        scale_log: List[ScaleLogEntry],
+    ) -> bool:
+        """Feed one genuine completion to the hedge/health layers; maybe quarantine."""
+        if self.hedges is not None:
+            self.hedges.observe(record.server_type, record.service_ms)
+        if self.monitor is None:
+            return False
+        server_id = server.server_id
+        breaker = self._breakers.get(server_id)
+        if breaker is not None and breaker.state == BREAKER_OPEN:
+            # in-flight work finishing behind an open breaker: not probe traffic,
+            # and degraded-period samples must not poison the fresh trial
+            return False
+        if breaker is not None and breaker.state == BREAKER_HALF_OPEN:
+            ratio = self.monitor.sample_ratio(
+                record.server_type, record.service_ms, record.query.batch_size
+            )
+            self.monitor.observe_completion(
+                server_id, record.server_type, record.service_ms, record.query.batch_size
+            )
+            if ratio >= self.health.degrade_ratio:
+                return self._quarantine_server(
+                    server, now, events, ledger, scale_log, "probe_failed"
+                )
+            breaker.probes_ok += 1
+            if breaker.probes_ok >= self.health.probe_successes:
+                breaker.close()
+                scale_log.append(
+                    ScaleLogEntry(
+                        now, "breaker_close", record.server_type, 1, f"server{server_id}"
+                    )
+                )
+            return False
+        self.monitor.observe_completion(
+            server_id, record.server_type, record.service_ms, record.query.batch_size
+        )
+        if server.accepting and self.monitor.is_degraded(server_id, record.server_type):
+            return self._quarantine_server(
+                server, now, events, ledger, scale_log, "degraded"
+            )
+        return False
 
     # -- event handling -----------------------------------------------------------------
     def _handle(
@@ -575,8 +1060,14 @@ class MultiModelServingSimulation:
                 self._killed.discard(id(record))
                 return False, False
             timed_out = id(record) in self._timed_out
-            if timed_out:
+            absorbed = id(record) in self._absorbed
+            # a swallowed completion drains the server's local queue (the GPU
+            # finished the work) but the client path already moved on — timeout
+            # abandonments and cancelled hedge/stuck attempts alike
+            swallowed = timed_out or absorbed
+            if swallowed:
                 self._timed_out.discard(id(record))
+                self._absorbed.discard(id(record))
                 try:
                     self.cluster.server_by_id(record.server_id)
                 except KeyError:
@@ -594,12 +1085,26 @@ class MultiModelServingSimulation:
                 self._settle_outstanding(events)
             server = self.cluster.server_by_id(record.server_id)
             server.complete_one()
-            if not timed_out:
+            health_changed = False
+            if not swallowed:
+                pair = self._hedge_pairs.pop(record.query.query_id, None)
+                if pair is not None:
+                    # first genuine completion wins the race; the partner is
+                    # cancelled and its partial occupancy billed as hedge cost
+                    primary, duplicate = pair
+                    if record is duplicate:
+                        self.hedge_wins += 1
+                        self._cancel_hedge_loser(primary, now, ledger)
+                    else:
+                        self._cancel_hedge_loser(duplicate, now, ledger)
                 if record.query.query_id not in warmup_ids:
                     metrics.record(record)
                     if self.admission is not None:
                         self.admission.observe_latency(record.latency_ms)
                 self.policy.observe_completion(record)
+                health_changed = self._observe_health(
+                    record, server, now, events, ledger, scale_log
+                )
             if server.drained:
                 self.cluster.remove_server(server.server_id)
                 ledger.stop(server.server_id, now)
@@ -607,7 +1112,7 @@ class MultiModelServingSimulation:
                     ScaleLogEntry(now, "decommission", server.type_name, 1)
                 )
                 return True, False
-            return False, False
+            return health_changed, False
 
         if event.kind == EventKind.QUERY_ARRIVAL:
             query: Query = event.payload
@@ -637,6 +1142,38 @@ class MultiModelServingSimulation:
 
         if event.kind == EventKind.RESPONSE_TIMEOUT:
             self._handle_response_timeout(event.payload, now, events)
+            return False, False
+
+        if event.kind == EventKind.DEGRADATION_ONSET:
+            self._handle_degradation_onset(event.payload, now, scale_log)
+            return False, False
+
+        if event.kind == EventKind.FLAKY_BEGIN:
+            self._handle_flaky_begin(event.payload, now, events)
+            return False, False
+
+        if event.kind == EventKind.FLAKY_END:
+            self._handle_flaky_end(event.payload, now, events)
+            return False, False
+
+        if event.kind == EventKind.ZOMBIE_ONSET:
+            self._handle_zombie_onset(event.payload, now, scale_log)
+            return False, False
+
+        if event.kind == EventKind.HEALTH_CHECK:
+            return (
+                self._handle_health_check(event.payload, now, events, ledger, scale_log),
+                False,
+            )
+
+        if event.kind == EventKind.HEALTH_PROBE:
+            return (
+                self._handle_health_probe(event.payload, now, events, scale_log),
+                False,
+            )
+
+        if event.kind == EventKind.HEDGE_TIMER:
+            self._handle_hedge_timer(event.payload, now, events)
             return False, False
 
         if event.kind == EventKind.SCALE_UP:
@@ -813,12 +1350,22 @@ class MultiModelServingSimulation:
             )
             if self._track_inflight:
                 self._inflight.setdefault(record.server_id, []).append(record)
-            events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
+            zombie = server.server_id in self._zombie_ids
+            if zombie:
+                # a zombie accepts the dispatch but never emits its completion:
+                # the attempt resolves only through a watchdog (health check,
+                # response timeout, quarantine void, or a winning hedge partner)
+                self._zombie_attempts.add(id(record))
+            else:
+                events.push(Event(completion, EventKind.SERVICE_COMPLETION, record))
             timeout = self.retry.response_timeout_ms if self.retry is not None else None
-            if timeout is not None and completion - now > timeout:
+            if timeout is not None and (zombie or completion - now > timeout):
                 # the deadline will elapse strictly before the completion: arm the
-                # abandon timer (never armed when the attempt will make it in time)
+                # abandon timer (never armed when the attempt will make it in time;
+                # a zombie attempt never makes it, so it is always armed)
                 events.push(Event(now + timeout, EventKind.RESPONSE_TIMEOUT, record))
+            if self.monitor is not None or self.hedges is not None:
+                self._arm_watchdogs(record, now, completion, events)
             count += 1
         return count
 

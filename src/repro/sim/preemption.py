@@ -381,14 +381,32 @@ class PreemptibleElasticSimulation(ElasticServingSimulation):
             # void the scheduled completion and hand the query back to the central
             # queue at the kill instant (same-timestamp arrivals are drained by the
             # current event batch, so the next scheduling round redistributes them)
-            self._killed.add(id(record))
-            self._requeued_ids.add(record.query.query_id)
+            if id(record) in self._zombie_attempts:
+                # a zombie attempt has no completion event to void
+                self._zombie_attempts.discard(id(record))
+            else:
+                self._killed.add(id(record))
             self._voided_dispatches += 1
+            pair = self._hedge_pairs.pop(record.query.query_id, None)
+            if pair is not None:
+                # the surviving hedge attempt still serves this query; re-queueing
+                # it too would double-serve
+                self.hedges_cancelled += 1
+                continue
+            self._requeued_ids.add(record.query.query_id)
             events.push(Event(now, EventKind.QUERY_ARRIVAL, record.query))
         if requeued:
             scale_log.append(
                 ScaleLogEntry(now, "requeue", server.type_name, len(requeued))
             )
+        # drop gray-failure state for the reclaimed server
+        if self.monitor is not None:
+            self.monitor.forget(server_id)
+        span = self._quarantine_spans.pop(server_id, None)
+        if span is not None:
+            span.end_ms = now
+        self._zombie_ids.discard(server_id)
+        self._breakers.pop(server_id, None)
         return True
 
 

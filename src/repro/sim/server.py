@@ -54,6 +54,16 @@ class ServerInstance:
     # (>= 1), modelling a degraded instance (thermal throttling, noisy neighbour).
     slowdown_factor: float = 1.0
     slowdown_until_ms: float = 0.0
+    # permanent gray degradation: a second, window-less multiplier (>= 1) that
+    # compounds multiplicatively with any active transient window above.  Within
+    # the *transient* mechanism overlapping windows replace each other (see
+    # begin_slowdown); across the two mechanisms the factors compound.
+    degraded_factor: float = 1.0
+    # gray-failure quarantine: an open circuit breaker parked the server.  A
+    # quarantined server keeps its local queue (in-flight work may still finish)
+    # but is excluded from every active view, so no loop's cost matrix can match
+    # new work onto it until a probation probe re-admits it.
+    quarantined: bool = False
 
     # accounting
     queries_served: int = 0
@@ -73,8 +83,8 @@ class ServerInstance:
 
     @property
     def accepting(self) -> bool:
-        """True when the server may receive new dispatches (i.e. it is not draining)."""
-        return not self.draining
+        """True when the server may receive new dispatches (not draining or quarantined)."""
+        return not self.draining and not self.quarantined
 
     def start_draining(self) -> None:
         """Stop accepting new work; in-flight and locally queued queries still finish."""
@@ -132,6 +142,8 @@ class ServerInstance:
         service = self.true_service_latency_ms(query, noise=noise, rng=rng)
         if self.slowdown_factor != 1.0 and start < self.slowdown_until_ms:
             service *= self.slowdown_factor
+        if self.degraded_factor != 1.0:
+            service *= self.degraded_factor
         completion = start + service
         self.busy_until_ms = completion
         self.queries_served += 1
@@ -142,7 +154,16 @@ class ServerInstance:
         return start, completion, service
 
     def begin_slowdown(self, factor: float, until_ms: float) -> None:
-        """Enter a transient degraded mode: service latencies scale by ``factor``."""
+        """Enter a transient degraded mode: service latencies scale by ``factor``.
+
+        Overlapping transient windows **replace** each other: a second
+        ``begin_slowdown`` before the first window elapses installs the new
+        ``(factor, until_ms)`` pair outright — factors never compound within the
+        transient mechanism, and the new window may lengthen *or shorten* the
+        remaining degradation.  (Permanent gray degradation lives in
+        :attr:`degraded_factor` and compounds multiplicatively with whatever
+        transient window is active; see :meth:`begin_degradation`.)
+        """
         if factor < 1.0:
             raise ValueError(f"slowdown factor must be >= 1, got {factor}")
         self.slowdown_factor = factor
@@ -155,6 +176,29 @@ class ServerInstance:
             return
         self.slowdown_factor = 1.0
         self.slowdown_until_ms = 0.0
+        self.state_version += 1
+
+    def begin_degradation(self, factor: float) -> None:
+        """Enter *permanent* gray degradation: all future service scales by ``factor``.
+
+        Unlike transient windows this never expires and repeated onsets compound
+        multiplicatively (each onset is an independent physical degradation).
+        """
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        self.degraded_factor *= factor
+        self.state_version += 1
+
+    def begin_quarantine(self) -> None:
+        """Park the server behind an open circuit breaker (stops new dispatches)."""
+        self.quarantined = True
+        self.state_version += 1
+
+    def end_quarantine(self) -> None:
+        """Re-admit the server (breaker half-open/closed); no-op when not quarantined."""
+        if not self.quarantined:
+            return
+        self.quarantined = False
         self.state_version += 1
 
     def complete_one(self) -> None:
@@ -177,6 +221,8 @@ class ServerInstance:
         self.commissioned_at_ms = 0.0
         self.slowdown_factor = 1.0
         self.slowdown_until_ms = 0.0
+        self.degraded_factor = 1.0
+        self.quarantined = False
         self.queries_served = 0
         self.busy_time_ms = 0.0
         self.local_queue_depth = 0

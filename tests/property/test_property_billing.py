@@ -244,6 +244,112 @@ def test_discount_savings_closed_form(histories):
     assert ledger.discount_savings(HORIZON_MS) >= 0.0
 
 
+# -- gray attribution (quarantine + hedge spans + crash split) ----------------------------
+
+#: The gray variant adds a crash flag per instance plus up to three attribution
+#: spans — (kind index, start, duration, open?) on the same coarse grid, so spans
+#: overlap each other and the interval edges constantly.
+gray_instance_histories = st.lists(
+    st.tuples(
+        st.integers(0, len(TYPE_NAMES) - 1),
+        st.integers(0, len(MODELS) - 1),
+        st.integers(0, 20),  # start (grid units)
+        st.integers(1, 10),  # duration (grid units)
+        st.booleans(),  # closed by an unannounced crash?
+        st.lists(
+            st.tuples(
+                st.integers(0, 1),  # 0 = quarantine, 1 = hedge
+                st.integers(0, 30),  # span start (grid units)
+                st.integers(0, 10),  # span duration (grid units)
+                st.booleans(),  # left open (clipped at the query horizon)?
+            ),
+            max_size=3,
+        ),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _apply_gray(histories):
+    ledger = InstanceUsageLedger(DEFAULT_INSTANCE_CATALOG)
+    for server_id, (type_idx, tag_idx, start, duration, failed, spans) in enumerate(
+        histories
+    ):
+        ledger.start(
+            server_id, TYPE_NAMES[type_idx], start * GRID_MS, tag=MODELS[tag_idx]
+        )
+        ledger.stop(server_id, (start + duration) * GRID_MS, failed=failed)
+        for kind_idx, s_start, s_duration, leave_open in spans:
+            ledger.record_span(
+                server_id,
+                ("quarantine", "hedge")[kind_idx],
+                s_start * GRID_MS,
+                None if leave_open else (s_start + s_duration) * GRID_MS,
+            )
+    return ledger
+
+
+@settings(max_examples=80, deadline=None)
+@given(histories=gray_instance_histories)
+def test_gray_attribution_partitions_the_total(histories):
+    """failed + quarantine + hedge + healthy == total, exactly, for ANY span layout.
+
+    Spans may overlap each other, stick out past their interval, sit entirely
+    outside it, or stay open; crashes take the whole interval regardless of
+    spans.  The partition re-labels spend — it can neither create nor lose it.
+    """
+    ledger = _apply_gray(histories)
+    partition = ledger.attribution_partition(HORIZON_MS)
+    assert set(partition) == {"failed", "quarantine", "hedge", "healthy"}
+    assert all(cost >= 0.0 for cost in partition.values())
+    np.testing.assert_allclose(
+        sum(partition.values()), ledger.total_cost(HORIZON_MS), rtol=0, atol=1e-12
+    )
+    # the crash bucket is exactly the crash split computed along the other axis
+    np.testing.assert_allclose(
+        partition["failed"], ledger.cost_of_failures(HORIZON_MS), rtol=0, atol=1e-12
+    )
+    # the convenience accessors are views of the same partition
+    assert ledger.cost_of_quarantine(HORIZON_MS) == partition["quarantine"]
+    assert ledger.cost_of_hedges(HORIZON_MS) == partition["hedge"]
+
+
+@settings(max_examples=80, deadline=None)
+@given(histories=gray_instance_histories, permutation=st.permutations(list(range(16))))
+def test_gray_attribution_invariant_to_span_recording_order(histories, permutation):
+    """Spans are segment re-labels: the order they were recorded in cannot matter."""
+    reference = _apply_gray(histories)
+    shuffled = _apply_gray(histories)
+    spans = shuffled._spans
+    spans[:] = [
+        span
+        for _, _, span in sorted(
+            (permutation[i % len(permutation)], i, span)
+            for i, span in enumerate(spans)
+        )
+    ]
+    assert shuffled.attribution_partition(HORIZON_MS) == (
+        reference.attribution_partition(HORIZON_MS)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories=gray_instance_histories)
+def test_gray_attribution_without_spans_is_all_healthy_or_failed(histories):
+    stripped = [(t, m, s, d, failed, []) for t, m, s, d, failed, _ in histories]
+    ledger = _apply_gray(stripped)
+    partition = ledger.attribution_partition(HORIZON_MS)
+    assert partition["quarantine"] == 0.0
+    assert partition["hedge"] == 0.0
+    np.testing.assert_allclose(
+        partition["healthy"] + partition["failed"],
+        ledger.total_cost(HORIZON_MS),
+        rtol=0,
+        atol=1e-12,
+    )
+
+
 @settings(max_examples=60, deadline=None)
 @given(histories=spot_instance_histories, permutation=st.permutations(list(range(24))))
 def test_market_attribution_invariant_to_equal_timestamp_interleaving(

@@ -24,9 +24,12 @@ from repro.fuzz.invariants import (
     check_failure_billing,
     check_fault_determinism,
     check_graph_conservation,
+    check_gray_billing_partition,
     check_hashseed_independence,
+    check_hedge_exactly_once,
     check_ledger_partition_exactness,
     check_outcome_conservation,
+    check_probation_liveness,
     check_qos_monotone_in_budget,
     check_query_conservation,
     check_retry_bounded,
@@ -77,6 +80,22 @@ class TestCorpusReplay:
 
     def test_corpus_covers_a_nonzero_time_origin(self):
         assert any(ScenarioSpec.load(p).start_offset_ms > 0 for p in SCENARIOS)
+
+    def test_corpus_covers_the_gray_dimensions(self):
+        """At least one committed scenario exercises each gray-failure knob."""
+        specs = [ScenarioSpec.load(p) for p in SCENARIOS]
+        assert any(
+            s.faults is not None and s.faults.zombies_per_hour > 0 for s in specs
+        )
+        assert any(
+            s.faults is not None and s.faults.degradations_per_hour > 0 for s in specs
+        )
+        assert any(
+            s.faults is not None and s.faults.flaky_per_hour > 0 for s in specs
+        )
+        assert any(s.health is not None for s in specs)
+        assert any(s.hedge is not None for s in specs)
+        assert any(s.health is not None and s.sharded_events for s in specs)
 
 
 class TestShardedByteIdentity:
@@ -505,6 +524,117 @@ class TestPipelineCheckersDetectCorruption:
         assert any("unknown outcome" in v.message for v in violations)
 
 
+def _clean_gray_result():
+    return run_scenario(_load("gray-flaky-hedge-mm.json"))
+
+
+class TestGrayCheckersDetectCorruption:
+    """The gray-era checkers (hedging, gray billing, breaker lifecycle) must fire
+    on deliberately corrupted runs, exactly like the chaos-era detectors above.
+    """
+
+    @pytest.fixture(scope="class")
+    def gray_clean(self):
+        result = _clean_gray_result()
+        assert not result.violations
+        report = result.report
+        # The corpus scenario genuinely exercises the machinery under test.
+        assert report.hedges_launched > 0
+        assert any(e.kind == "quarantine" for e in report.scale_log)
+        assert any(e.kind == "breaker_close" for e in report.scale_log)
+        return result
+
+    def test_hedge_exactly_once_flags_unresolved_race(self, gray_clean):
+        report = dataclasses.replace(
+            gray_clean.report, hedges_cancelled=gray_clean.report.hedges_cancelled + 1
+        )
+        corrupted = dataclasses.replace(gray_clean, report=report)
+        violations = check_hedge_exactly_once(corrupted)
+        assert any("exactly one loser" in v.message for v in violations)
+
+    def test_hedge_exactly_once_flags_activity_without_policy(self, gray_clean):
+        spec = dataclasses.replace(gray_clean.spec, hedge=None)
+        corrupted = dataclasses.replace(gray_clean, spec=spec)
+        violations = check_hedge_exactly_once(corrupted)
+        assert any("without a HedgeSpec" in v.message for v in violations)
+
+    def test_hedge_exactly_once_flags_double_service(self, gray_clean):
+        corrupted = dataclasses.replace(
+            gray_clean,
+            completions=gray_clean.completions + (gray_clean.completions[0],),
+        )
+        violations = check_hedge_exactly_once(corrupted)
+        assert any("served more than once" in v.message for v in violations)
+
+    def test_gray_billing_flags_leaky_partition(self, gray_clean):
+        ledger = gray_clean.report.ledger
+        horizon = gray_clean.report.billing_horizon_ms
+        skewed = dict(ledger.attribution_partition(horizon))
+        skewed["healthy"] += 0.25
+        fake_ledger = SimpleNamespace(
+            attribution_partition=lambda h: skewed,
+            total_cost=ledger.total_cost,
+            cost_of_failures=ledger.cost_of_failures,
+            spans=ledger.spans,
+        )
+        corrupted = SimpleNamespace(
+            spec=gray_clean.spec,
+            report=gray_clean.report,
+            ledger=fake_ledger,
+            queries=gray_clean.queries,
+            rounds=gray_clean.rounds,
+            completions=gray_clean.completions,
+        )
+        violations = check_gray_billing_partition(corrupted)
+        assert any("partition sums to" in v.message for v in violations)
+
+    def test_gray_billing_flags_bucket_with_dimension_disabled(self, gray_clean):
+        ledger = gray_clean.report.ledger
+        horizon = gray_clean.report.billing_horizon_ms
+        partition = ledger.attribution_partition(horizon)
+        assert partition["quarantine"] > 0  # the corpus scenario quarantines
+        spec = dataclasses.replace(gray_clean.spec, health=None, hedge=None)
+        corrupted = dataclasses.replace(gray_clean, spec=spec)
+        violations = check_gray_billing_partition(corrupted)
+        assert any("dimension disabled" in v.message for v in violations)
+
+    def test_probation_liveness_flags_lifecycle_without_health(self, gray_clean):
+        spec = dataclasses.replace(gray_clean.spec, health=None, hedge=None)
+        corrupted = dataclasses.replace(gray_clean, spec=spec)
+        violations = check_probation_liveness(corrupted)
+        assert any("without a HealthSpec" in v.message for v in violations)
+
+    def test_probation_liveness_flags_probation_without_quarantine(self, gray_clean):
+        probation = next(
+            e for e in gray_clean.report.scale_log if e.kind == "probation"
+        )
+        rogue = dataclasses.replace(
+            probation, reason="server999", time_ms=probation.time_ms - 1.0
+        )
+        report = dataclasses.replace(
+            gray_clean.report, scale_log=[rogue] + list(gray_clean.report.scale_log)
+        )
+        corrupted = dataclasses.replace(gray_clean, report=report)
+        violations = check_probation_liveness(corrupted)
+        assert any("without being quarantined" in v.message for v in violations)
+
+    def test_probation_liveness_flags_whole_fleet_quarantined(self, gray_clean):
+        quarantine = next(
+            e for e in gray_clean.report.scale_log if e.kind == "quarantine"
+        )
+        ever = sum(sum(counts) for counts in gray_clean.spec.config_counts)
+        flood = [
+            dataclasses.replace(quarantine, reason=f"server{900 + i}:flood")
+            for i in range(ever)
+        ]
+        report = dataclasses.replace(
+            gray_clean.report, scale_log=flood + list(gray_clean.report.scale_log)
+        )
+        corrupted = dataclasses.replace(gray_clean, report=report)
+        violations = check_probation_liveness(corrupted)
+        assert any("no accepting server left" in v.message for v in violations)
+
+
 class TestInvariantRegistryCoverage:
     """Meta-test: the registry, the properties, and this corpus stay in sync."""
 
@@ -526,5 +656,8 @@ class TestInvariantRegistryCoverage:
             "spot_disabled_identity",
             "hashseed_independence",
             "fault_determinism",
+            "hedge_exactly_once",
+            "gray_billing_partition",
+            "probation_liveness",
         }
         assert set(ALL_INVARIANTS) == expected

@@ -274,6 +274,49 @@ class TestServerSlowdown:
         with pytest.raises(ValueError):
             _server().begin_slowdown(0.5, until_ms=100.0)
 
+    def test_overlapping_windows_replace_not_compound(self):
+        """A second window installs its factor outright: 3x then 2x is 2x, not 6x."""
+        a, b = _server(0), _server(1)
+        b.begin_slowdown(3.0, until_ms=10_000.0)
+        b.begin_slowdown(2.0, until_ms=10_000.0)
+        q = _query(0, 64, 0.0)
+        assert b.dispatch(q, 0.0)[2] == pytest.approx(2.0 * a.dispatch(q, 0.0)[2])
+
+    def test_overlapping_window_may_shorten_the_remaining_degradation(self):
+        """Replacement covers the window too: the new (earlier) expiry wins."""
+        a, b = _server(0), _server(1)
+        b.begin_slowdown(3.0, until_ms=10_000.0)
+        b.begin_slowdown(2.0, until_ms=5_000.0)
+        q = _query(0, 64, 6_000.0)
+        assert b.dispatch(q, 6_000.0)[2] == pytest.approx(a.dispatch(q, 6_000.0)[2])
+
+    def test_dispatch_starting_exactly_at_expiry_is_unaffected(self):
+        """The window is half-open: a start at ``until_ms`` is already outside it."""
+        a, b = _server(0), _server(1)
+        until = 100.0 + b.dispatch_overhead_ms
+        b.begin_slowdown(3.0, until_ms=until)
+        q = _query(0, 64, 100.0)
+        assert b.dispatch(q, 100.0)[2] == pytest.approx(a.dispatch(q, 100.0)[2])
+
+    def test_permanent_degradation_compounds_with_the_transient_window(self):
+        """Gray degradation is a separate mechanism: the two factors multiply."""
+        a, b = _server(0), _server(1)
+        b.begin_slowdown(2.0, until_ms=10_000.0)
+        b.begin_degradation(3.0)
+        q = _query(0, 64, 0.0)
+        assert b.dispatch(q, 0.0)[2] == pytest.approx(6.0 * a.dispatch(q, 0.0)[2])
+
+    def test_repeated_degradation_onsets_compound(self):
+        a, b = _server(0), _server(1)
+        b.begin_degradation(2.0)
+        b.begin_degradation(3.0)
+        q = _query(0, 64, 0.0)
+        assert b.dispatch(q, 0.0)[2] == pytest.approx(6.0 * a.dispatch(q, 0.0)[2])
+
+    def test_begin_degradation_validates_factor(self):
+        with pytest.raises(ValueError):
+            _server().begin_degradation(0.9)
+
 
 # -- controller crash re-plan ------------------------------------------------------------
 

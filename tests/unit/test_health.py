@@ -1,0 +1,198 @@
+"""Units for the gray-failure detection layer: monitor, breaker, hedge manager.
+
+The serving-loop integration (quarantine side effects, probe dispatch, hedge
+races) is exercised by the gray regression scenarios and the fuzz campaign;
+these tests pin the deterministic arithmetic each piece contributes.
+"""
+
+import pytest
+
+from repro.sim.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    HealthConfig,
+    HedgeManager,
+    HedgePolicy,
+    ServerHealthMonitor,
+)
+
+pytestmark = pytest.mark.gray
+
+
+# -- config validation -------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"degrade_ratio": 1.0},
+            {"min_samples": 0},
+            {"suspicion_threshold": 0.0},
+            {"overdue_grace_factor": 1.0},
+            {"probation_ms": 0.0},
+            {"probation_backoff": 0.5},
+            {"probe_successes": 0},
+        ],
+    )
+    def test_health_config_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"quantile": 0.0}, {"quantile": 1.0}, {"delay_factor": 1.0}, {"min_samples": 0}],
+    )
+    def test_hedge_policy_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            HedgePolicy(**kwargs)
+
+
+# -- health monitor ----------------------------------------------------------------------
+
+
+def _feed(monitor, server_id, per_item_ms, n, type_name="t", batch=1):
+    for _ in range(n):
+        monitor.observe_completion(server_id, type_name, per_item_ms * batch, batch)
+
+
+class TestServerHealthMonitor:
+    def test_ratio_is_none_before_min_samples(self):
+        monitor = ServerHealthMonitor(HealthConfig(min_samples=4))
+        _feed(monitor, 0, 10.0, 3)
+        assert monitor.latency_ratio(0, "t") is None
+        _feed(monitor, 0, 10.0, 1)
+        assert monitor.latency_ratio(0, "t") == pytest.approx(1.0)
+
+    def test_latency_is_normalised_per_item(self):
+        """A big batch at proportional latency is the same per-item signal."""
+        monitor = ServerHealthMonitor(HealthConfig(min_samples=1))
+        _feed(monitor, 0, 10.0, 4, batch=1)
+        _feed(monitor, 1, 10.0, 4, batch=32)
+        assert monitor.latency_ratio(1, "t") == pytest.approx(
+            monitor.latency_ratio(0, "t")
+        )
+
+    def test_slow_server_trips_degraded_against_fleet_baseline(self):
+        config = HealthConfig(ewma_alpha=0.2, degrade_ratio=2.0, min_samples=4)
+        monitor = ServerHealthMonitor(config)
+        for _ in range(16):  # healthy majority anchors the fleet EWMA
+            for sid in range(9):
+                monitor.observe_completion(sid, "t", 10.0, 1)
+            monitor.observe_completion(9, "t", 60.0, 1)
+        assert not monitor.is_degraded(0, "t")
+        assert monitor.is_degraded(9, "t")
+        assert monitor.latency_ratio(9, "t") > 2.0
+
+    def test_suspicion_accrues_by_normalised_overdue_and_resets_on_completion(self):
+        monitor = ServerHealthMonitor(HealthConfig(suspicion_threshold=1.0))
+        assert monitor.record_overdue(0, overdue_ms=50.0, expected_ms=100.0) == (
+            pytest.approx(0.5)
+        )
+        assert not monitor.is_suspect(0)
+        assert monitor.record_overdue(0, overdue_ms=60.0, expected_ms=100.0) == (
+            pytest.approx(1.1)
+        )
+        assert monitor.is_suspect(0)
+        monitor.observe_completion(0, "t", 10.0, 1)
+        assert monitor.suspicion(0) == 0.0
+        assert not monitor.is_suspect(0)
+
+    def test_reset_server_forgets_samples_but_not_the_fleet_baseline(self):
+        monitor = ServerHealthMonitor(HealthConfig(min_samples=1))
+        _feed(monitor, 0, 10.0, 8)
+        _feed(monitor, 1, 40.0, 8)
+        monitor.reset_server(1)
+        assert monitor.latency_ratio(1, "t") is None
+        # the fleet EWMA still remembers both servers' traffic
+        assert monitor.sample_ratio("t", 10.0, 1) < 1.0
+
+    def test_sample_ratio_defaults_to_one_on_a_cold_fleet(self):
+        monitor = ServerHealthMonitor()
+        assert monitor.sample_ratio("t", 123.0, 1) == 1.0
+
+
+# -- circuit breaker ---------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_full_lifecycle(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.trip(100.0)
+        assert breaker.state == BREAKER_OPEN and breaker.opened_at_ms == 100.0
+        breaker.half_open()
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.close()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_can_reopen(self):
+        breaker = CircuitBreaker()
+        breaker.trip(0.0)
+        breaker.half_open()
+        breaker.trip(50.0)  # failed probe
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.open_count == 2
+
+    def test_illegal_transitions_raise(self):
+        breaker = CircuitBreaker()
+        with pytest.raises(RuntimeError):
+            breaker.half_open()
+        with pytest.raises(RuntimeError):
+            breaker.close()
+        breaker.trip(0.0)
+        with pytest.raises(RuntimeError):
+            breaker.trip(1.0)
+        with pytest.raises(RuntimeError):
+            breaker.close()
+
+    def test_probation_delay_backs_off_exponentially_per_reopen(self):
+        config = HealthConfig(probation_ms=100.0, probation_backoff=2.0)
+        breaker = CircuitBreaker()
+        breaker.trip(0.0)
+        assert breaker.probation_delay_ms(config) == pytest.approx(100.0)
+        breaker.half_open()
+        breaker.trip(10.0)
+        assert breaker.probation_delay_ms(config) == pytest.approx(200.0)
+        breaker.half_open()
+        breaker.trip(20.0)
+        assert breaker.probation_delay_ms(config) == pytest.approx(400.0)
+
+
+# -- hedge manager -----------------------------------------------------------------------
+
+
+class TestHedgeManager:
+    def test_cold_type_never_hedges(self):
+        hedges = HedgeManager(HedgePolicy(min_samples=4))
+        for _ in range(3):
+            hedges.observe("t", 100.0)
+        assert hedges.hedge_delay_ms("t") is None
+        hedges.observe("t", 100.0)
+        assert hedges.hedge_delay_ms("t") is not None
+
+    def test_delay_is_factor_times_the_quantile(self):
+        hedges = HedgeManager(HedgePolicy(quantile=0.9, delay_factor=1.5, min_samples=1))
+        for v in range(1, 12):  # 1..11 ms; q90 index = int(0.9 * 10) = 9 -> 10 ms
+            hedges.observe("t", float(v))
+        assert hedges.hedge_delay_ms("t") == pytest.approx(1.5 * 10.0)
+
+    def test_window_evicts_oldest_samples(self):
+        hedges = HedgeManager(HedgePolicy(quantile=0.5, delay_factor=2.0, min_samples=1))
+        hedges.observe("t", 1_000.0)  # an early outlier...
+        for _ in range(HedgeManager.WINDOW):
+            hedges.observe("t", 10.0)
+        assert hedges.samples("t") == HedgeManager.WINDOW
+        # ...is evicted, so the quantile reflects only the steady stream
+        assert hedges.hedge_delay_ms("t") == pytest.approx(20.0)
+
+    def test_types_are_independent(self):
+        hedges = HedgeManager(HedgePolicy(quantile=0.5, delay_factor=2.0, min_samples=1))
+        hedges.observe("a", 10.0)
+        hedges.observe("b", 100.0)
+        assert hedges.hedge_delay_ms("a") == pytest.approx(20.0)
+        assert hedges.hedge_delay_ms("b") == pytest.approx(200.0)

@@ -11,7 +11,11 @@
 # slowdowns, retry budgets, admission control) plus the `chaos`-marked tests;
 # and the `pipeline-smoke` stage, a bounded task-graph fuzzing campaign over
 # the pipeline serving loop plus an explicit replay of the committed pipeline
-# scenarios (the fig20 smoke benchmark runs under `smoke benchmarks` above).
+# scenarios (the fig20 smoke benchmark runs under `smoke benchmarks` above);
+# and the `health-smoke` stage, a gray-failure campaign (permanent
+# degradations, flaky windows, zombie servers, health scoring, quarantine
+# breakers, hedged dispatch) plus the `gray`-marked tests and an explicit
+# replay of the committed gray scenarios.
 #
 # Usage: tools/ci.sh [extra pytest args...]
 set -euo pipefail
@@ -42,5 +46,10 @@ python -m pytest tests -m chaos -q --hypothesis-profile=ci "$@"
 echo "== pipeline-smoke: bounded task-graph fuzzing + pipeline corpus replay =="
 python tools/fuzz.py --budget 25 --seed 3 --loop pipeline
 python tools/fuzz.py --replay tests/regression/scenarios/pipeline-*.json
+
+echo "== health-smoke: gray-failure fuzzing + gray-marked tests + gray corpus replay =="
+python tools/fuzz.py --budget 25 --seed 4 --gray
+python -m pytest tests -m gray -q --hypothesis-profile=ci "$@"
+python tools/fuzz.py --replay tests/regression/scenarios/gray-*.json
 
 echo "CI gate passed."

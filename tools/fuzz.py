@@ -52,6 +52,13 @@ def main(argv=None) -> int:
         "slowdowns, crash storms, retry budgets, admission control)",
     )
     parser.add_argument(
+        "--gray",
+        action="store_true",
+        help="also draw the gray-failure dimensions (degradation onsets, flaky "
+        "windows, zombie servers, health scoring, quarantine breakers, hedged "
+        "dispatch); implies --chaos",
+    )
+    parser.add_argument(
         "--derived",
         action="store_true",
         help="also check derived identities (spot-disabled byte-identity; ~3x slower "
@@ -97,12 +104,14 @@ def main(argv=None) -> int:
         args.budget,
         loop=args.loop,
         seed=args.seed,
-        chaos=args.chaos,
+        chaos=args.chaos or args.gray,
+        gray=args.gray,
         derived=args.derived,
         out_dir=args.out,
     )
+    mode = " (gray)" if args.gray else (" (chaos)" if args.chaos else "")
     print(
-        f"fuzz campaign{' (chaos)' if args.chaos else ''}: {report.executions} "
+        f"fuzz campaign{mode}: {report.executions} "
         f"executions against a budget of {report.budget} in {report.elapsed_s:.1f}s"
     )
     for failure in report.failures:

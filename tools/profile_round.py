@@ -55,6 +55,7 @@ def _instrument():
     import repro.core.cost_matrix as cost_matrix
     import repro.schedulers.kairos_policy as kairos_policy
     import repro.sim.elasticity as elasticity
+    import repro.sim.health as health
     import repro.sim.multi_model as multi_model
     import repro.sim.simulation as simulation
     from repro.core.latency_model import OnlineLatencyEstimator
@@ -83,6 +84,14 @@ def _instrument():
     seam("dispatch commit", simulation.ServingSimulation, "_commit")
     seam("dispatch commit (elastic)", elasticity.ElasticServingSimulation, "_commit")
     seam("dispatch commit (joint)", multi_model.MultiModelServingSimulation, "_commit")
+    # gray-failure seams: health scoring on every completion, the check/probe
+    # handlers, quarantine side effects, and the hedge race machinery
+    seam("health scoring (completions)", health.ServerHealthMonitor, "observe_completion")
+    seam("health check handler", elasticity.ElasticServingSimulation, "_handle_health_check")
+    seam("health probe handler", elasticity.ElasticServingSimulation, "_handle_health_probe")
+    seam("quarantine side effects", elasticity.ElasticServingSimulation, "_quarantine_server")
+    seam("hedge delay estimate", health.HedgeManager, "hedge_delay_ms")
+    seam("hedge timer handler", elasticity.ElasticServingSimulation, "_handle_hedge_timer")
     return timers
 
 
@@ -162,6 +171,56 @@ def _run_multi_model(preset: str, repeats: int) -> tuple:
     return time.perf_counter() - start, rounds
 
 
+def _run_gray(preset: str, repeats: int) -> tuple:
+    """Elastic serving under gray faults with the monitor, breakers, and hedging on."""
+    from repro.bench.suites import MODEL, SEED, _params
+    from repro.cloud.config import HeterogeneousConfig
+    from repro.cloud.profiles import default_profile_registry
+    from repro.schedulers.kairos_policy import KairosPolicy
+    from repro.sim.cluster import Cluster
+    from repro.sim.elasticity import ElasticServingSimulation
+    from repro.sim.faults import FaultInjector, RetryPolicy
+    from repro.sim.health import HealthConfig, HedgePolicy
+    from repro.workload.batch_sizes import TruncatedLogNormalBatchSizes
+    from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+    p = _params(preset)
+    profiles = default_profile_registry()
+    config = HeterogeneousConfig(tuple(p["serving_counts"]), profiles.catalog)
+    model = profiles.models[MODEL]
+    spec = WorkloadSpec(
+        batch_sizes=TruncatedLogNormalBatchSizes(median=80, sigma=1.1),
+        num_queries=int(p["serving_queries"]),
+    )
+    queries = WorkloadGenerator(spec).generate(rate_qps=p["serving_rate_qps"], rng=SEED)
+    faults = FaultInjector.uniform(
+        profiles.catalog,
+        failures_per_hour=0.0,
+        degradations_per_hour=1800.0,
+        degradation_factor=4.0,
+        flaky_per_hour=3600.0,
+        zombies_per_hour=900.0,
+        auto_replace=False,
+    )
+
+    rounds = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        sim = ElasticServingSimulation(
+            Cluster(config, model, profiles),
+            KairosPolicy(),
+            rng=np.random.default_rng(SEED + 1),
+            faults=faults,
+            fault_rng=np.random.default_rng([SEED, 505]),
+            gray_rng=np.random.default_rng([SEED, 606]),
+            retry=RetryPolicy(max_attempts=3, response_timeout_ms=4.0 * model.qos_ms),
+            health=HealthConfig(probation_ms=8.0 * model.qos_ms),
+            hedge=HedgePolicy(),
+        )
+        rounds += sim.run(queries).scheduling_rounds
+    return time.perf_counter() - start, rounds
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -169,7 +228,7 @@ def main(argv=None) -> int:
         help="workload scale (matches the perf-benchmark presets; default quick)",
     )
     parser.add_argument(
-        "--scenario", default="serving", choices=("serving", "multi_model"),
+        "--scenario", default="serving", choices=("serving", "multi_model", "gray"),
         help="which macro scenario to profile (default serving)",
     )
     parser.add_argument(
@@ -178,7 +237,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     timers = _instrument()
-    runner = _run_serving if args.scenario == "serving" else _run_multi_model
+    runner = {
+        "serving": _run_serving,
+        "multi_model": _run_multi_model,
+        "gray": _run_gray,
+    }[args.scenario]
     wall, rounds = runner(args.preset, args.repeats)
 
     print(
